@@ -1,0 +1,139 @@
+// Ablations of the design choices DESIGN.md calls out:
+//  1. Low-discrepancy FSM-MUX stream vs an LFSR stream inside our multiplier
+//     structure (isolates contribution (ii) of Sec. 1).
+//  2. Accumulator headroom A (the paper fixes A = 2).
+//  3. Bit-parallel degree b: latency vs area trade-off and the ADP optimum
+//     (Sec. 4.3.1 claims 8b-par has the lowest ADP at 9-bit precision).
+//  4. Weight-distribution dependence of latency (Sec. 3.2).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/scmac.hpp"
+#include "hw/array_model.hpp"
+#include "sc/conventional.hpp"
+
+namespace {
+
+using scnn::common::RunningStats;
+using scnn::common::Table;
+
+/// Ablation 1: same skip-the-zeros multiplier structure, but the x bitstream
+/// comes from an LFSR comparator instead of the FSM-MUX pattern.
+void ablate_ld_code(int n) {
+  const int half = 1 << (n - 1);
+  const scnn::sc::StreamBank lfsr_bank("lfsr", n, 0);
+  RunningStats fsm_err, lfsr_err;
+  for (int qx = -half; qx < half; ++qx) {
+    const auto& stream = lfsr_bank.signed_stream(qx);
+    for (int qw = -half; qw < half; ++qw) {
+      if (qw == 0) continue;
+      const auto k = static_cast<std::size_t>(qw < 0 ? -qw : qw);
+      const double exact = static_cast<double>(qx) * qw / half;
+      fsm_err.add(scnn::core::multiply_signed(n, qx, qw) - exact);
+      // LFSR-stream variant: up/down count of the first k stream bits.
+      const auto ones = static_cast<std::int64_t>(stream.count_ones_prefix(k));
+      std::int64_t ud = 2 * ones - static_cast<std::int64_t>(k);
+      if (qw < 0) ud = -ud;
+      lfsr_err.add(static_cast<double>(ud) - exact);
+    }
+  }
+  std::printf("\n=== Ablation 1: bitstream code inside our multiplier (N = %d) ===\n", n);
+  Table t({"stream code", "err mean", "err std", "err max (LSB)"});
+  t.add_row({"FSM-MUX (proposed)", Table::fmt(fsm_err.mean(), 4),
+             Table::fmt(fsm_err.stddev(), 4), Table::fmt(fsm_err.max_abs(), 3)});
+  t.add_row({"LFSR comparator", Table::fmt(lfsr_err.mean(), 4),
+             Table::fmt(lfsr_err.stddev(), 4), Table::fmt(lfsr_err.max_abs(), 3)});
+  t.print(std::cout);
+  std::printf("-> the low-discrepancy code, not just the skip-zeros structure, carries "
+              "the accuracy (std ratio %.2fx).\n", lfsr_err.stddev() / fsm_err.stddev());
+}
+
+/// Ablation 2: accumulator headroom A on the digit task, proposed SC, N = 7.
+void ablate_accumulator(scnn::bench::TrainedModel& model) {
+  std::printf("\n=== Ablation 2: accumulator headroom A (proposed SC, N = 7) ===\n");
+  Table t({"A (bits)", "accuracy"});
+  scnn::nn::EnginePool pool;
+  for (int a = 0; a <= 4; ++a) {
+    scnn::nn::set_conv_engine(model.net,
+                              pool.get({.kind = "proposed", .n_bits = 7, .a_bits = a}));
+    t.add_row({std::to_string(a),
+               Table::fmt(model.net.accuracy(model.test.images, model.test.labels), 3)});
+  }
+  scnn::nn::set_conv_engine(model.net, nullptr);
+  t.print(std::cout);
+  std::printf("-> too little headroom saturates accumulations; A = 2 (the paper's "
+              "choice) sits at the knee.\n");
+}
+
+/// Ablation 3: bit-parallel degree at N = 9 with the measured weights.
+void ablate_parallelism(double avg_enable) {
+  std::printf("\n=== Ablation 3: bit-parallel degree b (N = 9, 256 MACs, avg k = %.2f) ===\n",
+              avg_enable);
+  Table t({"design", "area mm^2", "cyc/MAC", "ADP", "energy pJ/MAC"});
+  auto row = [&](const char* label, scnn::hw::MacKind kind, int b) {
+    const auto m = scnn::hw::array_metrics(kind, 9, 256, avg_enable, 2, b);
+    t.add_row({label, Table::fmt(m.area_mm2, 4), Table::fmt(m.cycles_per_mac, 3),
+               Table::fmt(m.adp, 4), Table::fmt(m.power_mw * m.cycles_per_mac / 256, 4)});
+  };
+  row("bit-serial", scnn::hw::MacKind::kProposedSerial, 1);
+  row("8b-par.", scnn::hw::MacKind::kProposedParallel, 8);
+  row("16b-par.", scnn::hw::MacKind::kProposedParallel, 16);
+  row("32b-par.", scnn::hw::MacKind::kProposedParallel, 32);
+  row("(FIX ref)", scnn::hw::MacKind::kFixedPoint, 1);
+  t.print(std::cout);
+  std::printf("-> area grows only modestly with b while latency shrinks ~b-fold;\n"
+              "   the ADP optimum sits at moderate parallelism (paper: 8b).\n");
+}
+
+/// Ablation 4: latency as a function of the weight distribution.
+void ablate_weight_distribution(scnn::bench::TrainedModel& model) {
+  std::printf("\n=== Ablation 4: weight-dependent latency (Sec. 3.2), N = 8 ===\n");
+  Table t({"weight source", "avg |2^(N-1)w|", "vs worst-case 2^(N-1)"});
+  const double trained = scnn::bench::avg_enable_cycles(model.net, 8);
+  t.add_row({"trained conv weights", Table::fmt(trained, 2),
+             Table::fmt(trained / 128.0, 4)});
+  // Uniform weights: E|q| = 2^(N-1)/2 = 64.
+  t.add_row({"uniform in [-1,1)", "64.0", "0.5"});
+  t.add_row({"worst case (|w| = 1)", "128", "1.0"});
+  t.print(std::cout);
+  std::printf("-> bell-shaped trained weights give ~%.0fx lower average latency than the\n"
+              "   worst case; this is what makes the proposed MAC fast in practice.\n",
+              128.0 / trained);
+}
+
+}  // namespace
+
+/// Ablation 5: sensitivity of the headline energy ratio to the one soft
+/// power-model constant (the LFSR toggle factor of Sec. 4.3.2).
+void ablate_lfsr_power(double avg_enable) {
+  std::printf("\n=== Ablation 5: Conv.SC-vs-Ours-8 energy ratio vs LFSR power factor "
+              "(N = 9, avg k = %.2f) ===\n", avg_enable);
+  Table t({"LFSR power factor", "energy ratio"});
+  for (double f : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    t.add_row({Table::fmt(f, 1),
+               Table::fmt(scnn::hw::energy_ratio_vs_lfsr_power(9, 256, avg_enable, f), 0)});
+  }
+  t.print(std::cout);
+  std::printf("-> even with NO extra LFSR power (factor 1) the ratio stays in the\n"
+              "   hundreds: the 2^N-vs-|w| latency gap dominates, not the power model.\n");
+}
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  ablate_ld_code(quick ? 6 : 8);
+
+  std::printf("\ntraining digit model for ablations 2, 4 and 5...\n");
+  auto model = scnn::bench::train_digit_model(quick ? 300 : 800, quick ? 100 : 250,
+                                              quick ? 3 : 6);
+  ablate_accumulator(model);
+  const double avg9 = scnn::bench::avg_enable_cycles(model.net, 9);
+  ablate_parallelism(avg9);
+  ablate_weight_distribution(model);
+  ablate_lfsr_power(avg9);
+  return 0;
+}

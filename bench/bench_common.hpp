@@ -1,0 +1,89 @@
+// Shared helpers for the bench binaries: train the two reference networks on
+// the synthetic datasets (or real MNIST/CIFAR-10 if found under
+// SCNN_DATA_DIR) and expose the trained weight statistics the hardware
+// benches need.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/idx_loader.hpp"
+#include "data/synthetic_digits.hpp"
+#include "data/synthetic_objects.hpp"
+#include "hw/array_model.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+
+namespace scnn::bench {
+
+struct TrainedModel {
+  nn::Network net;
+  data::Dataset train;
+  data::Dataset test;
+  std::string dataset_name;
+};
+
+inline std::string data_dir() {
+  const char* env = std::getenv("SCNN_DATA_DIR");
+  return env ? env : "data";
+}
+
+/// MNIST-class model: real MNIST when available, synthetic digits otherwise.
+inline TrainedModel train_digit_model(int train_count, int test_count, int epochs,
+                                      bool verbose = false) {
+  TrainedModel m;
+  if (auto real = data::try_load_mnist(data_dir(), /*train=*/true)) {
+    m.train = data::take(data::shuffled(*real, 1), train_count);
+    m.test = data::take(*data::try_load_mnist(data_dir(), false), test_count);
+    m.dataset_name = "MNIST";
+  } else {
+    m.train = data::make_synthetic_digits({.count = train_count, .seed = 1001});
+    m.test = data::make_synthetic_digits({.count = test_count, .seed = 2002});
+    m.dataset_name = "synthetic-digits";
+  }
+  m.net = nn::make_mnist_net(m.train.images.h(), 1, 42);
+  nn::SgdTrainer trainer({.epochs = epochs, .batch_size = 25, .learning_rate = 0.01f,
+                          .lr_decay = 0.9f, .verbose = verbose});
+  trainer.train(m.net, m.train.images, m.train.labels);
+  nn::calibrate_network(m.net, nn::batch_slice(m.train.images, 0,
+                                               std::min(64, m.train.size())));
+  return m;
+}
+
+/// CIFAR-class model: real CIFAR-10 when available, synthetic objects else.
+inline TrainedModel train_object_model(int train_count, int test_count, int epochs,
+                                       bool verbose = false) {
+  TrainedModel m;
+  if (auto real = data::try_load_cifar10(data_dir(), /*train=*/true)) {
+    m.train = data::take(data::shuffled(*real, 1), train_count);
+    m.test = data::take(*data::try_load_cifar10(data_dir(), false), test_count);
+    m.dataset_name = "CIFAR-10";
+  } else {
+    m.train = data::make_synthetic_objects({.count = train_count, .seed = 3003});
+    m.test = data::make_synthetic_objects({.count = test_count, .seed = 4004});
+    m.dataset_name = "synthetic-objects";
+  }
+  m.net = nn::make_cifar_net(m.train.images.h(), 1, 77);
+  nn::SgdTrainer trainer({.epochs = epochs, .batch_size = 25, .learning_rate = 0.01f,
+                          .lr_decay = 0.9f, .verbose = verbose});
+  trainer.train(m.net, m.train.images, m.train.labels);
+  nn::calibrate_network(m.net, nn::batch_slice(m.train.images, 0,
+                                               std::min(64, m.train.size())));
+  return m;
+}
+
+/// Average |2^(N-1) w| over all conv weights of the model at precision N.
+inline double avg_enable_cycles(nn::Network& net, int n_bits) {
+  std::vector<std::int32_t> all;
+  for (nn::Conv2D* c : net.conv_layers()) {
+    const auto q = c->quantized_weights(n_bits);
+    all.insert(all.end(), q.begin(), q.end());
+  }
+  return hw::average_enable_cycles(all);
+}
+
+}  // namespace scnn::bench

@@ -1,0 +1,112 @@
+// Reproduces Fig. 6 of the paper: recognition accuracy vs multiplier
+// precision (N, sign bit included) for the MNIST-class and CIFAR-class
+// networks, comparing (1) fixed-point binary, (2) conventional LFSR-based
+// SC and (3) the proposed SC — each without and with fine-tuning (quantized
+// /SC forward pass, straight-through float backward), A = 2 saturating
+// accumulator throughout, exactly the paper's Sec. 4.2 protocol.
+//
+// Datasets are the synthetic substitutes unless real MNIST/CIFAR-10 files
+// are present under $SCNN_DATA_DIR (see DESIGN.md). Default mode is sized
+// for a single-core machine; pass --full for the complete N = 5..10 sweep
+// on larger splits.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using scnn::bench::TrainedModel;
+using scnn::common::Table;
+
+const std::vector<std::string> kKinds = {"fixed", "sc-lfsr", "proposed"};
+
+struct SweepResult {
+  double float_accuracy = 0.0;
+  // (kind, N) -> accuracy
+  std::map<std::pair<std::string, int>, double> no_ft;
+  std::map<std::pair<std::string, int>, double> with_ft;
+};
+
+SweepResult run_sweep(TrainedModel& model, const std::vector<int>& precisions,
+                      int ft_epochs, float ft_lr) {
+  SweepResult res;
+  res.float_accuracy = model.net.accuracy(model.test.images, model.test.labels);
+  const std::vector<float> trained = model.net.save_parameters();
+  scnn::nn::EnginePool pool;
+
+  for (const std::string& kind : kKinds) {
+    for (int n : precisions) {
+      const auto* engine = pool.get({.kind = kind, .n_bits = n, .a_bits = 2});
+      scnn::nn::set_conv_engine(model.net, engine);
+      res.no_ft[{kind, n}] = model.net.accuracy(model.test.images, model.test.labels);
+
+      // Fine-tune from the SAME float-trained starting point each time.
+      scnn::nn::SgdTrainer tuner({.epochs = ft_epochs, .batch_size = 25,
+                                  .learning_rate = ft_lr, .lr_decay = 0.8f});
+      tuner.train(model.net, model.train.images, model.train.labels);
+      res.with_ft[{kind, n}] = model.net.accuracy(model.test.images, model.test.labels);
+
+      scnn::nn::set_conv_engine(model.net, nullptr);
+      model.net.load_parameters(trained);
+      std::printf("  %s N=%d: %.3f -> %.3f (fine-tuned)\n", kind.c_str(), n,
+                  res.no_ft[{kind, n}], res.with_ft[{kind, n}]);
+      std::fflush(stdout);
+    }
+  }
+  return res;
+}
+
+void print_tables(const char* title, const SweepResult& r,
+                  const std::vector<int>& precisions) {
+  for (const bool ft : {false, true}) {
+    std::printf("\n=== Fig. 6: %s, %s fine-tuning (float baseline %.3f) ===\n", title,
+                ft ? "WITH" : "without", r.float_accuracy);
+    Table t({"N (bits)", "fixed-point", "conv. SC (LFSR)", "proposed SC"});
+    const auto& m = ft ? r.with_ft : r.no_ft;
+    for (int n : precisions) {
+      t.add_row({std::to_string(n), Table::fmt(m.at({"fixed", n}), 3),
+                 Table::fmt(m.at({"sc-lfsr", n}), 3),
+                 Table::fmt(m.at({"proposed", n}), 3)});
+    }
+    t.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  const std::vector<int> digit_n = full ? std::vector<int>{5, 6, 7, 8, 9, 10}
+                                        : std::vector<int>{5, 7, 9};
+  const std::vector<int> object_n = full ? std::vector<int>{5, 6, 7, 8, 9, 10}
+                                         : std::vector<int>{6, 8};
+
+  std::printf("[1/2] training MNIST-class model...\n");
+  auto digits = scnn::bench::train_digit_model(full ? 2000 : 1200, full ? 500 : 400,
+                                               full ? 8 : 6);
+  std::printf("dataset: %s\n", digits.dataset_name.c_str());
+  const auto dres = run_sweep(digits, digit_n, full ? 3 : 2, 0.004f);
+  print_tables("MNIST-class", dres, digit_n);
+
+  std::printf("\n[2/2] training CIFAR-class model...\n");
+  auto objects = scnn::bench::train_object_model(full ? 2000 : 800, full ? 500 : 250,
+                                                 full ? 10 : 7);
+  std::printf("dataset: %s\n", objects.dataset_name.c_str());
+  const auto ores = run_sweep(objects, object_n, full ? 3 : 1, 0.004f);
+  print_tables("CIFAR-class", ores, object_n);
+
+  std::printf("\nShape checks vs the paper:\n"
+              "- proposed SC tracks fixed-point at every N (both tasks);\n"
+              "- conventional LFSR-SC trails, worst on the harder task;\n"
+              "- fine-tuning recovers most of the conventional-SC loss on the easy\n"
+              "  task but not on the harder one;\n"
+              "- all methods converge to the float baseline as N grows.\n");
+  return 0;
+}

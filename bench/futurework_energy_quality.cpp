@@ -1,0 +1,61 @@
+// FUTURE-WORK REPRODUCTION: the "dynamic energy-quality tradeoff" the paper
+// names as an inherent SC advantage but does not evaluate (Sec. 4.3.2).
+//
+// Mechanism (src/core/energy_quality.hpp): gate the low t bits of the down
+// counter, truncating every multiply's enable count toward zero. Quality
+// degrades like a t-bit-coarser weight; latency (hence energy) drops
+// super-linearly because bell-shaped weights concentrate near zero and
+// whole multiplies get skipped. No hardware change — t is a runtime knob.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/energy_quality.hpp"
+#include "hw/array_model.hpp"
+#include "nn/mac_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scnn;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  std::printf("training digit model...\n");
+  auto model = scnn::bench::train_digit_model(quick ? 300 : 800, quick ? 100 : 250,
+                                              quick ? 3 : 5);
+  const int n_bits = 8;
+
+  // Weight codes of all conv layers, for the latency statistics.
+  std::vector<std::int32_t> codes;
+  for (nn::Conv2D* c : model.net.conv_layers()) {
+    const auto q = c->quantized_weights(n_bits);
+    codes.insert(codes.end(), q.begin(), q.end());
+  }
+
+  std::printf("\n=== Energy-quality knob: drop t LSBs of the enable count (%s, N = %d) ===\n",
+              model.dataset_name.c_str(), n_bits);
+  common::Table t({"t (bits)", "accuracy", "avg cycles/MAC", "relative energy",
+                   "multiplies skipped %"});
+  const double base_cycles = core::average_truncated_latency(codes, 0);
+  for (int drop = 0; drop <= 4; ++drop) {
+    nn::LutEngine engine(core::make_truncated_lut(n_bits, drop), 2);
+    nn::set_conv_engine(model.net, &engine);
+    const double acc = model.net.accuracy(model.test.images, model.test.labels);
+    nn::set_conv_engine(model.net, nullptr);
+
+    const double cyc = core::average_truncated_latency(codes, drop);
+    std::size_t skipped = 0;
+    for (const auto q : codes)
+      if (core::truncated_latency(q, drop) == 0) ++skipped;
+    t.add_row({std::to_string(drop), common::Table::fmt(acc, 3),
+               common::Table::fmt(cyc, 2), common::Table::fmt(cyc / base_cycles, 3),
+               common::Table::fmt(100.0 * static_cast<double>(skipped) /
+                                      static_cast<double>(codes.size()), 1)});
+  }
+  t.print(std::cout);
+  std::printf("\nReading: energy scales with average enable cycles (the counter only\n"
+              "ticks while enabled), so each row trades accuracy for energy at run time.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// google-benchmark micro-suite: throughput of the simulators themselves.
+// Not a paper figure — this measures the software, so that CNN-scale sweeps
+// (Fig. 6) stay tractable and regressions in the hot paths are visible.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/bit_parallel.hpp"
+#include "core/mvm.hpp"
+#include "core/scmac.hpp"
+#include "nn/mac_engine.hpp"
+#include "sc/conventional.hpp"
+#include "sc/lfsr.hpp"
+#include "sc/mult_lut.hpp"
+
+namespace {
+
+std::vector<std::int32_t> random_codes(std::size_t count, int n_bits, std::uint64_t seed) {
+  scnn::common::SplitMix64 rng(seed);
+  const std::int32_t half = 1 << (n_bits - 1);
+  std::vector<std::int32_t> v(count);
+  for (auto& c : v)
+    c = static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(2 * half))) - half;
+  return v;
+}
+
+void BM_MultiplySignedClosedForm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto xs = random_codes(1024, n, 1);
+  const auto ws = random_codes(1024, n, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scnn::core::multiply_signed(n, xs[i & 1023], ws[i & 1023]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MultiplySignedClosedForm)->Arg(5)->Arg(9);
+
+void BM_BitSerialCycleAccurate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto xs = random_codes(256, n, 3);
+  const auto ws = random_codes(256, n, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    scnn::core::BitSerialMultiplier m(n, xs[i & 255], ws[i & 255]);
+    while (m.step()) {}
+    benchmark::DoNotOptimize(m.counter());
+    ++i;
+  }
+}
+BENCHMARK(BM_BitSerialCycleAccurate)->Arg(5)->Arg(9);
+
+void BM_BitParallelMultiply(benchmark::State& state) {
+  const scnn::core::BitParallelMultiplier bp(9, static_cast<int>(state.range(0)));
+  const auto xs = random_codes(256, 9, 5);
+  const auto ws = random_codes(256, 9, 6);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.multiply(xs[i & 255], ws[i & 255]).product);
+    ++i;
+  }
+}
+BENCHMARK(BM_BitParallelMultiply)->Arg(8)->Arg(32);
+
+void BM_LutEngineMac(benchmark::State& state) {
+  // One conv output at LeNet conv2 scale: d = 25 * 8 = 200 products.
+  const auto engine = scnn::nn::make_engine("proposed", 8, 2);
+  const auto w = random_codes(200, 8, 7);
+  const auto x = random_codes(200, 8, 8);
+  for (auto _ : state) benchmark::DoNotOptimize(engine->mac(w, x));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_LutEngineMac);
+
+void BM_BiscMvmMacTickLevel(benchmark::State& state) {
+  scnn::core::BiscMvm mvm(8, 2, 16);
+  const auto xs = random_codes(16, 8, 9);
+  for (auto _ : state) {
+    mvm.mac(37, xs);
+    benchmark::DoNotOptimize(mvm.value(0));
+  }
+}
+BENCHMARK(BM_BiscMvmMacTickLevel);
+
+void BM_ProductLutBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scnn::core::make_proposed_lut(n));
+  }
+}
+BENCHMARK(BM_ProductLutBuild)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_LfsrScLutBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scnn::sc::make_lfsr_sc_lut(n));
+  }
+}
+BENCHMARK(BM_LfsrScLutBuild)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_LfsrStep(benchmark::State& state) {
+  scnn::sc::Lfsr lfsr(16, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(lfsr.step());
+}
+BENCHMARK(BM_LfsrStep);
+
+void BM_ConventionalBipolarMultiply(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sx = scnn::sc::make_sng("lfsr", n, 0);
+  auto sw = scnn::sc::make_sng("lfsr", n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scnn::sc::bipolar_multiply(n, 33 % (1 << (n - 1)),
+                                                        -25 % (1 << (n - 1)), *sx, *sw));
+  }
+}
+BENCHMARK(BM_ConventionalBipolarMultiply)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Reproduces Table 2 of the paper: per-MAC area breakdown (um^2, 45 nm,
+// 1 GHz) for MP = 5 and MP = 9, printed next to the paper's reported totals
+// with the model's deviation.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "hw/mac_designs.hpp"
+
+namespace {
+
+using scnn::common::Table;
+using scnn::hw::MacBreakdown;
+
+/// Paper totals for the deviation column (um^2).
+const std::map<std::string, double> kPaperTotals = {
+    {"Fixed-point/5", 155.2},        {"Conv. SC (LFSR)/5", 137.2},
+    {"Conv. SC (Halton)/5", 172.7},  {"Proposed bit-serial/5", 142.7},
+    {"Fixed-point/9", 415.1},        {"Conv. SC (LFSR)/9", 232.8},
+    {"Conv. SC (Halton)/9", 347.3},  {"Conv. SC (ED)/9", 891.9},
+    {"Proposed bit-serial/9", 256.7},{"Proposed 8b-par./9", 336.9},
+    {"Proposed 16b-par./9", 404.7},  {"Proposed 32b-par./9", 447.5},
+};
+
+void print_mp(int mp) {
+  std::printf("\n=== Table 2: area breakdown of a MAC, MP = %d (A = 2, um^2) ===\n", mp);
+  Table t({"Design", "SNG Reg/FSM", "SNG Combi.", "Mult./XNOR*", "Par./1s CNT",
+           "Accum./UD CNT", "Total", "Paper", "Dev%"});
+  for (const MacBreakdown& m : scnn::hw::table2_rows(mp)) {
+    const double total = m.total().area_um2;
+    const auto it = kPaperTotals.find(m.design + "/" + std::to_string(mp));
+    const double paper = it != kPaperTotals.end() ? it->second : 0.0;
+    t.add_row({m.design, Table::fmt(m.sng_register.area_um2, 1),
+               Table::fmt(m.sng_combinational.area_um2, 1),
+               Table::fmt(m.multiplier.area_um2, 1),
+               m.stream_counter.area_um2 > 0 ? Table::fmt(m.stream_counter.area_um2, 1) : "-",
+               Table::fmt(m.accumulator.area_um2, 1), Table::fmt(total, 1),
+               paper > 0 ? Table::fmt(paper, 1) : "-",
+               paper > 0 ? Table::fmt(100.0 * (total - paper) / paper, 1) : "-"});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 2 reproduction (component cost model calibrated at 45 nm; see\n"
+              "src/hw/components.cpp for the calibration table).\n"
+              "*For the proposed designs this column is the down counter (Fig. 1c).\n");
+  print_mp(5);
+  print_mp(9);
+  std::printf("\nNote: ED is evaluated at MP = 9 only (32 bits/cycle), as in the paper.\n");
+  return 0;
+}

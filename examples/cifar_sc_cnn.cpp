@@ -1,0 +1,65 @@
+// CIFAR-class SC-CNN walkthrough (the paper's harder workload), including
+// the fine-tuning step that closes the accuracy gap at moderate precision.
+//
+//   build/examples/cifar_sc_cnn [--fast]
+#include <cstdio>
+#include <cstring>
+
+#include "data/idx_loader.hpp"
+#include "data/synthetic_objects.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scnn;
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  const int train_n = fast ? 500 : 800;
+  const int test_n = fast ? 100 : 250;
+
+  data::Dataset train, test;
+  const char* dir_env = std::getenv("SCNN_DATA_DIR");
+  const std::string dir = dir_env ? dir_env : "data";
+  if (auto real = data::try_load_cifar10(dir, true)) {
+    std::printf("using real CIFAR-10 from %s\n", dir.c_str());
+    train = data::take(data::shuffled(*real, 1), train_n);
+    test = data::take(*data::try_load_cifar10(dir, false), test_n);
+  } else {
+    std::printf("real CIFAR-10 not found; using the synthetic object task\n");
+    train = data::make_synthetic_objects({.count = train_n, .seed = 33});
+    test = data::make_synthetic_objects({.count = test_n, .seed = 44});
+  }
+
+  nn::Network net = nn::make_cifar_net(train.images.h());
+  nn::SgdTrainer trainer({.epochs = fast ? 5 : 7, .batch_size = 25,
+                          .learning_rate = 0.01f, .lr_decay = 0.9f, .verbose = true});
+  trainer.train(net, train.images, train.labels);
+  // Per-layer power-of-two activation scales: the generalization of the
+  // paper's "scale the input feature map by 128" trick for CIFAR-10.
+  nn::calibrate_network(net, nn::batch_slice(train.images, 0, 50));
+  for (nn::Conv2D* c : net.conv_layers())
+    std::printf("conv layer: weight scale %.0f, activation scale %.0f\n",
+                c->weight_scale(), c->activation_scale());
+  std::printf("float accuracy: %.3f\n\n", net.accuracy(test.images, test.labels));
+
+  // The interesting CIFAR regime per Fig. 6(c)-(d): N = 8.
+  const int n_bits = 8;
+  nn::EnginePool pool;
+  const auto trained = net.save_parameters();
+  for (const char* kind : {"fixed", "sc-lfsr", "proposed"}) {
+    const auto* engine = pool.get({.kind = kind, .n_bits = n_bits, .a_bits = 2});
+    nn::set_conv_engine(net, engine);
+    const double before = net.accuracy(test.images, test.labels);
+
+    nn::SgdTrainer tuner({.epochs = fast ? 1 : 2, .batch_size = 25,
+                          .learning_rate = 0.004f});
+    tuner.train(net, train.images, train.labels);  // SC forward, STE backward
+    const double after = net.accuracy(test.images, test.labels);
+    std::printf("%-9s N=%d: accuracy %.3f -> %.3f after fine-tuning\n", kind, n_bits,
+                before, after);
+
+    nn::set_conv_engine(net, nullptr);
+    net.load_parameters(trained);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// MNIST-class SC-CNN walkthrough (the paper's first workload).
+//
+//   build/examples/mnist_sc_cnn [--fast]
+//
+// Trains the LeNet-style network on the digit task (real MNIST if found
+// under $SCNN_DATA_DIR, synthetic digits otherwise), then runs inference
+// with all three arithmetic back-ends at one precision and reports accuracy
+// plus the accelerator-latency picture for the trained weights.
+#include <cstdio>
+#include <cstring>
+
+#include "core/conv_scheduler.hpp"
+#include "data/idx_loader.hpp"
+#include "data/synthetic_digits.hpp"
+#include "hw/array_model.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scnn;
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  const int train_n = fast ? 300 : 1200;
+  const int test_n = fast ? 100 : 400;
+
+  // ---- data ---------------------------------------------------------------
+  data::Dataset train, test;
+  const char* dir_env = std::getenv("SCNN_DATA_DIR");
+  const std::string dir = dir_env ? dir_env : "data";
+  if (auto real = data::try_load_mnist(dir, true)) {
+    std::printf("using real MNIST from %s\n", dir.c_str());
+    train = data::take(data::shuffled(*real, 1), train_n);
+    test = data::take(*data::try_load_mnist(dir, false), test_n);
+  } else {
+    std::printf("real MNIST not found; using the synthetic digit task\n");
+    train = data::make_synthetic_digits({.count = train_n, .seed = 11});
+    test = data::make_synthetic_digits({.count = test_n, .seed = 22});
+  }
+
+  // ---- float training -------------------------------------------------
+  nn::Network net = nn::make_mnist_net(train.images.h());
+  nn::SgdTrainer trainer({.epochs = fast ? 3 : 6, .batch_size = 25,
+                          .learning_rate = 0.01f, .lr_decay = 0.9f, .verbose = true});
+  trainer.train(net, train.images, train.labels);
+  nn::calibrate_network(net, nn::batch_slice(train.images, 0, 50));
+  std::printf("float accuracy: %.3f\n\n", net.accuracy(test.images, test.labels));
+
+  // ---- SC / fixed inference (the paper's N = 5 MNIST setting and N = 8) --
+  nn::EnginePool pool;
+  for (int n_bits : {5, 8}) {
+    std::printf("precision N = %d:\n", n_bits);
+    for (const char* kind : {"fixed", "sc-lfsr", "proposed"}) {
+      nn::set_conv_engine(net, pool.get({.kind = kind, .n_bits = n_bits, .a_bits = 2}));
+      std::printf("  %-9s accuracy: %.3f\n", kind,
+                  net.accuracy(test.images, test.labels));
+    }
+    nn::set_conv_engine(net, nullptr);
+  }
+
+  // ---- accelerator latency picture for conv1 at N = 5 ---------------------
+  const int n_bits = 5;
+  nn::Conv2D* conv1 = net.conv_layers().front();
+  const auto codes = conv1->quantized_weights(n_bits);
+  const auto dims = conv1->dims_for(nn::batch_slice(test.images, 0, 1));
+  const core::Tiling tiling{.tm = 16, .tr = 4, .tc = 4};
+  const auto ours = core::schedule_conv(dims, tiling, codes, n_bits);
+  std::printf("\nconv1 on a 256-MAC array (N = %d): %llu cycles "
+              "(avg %.2f cyc/weight; conventional SC: %llu; binary: %llu)\n",
+              n_bits, static_cast<unsigned long long>(ours.total_cycles),
+              ours.avg_weight_latency,
+              static_cast<unsigned long long>(
+                  core::conventional_sc_conv_cycles(dims, tiling, n_bits)),
+              static_cast<unsigned long long>(core::binary_conv_cycles(dims, tiling)));
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "accel/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scnn::accel {
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+/// Average compute cycles per tile position for a layer (array lockstep).
+double cycles_per_tile(const AcceleratorConfig& cfg, const LayerWorkload& layer) {
+  const auto sched =
+      core::schedule_conv(layer.dims, cfg.tiling, layer.weight_codes, cfg.n_bits,
+                          cfg.arithmetic == hw::MacKind::kProposedParallel ? cfg.bit_parallel
+                                                                           : 1);
+  const std::uint64_t tiles = tile_count(layer.dims, cfg.tiling);
+  switch (cfg.arithmetic) {
+    case hw::MacKind::kProposedSerial:
+    case hw::MacKind::kProposedParallel:
+      return static_cast<double>(sched.total_cycles) / static_cast<double>(tiles);
+    case hw::MacKind::kFixedPoint:
+      return static_cast<double>(core::binary_conv_cycles(layer.dims, cfg.tiling)) /
+             static_cast<double>(tiles);
+    default:  // conventional SC designs: 2^N cycles per MAC step
+      return static_cast<double>(
+                 core::conventional_sc_conv_cycles(layer.dims, cfg.tiling, cfg.n_bits)) /
+             static_cast<double>(tiles);
+  }
+}
+
+}  // namespace
+
+std::uint64_t compute_cycles(const AcceleratorConfig& cfg, const LayerWorkload& layer) {
+  const std::uint64_t tiles = tile_count(layer.dims, cfg.tiling);
+  return static_cast<std::uint64_t>(
+      std::llround(cycles_per_tile(cfg, layer) * static_cast<double>(tiles)));
+}
+
+NetworkReport simulate_network(const AcceleratorConfig& cfg,
+                               std::span<const LayerWorkload> layers) {
+  if (cfg.dram_bytes_per_cycle <= 0)
+    throw std::invalid_argument("simulate_network: bandwidth must be positive");
+
+  const int array_size = cfg.tiling.mac_units();
+  const auto metrics = hw::array_metrics(
+      cfg.arithmetic, cfg.n_bits, array_size, /*avg_enable=*/1.0, cfg.a_bits,
+      cfg.arithmetic == hw::MacKind::kProposedParallel ? cfg.bit_parallel : 1,
+      cfg.frequency_ghz);
+  // Power at 1 GHz in mW == energy per cycle in pJ.
+  const double compute_pj_per_cycle = metrics.power_mw / cfg.frequency_ghz;
+
+  NetworkReport net;
+  for (const LayerWorkload& layer : layers) {
+    LayerReport r;
+    r.name = layer.name;
+
+    const std::uint64_t tiles = tile_count(layer.dims, cfg.tiling);
+    const double comp_per_tile = cycles_per_tile(cfg, layer);
+    const TileTraffic traffic = tile_traffic(layer.dims, cfg.tiling);
+    const std::uint64_t bytes_per_tile =
+        ceil_div(traffic.total_words() * static_cast<std::uint64_t>(cfg.n_bits), 8);
+    const double mem_per_tile =
+        static_cast<double>(bytes_per_tile) / cfg.dram_bytes_per_cycle;
+
+    // Double buffering: steady-state tile time is the max of the two; one
+    // extra transfer fills the pipeline before the first compute.
+    const double tile_time = std::max(comp_per_tile, mem_per_tile);
+    r.compute_cycles = static_cast<std::uint64_t>(std::llround(comp_per_tile * tiles));
+    r.memory_cycles = static_cast<std::uint64_t>(std::llround(mem_per_tile * tiles));
+    r.total_cycles =
+        static_cast<std::uint64_t>(std::llround(tile_time * tiles + mem_per_tile));
+    // Steady-state stalls only; the one-tile pipeline fill is part of
+    // total_cycles but is not a recurring stall.
+    r.stall_cycles = static_cast<std::uint64_t>(
+        std::llround(std::max(0.0, mem_per_tile - comp_per_tile) * tiles));
+    r.compute_energy_nj = static_cast<double>(r.compute_cycles) * compute_pj_per_cycle * 1e-3;
+    r.memory_energy_nj = static_cast<double>(bytes_per_tile) * tiles *
+                         cfg.dram_energy_pj_per_byte * 1e-3;
+    r.buffer_bytes = buffer_spec(layer.dims, cfg.tiling).total_bytes(cfg.n_bits);
+
+    net.total_cycles += r.total_cycles;
+    net.total_energy_nj += r.compute_energy_nj + r.memory_energy_nj;
+    net.layers.push_back(std::move(r));
+  }
+  net.latency_us = static_cast<double>(net.total_cycles) / (cfg.frequency_ghz * 1e3);
+  net.images_per_second = net.latency_us > 0 ? 1e6 / net.latency_us : 0.0;
+  return net;
+}
+
+}  // namespace scnn::accel

@@ -1,0 +1,69 @@
+// End-to-end accelerator simulation: compute + memory, double-buffered.
+//
+// This extends the paper's MAC-array comparison (which scopes area/power to
+// the compute array) to a whole-network latency/energy model: per tile
+// position the DMA transfer and the MAC-array computation overlap
+// (ping-pong buffers), so tile time = max(compute, transfer) and stalls
+// appear exactly when the variable-latency SC array outruns the memory —
+// the difficulty the paper's conclusion flags ("our variable-latency MAC
+// operation may make memory subsystem more difficult to implement").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "accel/buffers.hpp"
+#include "hw/array_model.hpp"
+
+namespace scnn::accel {
+
+struct AcceleratorConfig {
+  core::Tiling tiling{.tm = 16, .tr = 4, .tc = 4};
+  hw::MacKind arithmetic = hw::MacKind::kProposedParallel;
+  int n_bits = 8;
+  int a_bits = 2;
+  int bit_parallel = 8;             ///< proposed-parallel designs only
+  double frequency_ghz = 1.0;
+  double dram_bytes_per_cycle = 4.0;   ///< external bandwidth
+  double dram_energy_pj_per_byte = 20; ///< DRAM access energy (model constant)
+};
+
+/// One conv layer's workload: geometry plus its quantized weight codes.
+struct LayerWorkload {
+  std::string name;
+  core::ConvDims dims;
+  std::vector<std::int32_t> weight_codes;  ///< M*Z*K*K, layout [m][z][i][j]
+};
+
+struct LayerReport {
+  std::string name;
+  std::uint64_t compute_cycles = 0;   ///< MAC-array busy cycles
+  std::uint64_t memory_cycles = 0;    ///< DMA busy cycles
+  std::uint64_t total_cycles = 0;     ///< with double-buffer overlap
+  std::uint64_t stall_cycles = 0;     ///< compute idle waiting on memory
+  double compute_energy_nj = 0.0;
+  double memory_energy_nj = 0.0;
+  std::uint64_t buffer_bytes = 0;     ///< on-chip SRAM required
+};
+
+struct NetworkReport {
+  std::vector<LayerReport> layers;
+  std::uint64_t total_cycles = 0;
+  double total_energy_nj = 0.0;
+  double latency_us = 0.0;
+  double images_per_second = 0.0;
+
+  [[nodiscard]] double energy_per_image_uj() const { return total_energy_nj * 1e-3; }
+};
+
+/// Simulate one image's convolution layers through the accelerator.
+NetworkReport simulate_network(const AcceleratorConfig& cfg,
+                               std::span<const LayerWorkload> layers);
+
+/// Convenience: per-layer compute cycles only (no memory), matching the
+/// Fig. 7 bench's scheduler numbers.
+std::uint64_t compute_cycles(const AcceleratorConfig& cfg, const LayerWorkload& layer);
+
+}  // namespace scnn::accel

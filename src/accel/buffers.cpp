@@ -1,0 +1,42 @@
+#include "accel/buffers.hpp"
+
+namespace scnn::accel {
+
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+BufferSpec buffer_spec(const core::ConvDims& d, const core::Tiling& t, bool double_buffered) {
+  BufferSpec s;
+  s.double_buffered = double_buffered;
+  // Input window feeding a T_R x T_C output tile (all Z input maps).
+  const std::uint64_t win_h = static_cast<std::uint64_t>(t.tr - 1) * d.S + d.K;
+  const std::uint64_t win_w = static_cast<std::uint64_t>(t.tc - 1) * d.S + d.K;
+  s.input_words = static_cast<std::uint64_t>(d.Z) * win_h * win_w;
+  s.output_words = static_cast<std::uint64_t>(t.tm) * t.tr * t.tc;
+  s.weight_words = static_cast<std::uint64_t>(t.tm) * d.Z * d.K * d.K;
+  return s;
+}
+
+TileTraffic tile_traffic(const core::ConvDims& d, const core::Tiling& t) {
+  const BufferSpec s = buffer_spec(d, t, false);
+  TileTraffic tr;
+  tr.input_words = s.input_words;
+  // Weights are reused across all (r, c) tile positions of one m-tile; the
+  // per-tile average charge is weights / positions-per-m-tile.
+  const std::uint64_t positions = ceil_div(static_cast<std::uint64_t>(d.out_rows()), t.tr) *
+                                  ceil_div(static_cast<std::uint64_t>(d.out_cols()), t.tc);
+  tr.weight_words = ceil_div(s.weight_words, positions == 0 ? 1 : positions);
+  tr.output_words = s.output_words;
+  return tr;
+}
+
+std::uint64_t tile_count(const core::ConvDims& d, const core::Tiling& t) {
+  return ceil_div(static_cast<std::uint64_t>(d.M), t.tm) *
+         ceil_div(static_cast<std::uint64_t>(d.out_rows()), t.tr) *
+         ceil_div(static_cast<std::uint64_t>(d.out_cols()), t.tc);
+}
+
+}  // namespace scnn::accel

@@ -1,0 +1,55 @@
+// On-chip buffer sizing for the tiled SC-CNN accelerator (Sec. 3.3).
+//
+// The paper's architecture keeps all inter-tile traffic in binary (that is
+// the point of BISC), so "the on-chip memory sizes for input/output/weight
+// buffers are exactly the same" as the binary accelerator of [15]/[19].
+// This module computes those sizes from the tiling, following the
+// Zhang et al. (FPGA'15) buffer model: double-buffered input window,
+// output tile, and weight tile.
+#pragma once
+
+#include <cstdint>
+
+#include "core/conv_scheduler.hpp"
+
+namespace scnn::accel {
+
+struct BufferSpec {
+  std::uint64_t input_words = 0;   ///< one input tile window, Z x H_tile x W_tile
+  std::uint64_t output_words = 0;  ///< one output tile, T_M x T_R x T_C
+  std::uint64_t weight_words = 0;  ///< weights for one tile step, T_M x Z x K x K
+  bool double_buffered = true;     ///< ping-pong to overlap compute & transfer
+
+  [[nodiscard]] std::uint64_t total_words() const {
+    const std::uint64_t one = input_words + output_words + weight_words;
+    return double_buffered ? 2 * one : one;
+  }
+  /// Bytes at the given word width (BISC stores binary words, Sec. 1).
+  [[nodiscard]] std::uint64_t total_bytes(int bits_per_word) const {
+    return (total_words() * static_cast<std::uint64_t>(bits_per_word) + 7) / 8;
+  }
+};
+
+/// Buffer requirement of one conv layer under a tiling. Identical for the
+/// binary and every BISC arithmetic (the Sec. 3.3 parity claim — enforced
+/// by tests, since the arithmetic kind does not even enter the signature).
+BufferSpec buffer_spec(const core::ConvDims& dims, const core::Tiling& tiling,
+                       bool double_buffered = true);
+
+/// Per-tile external traffic in words (reads of input window + weights,
+/// write-back of outputs) — what the DMA must move per tile position.
+struct TileTraffic {
+  std::uint64_t input_words = 0;
+  std::uint64_t weight_words = 0;
+  std::uint64_t output_words = 0;
+  [[nodiscard]] std::uint64_t total_words() const {
+    return input_words + weight_words + output_words;
+  }
+};
+
+TileTraffic tile_traffic(const core::ConvDims& dims, const core::Tiling& tiling);
+
+/// Number of tile positions a layer decomposes into.
+std::uint64_t tile_count(const core::ConvDims& dims, const core::Tiling& tiling);
+
+}  // namespace scnn::accel

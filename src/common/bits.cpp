@@ -1,0 +1,14 @@
+#include "common/bits.hpp"
+
+// Header-only; this translation unit exists so the static library always has
+// at least one object per module and to hold future non-inline helpers.
+namespace scnn::common {
+
+static_assert(round_div_pow2(0, 3) == 0);
+static_assert(round_div_pow2(4, 3) == 1);   // 4/8 = 0.5 rounds up
+static_assert(round_div_pow2(3, 3) == 0);   // 3/8 rounds down
+static_assert(round_div_pow2(12, 3) == 2);  // 12/8 = 1.5 rounds up
+static_assert(reverse_bits(0b001, 3) == 0b100);
+static_assert(ruler(1) == 0 && ruler(2) == 1 && ruler(3) == 0 && ruler(8) == 3);
+
+}  // namespace scnn::common

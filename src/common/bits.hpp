@@ -1,0 +1,72 @@
+// Bit-level utilities shared by the stochastic-computing simulators.
+//
+// Everything here is branch-light and constexpr where possible because the
+// exhaustive error sweeps (Fig. 5 of the paper) evaluate these functions
+// billions of times.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace scnn::common {
+
+/// Number of trailing zero bits of `v`. Precondition: v != 0.
+constexpr int trailing_zeros(std::uint64_t v) {
+  assert(v != 0);
+  return std::countr_zero(v);
+}
+
+/// True iff `v` is a power of two (v > 0).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && std::has_single_bit(v); }
+
+/// floor(log2(v)). Precondition: v != 0.
+constexpr int floor_log2(std::uint64_t v) {
+  assert(v != 0);
+  return 63 - std::countl_zero(v);
+}
+
+/// ceil(log2(v)). Precondition: v != 0.
+constexpr int ceil_log2(std::uint64_t v) {
+  assert(v != 0);
+  return v == 1 ? 0 : floor_log2(v - 1) + 1;
+}
+
+/// round(num / 2^shift) with ties rounded up (half-up), for num >= 0.
+///
+/// This is exactly the count of appearances of bit x_(N-i) within the first
+/// k cycles of the paper's FSM-MUX sequence (Sec. 2.3): round(k / 2^i).
+constexpr std::uint64_t round_div_pow2(std::uint64_t num, int shift) {
+  assert(shift >= 0 && shift < 63);
+  return (num + (std::uint64_t{1} << shift >> 1)) >> shift;
+}
+
+/// Reverse the low `bits` bits of `v` (the van-der-Corput base-2 permutation).
+constexpr std::uint64_t reverse_bits(std::uint64_t v, int bits) {
+  assert(bits >= 0 && bits <= 64);
+  std::uint64_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (v & 1u);
+    v >>= 1;
+  }
+  return r;
+}
+
+/// Extract bit `i` (0 = LSB) of `v` as 0/1.
+constexpr unsigned bit_of(std::uint64_t v, int i) {
+  assert(i >= 0 && i < 64);
+  return static_cast<unsigned>((v >> i) & 1u);
+}
+
+/// Population count over a word.
+constexpr int popcount(std::uint64_t v) { return std::popcount(v); }
+
+/// The "ruler function": index of the lowest set bit of t, for t = 1, 2, 3...
+/// yields 0,1,0,2,0,1,0,3,... This drives the FSM-MUX bit-selection pattern:
+/// at (1-based) cycle t the paper's FSM selects bit x_(N-1-ruler(t)).
+constexpr int ruler(std::uint64_t t) {
+  assert(t != 0);
+  return std::countr_zero(t);
+}
+
+}  // namespace scnn::common

@@ -1,0 +1,24 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace scnn::common {
+
+double SplitMix64::next_gaussian() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box–Muller on two uniforms; guard against log(0).
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace scnn::common

@@ -1,0 +1,52 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this project that needs randomness (dataset synthesis, weight
+// init, shuffling) goes through SplitMix64 so runs are bit-reproducible across
+// platforms — std::mt19937 distributions are not portable across standard
+// library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace scnn::common {
+
+/// SplitMix64: tiny, fast, full-period 2^64 generator (Steele et al.).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() { return static_cast<float>(next_double()); }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free variant is overkill here; modulo
+    // bias is < 2^-40 for the bounds this project uses.
+    return next() % bound;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Approximately standard-normal sample (Box–Muller, one branch cached).
+  double next_gaussian();
+
+ private:
+  std::uint64_t state_;
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace scnn::common

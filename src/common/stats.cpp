@@ -1,0 +1,5 @@
+#include "common/stats.hpp"
+
+namespace scnn::common {
+// Header-only; see stats.hpp.
+}  // namespace scnn::common

@@ -1,0 +1,59 @@
+// Running (streaming) statistics for the exhaustive error sweeps of Fig. 5.
+//
+// Welford's online algorithm keeps mean and variance numerically stable over
+// the ~2^20 samples per cycle point of the 10-bit exhaustive sweep.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace scnn::common {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    max_abs_ = std::max(max_abs_, std::abs(x));
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) { *this = o; return; }
+    const double delta = o.mean_ - mean_;
+    const auto n = static_cast<double>(n_), m = static_cast<double>(o.n_);
+    m2_ += o.m2_ + delta * delta * n * m / (n + m);
+    mean_ += delta * m / (n + m);
+    n_ += o.n_;
+    max_abs_ = std::max(max_abs_, o.max_abs_);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double max_abs() const { return n_ ? max_abs_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double max_abs_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace scnn::common

@@ -1,0 +1,62 @@
+#include "core/bit_parallel.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace scnn::core {
+
+BitParallelMultiplier::BitParallelMultiplier(int n_bits, int b) : seq_(n_bits), b_(b) {
+  if (b < 1 || !common::is_pow2(static_cast<std::uint64_t>(b)))
+    throw std::invalid_argument("BitParallelMultiplier: b must be a power of two >= 1");
+  if (b > (1 << (n_bits - 1)))
+    throw std::invalid_argument("BitParallelMultiplier: b exceeds the stream half-length");
+}
+
+std::uint32_t BitParallelMultiplier::ones_in_column(std::uint32_t u, std::uint32_t col,
+                                                    std::uint32_t rows) const {
+  assert(rows <= static_cast<std::uint32_t>(b_));
+  // Stream positions covered: (col*b, col*b + rows]. The hardware evaluates
+  // this per bit x_(N-i) as the difference of two round(k/2^i) terms — the
+  // same formula family as Sec. 2.3 ("we need to multiply w to the number of
+  // ones in the column, which we do using the approximation formula").
+  const std::uint64_t lo = static_cast<std::uint64_t>(col) * static_cast<std::uint64_t>(b_);
+  const std::uint64_t hi = lo + rows;
+  std::uint32_t ones = 0;
+  for (int i = 1; i <= seq_.bits(); ++i) {
+    if (common::bit_of(u, seq_.bits() - i)) {
+      ones += static_cast<std::uint32_t>(FsmMuxSequence::prefix_count(i, hi) -
+                                         FsmMuxSequence::prefix_count(i, lo));
+    }
+  }
+  return ones;
+}
+
+BitParallelMultiplier::Result BitParallelMultiplier::multiply(std::int32_t qx,
+                                                              std::int32_t qw) const {
+  const std::int32_t half = 1 << (seq_.bits() - 1);
+  assert(qx >= -half && qx < half && qw >= -half && qw < half);
+  std::uint32_t remaining = static_cast<std::uint32_t>(qw < 0 ? -qw : qw);
+  const auto u = static_cast<std::uint32_t>(qx + half);
+
+  std::int64_t counter = 0;
+  std::uint32_t cycles = 0;
+  std::uint32_t col = 0;
+  while (remaining > 0) {
+    // "If w >= b we only need to know how many ones are included in the
+    //  current column. Otherwise we count the ones in the top w bits."
+    const std::uint32_t rows =
+        remaining >= static_cast<std::uint32_t>(b_) ? static_cast<std::uint32_t>(b_) : remaining;
+    const std::uint32_t ones = ones_in_column(u, col, rows);
+    // Up/down counter processes all `rows` ticks this cycle: +ones, -(rows-ones).
+    counter += 2 * static_cast<std::int64_t>(ones) - static_cast<std::int64_t>(rows);
+    remaining -= rows;  // "decrement w by b"
+    ++col;
+    ++cycles;
+  }
+  if (qw < 0) counter = -counter;  // sign(w) XOR on the stream
+  return {static_cast<std::int32_t>(counter), cycles};
+}
+
+}  // namespace scnn::core

@@ -1,0 +1,45 @@
+// Bit-parallel processing of the proposed SC multiplier (Sec. 2.5, Fig. 2b).
+//
+// The 2^N-cycle bit-serial stream is rearranged into a b-row x (2^N/b)-column
+// matrix and one column is consumed per clock. The "ones counter" computes,
+// per column, either the number of 1s in the whole column (when the remaining
+// enable count w >= b) or in the top r = w mod b bits (last partial column),
+// using the same round(k/2^i) closed form as the serial FSM. The paper's
+// claim — proved here by construction and enforced by tests — is that the
+// bit-parallel result is *exactly* the bit-serial result, in ceil(k/b) cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ld_sequence.hpp"
+
+namespace scnn::core {
+
+class BitParallelMultiplier {
+ public:
+  /// `b` is the degree of bit-parallelism; must be a power of two >= 1 and
+  /// <= 2^(n_bits-1) so a column never spans more than the full stream.
+  BitParallelMultiplier(int n_bits, int b);
+
+  struct Result {
+    std::int32_t product;     ///< up/down counter value, units 2^-(N-1)
+    std::uint32_t cycles;     ///< ceil(|qw| / b)
+  };
+
+  /// Signed multiply, column-at-a-time (matches multiply_signed bit-exactly).
+  [[nodiscard]] Result multiply(std::int32_t qx, std::int32_t qw) const;
+
+  /// Ones count contributed by column `col` (0-based) restricted to its top
+  /// `rows` entries, for the unsigned code u — the hardware ones-counter.
+  [[nodiscard]] std::uint32_t ones_in_column(std::uint32_t u, std::uint32_t col,
+                                             std::uint32_t rows) const;
+
+  [[nodiscard]] int parallelism() const { return b_; }
+  [[nodiscard]] int bits() const { return seq_.bits(); }
+
+ private:
+  FsmMuxSequence seq_;
+  int b_;
+};
+
+}  // namespace scnn::core

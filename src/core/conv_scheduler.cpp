@@ -1,0 +1,159 @@
+#include "core/conv_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/mvm.hpp"
+#include "core/scmac.hpp"
+
+namespace scnn::core {
+
+namespace {
+
+std::uint32_t weight_cycles(std::int32_t qw, int bit_parallel) {
+  const std::uint32_t k = multiply_latency(qw);
+  const auto b = static_cast<std::uint32_t>(bit_parallel);
+  return (k + b - 1) / b;
+}
+
+void check_weights(const ConvDims& dims, std::span<const std::int32_t> w) {
+  const auto expected = static_cast<std::size_t>(dims.M) * dims.Z * dims.K * dims.K;
+  if (w.size() != expected)
+    throw std::invalid_argument("conv weights: expected M*Z*K*K codes");
+}
+
+}  // namespace
+
+ConvSchedule schedule_conv(const ConvDims& dims, const Tiling& tiling,
+                           std::span<const std::int32_t> weight_codes, int n_bits,
+                           int bit_parallel) {
+  (void)n_bits;
+  check_weights(dims, weight_codes);
+  const int R = dims.out_rows(), C = dims.out_cols();
+  const int d = dims.Z * dims.K * dims.K;  // MAC steps per output value
+
+  // Per-map tile latency t_m = sum of per-weight cycles (weights of map m).
+  std::vector<std::uint64_t> t_m(static_cast<std::size_t>(dims.M), 0);
+  std::uint64_t lat_sum = 0;
+  std::uint64_t lat_worst = 0;
+  for (int m = 0; m < dims.M; ++m) {
+    for (int q = 0; q < d; ++q) {
+      const std::uint32_t c = weight_cycles(weight_codes[static_cast<std::size_t>(m) * d + q],
+                                            bit_parallel);
+      t_m[static_cast<std::size_t>(m)] += c;
+      lat_sum += c;
+      lat_worst = std::max<std::uint64_t>(lat_worst, c);
+    }
+  }
+
+  // Tile positions over rows/cols all share the same weights, so each
+  // (m-tile) costs max_m t_m per position; positions = ceil(R/tr)*ceil(C/tc).
+  const std::uint64_t positions = static_cast<std::uint64_t>((R + tiling.tr - 1) / tiling.tr) *
+                                  static_cast<std::uint64_t>((C + tiling.tc - 1) / tiling.tc);
+  std::uint64_t cycles = 0;
+  for (int m0 = 0; m0 < dims.M; m0 += tiling.tm) {
+    std::uint64_t worst = 0;
+    for (int m = m0; m < std::min(dims.M, m0 + tiling.tm); ++m)
+      worst = std::max(worst, t_m[static_cast<std::size_t>(m)]);
+    cycles += worst * positions;
+  }
+
+  ConvSchedule s;
+  s.total_cycles = cycles;
+  s.total_macs = dims.mac_count();
+  s.avg_cycles_per_mac = static_cast<double>(cycles) *
+                         static_cast<double>(tiling.mac_units()) /
+                         static_cast<double>(s.total_macs);
+  s.avg_weight_latency =
+      static_cast<double>(lat_sum) / static_cast<double>(static_cast<std::size_t>(dims.M) * d);
+  s.worst_weight_latency = lat_worst;
+  return s;
+}
+
+std::uint64_t binary_conv_cycles(const ConvDims& dims, const Tiling& tiling) {
+  // Fully pipelined binary MAC: one MAC per unit per cycle; tiles may be
+  // ragged at the edges, so count per tile position like the SC schedule.
+  const int R = dims.out_rows(), C = dims.out_cols();
+  const std::uint64_t positions = static_cast<std::uint64_t>((R + tiling.tr - 1) / tiling.tr) *
+                                  static_cast<std::uint64_t>((C + tiling.tc - 1) / tiling.tc);
+  const std::uint64_t m_tiles = static_cast<std::uint64_t>((dims.M + tiling.tm - 1) / tiling.tm);
+  const std::uint64_t d = static_cast<std::uint64_t>(dims.Z) * dims.K * dims.K;
+  return m_tiles * positions * d;
+}
+
+std::uint64_t conventional_sc_conv_cycles(const ConvDims& dims, const Tiling& tiling,
+                                          int n_bits) {
+  // Every conventional SC multiply takes the full 2^N cycles.
+  return binary_conv_cycles(dims, tiling) * (std::uint64_t{1} << n_bits);
+}
+
+MvmConvResult conv_via_mvm(const ConvDims& dims, const Tiling& tiling,
+                           std::span<const std::int32_t> weight_codes,
+                           std::span<const std::int32_t> input_codes, int n_bits,
+                           int accum_bits, int bit_parallel) {
+  check_weights(dims, weight_codes);
+  if (input_codes.size() != static_cast<std::size_t>(dims.Z) * dims.H * dims.W)
+    throw std::invalid_argument("conv input: expected Z*H*W codes");
+  const int R = dims.out_rows(), C = dims.out_cols();
+  const int d = dims.Z * dims.K * dims.K;
+
+  auto in_at = [&](int z, int y, int x) -> std::int32_t {
+    if (y < 0 || y >= dims.H || x < 0 || x >= dims.W) return 0;  // zero padding
+    return input_codes[(static_cast<std::size_t>(z) * dims.H + y) * dims.W + x];
+  };
+
+  MvmConvResult res;
+  res.out.assign(static_cast<std::size_t>(dims.M) * R * C, 0);
+
+  const auto p = static_cast<std::size_t>(tiling.tr) * static_cast<std::size_t>(tiling.tc);
+  std::vector<std::int32_t> lane_x(p, 0);
+  BiscMvm mvm(n_bits, accum_bits, p, bit_parallel);
+
+  for (int m0 = 0; m0 < dims.M; m0 += tiling.tm) {
+    const int m1 = std::min(dims.M, m0 + tiling.tm);
+    for (int r0 = 0; r0 < R; r0 += tiling.tr) {
+      for (int c0 = 0; c0 < C; c0 += tiling.tc) {
+        std::uint64_t tile_worst = 0;
+        for (int m = m0; m < m1; ++m) {
+          mvm.reset();
+          for (int z = 0; z < dims.Z; ++z) {
+            for (int i = 0; i < dims.K; ++i) {
+              for (int j = 0; j < dims.K; ++j) {
+                const std::int32_t qw =
+                    weight_codes[(static_cast<std::size_t>(m) * dims.Z + z) *
+                                     static_cast<std::size_t>(dims.K) * dims.K +
+                                 static_cast<std::size_t>(i) * dims.K + j];
+                // Gather the T_R x T_C activations this weight multiplies.
+                for (int lr = 0; lr < tiling.tr; ++lr) {
+                  for (int lc = 0; lc < tiling.tc; ++lc) {
+                    const int r = r0 + lr, c = c0 + lc;
+                    const bool live = r < R && c < C;
+                    lane_x[static_cast<std::size_t>(lr) * tiling.tc + lc] =
+                        live ? in_at(z, dims.S * r + i - dims.P, dims.S * c + j - dims.P) : 0;
+                  }
+                }
+                mvm.mac(qw, lane_x);
+              }
+            }
+          }
+          tile_worst = std::max(tile_worst, mvm.total_cycles());
+          for (int lr = 0; lr < tiling.tr; ++lr) {
+            for (int lc = 0; lc < tiling.tc; ++lc) {
+              const int r = r0 + lr, c = c0 + lc;
+              if (r < R && c < C) {
+                res.out[(static_cast<std::size_t>(m) * R + r) * C + c] = static_cast<std::int32_t>(
+                    mvm.value(static_cast<std::size_t>(lr) * tiling.tc + lc));
+              }
+            }
+          }
+        }
+        res.cycles += tile_worst;  // lockstep array: slowest map gates the tile
+      }
+    }
+  }
+  (void)d;
+  return res;
+}
+
+}  // namespace scnn::core

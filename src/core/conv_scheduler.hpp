@@ -1,0 +1,78 @@
+// Mapping of a convolution layer onto BISC-MVMs (Sec. 3.2, Fig. 4).
+//
+// The 6-deep conv loop nest is tiled along output feature maps (T_M), output
+// rows (T_R) and output columns (T_C); the three innermost loops are fully
+// unrolled in hardware as T_M BISC-MVMs of p = T_R * T_C lanes each. Every
+// MVM processes d = K*K*Z shared-weight MAC steps per output tile, so the
+// tile latency is t_m = sum over (z,i,j) of ceil(|2^(N-1) W[m][z][i][j]| / b)
+// and the array (lockstep) latency of a tile position is max over the T_M
+// maps in flight. This module provides both the cycle accounting used by
+// Fig. 7 and a functional executor used to validate the arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scnn::core {
+
+/// Convolution layer geometry. Input is Z x H x W; kernel K x K, stride S,
+/// symmetric zero padding P; output is M x R x C.
+struct ConvDims {
+  int M = 1;  ///< output feature maps
+  int Z = 1;  ///< input feature maps
+  int H = 1;  ///< input height
+  int W = 1;  ///< input width
+  int K = 1;  ///< kernel size
+  int S = 1;  ///< stride
+  int P = 0;  ///< zero padding
+
+  [[nodiscard]] int out_rows() const { return (H + 2 * P - K) / S + 1; }
+  [[nodiscard]] int out_cols() const { return (W + 2 * P - K) / S + 1; }
+  [[nodiscard]] std::uint64_t mac_count() const {
+    return static_cast<std::uint64_t>(M) * out_rows() * out_cols() * Z * K * K;
+  }
+};
+
+/// Accelerator tile sizes (Fig. 4): T_M maps x T_R rows x T_C cols in flight.
+struct Tiling {
+  int tm = 1;
+  int tr = 4;
+  int tc = 4;
+  [[nodiscard]] int mac_units() const { return tm * tr * tc; }
+};
+
+/// Cycle accounting of one conv layer on the SC-CNN accelerator.
+struct ConvSchedule {
+  std::uint64_t total_cycles = 0;       ///< lockstep array cycles for the layer
+  std::uint64_t total_macs = 0;         ///< scalar MAC operations in the layer
+  double avg_cycles_per_mac = 0.0;      ///< total_cycles*mac_units / total_macs
+  double avg_weight_latency = 0.0;      ///< mean ceil(|qw|/b) over weight uses
+  std::uint64_t worst_weight_latency = 0;
+};
+
+/// Predict the layer latency for weight codes (size M*Z*K*K, layout
+/// [m][z][i][j]) at multiplier precision n_bits and bit-parallel degree b.
+ConvSchedule schedule_conv(const ConvDims& dims, const Tiling& tiling,
+                           std::span<const std::int32_t> weight_codes, int n_bits,
+                           int bit_parallel = 1);
+
+/// Reference cycle counts for the same array geometry:
+/// fixed-point binary = 1 MAC/unit/cycle; conventional SC = 2^N cycles/MAC.
+std::uint64_t binary_conv_cycles(const ConvDims& dims, const Tiling& tiling);
+std::uint64_t conventional_sc_conv_cycles(const ConvDims& dims, const Tiling& tiling,
+                                          int n_bits);
+
+/// Functionally execute the convolution through BISC-MVM arithmetic.
+/// `input_codes` has layout [z][y][x] (Z*H*W); result `out` has layout
+/// [m][r][c] in accumulator units of 2^-(N-1), saturated at N+A bits.
+struct MvmConvResult {
+  std::vector<std::int32_t> out;
+  std::uint64_t cycles = 0;
+};
+MvmConvResult conv_via_mvm(const ConvDims& dims, const Tiling& tiling,
+                           std::span<const std::int32_t> weight_codes,
+                           std::span<const std::int32_t> input_codes, int n_bits,
+                           int accum_bits, int bit_parallel = 1);
+
+}  // namespace scnn::core

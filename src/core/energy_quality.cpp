@@ -1,0 +1,51 @@
+#include "core/energy_quality.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/scmac.hpp"
+
+namespace scnn::core {
+
+std::uint32_t truncated_latency(std::int32_t qw, int drop_bits) {
+  assert(drop_bits >= 0 && drop_bits < 31);
+  const std::uint32_t k = multiply_latency(qw);
+  if (drop_bits == 0) return k;
+  // The down counter loads only its high bits (truncation toward zero), so
+  // the gated LSBs cost no cycles; multiplies by small weights (k < 2^t)
+  // are skipped entirely.
+  return (k >> drop_bits) << drop_bits;
+}
+
+std::int32_t multiply_signed_truncated(int n_bits, std::int32_t qx, std::int32_t qw,
+                                       int drop_bits) {
+  const std::uint32_t kp = truncated_latency(qw, drop_bits);
+  if (kp == 0) return 0;
+  // Same datapath as multiply_signed, evaluated at the truncated count.
+  const std::int32_t half = 1 << (n_bits - 1);
+  const auto u = static_cast<std::uint32_t>(qx + half);
+  // kp can reach 2^(N-1) rounded up to a multiple of 2^t; clamp inside the
+  // stream (the sequence is defined for k < 2^N, and kp <= 2^(N-1) + 2^(t-1)).
+  const std::uint64_t k_eval = std::min<std::uint64_t>(kp, (1u << n_bits) - 1);
+  const auto p = static_cast<std::int64_t>(FsmMuxSequence(n_bits).partial_sum(
+      u, k_eval));
+  const std::int64_t ud = 2 * p - static_cast<std::int64_t>(k_eval);
+  return static_cast<std::int32_t>(qw < 0 ? -ud : ud);
+}
+
+sc::ProductLut make_truncated_lut(int n_bits, int drop_bits) {
+  return sc::ProductLut(
+      n_bits, "proposed-eq" + std::to_string(drop_bits),
+      [n_bits, drop_bits](std::int32_t qw, std::int32_t qx) {
+        return multiply_signed_truncated(n_bits, qx, qw, drop_bits);
+      });
+}
+
+double average_truncated_latency(std::span<const std::int32_t> weight_codes, int drop_bits) {
+  if (weight_codes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::int32_t q : weight_codes) sum += truncated_latency(q, drop_bits);
+  return sum / static_cast<double>(weight_codes.size());
+}
+
+}  // namespace scnn::core

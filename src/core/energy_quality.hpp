@@ -1,0 +1,32 @@
+// Dynamic energy-quality trade-off — the "inherent advantage of SC" the
+// paper credits but does not evaluate (Sec. 4.3.2), and a concrete form of
+// the early-decision idea it cites from Kim et al. DAC'16 [8].
+//
+// Mechanism: gate the low `drop_bits` bits of the down counter, so a
+// multiply runs for k' = round-to-multiple-of-2^t(|2^(N-1) w|) cycles
+// instead of k. Latency (and hence energy) shrinks by up to 2^t-1 cycles
+// per multiply while the result degrades gracefully to the product with a
+// t-bit-coarser weight. No datapath change is needed — that is the point:
+// quality is a runtime knob, not a synthesis parameter.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/mult_lut.hpp"
+
+namespace scnn::core {
+
+/// Enable count with the low `drop_bits` bits of |qw| gated (rounded).
+std::uint32_t truncated_latency(std::int32_t qw, int drop_bits);
+
+/// Signed multiply evaluated at the truncated enable count.
+std::int32_t multiply_signed_truncated(int n_bits, std::int32_t qx, std::int32_t qw,
+                                       int drop_bits);
+
+/// Product LUT for CNN-scale simulation of the degraded mode.
+sc::ProductLut make_truncated_lut(int n_bits, int drop_bits);
+
+/// Average latency of the degraded mode over a weight-code span.
+double average_truncated_latency(std::span<const std::int32_t> weight_codes, int drop_bits);
+
+}  // namespace scnn::core

@@ -1,0 +1,12 @@
+#include "core/ld_sequence.hpp"
+
+namespace scnn::core {
+// Header-only; see ld_sequence.hpp. The static asserts below pin down the
+// first cycles of the pattern for N = 4 (Fig. 2a of the paper): the selected
+// bit sequence over t = 1..8 is x3 x2 x3 x1 x3 x2 x3 x0.
+namespace {
+constexpr int sel(std::uint64_t t) { return common::ruler(t) + 1; }
+static_assert(sel(1) == 1 && sel(2) == 2 && sel(3) == 1 && sel(4) == 3);
+static_assert(sel(5) == 1 && sel(6) == 2 && sel(7) == 1 && sel(8) == 4);
+}  // namespace
+}  // namespace scnn::core

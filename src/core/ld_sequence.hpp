@@ -1,0 +1,62 @@
+// The paper's FSM-MUX low-discrepancy bitstream generator (Sec. 2.3, Fig. 2a).
+//
+// For an N-bit operand x = x_(N-1) ... x_0, the FSM selects at (1-based)
+// cycle t the bit x_(N-i) where i - 1 is the number of trailing zeros of t
+// (the "ruler" pattern). Consequence: x_(N-i) first appears at cycle 2^(i-1)
+// and then every 2^i cycles, so its count within the first k cycles is
+// exactly round(k / 2^i) (half-up) — which makes the partial sum
+//
+//     P_k = sum_i round(k / 2^i) * x_(N-i)  ~=  x * k
+//
+// with per-term error <= 1/2, i.e. a *guaranteed* bound of N/2 counter LSBs
+// for every prefix k. This is the property that turns the bitstream itself
+// into the multiplication result (Fig. 1c).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/bits.hpp"
+
+namespace scnn::core {
+
+class FsmMuxSequence {
+ public:
+  explicit FsmMuxSequence(int n_bits) : n_(n_bits) {
+    assert(n_bits >= 2 && n_bits <= 31);
+  }
+
+  [[nodiscard]] int bits() const { return n_; }
+
+  /// Index i in [1, N] of the operand bit x_(N-i) selected at 1-based cycle
+  /// t in [1, 2^N - 1].
+  [[nodiscard]] int select_index(std::uint64_t t) const {
+    assert(t >= 1 && t < (std::uint64_t{1} << n_));
+    return common::ruler(t) + 1;
+  }
+
+  /// Stream bit emitted at cycle t for the N-bit unsigned code x.
+  [[nodiscard]] bool stream_bit(std::uint32_t x, std::uint64_t t) const {
+    return common::bit_of(x, n_ - select_index(t)) != 0;
+  }
+
+  /// Closed form: number of times x_(N-i) is selected within the first k
+  /// cycles = round(k / 2^i), ties up. Theorem of Sec. 2.3.
+  [[nodiscard]] static std::uint64_t prefix_count(int i, std::uint64_t k) {
+    return common::round_div_pow2(k, i);
+  }
+
+  /// Closed-form partial sum P_k = sum of the first k stream bits of code x.
+  /// Equals stepping stream_bit() k times; O(N) instead of O(k).
+  [[nodiscard]] std::uint64_t partial_sum(std::uint32_t x, std::uint64_t k) const {
+    std::uint64_t p = 0;
+    for (int i = 1; i <= n_; ++i)
+      if (common::bit_of(x, n_ - i)) p += prefix_count(i, k);
+    return p;
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace scnn::core

@@ -1,0 +1,82 @@
+#include "core/mvm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace scnn::core {
+
+BiscMvm::BiscMvm(int n_bits, int accum_bits, std::size_t lanes, int bit_parallel)
+    : n_(n_bits),
+      b_(bit_parallel),
+      seq_(n_bits),
+      acc_(lanes, common::SaturatingAccumulator(n_bits + accum_bits)),
+      offset_(lanes, 0) {
+  if (lanes == 0) throw std::invalid_argument("BiscMvm: need at least one lane");
+  if (b_ < 1 || !common::is_pow2(static_cast<std::uint64_t>(b_)) || b_ > (1 << (n_bits - 1)))
+    throw std::invalid_argument("BiscMvm: invalid bit-parallel degree");
+}
+
+std::uint32_t BiscMvm::mac(std::int32_t qw, std::span<const std::int32_t> qx) {
+  assert(qx.size() == acc_.size());
+  const std::int32_t half = 1 << (n_ - 1);
+  const auto k = static_cast<std::uint32_t>(qw < 0 ? -qw : qw);
+  const bool flip = qw < 0;
+  for (std::size_t l = 0; l < qx.size(); ++l) {
+    assert(qx[l] >= -half && qx[l] < half);
+    offset_[l] = static_cast<std::uint32_t>(qx[l] + half);
+  }
+
+  std::uint32_t cycles = 0;
+  if (b_ == 1) {
+    // Bit-serial: one shared select per cycle; p muxes tap their own operand.
+    for (std::uint32_t t = 1; t <= k; ++t) {
+      const int sel = n_ - seq_.select_index(t);  // shared FSM output
+      for (std::size_t l = 0; l < acc_.size(); ++l) {
+        const bool bit = (common::bit_of(offset_[l], sel) != 0) != flip;
+        acc_[l].tick(bit);
+      }
+    }
+    cycles = k;
+  } else {
+    // Bit-parallel columns: the shared column FSM walks ceil(k/b) columns;
+    // each lane applies its ones-counter and updates its counter once per
+    // column (all b ticks land in the same cycle).
+    const BitParallelMultiplier bp(n_, b_);
+    std::uint32_t remaining = k;
+    std::uint32_t col = 0;
+    while (remaining > 0) {
+      const auto rows = remaining >= static_cast<std::uint32_t>(b_)
+                            ? static_cast<std::uint32_t>(b_)
+                            : remaining;
+      for (std::size_t l = 0; l < acc_.size(); ++l) {
+        const std::uint32_t ones = bp.ones_in_column(offset_[l], col, rows);
+        std::int64_t delta = 2 * static_cast<std::int64_t>(ones) - static_cast<std::int64_t>(rows);
+        if (flip) delta = -delta;
+        acc_[l].add(delta);
+      }
+      remaining -= rows;
+      ++col;
+      ++cycles;
+    }
+  }
+  cycles_ += cycles;
+  return cycles;
+}
+
+std::uint64_t BiscMvm::mac_sequence(std::span<const std::int32_t> qw,
+                                    std::span<const std::int32_t> qx) {
+  assert(qx.size() == qw.size() * acc_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < qw.size(); ++i)
+    total += mac(qw[i], qx.subspan(i * acc_.size(), acc_.size()));
+  return total;
+}
+
+void BiscMvm::reset() {
+  for (auto& a : acc_) a.reset();
+  cycles_ = 0;
+}
+
+}  // namespace scnn::core

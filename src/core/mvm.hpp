@@ -1,0 +1,54 @@
+// BISC-MVM: the vectorized SC-MAC of Sec. 3.1, Fig. 3.
+//
+// p parallel SC-MACs share ONE FSM (mux control) and ONE down counter
+// (because the weight w is common to all lanes); each lane keeps only a mux
+// and an (N+A)-bit saturating up/down counter. One call to mac() performs
+// y_l += w * x_l for every lane l in |2^(N-1) w| cycles (bit-serial) or
+// ceil(|2^(N-1) w| / b) cycles (bit-parallel) — and, crucially, sharing
+// introduces NO error: each lane's result equals an isolated ScMac's.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "core/bit_parallel.hpp"
+#include "core/ld_sequence.hpp"
+
+namespace scnn::core {
+
+class BiscMvm {
+ public:
+  /// `bit_parallel` = 1 gives the bit-serial datapath; powers of two up to
+  /// 2^(n_bits-1) give the Sec. 2.5 column datapath (identical results).
+  BiscMvm(int n_bits, int accum_bits, std::size_t lanes, int bit_parallel = 1);
+
+  /// One shared-weight step of the accumulation sum_i w_i * x_i:
+  /// lane l gets qw * qx[l]. qx.size() must equal lanes().
+  /// Returns the cycles consumed (shared by all lanes — they finish together).
+  std::uint32_t mac(std::int32_t qw, std::span<const std::int32_t> qx);
+
+  /// Full matrix-vector product of Fig. 3(b): for each step i, lane l
+  /// accumulates qw[i] * qx[i*lanes + l]. Returns total cycles.
+  std::uint64_t mac_sequence(std::span<const std::int32_t> qw,
+                             std::span<const std::int32_t> qx);
+
+  void reset();
+
+  [[nodiscard]] std::int64_t value(std::size_t lane) const { return acc_[lane].value(); }
+  [[nodiscard]] std::size_t lanes() const { return acc_.size(); }
+  [[nodiscard]] std::uint64_t total_cycles() const { return cycles_; }
+  [[nodiscard]] int bits() const { return n_; }
+  [[nodiscard]] int parallelism() const { return b_; }
+
+ private:
+  int n_;
+  int b_;
+  FsmMuxSequence seq_;
+  std::vector<common::SaturatingAccumulator> acc_;
+  std::vector<std::uint32_t> offset_;  // scratch: offset-binary images per lane
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace scnn::core

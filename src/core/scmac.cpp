@@ -1,0 +1,81 @@
+#include "core/scmac.hpp"
+
+#include <cassert>
+
+namespace scnn::core {
+
+namespace {
+
+/// Offset-binary image of a signed code: flip the sign bit (Sec. 2.4).
+std::uint32_t offset_image(std::int32_t q, int n_bits) {
+  const std::int32_t half = 1 << (n_bits - 1);
+  assert(q >= -half && q < half);
+  return static_cast<std::uint32_t>(q + half);
+}
+
+}  // namespace
+
+std::uint64_t multiply_unsigned(int n_bits, std::uint32_t x, std::uint32_t k) {
+  assert(x < (1u << n_bits) && k < (1u << n_bits));
+  return FsmMuxSequence(n_bits).partial_sum(x, k);
+}
+
+std::int32_t multiply_signed(int n_bits, std::int32_t qx, std::int32_t qw) {
+  const std::uint32_t k = multiply_latency(qw);
+  if (k == 0) return 0;
+  const std::uint32_t u = offset_image(qx, n_bits);
+  const auto p = static_cast<std::int64_t>(FsmMuxSequence(n_bits).partial_sum(u, k));
+  const std::int64_t ud = 2 * p - static_cast<std::int64_t>(k);  // up/down counter
+  return static_cast<std::int32_t>(qw < 0 ? -ud : ud);
+}
+
+BitSerialMultiplier::BitSerialMultiplier(int n_bits, std::int32_t qx, std::int32_t qw)
+    : seq_(n_bits),
+      n_(n_bits),
+      u_(offset_image(qx, n_bits)),
+      w_negative_(qw < 0),
+      k_(multiply_latency(qw)) {}
+
+bool BitSerialMultiplier::step() {
+  if (done()) return false;
+  ++cycle_;
+  // MUX output XOR sign(w), then the up/down counter ticks (Sec. 2.4).
+  const bool bit = seq_.stream_bit(u_, cycle_) != w_negative_;
+  counter_ += bit ? +1 : -1;
+  return !done();
+}
+
+double BitSerialMultiplier::running_estimate() const {
+  if (cycle_ == 0) return 0.0;
+  const double per_cycle = static_cast<double>(counter_) / static_cast<double>(cycle_);
+  const double scale = static_cast<double>(k_) / static_cast<double>(1u << (n_ - 1));
+  return per_cycle * scale;
+}
+
+ScMac::ScMac(int n_bits, int accum_bits)
+    : n_(n_bits), seq_(n_bits), acc_(n_bits + accum_bits) {}
+
+std::uint32_t ScMac::accumulate(std::int32_t qx, std::int32_t qw) {
+  const std::uint32_t k = multiply_latency(qw);
+  const std::uint32_t u = offset_image(qx, n_);
+  const bool flip = qw < 0;
+  for (std::uint32_t t = 1; t <= k; ++t) {
+    const bool bit = seq_.stream_bit(u, t) != flip;
+    acc_.tick(bit);
+  }
+  cycles_ += k;
+  return k;
+}
+
+void ScMac::reset() {
+  acc_.reset();
+  cycles_ = 0;
+}
+
+sc::ProductLut make_proposed_lut(int n_bits) {
+  return sc::ProductLut(n_bits, "proposed", [n_bits](std::int32_t qw, std::int32_t qx) {
+    return multiply_signed(n_bits, qx, qw);
+  });
+}
+
+}  // namespace scnn::core

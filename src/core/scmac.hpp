@@ -1,0 +1,104 @@
+// The paper's SC multiplier / SC-MAC (Sec. 2.2-2.4, Fig. 1c).
+//
+// Unsigned form: the FSM-MUX stream of x feeds a counter that is enabled for
+// k = 2^N * w cycles (a down-counter initialized to k provides the enable).
+// The counter value after k cycles IS the product x*w in units of 2^-N...
+// more precisely P_k ~= x*k with |P_k - x*k| <= N/2.
+//
+// Signed form (Sec. 2.4): operands are N-bit two's complement in [-1, 1).
+// x's sign bit is flipped (offset-binary image u = qx + 2^(N-1)); the stream
+// of u is XOR-ed with sign(w); an up/down counter (+1 on '1', -1 on '0')
+// runs for k = |2^(N-1) w| cycles. Result ~= 2^(N-1) * w * x, i.e. the
+// product in units of 2^-(N-1).
+//
+// Both a cycle-accurate stepper (for hardware-faithful tests, including
+// tick-level accumulator saturation) and O(N)/O(1) closed forms (for
+// CNN-scale simulation) are provided; they agree bit-exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/fixed_point.hpp"
+#include "core/ld_sequence.hpp"
+#include "sc/mult_lut.hpp"
+
+namespace scnn::core {
+
+/// Number of enabled cycles for weight code qw (signed): k = |qw|.
+/// This is the latency of one multiply — the key quantity of Sec. 3.2.
+constexpr std::uint32_t multiply_latency(std::int32_t qw) {
+  return static_cast<std::uint32_t>(qw < 0 ? -qw : qw);
+}
+
+/// Unsigned multiply: x, k in [0, 2^N); returns P_k ~= x*k / 2^N in counter
+/// units (i.e. the plain counter value after k cycles).
+std::uint64_t multiply_unsigned(int n_bits, std::uint32_t x, std::uint32_t k);
+
+/// Signed multiply: two's-complement codes qx, qw in [-2^(N-1), 2^(N-1)-1].
+/// Returns the up/down counter value after |qw| cycles ~= qw*qx / 2^(N-1),
+/// i.e. the product in units of 2^-(N-1).
+std::int32_t multiply_signed(int n_bits, std::int32_t qx, std::int32_t qw);
+
+/// Cycle-accurate simulator of one signed multiply, exposing the counter
+/// trajectory (used to validate the closed form and for Fig. 5 convergence
+/// traces and tick-level saturation behaviour).
+class BitSerialMultiplier {
+ public:
+  BitSerialMultiplier(int n_bits, std::int32_t qx, std::int32_t qw);
+
+  /// Advance one cycle. Returns false once the down-counter hits zero (done).
+  bool step();
+
+  [[nodiscard]] bool done() const { return cycle_ >= k_; }
+  [[nodiscard]] std::uint32_t cycle() const { return cycle_; }
+  [[nodiscard]] std::uint32_t total_cycles() const { return k_; }
+
+  /// Up/down counter value so far (no saturation; full precision).
+  [[nodiscard]] std::int64_t counter() const { return counter_; }
+
+  /// Running estimate of w*x as a real value, defined so that the estimate
+  /// at the final cycle equals the read-out value counter / 2^(N-1):
+  /// est(c) = sign(w) * (counter_c / c) * (k / 2^(N-1)).
+  [[nodiscard]] double running_estimate() const;
+
+ private:
+  FsmMuxSequence seq_;
+  int n_;
+  std::uint32_t u_;        // offset-binary image of qx
+  bool w_negative_;
+  std::uint32_t k_;        // |qw| = number of enabled cycles
+  std::uint32_t cycle_ = 0;
+  std::int64_t counter_ = 0;
+};
+
+/// SC-MAC: accumulates successive signed multiplies into one saturating
+/// up/down counter of width n_bits + accum_bits (the paper's N + A), ticking
+/// the accumulator cycle-by-cycle exactly as the hardware would.
+class ScMac {
+ public:
+  ScMac(int n_bits, int accum_bits);
+
+  /// Accumulate qw * qx; returns the number of cycles this MAC consumed.
+  std::uint32_t accumulate(std::int32_t qx, std::int32_t qw);
+
+  void reset();
+  [[nodiscard]] std::int64_t value() const { return acc_.value(); }
+  [[nodiscard]] std::uint64_t total_cycles() const { return cycles_; }
+  [[nodiscard]] int accumulator_bits() const { return acc_.bits(); }
+
+ private:
+  int n_;
+  FsmMuxSequence seq_;
+  common::SaturatingAccumulator acc_;
+  std::uint64_t cycles_ = 0;
+};
+
+/// Product LUT of the proposed multiplier (closed form), for CNN simulation.
+sc::ProductLut make_proposed_lut(int n_bits);
+
+/// Guaranteed error bound of Sec. 2.3: |counter - x*k| <= N/2 counter LSBs.
+constexpr double theoretical_error_bound_lsb(int n_bits) {
+  return static_cast<double>(n_bits) / 2.0;
+}
+
+}  // namespace scnn::core

@@ -1,0 +1,49 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace scnn::data {
+
+Dataset take(const Dataset& d, int count) {
+  if (count <= 0 || count > d.size()) throw std::invalid_argument("take: bad count");
+  Dataset out;
+  out.classes = d.classes;
+  out.images = nn::Tensor(count, d.images.c(), d.images.h(), d.images.w());
+  out.labels.assign(d.labels.begin(), d.labels.begin() + count);
+  std::copy_n(d.images.data().begin(), static_cast<std::size_t>(count) * d.images.features(),
+              out.images.data().begin());
+  return out;
+}
+
+Dataset shuffled(const Dataset& d, std::uint64_t seed) {
+  std::vector<int> order(static_cast<std::size_t>(d.size()));
+  std::iota(order.begin(), order.end(), 0);
+  common::SplitMix64 rng(seed);
+  for (int i = d.size() - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
+  }
+  Dataset out;
+  out.classes = d.classes;
+  out.images = nn::Tensor(d.size(), d.images.c(), d.images.h(), d.images.w());
+  out.labels.resize(static_cast<std::size_t>(d.size()));
+  for (int i = 0; i < d.size(); ++i) {
+    const int src = order[static_cast<std::size_t>(i)];
+    std::copy_n(d.images.sample(src).begin(), d.images.features(),
+                out.images.sample(i).begin());
+    out.labels[static_cast<std::size_t>(i)] = d.labels[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+std::vector<int> class_histogram(const Dataset& d) {
+  std::vector<int> h(static_cast<std::size_t>(d.classes), 0);
+  for (int l : d.labels) ++h[static_cast<std::size_t>(l)];
+  return h;
+}
+
+}  // namespace scnn::data

@@ -1,0 +1,28 @@
+// Dataset container and utilities for the recognition experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace scnn::data {
+
+struct Dataset {
+  nn::Tensor images;        ///< (N, C, H, W)
+  std::vector<int> labels;  ///< size N, values in [0, classes)
+  int classes = 10;
+
+  [[nodiscard]] int size() const { return images.n(); }
+};
+
+/// First `count` samples (paper evaluates "the first 5,000 test images").
+Dataset take(const Dataset& d, int count);
+
+/// Deterministically shuffle samples.
+Dataset shuffled(const Dataset& d, std::uint64_t seed);
+
+/// Per-class sample counts (for balance checks).
+std::vector<int> class_histogram(const Dataset& d);
+
+}  // namespace scnn::data

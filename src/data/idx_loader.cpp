@@ -1,0 +1,109 @@
+#include "data/idx_loader.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace scnn::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("idx: truncated header");
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+}
+
+std::vector<unsigned char> read_bytes(std::istream& in, std::size_t count) {
+  std::vector<unsigned char> buf(count);
+  in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(count));
+  if (!in) throw std::runtime_error("idx: truncated payload");
+  return buf;
+}
+
+}  // namespace
+
+Dataset load_idx(const std::string& images_path, const std::string& labels_path) {
+  std::ifstream img(images_path, std::ios::binary);
+  std::ifstream lab(labels_path, std::ios::binary);
+  if (!img) throw std::runtime_error("idx: cannot open " + images_path);
+  if (!lab) throw std::runtime_error("idx: cannot open " + labels_path);
+
+  if (read_be32(img) != 0x00000803u) throw std::runtime_error("idx: bad image magic");
+  const auto n = read_be32(img);
+  const auto rows = read_be32(img);
+  const auto cols = read_be32(img);
+  if (read_be32(lab) != 0x00000801u) throw std::runtime_error("idx: bad label magic");
+  if (read_be32(lab) != n) throw std::runtime_error("idx: image/label count mismatch");
+
+  Dataset d;
+  d.classes = 10;
+  d.images = nn::Tensor(static_cast<int>(n), 1, static_cast<int>(rows), static_cast<int>(cols));
+  const auto pixels = read_bytes(img, std::size_t{n} * rows * cols);
+  for (std::size_t i = 0; i < pixels.size(); ++i)
+    d.images[i] = static_cast<float>(pixels[i]) / 255.0f;
+  const auto labels = read_bytes(lab, n);
+  d.labels.assign(labels.begin(), labels.end());
+  return d;
+}
+
+Dataset load_cifar10_binary(const std::vector<std::string>& batch_paths) {
+  constexpr int kRecord = 1 + 3072;
+  std::vector<unsigned char> all;
+  for (const auto& path : batch_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cifar: cannot open " + path);
+    in.seekg(0, std::ios::end);
+    const auto bytes = static_cast<std::size_t>(in.tellg());
+    if (bytes % kRecord != 0) throw std::runtime_error("cifar: bad file size " + path);
+    in.seekg(0);
+    const auto buf = read_bytes(in, bytes);
+    all.insert(all.end(), buf.begin(), buf.end());
+  }
+  const auto n = static_cast<int>(all.size() / kRecord);
+  Dataset d;
+  d.classes = 10;
+  d.images = nn::Tensor(n, 3, 32, 32);
+  d.labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const unsigned char* rec = &all[static_cast<std::size_t>(i) * kRecord];
+    d.labels[static_cast<std::size_t>(i)] = rec[0];
+    for (std::size_t p = 0; p < 3072; ++p)
+      d.images[static_cast<std::size_t>(i) * 3072 + p] =
+          static_cast<float>(rec[1 + p]) / 255.0f;
+  }
+  return d;
+}
+
+std::optional<Dataset> try_load_mnist(const std::string& dir, bool train) {
+  namespace fs = std::filesystem;
+  const std::string img =
+      dir + (train ? "/train-images-idx3-ubyte" : "/t10k-images-idx3-ubyte");
+  const std::string lab =
+      dir + (train ? "/train-labels-idx1-ubyte" : "/t10k-labels-idx1-ubyte");
+  if (!fs::exists(img) || !fs::exists(lab)) return std::nullopt;
+  return load_idx(img, lab);
+}
+
+std::optional<Dataset> try_load_cifar10(const std::string& dir, bool train) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  if (train) {
+    for (int b = 1; b <= 5; ++b) {
+      const std::string p = dir + "/data_batch_" + std::to_string(b) + ".bin";
+      if (!fs::exists(p)) return std::nullopt;
+      paths.push_back(p);
+    }
+  } else {
+    const std::string p = dir + "/test_batch.bin";
+    if (!fs::exists(p)) return std::nullopt;
+    paths.push_back(p);
+  }
+  return load_cifar10_binary(paths);
+}
+
+}  // namespace scnn::data

@@ -1,0 +1,28 @@
+// Loaders for the real datasets the paper used, when present on disk:
+// MNIST in IDX format and CIFAR-10 in its binary batch format. The bench
+// binaries fall back to the synthetic generators when these files are
+// absent (which is the expected offline configuration; see DESIGN.md).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace scnn::data {
+
+/// Load an IDX image/label pair (e.g. train-images-idx3-ubyte +
+/// train-labels-idx1-ubyte). Throws on malformed files.
+Dataset load_idx(const std::string& images_path, const std::string& labels_path);
+
+/// Load one or more CIFAR-10 binary batch files (data_batch_*.bin format:
+/// 1 label byte + 3072 pixel bytes per record). Throws on malformed files.
+Dataset load_cifar10_binary(const std::vector<std::string>& batch_paths);
+
+/// Look for MNIST under `dir` (standard filenames); nullopt if not found.
+std::optional<Dataset> try_load_mnist(const std::string& dir, bool train);
+
+/// Look for CIFAR-10 binary batches under `dir`; nullopt if not found.
+std::optional<Dataset> try_load_cifar10(const std::string& dir, bool train);
+
+}  // namespace scnn::data

@@ -1,0 +1,71 @@
+#include "data/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace scnn::data {
+
+namespace {
+
+unsigned char to_byte(float v) {
+  return static_cast<unsigned char>(std::lround(std::clamp(v, 0.0f, 1.0f) * 255.0f));
+}
+
+void write_raster(const std::string& path, int channels, int h, int w,
+                  const std::vector<unsigned char>& pixels) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_image: cannot open " + path);
+  out << (channels == 1 ? "P5" : "P6") << "\n" << w << " " << h << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+  if (!out) throw std::runtime_error("write_image: write failed for " + path);
+}
+
+}  // namespace
+
+void write_image(const nn::Tensor& images, int index, const std::string& path) {
+  const int c = images.c();
+  if (c != 1 && c != 3)
+    throw std::invalid_argument("write_image: only 1- or 3-channel tensors");
+  if (index < 0 || index >= images.n())
+    throw std::invalid_argument("write_image: index out of range");
+  std::vector<unsigned char> pixels;
+  pixels.reserve(static_cast<std::size_t>(c) * images.h() * images.w());
+  for (int y = 0; y < images.h(); ++y)
+    for (int x = 0; x < images.w(); ++x)
+      for (int ch = 0; ch < c; ++ch) pixels.push_back(to_byte(images.at(index, ch, y, x)));
+  write_raster(path, c, images.h(), images.w(), pixels);
+}
+
+void write_contact_sheet(const nn::Tensor& images, int rows, int cols,
+                         const std::string& path) {
+  const int c = images.c();
+  if (c != 1 && c != 3)
+    throw std::invalid_argument("write_contact_sheet: only 1- or 3-channel tensors");
+  if (rows <= 0 || cols <= 0 || rows * cols > images.n())
+    throw std::invalid_argument("write_contact_sheet: grid exceeds sample count");
+  const int h = images.h(), w = images.w();
+  std::vector<unsigned char> pixels(
+      static_cast<std::size_t>(c) * rows * h * cols * w, 0);
+  for (int r = 0; r < rows; ++r) {
+    for (int col = 0; col < cols; ++col) {
+      const int idx = r * cols + col;
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          for (int ch = 0; ch < c; ++ch) {
+            const std::size_t py = static_cast<std::size_t>(r) * h + y;
+            const std::size_t px = static_cast<std::size_t>(col) * w + x;
+            pixels[(py * (static_cast<std::size_t>(cols) * w) + px) * c + ch] =
+                to_byte(images.at(idx, ch, y, x));
+          }
+        }
+      }
+    }
+  }
+  write_raster(path, c, rows * h, cols * w, pixels);
+}
+
+}  // namespace scnn::data

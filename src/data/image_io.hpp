@@ -1,0 +1,21 @@
+// Plain PGM/PPM export of dataset samples — lets users eyeball the synthetic
+// datasets (and real ones) without any image library.
+#pragma once
+
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace scnn::data {
+
+/// Write sample `index` of `images` to `path`. 1-channel tensors produce a
+/// binary PGM (P5), 3-channel tensors a binary PPM (P6). Values are assumed
+/// in [0, 1] and are clamped. Throws on I/O failure or unsupported channel
+/// counts.
+void write_image(const nn::Tensor& images, int index, const std::string& path);
+
+/// Write a rows x cols contact sheet of the first rows*cols samples.
+void write_contact_sheet(const nn::Tensor& images, int rows, int cols,
+                         const std::string& path);
+
+}  // namespace scnn::data

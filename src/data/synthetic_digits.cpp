@@ -1,0 +1,103 @@
+#include "data/synthetic_digits.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace scnn::data {
+
+namespace {
+
+struct Segment {
+  float x0, y0, x1, y1;
+};
+
+/// Seven-segment glyph geometry in the unit square (y grows downward),
+/// segments A..G in the classic order.
+constexpr std::array<Segment, 7> kSegments = {{
+    {0.22f, 0.15f, 0.78f, 0.15f},  // A: top
+    {0.78f, 0.15f, 0.78f, 0.50f},  // B: top-right
+    {0.78f, 0.50f, 0.78f, 0.85f},  // C: bottom-right
+    {0.22f, 0.85f, 0.78f, 0.85f},  // D: bottom
+    {0.22f, 0.50f, 0.22f, 0.85f},  // E: bottom-left
+    {0.22f, 0.15f, 0.22f, 0.50f},  // F: top-left
+    {0.22f, 0.50f, 0.78f, 0.50f},  // G: middle
+}};
+
+/// Segment masks per digit (bit i = segment i active), standard 7-seg font.
+constexpr std::array<unsigned, 10> kDigitMask = {
+    0b0111111,  // 0: ABCDEF
+    0b0000110,  // 1: BC
+    0b1011011,  // 2: ABDEG
+    0b1001111,  // 3: ABCDG
+    0b1100110,  // 4: BCFG
+    0b1101101,  // 5: ACDFG
+    0b1111101,  // 6: ACDEFG
+    0b0000111,  // 7: ABC
+    0b1111111,  // 8: all
+    0b1101111,  // 9: ABCDFG
+};
+
+float dist_to_segment(float px, float py, const Segment& s) {
+  const float dx = s.x1 - s.x0, dy = s.y1 - s.y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0 ? ((px - s.x0) * dx + (py - s.y0) * dy) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = s.x0 + t * dx, cy = s.y0 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+Dataset make_synthetic_digits(const DigitsConfig& cfg) {
+  common::SplitMix64 rng(cfg.seed);
+  const int hw = cfg.image_size;
+  Dataset d;
+  d.classes = 10;
+  d.images = nn::Tensor(cfg.count, 1, hw, hw);
+  d.labels.resize(static_cast<std::size_t>(cfg.count));
+
+  for (int n = 0; n < cfg.count; ++n) {
+    const int digit = static_cast<int>(rng.next_below(10));
+    d.labels[static_cast<std::size_t>(n)] = digit;
+
+    // Per-sample perturbation parameters.
+    const float theta = static_cast<float>(rng.next_in(-1.0, 1.0)) * cfg.max_rotation_deg *
+                        std::numbers::pi_v<float> / 180.0f;
+    const float scale = static_cast<float>(rng.next_in(0.85, 1.15));
+    const float shear = static_cast<float>(rng.next_in(-0.12, 0.12));
+    const float tx = static_cast<float>(rng.next_in(-1.0, 1.0)) * cfg.max_translation_px / hw;
+    const float ty = static_cast<float>(rng.next_in(-1.0, 1.0)) * cfg.max_translation_px / hw;
+    const float half_width = static_cast<float>(rng.next_in(0.035, 0.055));
+    const float ct = std::cos(theta), st = std::sin(theta);
+
+    const unsigned mask = kDigitMask[static_cast<std::size_t>(digit)];
+    for (int y = 0; y < hw; ++y) {
+      for (int x = 0; x < hw; ++x) {
+        // Map pixel center into glyph space: inverse affine about (0.5,0.5).
+        float u = (static_cast<float>(x) + 0.5f) / hw - 0.5f - tx;
+        float v = (static_cast<float>(y) + 0.5f) / hw - 0.5f - ty;
+        const float ru = (ct * u + st * v) / scale;
+        const float rv = (-st * u + ct * v) / scale;
+        const float gu = ru - shear * rv + 0.5f;
+        const float gv = rv + 0.5f;
+
+        float dist = 1e9f;
+        for (std::size_t s = 0; s < kSegments.size(); ++s)
+          if (mask & (1u << s)) dist = std::min(dist, dist_to_segment(gu, gv, kSegments[s]));
+
+        constexpr float kAa = 0.02f;  // anti-alias falloff in glyph units
+        float ink = std::clamp((half_width + kAa - dist) / kAa, 0.0f, 1.0f);
+        ink += static_cast<float>(rng.next_gaussian()) * cfg.noise_stddev;
+        d.images.at(n, 0, y, x) = std::clamp(ink, 0.0f, 1.0f);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace scnn::data

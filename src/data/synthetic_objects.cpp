@@ -1,0 +1,112 @@
+#include "data/synthetic_objects.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace scnn::data {
+
+namespace {
+
+struct Rgb {
+  float r, g, b;
+};
+
+Rgb hsv_to_rgb(float h, float s, float v) {
+  h = h - std::floor(h);
+  const float c = v * s;
+  const float hp = h * 6.0f;
+  const float x = c * (1.0f - std::abs(std::fmod(hp, 2.0f) - 1.0f));
+  float r = 0, g = 0, b = 0;
+  if (hp < 1) { r = c; g = x; }
+  else if (hp < 2) { r = x; g = c; }
+  else if (hp < 3) { g = c; b = x; }
+  else if (hp < 4) { g = x; b = c; }
+  else if (hp < 5) { r = x; b = c; }
+  else { r = c; b = x; }
+  const float m = v - c;
+  return {r + m, g + m, b + m};
+}
+
+/// Shape membership in object-local coordinates (u, v in [-1, 1]).
+/// Classes: 0 disc, 1 square, 2 triangle, 3 ring, 4 cross, 5 horizontal
+/// stripes, 6 vertical stripes, 7 checker, 8 diagonal bar, 9 two blobs.
+float shape_mass(int cls, float u, float v) {
+  const float r = std::hypot(u, v);
+  switch (cls) {
+    case 0: return r < 0.75f ? 1.0f : 0.0f;
+    case 1: return (std::abs(u) < 0.65f && std::abs(v) < 0.65f) ? 1.0f : 0.0f;
+    case 2: return (v > -0.6f && std::abs(u) < 0.62f * (1.0f - (v + 0.6f) / 1.4f)) ? 1.0f : 0.0f;
+    case 3: return (r < 0.8f && r > 0.45f) ? 1.0f : 0.0f;
+    case 4: return (std::abs(u) < 0.22f || std::abs(v) < 0.22f) ? 1.0f : 0.0f;
+    case 5: return (std::sin(v * 9.0f) > 0.0f && r < 0.9f) ? 1.0f : 0.0f;
+    case 6: return (std::sin(u * 9.0f) > 0.0f && r < 0.9f) ? 1.0f : 0.0f;
+    case 7: return ((std::sin(u * 7.0f) > 0) == (std::sin(v * 7.0f) > 0) && r < 0.9f) ? 1.0f : 0.0f;
+    case 8: return std::abs(u - v) < 0.3f ? 1.0f : 0.0f;
+    default: {
+      const float d1 = std::hypot(u - 0.35f, v - 0.25f);
+      const float d2 = std::hypot(u + 0.35f, v + 0.25f);
+      return (d1 < 0.42f || d2 < 0.42f) ? 1.0f : 0.0f;
+    }
+  }
+}
+
+/// Base hue per class (spread over the wheel so color is a usable cue, but
+/// with enough jitter that shape still matters).
+constexpr std::array<float, 10> kBaseHue = {0.00f, 0.10f, 0.20f, 0.30f, 0.40f,
+                                            0.50f, 0.60f, 0.70f, 0.80f, 0.90f};
+
+}  // namespace
+
+Dataset make_synthetic_objects(const ObjectsConfig& cfg) {
+  common::SplitMix64 rng(cfg.seed);
+  const int hw = cfg.image_size;
+  Dataset d;
+  d.classes = 10;
+  d.images = nn::Tensor(cfg.count, 3, hw, hw);
+  d.labels.resize(static_cast<std::size_t>(cfg.count));
+
+  for (int n = 0; n < cfg.count; ++n) {
+    const int cls = static_cast<int>(rng.next_below(10));
+    d.labels[static_cast<std::size_t>(n)] = cls;
+
+    const float cx = static_cast<float>(rng.next_in(0.38, 0.62));
+    const float cy = static_cast<float>(rng.next_in(0.38, 0.62));
+    const float radius = static_cast<float>(rng.next_in(0.26, 0.40));
+    const float theta = static_cast<float>(rng.next_in(-0.35, 0.35));
+    const float hue = kBaseHue[static_cast<std::size_t>(cls)] +
+                      static_cast<float>(rng.next_in(-0.05, 0.05));
+    const float sat = static_cast<float>(rng.next_in(0.55, 0.95));
+    const float val = static_cast<float>(rng.next_in(0.65, 1.0));
+    const Rgb fg = hsv_to_rgb(hue, sat, val);
+    const Rgb bg = hsv_to_rgb(static_cast<float>(rng.next_double()),
+                              static_cast<float>(rng.next_in(0.0, 0.25)),
+                              static_cast<float>(rng.next_in(0.15, 0.5)));
+    const float ct = std::cos(theta), st = std::sin(theta);
+
+    for (int y = 0; y < hw; ++y) {
+      for (int x = 0; x < hw; ++x) {
+        const float px = (static_cast<float>(x) + 0.5f) / hw - cx;
+        const float py = (static_cast<float>(y) + 0.5f) / hw - cy;
+        const float u = (ct * px + st * py) / radius;
+        const float v = (-st * px + ct * py) / radius;
+        const float mass = shape_mass(cls, u, v);
+        const Rgb base{bg.r + (fg.r - bg.r) * mass, bg.g + (fg.g - bg.g) * mass,
+                       bg.b + (fg.b - bg.b) * mass};
+        const auto noisy = [&](float c) {
+          return std::clamp(c + static_cast<float>(rng.next_gaussian()) * cfg.noise_stddev,
+                            0.0f, 1.0f);
+        };
+        d.images.at(n, 0, y, x) = noisy(base.r);
+        d.images.at(n, 1, y, x) = noisy(base.g);
+        d.images.at(n, 2, y, x) = noisy(base.b);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace scnn::data

@@ -1,0 +1,86 @@
+#include "hw/array_model.hpp"
+
+#include <cmath>
+
+namespace scnn::hw {
+
+ArrayCost array_cost(MacKind kind, int n, int p, int a_bits, int b) {
+  const MacBreakdown mac = mac_breakdown(kind, n, a_bits, b);
+  const SharingRule rule = sharing_rule(kind, n);
+
+  Cost shared = rule.array_level_extra;
+  Cost replicated;
+  auto place = [&](const Cost& c, bool is_shared) {
+    if (is_shared)
+      shared += c;
+    else
+      replicated += c;
+  };
+  place(mac.sng_register, rule.share_sng_register);
+  place(mac.sng_combinational, rule.share_sng_combinational);
+  place(mac.multiplier, rule.share_multiplier);
+  place(mac.stream_counter, false);
+  place(mac.accumulator, false);
+
+  ArrayCost a;
+  a.design = mac.design;
+  a.precision = n;
+  a.size = p;
+  a.per_mac = replicated;
+  a.shared = shared;
+  a.total = replicated * static_cast<double>(p) + shared;
+  return a;
+}
+
+ArrayMetrics array_metrics(MacKind kind, int n, int p, double avg_enable_cycles, int a_bits,
+                           int b, double f_ghz) {
+  const ArrayCost cost = array_cost(kind, n, p, a_bits, b);
+  const double cycles = mac_latency_cycles(kind, n, b, avg_enable_cycles);
+
+  ArrayMetrics m;
+  m.design = cost.design;
+  m.precision = n;
+  m.array_size = p;
+  m.frequency_ghz = f_ghz;
+  m.area_mm2 = cost.total.area_um2 * 1e-6;
+  m.power_mw = cost.total.power_mw * f_ghz;  // dynamic power scales with f
+  m.cycles_per_mac = cycles;
+  // GOPS: 2 operations per MAC; the array completes p MACs every `cycles`.
+  m.gops = 2.0 * static_cast<double>(p) * f_ghz / cycles;
+  m.gops_per_mm2 = m.gops / m.area_mm2;
+  m.gops_per_watt = m.gops / (m.power_mw * 1e-3);
+  m.energy_per_gop_mj = m.power_mw * 1e-3 / m.gops;  // W / GOPS = mJ per Gop
+  m.adp = m.area_mm2 * cycles;
+  return m;
+}
+
+double energy_ratio_vs_lfsr_power(int n, int p, double avg_enable_cycles,
+                                  double lfsr_power_factor, int a_bits, int b) {
+  // Conventional-SC array power with the LFSR contribution rescaled from the
+  // default factor to `lfsr_power_factor` (plain-logic power is area-linear,
+  // so only the LFSR register term changes).
+  const ArrayCost conv = array_cost(MacKind::kConvScLfsr, n, p, a_bits);
+  const Cost one_lfsr = lfsr_register(n);
+  // LFSR instances: one per MAC (x side) plus the shared weight SNG.
+  const double lfsr_count = static_cast<double>(p) + 1.0;
+  const double base_lfsr_power = one_lfsr.power_mw * lfsr_count;
+  const double rescaled_power = conv.total.power_mw -
+                                base_lfsr_power +
+                                base_lfsr_power * lfsr_power_factor /
+                                    tech().lfsr_power_factor;
+  const double conv_energy = rescaled_power * mac_latency_cycles(MacKind::kConvScLfsr, n, 1, 0);
+
+  const auto ours = array_metrics(MacKind::kProposedParallel, n, p, avg_enable_cycles,
+                                  a_bits, b);
+  const double ours_energy = ours.power_mw * ours.cycles_per_mac;
+  return conv_energy / ours_energy;
+}
+
+double average_enable_cycles(std::span<const std::int32_t> weight_codes) {
+  if (weight_codes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::int32_t q : weight_codes) sum += std::abs(static_cast<double>(q));
+  return sum / static_cast<double>(weight_codes.size());
+}
+
+}  // namespace scnn::hw

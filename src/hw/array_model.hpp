@@ -1,0 +1,65 @@
+// MAC-array-level cost and efficiency model: Fig. 7 and Table 3 quantities.
+//
+// An array of p MACs applies the design's sharing rule (Sec. 3.1/4.3),
+// then latency, energy, GOPS, and area-delay product follow from the average
+// cycles per MAC operation — which for the proposed designs is the
+// data-dependent average enable count E[|2^(N-1) w|] over the layer's
+// weights (Sec. 3.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "hw/mac_designs.hpp"
+
+namespace scnn::hw {
+
+/// Cost of a p-MAC array of one design after sharing.
+struct ArrayCost {
+  std::string design;
+  int precision = 0;
+  int size = 0;          ///< p, number of MACs
+  Cost total;            ///< area um^2 / power mW of the whole array
+  Cost per_mac;          ///< replicated (non-shared) portion of one MAC
+  Cost shared;           ///< instantiated once for the array
+};
+
+ArrayCost array_cost(MacKind kind, int precision, int array_size, int accum_extra_bits = 2,
+                     int bit_parallel = 1);
+
+/// End-to-end efficiency numbers for one design running a workload whose
+/// average proposed-SC enable count is `avg_enable_cycles`.
+struct ArrayMetrics {
+  std::string design;
+  int precision = 0;
+  int array_size = 0;
+  double frequency_ghz = 1.0;
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  double cycles_per_mac = 0.0;   ///< average, per MAC operation
+  double gops = 0.0;             ///< 2 ops per MAC (paper's convention)
+  double gops_per_mm2 = 0.0;
+  double gops_per_watt = 0.0;
+  double energy_per_gop_mj = 0.0;
+  double adp = 0.0;              ///< area-delay product: area_mm2 * cycles_per_mac
+};
+
+ArrayMetrics array_metrics(MacKind kind, int precision, int array_size,
+                           double avg_enable_cycles, int accum_extra_bits = 2,
+                           int bit_parallel = 1, double frequency_ghz = 1.0);
+
+/// Average |2^(N-1) w| over quantized weight codes — the workload statistic
+/// that determines the proposed design's latency.
+double average_enable_cycles(std::span<const std::int32_t> weight_codes);
+
+/// Sensitivity hook for the one soft constant in the power model: how much
+/// extra toggle power LFSR registers burn (tech().lfsr_power_factor = 3 by
+/// default, from the Sec. 4.3.2 observation). Returns the headline
+/// conventional-SC-vs-proposed-8b energy ratio recomputed under a different
+/// factor, so the ablation bench can show the conclusion is robust to it.
+double energy_ratio_vs_lfsr_power(int precision, int array_size, double avg_enable_cycles,
+                                  double lfsr_power_factor, int accum_extra_bits = 2,
+                                  int bit_parallel = 8);
+
+}  // namespace scnn::hw

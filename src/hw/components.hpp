@@ -1,0 +1,64 @@
+// Gate-level area/power cost model (stand-in for the paper's Synopsys DC +
+// TSMC 45 nm synthesis; see DESIGN.md "Substitutions").
+//
+// Each primitive returns a Cost{area um^2, dynamic power mW at 1 GHz}.
+// Unit constants are calibrated against the paper's Table 2 (two calibration
+// precisions, MP = 5 and MP = 9) so that the *structural* comparisons —
+// which design instantiates which gates, and what is shared at array level —
+// drive every downstream number. Two modeling choices follow Sec. 4.3.2:
+// power tracks area with one density constant, EXCEPT that LFSR registers
+// carry an extra toggle factor ("LFSRs have unusually high power dissipation
+// per area").
+#pragma once
+
+namespace scnn::hw {
+
+struct Cost {
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+
+  Cost operator+(const Cost& o) const { return {area_um2 + o.area_um2, power_mw + o.power_mw}; }
+  Cost& operator+=(const Cost& o) {
+    area_um2 += o.area_um2;
+    power_mw += o.power_mw;
+    return *this;
+  }
+  Cost operator*(double s) const { return {area_um2 * s, power_mw * s}; }
+};
+
+/// Technology constants (45 nm, 1 GHz), exposed for sensitivity ablations.
+struct Tech {
+  double power_density_mw_per_um2 = 4.5e-4;  ///< dynamic power per active um^2
+  double lfsr_power_factor = 3.0;            ///< extra toggle power of LFSRs
+};
+
+const Tech& tech();
+
+// --- SNG register/FSM parts (Table 2 column "SNG Reg/FSM") ----------------
+Cost lfsr_register(int n_bits);       ///< conventional SNG's LFSR
+Cost halton_register(int n_bits);     ///< Halton digit counters (ref [2])
+Cost ed_register(int n_bits);         ///< ED encoder state, 32 bits/cycle (ref [9])
+Cost fsm_mux_register(int n_bits);    ///< proposed bit-serial FSM (ruler pattern)
+Cost column_fsm_register(int n_bits, int b);  ///< proposed bit-parallel column FSM
+
+// --- SNG combinational parts (Table 2 column "SNG Combi.") -----------------
+Cost lfsr_comparator(int n_bits);     ///< N-bit magnitude comparator
+Cost halton_comparator(int n_bits);
+Cost ed_combinational(int n_bits);
+Cost fsm_mux_combinational(int n_bits);  ///< the N:1 operand mux
+
+// --- Multiplier / product-path parts (Table 2 column "Mult./XNOR") ---------
+Cost binary_multiplier(int n_bits);   ///< array multiplier, ~quadratic in N
+Cost xnor_gate();                     ///< the conventional SC product gate
+Cost xnor_gate_bank(int count);       ///< parallel XNORs (ED emits 32 bits/cycle)
+Cost down_counter(int n_bits);        ///< proposed: weight-enable down counter
+
+// --- Stream counters (Table 2 column "Par. CNT / 1s CNT") ------------------
+Cost parallel_counter(int inputs);    ///< adder-tree popcount (ED)
+Cost ones_counter(int n_bits, int b); ///< proposed bit-parallel ones counter (incl. mux)
+
+// --- Accumulators (Table 2 column "Accum./UD CNT") --------------------------
+Cost binary_accumulator(int bits);    ///< saturating adder + register (fixed-point)
+Cost up_down_counter(int bits);       ///< saturating up/down counter (SC designs)
+
+}  // namespace scnn::hw

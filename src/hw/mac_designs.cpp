@@ -1,0 +1,135 @@
+#include "hw/mac_designs.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace scnn::hw {
+
+MacBreakdown mac_breakdown(MacKind kind, int n, int a_bits, int b) {
+  MacBreakdown m;
+  m.design = mac_kind_name(kind, b);
+  m.precision = n;
+  const int acc_bits = n + a_bits;
+  switch (kind) {
+    case MacKind::kFixedPoint:
+      m.multiplier = binary_multiplier(n);
+      m.accumulator = binary_accumulator(acc_bits);
+      break;
+    case MacKind::kConvScLfsr:
+      m.sng_register = lfsr_register(n);
+      m.sng_combinational = lfsr_comparator(n);
+      m.multiplier = xnor_gate();
+      m.accumulator = up_down_counter(acc_bits);
+      break;
+    case MacKind::kConvScHalton:
+      m.sng_register = halton_register(n);
+      m.sng_combinational = halton_comparator(n);
+      m.multiplier = xnor_gate();
+      m.accumulator = up_down_counter(acc_bits);
+      break;
+    case MacKind::kConvScEd:
+      // ED emits 32 stream bits per cycle: 32 XNORs, a 32-input parallel
+      // counter, and a wider (parallel-add) accumulator.
+      m.bit_parallel = 32;
+      m.sng_register = ed_register(n);
+      m.sng_combinational = ed_combinational(n);
+      m.multiplier = xnor_gate_bank(32);
+      m.stream_counter = parallel_counter(32);
+      m.accumulator = binary_accumulator(acc_bits) * 1.1;  // adds log2(32)-bit values
+      break;
+    case MacKind::kProposedSerial:
+      m.sng_register = fsm_mux_register(n);
+      m.sng_combinational = fsm_mux_combinational(n);
+      m.multiplier = down_counter(n);  // replaces SNG+AND (Fig. 1c)
+      m.accumulator = up_down_counter(acc_bits);
+      break;
+    case MacKind::kProposedParallel:
+      if (b < 2) throw std::invalid_argument("proposed parallel MAC needs b >= 2");
+      m.bit_parallel = b;
+      m.sng_register = column_fsm_register(n, b);
+      // The per-lane mux is folded into the ones counter (Table 2 note b).
+      m.multiplier = down_counter(n);
+      m.stream_counter = ones_counter(n, b);
+      m.accumulator = up_down_counter(acc_bits) * 1.08;  // adds +-b per cycle
+      break;
+  }
+  return m;
+}
+
+SharingRule sharing_rule(MacKind kind, int n) {
+  SharingRule r;
+  switch (kind) {
+    case MacKind::kFixedPoint:
+      break;  // nothing shareable
+    case MacKind::kConvScLfsr:
+      // Weight SNG shared across the array (Sec. 4.3); x SNG stays per-MAC.
+      r.array_level_extra = lfsr_register(n) + lfsr_comparator(n);
+      break;
+    case MacKind::kConvScHalton:
+      r.array_level_extra = halton_register(n) + halton_comparator(n);
+      break;
+    case MacKind::kConvScEd:
+      r.array_level_extra = ed_register(n) + ed_combinational(n);
+      break;
+    case MacKind::kProposedSerial:
+    case MacKind::kProposedParallel:
+      // "A FSM and a down counter are shared across all SC-MACs" (Sec. 4.3),
+      // with no accuracy penalty (Sec. 3.1).
+      r.share_sng_register = true;
+      r.share_multiplier = true;
+      break;
+  }
+  return r;
+}
+
+double mac_latency_cycles(MacKind kind, int n, int b, double avg_enable_cycles) {
+  switch (kind) {
+    case MacKind::kFixedPoint:
+      return 1.0;  // fully pipelined binary MAC
+    case MacKind::kConvScLfsr:
+    case MacKind::kConvScHalton:
+      return std::ldexp(1.0, n);  // full 2^N-cycle stream
+    case MacKind::kConvScEd:
+      return std::ldexp(1.0, n) / 32.0;  // 32 bits per cycle
+    case MacKind::kProposedSerial:
+      return avg_enable_cycles;
+    case MacKind::kProposedParallel:
+      assert(b >= 2);
+      // Within an accumulation the enable streams of consecutive weights
+      // concatenate in the same up/down counter, so the column datapath
+      // amortizes boundary waste: total cycles ~ ceil(sum k / b), i.e.
+      // E[k]/b per MAC (this reproduces the paper's 351.55 GOPS at
+      // avg k = 11.6, b = 8).
+      return avg_enable_cycles / b;
+  }
+  return 0.0;
+}
+
+std::string mac_kind_name(MacKind kind, int b) {
+  switch (kind) {
+    case MacKind::kFixedPoint: return "Fixed-point";
+    case MacKind::kConvScLfsr: return "Conv. SC (LFSR)";
+    case MacKind::kConvScHalton: return "Conv. SC (Halton)";
+    case MacKind::kConvScEd: return "Conv. SC (ED)";
+    case MacKind::kProposedSerial: return "Proposed bit-serial";
+    case MacKind::kProposedParallel: return "Proposed " + std::to_string(b) + "b-par.";
+  }
+  return "?";
+}
+
+std::vector<MacBreakdown> table2_rows(int n, int a_bits) {
+  std::vector<MacBreakdown> rows;
+  rows.push_back(mac_breakdown(MacKind::kFixedPoint, n, a_bits));
+  rows.push_back(mac_breakdown(MacKind::kConvScLfsr, n, a_bits));
+  rows.push_back(mac_breakdown(MacKind::kConvScHalton, n, a_bits));
+  if (n >= 9) rows.push_back(mac_breakdown(MacKind::kConvScEd, n, a_bits));
+  rows.push_back(mac_breakdown(MacKind::kProposedSerial, n, a_bits));
+  if (n >= 9) {
+    for (int b : {8, 16, 32})
+      rows.push_back(mac_breakdown(MacKind::kProposedParallel, n, a_bits, b));
+  }
+  return rows;
+}
+
+}  // namespace scnn::hw

@@ -1,0 +1,73 @@
+// MAC design compositions — the rows of the paper's Table 2.
+//
+// A MacDesign describes one multiply-accumulate unit as a bag of components,
+// broken down into the same five columns Table 2 reports, plus the sharing
+// rules that apply when the design is instantiated as a p-wide array
+// (Sec. 3.1 / 4.3: conventional SC shares the weight SNG; the proposed
+// design shares the FSM and the down counter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/components.hpp"
+
+namespace scnn::hw {
+
+enum class MacKind {
+  kFixedPoint,        ///< binary multiplier + saturating accumulator
+  kConvScLfsr,        ///< conventional SC, LFSR-based SNG
+  kConvScHalton,      ///< conventional SC, Halton SNG (ref [2])
+  kConvScEd,          ///< conventional SC, even-distribution SNG (ref [9])
+  kProposedSerial,    ///< the paper's bit-serial SC-MAC
+  kProposedParallel,  ///< the paper's bit-parallel SC-MAC (degree b)
+};
+
+/// Per-MAC cost, split into Table 2's columns.
+struct MacBreakdown {
+  std::string design;
+  int precision = 0;       ///< multiplier precision N (incl. sign bit)
+  int bit_parallel = 1;    ///< degree b (proposed parallel / ED = 32)
+  Cost sng_register;       ///< "SNG Reg/FSM"
+  Cost sng_combinational;  ///< "SNG Combi."
+  Cost multiplier;         ///< "Mult./XNOR" (down counter for proposed)
+  Cost stream_counter;     ///< "Par. CNT / 1s CNT"
+  Cost accumulator;        ///< "Accum./UD CNT"
+
+  [[nodiscard]] Cost total() const {
+    return sng_register + sng_combinational + multiplier + stream_counter + accumulator;
+  }
+};
+
+/// Build one MAC's breakdown. `accum_extra_bits` is the paper's A (default 2).
+/// `bit_parallel` applies to kProposedParallel only (8/16/32 in the paper).
+MacBreakdown mac_breakdown(MacKind kind, int precision, int accum_extra_bits = 2,
+                           int bit_parallel = 1);
+
+/// Which of the breakdown's components are shared across a p-MAC array
+/// (i.e. instantiated once instead of p times).
+struct SharingRule {
+  bool share_sng_register = false;
+  bool share_sng_combinational = false;
+  bool share_multiplier = false;  ///< proposed: the down counter is shared
+  /// Conventional SC additionally instantiates ONE weight-side SNG for the
+  /// whole array (the x-side SNG is per-MAC and already in the breakdown).
+  Cost array_level_extra;
+};
+
+SharingRule sharing_rule(MacKind kind, int precision);
+
+/// Cycles one MAC operation takes on this design. `avg_enable_cycles` is the
+/// average |2^(N-1) w| over the weight distribution (proposed designs only —
+/// their latency is data-dependent, Sec. 3.2).
+double mac_latency_cycles(MacKind kind, int precision, int bit_parallel,
+                          double avg_enable_cycles);
+
+/// Human-readable row label, e.g. "Proposed 8b-par.".
+std::string mac_kind_name(MacKind kind, int bit_parallel = 1);
+
+/// All Table 2 rows for one precision (ED only exists at its 32-bit rate;
+/// parallel variants at b = 8, 16, 32).
+std::vector<MacBreakdown> table2_rows(int precision, int accum_extra_bits = 2);
+
+}  // namespace scnn::hw

@@ -1,0 +1,32 @@
+#include "nn/activation.hpp"
+
+namespace scnn::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor y = input;
+  for (auto& v : y.data())
+    if (v < 0.0f) v = 0.0f;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (cached_input_[i] <= 0.0f) g[i] = 0.0f;
+  return g;
+}
+
+Tensor Scale::forward(const Tensor& input) {
+  Tensor y = input;
+  for (auto& v : y.data()) v *= factor_;
+  return y;
+}
+
+Tensor Scale::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto& v : g.data()) v *= factor_;
+  return g;
+}
+
+}  // namespace scnn::nn

@@ -1,0 +1,187 @@
+#include "nn/conv2d.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+
+namespace scnn::nn {
+
+namespace {
+
+/// Smallest power of two >= v (at least 1.0); quantization scales are kept
+/// power-of-two so they are plain shifts in hardware.
+float pow2_ceil(float v) {
+  if (v <= 1.0f) return 1.0f;
+  return std::exp2(std::ceil(std::log2(v)));
+}
+
+}  // namespace
+
+Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad)
+    : in_ch_(in_channels), out_ch_(out_channels), k_(kernel), s_(stride), p_(pad) {
+  if (in_channels <= 0 || out_channels <= 0 || kernel <= 0 || stride <= 0 || pad < 0)
+    throw std::invalid_argument("Conv2D: invalid geometry");
+  weight_.value = Tensor(out_ch_, in_ch_, k_, k_);
+  weight_.grad = Tensor(out_ch_, in_ch_, k_, k_);
+  bias_.value = Tensor(out_ch_, 1, 1, 1);
+  bias_.grad = Tensor(out_ch_, 1, 1, 1);
+}
+
+void Conv2D::init_weights(std::uint64_t seed) {
+  common::SplitMix64 rng(seed);
+  const double fan_in = static_cast<double>(in_ch_) * k_ * k_;
+  const double stddev = std::sqrt(2.0 / fan_in);
+  for (auto& v : weight_.value.data()) v = static_cast<float>(rng.next_gaussian() * stddev);
+  bias_.value.zero();
+}
+
+core::ConvDims Conv2D::dims_for(const Tensor& input) const {
+  return core::ConvDims{.M = out_ch_, .Z = in_ch_, .H = input.h(), .W = input.w(),
+                        .K = k_, .S = s_, .P = p_};
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  if (input.c() != in_ch_) throw std::invalid_argument("Conv2D: channel mismatch");
+  cached_input_ = input;
+  return engine_ ? forward_quantized(input) : forward_float(input);
+}
+
+Tensor Conv2D::forward_float(const Tensor& x) {
+  const auto d = dims_for(x);
+  const int R = d.out_rows(), C = d.out_cols();
+  Tensor y(x.n(), out_ch_, R, C);
+  for (int n = 0; n < x.n(); ++n) {
+    for (int m = 0; m < out_ch_; ++m) {
+      for (int r = 0; r < R; ++r) {
+        for (int c = 0; c < C; ++c) {
+          float acc = bias_.value.at(m, 0, 0, 0);
+          for (int z = 0; z < in_ch_; ++z) {
+            for (int i = 0; i < k_; ++i) {
+              const int yy = s_ * r + i - p_;
+              if (yy < 0 || yy >= x.h()) continue;
+              for (int j = 0; j < k_; ++j) {
+                const int xx = s_ * c + j - p_;
+                if (xx < 0 || xx >= x.w()) continue;
+                acc += weight_.value.at(m, z, i, j) * x.at(n, z, yy, xx);
+              }
+            }
+          }
+          y.at(n, m, r, c) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::forward_quantized(const Tensor& x) {
+  const int nbits = engine_->bits();
+  const auto d = dims_for(x);
+  const int R = d.out_rows(), C = d.out_cols();
+  const std::size_t dd = static_cast<std::size_t>(in_ch_) * k_ * k_;
+
+  // Quantize all weights once: codes in [-2^(N-1), 2^(N-1)-1] under w_scale.
+  std::vector<std::int32_t> wq(static_cast<std::size_t>(out_ch_) * dd);
+  {
+    std::size_t idx = 0;
+    for (int m = 0; m < out_ch_; ++m)
+      for (int z = 0; z < in_ch_; ++z)
+        for (int i = 0; i < k_; ++i)
+          for (int j = 0; j < k_; ++j)
+            wq[idx++] = common::quantize(weight_.value.at(m, z, i, j) / weight_scale_, nbits);
+  }
+
+  // Quantize the whole input feature map once per sample.
+  std::vector<std::int32_t> xq(static_cast<std::size_t>(in_ch_) * x.h() * x.w());
+  std::vector<std::int32_t> gather(dd);
+
+  const float out_scale = weight_scale_ * act_scale_ /
+                          static_cast<float>(std::int64_t{1} << (nbits - 1));
+  Tensor y(x.n(), out_ch_, R, C);
+  for (int n = 0; n < x.n(); ++n) {
+    {
+      std::size_t idx = 0;
+      for (int z = 0; z < in_ch_; ++z)
+        for (int yy = 0; yy < x.h(); ++yy)
+          for (int xx = 0; xx < x.w(); ++xx)
+            xq[idx++] = common::quantize(x.at(n, z, yy, xx) / act_scale_, nbits);
+    }
+    for (int m = 0; m < out_ch_; ++m) {
+      const std::span<const std::int32_t> wrow(&wq[static_cast<std::size_t>(m) * dd], dd);
+      for (int r = 0; r < R; ++r) {
+        for (int c = 0; c < C; ++c) {
+          std::size_t g = 0;
+          for (int z = 0; z < in_ch_; ++z) {
+            for (int i = 0; i < k_; ++i) {
+              const int yy = s_ * r + i - p_;
+              for (int j = 0; j < k_; ++j) {
+                const int xx = s_ * c + j - p_;
+                const bool in_range = yy >= 0 && yy < x.h() && xx >= 0 && xx < x.w();
+                gather[g++] = in_range
+                                  ? xq[(static_cast<std::size_t>(z) * x.h() + yy) * x.w() + xx]
+                                  : 0;
+              }
+            }
+          }
+          // Hardware MAC (saturating, N+A bits, units 2^-(N-1)), then the
+          // power-of-two output rescale and the binary-domain bias add.
+          const std::int64_t acc = engine_->mac(wrow, gather);
+          y.at(n, m, r, c) =
+              static_cast<float>(acc) * out_scale + bias_.value.at(m, 0, 0, 0);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const auto d = dims_for(x);
+  const int R = d.out_rows(), C = d.out_cols();
+  assert(grad_out.c() == out_ch_ && grad_out.h() == R && grad_out.w() == C);
+
+  Tensor grad_in(x.n(), x.c(), x.h(), x.w());
+  for (int n = 0; n < x.n(); ++n) {
+    for (int m = 0; m < out_ch_; ++m) {
+      for (int r = 0; r < R; ++r) {
+        for (int c = 0; c < C; ++c) {
+          const float g = grad_out.at(n, m, r, c);
+          if (g == 0.0f) continue;
+          bias_.grad.at(m, 0, 0, 0) += g;
+          for (int z = 0; z < in_ch_; ++z) {
+            for (int i = 0; i < k_; ++i) {
+              const int yy = s_ * r + i - p_;
+              if (yy < 0 || yy >= x.h()) continue;
+              for (int j = 0; j < k_; ++j) {
+                const int xx = s_ * c + j - p_;
+                if (xx < 0 || xx >= x.w()) continue;
+                weight_.grad.at(m, z, i, j) += g * x.at(n, z, yy, xx);
+                grad_in.at(n, z, yy, xx) += g * weight_.value.at(m, z, i, j);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2D::calibrate_scales(const Tensor& representative_input) {
+  act_scale_ = pow2_ceil(representative_input.max_abs());
+  weight_scale_ = pow2_ceil(weight_.value.max_abs());
+}
+
+std::vector<std::int32_t> Conv2D::quantized_weights(int n_bits) const {
+  std::vector<std::int32_t> out;
+  out.reserve(weight_.value.size());
+  for (const float v : weight_.value.data())
+    out.push_back(common::quantize(v / weight_scale_, n_bits));
+  return out;
+}
+
+}  // namespace scnn::nn

@@ -1,0 +1,77 @@
+// Convolution layer with pluggable MAC arithmetic.
+//
+// Float mode (engine == nullptr) is the training path. With an engine set,
+// the forward pass quantizes activations and weights to N-bit signed codes
+// under per-layer power-of-two scales (the generalization of the paper's
+// "scale the input feature map ... by 128" trick for CIFAR-10) and runs
+// every output through MacEngine::mac — i.e. through the exact arithmetic
+// of the modeled hardware, saturating accumulator included. The backward
+// pass always uses the float master weights and the cached float input
+// (straight-through estimator), which is how the paper fine-tunes: "during
+// fine-tuning, fixed-point or SC-based convolution is used in the forward
+// pass".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conv_scheduler.hpp"
+#include "nn/layer.hpp"
+#include "nn/mac_engine.hpp"
+
+namespace scnn::nn {
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(int in_channels, int out_channels, int kernel, int stride = 1, int pad = 0);
+
+  /// He-style initialization from a deterministic seed.
+  void init_weights(std::uint64_t seed);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "conv2d"; }
+
+  /// Select the arithmetic. nullptr restores the float path. The engine must
+  /// outlive this layer.
+  void set_engine(const MacEngine* engine) { engine_ = engine; }
+  [[nodiscard]] const MacEngine* engine() const { return engine_; }
+
+  /// Compute power-of-two weight/activation scales from the current weights
+  /// and a representative input batch (float domain).
+  void calibrate_scales(const Tensor& representative_input);
+  [[nodiscard]] float weight_scale() const { return weight_scale_; }
+  [[nodiscard]] float activation_scale() const { return act_scale_; }
+
+  [[nodiscard]] const Tensor& weight() const { return weight_.value; }
+  [[nodiscard]] Tensor& mutable_weight() { return weight_.value; }
+  [[nodiscard]] const Tensor& bias() const { return bias_.value; }
+
+  /// Weight codes ([m][z][i][j]) at the engine's precision — the input to
+  /// the latency model (Sec. 3.2) and the Fig. 7 benches.
+  [[nodiscard]] std::vector<std::int32_t> quantized_weights(int n_bits) const;
+
+  /// Geometry of this layer on a given input, for the conv scheduler.
+  [[nodiscard]] core::ConvDims dims_for(const Tensor& input) const;
+
+  [[nodiscard]] int in_channels() const { return in_ch_; }
+  [[nodiscard]] int out_channels() const { return out_ch_; }
+  [[nodiscard]] int kernel() const { return k_; }
+  [[nodiscard]] int stride() const { return s_; }
+  [[nodiscard]] int pad() const { return p_; }
+
+ private:
+  Tensor forward_float(const Tensor& input);
+  Tensor forward_quantized(const Tensor& input);
+
+  int in_ch_, out_ch_, k_, s_, p_;
+  Parameter weight_;  // (out_ch, in_ch, k, k)
+  Parameter bias_;    // (out_ch, 1, 1, 1)
+  const MacEngine* engine_ = nullptr;
+  float weight_scale_ = 1.0f;
+  float act_scale_ = 1.0f;
+  Tensor cached_input_;
+};
+
+}  // namespace scnn::nn

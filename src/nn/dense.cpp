@@ -1,0 +1,64 @@
+#include "nn/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace scnn::nn {
+
+Dense::Dense(int in_features, int out_features) : in_(in_features), out_(out_features) {
+  if (in_ <= 0 || out_ <= 0) throw std::invalid_argument("Dense: invalid shape");
+  weight_.value = Tensor(out_, in_, 1, 1);
+  weight_.grad = Tensor(out_, in_, 1, 1);
+  bias_.value = Tensor(out_, 1, 1, 1);
+  bias_.grad = Tensor(out_, 1, 1, 1);
+}
+
+void Dense::init_weights(std::uint64_t seed) {
+  common::SplitMix64 rng(seed);
+  const double stddev = std::sqrt(2.0 / in_);
+  for (auto& v : weight_.value.data()) v = static_cast<float>(rng.next_gaussian() * stddev);
+  bias_.value.zero();
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  if (input.features() != static_cast<std::size_t>(in_))
+    throw std::invalid_argument("Dense: feature-count mismatch");
+  cached_input_ = input;
+  Tensor y(input.n(), out_, 1, 1);
+  for (int n = 0; n < input.n(); ++n) {
+    const auto xs = input.sample(n);
+    for (int o = 0; o < out_; ++o) {
+      float acc = bias_.value.at(o, 0, 0, 0);
+      const float* wr = &weight_.value.at(o, 0, 0, 0);
+      for (int i = 0; i < in_; ++i) acc += wr[i] * xs[static_cast<std::size_t>(i)];
+      y.at(n, o, 0, 0) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  assert(grad_out.c() == out_ && grad_out.n() == x.n());
+  Tensor grad_in(x.n(), x.c(), x.h(), x.w());
+  for (int n = 0; n < x.n(); ++n) {
+    const auto xs = x.sample(n);
+    auto gs = grad_in.sample(n);
+    for (int o = 0; o < out_; ++o) {
+      const float g = grad_out.at(n, o, 0, 0);
+      bias_.grad.at(o, 0, 0, 0) += g;
+      float* wgr = &weight_.grad.at(o, 0, 0, 0);
+      const float* wr = &weight_.value.at(o, 0, 0, 0);
+      for (int i = 0; i < in_; ++i) {
+        wgr[i] += g * xs[static_cast<std::size_t>(i)];
+        gs[static_cast<std::size_t>(i)] += g * wr[i];
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace scnn::nn

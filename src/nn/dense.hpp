@@ -1,0 +1,34 @@
+// Fully-connected layer. The paper applies SC only to convolution layers
+// ("we apply SC to convolution layers only ... with no restriction on how
+// the other layers are implemented", Sec. 3.3), so this layer is always
+// float.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace scnn::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense(int in_features, int out_features);
+
+  void init_weights(std::uint64_t seed);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  [[nodiscard]] std::string name() const override { return "dense"; }
+
+  [[nodiscard]] int in_features() const { return in_; }
+  [[nodiscard]] int out_features() const { return out_; }
+
+ private:
+  int in_, out_;
+  Parameter weight_;  // (out, in, 1, 1)
+  Parameter bias_;    // (out, 1, 1, 1)
+  Tensor cached_input_;
+};
+
+}  // namespace scnn::nn

@@ -1,0 +1,58 @@
+#include "nn/fault_injection.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/fixed_point.hpp"
+#include "core/scmac.hpp"
+
+namespace scnn::nn {
+
+FaultyEngine::FaultyEngine(const MacEngine* base, FaultModel model, double rate,
+                           std::uint64_t seed)
+    : MacEngine(base->bits(), base->accum_bits()),
+      base_(base),
+      model_(model),
+      rate_(rate),
+      rng_(seed) {
+  assert(rate >= 0.0 && rate <= 1.0);
+}
+
+std::string FaultyEngine::name() const {
+  return base_->name() + (model_ == FaultModel::kStreamTicks ? "+stream-faults"
+                                                             : "+word-faults");
+}
+
+std::int64_t FaultyEngine::mac(std::span<const std::int32_t> w,
+                               std::span<const std::int32_t> x) const {
+  const int bits = n_ + a_;
+  const std::int64_t lo = common::int_min_of(bits), hi = common::int_max_of(bits);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    std::int64_t p = base_->mac(w.subspan(i, 1), x.subspan(i, 1));
+    if (rate_ > 0.0) {
+      if (model_ == FaultModel::kStreamTicks) {
+        // Each of the k enabled cycles flips with probability `rate`; a
+        // flipped tick moves the counter by -+2 relative to fault-free.
+        const auto k = core::multiply_latency(w[i]);
+        for (std::uint32_t t = 0; t < k; ++t) {
+          if (rng_.next_double() < rate_) p += (rng_.next() & 1) ? 2 : -2;
+        }
+      } else {
+        // Product word held in N bits (two's complement); each flips
+        // independently. MSB flips are worth 2^(N-1) LSBs.
+        auto word = common::to_twos_complement(
+            static_cast<std::int32_t>(common::saturate(p, n_)), n_);
+        for (int b = 0; b < n_; ++b) {
+          if (rng_.next_double() < rate_) word ^= (1u << b);
+        }
+        p = common::from_twos_complement(word, n_);
+      }
+    }
+    acc += p;
+    acc = acc < lo ? lo : (acc > hi ? hi : acc);
+  }
+  return acc;
+}
+
+}  // namespace scnn::nn

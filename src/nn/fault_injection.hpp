@@ -1,0 +1,51 @@
+// Fault-injection MAC engine — the paper's future-work item "evaluation of
+// our SC-CNN for ... error resilience" (Sec. 5).
+//
+// Two physically-motivated fault models:
+//
+//  * Stream faults (SC designs): each of the k up/down-counter ticks of a
+//    multiply flips with probability p. One flipped tick changes the counter
+//    by +-2 — an SC soft error is always worth 2 LSBs, which is the
+//    structural reason SC degrades gracefully.
+//  * Word faults (binary designs): each bit of the truncated product word
+//    flips with probability p. A flip in the MSB is worth half full scale —
+//    binary errors are value-dependent and can be catastrophic.
+//
+// The wrapper draws faults deterministically from a seeded RNG so sweeps are
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/mac_engine.hpp"
+
+namespace scnn::nn {
+
+enum class FaultModel {
+  kStreamTicks,  ///< per-cycle tick flips (SC datapath)
+  kProductWord,  ///< per-bit flips of the product word (binary datapath)
+};
+
+class FaultyEngine final : public MacEngine {
+ public:
+  /// Wraps `base` (not owned; must outlive this engine). `rate` is the
+  /// per-tick / per-bit flip probability.
+  FaultyEngine(const MacEngine* base, FaultModel model, double rate, std::uint64_t seed);
+
+  [[nodiscard]] std::int64_t mac(std::span<const std::int32_t> w,
+                                 std::span<const std::int32_t> x) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] FaultModel model() const { return model_; }
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  const MacEngine* base_;
+  FaultModel model_;
+  double rate_;
+  mutable common::SplitMix64 rng_;
+};
+
+}  // namespace scnn::nn

@@ -1,0 +1,35 @@
+// Layer interface of the CNN substrate. Forward/backward with explicit
+// gradient tensors; parameters are exposed for the SGD trainer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace scnn::nn {
+
+/// A learnable parameter with its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; layers cache whatever backward() needs.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Backward pass: given dL/d(output), accumulate parameter gradients and
+  /// return dL/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for pooling/activation layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace scnn::nn

@@ -1,0 +1,45 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace scnn::nn {
+
+std::vector<double> softmax_row(std::span<const float> logits) {
+  double mx = -1e300;
+  for (float v : logits) mx = std::max(mx, static_cast<double>(v));
+  std::vector<double> p(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(static_cast<double>(logits[i]) - mx);
+    sum += p[i];
+  }
+  for (auto& v : p) v /= sum;
+  return p;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int> labels) {
+  if (static_cast<std::size_t>(logits.n()) != labels.size())
+    throw std::invalid_argument("softmax_cross_entropy: batch/label mismatch");
+  const int classes = logits.c();
+  LossResult out;
+  out.grad = Tensor(logits.n(), classes, 1, 1);
+  const double inv_batch = 1.0 / logits.n();
+  for (int n = 0; n < logits.n(); ++n) {
+    assert(labels[static_cast<std::size_t>(n)] >= 0 &&
+           labels[static_cast<std::size_t>(n)] < classes);
+    const auto p = softmax_row(logits.sample(n));
+    const int y = labels[static_cast<std::size_t>(n)];
+    out.loss += -std::log(std::max(p[static_cast<std::size_t>(y)], 1e-30)) * inv_batch;
+    for (int c = 0; c < classes; ++c) {
+      const double indicator = (c == y) ? 1.0 : 0.0;
+      out.grad.at(n, c, 0, 0) =
+          static_cast<float>((p[static_cast<std::size_t>(c)] - indicator) * inv_batch);
+    }
+  }
+  return out;
+}
+
+}  // namespace scnn::nn

@@ -1,0 +1,22 @@
+// Softmax cross-entropy loss with fused gradient.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace scnn::nn {
+
+struct LossResult {
+  double loss = 0.0;   ///< mean cross-entropy over the batch
+  Tensor grad;         ///< dL/d(logits), already divided by batch size
+};
+
+/// `logits` is (N, classes, 1, 1); labels.size() == N.
+LossResult softmax_cross_entropy(const Tensor& logits, std::span<const int> labels);
+
+/// Row-wise softmax (numerically stabilized), for inspection/examples.
+std::vector<double> softmax_row(std::span<const float> logits);
+
+}  // namespace scnn::nn

@@ -1,0 +1,37 @@
+#include "nn/mac_engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/fixed_point.hpp"
+#include "core/scmac.hpp"
+
+namespace scnn::nn {
+
+LutEngine::LutEngine(sc::ProductLut lut, int accum_bits)
+    : MacEngine(lut.bits(), accum_bits), lut_(std::move(lut)) {}
+
+std::int64_t LutEngine::mac(std::span<const std::int32_t> w,
+                            std::span<const std::int32_t> x) const {
+  assert(w.size() == x.size());
+  const int bits = n_ + a_;
+  const std::int64_t lo = common::int_min_of(bits), hi = common::int_max_of(bits);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    acc += lut_.at(w[i], x[i]);
+    acc = acc < lo ? lo : (acc > hi ? hi : acc);  // saturate per product
+  }
+  return acc;
+}
+
+std::unique_ptr<MacEngine> make_engine(const std::string& kind, int n_bits, int accum_bits) {
+  if (kind == "fixed")
+    return std::make_unique<LutEngine>(sc::make_fixed_point_lut(n_bits), accum_bits);
+  if (kind == "sc-lfsr")
+    return std::make_unique<LutEngine>(sc::make_lfsr_sc_lut(n_bits), accum_bits);
+  if (kind == "proposed")
+    return std::make_unique<LutEngine>(core::make_proposed_lut(n_bits), accum_bits);
+  throw std::invalid_argument("make_engine: unknown kind '" + kind + "'");
+}
+
+}  // namespace scnn::nn

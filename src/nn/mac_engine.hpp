@@ -1,0 +1,62 @@
+// Pluggable MAC arithmetic for the convolution layer — the seam where the
+// CNN meets the hardware (the paper's "convolution layer is extended for
+// fixed-point and SC" in Caffe, Sec. 4.2).
+//
+// An engine consumes two equal-length spans of N-bit signed codes and
+// returns the (N+A)-bit saturating accumulation of their products, in units
+// of 2^-(N-1). All three of the paper's arithmetic variants are deterministic
+// given their generator phases, so each is realized as a ProductLut plus a
+// saturating accumulator (bit-exact w.r.t. product-level saturation; see
+// DESIGN.md for the tick-level caveat).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "sc/mult_lut.hpp"
+
+namespace scnn::nn {
+
+class MacEngine {
+ public:
+  virtual ~MacEngine() = default;
+
+  /// Saturating MAC over d = w.size() == x.size() code pairs.
+  [[nodiscard]] virtual std::int64_t mac(std::span<const std::int32_t> w,
+                                         std::span<const std::int32_t> x) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] int bits() const { return n_; }
+  [[nodiscard]] int accum_bits() const { return a_; }
+
+ protected:
+  MacEngine(int n_bits, int accum_bits) : n_(n_bits), a_(accum_bits) {}
+  int n_;
+  int a_;
+};
+
+/// LUT-backed engine: covers fixed-point, conventional LFSR-SC, and the
+/// proposed SC multiplier (they differ only in the product table).
+class LutEngine final : public MacEngine {
+ public:
+  LutEngine(sc::ProductLut lut, int accum_bits);
+
+  [[nodiscard]] std::int64_t mac(std::span<const std::int32_t> w,
+                                 std::span<const std::int32_t> x) const override;
+  [[nodiscard]] std::string name() const override { return lut_.name(); }
+
+  [[nodiscard]] const sc::ProductLut& lut() const { return lut_; }
+
+ private:
+  sc::ProductLut lut_;
+};
+
+/// Engine kinds understood by make_engine(). "fixed" = truncating binary;
+/// "sc-lfsr" = conventional SC with LFSR SNGs; "proposed" = the paper's
+/// SC-MAC (also exact for its bit-parallel and BISC-MVM forms).
+std::unique_ptr<MacEngine> make_engine(const std::string& kind, int n_bits,
+                                       int accum_bits = 2);
+
+}  // namespace scnn::nn

@@ -1,0 +1,166 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace scnn::nn {
+
+Tensor Network::forward(const Tensor& input) {
+  Tensor cur = input;
+  for (auto& l : layers_) cur = l->forward(cur);
+  return cur;
+}
+
+void Network::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+}
+
+void Network::zero_grad() {
+  for (Parameter* p : parameters()) p->grad.zero();
+}
+
+std::vector<Parameter*> Network::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& l : layers_)
+    for (Parameter* p : l->parameters()) out.push_back(p);
+  return out;
+}
+
+std::vector<Conv2D*> Network::conv_layers() {
+  std::vector<Conv2D*> out;
+  for (auto& l : layers_)
+    if (auto* c = dynamic_cast<Conv2D*>(l.get())) out.push_back(c);
+  return out;
+}
+
+std::vector<int> Network::predict(const Tensor& input) {
+  const Tensor logits = forward(input);
+  std::vector<int> out(static_cast<std::size_t>(logits.n()));
+  for (int n = 0; n < logits.n(); ++n) {
+    const auto row = logits.sample(n);
+    out[static_cast<std::size_t>(n)] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+double Network::accuracy(const Tensor& images, std::span<const int> labels, int batch_size) {
+  assert(static_cast<std::size_t>(images.n()) == labels.size());
+  int correct = 0;
+  for (int first = 0; first < images.n(); first += batch_size) {
+    const int count = std::min(batch_size, images.n() - first);
+    const auto preds = predict(batch_slice(images, first, count));
+    for (int i = 0; i < count; ++i)
+      if (preds[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(first + i)])
+        ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(images.n());
+}
+
+Network make_deep_net(int input_hw, int channels, int width, std::uint64_t seed) {
+  Network net;
+  std::vector<Conv2D*> convs;
+  int ch_in = channels;
+  int hw = input_hw;
+  int ch_out = 8 * width;
+  for (int block = 0; block < 3; ++block) {
+    convs.push_back(&net.add<Conv2D>(ch_in, ch_out, 3, 1, 1));
+    net.add<ReLU>();
+    convs.push_back(&net.add<Conv2D>(ch_out, ch_out, 3, 1, 1));
+    net.add<ReLU>();
+    net.add<MaxPool2D>(2);
+    hw /= 2;
+    ch_in = ch_out;
+    ch_out *= 2;
+  }
+  auto& d1 = net.add<Dense>(ch_in * hw * hw, 64 * width);
+  net.add<ReLU>();
+  auto& d2 = net.add<Dense>(64 * width, 10);
+  std::uint64_t s = seed;
+  for (Conv2D* conv : convs) conv->init_weights(++s);
+  d1.init_weights(++s);
+  d2.init_weights(++s);
+  return net;
+}
+
+std::vector<float> Network::save_parameters() {
+  std::vector<float> out;
+  for (Parameter* p : parameters())
+    out.insert(out.end(), p->value.data().begin(), p->value.data().end());
+  return out;
+}
+
+void Network::load_parameters(std::span<const float> packed) {
+  std::size_t off = 0;
+  for (Parameter* p : parameters()) {
+    if (off + p->value.size() > packed.size())
+      throw std::invalid_argument("load_parameters: blob too small");
+    std::copy_n(packed.begin() + static_cast<std::ptrdiff_t>(off), p->value.size(),
+                p->value.data().begin());
+    off += p->value.size();
+  }
+  if (off != packed.size())
+    throw std::invalid_argument("load_parameters: blob size mismatch");
+}
+
+Tensor batch_slice(const Tensor& images, int first, int count) {
+  if (first < 0 || count <= 0 || first + count > images.n())
+    throw std::invalid_argument("batch_slice: range out of bounds");
+  Tensor out(count, images.c(), images.h(), images.w());
+  const std::size_t f = images.features();
+  std::copy_n(images.data().begin() + static_cast<std::ptrdiff_t>(first * f),
+              static_cast<std::size_t>(count) * f, out.data().begin());
+  return out;
+}
+
+Network make_mnist_net(int input_hw, int width, std::uint64_t seed) {
+  // LeNet shape from Caffe's examples/mnist, channel counts scaled by
+  // `width` to keep the single-core experiments tractable.
+  Network net;
+  auto& c1 = net.add<Conv2D>(1, 8 * width, 5);   // 28 -> 24
+  net.add<MaxPool2D>(2);                          // 24 -> 12
+  auto& c2 = net.add<Conv2D>(8 * width, 16 * width, 5);  // 12 -> 8
+  net.add<MaxPool2D>(2);                          // 8 -> 4
+  const int spatial = ((input_hw - 4) / 2 - 4) / 2;
+  auto& d1 = net.add<Dense>(16 * width * spatial * spatial, 64 * width);
+  net.add<ReLU>();
+  auto& d2 = net.add<Dense>(64 * width, 10);
+  c1.init_weights(seed + 1);
+  c2.init_weights(seed + 2);
+  d1.init_weights(seed + 3);
+  d2.init_weights(seed + 4);
+  return net;
+}
+
+Network make_cifar_net(int input_hw, int width, std::uint64_t seed) {
+  // Caffe examples/cifar10 "quick" shape (conv-pool-relu, conv-relu-pool,
+  // conv-relu-pool, dense, dense), channels scaled by `width`.
+  Network net;
+  auto& c1 = net.add<Conv2D>(3, 8 * width, 5, 1, 2);   // 32 -> 32
+  net.add<MaxPool2D>(2);                                // 32 -> 16
+  net.add<ReLU>();
+  auto& c2 = net.add<Conv2D>(8 * width, 12 * width, 5, 1, 2);  // 16 -> 16
+  net.add<ReLU>();
+  net.add<AvgPool2D>(2);                                // 16 -> 8
+  auto& c3 = net.add<Conv2D>(12 * width, 16 * width, 5, 1, 2);  // 8 -> 8
+  net.add<ReLU>();
+  net.add<AvgPool2D>(2);                                // 8 -> 4
+  const int spatial = input_hw / 8;
+  auto& d1 = net.add<Dense>(16 * width * spatial * spatial, 32 * width);
+  net.add<ReLU>();
+  auto& d2 = net.add<Dense>(32 * width, 10);
+  c1.init_weights(seed + 1);
+  c2.init_weights(seed + 2);
+  c3.init_weights(seed + 3);
+  d1.init_weights(seed + 4);
+  d2.init_weights(seed + 5);
+  return net;
+}
+
+}  // namespace scnn::nn

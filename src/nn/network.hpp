@@ -1,0 +1,79 @@
+// Sequential network container plus the two reference topologies of the
+// paper's Sec. 4.2: a LeNet-style net for the MNIST-class task and a
+// CIFAR-10-quick-style net for the CIFAR-class task (Caffe's bundled
+// definitions, scaled to this project's synthetic datasets).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+
+namespace scnn::nn {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input);
+  /// Backward from dL/d(logits); parameter grads accumulate into each layer.
+  void backward(const Tensor& grad_logits);
+
+  void zero_grad();
+  [[nodiscard]] std::vector<Parameter*> parameters();
+
+  /// All convolution layers, in order (for engine/scale control).
+  [[nodiscard]] std::vector<Conv2D*> conv_layers();
+
+  /// Argmax class per sample.
+  [[nodiscard]] std::vector<int> predict(const Tensor& input);
+
+  /// Fraction of correct predictions, evaluated in mini-batches.
+  [[nodiscard]] double accuracy(const Tensor& images, std::span<const int> labels,
+                                int batch_size = 50);
+
+  /// Concatenated copy of all parameter values (for sweep checkpointing:
+  /// each fine-tuning configuration restarts from the same trained state).
+  [[nodiscard]] std::vector<float> save_parameters();
+  void load_parameters(std::span<const float> packed);
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// LeNet-style MNIST-class topology (conv5x5 -> pool -> conv5x5 -> pool ->
+/// dense -> relu -> dense). `width` scales the channel counts; width = 1
+/// gives conv(8), conv(16), dense(64) — sized for the synthetic-digit task.
+Network make_mnist_net(int input_hw = 28, int width = 1, std::uint64_t seed = 1234);
+
+/// CIFAR-10-quick-style topology on 3-channel inputs
+/// (conv -> pool -> relu) x2 -> conv -> relu -> pool -> dense -> dense.
+Network make_cifar_net(int input_hw = 32, int width = 1, std::uint64_t seed = 4321);
+
+/// Deeper VGG-style topology (three conv blocks of two 3x3 convs each) —
+/// the "larger-scale benchmarks" direction of the paper's future work.
+/// Forward cost is ~10x the quick nets; used by tests/examples to show the
+/// SC engines scale to deeper stacks, not for full training on one core.
+Network make_deep_net(int input_hw = 32, int channels = 3, int width = 1,
+                      std::uint64_t seed = 555);
+
+/// Extract a batch slice [first, first+count) of a dataset tensor.
+Tensor batch_slice(const Tensor& images, int first, int count);
+
+}  // namespace scnn::nn

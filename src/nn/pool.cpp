@@ -1,0 +1,91 @@
+#include "nn/pool.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace scnn::nn {
+
+namespace {
+int pooled_extent(int in, int k, int s) { return (in - k) / s + 1; }
+}  // namespace
+
+MaxPool2D::MaxPool2D(int kernel, int stride) : k_(kernel), s_(stride == 0 ? kernel : stride) {
+  if (k_ <= 0 || s_ <= 0) throw std::invalid_argument("MaxPool2D: invalid geometry");
+}
+
+Tensor MaxPool2D::forward(const Tensor& x) {
+  cached_input_ = x;
+  const int R = pooled_extent(x.h(), k_, s_), C = pooled_extent(x.w(), k_, s_);
+  Tensor y(x.n(), x.c(), R, C);
+  argmax_.assign(y.size(), 0);
+  std::size_t out_idx = 0;
+  for (int n = 0; n < x.n(); ++n) {
+    for (int c = 0; c < x.c(); ++c) {
+      for (int r = 0; r < R; ++r) {
+        for (int cc = 0; cc < C; ++cc) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (int i = 0; i < k_; ++i) {
+            for (int j = 0; j < k_; ++j) {
+              const int yy = r * s_ + i, xx = cc * s_ + j;
+              const float v = x.at(n, c, yy, xx);
+              if (v > best) {
+                best = v;
+                best_idx = ((static_cast<std::size_t>(n) * x.c() + c) * x.h() + yy) * x.w() + xx;
+              }
+            }
+          }
+          y.at(n, c, r, cc) = best;
+          argmax_[out_idx++] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  assert(grad_out.size() == argmax_.size());
+  Tensor grad_in(cached_input_.n(), cached_input_.c(), cached_input_.h(), cached_input_.w());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) grad_in[argmax_[i]] += grad_out[i];
+  return grad_in;
+}
+
+AvgPool2D::AvgPool2D(int kernel, int stride) : k_(kernel), s_(stride == 0 ? kernel : stride) {
+  if (k_ <= 0 || s_ <= 0) throw std::invalid_argument("AvgPool2D: invalid geometry");
+}
+
+Tensor AvgPool2D::forward(const Tensor& x) {
+  in_n_ = x.n(); in_c_ = x.c(); in_h_ = x.h(); in_w_ = x.w();
+  const int R = pooled_extent(x.h(), k_, s_), C = pooled_extent(x.w(), k_, s_);
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  Tensor y(x.n(), x.c(), R, C);
+  for (int n = 0; n < x.n(); ++n)
+    for (int c = 0; c < x.c(); ++c)
+      for (int r = 0; r < R; ++r)
+        for (int cc = 0; cc < C; ++cc) {
+          float acc = 0.0f;
+          for (int i = 0; i < k_; ++i)
+            for (int j = 0; j < k_; ++j) acc += x.at(n, c, r * s_ + i, cc * s_ + j);
+          y.at(n, c, r, cc) = acc * inv;
+        }
+  return y;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_n_, in_c_, in_h_, in_w_);
+  const int R = grad_out.h(), C = grad_out.w();
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (int n = 0; n < in_n_; ++n)
+    for (int c = 0; c < in_c_; ++c)
+      for (int r = 0; r < R; ++r)
+        for (int cc = 0; cc < C; ++cc) {
+          const float g = grad_out.at(n, c, r, cc) * inv;
+          for (int i = 0; i < k_; ++i)
+            for (int j = 0; j < k_; ++j) grad_in.at(n, c, r * s_ + i, cc * s_ + j) += g;
+        }
+  return grad_in;
+}
+
+}  // namespace scnn::nn

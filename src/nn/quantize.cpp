@@ -1,0 +1,35 @@
+#include "nn/quantize.hpp"
+
+namespace scnn::nn {
+
+void calibrate_network(Network& net, const Tensor& calibration_batch) {
+  // Walk layers manually so each conv sees its own (float) input.
+  Tensor cur = calibration_batch;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    Layer& l = net.layer(i);
+    if (auto* conv = dynamic_cast<Conv2D*>(&l)) {
+      const MacEngine* saved = conv->engine();
+      conv->set_engine(nullptr);  // calibration happens in float
+      conv->calibrate_scales(cur);
+      cur = conv->forward(cur);
+      conv->set_engine(saved);
+    } else {
+      cur = l.forward(cur);
+    }
+  }
+}
+
+void set_conv_engine(Network& net, const MacEngine* engine) {
+  for (Conv2D* c : net.conv_layers()) c->set_engine(engine);
+}
+
+const MacEngine* EnginePool::get(const EngineConfig& cfg) {
+  const std::string key = cfg.label() + "/A=" + std::to_string(cfg.a_bits);
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (keys_[i] == key) return engines_[i].get();
+  engines_.push_back(make_engine(cfg.kind, cfg.n_bits, cfg.a_bits));
+  keys_.push_back(key);
+  return engines_.back().get();
+}
+
+}  // namespace scnn::nn

@@ -1,0 +1,44 @@
+// Network-level quantization control: calibration of per-conv-layer
+// power-of-two scales and engine selection (Sec. 4.2's experimental setup).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/mac_engine.hpp"
+#include "nn/network.hpp"
+
+namespace scnn::nn {
+
+/// Run `calibration_batch` through the network in float mode and set each
+/// convolution layer's weight/activation scales from what it actually sees
+/// (the generalization of the paper's fixed x128 CIFAR-10 rescale).
+void calibrate_network(Network& net, const Tensor& calibration_batch);
+
+/// Point every convolution layer at `engine` (nullptr restores float mode).
+void set_conv_engine(Network& net, const MacEngine* engine);
+
+/// Bundle of one arithmetic configuration for the Fig. 6 sweeps.
+struct EngineConfig {
+  std::string kind;  ///< "fixed" | "sc-lfsr" | "proposed"
+  int n_bits = 8;    ///< multiplier precision, sign bit included
+  int a_bits = 2;    ///< accumulator headroom A
+
+  [[nodiscard]] std::string label() const {
+    return kind + "/N=" + std::to_string(n_bits);
+  }
+};
+
+/// Owns the engines for a sweep so layers can borrow raw pointers safely.
+class EnginePool {
+ public:
+  /// Get-or-create the engine for a configuration.
+  const MacEngine* get(const EngineConfig& cfg);
+
+ private:
+  std::vector<std::unique_ptr<MacEngine>> engines_;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace scnn::nn

@@ -1,0 +1,27 @@
+// Binary checkpointing of network parameters, so trained models can be
+// shared across bench binaries and sessions (training dominates the bench
+// runtime on a single core).
+//
+// Format: magic "SCNN0001", u64 parameter-blob length, f32 payload
+// (little-endian; this project targets LE hosts), u64 FNV-1a checksum of
+// the payload bytes.
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace scnn::nn {
+
+/// Write all parameter values of `net` to `path`. Throws on I/O failure.
+void save_checkpoint(Network& net, const std::string& path);
+
+/// Load parameters from `path` into `net`. The network topology must match
+/// (same total parameter count). Throws on I/O failure, bad magic, size
+/// mismatch, or checksum mismatch.
+void load_checkpoint(Network& net, const std::string& path);
+
+/// True if `path` exists and has a valid header (cheap pre-check).
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace scnn::nn

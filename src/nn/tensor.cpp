@@ -1,0 +1,31 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace scnn::nn {
+
+Tensor Tensor::from_vector(int n, std::vector<float> values) {
+  if (values.size() % static_cast<std::size_t>(n) != 0)
+    throw std::invalid_argument("Tensor::from_vector: size not divisible by batch");
+  const auto f = static_cast<int>(values.size() / static_cast<std::size_t>(n));
+  Tensor t(n, f, 1, 1);
+  t.data_ = std::move(values);
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+}  // namespace scnn::nn

@@ -1,0 +1,80 @@
+// Minimal 4-D float tensor (N batch, C channels, H, W) for the CNN substrate.
+//
+// This project's networks are small (LeNet/CIFAR-quick scale); a dense
+// row-major buffer with direct loops is simpler and fast enough, and keeps
+// the quantized/SC forward paths easy to audit against the hardware model.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace scnn::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int n, int c, int h, int w)
+      : n_(n), c_(c), h_(h), w_(w),
+        data_(static_cast<std::size_t>(n) * c * h * w, 0.0f) {
+    assert(n > 0 && c > 0 && h > 0 && w > 0);
+  }
+
+  /// Flat vector treated as (n, features, 1, 1) — for dense layers.
+  static Tensor from_vector(int n, std::vector<float> values);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int c() const { return c_; }
+  [[nodiscard]] int h() const { return h_; }
+  [[nodiscard]] int w() const { return w_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t features() const {
+    return static_cast<std::size_t>(c_) * h_ * w_;
+  }
+  [[nodiscard]] bool same_shape(const Tensor& o) const {
+    return n_ == o.n_ && c_ == o.c_ && h_ == o.h_ && w_ == o.w_;
+  }
+
+  [[nodiscard]] float& at(int n, int c, int h, int w) {
+    return data_[index(n, c, h, w)];
+  }
+  [[nodiscard]] float at(int n, int c, int h, int w) const {
+    return data_[index(n, c, h, w)];
+  }
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+
+  /// One sample's slice (c*h*w floats) within the batch.
+  [[nodiscard]] std::span<const float> sample(int n) const {
+    return std::span<const float>(data_).subspan(static_cast<std::size_t>(n) * features(),
+                                                 features());
+  }
+  [[nodiscard]] std::span<float> sample(int n) {
+    return std::span<float>(data_).subspan(static_cast<std::size_t>(n) * features(),
+                                           features());
+  }
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// this += alpha * other (shapes must match).
+  void axpy(float alpha, const Tensor& other);
+
+  /// Largest |value| — used for quantization calibration.
+  [[nodiscard]] float max_abs() const;
+
+ private:
+  [[nodiscard]] std::size_t index(int n, int c, int h, int w) const {
+    assert(n >= 0 && n < n_ && c >= 0 && c < c_ && h >= 0 && h < h_ && w >= 0 && w < w_);
+    return ((static_cast<std::size_t>(n) * c_ + c) * h_ + h) * w_ + w;
+  }
+
+  int n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace scnn::nn

@@ -1,0 +1,86 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "nn/loss.hpp"
+
+namespace scnn::nn {
+
+std::vector<EpochStats> SgdTrainer::train(Network& net, const Tensor& images,
+                                          std::span<const int> labels) {
+  const int n = images.n();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  common::SplitMix64 rng(cfg_.shuffle_seed);
+
+  std::vector<EpochStats> stats;
+  float lr = cfg_.learning_rate;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    // Fisher-Yates with the project RNG for cross-platform determinism.
+    for (int i = n - 1; i > 0; --i) {
+      const auto j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
+    }
+
+    double loss_sum = 0.0;
+    int batches = 0, correct = 0;
+    for (int first = 0; first < n; first += cfg_.batch_size) {
+      const int count = std::min(cfg_.batch_size, n - first);
+      Tensor batch(count, images.c(), images.h(), images.w());
+      std::vector<int> batch_labels(static_cast<std::size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        const int src = order[static_cast<std::size_t>(first + i)];
+        std::copy_n(images.sample(src).begin(), images.features(), batch.sample(i).begin());
+        batch_labels[static_cast<std::size_t>(i)] = labels[static_cast<std::size_t>(src)];
+      }
+
+      net.zero_grad();
+      const Tensor logits = net.forward(batch);
+      const LossResult lr_res = softmax_cross_entropy(logits, batch_labels);
+      net.backward(lr_res.grad);
+      sgd_step(net, lr);
+
+      loss_sum += lr_res.loss;
+      ++batches;
+      for (int i = 0; i < count; ++i) {
+        const auto row = logits.sample(i);
+        const int pred = static_cast<int>(std::max_element(row.begin(), row.end()) -
+                                          row.begin());
+        if (pred == batch_labels[static_cast<std::size_t>(i)]) ++correct;
+      }
+    }
+
+    EpochStats s;
+    s.mean_loss = loss_sum / std::max(batches, 1);
+    s.train_accuracy = static_cast<double>(correct) / n;
+    stats.push_back(s);
+    if (cfg_.verbose)
+      std::printf("epoch %d: loss %.4f acc %.3f\n", epoch, s.mean_loss, s.train_accuracy);
+    lr *= cfg_.lr_decay;
+  }
+  return stats;
+}
+
+void SgdTrainer::sgd_step(Network& net, float lr) {
+  const auto params = net.parameters();
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (Parameter* p : params) {
+      velocity_.emplace_back(p->value.n(), p->value.c(), p->value.h(), p->value.w());
+    }
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Parameter& p = *params[i];
+    Tensor& v = velocity_[i];
+    for (std::size_t j = 0; j < p.value.size(); ++j) {
+      const float g = p.grad[j] + cfg_.weight_decay * p.value[j];
+      v[j] = cfg_.momentum * v[j] - lr * g;
+      p.value[j] += v[j];
+    }
+  }
+}
+
+}  // namespace scnn::nn

@@ -1,0 +1,51 @@
+// SGD (momentum + weight decay) trainer, plus the paper's fine-tuning loop:
+// quantized/SC forward in the convolution layers, straight-through float
+// backward (Sec. 4.2's "fine-tuning for 5,000 iterations ... during
+// fine-tuning, fixed-point or SC-based convolution is used in the forward
+// pass").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace scnn::nn {
+
+struct TrainConfig {
+  int epochs = 5;
+  int batch_size = 32;
+  float learning_rate = 0.01f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  float lr_decay = 1.0f;        ///< multiplicative per-epoch LR decay
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  double train_accuracy = 0.0;
+};
+
+class SgdTrainer {
+ public:
+  explicit SgdTrainer(TrainConfig config) : cfg_(config) {}
+
+  /// Train on (images, labels); returns per-epoch stats. Whatever engine is
+  /// currently set on the conv layers is used for the forward pass, so this
+  /// same function implements both float training and SC/fixed fine-tuning.
+  std::vector<EpochStats> train(Network& net, const Tensor& images,
+                                std::span<const int> labels);
+
+  [[nodiscard]] const TrainConfig& config() const { return cfg_; }
+
+ private:
+  void sgd_step(Network& net, float lr);
+
+  TrainConfig cfg_;
+  std::vector<Tensor> velocity_;  // one per parameter, lazily sized
+};
+
+}  // namespace scnn::nn

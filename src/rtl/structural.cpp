@@ -1,0 +1,75 @@
+#include "rtl/structural.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/fixed_point.hpp"
+
+namespace scnn::rtl {
+
+StructuralBiscMvm::StructuralBiscMvm(int n_bits, int accum_bits, std::size_t lanes)
+    : n_(n_bits),
+      acc_min_(common::int_min_of(n_bits + accum_bits)),
+      acc_max_(common::int_max_of(n_bits + accum_bits)) {
+  if (lanes == 0) throw std::invalid_argument("StructuralBiscMvm: need lanes");
+  regs_.operand.assign(lanes, 0);
+  regs_.lane_counter.assign(lanes, 0);
+}
+
+void StructuralBiscMvm::load(std::int32_t qw, std::span<const std::int32_t> qx) {
+  assert(!busy());
+  assert(qx.size() == regs_.operand.size());
+  const std::int32_t half = 1 << (n_ - 1);
+  assert(qw >= -half && qw < half);
+  // Weight path: sign-magnitude split; magnitude loads the down counter.
+  regs_.weight_sign = qw < 0;
+  regs_.down_counter = static_cast<std::uint32_t>(qw < 0 ? -qw : qw);
+  // Operand path: the sign-bit flip of Sec. 2.4 (offset-binary image).
+  for (std::size_t l = 0; l < qx.size(); ++l) {
+    assert(qx[l] >= -half && qx[l] < half);
+    regs_.operand[l] = static_cast<std::uint32_t>(qx[l] + half);
+  }
+  regs_.fsm_count = 0;
+}
+
+bool StructuralBiscMvm::clock() {
+  if (!busy()) return false;
+
+  // ---- combinational section (from current register state) --------------
+  // Shared FSM output: select index for this cycle (1-based cycle number).
+  const std::uint32_t cycle_1based = regs_.fsm_count + 1;
+  const int mux_select = n_ - (common::ruler(cycle_1based) + 1);
+  std::vector<bool> count_up(regs_.operand.size());
+  for (std::size_t l = 0; l < regs_.operand.size(); ++l) {
+    const bool mux_out = common::bit_of(regs_.operand[l], mux_select) != 0;
+    count_up[l] = mux_out != regs_.weight_sign;  // XOR with sign(w)
+  }
+
+  // ---- sequential section (register updates at the edge) ----------------
+  for (std::size_t l = 0; l < regs_.lane_counter.size(); ++l) {
+    std::int64_t next = regs_.lane_counter[l] + (count_up[l] ? +1 : -1);
+    if (next < acc_min_) next = acc_min_;  // saturating counter
+    if (next > acc_max_) next = acc_max_;
+    regs_.lane_counter[l] = next;
+  }
+  ++regs_.fsm_count;
+  --regs_.down_counter;
+  ++cycles_;
+  return busy();
+}
+
+std::uint32_t StructuralBiscMvm::run_to_completion() {
+  std::uint32_t n = 0;
+  while (busy()) {
+    clock();
+    ++n;
+  }
+  return n;
+}
+
+void StructuralBiscMvm::clear_accumulators() {
+  for (auto& c : regs_.lane_counter) c = 0;
+}
+
+}  // namespace scnn::rtl

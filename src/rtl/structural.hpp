@@ -1,0 +1,66 @@
+// Register-level structural model of the BISC-MVM datapath (Fig. 3a) — the
+// C++ counterpart of the paper's Verilog RTL.
+//
+// Unlike core::BiscMvm (a behavioural simulator), this model is organized
+// exactly like the hardware: named registers, a combinational section
+// evaluated from current register state, and a clock() that commits the
+// next state — one call per cycle, no shortcuts. Tests assert bit-for-bit
+// equivalence with the behavioural model; this is the repository's
+// "RTL vs golden model" check.
+//
+// Datapath per Fig. 3(a):
+//   shared:   FSM counter (drives all muxes), down counter (holds k, gates
+//             everything), weight sign register
+//   per lane: operand register (sign-flipped x), N:1 mux, XOR with sign(w),
+//             saturating (N+A)-bit up/down counter
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scnn::rtl {
+
+class StructuralBiscMvm {
+ public:
+  StructuralBiscMvm(int n_bits, int accum_bits, std::size_t lanes);
+
+  /// Load one shared-weight MAC step (like asserting `start` with operands
+  /// on the input bus). Must not be called while busy().
+  void load(std::int32_t qw, std::span<const std::int32_t> qx);
+
+  /// One positive clock edge. Returns true while the down counter is
+  /// nonzero (operation in flight) after the edge.
+  bool clock();
+
+  /// Run until the current operation completes; returns cycles consumed.
+  std::uint32_t run_to_completion();
+
+  [[nodiscard]] bool busy() const { return regs_.down_counter != 0; }
+  [[nodiscard]] std::int64_t lane_counter(std::size_t lane) const {
+    return regs_.lane_counter[lane];
+  }
+  [[nodiscard]] std::uint64_t cycles_elapsed() const { return cycles_; }
+  [[nodiscard]] std::size_t lanes() const { return regs_.lane_counter.size(); }
+
+  /// Clear the accumulators (like a synchronous reset of the counters).
+  void clear_accumulators();
+
+  /// Visible architectural state, for waveform-style inspection in tests.
+  struct Registers {
+    std::uint32_t fsm_count = 0;     ///< shared FSM: cycle index within the op
+    std::uint32_t down_counter = 0;  ///< remaining enable cycles (|2^(N-1)w|)
+    bool weight_sign = false;        ///< sign(w), XORed into every lane
+    std::vector<std::uint32_t> operand;      ///< per-lane sign-flipped x
+    std::vector<std::int64_t> lane_counter;  ///< per-lane saturating UD counter
+  };
+  [[nodiscard]] const Registers& registers() const { return regs_; }
+
+ private:
+  int n_;
+  std::int64_t acc_min_, acc_max_;
+  Registers regs_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace scnn::rtl

@@ -1,0 +1,113 @@
+#include "sc/bitstream.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace scnn::sc {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t words_for(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+Bitstream::Bitstream(std::size_t length) : length_(length), words_(words_for(length), 0) {}
+
+void Bitstream::set(std::size_t i, bool v) {
+  assert(i < length_);
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (v)
+    words_[i / kWordBits] |= mask;
+  else
+    words_[i / kWordBits] &= ~mask;
+}
+
+bool Bitstream::get(std::size_t i) const {
+  assert(i < length_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void Bitstream::push_back(bool v) {
+  if (length_ % kWordBits == 0) words_.push_back(0);
+  ++length_;
+  set(length_ - 1, v);
+}
+
+std::size_t Bitstream::count_ones() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t Bitstream::count_ones_prefix(std::size_t k) const {
+  assert(k <= length_);
+  std::size_t n = 0;
+  const std::size_t full = k / kWordBits;
+  for (std::size_t i = 0; i < full; ++i) n += static_cast<std::size_t>(std::popcount(words_[i]));
+  const std::size_t rem = k % kWordBits;
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+    n += static_cast<std::size_t>(std::popcount(words_[full] & mask));
+  }
+  return n;
+}
+
+double Bitstream::unipolar_value() const {
+  assert(length_ > 0);
+  return static_cast<double>(count_ones()) / static_cast<double>(length_);
+}
+
+double Bitstream::bipolar_value() const {
+  assert(length_ > 0);
+  const auto ones = static_cast<double>(count_ones());
+  const auto len = static_cast<double>(length_);
+  return (2.0 * ones - len) / len;
+}
+
+Bitstream Bitstream::and_with(const Bitstream& o) const {
+  assert(length_ == o.length_);
+  Bitstream r(length_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = words_[i] & o.words_[i];
+  return r;
+}
+
+Bitstream Bitstream::xnor_with(const Bitstream& o) const {
+  assert(length_ == o.length_);
+  Bitstream r(length_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~(words_[i] ^ o.words_[i]);
+  // Clear the padding bits above length_ so popcounts stay correct.
+  const std::size_t rem = length_ % kWordBits;
+  if (rem != 0 && !r.words_.empty()) r.words_.back() &= (std::uint64_t{1} << rem) - 1;
+  return r;
+}
+
+Bitstream Bitstream::sorted_ones_first() const {
+  Bitstream r(length_);
+  const std::size_t ones = count_ones();
+  for (std::size_t i = 0; i < ones; ++i) r.set(i, true);
+  return r;
+}
+
+std::size_t Bitstream::and_popcount(const Bitstream& a, const Bitstream& b) {
+  assert(a.length_ == b.length_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i)
+    n += static_cast<std::size_t>(std::popcount(a.words_[i] & b.words_[i]));
+  return n;
+}
+
+std::size_t Bitstream::xnor_popcount(const Bitstream& a, const Bitstream& b) {
+  assert(a.length_ == b.length_);
+  std::size_t n = 0;
+  const std::size_t nwords = a.words_.size();
+  for (std::size_t i = 0; i < nwords; ++i) {
+    std::uint64_t w = ~(a.words_[i] ^ b.words_[i]);
+    const bool last = (i + 1 == nwords);
+    const std::size_t rem = a.length_ % kWordBits;
+    if (last && rem != 0) w &= (std::uint64_t{1} << rem) - 1;
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+}  // namespace scnn::sc

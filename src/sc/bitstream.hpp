@@ -1,0 +1,65 @@
+// Stochastic-number bitstreams (Sec. 2.1 of the paper).
+//
+// A stochastic number (SN) is a bitstream whose frequency of 1s encodes a
+// value: p in [0,1] for unipolar encoding, 2p-1 in [-1,1] for bipolar.
+// This class stores streams packed 64 bits per word so that the conventional
+// AND/XNOR multipliers and the LUT builders can use word-wide popcounts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scnn::sc {
+
+class Bitstream {
+ public:
+  Bitstream() = default;
+  explicit Bitstream(std::size_t length);
+
+  [[nodiscard]] std::size_t length() const { return length_; }
+
+  void set(std::size_t i, bool v);
+  [[nodiscard]] bool get(std::size_t i) const;
+
+  /// Append one bit (grows the stream).
+  void push_back(bool v);
+
+  /// Total number of 1s.
+  [[nodiscard]] std::size_t count_ones() const;
+
+  /// Number of 1s among the first `k` bits.
+  [[nodiscard]] std::size_t count_ones_prefix(std::size_t k) const;
+
+  /// Unipolar value: ones / length.
+  [[nodiscard]] double unipolar_value() const;
+
+  /// Bipolar value: (2*ones - length) / length.
+  [[nodiscard]] double bipolar_value() const;
+
+  /// Bitwise AND (unipolar multiply when streams are uncorrelated).
+  [[nodiscard]] Bitstream and_with(const Bitstream& o) const;
+
+  /// Bitwise XNOR (bipolar multiply when streams are uncorrelated).
+  [[nodiscard]] Bitstream xnor_with(const Bitstream& o) const;
+
+  /// All 1s first, then all 0s — the reordering of Fig. 1(b). Value-preserving.
+  [[nodiscard]] Bitstream sorted_ones_first() const;
+
+  /// Packed words for fast external popcount loops (low bit = stream bit 0;
+  /// bits beyond length() are zero).
+  [[nodiscard]] std::span<const std::uint64_t> words() const { return words_; }
+
+  /// Number of 1s in AND of two equal-length streams (fast path).
+  static std::size_t and_popcount(const Bitstream& a, const Bitstream& b);
+
+  /// Number of 1s in XNOR of two equal-length streams (fast path).
+  static std::size_t xnor_popcount(const Bitstream& a, const Bitstream& b);
+
+ private:
+  std::size_t length_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace scnn::sc

@@ -1,0 +1,117 @@
+#include "sc/conventional.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "common/fixed_point.hpp"
+
+namespace scnn::sc {
+
+namespace {
+
+/// Shared serial loop: step both SNGs, combine bits, track running estimate.
+template <typename CombineFn, typename EstimateFn>
+MultiplyTrace run_serial(int n_bits, std::uint32_t code_x, std::uint32_t code_w, Sng& sng_x,
+                         Sng& sng_w, bool want_trace, CombineFn combine, EstimateFn estimate) {
+  const std::size_t len = std::size_t{1} << n_bits;
+  MultiplyTrace out;
+  if (want_trace) out.estimate_at_pow2.reserve(static_cast<std::size_t>(n_bits) + 1);
+  std::size_t ones = 0;
+  for (std::size_t c = 1; c <= len; ++c) {
+    const bool bx = sng_x.next(code_x);
+    const bool bw = sng_w.next(code_w);
+    if (combine(bx, bw)) ++ones;
+    if (want_trace && common::is_pow2(c)) out.estimate_at_pow2.push_back(estimate(ones, c));
+  }
+  out.final_estimate = estimate(ones, len);
+  return out;
+}
+
+}  // namespace
+
+MultiplyTrace bipolar_multiply(int n_bits, std::int32_t qx, std::int32_t qw, Sng& sng_x,
+                               Sng& sng_w, bool want_trace) {
+  const std::uint32_t half = 1u << (n_bits - 1);
+  const auto cx = static_cast<std::uint32_t>(qx + static_cast<std::int32_t>(half));
+  const auto cw = static_cast<std::uint32_t>(qw + static_cast<std::int32_t>(half));
+  return run_serial(
+      n_bits, cx, cw, sng_x, sng_w, want_trace, [](bool a, bool b) { return a == b; },
+      [](std::size_t ones, std::size_t c) {
+        return (2.0 * static_cast<double>(ones) - static_cast<double>(c)) /
+               static_cast<double>(c);
+      });
+}
+
+MultiplyTrace unipolar_multiply(int n_bits, std::uint32_t x, std::uint32_t w, Sng& sng_x,
+                                Sng& sng_w, bool want_trace) {
+  return run_serial(
+      n_bits, x, w, sng_x, sng_w, want_trace, [](bool a, bool b) { return a && b; },
+      [](std::size_t ones, std::size_t c) {
+        return static_cast<double>(ones) / static_cast<double>(c);
+      });
+}
+
+StreamBank::StreamBank(const std::string& sng_kind, int n_bits, std::uint32_t variant)
+    : n_(n_bits), kind_(sng_kind) {
+  const std::size_t len = std::size_t{1} << n_bits;
+  const std::size_t codes = len;
+  streams_.reserve(codes);
+  auto sng = make_sng(sng_kind, n_bits, variant);
+  for (std::size_t code = 0; code < codes; ++code) {
+    sng->reset();  // every multiply sees the same source phase (shared SNG)
+    streams_.push_back(generate_stream(*sng, static_cast<std::uint32_t>(code), len));
+  }
+}
+
+const Bitstream& StreamBank::unsigned_stream(std::uint32_t code) const {
+  assert(code < streams_.size());
+  return streams_[code];
+}
+
+const Bitstream& StreamBank::signed_stream(std::int32_t q) const {
+  const std::int32_t half = 1 << (n_ - 1);
+  assert(q >= -half && q < half);
+  return streams_[static_cast<std::size_t>(q + half)];
+}
+
+double bipolar_estimate_prefix(const Bitstream& sx, const Bitstream& sw, std::size_t cycles) {
+  assert(cycles >= 1 && cycles <= sx.length());
+  // XNOR-prefix popcount via inclusion-exclusion on AND and individual
+  // prefixes: |a XNOR b| = c - |a| - |b| + 2|a AND b| over the first c bits.
+  const std::size_t pa = sx.count_ones_prefix(cycles);
+  const std::size_t pb = sw.count_ones_prefix(cycles);
+  std::size_t pand = 0;
+  {
+    auto wa = sx.words();
+    auto wb = sw.words();
+    const std::size_t full = cycles / 64;
+    for (std::size_t i = 0; i < full; ++i)
+      pand += static_cast<std::size_t>(common::popcount(wa[i] & wb[i]));
+    const std::size_t rem = cycles % 64;
+    if (rem != 0) {
+      const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+      pand += static_cast<std::size_t>(common::popcount(wa[full] & wb[full] & mask));
+    }
+  }
+  const std::size_t ones = cycles - pa - pb + 2 * pand;
+  return (2.0 * static_cast<double>(ones) - static_cast<double>(cycles)) /
+         static_cast<double>(cycles);
+}
+
+double unipolar_estimate_prefix(const Bitstream& sx, const Bitstream& sw, std::size_t cycles) {
+  assert(cycles >= 1 && cycles <= sx.length());
+  auto wa = sx.words();
+  auto wb = sw.words();
+  std::size_t pand = 0;
+  const std::size_t full = cycles / 64;
+  for (std::size_t i = 0; i < full; ++i)
+    pand += static_cast<std::size_t>(common::popcount(wa[i] & wb[i]));
+  const std::size_t rem = cycles % 64;
+  if (rem != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << rem) - 1;
+    pand += static_cast<std::size_t>(common::popcount(wa[full] & wb[full] & mask));
+  }
+  return static_cast<double>(pand) / static_cast<double>(cycles);
+}
+
+}  // namespace scnn::sc

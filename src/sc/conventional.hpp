@@ -1,0 +1,72 @@
+// Conventional stochastic-computing multipliers (Sec. 2.1, Fig. 1a):
+// two SNGs feed an AND gate (unipolar) or an XNOR gate (bipolar); a
+// (up/down-)counter converts the product stream back to binary after 2^N
+// cycles. These are the baselines of Fig. 5 and of the SC-CNN comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sc/bitstream.hpp"
+#include "sc/sng.hpp"
+
+namespace scnn::sc {
+
+/// Result of one conventional multiply, including the convergence trace that
+/// Fig. 5 plots: the running estimate of the product at cycles 1, 2, 4, ...,
+/// 2^N (the paper's x-axis points).
+struct MultiplyTrace {
+  double final_estimate = 0.0;                ///< estimate after the full 2^N cycles
+  std::vector<double> estimate_at_pow2;       ///< index x -> estimate at cycle 2^x
+};
+
+/// Bipolar (signed) conventional SC multiply of two N-bit two's-complement
+/// codes qx, qw in [-2^(N-1), 2^(N-1)-1]. The SNGs see the offset-binary
+/// codes; the product stream is XNOR; the estimate after c cycles is
+/// (2*ones_c - c)/c, which converges to (qx/2^(N-1)) * (qw/2^(N-1)).
+MultiplyTrace bipolar_multiply(int n_bits, std::int32_t qx, std::int32_t qw,
+                               Sng& sng_x, Sng& sng_w, bool want_trace = false);
+
+/// Unipolar (unsigned) conventional SC multiply of codes x, w in [0, 2^N).
+/// Product stream is AND; estimate after c cycles is ones_c / c.
+MultiplyTrace unipolar_multiply(int n_bits, std::uint32_t x, std::uint32_t w,
+                                Sng& sng_x, Sng& sng_w, bool want_trace = false);
+
+/// Precomputed full-period streams for every N-bit code of one SNG.
+///
+/// Hardware analogue: one free-running generator shared over time; every
+/// multiply sees the same source sequence. This makes exhaustive error
+/// sweeps (Fig. 5) and CNN product-LUTs cheap: a multiply is a prefix
+/// popcount of an AND/XNOR of two cached streams.
+class StreamBank {
+ public:
+  /// `sng_kind` as accepted by make_sng(). If `offset_signed`, the bank is
+  /// indexed by two's-complement codes via their offset-binary image.
+  StreamBank(const std::string& sng_kind, int n_bits, std::uint32_t variant = 0);
+
+  /// Stream for an unsigned code in [0, 2^N).
+  [[nodiscard]] const Bitstream& unsigned_stream(std::uint32_t code) const;
+
+  /// Stream for a signed code in [-2^(N-1), 2^(N-1)-1] (offset-binary image).
+  [[nodiscard]] const Bitstream& signed_stream(std::int32_t q) const;
+
+  [[nodiscard]] int bits() const { return n_; }
+  [[nodiscard]] std::size_t stream_length() const { return std::size_t{1} << n_; }
+  [[nodiscard]] const std::string& kind() const { return kind_; }
+
+ private:
+  int n_;
+  std::string kind_;
+  std::vector<Bitstream> streams_;
+};
+
+/// Bipolar product estimate after the first `cycles` cycles, from two cached
+/// streams: (2 * xnor_ones_prefix - cycles) / cycles.
+double bipolar_estimate_prefix(const Bitstream& sx, const Bitstream& sw, std::size_t cycles);
+
+/// Unipolar product estimate after the first `cycles` cycles.
+double unipolar_estimate_prefix(const Bitstream& sx, const Bitstream& sw, std::size_t cycles);
+
+}  // namespace scnn::sc

@@ -1,0 +1,27 @@
+#include "sc/correlation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace scnn::sc {
+
+double scc(const Bitstream& a, const Bitstream& b) {
+  assert(a.length() == b.length() && a.length() > 0);
+  const auto len = static_cast<double>(a.length());
+  const double p1 = static_cast<double>(a.count_ones()) / len;
+  const double p2 = static_cast<double>(b.count_ones()) / len;
+  const double p11 = static_cast<double>(Bitstream::and_popcount(a, b)) / len;
+  const double indep = p1 * p2;
+  const double num = p11 - indep;
+  double denom;
+  if (num > 0) {
+    denom = std::min(p1, p2) - indep;
+  } else {
+    denom = indep - std::max(p1 + p2 - 1.0, 0.0);
+  }
+  if (std::abs(denom) < 1e-12) return 0.0;  // constant stream(s): undefined -> 0
+  return num / denom;
+}
+
+}  // namespace scnn::sc

@@ -1,0 +1,20 @@
+// Stochastic cross-correlation (SCC) between bitstreams (Alaghi & Hayes).
+//
+// Conventional SC multiplication is only correct when the operand streams
+// are uncorrelated (SCC ~ 0); SCC = +1 turns an AND into min(), SCC = -1
+// into max(x+y-1, 0). This module provides the metric used by tests to
+// verify that the SNG pairings this project relies on (two LFSR seeds,
+// Halton bases 2 & 3, ED + bit-reversed ED) actually decorrelate.
+#pragma once
+
+#include "sc/bitstream.hpp"
+
+namespace scnn::sc {
+
+/// SCC in [-1, +1]; 0 means independence-like behaviour. Defined as
+///   (p11 - p1*p2) / (min(p1,p2) - p1*p2)          if p11 > p1*p2
+///   (p11 - p1*p2) / (p1*p2 - max(p1+p2-1, 0))     otherwise,
+/// with 0 when the denominator degenerates (constant streams).
+double scc(const Bitstream& a, const Bitstream& b);
+
+}  // namespace scnn::sc

@@ -1,0 +1,34 @@
+#include "sc/ed.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+
+namespace scnn::sc {
+
+bool ed_bit(std::uint32_t code, std::uint64_t t, int n_bits) {
+  assert(n_bits >= 1 && n_bits <= 32);
+  const std::uint64_t denom_shift = static_cast<unsigned>(n_bits);
+  const std::uint64_t before = (t * code) >> denom_shift;
+  const std::uint64_t after = ((t + 1) * code) >> denom_shift;
+  return after != before;
+}
+
+Bitstream ed_stream(std::uint32_t code, int n_bits) {
+  const std::size_t len = std::size_t{1} << n_bits;
+  Bitstream s(len);
+  for (std::size_t t = 0; t < len; ++t) s.set(t, ed_bit(code, t, n_bits));
+  return s;
+}
+
+Bitstream ed_stream_scrambled(std::uint32_t code, int n_bits) {
+  const std::size_t len = std::size_t{1} << n_bits;
+  Bitstream s(len);
+  for (std::size_t t = 0; t < len; ++t) {
+    const auto tp = common::reverse_bits(t, n_bits);
+    s.set(t, ed_bit(code, tp, n_bits));
+  }
+  return s;
+}
+
+}  // namespace scnn::sc

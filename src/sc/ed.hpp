@@ -1,0 +1,40 @@
+// Even-distribution (ED) low-discrepancy code — reference [9] of the paper
+// (Kim, Lee, Choi, ASP-DAC'16), the third conventional-SC baseline of Fig. 5.
+//
+// ED spreads the 1s of a stochastic bitstream as evenly as possible over the
+// stream and emits 32 bits per cycle (bit-parallel SNG). We realize the even
+// spread with the exact rate sequence
+//     bit(t) = floor((t+1) * code / 2^N) - floor(t * code / 2^N)
+// which places round(k * code / 2^N) (+-1) ones in every prefix of length k —
+// the defining property of an even-distribution code.
+//
+// Substitution note (DESIGN.md Sec. 2): the original paper's encoder circuit
+// is not public; this generator produces streams with the same defining
+// even-distribution property and the same 32-bit/cycle interface, which is
+// what the accuracy comparison (Fig. 5) and area model (Table 2) consume.
+// Two ED streams of the same phase are strongly correlated; the multiplier in
+// conventional.cpp therefore time-scrambles the second operand with the
+// value-preserving bit-reversal permutation.
+#pragma once
+
+#include <cstdint>
+
+#include "sc/bitstream.hpp"
+
+namespace scnn::sc {
+
+/// One stream bit of the even-distribution code for an N-bit unsigned
+/// `code` at (0-based) position `t` within a 2^N-bit stream.
+bool ed_bit(std::uint32_t code, std::uint64_t t, int n_bits);
+
+/// Full 2^N-bit ED stream for `code`.
+Bitstream ed_stream(std::uint32_t code, int n_bits);
+
+/// ED stream with positions permuted by base-2 bit reversal (value-preserving
+/// decorrelation for the second operand of a multiplier).
+Bitstream ed_stream_scrambled(std::uint32_t code, int n_bits);
+
+/// Number of bits the ED SNG of [9] emits per clock cycle.
+inline constexpr int kEdBitsPerCycle = 32;
+
+}  // namespace scnn::sc

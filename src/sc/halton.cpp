@@ -1,0 +1,23 @@
+#include "sc/halton.hpp"
+
+#include "common/bits.hpp"
+
+namespace scnn::sc {
+
+double radical_inverse(std::uint64_t index, unsigned base) {
+  double inv_base = 1.0 / static_cast<double>(base);
+  double result = 0.0;
+  double frac = inv_base;
+  while (index != 0) {
+    result += static_cast<double>(index % base) * frac;
+    index /= base;
+    frac *= inv_base;
+  }
+  return result;
+}
+
+std::uint32_t radical_inverse_base2_int(std::uint64_t index, int bits) {
+  return static_cast<std::uint32_t>(common::reverse_bits(index, bits));
+}
+
+}  // namespace scnn::sc

@@ -1,0 +1,39 @@
+// Halton / van-der-Corput low-discrepancy sequences (Alaghi & Hayes, DATE'14
+// — reference [2] of the paper). Used as a drop-in replacement for the LFSR
+// inside the conventional SNG: comparing the input code against consecutive
+// radical-inverse values yields a low-discrepancy stochastic bitstream.
+//
+// The paper's Fig. 5 footnote: base 2 is used for the x operand and base 3
+// for the w operand (distinct bases keep the two streams uncorrelated).
+#pragma once
+
+#include <cstdint>
+
+namespace scnn::sc {
+
+/// Radical inverse of `index` in the given base, as a double in [0, 1).
+double radical_inverse(std::uint64_t index, unsigned base);
+
+/// Base-2 radical inverse of the low `bits` bits of `index` as an integer in
+/// [0, 2^bits): this is exactly bit reversal, and it permutes every aligned
+/// block of 2^bits consecutive indices.
+std::uint32_t radical_inverse_base2_int(std::uint64_t index, int bits);
+
+/// Streaming Halton sequence generator for one operand.
+class HaltonSequence {
+ public:
+  explicit HaltonSequence(unsigned base, std::uint64_t start_index = 0)
+      : base_(base), index_(start_index) {}
+
+  /// Next sequence value in [0, 1).
+  double next() { return radical_inverse(index_++, base_); }
+
+  [[nodiscard]] unsigned base() const { return base_; }
+  void reset(std::uint64_t start_index = 0) { index_ = start_index; }
+
+ private:
+  unsigned base_;
+  std::uint64_t index_;
+};
+
+}  // namespace scnn::sc

@@ -1,0 +1,48 @@
+#include "sc/lfsr.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace scnn::sc {
+
+std::uint32_t Lfsr::taps_for(int n_bits) {
+  // Standard maximal-length feedback polynomials (Xilinx XAPP052 table),
+  // expressed as a mask of the tapped state bits (bit n-1 = MSB).
+  switch (n_bits) {
+    case 2:  return 0b11;                    // x^2 + x + 1
+    case 3:  return 0b110;                   // taps 3,2
+    case 4:  return 0b1100;                  // taps 4,3
+    case 5:  return 0b10100;                 // taps 5,3
+    case 6:  return 0b110000;                // taps 6,5
+    case 7:  return 0b1100000;               // taps 7,6
+    case 8:  return 0b10111000;              // taps 8,6,5,4
+    case 9:  return 0b100010000;             // taps 9,5
+    case 10: return 0b1001000000;            // taps 10,7
+    case 11: return 0b10100000000;           // taps 11,9
+    case 12: return 0b111000001000;          // taps 12,11,10,4
+    case 13: return 0b1110010000000;         // taps 13,12,11,8
+    case 14: return 0b11100000000010;        // taps 14,13,12,2
+    case 15: return 0b110000000000000;       // taps 15,14
+    case 16: return 0b1101000000001000;      // taps 16,15,13,4
+    default:
+      throw std::invalid_argument("Lfsr: width must be in [2, 16]");
+  }
+}
+
+Lfsr::Lfsr(int n_bits, std::uint32_t seed)
+    : n_(n_bits),
+      mask_((1u << n_bits) - 1u),
+      taps_(taps_for(n_bits)),
+      state_(seed & mask_) {
+  if (state_ == 0) state_ = 1;  // all-zero is the lock-up state
+}
+
+std::uint32_t Lfsr::step() {
+  const auto fb = static_cast<std::uint32_t>(std::popcount(state_ & taps_) & 1);
+  state_ = ((state_ << 1) | fb) & mask_;
+  assert(state_ != 0);
+  return state_;
+}
+
+}  // namespace scnn::sc

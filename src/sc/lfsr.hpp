@@ -1,0 +1,34 @@
+// Maximal-period Fibonacci LFSR — the random-number core of the conventional
+// SNG (Sec. 2.1): "an N-bit LFSR and an N-bit comparator, which generates 1
+// if the random number is less than the input BN".
+#pragma once
+
+#include <cstdint>
+
+namespace scnn::sc {
+
+/// N-bit Fibonacci LFSR with maximal period 2^N - 1 (state 0 is excluded).
+class Lfsr {
+ public:
+  /// Supported widths: 2..16 bits. `seed` must be nonzero in the low n bits;
+  /// a zero seed is coerced to 1.
+  Lfsr(int n_bits, std::uint32_t seed);
+
+  /// Advance one step and return the new state (in [1, 2^n - 1]).
+  std::uint32_t step();
+
+  [[nodiscard]] std::uint32_t state() const { return state_; }
+  [[nodiscard]] int bits() const { return n_; }
+
+  /// Feedback tap mask (XOR of these state bits becomes the new LSB) for a
+  /// maximal-length sequence of the given width.
+  static std::uint32_t taps_for(int n_bits);
+
+ private:
+  int n_;
+  std::uint32_t mask_;
+  std::uint32_t taps_;
+  std::uint32_t state_;
+};
+
+}  // namespace scnn::sc

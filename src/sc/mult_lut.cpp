@@ -1,0 +1,70 @@
+#include "sc/mult_lut.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace scnn::sc {
+
+ProductLut::ProductLut(int n_bits, std::string name,
+                       const std::function<std::int32_t(std::int32_t, std::int32_t)>& product)
+    : n_(n_bits), name_(std::move(name)) {
+  if (n_bits < 2 || n_bits > 12)
+    throw std::invalid_argument("ProductLut: n_bits out of supported range [2,12]");
+  const std::int32_t half = 1 << (n_ - 1);
+  table_.resize(std::size_t{1} << (2 * n_));
+  for (std::int32_t qw = -half; qw < half; ++qw) {
+    for (std::int32_t qx = -half; qx < half; ++qx) {
+      const std::int32_t p = product(qw, qx);
+      assert(p >= INT16_MIN && p <= INT16_MAX);
+      table_[(static_cast<std::size_t>(qw + half) << n_) + static_cast<std::size_t>(qx + half)] =
+          static_cast<std::int16_t>(p);
+    }
+  }
+}
+
+double ProductLut::max_abs_error_lsb() const {
+  const std::int32_t half = 1 << (n_ - 1);
+  const double scale = static_cast<double>(half);
+  double worst = 0.0;
+  for (std::int32_t qw = -half; qw < half; ++qw) {
+    for (std::int32_t qx = -half; qx < half; ++qx) {
+      const double exact = static_cast<double>(qw) * static_cast<double>(qx) / scale;
+      const double err = std::abs(static_cast<double>(at(qw, qx)) - exact);
+      worst = std::max(worst, err);
+    }
+  }
+  return worst;
+}
+
+ProductLut make_fixed_point_lut(int n_bits) {
+  const std::int32_t div = 1 << (n_bits - 1);
+  return ProductLut(n_bits, "fixed", [div](std::int32_t qw, std::int32_t qx) {
+    // Sign-magnitude truncation (toward zero): zero-mean over symmetric
+    // products, unlike an arithmetic shift whose -0.5 LSB floor bias would
+    // accumulate across the hundreds of products of a conv output.
+    return (qw * qx) / div;
+  });
+}
+
+ProductLut make_conventional_sc_lut(int n_bits, const StreamBank& bank_x,
+                                    const StreamBank& bank_w) {
+  assert(bank_x.bits() == n_bits && bank_w.bits() == n_bits);
+  const auto len = static_cast<std::int64_t>(std::int64_t{1} << n_bits);
+  return ProductLut(
+      n_bits, "sc-" + bank_x.kind(), [&](std::int32_t qw, std::int32_t qx) {
+        const auto ones = static_cast<std::int64_t>(
+            Bitstream::xnor_popcount(bank_x.signed_stream(qx), bank_w.signed_stream(qw)));
+        const std::int64_t ud = 2 * ones - len;  // up/down counter, units 2^-N
+        return static_cast<std::int32_t>(ud >> 1);  // truncate to 2^-(N-1) units
+      });
+}
+
+ProductLut make_lfsr_sc_lut(int n_bits) {
+  const StreamBank bx("lfsr", n_bits, /*variant=*/0);
+  const StreamBank bw("lfsr", n_bits, /*variant=*/1);
+  return make_conventional_sc_lut(n_bits, bx, bw);
+}
+
+}  // namespace scnn::sc

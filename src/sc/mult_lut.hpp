@@ -1,0 +1,63 @@
+// Product lookup tables for fast CNN-scale simulation.
+//
+// Every multiplier in this project (fixed-point, conventional SC, proposed
+// SC) is a *deterministic* function of the two N-bit input codes once its
+// generator seeds/phases are fixed. A 2^N x 2^N table of products therefore
+// simulates the hardware bit-exactly at one load per MAC, which is what makes
+// the Fig. 6 CNN accuracy sweeps tractable in software.
+//
+// Products are stored in "accumulator LSB" units of 2^-(N-1) — the scale of
+// the paper's up/down counter — so all engines accumulate in the same domain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sc/conventional.hpp"
+
+namespace scnn::sc {
+
+class ProductLut {
+ public:
+  /// Build from an arbitrary product function of signed codes
+  /// (qw, qx) -> product in units of 2^-(N-1).
+  ProductLut(int n_bits, std::string name,
+             const std::function<std::int32_t(std::int32_t, std::int32_t)>& product);
+
+  /// Product for signed codes qw, qx in [-2^(N-1), 2^(N-1)-1].
+  [[nodiscard]] std::int32_t at(std::int32_t qw, std::int32_t qx) const {
+    const std::int32_t half = 1 << (n_ - 1);
+    return table_[(static_cast<std::size_t>(qw + half) << n_) +
+                  static_cast<std::size_t>(qx + half)];
+  }
+
+  [[nodiscard]] int bits() const { return n_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Max absolute deviation from the exact (double-precision) product over
+  /// all code pairs, in accumulator LSBs. Used by tests and EXPERIMENTS.md.
+  [[nodiscard]] double max_abs_error_lsb() const;
+
+ private:
+  int n_;
+  std::string name_;
+  std::vector<std::int16_t> table_;
+};
+
+/// Fixed-point binary multiplier: full product truncated (arithmetic shift,
+/// i.e. toward -inf) to the accumulator scale before accumulation — the
+/// paper's "multiplication result is truncated before accumulation".
+ProductLut make_fixed_point_lut(int n_bits);
+
+/// Conventional bipolar SC multiplier over full 2^N-cycle streams from two
+/// banks (normally two differently-seeded LFSR banks). The up/down counter
+/// result (units 2^-N) is truncated by one bit into accumulator units.
+ProductLut make_conventional_sc_lut(int n_bits, const StreamBank& bank_x,
+                                    const StreamBank& bank_w);
+
+/// Convenience: conventional LFSR-based SC with default seeds.
+ProductLut make_lfsr_sc_lut(int n_bits);
+
+}  // namespace scnn::sc

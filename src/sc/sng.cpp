@@ -1,0 +1,69 @@
+#include "sc/sng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace scnn::sc {
+
+// ---------------------------------------------------------------- LfsrSng
+
+LfsrSng::LfsrSng(int n_bits, std::uint32_t seed) : Sng(n_bits), seed_(seed), lfsr_(n_bits, seed) {}
+
+bool LfsrSng::next(std::uint32_t code) {
+  // Compare-then-step so the seed itself participates in the sequence.
+  const bool bit = lfsr_.state() < code;
+  lfsr_.step();
+  return bit;
+}
+
+void LfsrSng::reset() { lfsr_ = Lfsr(n_, seed_); }
+
+// -------------------------------------------------------------- HaltonSng
+
+HaltonSng::HaltonSng(int n_bits, unsigned base)
+    : Sng(n_bits), seq_(base), scale_(std::ldexp(1.0, n_bits)) {}
+
+bool HaltonSng::next(std::uint32_t code) {
+  return seq_.next() * scale_ < static_cast<double>(code);
+}
+
+void HaltonSng::reset() { seq_.reset(); }
+
+std::string HaltonSng::name() const { return "halton" + std::to_string(seq_.base()); }
+
+// ------------------------------------------------------------------ EdSng
+
+EdSng::EdSng(int n_bits, bool scrambled) : Sng(n_bits), scrambled_(scrambled) {}
+
+bool EdSng::next(std::uint32_t code) {
+  const std::uint64_t period = std::uint64_t{1} << n_;
+  const std::uint64_t pos = t_++ % period;
+  const std::uint64_t eff = scrambled_ ? common::reverse_bits(pos, n_) : pos;
+  return ed_bit(code, eff, n_);
+}
+
+void EdSng::reset() { t_ = 0; }
+
+// ------------------------------------------------------------------ misc
+
+Bitstream generate_stream(Sng& sng, std::uint32_t code, std::size_t length) {
+  Bitstream s(length);
+  for (std::size_t i = 0; i < length; ++i) s.set(i, sng.next(code));
+  return s;
+}
+
+std::unique_ptr<Sng> make_sng(const std::string& kind, int n_bits, std::uint32_t variant) {
+  if (kind == "lfsr") {
+    // Distinct odd seeds per variant keep parallel streams uncorrelated.
+    return std::make_unique<LfsrSng>(n_bits, 0x5AD1u + 2 * variant + 1);
+  }
+  if (kind == "halton2") return std::make_unique<HaltonSng>(n_bits, 2);
+  if (kind == "halton3") return std::make_unique<HaltonSng>(n_bits, 3);
+  if (kind == "ed") return std::make_unique<EdSng>(n_bits, false);
+  if (kind == "ed*") return std::make_unique<EdSng>(n_bits, true);
+  throw std::invalid_argument("make_sng: unknown kind '" + kind + "'");
+}
+
+}  // namespace scnn::sc

@@ -1,0 +1,93 @@
+// Stochastic Number Generators (BN -> SN converters), Sec. 2.1.
+//
+// Every SNG here follows the comparator structure: a per-cycle "random"
+// source r_t in [0, 2^N) and the stream bit (r_t < code). What varies is the
+// source: LFSR (conventional), Halton radical inverse (low-discrepancy,
+// ref [2]), or even-distribution code (ref [9], which folds the comparator
+// into the code generator).
+//
+// Signed (bipolar-style) operands are handled at the call site by converting
+// an N-bit two's-complement value q to its offset-binary code q + 2^(N-1);
+// the stream then encodes (value+1)/2 in unipolar form, which is exactly the
+// bipolar encoding of `value`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sc/bitstream.hpp"
+#include "sc/ed.hpp"
+#include "sc/halton.hpp"
+#include "sc/lfsr.hpp"
+
+namespace scnn::sc {
+
+/// Abstract comparator-style SNG emitting one stream bit per call.
+class Sng {
+ public:
+  virtual ~Sng() = default;
+
+  /// Next stream bit for an N-bit unsigned threshold `code` in [0, 2^N].
+  virtual bool next(std::uint32_t code) = 0;
+
+  /// Restart the underlying sequence from its initial phase.
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] int bits() const { return n_; }
+
+ protected:
+  explicit Sng(int n_bits) : n_(n_bits) {}
+  int n_;
+};
+
+/// Conventional LFSR + comparator SNG.
+class LfsrSng final : public Sng {
+ public:
+  LfsrSng(int n_bits, std::uint32_t seed);
+  bool next(std::uint32_t code) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return "lfsr"; }
+
+ private:
+  std::uint32_t seed_;
+  Lfsr lfsr_;
+};
+
+/// Halton-sequence SNG (radical inverse in a given base), ref [2].
+class HaltonSng final : public Sng {
+ public:
+  HaltonSng(int n_bits, unsigned base);
+  bool next(std::uint32_t code) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  HaltonSequence seq_;
+  double scale_;  // 2^N, to compare the [0,1) inverse against the code
+};
+
+/// Even-distribution SNG (ref [9]); bit-serial view of the 32-bit/cycle code.
+class EdSng final : public Sng {
+ public:
+  /// `scrambled` applies the value-preserving bit-reversal time permutation
+  /// (used for the second operand of a multiplier to break correlation).
+  EdSng(int n_bits, bool scrambled);
+  bool next(std::uint32_t code) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override { return scrambled_ ? "ed*" : "ed"; }
+
+ private:
+  bool scrambled_;
+  std::uint64_t t_ = 0;
+};
+
+/// Generate a `length`-bit stream for `code` from the given SNG.
+Bitstream generate_stream(Sng& sng, std::uint32_t code, std::size_t length);
+
+/// Factory by name: "lfsr" (seed salt in `variant`), "halton2", "halton3",
+/// "ed", "ed*".
+std::unique_ptr<Sng> make_sng(const std::string& kind, int n_bits, std::uint32_t variant = 0);
+
+}  // namespace scnn::sc

@@ -1,0 +1,73 @@
+#include "sc/stanh.hpp"
+
+#include <algorithm>
+#include <vector>
+#include <cassert>
+#include <stdexcept>
+
+namespace scnn::sc {
+
+StanhFsm::StanhFsm(int states) : states_(states), state_(states / 2) {
+  if (states < 2 || states % 2 != 0)
+    throw std::invalid_argument("StanhFsm: state count must be even and >= 2");
+}
+
+bool StanhFsm::step(bool in) {
+  state_ = std::clamp(state_ + (in ? 1 : -1), 0, states_ - 1);
+  return state_ >= states_ / 2;
+}
+
+void StanhFsm::reset() { state_ = states_ / 2; }
+
+Bitstream stanh_stream(const Bitstream& input, int states) {
+  StanhFsm fsm(states);
+  Bitstream out(input.length());
+  for (std::size_t i = 0; i < input.length(); ++i) out.set(i, fsm.step(input.get(i)));
+  return out;
+}
+
+FullyParallelNeuron::FullyParallelNeuron(int fan_in, int fsm_states)
+    : d_(fan_in), fsm_(fsm_states * fan_in) {
+  // The FSM state space scales with fan-in (the APC adds up to d per cycle),
+  // mirroring the DAC'16 sizing where the tanh counter width tracks the
+  // adder tree output.
+  if (fan_in < 1) throw std::invalid_argument("FullyParallelNeuron: fan_in >= 1");
+}
+
+bool FullyParallelNeuron::step(std::span<const std::uint8_t> x_bits,
+                               std::span<const std::uint8_t> w_bits) {
+  assert(x_bits.size() == static_cast<std::size_t>(d_) && w_bits.size() == x_bits.size());
+  // d XNOR product bits -> APC count s in [0, d]; the activation counter
+  // moves by the *signed* sum 2s - d (all d bipolar products at once).
+  int s = 0;
+  for (int i = 0; i < d_; ++i)
+    if (x_bits[static_cast<std::size_t>(i)] == w_bits[static_cast<std::size_t>(i)]) ++s;
+  bool out = false;
+  const int delta = 2 * s - d_;
+  // The FSM consumes |delta| unit steps in the delta direction this cycle.
+  for (int k = 0; k < (delta >= 0 ? delta : -delta); ++k) out = fsm_.step(delta >= 0);
+  if (delta == 0) out = fsm_.state() >= fsm_.states() / 2;
+  return out;
+}
+
+double FullyParallelNeuron::run(std::span<const Bitstream> x_streams,
+                                std::span<const Bitstream> w_streams) {
+  assert(x_streams.size() == static_cast<std::size_t>(d_) &&
+         w_streams.size() == x_streams.size());
+  const std::size_t len = x_streams[0].length();
+  std::vector<std::uint8_t> xb(static_cast<std::size_t>(d_)), wb(static_cast<std::size_t>(d_));
+  std::size_t ones = 0;
+  for (std::size_t t = 0; t < len; ++t) {
+    for (int i = 0; i < d_; ++i) {
+      xb[static_cast<std::size_t>(i)] = x_streams[static_cast<std::size_t>(i)].get(t) ? 1 : 0;
+      wb[static_cast<std::size_t>(i)] = w_streams[static_cast<std::size_t>(i)].get(t) ? 1 : 0;
+    }
+    if (step(xb, wb)) ++ones;
+  }
+  const auto n = static_cast<double>(len);
+  return (2.0 * static_cast<double>(ones) - n) / n;
+}
+
+void FullyParallelNeuron::reset() { fsm_.reset(); }
+
+}  // namespace scnn::sc

@@ -1,0 +1,68 @@
+// Stochastic tanh (Brown & Card FSM) and the fully-parallel SC neuron of
+// the prior work the paper positions against (refs [3], [8], [17]: "the
+// previous work on SC-DNNs assumes a fully-parallel architecture").
+//
+// The neuron computes act(sum_i w_i * x_i) entirely in the stochastic
+// domain: per cycle, d XNOR gates produce the product bits, an approximate
+// parallel counter (APC) sums them, and a saturating up/down counter FSM
+// implements a tanh-shaped activation whose output bit is the MSB of the
+// state (Kim et al., DAC'16). This substrate exists so the repository can
+// demonstrate the contrast the paper draws: fully-parallel SC is extremely
+// energy-efficient per neuron but its area grows with fan-in and it cannot
+// be time-multiplexed, whereas BISC-MVM scales.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sc/bitstream.hpp"
+
+namespace scnn::sc {
+
+/// Brown-Card FSM stochastic tanh: a K-state saturating counter; input bit
+/// 1 moves up, 0 moves down; output is 1 in the upper half of the states.
+/// For a bipolar input stream of value v, the output stream's bipolar value
+/// approximates tanh(K/2 * v).
+class StanhFsm {
+ public:
+  explicit StanhFsm(int states);
+
+  /// Process one input bit; returns the output bit.
+  bool step(bool in);
+
+  void reset();
+  [[nodiscard]] int states() const { return states_; }
+  [[nodiscard]] int state() const { return state_; }
+
+ private:
+  int states_;
+  int state_;
+};
+
+/// Transform a whole bipolar stream through the FSM tanh.
+Bitstream stanh_stream(const Bitstream& input, int states);
+
+/// Fully-parallel SC neuron (DAC'16 [8] style): d XNOR product lanes, an
+/// APC, and a counter-based tanh whose step size is the APC output.
+class FullyParallelNeuron {
+ public:
+  /// `fan_in` inputs; `fsm_states` controls the activation gain.
+  FullyParallelNeuron(int fan_in, int fsm_states);
+
+  /// One cycle: `x_bits` and `w_bits` are the current stochastic bits
+  /// (0/1 bytes) of all inputs/weights; returns the activation output bit.
+  bool step(std::span<const std::uint8_t> x_bits, std::span<const std::uint8_t> w_bits);
+
+  /// Run full streams (each stream is one operand lane) and return the
+  /// bipolar value of the output stream.
+  double run(std::span<const Bitstream> x_streams, std::span<const Bitstream> w_streams);
+
+  void reset();
+  [[nodiscard]] int fan_in() const { return d_; }
+
+ private:
+  int d_;
+  StanhFsm fsm_;
+};
+
+}  // namespace scnn::sc

@@ -1,0 +1,79 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scnn::common {
+namespace {
+
+TEST(Bits, TrailingZeros) {
+  EXPECT_EQ(trailing_zeros(1), 0);
+  EXPECT_EQ(trailing_zeros(8), 3);
+  EXPECT_EQ(trailing_zeros(12), 2);
+  EXPECT_EQ(trailing_zeros(std::uint64_t{1} << 63), 63);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 40));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(Bits, FloorCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(Bits, RoundDivPow2HalfUp) {
+  // round(k / 2^i) with ties up: the count theorem of the paper's Sec. 2.3
+  // depends on this exact tie-breaking.
+  EXPECT_EQ(round_div_pow2(7, 1), 4u);   // 3.5 -> 4
+  EXPECT_EQ(round_div_pow2(7, 2), 2u);   // 1.75 -> 2
+  EXPECT_EQ(round_div_pow2(7, 3), 1u);   // 0.875 -> 1
+  EXPECT_EQ(round_div_pow2(7, 4), 0u);   // 0.4375 -> 0
+  EXPECT_EQ(round_div_pow2(8, 4), 1u);   // 0.5 -> 1 (tie up)
+  EXPECT_EQ(round_div_pow2(0, 5), 0u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b0001, 4), 0b1000u);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101u);
+  EXPECT_EQ(reverse_bits(0, 10), 0u);
+  // Involution: reversing twice is the identity.
+  for (std::uint64_t v = 0; v < 64; ++v) EXPECT_EQ(reverse_bits(reverse_bits(v, 6), 6), v);
+}
+
+TEST(Bits, RulerSequence) {
+  // 0,1,0,2,0,1,0,3,... (OEIS A007814)
+  const int expected[] = {0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 4};
+  for (std::uint64_t t = 1; t <= 16; ++t) EXPECT_EQ(ruler(t), expected[t - 1]) << "t=" << t;
+}
+
+// Property: reverse_bits maps each aligned block of 2^n indices onto a
+// permutation of [0, 2^n) — the van-der-Corput base-2 property used by the
+// ED scrambler and the Halton base-2 SNG.
+class ReversePermutation : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReversePermutation, BlockIsPermutation) {
+  const int n = GetParam();
+  std::vector<bool> seen(std::size_t{1} << n, false);
+  for (std::uint64_t i = 0; i < (std::uint64_t{1} << n); ++i) {
+    const auto r = reverse_bits(i, n);
+    ASSERT_LT(r, std::uint64_t{1} << n);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ReversePermutation, ::testing::Values(1, 2, 3, 5, 8, 10, 12));
+
+}  // namespace
+}  // namespace scnn::common

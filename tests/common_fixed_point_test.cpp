@@ -1,0 +1,87 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scnn::common {
+namespace {
+
+TEST(FixedPoint, RangeLimits) {
+  EXPECT_EQ(int_min_of(4), -8);
+  EXPECT_EQ(int_max_of(4), 7);
+  EXPECT_EQ(int_min_of(11), -1024);
+  EXPECT_EQ(int_max_of(11), 1023);
+}
+
+TEST(FixedPoint, SaturateClamps) {
+  EXPECT_EQ(saturate(100, 4), 7);
+  EXPECT_EQ(saturate(-100, 4), -8);
+  EXPECT_EQ(saturate(5, 4), 5);
+  EXPECT_EQ(saturate(-8, 4), -8);
+}
+
+TEST(FixedPoint, QuantizeRoundTrip) {
+  // N = 8: codes in [-128, 127], value = code / 128.
+  EXPECT_EQ(quantize(0.0, 8), 0);
+  EXPECT_EQ(quantize(0.5, 8), 64);
+  EXPECT_EQ(quantize(-0.5, 8), -64);
+  EXPECT_EQ(quantize(1.0, 8), 127);    // saturates: 1.0 is not representable
+  EXPECT_EQ(quantize(-1.0, 8), -128);
+  EXPECT_DOUBLE_EQ(dequantize(64, 8), 0.5);
+  EXPECT_DOUBLE_EQ(dequantize(-128, 8), -1.0);
+}
+
+TEST(FixedPoint, QuantizeRoundsToNearest) {
+  // 0.3 * 16 = 4.8 -> 5 at N=5.
+  EXPECT_EQ(quantize(0.3, 5), 5);
+  EXPECT_EQ(quantize(-0.3, 5), -5);
+}
+
+TEST(FixedPoint, TwosComplementCodec) {
+  for (int n : {4, 5, 9, 10}) {
+    const std::int32_t half = 1 << (n - 1);
+    for (std::int32_t q = -half; q < half; ++q) {
+      const auto code = to_twos_complement(q, n);
+      EXPECT_LT(code, 1u << n);
+      EXPECT_EQ(from_twos_complement(code, n), q) << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(FixedPoint, TwosComplementTable1Examples) {
+  // Table 1 of the paper (N = 4): 0 -> 0000, 7 -> 0111, -8 -> 1000.
+  EXPECT_EQ(to_twos_complement(0, 4), 0b0000u);
+  EXPECT_EQ(to_twos_complement(7, 4), 0b0111u);
+  EXPECT_EQ(to_twos_complement(-8, 4), 0b1000u);
+}
+
+TEST(SaturatingAccumulator, TicksAndClamps) {
+  SaturatingAccumulator acc(4);  // range [-8, 7]
+  for (int i = 0; i < 20; ++i) acc.tick(true);
+  EXPECT_EQ(acc.value(), 7);
+  EXPECT_TRUE(acc.at_rail());
+  for (int i = 0; i < 40; ++i) acc.tick(false);
+  EXPECT_EQ(acc.value(), -8);
+  EXPECT_TRUE(acc.at_rail());
+  acc.reset();
+  EXPECT_EQ(acc.value(), 0);
+}
+
+TEST(SaturatingAccumulator, AddMatchesTicksWithoutSaturation) {
+  SaturatingAccumulator a(10), b(10);
+  a.add(37);
+  for (int i = 0; i < 37; ++i) b.tick(true);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(SaturatingAccumulator, PaperConfigurationNPlusA) {
+  // The paper uses an (N + A)-bit saturating counter with A = 2: at N = 9
+  // the accumulator holds values in [-1024, 1023] (11 bits).
+  SaturatingAccumulator acc(9 + 2);
+  acc.add(5000);
+  EXPECT_EQ(acc.value(), 1023);
+  acc.add(-10000);
+  EXPECT_EQ(acc.value(), -1024);
+}
+
+}  // namespace
+}  // namespace scnn::common

@@ -1,0 +1,73 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace scnn::common {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.max_abs(), 9.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MaxAbsTracksNegatives) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.max_abs(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  SplitMix64 rng(42);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_gaussian();
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.max_abs(), all.max_abs());
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.max_abs(), 0.0);
+}
+
+TEST(SplitMix64, DeterministicAndSpread) {
+  SplitMix64 a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+  RunningStats s;
+  SplitMix64 r(123);
+  for (int i = 0; i < 10000; ++i) s.add(r.next_double());
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  EXPECT_GT(s.min(), -1e-12);
+  EXPECT_LT(s.max(), 1.0);
+}
+
+TEST(SplitMix64, GaussianMoments) {
+  SplitMix64 r(99);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace scnn::common

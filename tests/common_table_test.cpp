@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace scnn::common {
+namespace {
+
+TEST(Table, FormatsIntegersWithoutDecimals) {
+  EXPECT_EQ(Table::fmt(3.0), "3");
+  EXPECT_EQ(Table::fmt(-17.0), "-17");
+  EXPECT_EQ(Table::fmt(0.0), "0");
+}
+
+TEST(Table, FormatsFractionsWithPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 3), "3.142");
+  EXPECT_EQ(Table::fmt(3.14159, 1), "3.1");
+  EXPECT_EQ(Table::fmt(-0.5, 2), "-0.50");
+}
+
+TEST(Table, AlignsColumnsAndRules) {
+  Table t({"a", "longheader"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line has the same width (right-aligned columns).
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);
+  const std::size_t w = line.size();
+  while (std::getline(is, line)) EXPECT_EQ(line.size(), w) << line;
+}
+
+TEST(Table, AddRowValues) {
+  Table t({"x", "y"});
+  t.add_row_values({1.0, 2.5});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("2.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scnn::common

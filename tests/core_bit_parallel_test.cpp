@@ -1,0 +1,82 @@
+#include "core/bit_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/scmac.hpp"
+
+namespace scnn::core {
+namespace {
+
+// THE claim of Sec. 2.5: "our bit-parallel computation result is exactly the
+// same as our bit-serial result" — exhaustive over all inputs per (N, b).
+class ParallelEqualsSerial : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ParallelEqualsSerial, ExactEquality) {
+  const auto [n, b] = GetParam();
+  const BitParallelMultiplier bp(n, b);
+  const std::int32_t half = 1 << (n - 1);
+  const int stride = n >= 8 ? 3 : 1;
+  for (std::int32_t qx = -half; qx < half; qx += stride) {
+    for (std::int32_t qw = -half; qw < half; qw += stride) {
+      const auto r = bp.multiply(qx, qw);
+      ASSERT_EQ(r.product, multiply_signed(n, qx, qw))
+          << "n=" << n << " b=" << b << " qx=" << qx << " qw=" << qw;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ParallelEqualsSerial,
+                         ::testing::Values(std::tuple{4, 2}, std::tuple{4, 4}, std::tuple{5, 2},
+                                           std::tuple{5, 8}, std::tuple{6, 4}, std::tuple{8, 8},
+                                           std::tuple{8, 16}, std::tuple{9, 8}, std::tuple{9, 32},
+                                           std::tuple{10, 16}));
+
+TEST(BitParallel, CyclesAreCeilKOverB) {
+  const BitParallelMultiplier bp(9, 8);
+  EXPECT_EQ(bp.multiply(100, 0).cycles, 0u);
+  EXPECT_EQ(bp.multiply(100, 1).cycles, 1u);
+  EXPECT_EQ(bp.multiply(100, 8).cycles, 1u);
+  EXPECT_EQ(bp.multiply(100, 9).cycles, 2u);
+  EXPECT_EQ(bp.multiply(100, -17).cycles, 3u);
+  EXPECT_EQ(bp.multiply(100, -256).cycles, 32u);
+}
+
+TEST(BitParallel, DegreeOneIsSerial) {
+  const BitParallelMultiplier bp(6, 1);
+  for (std::int32_t qw : {-32, -7, 0, 5, 31}) {
+    const auto r = bp.multiply(-13, qw);
+    EXPECT_EQ(r.cycles, multiply_latency(qw));
+    EXPECT_EQ(r.product, multiply_signed(6, -13, qw));
+  }
+}
+
+TEST(BitParallel, OnesInColumnMatchesSerialWindow) {
+  // The hardware ones-counter over column `col` top `rows` bits equals
+  // literally counting stream bits in that window.
+  const int n = 6, b = 4;
+  const BitParallelMultiplier bp(n, b);
+  FsmMuxSequence seq(n);
+  for (std::uint32_t u : {0u, 7u, 32u, 45u, 63u}) {
+    for (std::uint32_t col = 0; col < 8; ++col) {
+      for (std::uint32_t rows = 0; rows <= 4; ++rows) {
+        std::uint32_t direct = 0;
+        for (std::uint32_t r = 1; r <= rows; ++r)
+          direct += seq.stream_bit(u, static_cast<std::uint64_t>(col) * b + r) ? 1 : 0;
+        ASSERT_EQ(bp.ones_in_column(u, col, rows), direct)
+            << "u=" << u << " col=" << col << " rows=" << rows;
+      }
+    }
+  }
+}
+
+TEST(BitParallel, RejectsInvalidDegrees) {
+  EXPECT_THROW(BitParallelMultiplier(8, 3), std::invalid_argument);
+  EXPECT_THROW(BitParallelMultiplier(8, 0), std::invalid_argument);
+  EXPECT_THROW(BitParallelMultiplier(4, 16), std::invalid_argument);
+  EXPECT_NO_THROW(BitParallelMultiplier(4, 8));
+}
+
+}  // namespace
+}  // namespace scnn::core

@@ -1,0 +1,150 @@
+#include "core/conv_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "core/scmac.hpp"
+
+namespace scnn::core {
+namespace {
+
+std::vector<std::int32_t> random_codes(std::size_t count, int n_bits, std::uint64_t seed) {
+  common::SplitMix64 rng(seed);
+  const std::int32_t half = 1 << (n_bits - 1);
+  std::vector<std::int32_t> v(count);
+  for (auto& c : v)
+    c = static_cast<std::int32_t>(rng.next_below(static_cast<std::uint64_t>(2 * half))) - half;
+  return v;
+}
+
+/// Direct reference: per-output saturating accumulation of proposed products.
+std::vector<std::int32_t> reference_conv(const ConvDims& d,
+                                         std::span<const std::int32_t> w,
+                                         std::span<const std::int32_t> in, int n_bits,
+                                         int accum_bits) {
+  const int R = d.out_rows(), C = d.out_cols();
+  std::vector<std::int32_t> out(static_cast<std::size_t>(d.M) * R * C, 0);
+  for (int m = 0; m < d.M; ++m) {
+    for (int r = 0; r < R; ++r) {
+      for (int c = 0; c < C; ++c) {
+        common::SaturatingAccumulator acc(n_bits + accum_bits);
+        for (int z = 0; z < d.Z; ++z) {
+          for (int i = 0; i < d.K; ++i) {
+            for (int j = 0; j < d.K; ++j) {
+              const int y = d.S * r + i - d.P, x = d.S * c + j - d.P;
+              const std::int32_t qx =
+                  (y < 0 || y >= d.H || x < 0 || x >= d.W)
+                      ? 0
+                      : in[(static_cast<std::size_t>(z) * d.H + y) * d.W + x];
+              const std::int32_t qw = w[(static_cast<std::size_t>(m) * d.Z + z) *
+                                            static_cast<std::size_t>(d.K) * d.K +
+                                        static_cast<std::size_t>(i) * d.K + j];
+              // Tick-level equivalent when no mid-product rail bounce occurs;
+              // with generous accum_bits the two coincide.
+              acc.add(multiply_signed(n_bits, qx, qw));
+            }
+          }
+        }
+        out[(static_cast<std::size_t>(m) * R + r) * C + c] = static_cast<std::int32_t>(acc.value());
+      }
+    }
+  }
+  return out;
+}
+
+TEST(ConvDims, OutputGeometry) {
+  const ConvDims d{.M = 20, .Z = 1, .H = 28, .W = 28, .K = 5, .S = 1, .P = 0};
+  EXPECT_EQ(d.out_rows(), 24);
+  EXPECT_EQ(d.out_cols(), 24);
+  EXPECT_EQ(d.mac_count(), 20ull * 24 * 24 * 25);
+  const ConvDims pad{.M = 4, .Z = 3, .H = 32, .W = 32, .K = 5, .S = 1, .P = 2};
+  EXPECT_EQ(pad.out_rows(), 32);
+  EXPECT_EQ(pad.out_cols(), 32);
+}
+
+TEST(ConvScheduler, MvmConvMatchesReference) {
+  const ConvDims d{.M = 3, .Z = 2, .H = 8, .W = 8, .K = 3, .S = 1, .P = 1};
+  const int n = 6, a = 8;  // generous accumulator: no saturation
+  const auto w = random_codes(static_cast<std::size_t>(d.M) * d.Z * d.K * d.K, n, 1);
+  const auto in = random_codes(static_cast<std::size_t>(d.Z) * d.H * d.W, n, 2);
+  const Tiling t{.tm = 2, .tr = 3, .tc = 4};
+  const auto got = conv_via_mvm(d, t, w, in, n, a);
+  const auto ref = reference_conv(d, w, in, n, a);
+  ASSERT_EQ(got.out.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) ASSERT_EQ(got.out[i], ref[i]) << i;
+}
+
+TEST(ConvScheduler, BitParallelConvMatchesSerialConv) {
+  const ConvDims d{.M = 2, .Z = 1, .H = 6, .W = 6, .K = 3, .S = 1, .P = 0};
+  const int n = 8, a = 8;
+  const auto w = random_codes(static_cast<std::size_t>(d.M) * d.Z * d.K * d.K, n, 3);
+  const auto in = random_codes(static_cast<std::size_t>(d.Z) * d.H * d.W, n, 4);
+  const Tiling t{.tm = 1, .tr = 2, .tc = 2};
+  const auto serial = conv_via_mvm(d, t, w, in, n, a, 1);
+  const auto par = conv_via_mvm(d, t, w, in, n, a, 8);
+  EXPECT_EQ(serial.out, par.out);
+  EXPECT_GT(serial.cycles, par.cycles);  // parallel is strictly faster here
+}
+
+TEST(ConvScheduler, ScheduleMatchesFunctionalCycles) {
+  const ConvDims d{.M = 4, .Z = 2, .H = 10, .W = 10, .K = 3, .S = 1, .P = 0};
+  const int n = 7;
+  const auto w = random_codes(static_cast<std::size_t>(d.M) * d.Z * d.K * d.K, n, 5);
+  const auto in = random_codes(static_cast<std::size_t>(d.Z) * d.H * d.W, n, 6);
+  const Tiling t{.tm = 2, .tr = 4, .tc = 4};
+  const auto sched = schedule_conv(d, t, w, n);
+  const auto run = conv_via_mvm(d, t, w, in, n, 8);
+  EXPECT_EQ(sched.total_cycles, run.cycles);
+}
+
+TEST(ConvScheduler, ScheduleMatchesFunctionalCyclesBitParallel) {
+  const ConvDims d{.M = 3, .Z = 1, .H = 9, .W = 9, .K = 3, .S = 2, .P = 1};
+  const int n = 9;
+  const auto w = random_codes(static_cast<std::size_t>(d.M) * d.Z * d.K * d.K, n, 7);
+  const auto in = random_codes(static_cast<std::size_t>(d.Z) * d.H * d.W, n, 8);
+  const Tiling t{.tm = 3, .tr = 2, .tc = 3};
+  const auto sched = schedule_conv(d, t, w, n, /*bit_parallel=*/8);
+  const auto run = conv_via_mvm(d, t, w, in, n, 8, /*bit_parallel=*/8);
+  EXPECT_EQ(sched.total_cycles, run.cycles);
+}
+
+TEST(ConvScheduler, SmallWeightsMeanLowLatency) {
+  // Sec. 3.2: bell-shaped weights around zero => avg cycles/MAC far below
+  // the conventional-SC 2^N.
+  const ConvDims d{.M = 8, .Z = 4, .H = 12, .W = 12, .K = 3, .S = 1, .P = 0};
+  const int n = 8;
+  // Small weights: |qw| <= 8 out of 128.
+  std::vector<std::int32_t> w(static_cast<std::size_t>(d.M) * d.Z * d.K * d.K);
+  common::SplitMix64 rng(9);
+  for (auto& c : w) c = static_cast<std::int32_t>(rng.next_below(17)) - 8;
+  const Tiling t{.tm = 4, .tr = 4, .tc = 4};
+  const auto sched = schedule_conv(d, t, w, n);
+  EXPECT_LE(sched.avg_cycles_per_mac, 10.0);
+  const auto conv_sc = conventional_sc_conv_cycles(d, t, n);
+  EXPECT_LT(sched.total_cycles * 10, conv_sc);  // >10x faster than conv. SC
+}
+
+TEST(ConvScheduler, BinaryCyclesBaseline) {
+  const ConvDims d{.M = 4, .Z = 2, .H = 8, .W = 8, .K = 3, .S = 1, .P = 0};
+  const Tiling t{.tm = 2, .tr = 2, .tc = 2};
+  // m-tiles=2, positions=3*3, d=18 -> 2*9*18 = 324 cycles.
+  EXPECT_EQ(binary_conv_cycles(d, t), 324u);
+  EXPECT_EQ(conventional_sc_conv_cycles(d, t, 5), 324u * 32u);
+}
+
+TEST(ConvScheduler, RejectsBadShapes) {
+  const ConvDims d{.M = 2, .Z = 1, .H = 4, .W = 4, .K = 3, .S = 1, .P = 0};
+  const Tiling t{.tm = 1, .tr = 2, .tc = 2};
+  std::vector<std::int32_t> w(5, 0);   // wrong weight count
+  std::vector<std::int32_t> in(16, 0);
+  EXPECT_THROW(conv_via_mvm(d, t, w, in, 5, 2), std::invalid_argument);
+  std::vector<std::int32_t> w_ok(static_cast<std::size_t>(2) * 9, 0);
+  std::vector<std::int32_t> in_bad(7, 0);
+  EXPECT_THROW(conv_via_mvm(d, t, w_ok, in_bad, 5, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scnn::core

@@ -1,0 +1,70 @@
+#include "core/energy_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/scmac.hpp"
+
+namespace scnn::core {
+namespace {
+
+TEST(EnergyQuality, TruncatedLatencyGatesLowBits) {
+  EXPECT_EQ(truncated_latency(100, 0), 100u);
+  EXPECT_EQ(truncated_latency(100, 2), 100u);   // 100 = 0b1100100 -> 100
+  EXPECT_EQ(truncated_latency(103, 2), 100u);
+  EXPECT_EQ(truncated_latency(-103, 2), 100u);
+  EXPECT_EQ(truncated_latency(3, 2), 0u);       // small weights skipped
+  EXPECT_EQ(truncated_latency(7, 3), 0u);
+}
+
+TEST(EnergyQuality, DropZeroIsExactMultiplier) {
+  const int n = 7;
+  const std::int32_t half = 1 << (n - 1);
+  for (std::int32_t qx = -half; qx < half; qx += 3) {
+    for (std::int32_t qw = -half; qw < half; qw += 5) {
+      ASSERT_EQ(multiply_signed_truncated(n, qx, qw, 0), multiply_signed(n, qx, qw));
+    }
+  }
+}
+
+TEST(EnergyQuality, ErrorGrowsGracefullyWithDropBits) {
+  // Max |error| vs the exact product must increase monotonically-ish with t
+  // but stay bounded by the coarser weight's quantization error.
+  const int n = 8;
+  std::vector<double> max_err;
+  for (int t : {0, 1, 2, 3}) {
+    const auto lut = make_truncated_lut(n, t);
+    max_err.push_back(lut.max_abs_error_lsb());
+  }
+  EXPECT_LE(max_err[0], max_err[1] + 1e-9);
+  EXPECT_LT(max_err[1], max_err[3]);
+  // Bound: dropping t bits of k changes x*k by at most x * 2^t-ish plus the
+  // base N/2 bound (x <= 1 in value, so <= 2^t + N/2 LSBs).
+  for (int t : {0, 1, 2, 3})
+    EXPECT_LE(max_err[static_cast<std::size_t>(t)],
+              (1 << t) + theoretical_error_bound_lsb(n)) << t;
+}
+
+TEST(EnergyQuality, LatencyDropsWithDropBits) {
+  // Bell-shaped codes: most |q| small, so truncation kills many multiplies.
+  std::vector<std::int32_t> codes;
+  for (int i = -20; i <= 20; ++i) codes.push_back(i);  // triangular-ish
+  const double base = average_truncated_latency(codes, 0);
+  const double t2 = average_truncated_latency(codes, 2);
+  const double t3 = average_truncated_latency(codes, 3);
+  EXPECT_LT(t2, base);
+  EXPECT_LT(t3, t2);
+}
+
+TEST(EnergyQuality, SkippedMultipliesReturnZero) {
+  EXPECT_EQ(multiply_signed_truncated(8, 120, 3, 3), 0);
+  EXPECT_EQ(multiply_signed_truncated(8, -120, -7, 3), 0);
+}
+
+TEST(EnergyQuality, LutNameEncodesDropBits) {
+  EXPECT_EQ(make_truncated_lut(6, 2).name(), "proposed-eq2");
+}
+
+}  // namespace
+}  // namespace scnn::core

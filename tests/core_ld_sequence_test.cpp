@@ -1,0 +1,100 @@
+#include "core/ld_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scnn::core {
+namespace {
+
+TEST(FsmMux, Fig2aPatternForN4) {
+  // Fig. 2(a): for N = 4 the MUX selects, over cycles 1..8:
+  // x3 x2 x3 x1 x3 x2 x3 x0  (bit index N - i with i = select_index).
+  FsmMuxSequence seq(4);
+  const int expected_bit[] = {3, 2, 3, 1, 3, 2, 3, 0};
+  for (std::uint64_t t = 1; t <= 8; ++t)
+    EXPECT_EQ(4 - seq.select_index(t), expected_bit[t - 1]) << "t=" << t;
+}
+
+TEST(FsmMux, StreamBitPicksOperandBits) {
+  FsmMuxSequence seq(4);
+  // x = 1010b: x3=1, x2=0, x1=1, x0=0 -> stream 1 0 1 1 1 0 1 0 over t=1..8.
+  const std::uint32_t x = 0b1010;
+  const bool expected[] = {true, false, true, true, true, false, true, false};
+  for (std::uint64_t t = 1; t <= 8; ++t) EXPECT_EQ(seq.stream_bit(x, t), expected[t - 1]);
+}
+
+// THE theorem of Sec. 2.3: x_(N-i) appears exactly round(k/2^i) times within
+// the first k cycles, for every i and every k. Verified exhaustively.
+class PrefixCountTheorem : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixCountTheorem, CountEqualsRoundedDivision) {
+  const int n = GetParam();
+  FsmMuxSequence seq(n);
+  const std::uint64_t limit = (std::uint64_t{1} << n) - 1;
+  std::vector<std::uint64_t> count(static_cast<std::size_t>(n) + 1, 0);
+  for (std::uint64_t k = 1; k <= limit; ++k) {
+    ++count[static_cast<std::size_t>(seq.select_index(k))];
+    for (int i = 1; i <= n; ++i) {
+      ASSERT_EQ(count[static_cast<std::size_t>(i)], FsmMuxSequence::prefix_count(i, k))
+          << "n=" << n << " i=" << i << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, PrefixCountTheorem, ::testing::Values(2, 4, 5, 8, 10, 12));
+
+// Partial-sum closed form equals literally summing stream bits.
+class PartialSumClosedForm : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialSumClosedForm, MatchesBitwiseSum) {
+  const int n = GetParam();
+  FsmMuxSequence seq(n);
+  const std::uint32_t codes[] = {0u, 1u, (1u << n) - 1, (1u << n) / 2, 0x55555555u & ((1u << n) - 1)};
+  for (std::uint32_t x : codes) {
+    std::uint64_t running = 0;
+    for (std::uint64_t k = 1; k < (std::uint64_t{1} << n); ++k) {
+      running += seq.stream_bit(x, k) ? 1 : 0;
+      ASSERT_EQ(seq.partial_sum(x, k), running) << "x=" << x << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, PartialSumClosedForm, ::testing::Values(3, 5, 8, 10));
+
+// Accuracy objective of Sec. 2.3: P_k ~= x*k with error <= N/2 (and the
+// looser N/2^(N+1) bound in value terms). Exhaustive over x for sampled k.
+class PartialSumAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialSumAccuracy, WithinGuaranteedBound) {
+  const int n = GetParam();
+  FsmMuxSequence seq(n);
+  const double bound = static_cast<double>(n) / 2.0;
+  const std::uint64_t span = std::uint64_t{1} << n;
+  for (std::uint32_t x = 0; x < span; ++x) {
+    for (std::uint64_t k = 1; k < span; k += (n > 8 ? 7 : 1)) {
+      const double ideal =
+          static_cast<double>(x) * static_cast<double>(k) / static_cast<double>(span);
+      const double got = static_cast<double>(seq.partial_sum(x, k));
+      ASSERT_LE(std::abs(got - ideal), bound) << "x=" << x << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, PartialSumAccuracy, ::testing::Values(4, 5, 8, 10));
+
+TEST(FsmMux, FullStreamValueIsExactForMaxPrefix) {
+  // At k = 2^N - 1 (the longest enable for unsigned w) the partial sum is
+  // close to x * (2^N - 1) / 2^N within the bound; at dyadic k = 2^(N-1) the
+  // count is exact for every bit above the LSB.
+  const int n = 6;
+  FsmMuxSequence seq(n);
+  for (std::uint32_t x = 0; x < 64; ++x) {
+    const std::uint64_t k = 32;  // 2^(n-1)
+    const double ideal = static_cast<double>(x) * 32.0 / 64.0;
+    EXPECT_LE(std::abs(static_cast<double>(seq.partial_sum(x, k)) - ideal), 0.5) << x;
+  }
+}
+
+}  // namespace
+}  // namespace scnn::core

@@ -1,0 +1,118 @@
+#include "core/mvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <tuple>
+#include <vector>
+
+#include "core/scmac.hpp"
+
+namespace scnn::core {
+namespace {
+
+// Sec. 3.1: sharing the FSM and down counter across lanes causes NO accuracy
+// degradation — each lane equals an isolated ScMac fed the same pairs.
+class MvmEqualsScalar : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MvmEqualsScalar, LanewiseEquality) {
+  const auto [n, b] = GetParam();
+  constexpr std::size_t kLanes = 6;
+  constexpr int kA = 2;
+  BiscMvm mvm(n, kA, kLanes, b);
+  std::array<ScMac, kLanes> scalars{ScMac(n, kA), ScMac(n, kA), ScMac(n, kA),
+                                    ScMac(n, kA), ScMac(n, kA), ScMac(n, kA)};
+  const std::int32_t half = 1 << (n - 1);
+  // A few shared-weight steps with lane-distinct activations.
+  const std::vector<std::int32_t> weights = {3, -half / 2, half - 1, 0, -1, 7 % half};
+  for (std::size_t step = 0; step < weights.size(); ++step) {
+    std::vector<std::int32_t> xs(kLanes);
+    for (std::size_t l = 0; l < kLanes; ++l)
+      xs[l] = static_cast<std::int32_t>((static_cast<int>(l) * 13 + static_cast<int>(step) * 7) %
+                                        (2 * half)) - half;
+    mvm.mac(weights[step], xs);
+    for (std::size_t l = 0; l < kLanes; ++l) scalars[l].accumulate(xs[l], weights[step]);
+  }
+  for (std::size_t l = 0; l < kLanes; ++l)
+    EXPECT_EQ(mvm.value(l), scalars[l].value()) << "lane " << l << " n=" << n << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MvmEqualsScalar,
+                         ::testing::Values(std::tuple{4, 1}, std::tuple{5, 1}, std::tuple{8, 1},
+                                           std::tuple{5, 4}, std::tuple{8, 8}, std::tuple{9, 8},
+                                           std::tuple{9, 32}));
+
+TEST(BiscMvm, SharedLatencyIsAbsWeight) {
+  BiscMvm mvm(8, 2, 4);
+  const std::vector<std::int32_t> xs = {1, 2, 3, 4};
+  EXPECT_EQ(mvm.mac(-100, xs), 100u);
+  EXPECT_EQ(mvm.mac(0, xs), 0u);
+  EXPECT_EQ(mvm.mac(17, xs), 17u);
+  EXPECT_EQ(mvm.total_cycles(), 117u);
+}
+
+TEST(BiscMvm, BitParallelLatencyIsCeil) {
+  BiscMvm mvm(9, 2, 2, /*bit_parallel=*/8);
+  const std::vector<std::int32_t> xs = {5, -5};
+  EXPECT_EQ(mvm.mac(100, xs), 13u);  // ceil(100/8)
+  EXPECT_EQ(mvm.mac(-8, xs), 1u);
+  EXPECT_EQ(mvm.mac(0, xs), 0u);
+}
+
+TEST(BiscMvm, MacSequenceMatchesManualLoop) {
+  const int n = 6;
+  BiscMvm a(n, 2, 3), bmvm(n, 2, 3);
+  const std::vector<std::int32_t> ws = {5, -9, 30, -32};
+  const std::vector<std::int32_t> xs = {// step-major, 3 lanes each
+                                        1, -2, 3, 10, 20, -30, -31, 5, 0, 7, 7, 7};
+  a.mac_sequence(ws, xs);
+  for (std::size_t i = 0; i < ws.size(); ++i)
+    bmvm.mac(ws[i], std::span(xs).subspan(i * 3, 3));
+  for (std::size_t l = 0; l < 3; ++l) EXPECT_EQ(a.value(l), bmvm.value(l));
+  EXPECT_EQ(a.total_cycles(), bmvm.total_cycles());
+}
+
+TEST(BiscMvm, DotProductAccuracy) {
+  // y = sum w_i x_i in accumulator LSBs should track the exact dot product
+  // within d * N/2 LSBs (error bound per multiply, no cancellation assumed).
+  const int n = 8, a_bits = 4;
+  const std::int32_t half = 1 << (n - 1);
+  constexpr std::size_t kLanes = 1;
+  BiscMvm mvm(n, a_bits, kLanes);
+  const std::vector<std::int32_t> ws = {10, -25, 60, 100, -128, 3, 99, -47};
+  const std::vector<std::int32_t> xs = {90, 90, -90, 30, 127, -128, 10, 64};
+  double exact = 0;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    exact += static_cast<double>(ws[i]) * xs[i] / half;
+    mvm.mac(ws[i], std::span(xs).subspan(i, 1));
+  }
+  EXPECT_NEAR(static_cast<double>(mvm.value(0)), exact,
+              static_cast<double>(ws.size()) * n / 2.0);
+}
+
+TEST(BiscMvm, SaturationClampsLanes) {
+  // N=4, A=2: rails at [-32, 31]; drive hard positive.
+  BiscMvm mvm(4, 2, 2);
+  const std::vector<std::int32_t> xs = {7, -8};
+  for (int i = 0; i < 12; ++i) mvm.mac(7, xs);
+  EXPECT_EQ(mvm.value(0), 31);
+  EXPECT_EQ(mvm.value(1), -32);
+}
+
+TEST(BiscMvm, ResetClears) {
+  BiscMvm mvm(5, 2, 2);
+  const std::vector<std::int32_t> xs = {9, 9};
+  mvm.mac(9, xs);
+  mvm.reset();
+  EXPECT_EQ(mvm.value(0), 0);
+  EXPECT_EQ(mvm.total_cycles(), 0u);
+}
+
+TEST(BiscMvm, InvalidConstructionThrows) {
+  EXPECT_THROW(BiscMvm(8, 2, 0), std::invalid_argument);
+  EXPECT_THROW(BiscMvm(8, 2, 4, 3), std::invalid_argument);
+  EXPECT_THROW(BiscMvm(4, 2, 4, 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scnn::core

@@ -1,0 +1,87 @@
+// Characterization of the two saturation semantics in this project:
+//
+//  * tick-level  — the hardware truth: the up/down counter clamps at every
+//    cycle (core::ScMac, core::BiscMvm, rtl::StructuralBiscMvm);
+//  * product-level — the CNN-scale simulation shortcut: clamp once per
+//    accumulated product (nn::LutEngine, core::conv_via_mvm's reference).
+//
+// They agree whenever the counter trajectory never crosses a rail mid-
+// product; they can differ by up to one product's internal swing when it
+// does. These tests pin down both the agreement regime (which the Fig. 6
+// simulations rely on) and a minimal divergence case (documented in
+// DESIGN.md / EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "core/scmac.hpp"
+
+namespace scnn::core {
+namespace {
+
+/// Product-level reference: saturate once per product.
+std::int64_t product_level_mac(int n, int a, const std::vector<std::int32_t>& xs,
+                               const std::vector<std::int32_t>& ws) {
+  common::SaturatingAccumulator acc(n + a);
+  for (std::size_t i = 0; i < xs.size(); ++i) acc.add(multiply_signed(n, xs[i], ws[i]));
+  return acc.value();
+}
+
+TEST(SaturationSemantics, AgreeAwayFromRails) {
+  // Random MACs with a roomy accumulator: the two semantics are identical.
+  const int n = 6, a = 6;
+  common::SplitMix64 rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::int32_t> xs(8), ws(8);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = static_cast<std::int32_t>(rng.next_below(64)) - 32;
+      ws[i] = static_cast<std::int32_t>(rng.next_below(64)) - 32;
+    }
+    ScMac mac(n, a);
+    for (std::size_t i = 0; i < xs.size(); ++i) mac.accumulate(xs[i], ws[i]);
+    ASSERT_EQ(mac.value(), product_level_mac(n, a, xs, ws)) << "trial " << trial;
+  }
+}
+
+TEST(SaturationSemantics, MinimalDivergenceCase) {
+  // Park the accumulator exactly at the positive rail (N=4, A=2: +31), then
+  // accumulate a zero-valued product (x = 0, w = 2/8) whose stream is "10":
+  // tick-level clamps the up-tick and keeps the down-tick, landing at 30;
+  // product-level adds 0 and stays at 31.
+  const int n = 4, a = 2;
+  ScMac tick(n, a);
+  for (int i = 0; i < 5; ++i) tick.accumulate(7, 7);  // drive to the +31 rail
+  ASSERT_EQ(tick.value(), 31);
+  tick.accumulate(0, 2);
+  EXPECT_EQ(tick.value(), 30);  // rail-clipped up-tick is lost
+
+  std::vector<std::int32_t> xs = {7, 7, 7, 7, 7, 0};
+  std::vector<std::int32_t> ws = {7, 7, 7, 7, 7, 2};
+  EXPECT_EQ(product_level_mac(n, a, xs, ws), 31);  // product-level keeps it
+}
+
+TEST(SaturationSemantics, DivergenceBoundedByProductSwing) {
+  // Even adversarial sequences keep |tick - product| within the largest
+  // single-product internal swing (= its enable count k).
+  const int n = 5, a = 1;
+  common::SplitMix64 rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::int32_t> xs(6), ws(6);
+    std::uint32_t max_k = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = static_cast<std::int32_t>(rng.next_below(32)) - 16;
+      ws[i] = static_cast<std::int32_t>(rng.next_below(32)) - 16;
+      max_k = std::max(max_k, multiply_latency(ws[i]));
+    }
+    ScMac mac(n, a);
+    for (std::size_t i = 0; i < xs.size(); ++i) mac.accumulate(xs[i], ws[i]);
+    const auto diff = std::abs(mac.value() - product_level_mac(n, a, xs, ws));
+    ASSERT_LE(diff, static_cast<std::int64_t>(max_k) * static_cast<std::int64_t>(xs.size()))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace scnn::core

@@ -1,0 +1,132 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/idx_loader.hpp"
+#include "data/synthetic_digits.hpp"
+#include "data/synthetic_objects.hpp"
+
+namespace scnn::data {
+namespace {
+
+TEST(SyntheticDigits, ShapeRangeAndDeterminism) {
+  const auto d = make_synthetic_digits({.count = 50, .seed = 7});
+  EXPECT_EQ(d.size(), 50);
+  EXPECT_EQ(d.images.c(), 1);
+  EXPECT_EQ(d.images.h(), 28);
+  for (std::size_t i = 0; i < d.images.size(); ++i) {
+    ASSERT_GE(d.images[i], 0.0f);
+    ASSERT_LE(d.images[i], 1.0f);
+  }
+  const auto d2 = make_synthetic_digits({.count = 50, .seed = 7});
+  for (std::size_t i = 0; i < d.images.size(); ++i) ASSERT_EQ(d.images[i], d2.images[i]);
+  const auto d3 = make_synthetic_digits({.count = 50, .seed = 8});
+  bool differs = false;
+  for (std::size_t i = 0; i < d.images.size() && !differs; ++i)
+    differs = d.images[i] != d3.images[i];
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticDigits, GlyphsHaveInk) {
+  const auto d = make_synthetic_digits({.count = 30, .seed = 9, .noise_stddev = 0.0f});
+  for (int n = 0; n < d.size(); ++n) {
+    double ink = 0;
+    for (float v : d.images.sample(n)) ink += v;
+    EXPECT_GT(ink, 10.0) << "glyph " << n << " is blank";
+    EXPECT_LT(ink, 28 * 28 * 0.6) << "glyph " << n << " is saturated";
+  }
+}
+
+TEST(SyntheticDigits, ClassesRoughlyBalanced) {
+  const auto d = make_synthetic_digits({.count = 1000, .seed = 11});
+  const auto h = class_histogram(d);
+  for (int c = 0; c < 10; ++c) {
+    EXPECT_GT(h[static_cast<std::size_t>(c)], 50) << c;
+    EXPECT_LT(h[static_cast<std::size_t>(c)], 200) << c;
+  }
+}
+
+TEST(SyntheticObjects, ShapeRangeAndBalance) {
+  const auto d = make_synthetic_objects({.count = 400, .seed = 12});
+  EXPECT_EQ(d.images.c(), 3);
+  EXPECT_EQ(d.images.h(), 32);
+  for (std::size_t i = 0; i < d.images.size(); ++i) {
+    ASSERT_GE(d.images[i], 0.0f);
+    ASSERT_LE(d.images[i], 1.0f);
+  }
+  const auto h = class_histogram(d);
+  for (int c = 0; c < 10; ++c) EXPECT_GT(h[static_cast<std::size_t>(c)], 10) << c;
+}
+
+TEST(DatasetOps, TakeAndShuffle) {
+  const auto d = make_synthetic_digits({.count = 100, .seed = 13});
+  const auto t = take(d, 30);
+  EXPECT_EQ(t.size(), 30);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(t.labels[static_cast<std::size_t>(i)],
+                                         d.labels[static_cast<std::size_t>(i)]);
+  const auto s = shuffled(d, 14);
+  EXPECT_EQ(s.size(), d.size());
+  // Same multiset of labels.
+  EXPECT_EQ(class_histogram(s), class_histogram(d));
+  EXPECT_THROW(take(d, 0), std::invalid_argument);
+  EXPECT_THROW(take(d, 101), std::invalid_argument);
+}
+
+TEST(IdxLoader, RoundTripSyntheticIdxFiles) {
+  // Write a tiny valid IDX pair and read it back.
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "scnn_idx_test";
+  fs::create_directories(dir);
+  const auto img_path = (dir / "imgs").string();
+  const auto lab_path = (dir / "labs").string();
+  {
+    std::ofstream img(img_path, std::ios::binary);
+    const unsigned char header[] = {0, 0, 8, 3, 0, 0, 0, 2, 0, 0, 0, 2, 0, 0, 0, 2};
+    img.write(reinterpret_cast<const char*>(header), sizeof header);
+    for (int i = 0; i < 8; ++i) img.put(static_cast<char>(i * 30));
+    std::ofstream lab(lab_path, std::ios::binary);
+    const unsigned char lheader[] = {0, 0, 8, 1, 0, 0, 0, 2};
+    lab.write(reinterpret_cast<const char*>(lheader), sizeof lheader);
+    lab.put(3);
+    lab.put(9);
+  }
+  const auto d = load_idx(img_path, lab_path);
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.images.h(), 2);
+  EXPECT_EQ(d.labels[0], 3);
+  EXPECT_EQ(d.labels[1], 9);
+  EXPECT_NEAR(d.images[1], 30.0f / 255.0f, 1e-6f);
+  EXPECT_THROW(load_idx(lab_path, lab_path), std::runtime_error);  // wrong magic
+  fs::remove_all(dir);
+}
+
+TEST(IdxLoader, MissingDirectoryYieldsNullopt) {
+  EXPECT_FALSE(try_load_mnist("/nonexistent/dir", true).has_value());
+  EXPECT_FALSE(try_load_cifar10("/nonexistent/dir", false).has_value());
+}
+
+TEST(CifarLoader, RoundTripBinaryBatch) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "scnn_cifar_test";
+  fs::create_directories(dir);
+  const auto path = (dir / "batch.bin").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    for (int rec = 0; rec < 2; ++rec) {
+      f.put(static_cast<char>(rec + 1));  // label
+      for (int p = 0; p < 3072; ++p) f.put(static_cast<char>(p % 256));
+    }
+  }
+  const auto d = load_cifar10_binary({path});
+  EXPECT_EQ(d.size(), 2);
+  EXPECT_EQ(d.labels[0], 1);
+  EXPECT_EQ(d.labels[1], 2);
+  EXPECT_EQ(d.images.c(), 3);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace scnn::data

@@ -1,0 +1,86 @@
+#include "data/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace scnn::data {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ImageIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "scnn_img_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string path(const char* name) { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+std::string read_all(const std::string& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(ImageIoTest, WritesPgmForSingleChannel) {
+  nn::Tensor t(2, 1, 2, 3);
+  t.at(1, 0, 0, 0) = 1.0f;
+  t.at(1, 0, 1, 2) = 0.5f;
+  write_image(t, 1, path("a.pgm"));
+  const std::string data = read_all(path("a.pgm"));
+  EXPECT_EQ(data.substr(0, 2), "P5");
+  EXPECT_NE(data.find("3 2"), std::string::npos);
+  // 6 pixel bytes after the header.
+  const auto header_end = data.find("255\n") + 4;
+  ASSERT_EQ(data.size() - header_end, 6u);
+  EXPECT_EQ(static_cast<unsigned char>(data[header_end]), 255);     // (0,0)
+  EXPECT_EQ(static_cast<unsigned char>(data[header_end + 5]), 128); // (1,2)
+}
+
+TEST_F(ImageIoTest, WritesPpmForThreeChannels) {
+  nn::Tensor t(1, 3, 2, 2);
+  t.at(0, 0, 0, 0) = 1.0f;  // red at (0,0)
+  write_image(t, 0, path("a.ppm"));
+  const std::string data = read_all(path("a.ppm"));
+  EXPECT_EQ(data.substr(0, 2), "P6");
+  const auto header_end = data.find("255\n") + 4;
+  ASSERT_EQ(data.size() - header_end, 12u);
+  EXPECT_EQ(static_cast<unsigned char>(data[header_end]), 255);      // R
+  EXPECT_EQ(static_cast<unsigned char>(data[header_end + 1]), 0);    // G
+}
+
+TEST_F(ImageIoTest, ValuesAreClamped) {
+  nn::Tensor t(1, 1, 1, 2);
+  t[0] = -5.0f;
+  t[1] = 7.0f;
+  write_image(t, 0, path("c.pgm"));
+  const std::string data = read_all(path("c.pgm"));
+  const auto header_end = data.find("255\n") + 4;
+  EXPECT_EQ(static_cast<unsigned char>(data[header_end]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(data[header_end + 1]), 255);
+}
+
+TEST_F(ImageIoTest, ContactSheetGeometry) {
+  nn::Tensor t(6, 1, 4, 5);
+  write_contact_sheet(t, 2, 3, path("s.pgm"));
+  const std::string data = read_all(path("s.pgm"));
+  EXPECT_NE(data.find("15 8"), std::string::npos);  // 3*5 x 2*4
+}
+
+TEST_F(ImageIoTest, RejectsBadArguments) {
+  nn::Tensor two_ch(1, 2, 2, 2);
+  EXPECT_THROW(write_image(two_ch, 0, path("x.pgm")), std::invalid_argument);
+  nn::Tensor ok(2, 1, 2, 2);
+  EXPECT_THROW(write_image(ok, 5, path("x.pgm")), std::invalid_argument);
+  EXPECT_THROW(write_contact_sheet(ok, 2, 2, path("x.pgm")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scnn::data

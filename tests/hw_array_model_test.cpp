@@ -1,0 +1,125 @@
+#include "hw/array_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scnn::hw {
+namespace {
+
+TEST(ArrayModel, SharingShrinksProposedArray) {
+  // 256 proposed MACs share one FSM + one down counter: array area must be
+  // far below 256 * standalone-MAC area.
+  const int p = 256;
+  const auto arr = array_cost(MacKind::kProposedSerial, 9, p);
+  const double standalone = mac_breakdown(MacKind::kProposedSerial, 9).total().area_um2;
+  EXPECT_LT(arr.total.area_um2, 0.85 * p * standalone);
+  // Fixed-point shares nothing: array = p * MAC exactly.
+  const auto fix = array_cost(MacKind::kFixedPoint, 9, p);
+  const double fix_mac = mac_breakdown(MacKind::kFixedPoint, 9).total().area_um2;
+  EXPECT_NEAR(fix.total.area_um2, p * fix_mac, 1e-6);
+}
+
+TEST(ArrayModel, Table3ProposedAnchors) {
+  // Paper Table 3, "Proposed (9b-precision)": 256-MAC 8b-parallel array at
+  // 1 GHz: area 0.06 mm^2, power ~25 mW, ~352 GOPS at the CIFAR-10 weight
+  // distribution (avg enable ~ 11.6 cycles).
+  const auto m = array_metrics(MacKind::kProposedParallel, 9, 256, /*avg_enable=*/11.6, 2,
+                               /*bit_parallel=*/8);
+  EXPECT_NEAR(m.area_mm2, 0.06, 0.06 * 0.35);
+  EXPECT_NEAR(m.power_mw, 25.06, 25.06 * 0.35);
+  EXPECT_NEAR(m.gops, 351.55, 351.55 * 0.35);
+  EXPECT_GT(m.gops_per_mm2, 4000.0);   // paper: 6242
+  EXPECT_GT(m.gops_per_watt, 10000.0); // paper: 14030
+}
+
+TEST(ArrayModel, EnergyRatiosMatchPaperShape) {
+  // Sec. 4.3.2: ours is 300x~490x more energy-efficient than conventional SC
+  // at CIFAR-10 precision, and ~1.2-1.4x better than fixed-point binary.
+  const int p = 256, n = 9;
+  const double avg_enable = 11.6;
+  const auto ours = array_metrics(MacKind::kProposedParallel, n, p, avg_enable, 2, 8);
+  const auto conv = array_metrics(MacKind::kConvScLfsr, n, p, avg_enable);
+  const auto fix = array_metrics(MacKind::kFixedPoint, n, p, avg_enable);
+  const double vs_conv = conv.energy_per_gop_mj / ours.energy_per_gop_mj;
+  EXPECT_GT(vs_conv, 100.0);
+  EXPECT_LT(vs_conv, 1000.0);
+  const double vs_fix = fix.energy_per_gop_mj / ours.energy_per_gop_mj;
+  EXPECT_GT(vs_fix, 1.0);   // ours beats binary on energy
+  EXPECT_LT(vs_fix, 2.0);   // but only by tens of percent (paper: 23~29%)
+}
+
+TEST(ArrayModel, AdpBeatsFixedPoint) {
+  // Sec. 4.3.1: 29~44% lower ADP than the same-accuracy fixed-point design.
+  const auto ours = array_metrics(MacKind::kProposedParallel, 9, 256, 11.6, 2, 8);
+  const auto fix = array_metrics(MacKind::kFixedPoint, 9, 256, 11.6);
+  EXPECT_LT(ours.adp, fix.adp);
+  const double reduction = 1.0 - ours.adp / fix.adp;
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.60);
+}
+
+TEST(ArrayModel, ConvScPowerComparableToBinary) {
+  // Sec. 4.3.2: despite smaller area, conventional SC's LFSR power makes it
+  // "about as high power-dissipating as the binary case".
+  const auto conv = array_metrics(MacKind::kConvScLfsr, 9, 256, 11.6);
+  const auto fix = array_metrics(MacKind::kFixedPoint, 9, 256, 11.6);
+  EXPECT_GT(conv.power_mw, 0.6 * fix.power_mw);
+  EXPECT_LT(conv.power_mw, 1.6 * fix.power_mw);
+}
+
+TEST(ArrayModel, AverageEnableCycles) {
+  const std::vector<std::int32_t> w = {0, 1, -1, 4, -4, 10};
+  EXPECT_DOUBLE_EQ(average_enable_cycles(w), 20.0 / 6.0);
+  EXPECT_DOUBLE_EQ(average_enable_cycles(std::vector<std::int32_t>{}), 0.0);
+}
+
+TEST(ArrayModel, GopsScalesWithArraySizeAndFrequency) {
+  const auto a = array_metrics(MacKind::kFixedPoint, 8, 128, 1.0);
+  const auto b = array_metrics(MacKind::kFixedPoint, 8, 256, 1.0);
+  EXPECT_NEAR(b.gops, 2.0 * a.gops, 1e-9);
+  const auto c = array_metrics(MacKind::kFixedPoint, 8, 128, 1.0, 2, 1, 0.5);
+  EXPECT_NEAR(c.gops, 0.5 * a.gops, 1e-9);
+}
+
+TEST(ArrayModel, BitSerialLatencySuppressedByParallelism) {
+  // Fig. 7 "Ours-8": the bit-parallel version suppresses the 7.7-cycle
+  // bit-serial latency to ~1-2 cycles.
+  const auto serial = array_metrics(MacKind::kProposedSerial, 9, 256, 11.6);
+  const auto par = array_metrics(MacKind::kProposedParallel, 9, 256, 11.6, 2, 8);
+  EXPECT_GT(serial.cycles_per_mac, 5.0 * par.cycles_per_mac);
+}
+
+TEST(ArrayModel, LfsrPowerSensitivity) {
+  // The conv-SC-vs-ours energy ratio must be monotone in the LFSR power
+  // factor, match the default-model ratio at the default factor, and remain
+  // enormous even if LFSRs burned no extra power at all (factor = 1):
+  // the latency gap, not the power assumption, carries the conclusion.
+  const int n = 9, p = 256;
+  const double avg = 11.6;
+  const double at_default =
+      energy_ratio_vs_lfsr_power(n, p, avg, tech().lfsr_power_factor);
+  const auto conv = array_metrics(MacKind::kConvScLfsr, n, p, avg);
+  const auto ours = array_metrics(MacKind::kProposedParallel, n, p, avg, 2, 8);
+  EXPECT_NEAR(at_default, conv.energy_per_gop_mj / ours.energy_per_gop_mj,
+              at_default * 1e-6);
+  const double at_one = energy_ratio_vs_lfsr_power(n, p, avg, 1.0);
+  const double at_five = energy_ratio_vs_lfsr_power(n, p, avg, 5.0);
+  EXPECT_LT(at_one, at_default);
+  EXPECT_GT(at_five, at_default);
+  EXPECT_GT(at_one, 100.0);
+}
+
+TEST(ArrayModel, TotalsMonotoneInPrecision) {
+  for (int n = 5; n < 10; ++n) {
+    for (const auto kind : {MacKind::kFixedPoint, MacKind::kConvScLfsr,
+                            MacKind::kProposedSerial}) {
+      EXPECT_LT(array_cost(kind, n, 64).total.area_um2,
+                array_cost(kind, n + 1, 64).total.area_um2)
+          << mac_kind_name(kind) << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scnn::hw

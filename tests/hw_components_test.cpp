@@ -1,0 +1,88 @@
+#include "hw/components.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scnn::hw {
+namespace {
+
+TEST(Components, CalibrationPointsMatchPaperTable2) {
+  // The model must reproduce its own calibration anchors (paper Table 2,
+  // TSMC 45 nm) to within rounding of the published values.
+  EXPECT_NEAR(lfsr_register(5).area_um2, 51.5, 0.2);
+  EXPECT_NEAR(lfsr_register(9).area_um2, 89.6, 0.2);
+  EXPECT_NEAR(lfsr_comparator(5).area_um2, 19.1, 0.2);
+  EXPECT_NEAR(lfsr_comparator(9).area_um2, 37.0, 0.2);
+  EXPECT_NEAR(halton_register(5).area_um2, 87.7, 0.2);
+  EXPECT_NEAR(halton_register(9).area_um2, 203.7, 0.2);
+  EXPECT_NEAR(fsm_mux_register(5).area_um2, 31.2, 0.2);
+  EXPECT_NEAR(fsm_mux_register(9).area_um2, 60.9, 0.2);
+  EXPECT_NEAR(fsm_mux_combinational(5).area_um2, 6.0, 0.1);
+  EXPECT_NEAR(fsm_mux_combinational(9).area_um2, 11.8, 0.1);
+  EXPECT_NEAR(down_counter(5).area_um2, 38.8, 0.2);
+  EXPECT_NEAR(down_counter(9).area_um2, 80.6, 0.2);
+  EXPECT_NEAR(binary_multiplier(5).area_um2, 88.9, 1.0);
+  EXPECT_NEAR(binary_multiplier(9).area_um2, 305.0, 2.0);
+  EXPECT_NEAR(binary_accumulator(7).area_um2, 66.3, 0.5);
+  EXPECT_NEAR(binary_accumulator(11).area_um2, 110.1, 0.5);
+  EXPECT_NEAR(ed_register(9).area_um2, 346.8, 0.5);
+  EXPECT_NEAR(ed_combinational(9).area_um2, 226.3, 0.5);
+  EXPECT_NEAR(parallel_counter(32).area_um2, 136.0, 0.5);
+  EXPECT_NEAR(ones_counter(9, 8).area_um2, 108.5, 1.0);
+  EXPECT_NEAR(ones_counter(9, 16).area_um2, 174.1, 1.0);
+  EXPECT_NEAR(ones_counter(9, 32).area_um2, 239.4, 1.0);
+  EXPECT_NEAR(xnor_gate().area_um2, 1.8, 0.01);
+}
+
+TEST(Components, AreaMonotoneInPrecision) {
+  for (int n = 3; n < 12; ++n) {
+    EXPECT_LT(lfsr_register(n).area_um2, lfsr_register(n + 1).area_um2);
+    EXPECT_LT(binary_multiplier(n).area_um2, binary_multiplier(n + 1).area_um2);
+    EXPECT_LT(down_counter(n).area_um2, down_counter(n + 1).area_um2);
+    EXPECT_LT(up_down_counter(n).area_um2, up_down_counter(n + 1).area_um2);
+  }
+}
+
+TEST(Components, MultiplierGrowsSuperlinearly) {
+  // The quadratic binary multiplier is why SC's area edge widens with
+  // precision (Sec. 4.3.1).
+  const double r5 = binary_multiplier(10).area_um2 / binary_multiplier(5).area_um2;
+  EXPECT_GT(r5, 3.0);  // quadratic: ~4x for 2x precision
+  const double lfsr_ratio = lfsr_register(10).area_um2 / lfsr_register(5).area_um2;
+  EXPECT_LT(lfsr_ratio, 2.2);  // linear-ish
+}
+
+TEST(Components, LfsrPowerDensityExceedsPlainLogic) {
+  // Sec. 4.3.2: LFSRs burn disproportionate power per area.
+  const auto l = lfsr_register(9);
+  const auto f = fsm_mux_register(9);
+  EXPECT_GT(l.power_mw / l.area_um2, 2.0 * f.power_mw / f.area_um2);
+}
+
+TEST(Components, PowerTracksAreaForPlainLogic) {
+  const auto a = binary_multiplier(9);
+  const auto b = down_counter(9);
+  EXPECT_NEAR(a.power_mw / a.area_um2, b.power_mw / b.area_um2, 1e-9);
+}
+
+TEST(Components, CostArithmetic) {
+  const Cost a{10.0, 1.0}, b{5.0, 0.5};
+  const Cost s = a + b;
+  EXPECT_DOUBLE_EQ(s.area_um2, 15.0);
+  EXPECT_DOUBLE_EQ(s.power_mw, 1.5);
+  const Cost d = a * 3.0;
+  EXPECT_DOUBLE_EQ(d.area_um2, 30.0);
+  Cost acc;
+  acc += a;
+  acc += b;
+  EXPECT_DOUBLE_EQ(acc.area_um2, 15.0);
+}
+
+TEST(Components, OnesCounterFlooredForSmallB) {
+  // The log fit extrapolates negative below b=8; the model floors it at a
+  // popcount tree so small-b designs stay physical.
+  EXPECT_GT(ones_counter(9, 2).area_um2, 0.0);
+  EXPECT_GE(ones_counter(9, 4).area_um2, parallel_counter(4).area_um2);
+}
+
+}  // namespace
+}  // namespace scnn::hw

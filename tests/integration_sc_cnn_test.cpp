@@ -1,0 +1,147 @@
+// Integration tests across the whole stack: dataset -> training -> quantized
+// SC inference -> accelerator latency model. These are the claims of the
+// paper's Sec. 4.2/4.3 in miniature.
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "core/conv_scheduler.hpp"
+#include "data/synthetic_digits.hpp"
+#include "hw/array_model.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+
+namespace scnn {
+namespace {
+
+struct TrainedNet {
+  nn::Network net;
+  data::Dataset train;
+  data::Dataset test;
+};
+
+TrainedNet make_trained_digit_net() {
+  TrainedNet t;
+  t.train = data::make_synthetic_digits({.count = 400, .seed = 101});
+  t.test = data::make_synthetic_digits({.count = 150, .seed = 102});
+  t.net = nn::make_mnist_net(28, 1, 55);
+  nn::SgdTrainer trainer({.epochs = 6, .batch_size = 20, .learning_rate = 0.01f});
+  trainer.train(t.net, t.train.images, t.train.labels);
+  nn::calibrate_network(t.net, nn::batch_slice(t.train.images, 0, 50));
+  return t;
+}
+
+TEST(Integration, ProposedScTracksFixedPointAccuracy) {
+  // Fig. 6's qualitative core at one precision: at N = 8 the proposed SC
+  // network is nearly as accurate as fixed-point, while conventional
+  // LFSR-SC falls measurably behind (no fine-tuning).
+  auto t = make_trained_digit_net();
+  const double acc_float = t.net.accuracy(t.test.images, t.test.labels);
+  ASSERT_GE(acc_float, 0.8);
+
+  nn::EnginePool pool;
+  auto acc_with = [&](const char* kind, int n_bits) {
+    nn::set_conv_engine(t.net, pool.get({.kind = kind, .n_bits = n_bits, .a_bits = 2}));
+    const double a = t.net.accuracy(t.test.images, t.test.labels);
+    nn::set_conv_engine(t.net, nullptr);
+    return a;
+  };
+
+  const double acc_fixed = acc_with("fixed", 8);
+  const double acc_prop = acc_with("proposed", 8);
+  const double acc_lfsr = acc_with("sc-lfsr", 8);
+
+  EXPECT_GE(acc_fixed, acc_float - 0.05);
+  EXPECT_GE(acc_prop, acc_fixed - 0.05);  // "almost the same as fixed-point"
+  EXPECT_LE(acc_lfsr, acc_prop + 1e-9);   // conventional SC never wins
+}
+
+TEST(Integration, TrainedWeightsGiveLowAverageLatency) {
+  // Sec. 3.2: real (trained, bell-shaped) weights make the average enable
+  // count far smaller than the worst case 2^(N-1).
+  auto t = make_trained_digit_net();
+  const int n_bits = 8;
+  for (nn::Conv2D* conv : t.net.conv_layers()) {
+    const auto codes = conv->quantized_weights(n_bits);
+    const double avg = hw::average_enable_cycles(codes);
+    EXPECT_LT(avg, 0.35 * 128.0) << "weights not bell-shaped?";
+    EXPECT_GT(avg, 0.0);
+  }
+}
+
+TEST(Integration, AcceleratorScheduleBeatsConventionalSc) {
+  // End-to-end latency through the Fig. 4 tiled mapping with the real
+  // trained weights of the first conv layer.
+  auto t = make_trained_digit_net();
+  nn::Conv2D* conv = t.net.conv_layers().front();
+  const int n_bits = 8;
+  const auto codes = conv->quantized_weights(n_bits);
+  const core::ConvDims dims = conv->dims_for(t.test.images);
+  const core::Tiling tiling{.tm = 2, .tr = 4, .tc = 4};
+  const auto sched = core::schedule_conv(dims, tiling, codes, n_bits);
+  const auto conv_sc = core::conventional_sc_conv_cycles(dims, tiling, n_bits);
+  const auto binary = core::binary_conv_cycles(dims, tiling);
+  EXPECT_LT(sched.total_cycles, conv_sc / 4);  // far faster than conv. SC
+  EXPECT_GT(sched.total_cycles, binary);       // slower than 1-cycle binary
+}
+
+TEST(Integration, EndToEndMetricsFavorProposed) {
+  // Hardware metrics with the measured weight statistics: the proposed
+  // 8b-parallel array must beat conventional SC on energy by a wide margin.
+  auto t = make_trained_digit_net();
+  std::vector<std::int32_t> all_codes;
+  for (nn::Conv2D* conv : t.net.conv_layers()) {
+    const auto c = conv->quantized_weights(8);
+    all_codes.insert(all_codes.end(), c.begin(), c.end());
+  }
+  const double avg = hw::average_enable_cycles(all_codes);
+  const auto ours = hw::array_metrics(hw::MacKind::kProposedParallel, 8, 256, avg, 2, 8);
+  const auto conv = hw::array_metrics(hw::MacKind::kConvScLfsr, 8, 256, avg);
+  EXPECT_GT(conv.energy_per_gop_mj / ours.energy_per_gop_mj, 20.0);
+}
+
+TEST(Integration, QuantizedConvLayerMatchesMvmExecutor) {
+  // Cross-layer consistency: the nn::Conv2D quantized forward (LUT engine,
+  // product-level saturation) must agree with core::conv_via_mvm (the
+  // cycle-accurate BISC-MVM executor) when the accumulator is wide enough
+  // that tick-level and product-level saturation coincide.
+  const int n_bits = 6, a_bits = 8;
+  const std::int32_t half = 1 << (n_bits - 1);
+  nn::Conv2D conv(2, 3, 3, 1, 1);
+
+  // Weights/inputs exactly representable at N bits (float = code / 2^(N-1)).
+  common::SplitMix64 rng(7);
+  for (auto& v : conv.mutable_weight().data()) {
+    const auto code = static_cast<std::int32_t>(rng.next_below(2 * half)) - half;
+    v = static_cast<float>(common::dequantize(code, n_bits));
+  }
+  nn::Tensor x(1, 2, 6, 6);
+  for (auto& v : x.data()) {
+    const auto code = static_cast<std::int32_t>(rng.next_below(2 * half)) - half;
+    v = static_cast<float>(common::dequantize(code, n_bits));
+  }
+
+  const auto engine = nn::make_engine("proposed", n_bits, a_bits);
+  conv.set_engine(engine.get());
+  const nn::Tensor y = conv.forward(x);
+
+  // Same computation through the BISC-MVM executor, raw codes.
+  const auto dims = conv.dims_for(x);
+  const auto wcodes = conv.quantized_weights(n_bits);
+  std::vector<std::int32_t> xcodes;
+  xcodes.reserve(x.size());
+  for (const float v : x.data()) xcodes.push_back(common::quantize(v, n_bits));
+  const auto mvm =
+      core::conv_via_mvm(dims, core::Tiling{.tm = 1, .tr = 2, .tc = 3}, wcodes, xcodes,
+                         n_bits, a_bits);
+
+  ASSERT_EQ(y.size(), mvm.out.size());
+  const double scale = static_cast<double>(half);
+  for (std::size_t i = 0; i < mvm.out.size(); ++i) {
+    ASSERT_NEAR(y[i] * scale, static_cast<double>(mvm.out[i]), 1e-3) << i;
+  }
+}
+
+}  // namespace
+}  // namespace scnn

@@ -1,0 +1,105 @@
+// Trend-level integration tests: the monotone behaviours Fig. 6/7 rely on,
+// checked as properties so regressions in any layer of the stack surface
+// here even when absolute accuracies move.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "common/rng.hpp"
+#include "core/conv_scheduler.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/trainer.hpp"
+
+namespace scnn {
+namespace {
+
+struct Fixture {
+  nn::Network net;
+  data::Dataset test;
+};
+
+Fixture trained_fixture() {
+  Fixture f;
+  const auto train = data::make_synthetic_digits({.count = 350, .seed = 201});
+  f.test = data::make_synthetic_digits({.count = 120, .seed = 202});
+  f.net = nn::make_mnist_net(28, 1, 31);
+  nn::SgdTrainer trainer({.epochs = 5, .batch_size = 25, .learning_rate = 0.01f});
+  trainer.train(f.net, train.images, train.labels);
+  nn::calibrate_network(f.net, nn::batch_slice(train.images, 0, 50));
+  return f;
+}
+
+TEST(Trends, AccuracyConvergesToFloatWithPrecision) {
+  // Fig. 6's x-axis trend: for every engine, high precision must not be
+  // (meaningfully) worse than very low precision, and at N = 10 every
+  // engine must sit near the float baseline.
+  auto f = trained_fixture();
+  const double float_acc = f.net.accuracy(f.test.images, f.test.labels);
+  nn::EnginePool pool;
+  for (const char* kind : {"fixed", "sc-lfsr", "proposed"}) {
+    auto acc_at = [&](int n) {
+      nn::set_conv_engine(f.net, pool.get({.kind = kind, .n_bits = n, .a_bits = 2}));
+      const double a = f.net.accuracy(f.test.images, f.test.labels);
+      nn::set_conv_engine(f.net, nullptr);
+      return a;
+    };
+    const double low = acc_at(4), high = acc_at(10);
+    EXPECT_GE(high + 0.03, low) << kind;
+    EXPECT_GE(high, float_acc - 0.05) << kind << " should converge to float";
+  }
+}
+
+TEST(Trends, ProposedLatencyScalesWithPrecision) {
+  // Sec. 3.2: avg enable count ~ |w| * 2^(N-1), so it roughly doubles per
+  // extra bit of precision for the same weights.
+  auto f = trained_fixture();
+  std::vector<double> avg;
+  for (int n : {6, 7, 8, 9}) {
+    std::vector<std::int32_t> codes;
+    for (nn::Conv2D* c : f.net.conv_layers()) {
+      const auto q = c->quantized_weights(n);
+      codes.insert(codes.end(), q.begin(), q.end());
+    }
+    avg.push_back(hw::average_enable_cycles(codes));
+  }
+  for (std::size_t i = 0; i + 1 < avg.size(); ++i) {
+    EXPECT_GT(avg[i + 1], avg[i] * 1.5) << i;
+    EXPECT_LT(avg[i + 1], avg[i] * 2.5) << i;
+  }
+}
+
+TEST(Trends, AccelComputeCyclesMatchScheduler) {
+  // accel::compute_cycles must agree with core::schedule_conv for the
+  // proposed designs (same underlying model).
+  common::SplitMix64 rng(5);
+  const core::ConvDims dims{.M = 8, .Z = 4, .H = 10, .W = 10, .K = 3, .S = 1, .P = 1};
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(dims.M) * dims.Z * 9);
+  for (auto& q : codes) q = static_cast<std::int32_t>(rng.next_below(64)) - 32;
+  accel::AcceleratorConfig cfg;
+  cfg.tiling = {.tm = 4, .tr = 4, .tc = 4};
+  cfg.n_bits = 7;
+  cfg.arithmetic = hw::MacKind::kProposedSerial;
+  const accel::LayerWorkload layer{.name = "c", .dims = dims, .weight_codes = codes};
+  EXPECT_EQ(accel::compute_cycles(cfg, layer),
+            core::schedule_conv(dims, cfg.tiling, codes, 7, 1).total_cycles);
+}
+
+TEST(Trends, BitParallelDegreeReducesScheduledCycles) {
+  common::SplitMix64 rng(6);
+  const core::ConvDims dims{.M = 4, .Z = 4, .H = 12, .W = 12, .K = 3, .S = 1, .P = 0};
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(dims.M) * dims.Z * 9);
+  for (auto& q : codes) q = static_cast<std::int32_t>(rng.next_below(256)) - 128;
+  const core::Tiling t{.tm = 2, .tr = 4, .tc = 4};
+  std::uint64_t prev = core::schedule_conv(dims, t, codes, 9, 1).total_cycles;
+  for (int b : {2, 4, 8, 16}) {
+    const auto cur = core::schedule_conv(dims, t, codes, 9, b).total_cycles;
+    EXPECT_LE(cur, prev) << "b=" << b;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace scnn

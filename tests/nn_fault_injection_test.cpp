@@ -1,0 +1,79 @@
+#include "nn/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace scnn::nn {
+namespace {
+
+TEST(FaultInjection, ZeroRateIsTransparent) {
+  const auto base = make_engine("proposed", 8, 2);
+  const FaultyEngine faulty(base.get(), FaultModel::kStreamTicks, 0.0, 1);
+  const std::vector<std::int32_t> w = {30, -60, 99};
+  const std::vector<std::int32_t> x = {50, 50, -50};
+  EXPECT_EQ(faulty.mac(w, x), base->mac(w, x));
+  const FaultyEngine faulty_word(base.get(), FaultModel::kProductWord, 0.0, 1);
+  EXPECT_EQ(faulty_word.mac(w, x), base->mac(w, x));
+}
+
+TEST(FaultInjection, NamesDescribeModel) {
+  const auto base = make_engine("fixed", 8, 2);
+  EXPECT_EQ(FaultyEngine(base.get(), FaultModel::kStreamTicks, 0.1, 1).name(),
+            "fixed+stream-faults");
+  EXPECT_EQ(FaultyEngine(base.get(), FaultModel::kProductWord, 0.1, 1).name(),
+            "fixed+word-faults");
+}
+
+TEST(FaultInjection, StreamFaultMagnitudeIsBounded) {
+  // Each flipped tick is worth exactly 2 LSBs: with k enabled cycles the
+  // worst-case deviation of one product is 2k, and typical deviation is
+  // ~2*sqrt(k*p). Check the bound holds under heavy fault rates.
+  const auto base = make_engine("proposed", 8, 2);
+  const FaultyEngine faulty(base.get(), FaultModel::kStreamTicks, 0.5, 7);
+  const std::vector<std::int32_t> w = {40};  // k = 40
+  const std::vector<std::int32_t> x = {100};
+  const auto clean = base->mac(w, x);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto noisy = faulty.mac(w, x);
+    EXPECT_LE(std::abs(noisy - clean), 2 * 40);
+  }
+}
+
+TEST(FaultInjection, WordFaultsCanBeCatastrophic) {
+  // A single MSB flip moves the product by 2^(N-1) LSBs — demonstrate that
+  // word faults produce much larger worst-case deviations than stream
+  // faults at the same rate.
+  const int n = 8;
+  const auto prop = make_engine("proposed", n, 4);
+  const auto fixed = make_engine("fixed", n, 4);
+  const double rate = 0.02;
+  const FaultyEngine sc_faulty(prop.get(), FaultModel::kStreamTicks, rate, 11);
+  const FaultyEngine bin_faulty(fixed.get(), FaultModel::kProductWord, rate, 11);
+  const std::vector<std::int32_t> w = {25};
+  const std::vector<std::int32_t> x = {80};
+  common::RunningStats sc_dev, bin_dev;
+  const auto sc_clean = prop->mac(w, x);
+  const auto bin_clean = fixed->mac(w, x);
+  for (int trial = 0; trial < 3000; ++trial) {
+    sc_dev.add(static_cast<double>(sc_faulty.mac(w, x) - sc_clean));
+    bin_dev.add(static_cast<double>(bin_faulty.mac(w, x) - bin_clean));
+  }
+  EXPECT_LT(sc_dev.max_abs(), bin_dev.max_abs());
+  EXPECT_LT(sc_dev.stddev(), bin_dev.stddev());
+}
+
+TEST(FaultInjection, DeterministicGivenSeed) {
+  const auto base = make_engine("proposed", 8, 2);
+  const std::vector<std::int32_t> w = {40, -80};
+  const std::vector<std::int32_t> x = {100, 90};
+  FaultyEngine a(base.get(), FaultModel::kStreamTicks, 0.1, 42);
+  FaultyEngine b(base.get(), FaultModel::kStreamTicks, 0.1, 42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.mac(w, x), b.mac(w, x));
+}
+
+}  // namespace
+}  // namespace scnn::nn

@@ -1,0 +1,169 @@
+// Numerical gradient checks: every trainable layer's backward must match
+// central finite differences of the loss through its forward.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/pool.hpp"
+
+namespace scnn::nn {
+namespace {
+
+void randomize(Tensor& t, std::uint64_t seed, double scale = 0.5) {
+  common::SplitMix64 rng(seed);
+  for (auto& v : t.data()) v = static_cast<float>(rng.next_gaussian() * scale);
+}
+
+/// Scalar test loss: sum of squares of the output (grad = 2*output).
+double loss_of(const Tensor& y) {
+  double s = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) s += static_cast<double>(y[i]) * y[i];
+  return s;
+}
+
+Tensor loss_grad(const Tensor& y) {
+  Tensor g = y;
+  for (auto& v : g.data()) v *= 2.0f;
+  return g;
+}
+
+/// Check dL/d(input) and dL/d(params) of `layer` on input `x`.
+void check_layer_gradients(Layer& layer, Tensor x, double tol = 2e-2) {
+  const Tensor y = layer.forward(x);
+  for (Parameter* p : layer.parameters()) p->grad.zero();
+  const Tensor gi = layer.backward(loss_grad(y));
+
+  const float eps = 1e-3f;
+  // Input gradient, spot-checked across the tensor.
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 23)) {
+    const float save = x[i];
+    x[i] = save + eps;
+    const double lp = loss_of(layer.forward(x));
+    x[i] = save - eps;
+    const double lm = loss_of(layer.forward(x));
+    x[i] = save;
+    const double num = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(gi[i], num, tol * std::max(1.0, std::abs(num))) << "input idx " << i;
+  }
+  // Parameter gradients. Re-run forward/backward to restore caches first.
+  layer.forward(x);
+  for (Parameter* p : layer.parameters()) p->grad.zero();
+  layer.backward(loss_grad(layer.forward(x)));
+  for (Parameter* p : layer.parameters()) {
+    Tensor& w = p->value;
+    for (std::size_t i = 0; i < w.size(); i += std::max<std::size_t>(1, w.size() / 17)) {
+      const float save = w[i];
+      w[i] = save + eps;
+      const double lp = loss_of(layer.forward(x));
+      w[i] = save - eps;
+      const double lm = loss_of(layer.forward(x));
+      w[i] = save;
+      const double num = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(p->grad[i], num, tol * std::max(1.0, std::abs(num))) << "param idx " << i;
+    }
+  }
+}
+
+TEST(Gradients, Conv2DValid) {
+  Conv2D conv(2, 3, 3);
+  conv.init_weights(11);
+  Tensor x(2, 2, 6, 6);
+  randomize(x, 21);
+  check_layer_gradients(conv, x);
+}
+
+TEST(Gradients, Conv2DPaddedStrided) {
+  Conv2D conv(1, 2, 3, 2, 1);
+  conv.init_weights(12);
+  Tensor x(1, 1, 7, 7);
+  randomize(x, 22);
+  check_layer_gradients(conv, x);
+}
+
+TEST(Gradients, Dense) {
+  Dense dense(12, 5);
+  dense.init_weights(13);
+  Tensor x(3, 12, 1, 1);
+  randomize(x, 23);
+  check_layer_gradients(dense, x);
+}
+
+TEST(Gradients, ReLU) {
+  ReLU relu;
+  Tensor x(2, 3, 4, 4);
+  randomize(x, 24);
+  // Keep values away from the kink where finite differences are invalid.
+  for (auto& v : x.data())
+    if (std::abs(v) < 5e-3f) v = 0.1f;
+  check_layer_gradients(relu, x);
+}
+
+TEST(Gradients, MaxPool) {
+  MaxPool2D pool(2);
+  Tensor x(2, 2, 4, 4);
+  randomize(x, 25);
+  check_layer_gradients(pool, x);
+}
+
+TEST(Gradients, AvgPool) {
+  AvgPool2D pool(2);
+  Tensor x(2, 2, 4, 4);
+  randomize(x, 26);
+  check_layer_gradients(pool, x);
+}
+
+TEST(Gradients, SoftmaxCrossEntropyMatchesFiniteDifference) {
+  Tensor logits(3, 5, 1, 1);
+  randomize(logits, 27, 1.0);
+  const std::vector<int> labels = {0, 3, 4};
+  const auto r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float save = logits[i];
+    logits[i] = save + eps;
+    const double lp = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = save - eps;
+    const double lm = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = save;
+    EXPECT_NEAR(r.grad[i], (lp - lm) / (2.0 * eps), 1e-3) << i;
+  }
+}
+
+TEST(Gradients, WholeNetworkChainRule) {
+  // End-to-end: numerical gradient of the training loss w.r.t. a few first-
+  // layer weights through the full MNIST-topology network.
+  Network net = make_mnist_net(28, 1, 99);
+  Tensor x(2, 1, 28, 28);
+  randomize(x, 28, 0.3);
+  const std::vector<int> labels = {3, 7};
+
+  auto loss_now = [&]() {
+    return softmax_cross_entropy(net.forward(x), labels).loss;
+  };
+  net.zero_grad();
+  const auto r = softmax_cross_entropy(net.forward(x), labels);
+  net.backward(r.grad);
+
+  Parameter* w0 = net.parameters().front();
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < w0->value.size(); i += w0->value.size() / 7) {
+    const float save = w0->value[i];
+    w0->value[i] = save + eps;
+    const double lp = loss_now();
+    w0->value[i] = save - eps;
+    const double lm = loss_now();
+    w0->value[i] = save;
+    const double num = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(w0->grad[i], num, 5e-2 * std::max(1.0, std::abs(num))) << i;
+  }
+}
+
+}  // namespace
+}  // namespace scnn::nn

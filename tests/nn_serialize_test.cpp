@@ -1,0 +1,86 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "nn/network.hpp"
+
+namespace scnn::nn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "scnn_ckpt_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string path(const char* name) { return (dir_ / name).string(); }
+  fs::path dir_;
+};
+
+TEST_F(SerializeTest, RoundTripRestoresExactWeights) {
+  Network a = make_mnist_net(28, 1, 7);
+  save_checkpoint(a, path("m.ckpt"));
+  Network b = make_mnist_net(28, 1, 999);  // different init
+  load_checkpoint(b, path("m.ckpt"));
+  const auto pa = a.save_parameters();
+  const auto pb = b.save_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]) << i;
+}
+
+TEST_F(SerializeTest, CheckpointExists) {
+  EXPECT_FALSE(checkpoint_exists(path("missing.ckpt")));
+  Network a = make_mnist_net();
+  save_checkpoint(a, path("m.ckpt"));
+  EXPECT_TRUE(checkpoint_exists(path("m.ckpt")));
+}
+
+TEST_F(SerializeTest, RejectsBadMagic) {
+  {
+    std::ofstream f(path("bad.ckpt"), std::ios::binary);
+    f << "NOTSCNN!restoffile";
+  }
+  Network net = make_mnist_net();
+  EXPECT_THROW(load_checkpoint(net, path("bad.ckpt")), std::runtime_error);
+  EXPECT_FALSE(checkpoint_exists(path("bad.ckpt")));
+}
+
+TEST_F(SerializeTest, RejectsTopologyMismatch) {
+  Network mnist = make_mnist_net();
+  save_checkpoint(mnist, path("m.ckpt"));
+  Network cifar = make_cifar_net();
+  EXPECT_THROW(load_checkpoint(cifar, path("m.ckpt")), std::invalid_argument);
+}
+
+TEST_F(SerializeTest, RejectsCorruptedPayload) {
+  Network net = make_mnist_net();
+  save_checkpoint(net, path("m.ckpt"));
+  // Flip one payload byte.
+  std::fstream f(path("m.ckpt"), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(100);
+  f.put(static_cast<char>(0x5A));
+  f.close();
+  EXPECT_THROW(load_checkpoint(net, path("m.ckpt")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  Network net = make_mnist_net();
+  save_checkpoint(net, path("m.ckpt"));
+  const auto full = fs::file_size(path("m.ckpt"));
+  fs::resize_file(path("m.ckpt"), full / 2);
+  EXPECT_THROW(load_checkpoint(net, path("m.ckpt")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  Network net = make_mnist_net();
+  EXPECT_THROW(load_checkpoint(net, path("nope.ckpt")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scnn::nn

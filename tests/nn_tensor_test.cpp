@@ -1,0 +1,47 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scnn::nn {
+namespace {
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor t(2, 3, 4, 5);
+  EXPECT_EQ(t.n(), 2);
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.features(), 60u);
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.0f);
+  EXPECT_FLOAT_EQ(t[119], 7.0f);  // last element, row-major
+}
+
+TEST(Tensor, SampleSlices) {
+  Tensor t(3, 2, 2, 2);
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const auto s1 = t.sample(1);
+  ASSERT_EQ(s1.size(), 8u);
+  EXPECT_FLOAT_EQ(s1[0], 8.0f);
+  EXPECT_FLOAT_EQ(s1[7], 15.0f);
+}
+
+TEST(Tensor, FillAxpyMaxAbs) {
+  Tensor a(1, 1, 2, 2), b(1, 1, 2, 2);
+  a.fill(2.0f);
+  b.fill(-3.0f);
+  a.axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 0.5f);
+  EXPECT_FLOAT_EQ(b.max_abs(), 3.0f);
+  a.zero();
+  EXPECT_FLOAT_EQ(a.max_abs(), 0.0f);
+}
+
+TEST(Tensor, FromVector) {
+  auto t = Tensor::from_vector(2, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.n(), 2);
+  EXPECT_EQ(t.c(), 3);
+  EXPECT_FLOAT_EQ(t.at(1, 0, 0, 0), 4.0f);
+  EXPECT_THROW(Tensor::from_vector(4, {1, 2, 3, 4, 5, 6}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scnn::nn

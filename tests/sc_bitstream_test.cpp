@@ -1,0 +1,109 @@
+#include "sc/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace scnn::sc {
+namespace {
+
+Bitstream random_stream(std::size_t len, double p, std::uint64_t seed) {
+  common::SplitMix64 rng(seed);
+  Bitstream s(len);
+  for (std::size_t i = 0; i < len; ++i) s.set(i, rng.next_double() < p);
+  return s;
+}
+
+TEST(Bitstream, SetGetAcrossWordBoundaries) {
+  Bitstream s(130);
+  s.set(0, true);
+  s.set(63, true);
+  s.set(64, true);
+  s.set(129, true);
+  EXPECT_TRUE(s.get(0));
+  EXPECT_TRUE(s.get(63));
+  EXPECT_TRUE(s.get(64));
+  EXPECT_TRUE(s.get(129));
+  EXPECT_FALSE(s.get(1));
+  EXPECT_EQ(s.count_ones(), 4u);
+  s.set(64, false);
+  EXPECT_EQ(s.count_ones(), 3u);
+}
+
+TEST(Bitstream, PushBackGrows) {
+  Bitstream s;
+  for (int i = 0; i < 100; ++i) s.push_back(i % 3 == 0);
+  EXPECT_EQ(s.length(), 100u);
+  EXPECT_EQ(s.count_ones(), 34u);
+}
+
+TEST(Bitstream, PrefixCountMatchesLoop) {
+  const auto s = random_stream(300, 0.4, 11);
+  std::size_t running = 0;
+  for (std::size_t k = 0; k <= s.length(); ++k) {
+    EXPECT_EQ(s.count_ones_prefix(k), running) << "k=" << k;
+    if (k < s.length() && s.get(k)) ++running;
+  }
+}
+
+TEST(Bitstream, UnipolarAndBipolarValues) {
+  Bitstream s(8);
+  for (int i : {0, 2, 4, 5}) s.set(static_cast<std::size_t>(i), true);
+  EXPECT_DOUBLE_EQ(s.unipolar_value(), 0.5);
+  EXPECT_DOUBLE_EQ(s.bipolar_value(), 0.0);
+}
+
+TEST(Bitstream, AndIsUnipolarMultiplyForIndependentStreams) {
+  // 2^14 bits: AND of independent p=0.5, q=0.25 streams ~ 0.125.
+  const auto a = random_stream(1 << 14, 0.5, 1);
+  const auto b = random_stream(1 << 14, 0.25, 2);
+  EXPECT_NEAR(a.and_with(b).unipolar_value(), 0.125, 0.02);
+}
+
+TEST(Bitstream, XnorIsBipolarMultiplyForIndependentStreams) {
+  // bipolar(a)=0.5, bipolar(b)=-0.5 -> product -0.25.
+  const auto a = random_stream(1 << 14, 0.75, 3);
+  const auto b = random_stream(1 << 14, 0.25, 4);
+  EXPECT_NEAR(a.xnor_with(b).bipolar_value(), -0.25, 0.03);
+}
+
+TEST(Bitstream, XnorPaddingBitsDoNotLeak) {
+  // Non-multiple-of-64 length: XNOR turns padding zeros into ones unless
+  // masked; count must only see real positions.
+  Bitstream a(70), b(70);
+  const auto x = a.xnor_with(b);  // all bits equal -> all 70 ones
+  EXPECT_EQ(x.count_ones(), 70u);
+  EXPECT_EQ(Bitstream::xnor_popcount(a, b), 70u);
+}
+
+TEST(Bitstream, SortedOnesFirstPreservesValue) {
+  // Fig. 1(b): reordering the bits of an SN does not change its value.
+  const auto s = random_stream(777, 0.37, 5);
+  const auto sorted = s.sorted_ones_first();
+  EXPECT_EQ(sorted.count_ones(), s.count_ones());
+  EXPECT_DOUBLE_EQ(sorted.unipolar_value(), s.unipolar_value());
+  // And all ones really are first.
+  const std::size_t ones = sorted.count_ones();
+  for (std::size_t i = 0; i < ones; ++i) EXPECT_TRUE(sorted.get(i));
+  for (std::size_t i = ones; i < sorted.length(); ++i) EXPECT_FALSE(sorted.get(i));
+}
+
+TEST(Bitstream, SkippingZeroRegionEqualsFullAnd) {
+  // The core observation behind the paper's multiplier (Fig. 1(b) -> (c)):
+  // with w's stream sorted ones-first, AND-multiplying equals counting x's
+  // ones over the first k = ones(w) positions only.
+  const auto x = random_stream(512, 0.61, 6);
+  const auto w = random_stream(512, 0.29, 7).sorted_ones_first();
+  const std::size_t k = w.count_ones();
+  EXPECT_EQ(Bitstream::and_popcount(x, w), x.count_ones_prefix(k));
+}
+
+TEST(Bitstream, FastPopcountsMatchMaterialized) {
+  const auto a = random_stream(1000, 0.5, 8);
+  const auto b = random_stream(1000, 0.3, 9);
+  EXPECT_EQ(Bitstream::and_popcount(a, b), a.and_with(b).count_ones());
+  EXPECT_EQ(Bitstream::xnor_popcount(a, b), a.xnor_with(b).count_ones());
+}
+
+}  // namespace
+}  // namespace scnn::sc

@@ -1,0 +1,120 @@
+#include "sc/conventional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fixed_point.hpp"
+
+namespace scnn::sc {
+namespace {
+
+TEST(Conventional, UnipolarConvergesToProduct) {
+  const int n = 10;
+  auto sx = make_sng("lfsr", n, 0);
+  auto sw = make_sng("lfsr", n, 1);
+  // x = 0.75, w = 0.5 -> 0.375
+  const auto r = unipolar_multiply(n, 768, 512, *sx, *sw);
+  EXPECT_NEAR(r.final_estimate, 0.375, 0.02);
+}
+
+TEST(Conventional, BipolarConvergesToProduct) {
+  const int n = 10;
+  auto sx = make_sng("lfsr", n, 0);
+  auto sw = make_sng("lfsr", n, 1);
+  // x = -0.5, w = 0.75 -> -0.375 (codes scaled by 2^(n-1) = 512)
+  const auto r = bipolar_multiply(n, -256, 384, *sx, *sw);
+  EXPECT_NEAR(r.final_estimate, -0.375, 0.05);
+}
+
+TEST(Conventional, HaltonIsMoreAccurateThanLfsr) {
+  // The headline of the paper's Fig. 5(a)/(b): among conventional SNGs the
+  // Halton pair (bases 2 and 3) beats the LFSR pair. Compare RMS error over
+  // a grid of inputs.
+  const int n = 8;
+  const std::int32_t half = 1 << (n - 1);
+  double se_lfsr = 0, se_halton = 0;
+  int count = 0;
+  for (std::int32_t qx = -half; qx < half; qx += 17) {
+    for (std::int32_t qw = -half; qw < half; qw += 13) {
+      const double exact = common::dequantize(qx, n) * common::dequantize(qw, n);
+      {
+        auto sx = make_sng("lfsr", n, 0);
+        auto sw = make_sng("lfsr", n, 1);
+        const double e = bipolar_multiply(n, qx, qw, *sx, *sw).final_estimate - exact;
+        se_lfsr += e * e;
+      }
+      {
+        auto sx = make_sng("halton2", n);
+        auto sw = make_sng("halton3", n);
+        const double e = bipolar_multiply(n, qx, qw, *sx, *sw).final_estimate - exact;
+        se_halton += e * e;
+      }
+      ++count;
+    }
+  }
+  EXPECT_LT(std::sqrt(se_halton / count), std::sqrt(se_lfsr / count));
+}
+
+TEST(Conventional, TraceEndsAtFinalEstimate) {
+  const int n = 6;
+  auto sx = make_sng("halton2", n);
+  auto sw = make_sng("halton3", n);
+  const auto r = bipolar_multiply(n, 20, -11, *sx, *sw, /*want_trace=*/true);
+  ASSERT_EQ(r.estimate_at_pow2.size(), static_cast<std::size_t>(n) + 1);
+  EXPECT_DOUBLE_EQ(r.estimate_at_pow2.back(), r.final_estimate);
+}
+
+TEST(StreamBank, StreamsMatchFreshSng) {
+  const int n = 6;
+  StreamBank bank("halton2", n);
+  auto sng = make_sng("halton2", n);
+  for (std::uint32_t code : {0u, 9u, 33u, 63u}) {
+    sng->reset();
+    const auto fresh = generate_stream(*sng, code, bank.stream_length());
+    const auto& cached = bank.unsigned_stream(code);
+    for (std::size_t i = 0; i < fresh.length(); ++i)
+      ASSERT_EQ(fresh.get(i), cached.get(i)) << "code=" << code << " i=" << i;
+  }
+}
+
+TEST(StreamBank, SignedIndexingUsesOffsetBinary) {
+  const int n = 5;
+  StreamBank bank("lfsr", n);
+  // signed code q maps to unsigned code q + 16.
+  EXPECT_EQ(&bank.signed_stream(0), &bank.unsigned_stream(16));
+  EXPECT_EQ(&bank.signed_stream(-16), &bank.unsigned_stream(0));
+  EXPECT_EQ(&bank.signed_stream(15), &bank.unsigned_stream(31));
+}
+
+TEST(StreamBank, PrefixEstimatesMatchSerialMultiply) {
+  const int n = 6;
+  StreamBank bx("lfsr", n, 0), bw("lfsr", n, 1);
+  auto sx = make_sng("lfsr", n, 0);
+  auto sw = make_sng("lfsr", n, 1);
+  const std::int32_t qx = 13, qw = -22;
+  const auto serial = bipolar_multiply(n, qx, qw, *sx, *sw, /*want_trace=*/true);
+  const auto& stream_x = bx.signed_stream(qx);
+  const auto& stream_w = bw.signed_stream(qw);
+  for (int x = 0; x <= n; ++x) {
+    const std::size_t cycles = std::size_t{1} << x;
+    EXPECT_DOUBLE_EQ(bipolar_estimate_prefix(stream_x, stream_w, cycles),
+                     serial.estimate_at_pow2[static_cast<std::size_t>(x)])
+        << "cycles=" << cycles;
+  }
+}
+
+TEST(StreamBank, UnipolarPrefixEstimateMatchesDirectCount) {
+  const int n = 7;
+  StreamBank bx("halton2", n), bw("halton3", n);
+  const auto& a = bx.unsigned_stream(100);
+  const auto& b = bw.unsigned_stream(50);
+  const auto full = a.and_with(b);
+  for (std::size_t c : {1u, 2u, 31u, 64u, 128u}) {
+    EXPECT_DOUBLE_EQ(unipolar_estimate_prefix(a, b, c),
+                     static_cast<double>(full.count_ones_prefix(c)) / static_cast<double>(c));
+  }
+}
+
+}  // namespace
+}  // namespace scnn::sc

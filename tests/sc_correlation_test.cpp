@@ -1,0 +1,77 @@
+#include "sc/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sc/conventional.hpp"
+#include "sc/sng.hpp"
+
+namespace scnn::sc {
+namespace {
+
+Bitstream from_bits(std::initializer_list<int> bits) {
+  Bitstream s(bits.size());
+  std::size_t i = 0;
+  for (int b : bits) s.set(i++, b != 0);
+  return s;
+}
+
+TEST(Scc, IdenticalStreamsAreFullyCorrelated) {
+  const auto a = from_bits({1, 0, 1, 1, 0, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(scc(a, a), 1.0);
+}
+
+TEST(Scc, ComplementaryStreamsAreAntiCorrelated) {
+  const auto a = from_bits({1, 0, 1, 1, 0, 0, 1, 0});
+  const auto b = from_bits({0, 1, 0, 0, 1, 1, 0, 1});
+  EXPECT_DOUBLE_EQ(scc(a, b), -1.0);
+}
+
+TEST(Scc, ConstantStreamIsDefinedAsZero) {
+  const auto a = from_bits({1, 1, 1, 1});
+  const auto b = from_bits({1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(scc(a, b), 0.0);
+}
+
+TEST(Scc, InterleavedHalvesArePositivelyCorrelated) {
+  // Ones overlap as much as possible without being identical.
+  const auto a = from_bits({1, 1, 1, 1, 0, 0, 0, 0});
+  const auto b = from_bits({1, 1, 0, 0, 0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(scc(a, b), 1.0);  // b's ones are a subset of a's
+}
+
+// The pairings this project uses for conventional-SC multiplication must be
+// near-uncorrelated — otherwise AND/XNOR would not compute a product at all.
+TEST(Scc, ProjectSngPairingsDecorrelate) {
+  const int n = 8;
+  struct Pair { const char* x; const char* w; std::uint32_t vx, vw; };
+  const Pair pairs[] = {
+      {"lfsr", "lfsr", 0, 1},
+      {"halton2", "halton3", 0, 0},
+      {"ed", "ed*", 0, 0},
+  };
+  for (const auto& p : pairs) {
+    const StreamBank bx(p.x, n, p.vx), bw(p.w, n, p.vw);
+    double worst = 0.0;
+    for (std::uint32_t cx : {64u, 100u, 128u, 200u}) {
+      for (std::uint32_t cw : {64u, 100u, 128u, 200u}) {
+        worst = std::max(worst, std::abs(scc(bx.unsigned_stream(cx), bw.unsigned_stream(cw))));
+      }
+    }
+    EXPECT_LT(worst, 0.35) << p.x << "+" << p.w;
+  }
+}
+
+TEST(Scc, SameSeedLfsrPairIsPathological) {
+  // Negative control: identical SNGs produce SCC = 1 streams, under which an
+  // AND computes min(x, w), not x*w.
+  const int n = 8;
+  const StreamBank a("lfsr", n, 0), b("lfsr", n, 0);
+  EXPECT_DOUBLE_EQ(scc(a.unsigned_stream(100), b.unsigned_stream(100)), 1.0);
+  const auto ones =
+      Bitstream::and_popcount(a.unsigned_stream(100), b.unsigned_stream(200));
+  // AND of correlated streams = min of the one-counts, not the product.
+  EXPECT_EQ(ones, a.unsigned_stream(100).count_ones());
+}
+
+}  // namespace
+}  // namespace scnn::sc

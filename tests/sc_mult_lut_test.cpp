@@ -1,0 +1,74 @@
+#include "sc/mult_lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.hpp"
+#include "core/scmac.hpp"
+
+namespace scnn::sc {
+namespace {
+
+TEST(ProductLut, FixedPointTruncates) {
+  const int n = 5;  // scale 16
+  const auto lut = make_fixed_point_lut(n);
+  // 7 * 7 = 49 -> 49/16 = 3.0625 -> truncates to 3
+  EXPECT_EQ(lut.at(7, 7), 3);
+  // -7 * 7 = -49 -> -49/16 = -3.0625 -> truncation toward zero gives -3
+  EXPECT_EQ(lut.at(-7, 7), -3);
+  EXPECT_EQ(lut.at(0, 13), 0);
+  // -16 * -16 = 256 -> 16 (full scale product of two minimums)
+  EXPECT_EQ(lut.at(-16, -16), 16);
+}
+
+TEST(ProductLut, FixedPointErrorBelowOneLsb) {
+  for (int n : {5, 8, 10}) {
+    const auto lut = make_fixed_point_lut(n);
+    EXPECT_LT(lut.max_abs_error_lsb(), 1.0) << n;  // truncation: < 1 LSB
+  }
+}
+
+TEST(ProductLut, ConventionalScMatchesDirectStreamComputation) {
+  const int n = 6;
+  const StreamBank bx("lfsr", n, 0), bw("lfsr", n, 1);
+  const auto lut = make_conventional_sc_lut(n, bx, bw);
+  for (std::int32_t qw : {-32, -5, 0, 9, 31}) {
+    for (std::int32_t qx : {-32, -1, 0, 14, 31}) {
+      const auto ones = static_cast<std::int64_t>(
+          Bitstream::xnor_popcount(bx.signed_stream(qx), bw.signed_stream(qw)));
+      const std::int64_t ud = 2 * ones - 64;
+      EXPECT_EQ(lut.at(qw, qx), static_cast<std::int32_t>(ud >> 1)) << qw << "," << qx;
+    }
+  }
+}
+
+TEST(ProductLut, AccuracyOrderingProposedBeatsLfsr) {
+  // The central accuracy claim, at LUT granularity: the proposed multiplier
+  // has (much) smaller worst-case error than conventional LFSR-based SC.
+  for (int n : {5, 8, 10}) {
+    const auto lfsr = make_lfsr_sc_lut(n);
+    const auto prop = scnn::core::make_proposed_lut(n);
+    EXPECT_LT(prop.max_abs_error_lsb(), lfsr.max_abs_error_lsb()) << "n=" << n;
+  }
+}
+
+TEST(ProductLut, ProposedWithinBoundFixedSmaller) {
+  // fixed-point < proposed < conventional in worst-case error.
+  const int n = 8;
+  const auto fixed = make_fixed_point_lut(n);
+  const auto prop = scnn::core::make_proposed_lut(n);
+  EXPECT_LT(fixed.max_abs_error_lsb(), prop.max_abs_error_lsb());
+}
+
+TEST(ProductLut, RejectsOutOfRangePrecision) {
+  EXPECT_THROW(make_fixed_point_lut(1), std::invalid_argument);
+  EXPECT_THROW(make_fixed_point_lut(13), std::invalid_argument);
+}
+
+TEST(ProductLut, NamesArePropagated) {
+  EXPECT_EQ(make_fixed_point_lut(5).name(), "fixed");
+  EXPECT_EQ(make_lfsr_sc_lut(5).name(), "sc-lfsr");
+  EXPECT_EQ(scnn::core::make_proposed_lut(5).name(), "proposed");
+}
+
+}  // namespace
+}  // namespace scnn::sc

@@ -1,0 +1,107 @@
+#include "sc/stanh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "sc/sng.hpp"
+
+namespace scnn::sc {
+namespace {
+
+TEST(StanhFsm, ConstructionRules) {
+  EXPECT_THROW(StanhFsm(0), std::invalid_argument);
+  EXPECT_THROW(StanhFsm(7), std::invalid_argument);
+  EXPECT_NO_THROW(StanhFsm(8));
+}
+
+TEST(StanhFsm, SaturatesAtEnds) {
+  StanhFsm fsm(4);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(fsm.step(true));
+  EXPECT_EQ(fsm.state(), 3);
+  for (int i = 0; i < 10; ++i) fsm.step(false);
+  EXPECT_EQ(fsm.state(), 0);
+  fsm.reset();
+  EXPECT_EQ(fsm.state(), 2);
+}
+
+TEST(Stanh, ApproximatesTanhShape) {
+  // Bipolar input v through a K-state FSM ~ tanh(K/2 * v): check sign,
+  // monotonicity and saturation at a few points.
+  // LFSR streams: the FSM tanh needs random-looking inputs; a deterministic
+  // alternating stream (e.g. Halton at v = 0) locks the hysteresis high.
+  const int n = 10;
+  const int states = 8;  // gain K/2 = 4
+  auto sng = make_sng("lfsr", n);
+  std::vector<double> inputs = {-0.9, -0.5, -0.2, 0.0, 0.2, 0.5, 0.9};
+  std::vector<double> outputs;
+  for (double v : inputs) {
+    sng->reset();
+    const auto code = static_cast<std::uint32_t>(
+        common::quantize(v, n) + (1 << (n - 1)));
+    const auto stream = generate_stream(*sng, code, std::size_t{1} << n);
+    outputs.push_back(stanh_stream(stream, states).bipolar_value());
+  }
+  for (std::size_t i = 0; i + 1 < outputs.size(); ++i)
+    EXPECT_LE(outputs[i], outputs[i + 1] + 0.05) << i;  // monotone-ish
+  EXPECT_NEAR(outputs[3], 0.0, 0.3);                    // odd around 0
+  EXPECT_GT(outputs.back(), 0.9);                       // saturates
+  EXPECT_LT(outputs.front(), -0.9);
+  // Mid-range tracks tanh(4 * v) loosely (SC tanh is an approximation).
+  EXPECT_NEAR(outputs[4], std::tanh(4 * 0.2), 0.4);
+}
+
+TEST(FullyParallelNeuron, ComputesActivatedDotProduct) {
+  // d = 4 inputs; weights/activations chosen so sum w_i x_i is decisively
+  // positive or negative; the neuron must saturate accordingly.
+  const int n = 10;
+  const int d = 4;
+  const std::size_t len = std::size_t{1} << n;
+  auto make_streams = [&](const std::vector<double>& vals, const char* kind,
+                          std::uint32_t variant) {
+    std::vector<Bitstream> out;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      auto sng = make_sng(kind, n, variant + static_cast<std::uint32_t>(i));
+      const auto code = static_cast<std::uint32_t>(
+          common::quantize(vals[i], n) + (1 << (n - 1)));
+      out.push_back(generate_stream(*sng, code, len));
+    }
+    return out;
+  };
+  FullyParallelNeuron neuron(d, 8);
+
+  const auto xs = make_streams({0.8, 0.7, 0.9, 0.6}, "lfsr", 0);
+  const auto ws_pos = make_streams({0.8, 0.7, 0.9, 0.6}, "lfsr", 10);
+  EXPECT_GT(neuron.run(xs, ws_pos), 0.8);  // strongly positive sum
+
+  neuron.reset();
+  const auto ws_neg = make_streams({-0.8, -0.7, -0.9, -0.6}, "lfsr", 10);
+  EXPECT_LT(neuron.run(xs, ws_neg), -0.8);  // strongly negative sum
+}
+
+TEST(FullyParallelNeuron, NearZeroSumGivesNearZeroOutput) {
+  const int n = 10;
+  const int d = 2;
+  const std::size_t len = std::size_t{1} << n;
+  std::vector<Bitstream> xs, ws;
+  for (int i = 0; i < d; ++i) {
+    auto sx = make_sng("lfsr", n, static_cast<std::uint32_t>(i));
+    auto sw = make_sng("lfsr", n, static_cast<std::uint32_t>(20 + i));
+    // w = (+0.5, -0.5), x = (0.6, 0.6): sum ~ 0.
+    xs.push_back(generate_stream(*sx, static_cast<std::uint32_t>(
+        common::quantize(0.6, n) + (1 << (n - 1))), len));
+    ws.push_back(generate_stream(*sw, static_cast<std::uint32_t>(
+        common::quantize(i == 0 ? 0.5 : -0.5, n) + (1 << (n - 1))), len));
+  }
+  FullyParallelNeuron neuron(d, 8);
+  EXPECT_NEAR(neuron.run(xs, ws), 0.0, 0.35);
+}
+
+TEST(FullyParallelNeuron, RejectsBadFanIn) {
+  EXPECT_THROW(FullyParallelNeuron(0, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scnn::sc

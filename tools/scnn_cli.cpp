@@ -1,0 +1,170 @@
+// scnn_cli — command-line front end for the library.
+//
+//   scnn_cli gen    <digits|objects> <count> <out-dir>     dataset + contact sheet
+//   scnn_cli train  <digits|objects> <epochs> <ckpt>       float training -> checkpoint
+//   scnn_cli eval   <digits|objects> <ckpt> <N> [kind]     quantized/SC inference
+//   scnn_cli sweep  <digits|objects> <ckpt> <Nmin> <Nmax>  precision sweep, all engines
+//   scnn_cli info                                          build/config summary
+//
+// Datasets are synthetic unless real MNIST/CIFAR-10 files are present under
+// $SCNN_DATA_DIR (see README).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "data/image_io.hpp"
+#include "data/idx_loader.hpp"
+#include "data/synthetic_digits.hpp"
+#include "data/synthetic_objects.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using scnn::data::Dataset;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  scnn_cli gen    <digits|objects> <count> <out-dir>\n"
+               "  scnn_cli train  <digits|objects> <epochs> <ckpt>\n"
+               "  scnn_cli eval   <digits|objects> <ckpt> <N> [fixed|sc-lfsr|proposed]\n"
+               "  scnn_cli sweep  <digits|objects> <ckpt> <Nmin> <Nmax>\n"
+               "  scnn_cli info\n");
+  return 2;
+}
+
+bool is_digits(const std::string& task) { return task == "digits"; }
+
+Dataset make_data(const std::string& task, int count, std::uint64_t seed) {
+  const char* env = std::getenv("SCNN_DATA_DIR");
+  const std::string dir = env ? env : "data";
+  if (is_digits(task)) {
+    if (auto real = scnn::data::try_load_mnist(dir, seed == 1))
+      return scnn::data::take(scnn::data::shuffled(*real, seed), count);
+    return scnn::data::make_synthetic_digits({.count = count, .seed = seed});
+  }
+  if (auto real = scnn::data::try_load_cifar10(dir, seed == 1))
+    return scnn::data::take(scnn::data::shuffled(*real, seed), count);
+  return scnn::data::make_synthetic_objects({.count = count, .seed = seed});
+}
+
+scnn::nn::Network make_net(const std::string& task) {
+  return is_digits(task) ? scnn::nn::make_mnist_net() : scnn::nn::make_cifar_net();
+}
+
+int cmd_gen(const std::string& task, int count, const std::string& out_dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(out_dir);
+  const Dataset d = make_data(task, count, 1);
+  for (int i = 0; i < std::min(count, 16); ++i) {
+    const std::string name = out_dir + "/" + task + "_" + std::to_string(i) + "_label" +
+                             std::to_string(d.labels[static_cast<std::size_t>(i)]) +
+                             (d.images.c() == 1 ? ".pgm" : ".ppm");
+    scnn::data::write_image(d.images, i, name);
+  }
+  const int grid = 4;
+  if (count >= grid * grid) {
+    scnn::data::write_contact_sheet(
+        d.images, grid, grid,
+        out_dir + "/" + task + "_sheet" + (d.images.c() == 1 ? ".pgm" : ".ppm"));
+  }
+  std::printf("wrote %d samples + contact sheet to %s\n", std::min(count, 16),
+              out_dir.c_str());
+  return 0;
+}
+
+int cmd_train(const std::string& task, int epochs, const std::string& ckpt) {
+  const Dataset train = make_data(task, is_digits(task) ? 1200 : 800, 1);
+  const Dataset test = make_data(task, 300, 2);
+  scnn::nn::Network net = make_net(task);
+  scnn::nn::SgdTrainer trainer({.epochs = epochs, .batch_size = 25,
+                                .learning_rate = 0.01f, .lr_decay = 0.9f,
+                                .verbose = true});
+  trainer.train(net, train.images, train.labels);
+  std::printf("float test accuracy: %.3f\n", net.accuracy(test.images, test.labels));
+  scnn::nn::save_checkpoint(net, ckpt);
+  std::printf("checkpoint saved to %s\n", ckpt.c_str());
+  return 0;
+}
+
+int load_for_eval(const std::string& task, const std::string& ckpt,
+                  scnn::nn::Network& net, Dataset& test) {
+  if (!scnn::nn::checkpoint_exists(ckpt)) {
+    std::fprintf(stderr, "no checkpoint at %s (run `scnn_cli train` first)\n",
+                 ckpt.c_str());
+    return 1;
+  }
+  net = make_net(task);
+  scnn::nn::load_checkpoint(net, ckpt);
+  test = make_data(task, 300, 2);
+  const Dataset calib = make_data(task, 64, 3);
+  scnn::nn::calibrate_network(net, calib.images);
+  return 0;
+}
+
+int cmd_eval(const std::string& task, const std::string& ckpt, int n_bits,
+             const std::string& kind) {
+  scnn::nn::Network net;
+  Dataset test;
+  if (const int rc = load_for_eval(task, ckpt, net, test)) return rc;
+  scnn::nn::EnginePool pool;
+  scnn::nn::set_conv_engine(net, pool.get({.kind = kind, .n_bits = n_bits, .a_bits = 2}));
+  std::printf("%s N=%d accuracy: %.3f\n", kind.c_str(), n_bits,
+              net.accuracy(test.images, test.labels));
+  return 0;
+}
+
+int cmd_sweep(const std::string& task, const std::string& ckpt, int n_min, int n_max) {
+  scnn::nn::Network net;
+  Dataset test;
+  if (const int rc = load_for_eval(task, ckpt, net, test)) return rc;
+  scnn::nn::EnginePool pool;
+  std::printf("%-4s %-10s %-10s %-10s\n", "N", "fixed", "sc-lfsr", "proposed");
+  for (int n = n_min; n <= n_max; ++n) {
+    std::printf("%-4d", n);
+    for (const char* kind : {"fixed", "sc-lfsr", "proposed"}) {
+      scnn::nn::set_conv_engine(net, pool.get({.kind = kind, .n_bits = n, .a_bits = 2}));
+      std::printf(" %-10.3f", net.accuracy(test.images, test.labels));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_info() {
+  std::printf("scnn — BISC-MVM stochastic-computing CNN library (DAC'17 reproduction)\n");
+  std::printf("engines: fixed, sc-lfsr, proposed; precisions N = 2..12, A >= 0\n");
+  const char* env = std::getenv("SCNN_DATA_DIR");
+  std::printf("data dir: %s (real MNIST/CIFAR-10 picked up when present)\n",
+              env ? env : "data");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "info") return cmd_info();
+    if (cmd == "gen" && args.size() == 4)
+      return cmd_gen(args[1], std::stoi(args[2]), args[3]);
+    if (cmd == "train" && args.size() == 4)
+      return cmd_train(args[1], std::stoi(args[2]), args[3]);
+    if (cmd == "eval" && (args.size() == 4 || args.size() == 5))
+      return cmd_eval(args[1], args[2], std::stoi(args[3]),
+                      args.size() == 5 ? args[4] : "proposed");
+    if (cmd == "sweep" && args.size() == 5)
+      return cmd_sweep(args[1], args[2], std::stoi(args[3]), std::stoi(args[4]));
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

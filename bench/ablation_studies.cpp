@@ -60,7 +60,8 @@ void ablate_accumulator(scnn::bench::TrainedModel& model) {
   scnn::nn::EnginePool pool;
   for (int a = 0; a <= 4; ++a) {
     scnn::nn::set_conv_engine(model.net,
-                              pool.get({.kind = "proposed", .n_bits = 7, .a_bits = a}));
+                              pool.get({.kind = scnn::nn::EngineKind::kProposed,
+                                        .n_bits = 7, .accum_bits = a}));
     t.add_row({std::to_string(a),
                Table::fmt(model.net.accuracy(model.test.images, model.test.labels), 3)});
   }

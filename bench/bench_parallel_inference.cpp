@@ -1,0 +1,111 @@
+// Serial vs multithreaded inference throughput on the CIFAR-style network.
+//
+//   build/bench/bench_parallel_inference [--images=N] [--reps=R] [--assert-speedup]
+//
+// For each engine kind the untrained-but-calibrated network forwards the
+// same batch serially and with 2 and 4 worker threads. The run FAILS (exit
+// 1) if any threaded pass is not bit-identical to the serial logits — that
+// is the runtime's core guarantee. Throughput and speedup are reported per
+// configuration; with --assert-speedup the run additionally fails unless
+// the 4-thread pass is >= 2x serial (only meaningful on >= 4 real cores,
+// so it is skipped — loudly — on smaller machines).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "data/synthetic_objects.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/network.hpp"
+
+namespace {
+
+using scnn::nn::EngineKind;
+using scnn::nn::InferenceSession;
+using scnn::nn::Tensor;
+
+double time_forward_ms(InferenceSession& session, const Tensor& batch, int reps) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Tensor y = session.forward(batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int images = 32, reps = 2;
+  bool assert_speedup = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--images=", 0) == 0) images = std::stoi(arg.substr(9));
+    if (arg.rfind("--reps=", 0) == 0) reps = std::stoi(arg.substr(7));
+    if (arg == "--assert-speedup") assert_speedup = true;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("parallel inference bench: %d images, best of %d reps, "
+              "%u hardware threads\n", images, reps, hw);
+
+  const auto data = scnn::data::make_synthetic_objects({.count = images, .seed = 7});
+  InferenceSession session(scnn::nn::make_cifar_net(data.images.h()), /*threads=*/1);
+  session.calibrate(data.images);
+
+  scnn::common::Table t({"engine", "threads", "ms/pass", "images/s", "speedup",
+                         "bit-identical"});
+  bool all_identical = true;
+  bool speedup_ok = true;
+  for (const EngineKind kind :
+       {EngineKind::kFixed, EngineKind::kScLfsr, EngineKind::kProposed}) {
+    session.set_engine({.kind = kind, .n_bits = 8, .threads = 1});
+    const Tensor reference = session.forward(data.images);
+    const double serial_ms = time_forward_ms(session, data.images, reps);
+    t.add_row({scnn::nn::to_string(kind), "1", scnn::common::Table::fmt(serial_ms, 1),
+               scnn::common::Table::fmt(1000.0 * images / serial_ms, 1), "1.00", "ref"});
+    for (const int threads : {2, 4}) {
+      session.set_threads(threads);
+      const Tensor y = session.forward(data.images);
+      const bool same = bit_identical(reference, y);
+      all_identical = all_identical && same;
+      const double ms = time_forward_ms(session, data.images, reps);
+      const double speedup = serial_ms / ms;
+      if (assert_speedup && threads == 4 && speedup < 2.0) speedup_ok = false;
+      t.add_row({scnn::nn::to_string(kind), std::to_string(threads),
+                 scnn::common::Table::fmt(ms, 1),
+                 scnn::common::Table::fmt(1000.0 * images / ms, 1),
+                 scnn::common::Table::fmt(speedup, 2), same ? "yes" : "NO"});
+    }
+    session.set_threads(1);
+  }
+  t.print(std::cout);
+
+  if (!all_identical) {
+    std::printf("FAIL: threaded logits differ from the serial reference\n");
+    return 1;
+  }
+  std::printf("all threaded passes bit-identical to serial logits\n");
+  if (assert_speedup) {
+    if (hw < 4) {
+      std::printf("SKIP speedup assertion: only %u hardware threads "
+                  "(>= 4 required for the 2x-at-4-threads check)\n", hw);
+    } else if (!speedup_ok) {
+      std::printf("FAIL: 4-thread speedup below 2x on %u hardware threads\n", hw);
+      return 1;
+    } else {
+      std::printf("PASS: 4-thread speedup >= 2x\n");
+    }
+  }
+  return 0;
+}

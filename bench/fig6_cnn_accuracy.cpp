@@ -18,13 +18,16 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
+#include "nn/inference_session.hpp"
 
 namespace {
 
 using scnn::bench::TrainedModel;
 using scnn::common::Table;
+using scnn::nn::EngineKind;
 
-const std::vector<std::string> kKinds = {"fixed", "sc-lfsr", "proposed"};
+const std::vector<EngineKind> kKinds = {EngineKind::kFixed, EngineKind::kScLfsr,
+                                        EngineKind::kProposed};
 
 struct SweepResult {
   double float_accuracy = 0.0;
@@ -33,29 +36,32 @@ struct SweepResult {
   std::map<std::pair<std::string, int>, double> with_ft;
 };
 
-SweepResult run_sweep(TrainedModel& model, const std::vector<int>& precisions,
-                      int ft_epochs, float ft_lr) {
+/// The session owns the trained network; datasets stay in `model`. Threads
+/// don't change any number here (bit-identical logits), only wall clock.
+SweepResult run_sweep(scnn::nn::InferenceSession& session, TrainedModel& model,
+                      const std::vector<int>& precisions, int ft_epochs, float ft_lr) {
   SweepResult res;
-  res.float_accuracy = model.net.accuracy(model.test.images, model.test.labels);
-  const std::vector<float> trained = model.net.save_parameters();
-  scnn::nn::EnginePool pool;
+  res.float_accuracy = session.accuracy(model.test.images, model.test.labels);
+  const std::vector<float> trained = session.network().save_parameters();
 
-  for (const std::string& kind : kKinds) {
+  for (const EngineKind kind : kKinds) {
+    const std::string kind_name = scnn::nn::to_string(kind);
     for (int n : precisions) {
-      const auto* engine = pool.get({.kind = kind, .n_bits = n, .a_bits = 2});
-      scnn::nn::set_conv_engine(model.net, engine);
-      res.no_ft[{kind, n}] = model.net.accuracy(model.test.images, model.test.labels);
+      session.set_engine({.kind = kind, .n_bits = n, .threads = 0});
+      res.no_ft[{kind_name, n}] =
+          session.accuracy(model.test.images, model.test.labels);
 
       // Fine-tune from the SAME float-trained starting point each time.
       scnn::nn::SgdTrainer tuner({.epochs = ft_epochs, .batch_size = 25,
                                   .learning_rate = ft_lr, .lr_decay = 0.8f});
-      tuner.train(model.net, model.train.images, model.train.labels);
-      res.with_ft[{kind, n}] = model.net.accuracy(model.test.images, model.test.labels);
+      tuner.train(session.network(), model.train.images, model.train.labels);
+      res.with_ft[{kind_name, n}] =
+          session.accuracy(model.test.images, model.test.labels);
 
-      scnn::nn::set_conv_engine(model.net, nullptr);
-      model.net.load_parameters(trained);
-      std::printf("  %s N=%d: %.3f -> %.3f (fine-tuned)\n", kind.c_str(), n,
-                  res.no_ft[{kind, n}], res.with_ft[{kind, n}]);
+      session.clear_engine();
+      session.network().load_parameters(trained);
+      std::printf("  %s N=%d: %.3f -> %.3f (fine-tuned)\n", kind_name.c_str(), n,
+                  res.no_ft[{kind_name, n}], res.with_ft[{kind_name, n}]);
       std::fflush(stdout);
     }
   }
@@ -92,14 +98,16 @@ int main(int argc, char** argv) {
   auto digits = scnn::bench::train_digit_model(full ? 2000 : 1200, full ? 500 : 400,
                                                full ? 8 : 6);
   std::printf("dataset: %s\n", digits.dataset_name.c_str());
-  const auto dres = run_sweep(digits, digit_n, full ? 3 : 2, 0.004f);
+  scnn::nn::InferenceSession digit_session(std::move(digits.net), /*threads=*/0);
+  const auto dres = run_sweep(digit_session, digits, digit_n, full ? 3 : 2, 0.004f);
   print_tables("MNIST-class", dres, digit_n);
 
   std::printf("\n[2/2] training CIFAR-class model...\n");
   auto objects = scnn::bench::train_object_model(full ? 2000 : 800, full ? 500 : 250,
                                                  full ? 10 : 7);
   std::printf("dataset: %s\n", objects.dataset_name.c_str());
-  const auto ores = run_sweep(objects, object_n, full ? 3 : 1, 0.004f);
+  scnn::nn::InferenceSession object_session(std::move(objects.net), /*threads=*/0);
+  const auto ores = run_sweep(object_session, objects, object_n, full ? 3 : 1, 0.004f);
   print_tables("CIFAR-class", ores, object_n);
 
   std::printf("\nShape checks vs the paper:\n"

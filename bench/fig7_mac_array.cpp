@@ -18,6 +18,7 @@
 #include "common/table.hpp"
 #include "core/conv_scheduler.hpp"
 #include "hw/array_model.hpp"
+#include "nn/inference_session.hpp"
 
 namespace {
 
@@ -27,8 +28,11 @@ using scnn::hw::MacKind;
 
 constexpr int kArraySize = 256;
 
-void print_comparison(const char* workload, scnn::bench::TrainedModel& model, int n_bits) {
-  const double avg = scnn::bench::avg_enable_cycles(model.net, n_bits);
+/// `session` owns the trained network; `test` supplies the probe geometry.
+void print_comparison(const char* workload, scnn::nn::InferenceSession& session,
+                      const scnn::data::Dataset& test, int n_bits) {
+  scnn::nn::Network& net = session.network();
+  const double avg = scnn::bench::avg_enable_cycles(net, n_bits);
   std::printf("\n=== Fig. 7: %s, N = %d (avg enable %.2f cycles, worst %.0f) ===\n",
               workload, n_bits, avg, std::ldexp(1.0, n_bits - 1));
 
@@ -71,11 +75,10 @@ void print_comparison(const char* workload, scnn::bench::TrainedModel& model, in
             "Ours speedup vs Conv.SC"});
   const scnn::core::Tiling tiling{.tm = 16, .tr = 4, .tc = 4};
   int li = 0;
-  auto probe = model.test.images;
   // Walk the network to know each conv layer's live input geometry.
-  scnn::nn::Tensor cur = scnn::nn::batch_slice(probe, 0, 1);
-  for (std::size_t i = 0; i < model.net.layer_count(); ++i) {
-    auto& layer = model.net.layer(i);
+  scnn::nn::Tensor cur = scnn::nn::batch_slice(test.images, 0, 1);
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    auto& layer = net.layer(i);
     if (auto* conv = dynamic_cast<scnn::nn::Conv2D*>(&layer)) {
       const auto dims = conv->dims_for(cur);
       const auto codes = conv->quantized_weights(n_bits);
@@ -104,11 +107,13 @@ int main(int argc, char** argv) {
   std::printf("Training workload models to obtain real weight distributions...\n");
   auto digits = scnn::bench::train_digit_model(train_n, 100, epochs);
   std::printf("digit model (%s) trained.\n", digits.dataset_name.c_str());
-  print_comparison("MNIST-class workload", digits, 5);
+  scnn::nn::InferenceSession digit_session(std::move(digits.net), /*threads=*/0);
+  print_comparison("MNIST-class workload", digit_session, digits.test, 5);
 
   auto objects = scnn::bench::train_object_model(train_n, 100, epochs);
   std::printf("\nobject model (%s) trained.\n", objects.dataset_name.c_str());
-  print_comparison("CIFAR-class workload", objects, 8);
-  print_comparison("CIFAR-class workload", objects, 9);
+  scnn::nn::InferenceSession object_session(std::move(objects.net), /*threads=*/0);
+  print_comparison("CIFAR-class workload", object_session, objects.test, 8);
+  print_comparison("CIFAR-class workload", object_session, objects.test, 9);
   return 0;
 }

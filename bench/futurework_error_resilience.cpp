@@ -25,8 +25,9 @@ int main(int argc, char** argv) {
                                               quick ? 3 : 5);
   const int n_bits = 8;
   nn::EnginePool pool;
-  const auto* prop = pool.get({.kind = "proposed", .n_bits = n_bits, .a_bits = 2});
-  const auto* fixed = pool.get({.kind = "fixed", .n_bits = n_bits, .a_bits = 2});
+  const auto* prop =
+      pool.get({.kind = nn::EngineKind::kProposed, .n_bits = n_bits});
+  const auto* fixed = pool.get({.kind = nn::EngineKind::kFixed, .n_bits = n_bits});
 
   std::printf("\n=== Accuracy under datapath soft errors (%s, N = %d) ===\n",
               model.dataset_name.c_str(), n_bits);

@@ -65,7 +65,8 @@ BENCHMARK(BM_BitParallelMultiply)->Arg(8)->Arg(32);
 
 void BM_LutEngineMac(benchmark::State& state) {
   // One conv output at LeNet conv2 scale: d = 25 * 8 = 200 products.
-  const auto engine = scnn::nn::make_engine("proposed", 8, 2);
+  const auto engine =
+      scnn::nn::make_engine({.kind = scnn::nn::EngineKind::kProposed, .n_bits = 8});
   const auto w = random_codes(200, 8, 7);
   const auto x = random_codes(200, 8, 8);
   for (auto _ : state) benchmark::DoNotOptimize(engine->mac(w, x));

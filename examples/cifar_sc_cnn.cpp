@@ -7,8 +7,8 @@
 
 #include "data/idx_loader.hpp"
 #include "data/synthetic_objects.hpp"
+#include "nn/inference_session.hpp"
 #include "nn/network.hpp"
-#include "nn/quantize.hpp"
 #include "nn/trainer.hpp"
 
 int main(int argc, char** argv) {
@@ -34,32 +34,37 @@ int main(int argc, char** argv) {
   nn::SgdTrainer trainer({.epochs = fast ? 5 : 7, .batch_size = 25,
                           .learning_rate = 0.01f, .lr_decay = 0.9f, .verbose = true});
   trainer.train(net, train.images, train.labels);
+
+  // The session owns network + engines + worker pool from here on; threads=0
+  // uses every hardware thread (accuracy is identical at any thread count).
+  nn::InferenceSession session(std::move(net), /*threads=*/0);
   // Per-layer power-of-two activation scales: the generalization of the
   // paper's "scale the input feature map by 128" trick for CIFAR-10.
-  nn::calibrate_network(net, nn::batch_slice(train.images, 0, 50));
-  for (nn::Conv2D* c : net.conv_layers())
+  session.calibrate(nn::batch_slice(train.images, 0, 50));
+  for (nn::Conv2D* c : session.network().conv_layers())
     std::printf("conv layer: weight scale %.0f, activation scale %.0f\n",
                 c->weight_scale(), c->activation_scale());
-  std::printf("float accuracy: %.3f\n\n", net.accuracy(test.images, test.labels));
+  std::printf("float accuracy (%d threads): %.3f\n\n", session.threads(),
+              session.accuracy(test.images, test.labels));
 
   // The interesting CIFAR regime per Fig. 6(c)-(d): N = 8.
   const int n_bits = 8;
-  nn::EnginePool pool;
-  const auto trained = net.save_parameters();
-  for (const char* kind : {"fixed", "sc-lfsr", "proposed"}) {
-    const auto* engine = pool.get({.kind = kind, .n_bits = n_bits, .a_bits = 2});
-    nn::set_conv_engine(net, engine);
-    const double before = net.accuracy(test.images, test.labels);
+  const auto trained = session.network().save_parameters();
+  for (const nn::EngineKind kind : {nn::EngineKind::kFixed, nn::EngineKind::kScLfsr,
+                                    nn::EngineKind::kProposed}) {
+    session.set_engine({.kind = kind, .n_bits = n_bits, .threads = 0});
+    const double before = session.accuracy(test.images, test.labels);
 
     nn::SgdTrainer tuner({.epochs = fast ? 1 : 2, .batch_size = 25,
                           .learning_rate = 0.004f});
-    tuner.train(net, train.images, train.labels);  // SC forward, STE backward
-    const double after = net.accuracy(test.images, test.labels);
-    std::printf("%-9s N=%d: accuracy %.3f -> %.3f after fine-tuning\n", kind, n_bits,
-                before, after);
+    // SC forward, STE backward, straight on the session-owned network.
+    tuner.train(session.network(), train.images, train.labels);
+    const double after = session.accuracy(test.images, test.labels);
+    std::printf("%-9s N=%d: accuracy %.3f -> %.3f after fine-tuning\n",
+                nn::to_string(kind).c_str(), n_bits, before, after);
 
-    nn::set_conv_engine(net, nullptr);
-    net.load_parameters(trained);
+    session.clear_engine();
+    session.network().load_parameters(trained);
   }
   return 0;
 }

@@ -13,8 +13,8 @@
 #include "data/idx_loader.hpp"
 #include "data/synthetic_digits.hpp"
 #include "hw/array_model.hpp"
+#include "nn/inference_session.hpp"
 #include "nn/network.hpp"
-#include "nn/quantize.hpp"
 #include "nn/trainer.hpp"
 
 int main(int argc, char** argv) {
@@ -42,24 +42,29 @@ int main(int argc, char** argv) {
   nn::SgdTrainer trainer({.epochs = fast ? 3 : 6, .batch_size = 25,
                           .learning_rate = 0.01f, .lr_decay = 0.9f, .verbose = true});
   trainer.train(net, train.images, train.labels);
-  nn::calibrate_network(net, nn::batch_slice(train.images, 0, 50));
-  std::printf("float accuracy: %.3f\n\n", net.accuracy(test.images, test.labels));
+
+  // ---- inference runtime: every hardware thread; logits are identical at
+  // any thread count, so the workload choice is pure throughput -------------
+  nn::InferenceSession session(std::move(net), /*threads=*/0);
+  session.calibrate(nn::batch_slice(train.images, 0, 50));
+  std::printf("float accuracy (%d threads): %.3f\n\n", session.threads(),
+              session.accuracy(test.images, test.labels));
 
   // ---- SC / fixed inference (the paper's N = 5 MNIST setting and N = 8) --
-  nn::EnginePool pool;
   for (int n_bits : {5, 8}) {
     std::printf("precision N = %d:\n", n_bits);
-    for (const char* kind : {"fixed", "sc-lfsr", "proposed"}) {
-      nn::set_conv_engine(net, pool.get({.kind = kind, .n_bits = n_bits, .a_bits = 2}));
-      std::printf("  %-9s accuracy: %.3f\n", kind,
-                  net.accuracy(test.images, test.labels));
+    for (const nn::EngineKind kind : {nn::EngineKind::kFixed, nn::EngineKind::kScLfsr,
+                                      nn::EngineKind::kProposed}) {
+      session.set_engine({.kind = kind, .n_bits = n_bits, .threads = 0});
+      std::printf("  %-9s accuracy: %.3f\n", nn::to_string(kind).c_str(),
+                  session.accuracy(test.images, test.labels));
     }
-    nn::set_conv_engine(net, nullptr);
+    session.clear_engine();
   }
 
   // ---- accelerator latency picture for conv1 at N = 5 ---------------------
   const int n_bits = 5;
-  nn::Conv2D* conv1 = net.conv_layers().front();
+  nn::Conv2D* conv1 = session.network().conv_layers().front();
   const auto codes = conv1->quantized_weights(n_bits);
   const auto dims = conv1->dims_for(nn::batch_slice(test.images, 0, 1));
   const core::Tiling tiling{.tm = 16, .tr = 4, .tc = 4};

@@ -1,0 +1,96 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace scnn::common {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc == 0 ? 1 : static_cast<int>(hc);
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop_(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop_() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into the future
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> fut = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::run_batch(std::vector<std::function<void()>> tasks) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (auto& t : tasks) futures.push_back(submit(std::move(t)));
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+int parallel_shard_count(const ThreadPool* pool, std::int64_t count) {
+  if (!pool || pool->size() <= 1 || count <= 1) return count > 0 ? 1 : 0;
+  return static_cast<int>(std::min<std::int64_t>(pool->size(), count));
+}
+
+void parallel_for(ThreadPool* pool, std::int64_t count,
+                  const std::function<void(std::int64_t, std::int64_t, int)>& body) {
+  if (count <= 0) return;
+  const int shards = parallel_shard_count(pool, count);
+  if (shards <= 1) {
+    body(0, count, 0);
+    return;
+  }
+  const std::int64_t chunk = count / shards;
+  const std::int64_t rem = count % shards;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(shards));
+  std::int64_t begin = 0;
+  for (int s = 0; s < shards; ++s) {
+    const std::int64_t end = begin + chunk + (s < rem ? 1 : 0);
+    tasks.push_back([&body, begin, end, s] { body(begin, end, s); });
+    begin = end;
+  }
+  pool->run_batch(std::move(tasks));
+}
+
+}  // namespace scnn::common

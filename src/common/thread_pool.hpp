@@ -1,0 +1,66 @@
+// Fixed-size worker pool for the inference runtime.
+//
+// The MAC engines are const LUT lookups and every output element of a layer
+// is an independent dot product, so inference parallelism is embarrassingly
+// data-parallel: shard the output index space over workers. parallel_for()
+// does exactly that with *deterministic* contiguous shards — shard i always
+// covers the same index range for a given (count, shard count) — which is
+// what lets the threaded forward pass stay bit-identical to the serial one
+// and lets per-shard counters be merged in a fixed order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <vector>
+
+namespace scnn::common {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 means one worker per hardware thread (at least one).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task; the future observes its completion or exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Submit a batch and wait for every task to finish. If any task threw,
+  /// the exception of the *lowest-indexed* failing task is rethrown (after
+  /// all tasks have completed, so captured state stays alive throughout).
+  /// An empty batch is a no-op.
+  void run_batch(std::vector<std::function<void()>> tasks);
+
+ private:
+  void worker_loop_();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Shard [0, count) into at most pool->size() contiguous ranges and run
+/// `body(begin, end, shard)` for each on the pool, waiting for completion.
+/// Shard boundaries depend only on (count, shard count), never on timing.
+/// A null pool, a one-worker pool, or count <= 1 runs inline as
+/// body(0, count, 0); count == 0 calls nothing.
+void parallel_for(ThreadPool* pool, std::int64_t count,
+                  const std::function<void(std::int64_t begin, std::int64_t end,
+                                           int shard)>& body);
+
+/// Number of shards parallel_for() will use for `count` items on `pool`
+/// (callers size per-shard scratch/counter arrays with this).
+[[nodiscard]] int parallel_shard_count(const ThreadPool* pool, std::int64_t count);
+
+}  // namespace scnn::common

@@ -1,11 +1,13 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "common/fixed_point.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace scnn::nn {
 
@@ -46,6 +48,7 @@ core::ConvDims Conv2D::dims_for(const Tensor& input) const {
 Tensor Conv2D::forward(const Tensor& input) {
   if (input.c() != in_ch_) throw std::invalid_argument("Conv2D: channel mismatch");
   cached_input_ = input;
+  stats_ = MacStats{};
   return engine_ ? forward_quantized(input) : forward_float(input);
 }
 
@@ -53,27 +56,31 @@ Tensor Conv2D::forward_float(const Tensor& x) {
   const auto d = dims_for(x);
   const int R = d.out_rows(), C = d.out_cols();
   Tensor y(x.n(), out_ch_, R, C);
-  for (int n = 0; n < x.n(); ++n) {
-    for (int m = 0; m < out_ch_; ++m) {
-      for (int r = 0; r < R; ++r) {
-        for (int c = 0; c < C; ++c) {
-          float acc = bias_.value.at(m, 0, 0, 0);
-          for (int z = 0; z < in_ch_; ++z) {
-            for (int i = 0; i < k_; ++i) {
-              const int yy = s_ * r + i - p_;
-              if (yy < 0 || yy >= x.h()) continue;
-              for (int j = 0; j < k_; ++j) {
-                const int xx = s_ * c + j - p_;
-                if (xx < 0 || xx >= x.w()) continue;
-                acc += weight_.value.at(m, z, i, j) * x.at(n, z, yy, xx);
-              }
+  // One item = one output row (n, m, r); every element of the row is a fully
+  // independent accumulation, so sharding cannot change results or race.
+  const std::int64_t rows = static_cast<std::int64_t>(x.n()) * out_ch_ * R;
+  common::parallel_for(pool_, rows, [&](std::int64_t lo, std::int64_t hi, int) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const int n = static_cast<int>(row / (static_cast<std::int64_t>(out_ch_) * R));
+      const int m = static_cast<int>(row / R % out_ch_);
+      const int r = static_cast<int>(row % R);
+      for (int c = 0; c < C; ++c) {
+        float acc = bias_.value.at(m, 0, 0, 0);
+        for (int z = 0; z < in_ch_; ++z) {
+          for (int i = 0; i < k_; ++i) {
+            const int yy = s_ * r + i - p_;
+            if (yy < 0 || yy >= x.h()) continue;
+            for (int j = 0; j < k_; ++j) {
+              const int xx = s_ * c + j - p_;
+              if (xx < 0 || xx >= x.w()) continue;
+              acc += weight_.value.at(m, z, i, j) * x.at(n, z, yy, xx);
             }
           }
-          y.at(n, m, r, c) = acc;
         }
+        y.at(n, m, r, c) = acc;
       }
     }
-  }
+  });
   return y;
 }
 
@@ -94,47 +101,66 @@ Tensor Conv2D::forward_quantized(const Tensor& x) {
             wq[idx++] = common::quantize(weight_.value.at(m, z, i, j) / weight_scale_, nbits);
   }
 
-  // Quantize the whole input feature map once per sample.
-  std::vector<std::int32_t> xq(static_cast<std::size_t>(in_ch_) * x.h() * x.w());
-  std::vector<std::int32_t> gather(dd);
+  // Quantize every sample's input feature map up front (elementwise, so the
+  // sharded version is trivially bit-identical to the serial one).
+  const std::size_t plane = static_cast<std::size_t>(in_ch_) * x.h() * x.w();
+  std::vector<std::int32_t> xq(static_cast<std::size_t>(x.n()) * plane);
+  common::parallel_for(pool_, x.n(), [&](std::int64_t lo, std::int64_t hi, int) {
+    for (std::int64_t n = lo; n < hi; ++n) {
+      std::size_t idx = static_cast<std::size_t>(n) * plane;
+      for (int z = 0; z < in_ch_; ++z)
+        for (int yy = 0; yy < x.h(); ++yy)
+          for (int xx = 0; xx < x.w(); ++xx)
+            xq[idx++] = common::quantize(
+                x.at(static_cast<int>(n), z, yy, xx) / act_scale_, nbits);
+    }
+  });
 
   const float out_scale = weight_scale_ * act_scale_ /
                           static_cast<float>(std::int64_t{1} << (nbits - 1));
   Tensor y(x.n(), out_ch_, R, C);
-  for (int n = 0; n < x.n(); ++n) {
-    {
-      std::size_t idx = 0;
-      for (int z = 0; z < in_ch_; ++z)
-        for (int yy = 0; yy < x.h(); ++yy)
-          for (int xx = 0; xx < x.w(); ++xx)
-            xq[idx++] = common::quantize(x.at(n, z, yy, xx) / act_scale_, nbits);
-    }
-    for (int m = 0; m < out_ch_; ++m) {
+
+  // One item = one output row (n, m, r). Each shard owns a private gather
+  // scratch and MacStats; shards write disjoint output rows. Per-shard stats
+  // are merged in shard order below, so counters (and of course the logits)
+  // are independent of how many workers ran.
+  const std::int64_t rows = static_cast<std::int64_t>(x.n()) * out_ch_ * R;
+  std::vector<MacStats> shard_stats(
+      static_cast<std::size_t>(std::max(1, common::parallel_shard_count(pool_, rows))));
+  common::parallel_for(pool_, rows, [&](std::int64_t lo, std::int64_t hi, int shard) {
+    std::vector<std::int32_t> gather(dd);
+    MacStats local;
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const int n = static_cast<int>(row / (static_cast<std::int64_t>(out_ch_) * R));
+      const int m = static_cast<int>(row / R % out_ch_);
+      const int r = static_cast<int>(row % R);
       const std::span<const std::int32_t> wrow(&wq[static_cast<std::size_t>(m) * dd], dd);
-      for (int r = 0; r < R; ++r) {
-        for (int c = 0; c < C; ++c) {
-          std::size_t g = 0;
-          for (int z = 0; z < in_ch_; ++z) {
-            for (int i = 0; i < k_; ++i) {
-              const int yy = s_ * r + i - p_;
-              for (int j = 0; j < k_; ++j) {
-                const int xx = s_ * c + j - p_;
-                const bool in_range = yy >= 0 && yy < x.h() && xx >= 0 && xx < x.w();
-                gather[g++] = in_range
-                                  ? xq[(static_cast<std::size_t>(z) * x.h() + yy) * x.w() + xx]
-                                  : 0;
-              }
+      const std::int32_t* xs = &xq[static_cast<std::size_t>(n) * plane];
+      for (int c = 0; c < C; ++c) {
+        std::size_t g = 0;
+        for (int z = 0; z < in_ch_; ++z) {
+          for (int i = 0; i < k_; ++i) {
+            const int yy = s_ * r + i - p_;
+            for (int j = 0; j < k_; ++j) {
+              const int xx = s_ * c + j - p_;
+              const bool in_range = yy >= 0 && yy < x.h() && xx >= 0 && xx < x.w();
+              gather[g++] = in_range
+                                ? xs[(static_cast<std::size_t>(z) * x.h() + yy) * x.w() + xx]
+                                : 0;
             }
           }
-          // Hardware MAC (saturating, N+A bits, units 2^-(N-1)), then the
-          // power-of-two output rescale and the binary-domain bias add.
-          const std::int64_t acc = engine_->mac(wrow, gather);
-          y.at(n, m, r, c) =
-              static_cast<float>(acc) * out_scale + bias_.value.at(m, 0, 0, 0);
         }
+        // Hardware MAC (saturating, N+A bits, units 2^-(N-1)), then the
+        // power-of-two output rescale and the binary-domain bias add.
+        const std::int64_t acc = engine_->mac(wrow, gather, local);
+        y.at(n, m, r, c) =
+            static_cast<float>(acc) * out_scale + bias_.value.at(m, 0, 0, 0);
       }
     }
-  }
+    shard_stats[static_cast<std::size_t>(shard)] += local;
+  });
+  stats_ = MacStats{};
+  for (const MacStats& s : shard_stats) stats_ += s;
   return y;
 }
 

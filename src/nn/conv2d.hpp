@@ -38,6 +38,15 @@ class Conv2D final : public Layer {
   void set_engine(const MacEngine* engine) { engine_ = engine; }
   [[nodiscard]] const MacEngine* engine() const { return engine_; }
 
+  /// Shard forward passes over `pool` (nullptr = serial). Engines are const
+  /// LUT lookups and every output element is an independent dot product, so
+  /// the sharded pass is race-free and bit-identical to the serial one.
+  void set_thread_pool(common::ThreadPool* pool) override { pool_ = pool; }
+
+  /// Work counters of the last quantized forward pass (per-shard counters
+  /// merged in shard order; zeroed by float-mode forwards).
+  [[nodiscard]] const MacStats& last_forward_stats() const { return stats_; }
+
   /// Compute power-of-two weight/activation scales from the current weights
   /// and a representative input batch (float domain).
   void calibrate_scales(const Tensor& representative_input);
@@ -69,6 +78,8 @@ class Conv2D final : public Layer {
   Parameter weight_;  // (out_ch, in_ch, k, k)
   Parameter bias_;    // (out_ch, 1, 1, 1)
   const MacEngine* engine_ = nullptr;
+  common::ThreadPool* pool_ = nullptr;
+  MacStats stats_;
   float weight_scale_ = 1.0f;
   float act_scale_ = 1.0f;
   Tensor cached_input_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace scnn::nn {
 
@@ -28,15 +29,20 @@ Tensor Dense::forward(const Tensor& input) {
     throw std::invalid_argument("Dense: feature-count mismatch");
   cached_input_ = input;
   Tensor y(input.n(), out_, 1, 1);
-  for (int n = 0; n < input.n(); ++n) {
-    const auto xs = input.sample(n);
-    for (int o = 0; o < out_; ++o) {
+  // One item = one (sample, output-neuron) pair; every dot product is
+  // independent, so the sharded pass is bit-identical to the serial one.
+  const std::int64_t items = static_cast<std::int64_t>(input.n()) * out_;
+  common::parallel_for(pool_, items, [&](std::int64_t lo, std::int64_t hi, int) {
+    for (std::int64_t it = lo; it < hi; ++it) {
+      const int n = static_cast<int>(it / out_);
+      const int o = static_cast<int>(it % out_);
+      const auto xs = input.sample(n);
       float acc = bias_.value.at(o, 0, 0, 0);
       const float* wr = &weight_.value.at(o, 0, 0, 0);
       for (int i = 0; i < in_; ++i) acc += wr[i] * xs[static_cast<std::size_t>(i)];
       y.at(n, o, 0, 0) = acc;
     }
-  }
+  });
   return y;
 }
 

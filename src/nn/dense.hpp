@@ -21,11 +21,16 @@ class Dense final : public Layer {
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   [[nodiscard]] std::string name() const override { return "dense"; }
 
+  /// Shard the forward pass over `pool` (nullptr = serial). Each output
+  /// neuron is an independent dot product, so results are bit-identical.
+  void set_thread_pool(common::ThreadPool* pool) override { pool_ = pool; }
+
   [[nodiscard]] int in_features() const { return in_; }
   [[nodiscard]] int out_features() const { return out_; }
 
  private:
   int in_, out_;
+  common::ThreadPool* pool_ = nullptr;
   Parameter weight_;  // (out, in, 1, 1)
   Parameter bias_;    // (out, 1, 1, 1)
   Tensor cached_input_;

@@ -1,0 +1,84 @@
+// InferenceSession — the one-stop inference runtime facade.
+//
+// Owns the network, the engine pool, and the worker thread pool, and keeps
+// the three wired together so callers (CLI, examples, benches) never juggle
+// raw MacEngine pointers or per-layer thread plumbing again:
+//
+//   InferenceSession session(make_cifar_net(), 4);        // 4 worker threads
+//   session.calibrate(calib_batch);
+//   session.set_engine({.kind = EngineKind::kProposed, .n_bits = 8});
+//   double acc = session.accuracy(test.images, test.labels);
+//   session.clear_engine();                               // back to float
+//
+// Determinism guarantee: for a fixed network + engine configuration the
+// logits of forward()/predict()/accuracy() are bit-identical for every
+// thread count (each output element is computed entirely by one worker and
+// the shard layout depends only on the element count).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "nn/mac_engine.hpp"
+#include "nn/network.hpp"
+#include "nn/quantize.hpp"
+
+namespace scnn::nn {
+
+class InferenceSession {
+ public:
+  /// Float-mode session over `net`. `threads` <= 1 runs serial; 0 is
+  /// resolved to one worker per hardware thread.
+  explicit InferenceSession(Network net, int threads = 1);
+
+  /// Quantized session: builds the engine for `cfg` (validated) and sizes
+  /// the worker pool from cfg.threads.
+  InferenceSession(Network net, const EngineConfig& cfg);
+
+  /// Switch the arithmetic; engines are cached per (kind, N, A), and
+  /// cfg.threads resizes the worker pool.
+  void set_engine(const EngineConfig& cfg);
+
+  /// Restore float arithmetic (keeps the worker pool).
+  void clear_engine();
+
+  /// Resize the worker pool (0 = one per hardware thread, 1 = serial).
+  void set_threads(int threads);
+  [[nodiscard]] int threads() const { return pool_ ? pool_->size() : 1; }
+
+  /// Calibrate per-conv-layer power-of-two scales in float mode.
+  void calibrate(const Tensor& calibration_batch);
+
+  [[nodiscard]] Tensor forward(const Tensor& input) { return net_.forward(input); }
+  [[nodiscard]] std::vector<int> predict(const Tensor& input) {
+    return net_.predict(input);
+  }
+  [[nodiscard]] double accuracy(const Tensor& images, std::span<const int> labels,
+                                int batch_size = 50) {
+    return net_.accuracy(images, labels, batch_size);
+  }
+
+  /// The owned network, e.g. for fine-tuning with SgdTrainer between
+  /// quantized evaluations (the engine and pool stay attached).
+  [[nodiscard]] Network& network() { return net_; }
+
+  /// Active configuration; nullopt in float mode.
+  [[nodiscard]] const std::optional<EngineConfig>& config() const { return cfg_; }
+  [[nodiscard]] const MacEngine* engine() const { return engine_; }
+
+  /// Sum of all conv layers' counters from the most recent forward pass
+  /// (zeros in float mode).
+  [[nodiscard]] MacStats last_forward_stats() const;
+
+ private:
+  Network net_;
+  EnginePool engines_;
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::optional<EngineConfig> cfg_;
+  const MacEngine* engine_ = nullptr;
+};
+
+}  // namespace scnn::nn

@@ -7,6 +7,10 @@
 
 #include "nn/tensor.hpp"
 
+namespace scnn::common {
+class ThreadPool;
+}
+
 namespace scnn::nn {
 
 /// A learnable parameter with its gradient accumulator.
@@ -28,6 +32,13 @@ class Layer {
 
   /// Learnable parameters (empty for pooling/activation layers).
   virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Worker pool for the forward pass (nullptr = serial). The pool is not
+  /// owned and must outlive the layer's forward calls. Layers that gain
+  /// nothing from sharding ignore it. The threaded forward pass is
+  /// bit-identical to the serial one (each output element is computed
+  /// entirely by one worker, shard boundaries are deterministic).
+  virtual void set_thread_pool(common::ThreadPool*) {}
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

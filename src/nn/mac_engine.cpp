@@ -2,36 +2,119 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <thread>
 
 #include "common/fixed_point.hpp"
 #include "core/scmac.hpp"
 
 namespace scnn::nn {
 
+std::string to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kFixed: return "fixed";
+    case EngineKind::kScLfsr: return "sc-lfsr";
+    case EngineKind::kProposed: return "proposed";
+  }
+  throw std::invalid_argument("to_string: invalid EngineKind");
+}
+
+EngineKind engine_kind_from_string(std::string_view s) {
+  if (s == "fixed") return EngineKind::kFixed;
+  if (s == "sc-lfsr") return EngineKind::kScLfsr;
+  if (s == "proposed") return EngineKind::kProposed;
+  throw std::invalid_argument("unknown engine kind '" + std::string(s) +
+                              "' (expected fixed, sc-lfsr, or proposed)");
+}
+
+void EngineConfig::validate() const {
+  auto fail = [](const std::string& msg) { throw std::invalid_argument("EngineConfig: " + msg); };
+  if (kind != EngineKind::kFixed && kind != EngineKind::kScLfsr &&
+      kind != EngineKind::kProposed)
+    fail("invalid kind enum value");
+  if (n_bits < kMinBits || n_bits > kMaxBits)
+    fail("n_bits = " + std::to_string(n_bits) + " out of range [" +
+         std::to_string(kMinBits) + ", " + std::to_string(kMaxBits) + "]");
+  if (accum_bits < 0 || accum_bits > kMaxAccumBits)
+    fail("accum_bits = " + std::to_string(accum_bits) + " out of range [0, " +
+         std::to_string(kMaxAccumBits) + "]");
+  if (bit_parallel < 1 || bit_parallel > kMaxBitParallel)
+    fail("bit_parallel = " + std::to_string(bit_parallel) + " out of range [1, " +
+         std::to_string(kMaxBitParallel) + "]");
+  if (threads < 0 || threads > kMaxThreads)
+    fail("threads = " + std::to_string(threads) + " out of range [0, " +
+         std::to_string(kMaxThreads) + "] (0 = auto)");
+}
+
+std::string EngineConfig::label() const {
+  return to_string(kind) + "/N=" + std::to_string(n_bits);
+}
+
+int EngineConfig::resolved_threads() const {
+  if (threads > 0) return threads;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
 LutEngine::LutEngine(sc::ProductLut lut, int accum_bits)
     : MacEngine(lut.bits(), accum_bits), lut_(std::move(lut)) {}
 
-std::int64_t LutEngine::mac(std::span<const std::int32_t> w,
-                            std::span<const std::int32_t> x) const {
+std::int64_t LutEngine::mac_impl_(std::span<const std::int32_t> w,
+                                  std::span<const std::int32_t> x,
+                                  MacStats* stats) const {
   assert(w.size() == x.size());
   const int bits = n_ + a_;
   const std::int64_t lo = common::int_min_of(bits), hi = common::int_max_of(bits);
   std::int64_t acc = 0;
+  std::uint64_t sat = 0;
   for (std::size_t i = 0; i < w.size(); ++i) {
     acc += lut_.at(w[i], x[i]);
-    acc = acc < lo ? lo : (acc > hi ? hi : acc);  // saturate per product
+    if (acc < lo) {
+      acc = lo;
+      ++sat;
+    } else if (acc > hi) {
+      acc = hi;
+      ++sat;
+    }
+  }
+  if (stats) {
+    ++stats->macs;
+    stats->products += w.size();
+    stats->saturations += sat;
   }
   return acc;
 }
 
-std::unique_ptr<MacEngine> make_engine(const std::string& kind, int n_bits, int accum_bits) {
-  if (kind == "fixed")
-    return std::make_unique<LutEngine>(sc::make_fixed_point_lut(n_bits), accum_bits);
-  if (kind == "sc-lfsr")
-    return std::make_unique<LutEngine>(sc::make_lfsr_sc_lut(n_bits), accum_bits);
-  if (kind == "proposed")
-    return std::make_unique<LutEngine>(core::make_proposed_lut(n_bits), accum_bits);
-  throw std::invalid_argument("make_engine: unknown kind '" + kind + "'");
+std::int64_t LutEngine::mac(std::span<const std::int32_t> w,
+                            std::span<const std::int32_t> x) const {
+  return mac_impl_(w, x, nullptr);
+}
+
+std::int64_t LutEngine::mac(std::span<const std::int32_t> w,
+                            std::span<const std::int32_t> x, MacStats& stats) const {
+  return mac_impl_(w, x, &stats);
+}
+
+std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg) {
+  cfg.validate();
+  switch (cfg.kind) {
+    case EngineKind::kFixed:
+      return std::make_unique<LutEngine>(sc::make_fixed_point_lut(cfg.n_bits),
+                                         cfg.accum_bits);
+    case EngineKind::kScLfsr:
+      return std::make_unique<LutEngine>(sc::make_lfsr_sc_lut(cfg.n_bits),
+                                         cfg.accum_bits);
+    case EngineKind::kProposed:
+      return std::make_unique<LutEngine>(core::make_proposed_lut(cfg.n_bits),
+                                         cfg.accum_bits);
+  }
+  throw std::invalid_argument("make_engine: invalid EngineKind");
+}
+
+std::unique_ptr<MacEngine> make_engine(const std::string& kind, int n_bits,
+                                       int accum_bits) {
+  return make_engine(EngineConfig{.kind = engine_kind_from_string(kind),
+                                  .n_bits = n_bits,
+                                  .accum_bits = accum_bits});
 }
 
 }  // namespace scnn::nn

@@ -8,16 +8,75 @@
 // given their generator phases, so each is realized as a ProductLut plus a
 // saturating accumulator (bit-exact w.r.t. product-level saturation; see
 // DESIGN.md for the tick-level caveat).
+//
+// Engines are selected through the typed EngineConfig below; the stringly
+// make_engine(kind, ...) overload survives only as a deprecated shim for
+// out-of-tree callers.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "sc/mult_lut.hpp"
 
 namespace scnn::nn {
+
+/// The three arithmetic back-ends of the paper. kFixed = truncating binary;
+/// kScLfsr = conventional SC with LFSR SNGs; kProposed = the paper's SC-MAC
+/// (also exact for its bit-parallel and BISC-MVM forms).
+enum class EngineKind { kFixed, kScLfsr, kProposed };
+
+/// Canonical spelling: "fixed" | "sc-lfsr" | "proposed".
+[[nodiscard]] std::string to_string(EngineKind kind);
+/// Parse the canonical spelling; throws std::invalid_argument listing the
+/// accepted names otherwise.
+[[nodiscard]] EngineKind engine_kind_from_string(std::string_view s);
+
+/// One arithmetic + runtime configuration. This is the single source of
+/// truth for building engines and sizing the inference runtime.
+struct EngineConfig {
+  EngineKind kind = EngineKind::kProposed;
+  int n_bits = 8;        ///< multiplier precision, sign bit included
+  int accum_bits = 2;    ///< accumulator headroom A (paper default: 2)
+  int bit_parallel = 1;  ///< bit-parallel column degree b (Sec. 2.5); the LUT
+                         ///< engine is exact for any b, schedulers use it
+  int threads = 1;       ///< inference worker threads; 0 = one per hw thread
+
+  /// Supported precision window. The LUT is 2^(2N) int16 entries, so N = 12
+  /// (32 MiB) is the practical ceiling; N = 2 is sign + one magnitude bit.
+  static constexpr int kMinBits = 2;
+  static constexpr int kMaxBits = 12;
+  static constexpr int kMaxAccumBits = 20;
+  static constexpr int kMaxBitParallel = 256;
+  static constexpr int kMaxThreads = 256;
+
+  /// Throws std::invalid_argument with a field-naming message if any value
+  /// is out of range (instead of silently building an out-of-range LUT).
+  void validate() const;
+
+  /// Sweep label, e.g. "proposed/N=8".
+  [[nodiscard]] std::string label() const;
+  /// `threads` with 0 resolved to the machine's hardware concurrency.
+  [[nodiscard]] int resolved_threads() const;
+};
+
+/// Per-engine work counters for one forward pass. Per-thread instances are
+/// merged in shard order, so totals are independent of scheduling.
+struct MacStats {
+  std::uint64_t macs = 0;         ///< mac() calls (output elements)
+  std::uint64_t products = 0;     ///< code pairs multiplied
+  std::uint64_t saturations = 0;  ///< accumulator clamp events
+
+  MacStats& operator+=(const MacStats& o) {
+    macs += o.macs;
+    products += o.products;
+    saturations += o.saturations;
+    return *this;
+  }
+};
 
 class MacEngine {
  public:
@@ -26,6 +85,15 @@ class MacEngine {
   /// Saturating MAC over d = w.size() == x.size() code pairs.
   [[nodiscard]] virtual std::int64_t mac(std::span<const std::int32_t> w,
                                          std::span<const std::int32_t> x) const = 0;
+
+  /// Same result as mac(w, x), additionally accumulating work counters into
+  /// `stats`. Base implementation counts calls/products only.
+  virtual std::int64_t mac(std::span<const std::int32_t> w,
+                           std::span<const std::int32_t> x, MacStats& stats) const {
+    ++stats.macs;
+    stats.products += w.size();
+    return mac(w, x);
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] int bits() const { return n_; }
@@ -45,17 +113,25 @@ class LutEngine final : public MacEngine {
 
   [[nodiscard]] std::int64_t mac(std::span<const std::int32_t> w,
                                  std::span<const std::int32_t> x) const override;
+  std::int64_t mac(std::span<const std::int32_t> w, std::span<const std::int32_t> x,
+                   MacStats& stats) const override;
   [[nodiscard]] std::string name() const override { return lut_.name(); }
 
   [[nodiscard]] const sc::ProductLut& lut() const { return lut_; }
 
  private:
+  std::int64_t mac_impl_(std::span<const std::int32_t> w,
+                         std::span<const std::int32_t> x, MacStats* stats) const;
   sc::ProductLut lut_;
 };
 
-/// Engine kinds understood by make_engine(). "fixed" = truncating binary;
-/// "sc-lfsr" = conventional SC with LFSR SNGs; "proposed" = the paper's
-/// SC-MAC (also exact for its bit-parallel and BISC-MVM forms).
+/// Build the engine described by a validated configuration (validate() is
+/// called on entry; bad ranges throw std::invalid_argument).
+std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg);
+
+/// Deprecated stringly-typed shim: parses `kind` into an EngineConfig and
+/// forwards. New code should build an EngineConfig directly.
+[[deprecated("use make_engine(const EngineConfig&)")]]
 std::unique_ptr<MacEngine> make_engine(const std::string& kind, int n_bits,
                                        int accum_bits = 2);
 

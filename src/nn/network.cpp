@@ -39,6 +39,10 @@ std::vector<Conv2D*> Network::conv_layers() {
   return out;
 }
 
+void Network::set_thread_pool(common::ThreadPool* pool) {
+  for (auto& l : layers_) l->set_thread_pool(pool);
+}
+
 std::vector<int> Network::predict(const Tensor& input) {
   const Tensor logits = forward(input);
   std::vector<int> out(static_cast<std::size_t>(logits.n()));

@@ -38,6 +38,10 @@ class Network {
   /// All convolution layers, in order (for engine/scale control).
   [[nodiscard]] std::vector<Conv2D*> conv_layers();
 
+  /// Broadcast the inference worker pool to every layer (nullptr = serial).
+  /// The pool is borrowed, not owned; it must outlive forward calls.
+  void set_thread_pool(common::ThreadPool* pool);
+
   /// Argmax class per sample.
   [[nodiscard]] std::vector<int> predict(const Tensor& input);
 

@@ -24,10 +24,11 @@ void set_conv_engine(Network& net, const MacEngine* engine) {
 }
 
 const MacEngine* EnginePool::get(const EngineConfig& cfg) {
-  const std::string key = cfg.label() + "/A=" + std::to_string(cfg.a_bits);
+  cfg.validate();
+  const std::string key = cfg.label() + "/A=" + std::to_string(cfg.accum_bits);
   for (std::size_t i = 0; i < keys_.size(); ++i)
     if (keys_[i] == key) return engines_[i].get();
-  engines_.push_back(make_engine(cfg.kind, cfg.n_bits, cfg.a_bits));
+  engines_.push_back(make_engine(cfg));
   keys_.push_back(key);
   return engines_.back().get();
 }

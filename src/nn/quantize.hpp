@@ -19,21 +19,12 @@ void calibrate_network(Network& net, const Tensor& calibration_batch);
 /// Point every convolution layer at `engine` (nullptr restores float mode).
 void set_conv_engine(Network& net, const MacEngine* engine);
 
-/// Bundle of one arithmetic configuration for the Fig. 6 sweeps.
-struct EngineConfig {
-  std::string kind;  ///< "fixed" | "sc-lfsr" | "proposed"
-  int n_bits = 8;    ///< multiplier precision, sign bit included
-  int a_bits = 2;    ///< accumulator headroom A
-
-  [[nodiscard]] std::string label() const {
-    return kind + "/N=" + std::to_string(n_bits);
-  }
-};
-
 /// Owns the engines for a sweep so layers can borrow raw pointers safely.
+/// Engines are deduplicated on (kind, n_bits, accum_bits) — the runtime
+/// fields of EngineConfig (threads, bit_parallel) do not change the LUT.
 class EnginePool {
  public:
-  /// Get-or-create the engine for a configuration.
+  /// Get-or-create the engine for a configuration (validated on entry).
   const MacEngine* get(const EngineConfig& cfg);
 
  private:

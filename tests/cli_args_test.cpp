@@ -1,0 +1,95 @@
+#include "tools/cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace scnn::cli {
+namespace {
+
+Args parse_ok(const std::vector<std::string>& tokens) { return Args::parse(tokens); }
+
+TEST(CliArgs, ParsesCommandFlagsAndPositionals) {
+  const Args args =
+      parse_ok({"eval", "digits", "--engine=proposed", "--threads=4",
+                "--quick", "extra"});
+  EXPECT_EQ(args.command(), "eval");
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positional(0, ""), "digits");
+  EXPECT_EQ(args.positional(1, ""), "extra");
+  EXPECT_EQ(args.positional(2, "fallback"), "fallback");
+  EXPECT_TRUE(args.has("engine"));
+  EXPECT_EQ(args.get("engine", "fixed"), "proposed");
+  EXPECT_EQ(args.get_int("threads", 1), 4);
+  EXPECT_TRUE(args.has("quick"));         // bare flag
+  EXPECT_EQ(args.get("quick", "?"), "");  // ...with empty value
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(CliArgs, EmptyArgvHasNoCommand) {
+  const Args args = parse_ok({});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_TRUE(args.positionals().empty());
+}
+
+TEST(CliArgs, DoubleDashEndsFlagParsing) {
+  const Args args = parse_ok({"gen", "--", "--not-a-flag"});
+  EXPECT_EQ(args.command(), "gen");
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positional(0, ""), "--not-a-flag");
+  EXPECT_FALSE(args.has("not-a-flag"));
+}
+
+TEST(CliArgs, NegativeNumberIsAPositionalNotAFlag) {
+  const Args args = parse_ok({"eval", "-5"});
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positional(0, ""), "-5");
+}
+
+TEST(CliArgs, RejectsShortOptions) {
+  EXPECT_THROW(parse_ok({"eval", "-t"}), ArgError);
+}
+
+TEST(CliArgs, RejectsDuplicateFlags) {
+  EXPECT_THROW(parse_ok({"eval", "--threads=2", "--threads=4"}), ArgError);
+}
+
+TEST(CliArgs, RejectsEmptyFlagName) {
+  EXPECT_THROW(parse_ok({"eval", "--=4"}), ArgError);
+}
+
+TEST(CliArgs, GetIntRejectsNonNumericValues) {
+  const Args args = parse_ok({"eval", "--threads=lots"});
+  EXPECT_THROW((void)args.get_int("threads", 1), ArgError);
+  const Args trailing = parse_ok({"eval", "--threads=4x"});
+  EXPECT_THROW((void)trailing.get_int("threads", 1), ArgError);
+}
+
+TEST(CliArgs, GetIntAcceptsNegativeValues) {
+  const Args args = parse_ok({"eval", "--seed=-12"});
+  EXPECT_EQ(args.get_int("seed", 0), -12);
+}
+
+TEST(CliArgs, RequireKnownFlagsUnknownFlag) {
+  const Args args = parse_ok({"eval", "--thread=4"});
+  try {
+    args.require_known({"threads", "engine"});
+    FAIL() << "expected ArgError";
+  } catch (const ArgError& e) {
+    EXPECT_NE(std::string(e.what()).find("--thread"), std::string::npos);
+  }
+  EXPECT_NO_THROW(args.require_known({"thread"}));
+}
+
+TEST(CliArgs, ParsesFromArgcArgv) {
+  const char* argv[] = {"scnn_cli", "sweep", "--nmin=4", "--nmax=10"};
+  const Args args = Args::parse(4, argv);
+  EXPECT_EQ(args.command(), "sweep");
+  EXPECT_EQ(args.get_int("nmin", 0), 4);
+  EXPECT_EQ(args.get_int("nmax", 0), 10);
+}
+
+}  // namespace
+}  // namespace scnn::cli

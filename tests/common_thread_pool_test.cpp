@@ -1,0 +1,114 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace scnn::common {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  pool.run_batch(std::move(tasks));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTaskBatchIsANoOp) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.run_batch({}));
+}
+
+TEST(ThreadPool, SubmitFutureObservesCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> v{0};
+  auto fut = pool.submit([&v] { v.store(42); });
+  fut.get();
+  EXPECT_EQ(v.load(), 42);
+}
+
+TEST(ThreadPool, PropagatesLowestIndexedException) {
+  ThreadPool pool(3);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("first failure"); });
+  tasks.push_back([] {});
+  tasks.push_back([] { throw std::runtime_error("second failure"); });
+  try {
+    pool.run_batch(std::move(tasks));
+    FAIL() << "expected run_batch to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first failure");
+  }
+}
+
+TEST(ThreadPool, AutoSizeUsesAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  parallel_for(&pool, static_cast<std::int64_t>(hits.size()),
+               [&](std::int64_t lo, std::int64_t hi, int) {
+                 for (std::int64_t i = lo; i < hi; ++i)
+                   hits[static_cast<std::size_t>(i)].fetch_add(1);
+               });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ShardLayoutIsDeterministic) {
+  // Shard boundaries must depend only on (count, shard count) — this is
+  // what keeps per-shard counters mergeable in a fixed order.
+  ThreadPool pool(4);
+  const std::int64_t count = 10;
+  ASSERT_EQ(parallel_shard_count(&pool, count), 4);
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(4);
+  parallel_for(&pool, count, [&](std::int64_t lo, std::int64_t hi, int shard) {
+    ranges[static_cast<std::size_t>(shard)] = {lo, hi};
+  });
+  // 10 items over 4 shards: 3, 3, 2, 2.
+  const std::vector<std::pair<std::int64_t, std::int64_t>> expected = {
+      {0, 3}, {3, 6}, {6, 8}, {8, 10}};
+  EXPECT_EQ(ranges, expected);
+}
+
+TEST(ParallelFor, NullPoolRunsInline) {
+  int calls = 0;
+  parallel_for(nullptr, 7, [&](std::int64_t lo, std::int64_t hi, int shard) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 7);
+    EXPECT_EQ(shard, 0);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ZeroCountCallsNothing) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(&pool, 0, [&](std::int64_t, std::int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(parallel_shard_count(&pool, 0), 0);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(&pool, 100,
+                   [](std::int64_t lo, std::int64_t, int) {
+                     if (lo == 0) throw std::invalid_argument("shard 0 failed");
+                   }),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scnn::common

@@ -41,16 +41,16 @@ TEST(Integration, ProposedScTracksFixedPointAccuracy) {
   ASSERT_GE(acc_float, 0.8);
 
   nn::EnginePool pool;
-  auto acc_with = [&](const char* kind, int n_bits) {
-    nn::set_conv_engine(t.net, pool.get({.kind = kind, .n_bits = n_bits, .a_bits = 2}));
+  auto acc_with = [&](nn::EngineKind kind, int n_bits) {
+    nn::set_conv_engine(t.net, pool.get({.kind = kind, .n_bits = n_bits}));
     const double a = t.net.accuracy(t.test.images, t.test.labels);
     nn::set_conv_engine(t.net, nullptr);
     return a;
   };
 
-  const double acc_fixed = acc_with("fixed", 8);
-  const double acc_prop = acc_with("proposed", 8);
-  const double acc_lfsr = acc_with("sc-lfsr", 8);
+  const double acc_fixed = acc_with(nn::EngineKind::kFixed, 8);
+  const double acc_prop = acc_with(nn::EngineKind::kProposed, 8);
+  const double acc_lfsr = acc_with(nn::EngineKind::kScLfsr, 8);
 
   EXPECT_GE(acc_fixed, acc_float - 0.05);
   EXPECT_GE(acc_prop, acc_fixed - 0.05);  // "almost the same as fixed-point"
@@ -122,7 +122,7 @@ TEST(Integration, QuantizedConvLayerMatchesMvmExecutor) {
     v = static_cast<float>(common::dequantize(code, n_bits));
   }
 
-  const auto engine = nn::make_engine("proposed", n_bits, a_bits);
+  const auto engine = nn::make_engine({.kind = nn::EngineKind::kProposed, .n_bits = n_bits, .accum_bits = a_bits});
   conv.set_engine(engine.get());
   const nn::Tensor y = conv.forward(x);
 

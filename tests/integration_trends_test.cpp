@@ -39,16 +39,17 @@ TEST(Trends, AccuracyConvergesToFloatWithPrecision) {
   auto f = trained_fixture();
   const double float_acc = f.net.accuracy(f.test.images, f.test.labels);
   nn::EnginePool pool;
-  for (const char* kind : {"fixed", "sc-lfsr", "proposed"}) {
+  for (const nn::EngineKind kind :
+       {nn::EngineKind::kFixed, nn::EngineKind::kScLfsr, nn::EngineKind::kProposed}) {
     auto acc_at = [&](int n) {
-      nn::set_conv_engine(f.net, pool.get({.kind = kind, .n_bits = n, .a_bits = 2}));
+      nn::set_conv_engine(f.net, pool.get({.kind = kind, .n_bits = n}));
       const double a = f.net.accuracy(f.test.images, f.test.labels);
       nn::set_conv_engine(f.net, nullptr);
       return a;
     };
     const double low = acc_at(4), high = acc_at(10);
-    EXPECT_GE(high + 0.03, low) << kind;
-    EXPECT_GE(high, float_acc - 0.05) << kind << " should converge to float";
+    EXPECT_GE(high + 0.03, low) << nn::to_string(kind);
+    EXPECT_GE(high, float_acc - 0.05) << nn::to_string(kind) << " should converge to float";
   }
 }
 

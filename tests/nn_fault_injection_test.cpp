@@ -11,7 +11,7 @@ namespace scnn::nn {
 namespace {
 
 TEST(FaultInjection, ZeroRateIsTransparent) {
-  const auto base = make_engine("proposed", 8, 2);
+  const auto base = make_engine({.kind = EngineKind::kProposed, .n_bits = 8});
   const FaultyEngine faulty(base.get(), FaultModel::kStreamTicks, 0.0, 1);
   const std::vector<std::int32_t> w = {30, -60, 99};
   const std::vector<std::int32_t> x = {50, 50, -50};
@@ -21,7 +21,7 @@ TEST(FaultInjection, ZeroRateIsTransparent) {
 }
 
 TEST(FaultInjection, NamesDescribeModel) {
-  const auto base = make_engine("fixed", 8, 2);
+  const auto base = make_engine({.kind = EngineKind::kFixed, .n_bits = 8});
   EXPECT_EQ(FaultyEngine(base.get(), FaultModel::kStreamTicks, 0.1, 1).name(),
             "fixed+stream-faults");
   EXPECT_EQ(FaultyEngine(base.get(), FaultModel::kProductWord, 0.1, 1).name(),
@@ -32,7 +32,7 @@ TEST(FaultInjection, StreamFaultMagnitudeIsBounded) {
   // Each flipped tick is worth exactly 2 LSBs: with k enabled cycles the
   // worst-case deviation of one product is 2k, and typical deviation is
   // ~2*sqrt(k*p). Check the bound holds under heavy fault rates.
-  const auto base = make_engine("proposed", 8, 2);
+  const auto base = make_engine({.kind = EngineKind::kProposed, .n_bits = 8});
   const FaultyEngine faulty(base.get(), FaultModel::kStreamTicks, 0.5, 7);
   const std::vector<std::int32_t> w = {40};  // k = 40
   const std::vector<std::int32_t> x = {100};
@@ -48,8 +48,8 @@ TEST(FaultInjection, WordFaultsCanBeCatastrophic) {
   // word faults produce much larger worst-case deviations than stream
   // faults at the same rate.
   const int n = 8;
-  const auto prop = make_engine("proposed", n, 4);
-  const auto fixed = make_engine("fixed", n, 4);
+  const auto prop = make_engine({.kind = EngineKind::kProposed, .n_bits = n, .accum_bits = 4});
+  const auto fixed = make_engine({.kind = EngineKind::kFixed, .n_bits = n, .accum_bits = 4});
   const double rate = 0.02;
   const FaultyEngine sc_faulty(prop.get(), FaultModel::kStreamTicks, rate, 11);
   const FaultyEngine bin_faulty(fixed.get(), FaultModel::kProductWord, rate, 11);
@@ -67,7 +67,7 @@ TEST(FaultInjection, WordFaultsCanBeCatastrophic) {
 }
 
 TEST(FaultInjection, DeterministicGivenSeed) {
-  const auto base = make_engine("proposed", 8, 2);
+  const auto base = make_engine({.kind = EngineKind::kProposed, .n_bits = 8});
   const std::vector<std::int32_t> w = {40, -80};
   const std::vector<std::int32_t> x = {100, 90};
   FaultyEngine a(base.get(), FaultModel::kStreamTicks, 0.1, 42);

@@ -169,7 +169,7 @@ TEST(Network, DeepNetForwardAndEnginesScale) {
 
   calibrate_network(deep, x);
   EnginePool pool;
-  set_conv_engine(deep, pool.get({.kind = "proposed", .n_bits = 8, .a_bits = 2}));
+  set_conv_engine(deep, pool.get({.kind = EngineKind::kProposed, .n_bits = 8}));
   const Tensor y_sc = deep.forward(x);
   set_conv_engine(deep, nullptr);
   EXPECT_TRUE(y_sc.same_shape(y_float));

@@ -1,0 +1,108 @@
+// The multithreaded runtime's core guarantee: for a fixed network + engine
+// configuration, forward passes are bit-identical at every thread count, and
+// the merged MAC counters match the serial ones exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/network.hpp"
+
+namespace scnn {
+namespace {
+
+bool bit_identical(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(float)) == 0;
+}
+
+nn::InferenceSession make_session(int threads) {
+  nn::InferenceSession session(nn::make_mnist_net(28, 1, 99), threads);
+  const auto calib = data::make_synthetic_digits({.count = 16, .seed = 31});
+  session.calibrate(calib.images);
+  return session;
+}
+
+TEST(ParallelInference, QuantizedLogitsBitIdenticalAcrossThreadCounts) {
+  auto session = make_session(/*threads=*/1);
+  const auto batch = data::make_synthetic_digits({.count = 6, .seed = 32});
+
+  for (const nn::EngineKind kind : {nn::EngineKind::kFixed, nn::EngineKind::kScLfsr,
+                                    nn::EngineKind::kProposed}) {
+    session.set_engine({.kind = kind, .n_bits = 8, .threads = 1});
+    ASSERT_EQ(session.threads(), 1);
+    const nn::Tensor reference = session.forward(batch.images);
+    const nn::MacStats ref_stats = session.last_forward_stats();
+    EXPECT_GT(ref_stats.macs, 0u);
+    EXPECT_GT(ref_stats.products, ref_stats.macs);
+
+    for (const int threads : {2, 4}) {
+      session.set_threads(threads);
+      ASSERT_EQ(session.threads(), threads);
+      const nn::Tensor y = session.forward(batch.images);
+      EXPECT_TRUE(bit_identical(reference, y))
+          << nn::to_string(kind) << " logits differ at " << threads << " threads";
+      const nn::MacStats stats = session.last_forward_stats();
+      EXPECT_EQ(stats.macs, ref_stats.macs) << nn::to_string(kind);
+      EXPECT_EQ(stats.products, ref_stats.products) << nn::to_string(kind);
+      EXPECT_EQ(stats.saturations, ref_stats.saturations) << nn::to_string(kind);
+    }
+    session.set_threads(1);
+  }
+}
+
+TEST(ParallelInference, FloatForwardBitIdenticalAcrossThreadCounts) {
+  auto session = make_session(/*threads=*/1);
+  const auto batch = data::make_synthetic_digits({.count = 6, .seed = 33});
+  const nn::Tensor reference = session.forward(batch.images);
+  for (const int threads : {2, 4}) {
+    session.set_threads(threads);
+    EXPECT_TRUE(bit_identical(reference, session.forward(batch.images)))
+        << "float logits differ at " << threads << " threads";
+  }
+}
+
+TEST(ParallelInference, SessionFacadeRoundTrip) {
+  auto session = make_session(/*threads=*/2);
+  EXPECT_EQ(session.threads(), 2);
+  EXPECT_FALSE(session.config().has_value());
+  EXPECT_EQ(session.engine(), nullptr);
+
+  session.set_engine({.kind = nn::EngineKind::kProposed, .n_bits = 6, .threads = 4});
+  ASSERT_TRUE(session.config().has_value());
+  EXPECT_EQ(session.config()->kind, nn::EngineKind::kProposed);
+  EXPECT_EQ(session.config()->n_bits, 6);
+  EXPECT_EQ(session.threads(), 4);  // cfg.threads resized the pool
+  ASSERT_NE(session.engine(), nullptr);
+  EXPECT_EQ(session.engine()->bits(), 6);
+
+  session.clear_engine();
+  EXPECT_FALSE(session.config().has_value());
+  EXPECT_EQ(session.engine(), nullptr);
+  EXPECT_EQ(session.threads(), 4);  // pool survives engine changes
+
+  const auto batch = data::make_synthetic_digits({.count = 3, .seed = 34});
+  (void)session.forward(batch.images);
+  EXPECT_EQ(session.last_forward_stats().macs, 0u);  // float mode counts nothing
+
+  EXPECT_THROW(session.set_engine({.kind = nn::EngineKind::kProposed, .n_bits = 1}),
+               std::invalid_argument);
+}
+
+TEST(ParallelInference, PredictAndAccuracyAgreeWithSerial) {
+  auto serial = make_session(/*threads=*/1);
+  auto threaded = make_session(/*threads=*/4);
+  const auto test = data::make_synthetic_digits({.count = 24, .seed = 35});
+
+  const nn::EngineConfig cfg{.kind = nn::EngineKind::kProposed, .n_bits = 8};
+  serial.set_engine(cfg);
+  threaded.set_engine(cfg);
+  EXPECT_EQ(serial.predict(test.images), threaded.predict(test.images));
+  EXPECT_DOUBLE_EQ(serial.accuracy(test.images, test.labels),
+                   threaded.accuracy(test.images, test.labels));
+}
+
+}  // namespace
+}  // namespace scnn

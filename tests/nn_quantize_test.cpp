@@ -16,7 +16,7 @@ void randomize(Tensor& t, std::uint64_t seed, double scale) {
 }
 
 TEST(MacEngineTest, FixedEngineMatchesSaturatedSum) {
-  auto e = make_engine("fixed", 5, 2);
+  auto e = make_engine({.kind = EngineKind::kFixed, .n_bits = 5});
   // 7-bit accumulator: [-64, 63]. Products in 2^-4 units.
   const std::vector<std::int32_t> w = {15, 15, 15};
   const std::vector<std::int32_t> x = {15, 15, 15};
@@ -29,9 +29,9 @@ TEST(MacEngineTest, FixedEngineMatchesSaturatedSum) {
 TEST(MacEngineTest, EnginesDifferInArithmetic) {
   const std::vector<std::int32_t> w = {9, -13};
   const std::vector<std::int32_t> x = {11, 7};
-  auto fixed = make_engine("fixed", 8, 2);
-  auto prop = make_engine("proposed", 8, 2);
-  auto lfsr = make_engine("sc-lfsr", 8, 2);
+  auto fixed = make_engine({.kind = EngineKind::kFixed, .n_bits = 8});
+  auto prop = make_engine({.kind = EngineKind::kProposed, .n_bits = 8});
+  auto lfsr = make_engine({.kind = EngineKind::kScLfsr, .n_bits = 8});
   // All approximate the same dot product (codes/128): 9*11 - 13*7 = 8 in
   // 2^-7... exact 2^-7-unit value: (99 - 91)/128 = 0.0625 -> ~0.06 in LSBs 0.0625*128=8...
   const double exact = (9.0 * 11 - 13.0 * 7) / 128.0;
@@ -43,8 +43,52 @@ TEST(MacEngineTest, EnginesDifferInArithmetic) {
   EXPECT_EQ(lfsr->name(), "sc-lfsr");
 }
 
-TEST(MacEngineTest, UnknownKindThrows) {
+TEST(MacEngineTest, UnknownKindNameThrows) {
+  EXPECT_THROW(engine_kind_from_string("nope"), std::invalid_argument);
+}
+
+TEST(MacEngineTest, KindRoundTripsThroughStrings) {
+  for (const EngineKind k :
+       {EngineKind::kFixed, EngineKind::kScLfsr, EngineKind::kProposed})
+    EXPECT_EQ(engine_kind_from_string(to_string(k)), k);
+}
+
+TEST(MacEngineTest, ConfigValidationRejectsOutOfRangeFields) {
+  EXPECT_NO_THROW((EngineConfig{.n_bits = EngineConfig::kMinBits}.validate()));
+  EXPECT_NO_THROW((EngineConfig{.n_bits = EngineConfig::kMaxBits}.validate()));
+  EXPECT_THROW((EngineConfig{.n_bits = 1}.validate()), std::invalid_argument);
+  EXPECT_THROW((EngineConfig{.n_bits = 13}.validate()), std::invalid_argument);
+  EXPECT_THROW((EngineConfig{.accum_bits = -1}.validate()), std::invalid_argument);
+  EXPECT_THROW((EngineConfig{.accum_bits = 99}.validate()), std::invalid_argument);
+  EXPECT_THROW((EngineConfig{.bit_parallel = 0}.validate()), std::invalid_argument);
+  EXPECT_THROW((EngineConfig{.threads = -2}.validate()), std::invalid_argument);
+  // make_engine validates on entry instead of silently building the LUT.
+  EXPECT_THROW(make_engine(EngineConfig{.n_bits = 40}), std::invalid_argument);
+  // EnginePool::get validates too.
+  EnginePool pool;
+  EXPECT_THROW(pool.get({.n_bits = 1}), std::invalid_argument);
+}
+
+TEST(MacEngineTest, DeprecatedStringShimStillParses) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto e = make_engine("proposed", 8, 2);
   EXPECT_THROW(make_engine("nope", 8, 2), std::invalid_argument);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(e->name(), "proposed");
+  EXPECT_EQ(e->bits(), 8);
+}
+
+TEST(MacEngineTest, MacStatsCountSaturations) {
+  const auto e = make_engine({.kind = EngineKind::kFixed, .n_bits = 5});
+  // 7-bit accumulator rail is 63; 15*15 >> 4 = 14 per product, so products
+  // 5..10 each clamp.
+  const std::vector<std::int32_t> w(10, 15), x(10, 15);
+  MacStats stats;
+  EXPECT_EQ(e->mac(w, x, stats), 63);
+  EXPECT_EQ(stats.macs, 1u);
+  EXPECT_EQ(stats.products, 10u);
+  EXPECT_GT(stats.saturations, 0u);
 }
 
 TEST(Quantize, CalibrationSetsPowerOfTwoScales) {
@@ -72,7 +116,7 @@ TEST(Quantize, HighPrecisionQuantizedConvTracksFloat) {
   const Tensor y_float = net.forward(x);
 
   EnginePool pool;
-  const MacEngine* e = pool.get({.kind = "fixed", .n_bits = 10, .a_bits = 6});
+  const MacEngine* e = pool.get({.kind = EngineKind::kFixed, .n_bits = 10, .accum_bits = 6});
   set_conv_engine(net, e);
   const Tensor y_q = net.forward(x);
   set_conv_engine(net, nullptr);
@@ -94,7 +138,7 @@ TEST(Quantize, LowPrecisionDegradesMoreThanHighPrecision) {
 
   EnginePool pool;
   auto err_at = [&](int n_bits) {
-    set_conv_engine(net, pool.get({.kind = "fixed", .n_bits = n_bits, .a_bits = 2}));
+    set_conv_engine(net, pool.get({.kind = EngineKind::kFixed, .n_bits = n_bits}));
     const Tensor y = net.forward(x);
     set_conv_engine(net, nullptr);
     double e2 = 0;
@@ -116,7 +160,7 @@ TEST(Quantize, StridedPaddedQuantizedConvTracksFloat) {
   randomize(x, 92, 0.3);
   conv.calibrate_scales(x);
   const Tensor y_float = conv.forward(x);
-  const auto engine = make_engine("fixed", 11, 6);
+  const auto engine = make_engine({.kind = EngineKind::kFixed, .n_bits = 11, .accum_bits = 6});
   conv.set_engine(engine.get());
   const Tensor y_q = conv.forward(x);
   ASSERT_TRUE(y_q.same_shape(y_float));
@@ -131,7 +175,7 @@ TEST(Quantize, QuantizedConvRespectsActivationScale) {
   conv.mutable_weight().fill(0.5f);
   Tensor x(1, 1, 2, 2);
   x.fill(6.0f);  // 0.5 * 6 = 3.0 expected
-  const auto engine = make_engine("fixed", 10, 4);
+  const auto engine = make_engine({.kind = EngineKind::kFixed, .n_bits = 10, .accum_bits = 4});
   conv.set_engine(engine.get());
   // Default scale 1.0: the activation code clips at ~1, output ~0.5.
   const Tensor clipped = conv.forward(x);
@@ -145,15 +189,15 @@ TEST(Quantize, QuantizedConvRespectsActivationScale) {
 
 TEST(Quantize, EnginePoolDeduplicates) {
   EnginePool pool;
-  const MacEngine* a = pool.get({.kind = "proposed", .n_bits = 7, .a_bits = 2});
-  const MacEngine* b = pool.get({.kind = "proposed", .n_bits = 7, .a_bits = 2});
-  const MacEngine* c = pool.get({.kind = "proposed", .n_bits = 8, .a_bits = 2});
+  const MacEngine* a = pool.get({.kind = EngineKind::kProposed, .n_bits = 7});
+  const MacEngine* b = pool.get({.kind = EngineKind::kProposed, .n_bits = 7});
+  const MacEngine* c = pool.get({.kind = EngineKind::kProposed, .n_bits = 8});
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
 }
 
 TEST(Quantize, EngineConfigLabel) {
-  const EngineConfig cfg{.kind = "sc-lfsr", .n_bits = 9, .a_bits = 2};
+  const EngineConfig cfg{.kind = EngineKind::kScLfsr, .n_bits = 9};
   EXPECT_EQ(cfg.label(), "sc-lfsr/N=9");
 }
 

@@ -55,7 +55,7 @@ TEST(Training, FineTuningImprovesQuantizedAccuracy) {
   calibrate_network(net, batch_slice(train.images, 0, 50));
 
   EnginePool pool;
-  const MacEngine* e = pool.get({.kind = "fixed", .n_bits = 4, .a_bits = 2});
+  const MacEngine* e = pool.get({.kind = EngineKind::kFixed, .n_bits = 4});
   set_conv_engine(net, e);
   const double acc_before = net.accuracy(test.images, test.labels);
 

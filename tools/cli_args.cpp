@@ -1,0 +1,84 @@
+#include "tools/cli_args.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace scnn::cli {
+
+Args Args::parse(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(argc > 0 ? static_cast<std::size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+Args Args::parse(const std::vector<std::string>& tokens) {
+  Args out;
+  bool flags_done = false;
+  for (const std::string& tok : tokens) {
+    if (!flags_done && tok == "--") {
+      flags_done = true;
+      continue;
+    }
+    if (!flags_done && tok.rfind("--", 0) == 0) {
+      const std::string body = tok.substr(2);
+      const std::size_t eq = body.find('=');
+      const std::string key = body.substr(0, eq);
+      const std::string value = eq == std::string::npos ? "" : body.substr(eq + 1);
+      if (key.empty()) throw ArgError("malformed flag '" + tok + "'");
+      if (out.flags_.count(key)) throw ArgError("duplicate flag '--" + key + "'");
+      out.flags_[key] = value;
+      continue;
+    }
+    if (!flags_done && tok.size() > 1 && tok[0] == '-' &&
+        !(tok.size() > 1 && (std::isdigit(static_cast<unsigned char>(tok[1])) != 0)))
+      throw ArgError("short options are not supported: '" + tok +
+                     "' (use --name or --name=value)");
+    if (out.command_.empty())
+      out.command_ = tok;
+    else
+      out.positionals_.push_back(tok);
+  }
+  return out;
+}
+
+std::string Args::positional(std::size_t i, const std::string& fallback) const {
+  return i < positionals_.size() ? positionals_[i] : fallback;
+}
+
+bool Args::has(const std::string& flag) const { return flags_.count(flag) != 0; }
+
+std::string Args::get(const std::string& flag, const std::string& fallback) const {
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int Args::get_int(const std::string& flag, int fallback) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty()) throw ArgError("flag '--" + flag + "' needs an integer value");
+  char* end = nullptr;
+  const long n = std::strtol(v.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0')
+    throw ArgError("flag '--" + flag + "': '" + v + "' is not an integer");
+  return static_cast<int>(n);
+}
+
+void Args::require_known(const std::vector<std::string>& allowed) const {
+  for (const auto& [key, value] : flags_) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::string msg = "unknown flag '--" + key + "' for command '" + command_ +
+                        "' (accepted:";
+      if (allowed.empty()) {
+        msg += " none";
+      } else {
+        for (const std::string& a : allowed) msg += " --" + a;
+      }
+      throw ArgError(msg + ")");
+    }
+  }
+}
+
+}  // namespace scnn::cli

@@ -1,0 +1,57 @@
+// Minimal subcommand + --key=value argument parser for scnn_cli.
+//
+// Grammar:   <command> [positional ...] [--flag | --key=value ...]
+//
+// - The first non-flag token is the subcommand; later non-flag tokens are
+//   positionals (order preserved).
+// - Flags may appear anywhere after the command and take the forms
+//   "--key=value" or bare "--flag" (boolean). A literal "--" ends flag
+//   parsing; everything after it is positional.
+// - Malformed input (empty flag name, duplicate flag, "-x" short options,
+//   non-integer value where an int is required, unknown flag when a
+//   whitelist is given) throws ArgError with a message naming the token.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace scnn::cli {
+
+class ArgError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Args {
+ public:
+  /// Parse main()'s argv (argv[0] is skipped).
+  static Args parse(int argc, const char* const* argv);
+  /// Parse pre-split tokens (no program name).
+  static Args parse(const std::vector<std::string>& tokens);
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+  /// Positional i, or `fallback` when absent.
+  [[nodiscard]] std::string positional(std::size_t i, const std::string& fallback) const;
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+  /// Value of --flag=value, or `fallback` when absent. A bare boolean
+  /// "--flag" yields the empty string.
+  [[nodiscard]] std::string get(const std::string& flag, const std::string& fallback) const;
+  /// Integer value of --flag=value; throws ArgError on non-integer text.
+  [[nodiscard]] int get_int(const std::string& flag, int fallback) const;
+
+  /// Throw ArgError naming the offender unless every given flag is allowed.
+  void require_known(const std::vector<std::string>& allowed) const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace scnn::cli

@@ -1,15 +1,19 @@
 // scnn_cli — command-line front end for the library.
 //
-//   scnn_cli gen    <digits|objects> <count> <out-dir>     dataset + contact sheet
-//   scnn_cli train  <digits|objects> <epochs> <ckpt>       float training -> checkpoint
-//   scnn_cli eval   <digits|objects> <ckpt> <N> [kind]     quantized/SC inference
-//   scnn_cli sweep  <digits|objects> <ckpt> <Nmin> <Nmax>  precision sweep, all engines
-//   scnn_cli info                                          build/config summary
+//   scnn_cli gen    <digits|objects> [--count=N] [--out=DIR]
+//   scnn_cli train  <digits|objects> [--epochs=E] [--ckpt=FILE] [--threads=T]
+//   scnn_cli eval   [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]
+//                   [--engine=fixed|sc-lfsr|proposed] [--threads=T] [--count=N]
+//   scnn_cli sweep  [digits|objects] [--ckpt=FILE] [--nmin=N] [--nmax=N] [--threads=T]
+//   scnn_cli info
+//
+// Legacy positional forms (eval <task> <ckpt> <N> [kind], ...) still parse;
+// flags win over positionals. `eval` trains a quick model on the fly when
+// the checkpoint is missing, so it works end to end out of the box.
 //
 // Datasets are synthetic unless real MNIST/CIFAR-10 files are present under
 // $SCNN_DATA_DIR (see README).
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -18,27 +22,47 @@
 #include "data/idx_loader.hpp"
 #include "data/synthetic_digits.hpp"
 #include "data/synthetic_objects.hpp"
+#include "nn/inference_session.hpp"
 #include "nn/network.hpp"
-#include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
+#include "tools/cli_args.hpp"
 
 namespace {
 
+using scnn::cli::Args;
 using scnn::data::Dataset;
+using scnn::nn::EngineConfig;
+using scnn::nn::EngineKind;
+using scnn::nn::InferenceSession;
+
+constexpr const char* kDefaultCkpt = "scnn_ckpt.bin";
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  scnn_cli gen    <digits|objects> <count> <out-dir>\n"
-               "  scnn_cli train  <digits|objects> <epochs> <ckpt>\n"
-               "  scnn_cli eval   <digits|objects> <ckpt> <N> [fixed|sc-lfsr|proposed]\n"
-               "  scnn_cli sweep  <digits|objects> <ckpt> <Nmin> <Nmax>\n"
-               "  scnn_cli info\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  scnn_cli gen    <digits|objects> [--count=N] [--out=DIR]\n"
+      "  scnn_cli train  <digits|objects> [--epochs=E] [--ckpt=FILE] [--threads=T]\n"
+      "  scnn_cli eval   [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
+      "                  [--engine=fixed|sc-lfsr|proposed] [--threads=T] [--count=N]\n"
+      "  scnn_cli sweep  [digits|objects] [--ckpt=FILE] [--nmin=N] [--nmax=N] [--threads=T]\n"
+      "  scnn_cli info\n"
+      "flags take the form --key=value; --threads=0 uses every hardware thread\n");
   return 2;
 }
 
 bool is_digits(const std::string& task) { return task == "digits"; }
+
+std::string parse_task(const Args& args, std::size_t positional_index,
+                       const std::string& fallback = "digits") {
+  const std::string task =
+      args.get("task", args.positional(positional_index, fallback));
+  if (task != "digits" && task != "objects")
+    throw scnn::cli::ArgError("unknown task '" + task +
+                              "' (expected digits or objects)");
+  return task;
+}
 
 Dataset make_data(const std::string& task, int count, std::uint64_t seed) {
   const char* env = std::getenv("SCNN_DATA_DIR");
@@ -57,7 +81,24 @@ scnn::nn::Network make_net(const std::string& task) {
   return is_digits(task) ? scnn::nn::make_mnist_net() : scnn::nn::make_cifar_net();
 }
 
-int cmd_gen(const std::string& task, int count, const std::string& out_dir) {
+void train_into(scnn::nn::Network& net, const std::string& task, int epochs,
+                const std::string& ckpt) {
+  const Dataset train = make_data(task, is_digits(task) ? 1200 : 800, 1);
+  const Dataset test = make_data(task, 300, 2);
+  scnn::nn::SgdTrainer trainer({.epochs = epochs, .batch_size = 25,
+                                .learning_rate = 0.01f, .lr_decay = 0.9f,
+                                .verbose = true});
+  trainer.train(net, train.images, train.labels);
+  std::printf("float test accuracy: %.3f\n", net.accuracy(test.images, test.labels));
+  scnn::nn::save_checkpoint(net, ckpt);
+  std::printf("checkpoint saved to %s\n", ckpt.c_str());
+}
+
+int cmd_gen(const Args& args) {
+  args.require_known({"task", "count", "out"});
+  const std::string task = parse_task(args, 0);
+  const int count = args.get_int("count", std::stoi(args.positional(1, "16")));
+  const std::string out_dir = args.get("out", args.positional(2, "out"));
   namespace fs = std::filesystem;
   fs::create_directories(out_dir);
   const Dataset d = make_data(task, count, 1);
@@ -78,58 +119,78 @@ int cmd_gen(const std::string& task, int count, const std::string& out_dir) {
   return 0;
 }
 
-int cmd_train(const std::string& task, int epochs, const std::string& ckpt) {
-  const Dataset train = make_data(task, is_digits(task) ? 1200 : 800, 1);
-  const Dataset test = make_data(task, 300, 2);
+int cmd_train(const Args& args) {
+  args.require_known({"task", "epochs", "ckpt", "threads"});
+  const std::string task = parse_task(args, 0);
+  const int epochs = args.get_int("epochs", std::stoi(args.positional(1, "6")));
+  const std::string ckpt = args.get("ckpt", args.positional(2, kDefaultCkpt));
   scnn::nn::Network net = make_net(task);
-  scnn::nn::SgdTrainer trainer({.epochs = epochs, .batch_size = 25,
-                                .learning_rate = 0.01f, .lr_decay = 0.9f,
-                                .verbose = true});
-  trainer.train(net, train.images, train.labels);
-  std::printf("float test accuracy: %.3f\n", net.accuracy(test.images, test.labels));
-  scnn::nn::save_checkpoint(net, ckpt);
-  std::printf("checkpoint saved to %s\n", ckpt.c_str());
+  train_into(net, task, epochs, ckpt);
   return 0;
 }
 
-int load_for_eval(const std::string& task, const std::string& ckpt,
-                  scnn::nn::Network& net, Dataset& test) {
-  if (!scnn::nn::checkpoint_exists(ckpt)) {
-    std::fprintf(stderr, "no checkpoint at %s (run `scnn_cli train` first)\n",
-                 ckpt.c_str());
-    return 1;
+/// Load (or quick-train) a model and wrap it in a calibrated session.
+InferenceSession load_session(const std::string& task, const std::string& ckpt,
+                              int threads, Dataset& test, int test_count) {
+  scnn::nn::Network net = make_net(task);
+  if (scnn::nn::checkpoint_exists(ckpt)) {
+    scnn::nn::load_checkpoint(net, ckpt);
+  } else {
+    std::printf("no checkpoint at %s — training a quick model first\n", ckpt.c_str());
+    train_into(net, task, 4, ckpt);
   }
-  net = make_net(task);
-  scnn::nn::load_checkpoint(net, ckpt);
-  test = make_data(task, 300, 2);
+  test = make_data(task, test_count, 2);
+  InferenceSession session(std::move(net), threads);
   const Dataset calib = make_data(task, 64, 3);
-  scnn::nn::calibrate_network(net, calib.images);
+  session.calibrate(calib.images);
+  return session;
+}
+
+int cmd_eval(const Args& args) {
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "threads", "count"});
+  const std::string task = parse_task(args, 0);
+  const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
+  const EngineConfig cfg{
+      .kind = scnn::nn::engine_kind_from_string(
+          args.get("engine", args.positional(3, "proposed"))),
+      .n_bits = args.get_int("bits", std::stoi(args.positional(2, "8"))),
+      .accum_bits = args.get_int("accum", 2),
+      .threads = args.get_int("threads", 1)};
+  cfg.validate();
+
+  Dataset test;
+  InferenceSession session =
+      load_session(task, ckpt, cfg.threads, test, args.get_int("count", 300));
+  session.set_engine(cfg);
+  const double acc = session.accuracy(test.images, test.labels);
+  const auto stats = session.last_forward_stats();
+  std::printf("%s N=%d A=%d threads=%d accuracy: %.3f\n", to_string(cfg.kind).c_str(),
+              cfg.n_bits, cfg.accum_bits, session.threads(), acc);
+  std::printf("last batch: %llu MACs, %llu products, %llu saturations\n",
+              static_cast<unsigned long long>(stats.macs),
+              static_cast<unsigned long long>(stats.products),
+              static_cast<unsigned long long>(stats.saturations));
   return 0;
 }
 
-int cmd_eval(const std::string& task, const std::string& ckpt, int n_bits,
-             const std::string& kind) {
-  scnn::nn::Network net;
-  Dataset test;
-  if (const int rc = load_for_eval(task, ckpt, net, test)) return rc;
-  scnn::nn::EnginePool pool;
-  scnn::nn::set_conv_engine(net, pool.get({.kind = kind, .n_bits = n_bits, .a_bits = 2}));
-  std::printf("%s N=%d accuracy: %.3f\n", kind.c_str(), n_bits,
-              net.accuracy(test.images, test.labels));
-  return 0;
-}
+int cmd_sweep(const Args& args) {
+  args.require_known({"task", "ckpt", "nmin", "nmax", "threads"});
+  const std::string task = parse_task(args, 0);
+  const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
+  const int n_min = args.get_int("nmin", std::stoi(args.positional(2, "5")));
+  const int n_max = args.get_int("nmax", std::stoi(args.positional(3, "9")));
+  if (n_min > n_max) throw scnn::cli::ArgError("--nmin must be <= --nmax");
+  const int threads = args.get_int("threads", 1);
 
-int cmd_sweep(const std::string& task, const std::string& ckpt, int n_min, int n_max) {
-  scnn::nn::Network net;
   Dataset test;
-  if (const int rc = load_for_eval(task, ckpt, net, test)) return rc;
-  scnn::nn::EnginePool pool;
+  InferenceSession session = load_session(task, ckpt, threads, test, 300);
   std::printf("%-4s %-10s %-10s %-10s\n", "N", "fixed", "sc-lfsr", "proposed");
   for (int n = n_min; n <= n_max; ++n) {
     std::printf("%-4d", n);
-    for (const char* kind : {"fixed", "sc-lfsr", "proposed"}) {
-      scnn::nn::set_conv_engine(net, pool.get({.kind = kind, .n_bits = n, .a_bits = 2}));
-      std::printf(" %-10.3f", net.accuracy(test.images, test.labels));
+    for (const EngineKind kind :
+         {EngineKind::kFixed, EngineKind::kScLfsr, EngineKind::kProposed}) {
+      session.set_engine({.kind = kind, .n_bits = n, .threads = threads});
+      std::printf(" %-10.3f", session.accuracy(test.images, test.labels));
     }
     std::printf("\n");
   }
@@ -138,7 +199,11 @@ int cmd_sweep(const std::string& task, const std::string& ckpt, int n_min, int n
 
 int cmd_info() {
   std::printf("scnn — BISC-MVM stochastic-computing CNN library (DAC'17 reproduction)\n");
-  std::printf("engines: fixed, sc-lfsr, proposed; precisions N = 2..12, A >= 0\n");
+  std::printf("engines: fixed, sc-lfsr, proposed; precisions N = %d..%d, A >= 0\n",
+              EngineConfig::kMinBits, EngineConfig::kMaxBits);
+  std::printf("runtime: --threads=T shards inference over T workers "
+              "(0 = all %d hardware threads); logits are bit-identical at any T\n",
+              EngineConfig{.threads = 0}.resolved_threads());
   const char* env = std::getenv("SCNN_DATA_DIR");
   std::printf("data dir: %s (real MNIST/CIFAR-10 picked up when present)\n",
               env ? env : "data");
@@ -148,20 +213,19 @@ int cmd_info() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
   try {
-    if (args.empty()) return usage();
-    const std::string& cmd = args[0];
+    const Args args = Args::parse(argc, argv);
+    const std::string& cmd = args.command();
+    if (cmd.empty()) return usage();
     if (cmd == "info") return cmd_info();
-    if (cmd == "gen" && args.size() == 4)
-      return cmd_gen(args[1], std::stoi(args[2]), args[3]);
-    if (cmd == "train" && args.size() == 4)
-      return cmd_train(args[1], std::stoi(args[2]), args[3]);
-    if (cmd == "eval" && (args.size() == 4 || args.size() == 5))
-      return cmd_eval(args[1], args[2], std::stoi(args[3]),
-                      args.size() == 5 ? args[4] : "proposed");
-    if (cmd == "sweep" && args.size() == 5)
-      return cmd_sweep(args[1], args[2], std::stoi(args[3]), std::stoi(args[4]));
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
+    return usage();
+  } catch (const scnn::cli::ArgError& e) {
+    std::fprintf(stderr, "error: %s\n\n", e.what());
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,9 +1,11 @@
 // Shared helpers for the bench binaries: train the two reference networks on
 // the synthetic datasets (or real MNIST/CIFAR-10 if found under
-// SCNN_DATA_DIR) and expose the trained weight statistics the hardware
-// benches need.
+// SCNN_DATA_DIR), expose the trained weight statistics the hardware benches
+// need, and provide the BENCH_*.json reporter that starts the repo's
+// machine-readable perf trajectory.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -18,7 +20,106 @@
 #include "nn/quantize.hpp"
 #include "nn/trainer.hpp"
 
+namespace scnnbench_detail {
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+}  // namespace scnnbench_detail
+
 namespace scnn::bench {
+
+/// Machine-readable benchmark output: one flat JSON document per bench run,
+/// written as BENCH_<name>.json so perf numbers (ns/MAC, imgs/s, speedups)
+/// can be tracked across PRs by any script that reads
+/// { "benchmark", "meta": {k: v}, "metrics": [{"name","value","unit"}] }.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark_name) : name_(std::move(benchmark_name)) {}
+
+  void set_meta(const std::string& key, const std::string& value) {
+    meta_.push_back({key, '"' + scnnbench_detail::json_escape(value) + '"'});
+  }
+  void set_meta(const std::string& key, double value) {
+    meta_.push_back({key, scnnbench_detail::json_number(value)});
+  }
+  void add_metric(const std::string& name, double value, const std::string& unit) {
+    metrics_.push_back({name, value, unit});
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{\n  \"benchmark\": \"" + scnnbench_detail::json_escape(name_) +
+                      "\",\n  \"meta\": {";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      out += (i ? ", " : "") + ('"' + scnnbench_detail::json_escape(meta_[i].key) +
+                                "\": " + meta_[i].json_value);
+    }
+    out += "},\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out += "    {\"name\": \"" + scnnbench_detail::json_escape(metrics_[i].name) +
+             "\", \"value\": " + scnnbench_detail::json_number(metrics_[i].value) +
+             ", \"unit\": \"" + scnnbench_detail::json_escape(metrics_[i].unit) + "\"}";
+      out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Write BENCH_<name or override>.json into the working directory; returns
+  /// the path, or "" (with a warning on stderr) if the file can't be opened.
+  std::string write_file(const std::string& path_override = "") const {
+    const std::string path = path_override.empty() ? "BENCH_" + name_ + ".json"
+                                                   : path_override;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonReport: cannot open %s for writing\n", path.c_str());
+      return "";
+    }
+    const std::string body = to_json();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  struct Meta {
+    std::string key;
+    std::string json_value;  // pre-rendered (quoted string or number)
+  };
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<Meta> meta_;
+  std::vector<Metric> metrics_;
+};
 
 struct TrainedModel {
   nn::Network net;

@@ -1,0 +1,165 @@
+// im2col-vs-direct quantized convolution throughput, and the correctness
+// assertions that let the speedup be trusted:
+//
+//   build/bench/bench_conv_im2col [--images=N] [--reps=R] [--quick]
+//
+// The CIFAR-style network (untrained but calibrated — throughput does not
+// depend on the weight values) forwards the same batch through both
+// quantized conv implementations at N = 8:
+//
+//   direct  — the pre-im2col baseline: re-quantizes weights every pass and
+//             gathers every output element's patch with per-element padding
+//             checks (one gather per output channel per element);
+//   im2col  — cached weight codes + per-output-row patch buffer + batched
+//             mac_rows LUT kernel (one gather per spatial position, shared
+//             by all output channels).
+//
+// The run FAILS (exit 1) unless (a) im2col logits and MacStats are
+// bit-identical to the direct path's and (b) threaded im2col logits are
+// bit-identical to serial. Timings for serial and 4 threads are printed and
+// written to BENCH_conv.json (ns/MAC, imgs/s, im2col-vs-direct speedup).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "data/synthetic_objects.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/network.hpp"
+
+namespace {
+
+using scnn::nn::EngineKind;
+using scnn::nn::InferenceSession;
+using scnn::nn::MacStats;
+using scnn::nn::Tensor;
+
+double time_forward_ms(InferenceSession& session, const Tensor& batch, int reps) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Tensor y = session.forward(batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(float)) == 0;
+}
+
+bool same_stats(const MacStats& a, const MacStats& b) {
+  return a.macs == b.macs && a.products == b.products && a.saturations == b.saturations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int images = 8, reps = 2;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--images=", 0) == 0) images = std::stoi(arg.substr(9));
+    if (arg.rfind("--reps=", 0) == 0) reps = std::stoi(arg.substr(7));
+    if (arg == "--quick") quick = true;
+  }
+  if (quick) {
+    images = 2;
+    reps = 1;
+  }
+  constexpr int kBits = 8;
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("im2col conv bench: %d images, best of %d reps, N = %d, "
+              "%u hardware threads\n", images, reps, kBits, hw);
+
+  const auto data = scnn::data::make_synthetic_objects({.count = images, .seed = 7});
+  InferenceSession session(scnn::nn::make_cifar_net(data.images.h()), /*threads=*/1);
+  session.calibrate(data.images);
+
+  // --- Correctness gate 1: im2col ≡ direct (logits and MacStats), all kinds.
+  bool paths_identical = true;
+  for (const EngineKind kind :
+       {EngineKind::kFixed, EngineKind::kScLfsr, EngineKind::kProposed}) {
+    session.set_engine({.kind = kind, .n_bits = kBits, .threads = 1});
+    session.set_im2col(false);
+    const Tensor ref = session.forward(data.images);
+    const MacStats ref_stats = session.last_forward_stats();
+    session.set_im2col(true);
+    const Tensor got = session.forward(data.images);
+    const bool ok =
+        bit_identical(ref, got) && same_stats(ref_stats, session.last_forward_stats());
+    paths_identical = paths_identical && ok;
+    std::printf("  %-8s im2col vs direct: logits+stats %s\n",
+                scnn::nn::to_string(kind).c_str(), ok ? "bit-identical" : "DIFFER");
+  }
+
+  // --- Throughput: proposed engine, serial and 4 threads, both paths.
+  session.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1});
+  scnn::common::Table t({"path", "threads", "ms/pass", "imgs/s", "ns/MAC"});
+  double ms[2][2];  // [path: 0=direct 1=im2col][threads: 0=serial 1=four]
+  const MacStats work = session.last_forward_stats();  // same for every pass
+  bool threaded_identical = true;
+  for (const int path : {0, 1}) {
+    session.set_im2col(path == 1);
+    Tensor serial_ref;
+    for (const int ti : {0, 1}) {
+      session.set_threads(ti == 0 ? 1 : 4);
+      const Tensor y = session.forward(data.images);
+      if (ti == 0) {
+        serial_ref = y;
+      } else if (path == 1 && !bit_identical(serial_ref, y)) {
+        threaded_identical = false;
+      }
+      ms[path][ti] = time_forward_ms(session, data.images, reps);
+      t.add_row({path == 0 ? "direct" : "im2col", ti == 0 ? "1" : "4",
+                 scnn::common::Table::fmt(ms[path][ti], 1),
+                 scnn::common::Table::fmt(1000.0 * images / ms[path][ti], 1),
+                 scnn::common::Table::fmt(
+                     1e6 * ms[path][ti] / static_cast<double>(work.macs), 1)});
+    }
+    session.set_threads(1);
+  }
+  t.print(std::cout);
+  std::printf("threaded im2col logits: %s\n",
+              threaded_identical ? "bit-identical to serial" : "DIFFER (FAIL)");
+
+  const double speedup_serial = ms[0][0] / ms[1][0];
+  const double speedup_t4 = ms[0][1] / ms[1][1];
+  std::printf("im2col speedup vs direct: %.2fx serial, %.2fx at 4 threads\n",
+              speedup_serial, speedup_t4);
+
+  scnn::bench::JsonReport report("conv");
+  report.set_meta("engine", "proposed");
+  report.set_meta("n_bits", static_cast<double>(kBits));
+  report.set_meta("images", static_cast<double>(images));
+  report.set_meta("hardware_threads", static_cast<double>(hw));
+  report.set_meta("macs_per_pass", static_cast<double>(work.macs));
+  report.add_metric("direct_serial_imgs_per_s", 1000.0 * images / ms[0][0], "imgs/s");
+  report.add_metric("direct_t4_imgs_per_s", 1000.0 * images / ms[0][1], "imgs/s");
+  report.add_metric("im2col_serial_imgs_per_s", 1000.0 * images / ms[1][0], "imgs/s");
+  report.add_metric("im2col_t4_imgs_per_s", 1000.0 * images / ms[1][1], "imgs/s");
+  report.add_metric("im2col_serial_ns_per_mac",
+                    1e6 * ms[1][0] / static_cast<double>(work.macs), "ns/MAC");
+  report.add_metric("direct_serial_ns_per_mac",
+                    1e6 * ms[0][0] / static_cast<double>(work.macs), "ns/MAC");
+  report.add_metric("speedup_im2col_vs_direct_serial", speedup_serial, "x");
+  report.add_metric("speedup_im2col_vs_direct_t4", speedup_t4, "x");
+  report.write_file();
+
+  if (!paths_identical) {
+    std::printf("FAIL: im2col logits/stats differ from the direct path\n");
+    return 1;
+  }
+  if (!threaded_identical) {
+    std::printf("FAIL: threaded im2col logits differ from serial\n");
+    return 1;
+  }
+  std::printf("PASS: all equivalence assertions hold\n");
+  return 0;
+}

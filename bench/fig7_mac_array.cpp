@@ -29,10 +29,15 @@ using scnn::hw::MacKind;
 constexpr int kArraySize = 256;
 
 /// `session` owns the trained network; `test` supplies the probe geometry.
+/// Rows are printed and, when `report` is non-null, mirrored into the
+/// BENCH_fig7.json metric list as "<workload>/N=<n>/<design>/<metric>".
 void print_comparison(const char* workload, scnn::nn::InferenceSession& session,
-                      const scnn::data::Dataset& test, int n_bits) {
+                      const scnn::data::Dataset& test, int n_bits,
+                      scnn::bench::JsonReport* report = nullptr) {
   scnn::nn::Network& net = session.network();
   const double avg = scnn::bench::avg_enable_cycles(net, n_bits);
+  const std::string prefix = std::string(workload) + "/N=" + std::to_string(n_bits);
+  if (report) report->add_metric(prefix + "/avg_enable_cycles", avg, "cycles");
   std::printf("\n=== Fig. 7: %s, N = %d (avg enable %.2f cycles, worst %.0f) ===\n",
               workload, n_bits, avg, std::ldexp(1.0, n_bits - 1));
 
@@ -60,6 +65,12 @@ void print_comparison(const char* workload, scnn::nn::InferenceSession& session,
                Table::fmt(m.adp, 4),
                Table::fmt(m.power_mw * m.cycles_per_mac / e_fix, 3),
                Table::fmt(m.power_mw * m.cycles_per_mac / e_conv, 5)});
+    if (report) {
+      const std::string p = prefix + "/" + rows[i].label;
+      report->add_metric(p + "/area", m.area_mm2, "mm^2");
+      report->add_metric(p + "/cycles_per_mac", m.cycles_per_mac, "cycles");
+      report->add_metric(p + "/energy_per_mac", e, "pJ");
+    }
   }
   t.print(std::cout);
   const double ours8_vs_conv = e_conv / (ms[3].power_mw * ms[3].cycles_per_mac);
@@ -105,15 +116,19 @@ int main(int argc, char** argv) {
   const int epochs = quick ? 3 : 5;
 
   std::printf("Training workload models to obtain real weight distributions...\n");
+  scnn::bench::JsonReport report("fig7");
+  report.set_meta("array_size", static_cast<double>(kArraySize));
+  report.set_meta("quick", quick ? 1.0 : 0.0);
   auto digits = scnn::bench::train_digit_model(train_n, 100, epochs);
   std::printf("digit model (%s) trained.\n", digits.dataset_name.c_str());
   scnn::nn::InferenceSession digit_session(std::move(digits.net), /*threads=*/0);
-  print_comparison("MNIST-class workload", digit_session, digits.test, 5);
+  print_comparison("MNIST-class workload", digit_session, digits.test, 5, &report);
 
   auto objects = scnn::bench::train_object_model(train_n, 100, epochs);
   std::printf("\nobject model (%s) trained.\n", objects.dataset_name.c_str());
   scnn::nn::InferenceSession object_session(std::move(objects.net), /*threads=*/0);
-  print_comparison("CIFAR-class workload", object_session, objects.test, 8);
-  print_comparison("CIFAR-class workload", object_session, objects.test, 9);
+  print_comparison("CIFAR-class workload", object_session, objects.test, 8, &report);
+  print_comparison("CIFAR-class workload", object_session, objects.test, 9, &report);
+  report.write_file();
   return 0;
 }

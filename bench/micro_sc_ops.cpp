@@ -1,10 +1,13 @@
 // google-benchmark micro-suite: throughput of the simulators themselves.
 // Not a paper figure — this measures the software, so that CNN-scale sweeps
 // (Fig. 6) stay tractable and regressions in the hot paths are visible.
+// Results are mirrored into BENCH_micro.json (bench_common JsonReport) for
+// cross-PR perf tracking.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "core/bit_parallel.hpp"
 #include "core/mvm.hpp"
@@ -74,6 +77,25 @@ void BM_LutEngineMac(benchmark::State& state) {
 }
 BENCHMARK(BM_LutEngineMac);
 
+void BM_LutEngineMacRows(benchmark::State& state) {
+  // One im2col output-row tile at CIFAR conv2 scale: 28 output columns, each
+  // a d = 200 patch, MACed against one cached weight row — the inner kernel
+  // of the im2col convolution path.
+  constexpr std::size_t kTile = 28, kD = 200;
+  const auto engine =
+      scnn::nn::make_engine({.kind = scnn::nn::EngineKind::kProposed, .n_bits = 8});
+  const auto w = random_codes(kD, 8, 7);
+  const auto patches = random_codes(kTile * kD, 8, 8);
+  std::vector<std::int64_t> out(kTile);
+  scnn::nn::MacStats stats;
+  for (auto _ : state) {
+    engine->mac_rows(w, patches, out, stats);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTile * kD);
+}
+BENCHMARK(BM_LutEngineMacRows);
+
 void BM_BiscMvmMacTickLevel(benchmark::State& state) {
   scnn::core::BiscMvm mvm(8, 2, 16);
   const auto xs = random_codes(16, 8, 9);
@@ -117,6 +139,35 @@ void BM_ConventionalBipolarMultiply(benchmark::State& state) {
 }
 BENCHMARK(BM_ConventionalBipolarMultiply)->Arg(8);
 
+/// Console output as usual, plus a copy of every run for BENCH_micro.json.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report) runs.push_back(r);
+    ConsoleReporter::ReportRuns(report);
+  }
+  std::vector<Run> runs;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  scnn::bench::JsonReport report("micro");
+  for (const auto& run : reporter.runs) {
+    if (run.error_occurred) continue;
+    report.add_metric(run.benchmark_name(), run.GetAdjustedRealTime(),
+                      benchmark::GetTimeUnitString(run.time_unit));
+    const auto items = run.counters.find("items_per_second");
+    if (items != run.counters.end())
+      report.add_metric(run.benchmark_name() + "/items_per_second",
+                        items->second.value, "items/s");
+  }
+  report.write_file();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,4 +11,9 @@ std::int32_t quantize(double v, int n_bits) {
   return static_cast<std::int32_t>(saturate(q, n_bits));
 }
 
+float pow2_ceil(float v) {
+  if (v <= 1.0f) return 1.0f;
+  return std::exp2(std::ceil(std::log2(v)));
+}
+
 }  // namespace scnn::common

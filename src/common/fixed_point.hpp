@@ -32,6 +32,11 @@ constexpr std::int64_t saturate(std::int64_t v, int bits) {
 /// (round-to-nearest, saturating). Returns the integer code.
 std::int32_t quantize(double v, int n_bits);
 
+/// Smallest power of two >= v (at least 1.0). Quantization scales are kept
+/// power-of-two so the rescale is a plain shift in hardware; both Conv2D and
+/// Dense calibrate their weight/activation scales through this.
+float pow2_ceil(float v);
+
 /// Real value of an N-bit signed fraction code.
 constexpr double dequantize(std::int64_t q, int n_bits) {
   return static_cast<double>(q) / static_cast<double>(std::int64_t{1} << (n_bits - 1));

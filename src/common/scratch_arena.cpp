@@ -1,0 +1,54 @@
+#include "common/scratch_arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+namespace scnn::common {
+
+std::size_t ScratchArena::capacity_bytes() const {
+  return std::accumulate(chunks_.begin(), chunks_.end(), std::size_t{0},
+                         [](std::size_t s, const Chunk& c) { return s + c.size; });
+}
+
+void ScratchArena::reset_() {
+  if (chunks_.size() > 1) {
+    // The last frame overflowed: consolidate to one chunk of the high-water
+    // size so the steady state is a single allocation.
+    const std::size_t total = capacity_bytes();
+    chunks_.clear();
+    chunks_.push_back({std::make_unique<std::byte[]>(total), total});
+  }
+  used_ = 0;
+}
+
+void* ScratchArena::take_bytes_(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;  // keep spans from distinct takes non-aliasing
+  if (chunks_.empty()) {
+    const std::size_t size = std::max<std::size_t>(bytes + align, 4096);
+    chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+    used_ = 0;
+  }
+  Chunk& active = chunks_.front();
+  const std::uintptr_t base =
+      reinterpret_cast<std::uintptr_t>(active.data.get()) + used_;
+  const std::size_t pad = (align - base % align) % align;
+  if (used_ + pad + bytes <= active.size) {
+    void* p = active.data.get() + used_ + pad;
+    used_ += pad + bytes;
+    return p;
+  }
+  // Overflow: a dedicated chunk for this request, never bump-allocated from;
+  // the next frame folds its size into the active chunk.
+  const std::size_t size = bytes + align;
+  chunks_.push_back({std::make_unique<std::byte[]>(size), size});
+  const std::uintptr_t b2 = reinterpret_cast<std::uintptr_t>(chunks_.back().data.get());
+  return chunks_.back().data.get() + (align - b2 % align) % align;
+}
+
+ScratchArena& ScratchArena::thread_local_arena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace scnn::common

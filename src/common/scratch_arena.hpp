@@ -1,0 +1,74 @@
+// Per-thread bump-allocated scratch memory for the inference hot path.
+//
+// The im2col convolution kernel needs a patch-code buffer and an accumulator
+// row per worker on every forward pass. Allocating them from the heap each
+// time would put malloc/free on the hot path (and under TSan, contend on the
+// allocator); a ScratchArena instead hands out spans from one reusable chunk
+// that only ever grows to the high-water mark of a frame.
+//
+// Usage (one frame per shard invocation):
+//
+//   auto& arena = common::ScratchArena::thread_local_arena();
+//   const auto frame = arena.frame();              // invalidates prior spans
+//   auto patches = arena.take<std::int32_t>(C * d);
+//   auto accs    = arena.take<std::int64_t>(C);
+//
+// Spans stay valid until the next frame() on the same arena. Arenas are not
+// thread-safe; thread_local_arena() gives each thread its own, which is all
+// the inference runtime needs (workers never share scratch).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace scnn::common {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// RAII frame marker: resets the arena now; on destruction nothing happens
+  /// (the next frame reclaims everything), it exists to make the reuse point
+  /// explicit at the call site.
+  class Frame {
+   public:
+    explicit Frame(ScratchArena& a) { a.reset_(); }
+  };
+  [[nodiscard]] Frame frame() { return Frame(*this); }
+
+  /// A span of `count` default-initialized Ts, alive until the next frame.
+  /// Allocations in one frame never alias; if the current chunk is too small
+  /// the arena grows (old chunks are kept alive until the next frame so
+  /// earlier spans stay valid).
+  template <typename T>
+  [[nodiscard]] std::span<T> take(std::size_t count) {
+    void* p = take_bytes_(count * sizeof(T), alignof(T));
+    return {static_cast<T*>(p), count};
+  }
+
+  /// Bytes currently owned (capacity, not in-frame usage) — test hook.
+  [[nodiscard]] std::size_t capacity_bytes() const;
+  /// Heap chunks currently owned — 1 once the size has stabilized.
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+  /// The calling thread's private arena (created on first use).
+  static ScratchArena& thread_local_arena();
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void reset_();
+  void* take_bytes_(std::size_t bytes, std::size_t align);
+
+  std::vector<Chunk> chunks_;  // chunks_[0] is the active bump chunk
+  std::size_t used_ = 0;       // bytes consumed from chunks_[0]
+};
+
+}  // namespace scnn::common

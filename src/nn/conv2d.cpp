@@ -3,24 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/fixed_point.hpp"
 #include "common/rng.hpp"
+#include "common/scratch_arena.hpp"
 #include "common/thread_pool.hpp"
 
 namespace scnn::nn {
-
-namespace {
-
-/// Smallest power of two >= v (at least 1.0); quantization scales are kept
-/// power-of-two so they are plain shifts in hardware.
-float pow2_ceil(float v) {
-  if (v <= 1.0f) return 1.0f;
-  return std::exp2(std::ceil(std::log2(v)));
-}
-
-}  // namespace
 
 Conv2D::Conv2D(int in_channels, int out_channels, int kernel, int stride, int pad)
     : in_ch_(in_channels), out_ch_(out_channels), k_(kernel), s_(stride), p_(pad) {
@@ -38,6 +29,7 @@ void Conv2D::init_weights(std::uint64_t seed) {
   const double stddev = std::sqrt(2.0 / fan_in);
   for (auto& v : weight_.value.data()) v = static_cast<float>(rng.next_gaussian() * stddev);
   bias_.value.zero();
+  weight_.mark_updated();
 }
 
 core::ConvDims Conv2D::dims_for(const Tensor& input) const {
@@ -49,13 +41,24 @@ Tensor Conv2D::forward(const Tensor& input) {
   if (input.c() != in_ch_) throw std::invalid_argument("Conv2D: channel mismatch");
   cached_input_ = input;
   stats_ = MacStats{};
-  return engine_ ? forward_quantized(input) : forward_float(input);
+  if (!engine_) return forward_float(input);
+  return im2col_ ? forward_quantized_im2col(input) : forward_quantized_direct(input);
 }
 
 Tensor Conv2D::forward_float(const Tensor& x) {
   const auto d = dims_for(x);
   const int R = d.out_rows(), C = d.out_cols();
   Tensor y(x.n(), out_ch_, R, C);
+  // Valid kernel index windows, hoisted out of the element loops: the i
+  // range depends only on the output row, the j range only on the output
+  // column. Skipped indices are exactly those the per-element yy/xx checks
+  // would reject, and the surviving adds happen in the same order, so the
+  // float results are bit-identical to the checked version.
+  std::vector<int> j_lo(static_cast<std::size_t>(C)), j_hi(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    j_lo[static_cast<std::size_t>(c)] = std::max(0, p_ - s_ * c);
+    j_hi[static_cast<std::size_t>(c)] = std::min(k_, x.w() - s_ * c + p_);
+  }
   // One item = one output row (n, m, r); every element of the row is a fully
   // independent accumulation, so sharding cannot change results or race.
   const std::int64_t rows = static_cast<std::int64_t>(x.n()) * out_ch_ * R;
@@ -64,17 +67,19 @@ Tensor Conv2D::forward_float(const Tensor& x) {
       const int n = static_cast<int>(row / (static_cast<std::int64_t>(out_ch_) * R));
       const int m = static_cast<int>(row / R % out_ch_);
       const int r = static_cast<int>(row % R);
+      const int i_lo = std::max(0, p_ - s_ * r);
+      const int i_hi = std::min(k_, x.h() - s_ * r + p_);
+      const std::span<const float> xs = x.sample(n);
       for (int c = 0; c < C; ++c) {
+        const int jl = j_lo[static_cast<std::size_t>(c)];
+        const int jh = j_hi[static_cast<std::size_t>(c)];
         float acc = bias_.value.at(m, 0, 0, 0);
         for (int z = 0; z < in_ch_; ++z) {
-          for (int i = 0; i < k_; ++i) {
+          for (int i = i_lo; i < i_hi; ++i) {
             const int yy = s_ * r + i - p_;
-            if (yy < 0 || yy >= x.h()) continue;
-            for (int j = 0; j < k_; ++j) {
-              const int xx = s_ * c + j - p_;
-              if (xx < 0 || xx >= x.w()) continue;
-              acc += weight_.value.at(m, z, i, j) * x.at(n, z, yy, xx);
-            }
+            const float* wr = &weight_.value.at(m, z, i, 0);
+            const float* xr = &xs[(static_cast<std::size_t>(z) * x.h() + yy) * x.w()];
+            for (int j = jl; j < jh; ++j) acc += wr[j] * xr[s_ * c + j - p_];
           }
         }
         y.at(n, m, r, c) = acc;
@@ -84,13 +89,126 @@ Tensor Conv2D::forward_float(const Tensor& x) {
   return y;
 }
 
-Tensor Conv2D::forward_quantized(const Tensor& x) {
+std::vector<std::int32_t> Conv2D::quantize_input_(const Tensor& x, int n_bits) const {
+  const std::size_t plane = static_cast<std::size_t>(in_ch_) * x.h() * x.w();
+  std::vector<std::int32_t> xq(static_cast<std::size_t>(x.n()) * plane);
+  common::parallel_for(pool_, x.n(), [&](std::int64_t lo, std::int64_t hi, int) {
+    for (std::int64_t n = lo; n < hi; ++n) {
+      std::size_t idx = static_cast<std::size_t>(n) * plane;
+      for (int z = 0; z < in_ch_; ++z)
+        for (int yy = 0; yy < x.h(); ++yy)
+          for (int xx = 0; xx < x.w(); ++xx)
+            xq[idx++] = common::quantize(
+                x.at(static_cast<int>(n), z, yy, xx) / act_scale_, n_bits);
+    }
+  });
+  return xq;
+}
+
+std::span<const std::int32_t> Conv2D::cached_weight_codes_(int n_bits) const {
+  if (!wq_cache_valid_ || wq_cache_bits_ != n_bits ||
+      wq_cache_version_ != weight_.version || wq_cache_scale_ != weight_scale_) {
+    wq_cache_.resize(weight_.value.size());
+    std::size_t idx = 0;
+    // Tensor storage is row-major (m, z, i, j) — the layout the direct path
+    // and the conv scheduler expect.
+    for (const float v : weight_.value.data())
+      wq_cache_[idx++] = common::quantize(v / weight_scale_, n_bits);
+    wq_cache_valid_ = true;
+    wq_cache_bits_ = n_bits;
+    wq_cache_version_ = weight_.version;
+    wq_cache_scale_ = weight_scale_;
+  }
+  return wq_cache_;
+}
+
+Tensor Conv2D::forward_quantized_im2col(const Tensor& x) {
+  const int nbits = engine_->bits();
+  const auto d = dims_for(x);
+  const int R = d.out_rows(), C = d.out_cols();
+  const int H = x.h(), W = x.w();
+  const std::size_t dd = static_cast<std::size_t>(in_ch_) * k_ * k_;
+
+  const std::span<const std::int32_t> wq = cached_weight_codes_(nbits);
+  const std::size_t plane = static_cast<std::size_t>(in_ch_) * H * W;
+  const std::vector<std::int32_t> xq = quantize_input_(x, nbits);
+
+  const float out_scale = weight_scale_ * act_scale_ /
+                          static_cast<float>(std::int64_t{1} << (nbits - 1));
+  Tensor y(x.n(), out_ch_, R, C);
+
+  // One item = one spatial output row (n, r): its C patches are materialized
+  // once into a contiguous [c][z][i][j] code buffer and reused by all out_ch_
+  // filter rows through the batched mac_rows kernel — the gather (and its
+  // padding handling) is paid once instead of out_ch_ times. Items write
+  // disjoint output rows; per-shard MacStats are merged in shard order, so
+  // logits and counters are independent of the worker count.
+  const std::int64_t rows = static_cast<std::int64_t>(x.n()) * R;
+  std::vector<MacStats> shard_stats(
+      static_cast<std::size_t>(std::max(1, common::parallel_shard_count(pool_, rows))));
+  common::parallel_for(pool_, rows, [&](std::int64_t lo, std::int64_t hi, int shard) {
+    auto& arena = common::ScratchArena::thread_local_arena();
+    const auto frame = arena.frame();
+    (void)frame;
+    const std::span<std::int32_t> patches = arena.take<std::int32_t>(
+        static_cast<std::size_t>(C) * dd);
+    const std::span<std::int64_t> accs = arena.take<std::int64_t>(
+        static_cast<std::size_t>(C));
+    MacStats local;
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const int n = static_cast<int>(row / R);
+      const int r = static_cast<int>(row % R);
+      const std::int32_t* xs = &xq[static_cast<std::size_t>(n) * plane];
+      // Build the row's patches. With padding, start from materialized zero
+      // codes (quantize(0) == 0) and copy only the in-range segments — the
+      // inner kernel then needs no bounds checks at all.
+      const int i_lo = std::max(0, p_ - s_ * r);
+      const int i_hi = std::min(k_, H - s_ * r + p_);
+      if (p_ > 0)
+        std::memset(patches.data(), 0, patches.size() * sizeof(std::int32_t));
+      for (int c = 0; c < C; ++c) {
+        std::int32_t* patch = &patches[static_cast<std::size_t>(c) * dd];
+        const int j_lo = std::max(0, p_ - s_ * c);
+        const int j_hi = std::min(k_, W - s_ * c + p_);
+        for (int z = 0; z < in_ch_; ++z) {
+          for (int i = i_lo; i < i_hi; ++i) {
+            const int yy = s_ * r + i - p_;
+            const std::int32_t* src =
+                &xs[(static_cast<std::size_t>(z) * H + yy) * W + (s_ * c + j_lo - p_)];
+            std::int32_t* dst = &patch[(static_cast<std::size_t>(z) * k_ + i) * k_ + j_lo];
+            std::memcpy(dst, src,
+                        static_cast<std::size_t>(j_hi - j_lo) * sizeof(std::int32_t));
+          }
+        }
+      }
+      // Every filter row MACs the whole tile of C patches in one call.
+      for (int m = 0; m < out_ch_; ++m) {
+        const std::span<const std::int32_t> wrow =
+            wq.subspan(static_cast<std::size_t>(m) * dd, dd);
+        engine_->mac_rows(wrow, patches, accs, local);
+        const float bias = bias_.value.at(m, 0, 0, 0);
+        float* yrow = &y.at(n, m, r, 0);
+        for (int c = 0; c < C; ++c)
+          yrow[c] = static_cast<float>(accs[static_cast<std::size_t>(c)]) * out_scale +
+                    bias;
+      }
+    }
+    shard_stats[static_cast<std::size_t>(shard)] += local;
+  });
+  stats_ = MacStats{};
+  for (const MacStats& s : shard_stats) stats_ += s;
+  return y;
+}
+
+Tensor Conv2D::forward_quantized_direct(const Tensor& x) {
   const int nbits = engine_->bits();
   const auto d = dims_for(x);
   const int R = d.out_rows(), C = d.out_cols();
   const std::size_t dd = static_cast<std::size_t>(in_ch_) * k_ * k_;
 
-  // Quantize all weights once: codes in [-2^(N-1), 2^(N-1)-1] under w_scale.
+  // The pre-im2col baseline, kept verbatim: quantize all weights on every
+  // pass (codes in [-2^(N-1), 2^(N-1)-1] under w_scale) and gather each
+  // output element's patch with per-element padding checks.
   std::vector<std::int32_t> wq(static_cast<std::size_t>(out_ch_) * dd);
   {
     std::size_t idx = 0;
@@ -101,20 +219,8 @@ Tensor Conv2D::forward_quantized(const Tensor& x) {
             wq[idx++] = common::quantize(weight_.value.at(m, z, i, j) / weight_scale_, nbits);
   }
 
-  // Quantize every sample's input feature map up front (elementwise, so the
-  // sharded version is trivially bit-identical to the serial one).
   const std::size_t plane = static_cast<std::size_t>(in_ch_) * x.h() * x.w();
-  std::vector<std::int32_t> xq(static_cast<std::size_t>(x.n()) * plane);
-  common::parallel_for(pool_, x.n(), [&](std::int64_t lo, std::int64_t hi, int) {
-    for (std::int64_t n = lo; n < hi; ++n) {
-      std::size_t idx = static_cast<std::size_t>(n) * plane;
-      for (int z = 0; z < in_ch_; ++z)
-        for (int yy = 0; yy < x.h(); ++yy)
-          for (int xx = 0; xx < x.w(); ++xx)
-            xq[idx++] = common::quantize(
-                x.at(static_cast<int>(n), z, yy, xx) / act_scale_, nbits);
-    }
-  });
+  const std::vector<std::int32_t> xq = quantize_input_(x, nbits);
 
   const float out_scale = weight_scale_ * act_scale_ /
                           static_cast<float>(std::int64_t{1} << (nbits - 1));
@@ -198,16 +304,13 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
 }
 
 void Conv2D::calibrate_scales(const Tensor& representative_input) {
-  act_scale_ = pow2_ceil(representative_input.max_abs());
-  weight_scale_ = pow2_ceil(weight_.value.max_abs());
+  act_scale_ = common::pow2_ceil(representative_input.max_abs());
+  weight_scale_ = common::pow2_ceil(weight_.value.max_abs());
 }
 
 std::vector<std::int32_t> Conv2D::quantized_weights(int n_bits) const {
-  std::vector<std::int32_t> out;
-  out.reserve(weight_.value.size());
-  for (const float v : weight_.value.data())
-    out.push_back(common::quantize(v / weight_scale_, n_bits));
-  return out;
+  const auto codes = cached_weight_codes_(n_bits);
+  return {codes.begin(), codes.end()};
 }
 
 }  // namespace scnn::nn

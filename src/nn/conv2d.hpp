@@ -4,15 +4,28 @@
 // the forward pass quantizes activations and weights to N-bit signed codes
 // under per-layer power-of-two scales (the generalization of the paper's
 // "scale the input feature map ... by 128" trick for CIFAR-10) and runs
-// every output through MacEngine::mac — i.e. through the exact arithmetic
-// of the modeled hardware, saturating accumulator included. The backward
-// pass always uses the float master weights and the cached float input
-// (straight-through estimator), which is how the paper fine-tunes: "during
-// fine-tuning, fixed-point or SC-based convolution is used in the forward
-// pass".
+// every output through MacEngine arithmetic — i.e. through the exact
+// arithmetic of the modeled hardware, saturating accumulator included. The
+// backward pass always uses the float master weights and the cached float
+// input (straight-through estimator), which is how the paper fine-tunes:
+// "during fine-tuning, fixed-point or SC-based convolution is used in the
+// forward pass".
+//
+// The quantized forward has two implementations with bit-identical logits
+// and MacStats:
+//  - im2col (default): weight codes are cached per (n_bits, weight version,
+//    weight scale); each output row's input patches are materialized once
+//    into a contiguous patch-code buffer (padding as literal zero codes,
+//    scratch from a per-thread common::ScratchArena) and every filter row is
+//    driven through the batched MacEngine::mac_rows kernel, so the patch
+//    gather is amortized over all output channels.
+//  - direct: the pre-im2col reference — re-quantizes weights every pass and
+//    gathers each output element's patch with per-element padding checks.
+//    Kept as the comparison baseline for benches and the equivalence test.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/conv_scheduler.hpp"
@@ -38,6 +51,12 @@ class Conv2D final : public Layer {
   void set_engine(const MacEngine* engine) { engine_ = engine; }
   [[nodiscard]] const MacEngine* engine() const { return engine_; }
 
+  /// Choose the quantized forward implementation (default: im2col). The two
+  /// paths produce bit-identical logits and MacStats; the direct path exists
+  /// as the baseline for benches and the equivalence property test.
+  void set_im2col(bool on) { im2col_ = on; }
+  [[nodiscard]] bool im2col() const { return im2col_; }
+
   /// Shard forward passes over `pool` (nullptr = serial). Engines are const
   /// LUT lookups and every output element is an independent dot product, so
   /// the sharded pass is race-free and bit-identical to the serial one.
@@ -54,11 +73,18 @@ class Conv2D final : public Layer {
   [[nodiscard]] float activation_scale() const { return act_scale_; }
 
   [[nodiscard]] const Tensor& weight() const { return weight_.value; }
-  [[nodiscard]] Tensor& mutable_weight() { return weight_.value; }
+  /// Mutable weight access; conservatively invalidates the cached weight
+  /// codes (every call is assumed to be a mutation).
+  [[nodiscard]] Tensor& mutable_weight() {
+    weight_.mark_updated();
+    return weight_.value;
+  }
   [[nodiscard]] const Tensor& bias() const { return bias_.value; }
 
   /// Weight codes ([m][z][i][j]) at the engine's precision — the input to
-  /// the latency model (Sec. 3.2) and the Fig. 7 benches.
+  /// the latency model (Sec. 3.2) and the Fig. 7 benches. Served from the
+  /// (n_bits, weight version, weight scale) cache; recomputed only after a
+  /// training update, re-calibration, or precision change.
   [[nodiscard]] std::vector<std::int32_t> quantized_weights(int n_bits) const;
 
   /// Geometry of this layer on a given input, for the conv scheduler.
@@ -72,17 +98,33 @@ class Conv2D final : public Layer {
 
  private:
   Tensor forward_float(const Tensor& input);
-  Tensor forward_quantized(const Tensor& input);
+  Tensor forward_quantized_im2col(const Tensor& input);
+  Tensor forward_quantized_direct(const Tensor& input);
+
+  /// Quantize the whole input batch to activation codes (parallel over
+  /// samples; elementwise, so sharding cannot change the values).
+  std::vector<std::int32_t> quantize_input_(const Tensor& x, int n_bits) const;
+
+  /// The weight-code cache. Not thread-safe: called from the forward entry
+  /// thread before any sharding starts (and from benches/tests).
+  std::span<const std::int32_t> cached_weight_codes_(int n_bits) const;
 
   int in_ch_, out_ch_, k_, s_, p_;
   Parameter weight_;  // (out_ch, in_ch, k, k)
   Parameter bias_;    // (out_ch, 1, 1, 1)
   const MacEngine* engine_ = nullptr;
   common::ThreadPool* pool_ = nullptr;
+  bool im2col_ = true;
   MacStats stats_;
   float weight_scale_ = 1.0f;
   float act_scale_ = 1.0f;
   Tensor cached_input_;
+
+  mutable std::vector<std::int32_t> wq_cache_;
+  mutable bool wq_cache_valid_ = false;
+  mutable int wq_cache_bits_ = 0;
+  mutable std::uint64_t wq_cache_version_ = 0;
+  mutable float wq_cache_scale_ = 0.0f;
 };
 
 }  // namespace scnn::nn

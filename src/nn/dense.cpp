@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/fixed_point.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 
@@ -22,6 +23,27 @@ void Dense::init_weights(std::uint64_t seed) {
   const double stddev = std::sqrt(2.0 / in_);
   for (auto& v : weight_.value.data()) v = static_cast<float>(rng.next_gaussian() * stddev);
   bias_.value.zero();
+  weight_.mark_updated();
+}
+
+void Dense::calibrate_scales(const Tensor& representative_input) {
+  act_scale_ = common::pow2_ceil(representative_input.max_abs());
+  weight_scale_ = common::pow2_ceil(weight_.value.max_abs());
+}
+
+std::vector<std::int32_t> Dense::quantized_weights(int n_bits) const {
+  if (!wq_cache_valid_ || wq_cache_bits_ != n_bits ||
+      wq_cache_version_ != weight_.version || wq_cache_scale_ != weight_scale_) {
+    wq_cache_.resize(weight_.value.size());
+    std::size_t idx = 0;
+    for (const float v : weight_.value.data())
+      wq_cache_[idx++] = common::quantize(v / weight_scale_, n_bits);
+    wq_cache_valid_ = true;
+    wq_cache_bits_ = n_bits;
+    wq_cache_version_ = weight_.version;
+    wq_cache_scale_ = weight_scale_;
+  }
+  return wq_cache_;
 }
 
 Tensor Dense::forward(const Tensor& input) {

@@ -1,10 +1,14 @@
 // Fully-connected layer. The paper applies SC only to convolution layers
 // ("we apply SC to convolution layers only ... with no restriction on how
-// the other layers are implemented", Sec. 3.3), so this layer is always
-// float.
+// the other layers are implemented", Sec. 3.3), so the forward pass is
+// always float. The layer still calibrates power-of-two scales and serves
+// cached quantized weight codes — accelerator modeling and sweeps need the
+// codes of every learnable layer, not just the convolutions.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "nn/layer.hpp"
 
@@ -25,6 +29,17 @@ class Dense final : public Layer {
   /// neuron is an independent dot product, so results are bit-identical.
   void set_thread_pool(common::ThreadPool* pool) override { pool_ = pool; }
 
+  /// Power-of-two weight/activation scales from the current weights and a
+  /// representative input batch (same calibration rule as Conv2D).
+  void calibrate_scales(const Tensor& representative_input);
+  [[nodiscard]] float weight_scale() const { return weight_scale_; }
+  [[nodiscard]] float activation_scale() const { return act_scale_; }
+
+  /// Weight codes ([o][i]) at precision n_bits under weight_scale(). Served
+  /// from a (n_bits, weight version, weight scale) cache like Conv2D's;
+  /// recomputed only after a training update or re-calibration.
+  [[nodiscard]] std::vector<std::int32_t> quantized_weights(int n_bits) const;
+
   [[nodiscard]] int in_features() const { return in_; }
   [[nodiscard]] int out_features() const { return out_; }
 
@@ -33,7 +48,15 @@ class Dense final : public Layer {
   common::ThreadPool* pool_ = nullptr;
   Parameter weight_;  // (out, in, 1, 1)
   Parameter bias_;    // (out, 1, 1, 1)
+  float weight_scale_ = 1.0f;
+  float act_scale_ = 1.0f;
   Tensor cached_input_;
+
+  mutable std::vector<std::int32_t> wq_cache_;
+  mutable bool wq_cache_valid_ = false;
+  mutable int wq_cache_bits_ = 0;
+  mutable std::uint64_t wq_cache_version_ = 0;
+  mutable float wq_cache_scale_ = 0.0f;
 };
 
 }  // namespace scnn::nn

@@ -35,6 +35,11 @@ void InferenceSession::set_threads(int threads) {
   net_.set_thread_pool(pool_.get());
 }
 
+void InferenceSession::set_im2col(bool on) {
+  im2col_ = on;
+  set_conv_im2col(net_, on);
+}
+
 void InferenceSession::calibrate(const Tensor& calibration_batch) {
   calibrate_network(net_, calibration_batch);
 }

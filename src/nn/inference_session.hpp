@@ -49,6 +49,11 @@ class InferenceSession {
   void set_threads(int threads);
   [[nodiscard]] int threads() const { return pool_ ? pool_->size() : 1; }
 
+  /// Select the quantized conv implementation (default im2col; the direct
+  /// per-element path is the bit-identical comparison baseline).
+  void set_im2col(bool on);
+  [[nodiscard]] bool im2col() const { return im2col_; }
+
   /// Calibrate per-conv-layer power-of-two scales in float mode.
   void calibrate(const Tensor& calibration_batch);
 
@@ -79,6 +84,7 @@ class InferenceSession {
   std::unique_ptr<common::ThreadPool> pool_;
   std::optional<EngineConfig> cfg_;
   const MacEngine* engine_ = nullptr;
+  bool im2col_ = true;
 };
 
 }  // namespace scnn::nn

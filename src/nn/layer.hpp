@@ -2,6 +2,7 @@
 // gradient tensors; parameters are exposed for the SGD trainer.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,9 +15,18 @@ class ThreadPool;
 namespace scnn::nn {
 
 /// A learnable parameter with its gradient accumulator.
+///
+/// `version` counts value mutations; layers that cache derived data (e.g.
+/// Conv2D's quantized weight codes) key their caches on it. Every code path
+/// that writes `value` must call mark_updated() — the trainer's SGD step,
+/// Network::load_parameters, init_weights, and any mutable accessor a layer
+/// hands out.
 struct Parameter {
   Tensor value;
   Tensor grad;
+  std::uint64_t version = 0;
+
+  void mark_updated() { ++version; }
 };
 
 class Layer {

@@ -94,6 +94,79 @@ std::int64_t LutEngine::mac(std::span<const std::int32_t> w,
   return mac_impl_(w, x, &stats);
 }
 
+namespace {
+
+// Tile-blocked saturating MAC over one weight row. The j-loop is outermost
+// so one LUT row (2^N int16s) stays hot across all lanes; each lane's
+// products still arrive in increasing-j order, so per-element saturation
+// behaviour is exactly the serial mac()'s. The lane loop has no branches
+// (clamp via min/max), a fixed trip count, and — in the common Acc=int32
+// case (accumulator width <= 31 bits, true for every paper configuration) —
+// narrow accumulators: the form the auto-vectorizer wants.
+template <typename Acc>
+std::uint64_t mac_rows_blocked(const sc::ProductLut& lut,
+                               std::span<const std::int32_t> w,
+                               std::span<const std::int32_t> patches,
+                               std::span<std::int64_t> out, Acc lo, Acc hi) {
+  const std::size_t d = w.size();
+  const std::size_t tile = out.size();
+  std::uint64_t sat = 0;
+  constexpr std::size_t kLanes = 8;
+  std::size_t t0 = 0;
+  for (; t0 + kLanes <= tile; t0 += kLanes) {
+    Acc acc[kLanes] = {};
+    std::uint32_t lane_sat[kLanes] = {};
+    const std::int32_t* px = &patches[t0 * d];
+    for (std::size_t j = 0; j < d; ++j) {
+      const std::int16_t* row = lut.row(w[j]);
+      for (std::size_t t = 0; t < kLanes; ++t) {
+        const Acc v = static_cast<Acc>(acc[t] + row[px[t * d + j]]);
+        lane_sat[t] += static_cast<std::uint32_t>(v < lo) +
+                       static_cast<std::uint32_t>(v > hi);
+        acc[t] = v < lo ? lo : (v > hi ? hi : v);
+      }
+    }
+    for (std::size_t t = 0; t < kLanes; ++t) {
+      out[t0 + t] = acc[t];
+      sat += lane_sat[t];
+    }
+  }
+  // Tail lanes: same math, one element at a time.
+  for (; t0 < tile; ++t0) {
+    const std::int32_t* px = &patches[t0 * d];
+    Acc acc = 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const Acc v = static_cast<Acc>(acc + lut.row(w[j])[px[j]]);
+      sat += static_cast<std::uint64_t>(v < lo) + static_cast<std::uint64_t>(v > hi);
+      acc = v < lo ? lo : (v > hi ? hi : v);
+    }
+    out[t0] = acc;
+  }
+  return sat;
+}
+
+}  // namespace
+
+void LutEngine::mac_rows(std::span<const std::int32_t> w,
+                         std::span<const std::int32_t> patches,
+                         std::span<std::int64_t> out, MacStats& stats) const {
+  const std::size_t d = w.size();
+  const std::size_t tile = out.size();
+  assert(patches.size() == d * tile);
+  const int bits = n_ + a_;
+  const std::int64_t lo = common::int_min_of(bits), hi = common::int_max_of(bits);
+  // int32 accumulators are exact while |rail| + |product| fits: rails need
+  // `bits` <= 31 and a product adds at most 2^15 before the clamp.
+  const std::uint64_t sat =
+      bits <= 30 ? mac_rows_blocked<std::int32_t>(lut_, w, patches, out,
+                                                  static_cast<std::int32_t>(lo),
+                                                  static_cast<std::int32_t>(hi))
+                 : mac_rows_blocked<std::int64_t>(lut_, w, patches, out, lo, hi);
+  stats.macs += tile;
+  stats.products += tile * d;
+  stats.saturations += sat;
+}
+
 std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg) {
   cfg.validate();
   switch (cfg.kind) {

@@ -95,6 +95,22 @@ class MacEngine {
     return mac(w, x);
   }
 
+  /// Batched MAC: a tile of out.size() output elements against ONE weight
+  /// row. `patches` holds out.size() contiguous d-code patches back to back
+  /// (layout [tile][d], d = w.size()); out[t] receives exactly
+  /// mac(w, patches[t*d .. t*d+d)). Semantics — including the per-product
+  /// saturation order and the MacStats totals — are identical to calling
+  /// mac() per element; engines override only to restructure the loops for
+  /// throughput (the im2col convolution path feeds every output row through
+  /// this entry point).
+  virtual void mac_rows(std::span<const std::int32_t> w,
+                        std::span<const std::int32_t> patches,
+                        std::span<std::int64_t> out, MacStats& stats) const {
+    const std::size_t d = w.size();
+    for (std::size_t t = 0; t < out.size(); ++t)
+      out[t] = mac(w, patches.subspan(t * d, d), stats);
+  }
+
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] int bits() const { return n_; }
   [[nodiscard]] int accum_bits() const { return a_; }
@@ -115,6 +131,13 @@ class LutEngine final : public MacEngine {
                                  std::span<const std::int32_t> x) const override;
   std::int64_t mac(std::span<const std::int32_t> w, std::span<const std::int32_t> x,
                    MacStats& stats) const override;
+  /// Tile-blocked kernel: LUT row pointers are hoisted per product index and
+  /// shared across a block of output elements, and the per-lane saturating
+  /// add is branchless so the block loop can auto-vectorize (build with
+  /// -DSCNN_NATIVE=ON for gather-capable codegen). Bit-identical to the
+  /// per-element path, product-level saturation order included.
+  void mac_rows(std::span<const std::int32_t> w, std::span<const std::int32_t> patches,
+                std::span<std::int64_t> out, MacStats& stats) const override;
   [[nodiscard]] std::string name() const override { return lut_.name(); }
 
   [[nodiscard]] const sc::ProductLut& lut() const { return lut_; }

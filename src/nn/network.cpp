@@ -107,6 +107,7 @@ void Network::load_parameters(std::span<const float> packed) {
       throw std::invalid_argument("load_parameters: blob too small");
     std::copy_n(packed.begin() + static_cast<std::ptrdiff_t>(off), p->value.size(),
                 p->value.data().begin());
+    p->mark_updated();
     off += p->value.size();
   }
   if (off != packed.size())

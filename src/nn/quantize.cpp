@@ -1,9 +1,11 @@
 #include "nn/quantize.hpp"
 
+#include "nn/dense.hpp"
+
 namespace scnn::nn {
 
 void calibrate_network(Network& net, const Tensor& calibration_batch) {
-  // Walk layers manually so each conv sees its own (float) input.
+  // Walk layers manually so each layer sees its own (float) input.
   Tensor cur = calibration_batch;
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
     Layer& l = net.layer(i);
@@ -14,6 +16,7 @@ void calibrate_network(Network& net, const Tensor& calibration_batch) {
       cur = conv->forward(cur);
       conv->set_engine(saved);
     } else {
+      if (auto* dense = dynamic_cast<Dense*>(&l)) dense->calibrate_scales(cur);
       cur = l.forward(cur);
     }
   }
@@ -21,6 +24,10 @@ void calibrate_network(Network& net, const Tensor& calibration_batch) {
 
 void set_conv_engine(Network& net, const MacEngine* engine) {
   for (Conv2D* c : net.conv_layers()) c->set_engine(engine);
+}
+
+void set_conv_im2col(Network& net, bool on) {
+  for (Conv2D* c : net.conv_layers()) c->set_im2col(on);
 }
 
 const MacEngine* EnginePool::get(const EngineConfig& cfg) {

@@ -12,12 +12,19 @@
 namespace scnn::nn {
 
 /// Run `calibration_batch` through the network in float mode and set each
-/// convolution layer's weight/activation scales from what it actually sees
-/// (the generalization of the paper's fixed x128 CIFAR-10 rescale).
+/// learnable layer's weight/activation scales from what it actually sees
+/// (the generalization of the paper's fixed x128 CIFAR-10 rescale). Conv
+/// scales drive the quantized forward path; dense scales only feed the
+/// accelerator/latency models (the dense forward stays float, Sec. 3.3).
 void calibrate_network(Network& net, const Tensor& calibration_batch);
 
 /// Point every convolution layer at `engine` (nullptr restores float mode).
 void set_conv_engine(Network& net, const MacEngine* engine);
+
+/// Select the quantized conv implementation network-wide: im2col + batched
+/// mac_rows (default, fast) or the direct per-element reference path. Both
+/// produce bit-identical logits and MacStats.
+void set_conv_im2col(Network& net, bool on);
 
 /// Owns the engines for a sweep so layers can borrow raw pointers safely.
 /// Engines are deduplicated on (kind, n_bits, accum_bits) — the runtime

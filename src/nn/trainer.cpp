@@ -80,6 +80,7 @@ void SgdTrainer::sgd_step(Network& net, float lr) {
       v[j] = cfg_.momentum * v[j] - lr * g;
       p.value[j] += v[j];
     }
+    p.mark_updated();  // invalidate quantized-code caches keyed on the version
   }
 }
 

@@ -33,6 +33,15 @@ class ProductLut {
                   static_cast<std::size_t>(qx + half)];
   }
 
+  /// Base pointer of qw's table row, biased so row(qw)[qx] == at(qw, qx) for
+  /// signed qx. Hoisting this out of a MAC inner loop removes the per-product
+  /// row-index arithmetic and keeps one 2^N-entry row hot across a whole
+  /// output tile (the mac_rows() kernel).
+  [[nodiscard]] const std::int16_t* row(std::int32_t qw) const {
+    const std::int32_t half = 1 << (n_ - 1);
+    return table_.data() + (static_cast<std::size_t>(qw + half) << n_) + half;
+  }
+
   [[nodiscard]] int bits() const { return n_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 

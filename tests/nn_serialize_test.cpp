@@ -15,7 +15,11 @@ namespace fs = std::filesystem;
 class SerializeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "scnn_ckpt_test";
+    // Unique per test case: ctest -j runs each case as its own process, and a
+    // shared directory lets concurrent cases clobber each other's m.ckpt.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("scnn_ckpt_test_") + info->name());
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

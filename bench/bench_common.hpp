@@ -5,9 +5,8 @@
 // machine-readable perf trajectory.
 #pragma once
 
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,110 +15,34 @@
 #include "data/synthetic_digits.hpp"
 #include "data/synthetic_objects.hpp"
 #include "hw/array_model.hpp"
+#include "nn/inference_session.hpp"
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
 #include "nn/trainer.hpp"
-
-namespace scnnbench_detail {
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
-
-inline std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-}  // namespace scnnbench_detail
+#include "obs/report.hpp"
 
 namespace scnn::bench {
 
-/// Machine-readable benchmark output: one flat JSON document per bench run,
-/// written as BENCH_<name>.json so perf numbers (ns/MAC, imgs/s, speedups)
-/// can be tracked across PRs by any script that reads
-/// { "benchmark", "meta": {k: v}, "metrics": [{"name","value","unit"}] }.
-class JsonReport {
- public:
-  explicit JsonReport(std::string benchmark_name) : name_(std::move(benchmark_name)) {}
+/// The project-wide JSON reporter lives in the obs library (one writer for
+/// BENCH_*.json, --metrics-out snapshots, and registry exports); bench code
+/// keeps the historical name.
+using obs::JsonReport;
 
-  void set_meta(const std::string& key, const std::string& value) {
-    meta_.push_back({key, '"' + scnnbench_detail::json_escape(value) + '"'});
-  }
-  void set_meta(const std::string& key, double value) {
-    meta_.push_back({key, scnnbench_detail::json_number(value)});
-  }
-  void add_metric(const std::string& name, double value, const std::string& unit) {
-    metrics_.push_back({name, value, unit});
-  }
+/// The one way bench binaries should create their report: the shared
+/// provenance meta (git_sha, hardware_threads) is pre-stamped so cross-PR
+/// tracking scripts can rely on every BENCH_*.json carrying it.
+[[nodiscard]] inline JsonReport stamped_report(const std::string& name) {
+  return obs::stamped_report(name);
+}
 
-  [[nodiscard]] std::string to_json() const {
-    std::string out = "{\n  \"benchmark\": \"" + scnnbench_detail::json_escape(name_) +
-                      "\",\n  \"meta\": {";
-    for (std::size_t i = 0; i < meta_.size(); ++i) {
-      out += (i ? ", " : "") + ('"' + scnnbench_detail::json_escape(meta_[i].key) +
-                                "\": " + meta_[i].json_value);
-    }
-    out += "},\n  \"metrics\": [\n";
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      out += "    {\"name\": \"" + scnnbench_detail::json_escape(metrics_[i].name) +
-             "\", \"value\": " + scnnbench_detail::json_number(metrics_[i].value) +
-             ", \"unit\": \"" + scnnbench_detail::json_escape(metrics_[i].unit) + "\"}";
-      out += i + 1 < metrics_.size() ? ",\n" : "\n";
-    }
-    out += "  ]\n}\n";
-    return out;
-  }
-
-  /// Write BENCH_<name or override>.json into the working directory; returns
-  /// the path, or "" (with a warning on stderr) if the file can't be opened.
-  std::string write_file(const std::string& path_override = "") const {
-    const std::string path = path_override.empty() ? "BENCH_" + name_ + ".json"
-                                                   : path_override;
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "JsonReport: cannot open %s for writing\n", path.c_str());
-      return "";
-    }
-    const std::string body = to_json();
-    std::fwrite(body.data(), 1, body.size(), f);
-    std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
-    return path;
-  }
-
- private:
-  struct Meta {
-    std::string key;
-    std::string json_value;  // pre-rendered (quoted string or number)
-  };
-  struct Metric {
-    std::string name;
-    double value;
-    std::string unit;
-  };
-  std::string name_;
-  std::vector<Meta> meta_;
-  std::vector<Metric> metrics_;
-};
+/// Same, plus the full engine configuration of the run (engine, n_bits,
+/// accum_bits, bit_parallel, threads).
+[[nodiscard]] inline JsonReport stamped_report(const std::string& name,
+                                               const nn::EngineConfig& cfg) {
+  JsonReport report = obs::stamped_report(name);
+  nn::stamp_engine_meta(report, cfg);
+  return report;
+}
 
 struct TrainedModel {
   nn::Network net;
@@ -177,7 +100,11 @@ inline TrainedModel train_object_model(int train_count, int test_count, int epoc
   return m;
 }
 
-/// Average |2^(N-1) w| over all conv weights of the model at precision N.
+/// Average |2^(N-1) w| over all conv weights of the model at precision N,
+/// weighting every weight code once. Used where no forward pass runs (the
+/// Table 3 / ablation sweeps); workload latency estimates should prefer
+/// measured_k_hist(), which weights each code by how often the convolution
+/// actually uses it.
 inline double avg_enable_cycles(nn::Network& net, int n_bits) {
   std::vector<std::int32_t> all;
   for (nn::Conv2D* c : net.conv_layers()) {
@@ -185,6 +112,29 @@ inline double avg_enable_cycles(nn::Network& net, int n_bits) {
     all.insert(all.end(), q.begin(), q.end());
   }
   return hw::average_enable_cycles(all);
+}
+
+/// Products-weighted enable-count histogram: forwards `batch` through the
+/// session under `cfg` with SC-cycle accounting on and returns the merged
+/// k-histogram of every product actually executed (k = |qw|, Sec. 3.2) —
+/// hist.mean() is the workload's average enable cycles, hist.max the worst
+/// product, hist.sum the total bit-serial cycle count. The session's engine
+/// and instrumentation state are restored before returning.
+inline obs::Pow2Hist measured_k_hist(nn::InferenceSession& session,
+                                     const nn::EngineConfig& cfg,
+                                     const nn::Tensor& batch) {
+  const std::optional<nn::EngineConfig> saved_cfg = session.config();
+  const bool saved_instr = session.instrumented();
+  session.set_engine(cfg);
+  session.set_instrumentation(true);
+  (void)session.forward(batch);
+  const obs::Pow2Hist hist = session.last_forward_stats().k_hist;
+  if (saved_cfg)
+    session.set_engine(*saved_cfg);
+  else
+    session.clear_engine();
+  session.set_instrumentation(saved_instr);
+  return hist;
 }
 
 }  // namespace scnn::bench

@@ -54,10 +54,6 @@ bool bit_identical(const Tensor& a, const Tensor& b) {
          std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(float)) == 0;
 }
 
-bool same_stats(const MacStats& a, const MacStats& b) {
-  return a.macs == b.macs && a.products == b.products && a.saturations == b.saturations;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,11 +89,26 @@ int main(int argc, char** argv) {
     session.set_im2col(true);
     const Tensor got = session.forward(data.images);
     const bool ok =
-        bit_identical(ref, got) && same_stats(ref_stats, session.last_forward_stats());
+        bit_identical(ref, got) && ref_stats == session.last_forward_stats();
     paths_identical = paths_identical && ok;
     std::printf("  %-8s im2col vs direct: logits+stats %s\n",
                 scnn::nn::to_string(kind).c_str(), ok ? "bit-identical" : "DIFFER");
   }
+
+  // --- Correctness gate 2: observability must not change the numbers. One
+  // instrumented pass also yields the products-weighted k-histogram the
+  // report carries (avg enable cycles as the hardware would see them).
+  session.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1});
+  const Tensor plain = session.forward(data.images);
+  session.set_instrumentation(true);
+  const Tensor traced = session.forward(data.images);
+  const scnn::obs::Pow2Hist k_hist = session.last_forward_stats().k_hist;
+  session.set_instrumentation(false);
+  const bool instr_identical = bit_identical(plain, traced);
+  std::printf("instrumented logits: %s (avg k %.2f, max %llu over %llu products)\n",
+              instr_identical ? "bit-identical to plain" : "DIFFER (FAIL)",
+              k_hist.mean(), static_cast<unsigned long long>(k_hist.max),
+              static_cast<unsigned long long>(k_hist.count));
 
   // --- Throughput: proposed engine, serial and 4 threads, both paths.
   session.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1});
@@ -134,11 +145,9 @@ int main(int argc, char** argv) {
   std::printf("im2col speedup vs direct: %.2fx serial, %.2fx at 4 threads\n",
               speedup_serial, speedup_t4);
 
-  scnn::bench::JsonReport report("conv");
-  report.set_meta("engine", "proposed");
-  report.set_meta("n_bits", static_cast<double>(kBits));
+  scnn::bench::JsonReport report = scnn::bench::stamped_report(
+      "conv", {.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1});
   report.set_meta("images", static_cast<double>(images));
-  report.set_meta("hardware_threads", static_cast<double>(hw));
   report.set_meta("macs_per_pass", static_cast<double>(work.macs));
   report.add_metric("direct_serial_imgs_per_s", 1000.0 * images / ms[0][0], "imgs/s");
   report.add_metric("direct_t4_imgs_per_s", 1000.0 * images / ms[0][1], "imgs/s");
@@ -150,6 +159,8 @@ int main(int argc, char** argv) {
                     1e6 * ms[0][0] / static_cast<double>(work.macs), "ns/MAC");
   report.add_metric("speedup_im2col_vs_direct_serial", speedup_serial, "x");
   report.add_metric("speedup_im2col_vs_direct_t4", speedup_t4, "x");
+  report.add_metric("avg_enable_cycles", k_hist.mean(), "cycles");
+  report.add_metric("max_enable_cycles", static_cast<double>(k_hist.max), "cycles");
   report.write_file();
 
   if (!paths_identical) {
@@ -158,6 +169,10 @@ int main(int argc, char** argv) {
   }
   if (!threaded_identical) {
     std::printf("FAIL: threaded im2col logits differ from serial\n");
+    return 1;
+  }
+  if (!instr_identical) {
+    std::printf("FAIL: instrumented logits differ from uninstrumented\n");
     return 1;
   }
   std::printf("PASS: all equivalence assertions hold\n");

@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
   CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
-  scnn::bench::JsonReport report("micro");
+  scnn::bench::JsonReport report = scnn::bench::stamped_report("micro");
   for (const auto& run : reporter.runs) {
     if (run.error_occurred) continue;
     report.add_metric(run.benchmark_name(), run.GetAdjustedRealTime(),

@@ -12,6 +12,12 @@
 
 namespace scnn::common {
 
+/// Empty-stats contract: with no samples recorded (empty() true), EVERY
+/// accessor returns 0.0 — including min() and max(), even though the
+/// internal extrema start at +/-infinity so the first add() wins every
+/// comparison. 0.0 is a sentinel, not a sample: use count()/empty() to tell
+/// "no data" apart from "a sample equal to 0.0". variance()/stddev() also
+/// return 0.0 for a single sample (no degrees of freedom).
 class RunningStats {
  public:
   void add(double x) {
@@ -38,6 +44,7 @@ class RunningStats {
   }
 
   [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;

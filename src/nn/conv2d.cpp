@@ -41,6 +41,8 @@ Tensor Conv2D::forward(const Tensor& input) {
   if (input.c() != in_ch_) throw std::invalid_argument("Conv2D: channel mismatch");
   cached_input_ = input;
   stats_ = MacStats{};
+  // mac_count() is per image and already counts Z*K*K products per output.
+  last_products_ = static_cast<std::uint64_t>(input.n()) * dims_for(input).mac_count();
   if (!engine_) return forward_float(input);
   return im2col_ ? forward_quantized_im2col(input) : forward_quantized_direct(input);
 }
@@ -155,6 +157,7 @@ Tensor Conv2D::forward_quantized_im2col(const Tensor& x) {
     const std::span<std::int64_t> accs = arena.take<std::int64_t>(
         static_cast<std::size_t>(C));
     MacStats local;
+    local.detail = cycle_detail_;
     for (std::int64_t row = lo; row < hi; ++row) {
       const int n = static_cast<int>(row / R);
       const int r = static_cast<int>(row % R);
@@ -236,6 +239,7 @@ Tensor Conv2D::forward_quantized_direct(const Tensor& x) {
   common::parallel_for(pool_, rows, [&](std::int64_t lo, std::int64_t hi, int shard) {
     std::vector<std::int32_t> gather(dd);
     MacStats local;
+    local.detail = cycle_detail_;
     for (std::int64_t row = lo; row < hi; ++row) {
       const int n = static_cast<int>(row / (static_cast<std::int64_t>(out_ch_) * R));
       const int m = static_cast<int>(row / R % out_ch_);

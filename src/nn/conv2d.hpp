@@ -66,6 +66,19 @@ class Conv2D final : public Layer {
   /// merged in shard order; zeroed by float-mode forwards).
   [[nodiscard]] const MacStats& last_forward_stats() const { return stats_; }
 
+  /// Toggle SC-cycle accounting: when on, quantized forwards additionally
+  /// fill last_forward_stats().k_hist with every product's enable count
+  /// k = |qw| (Sec. 3.2). Off by default — the extra per-row pass is skipped
+  /// entirely, keeping the im2col hot path at its uninstrumented speed.
+  void set_cycle_accounting(bool on) { cycle_detail_ = on; }
+  [[nodiscard]] bool cycle_accounting() const { return cycle_detail_; }
+
+  /// Products of the last forward pass in either mode (float forwards do
+  /// the same multiplies the engine path counts).
+  [[nodiscard]] std::uint64_t last_forward_products() const override {
+    return last_products_;
+  }
+
   /// Compute power-of-two weight/activation scales from the current weights
   /// and a representative input batch (float domain).
   void calibrate_scales(const Tensor& representative_input);
@@ -115,7 +128,9 @@ class Conv2D final : public Layer {
   const MacEngine* engine_ = nullptr;
   common::ThreadPool* pool_ = nullptr;
   bool im2col_ = true;
+  bool cycle_detail_ = false;
   MacStats stats_;
+  std::uint64_t last_products_ = 0;
   float weight_scale_ = 1.0f;
   float act_scale_ = 1.0f;
   Tensor cached_input_;

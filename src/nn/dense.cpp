@@ -50,6 +50,7 @@ Tensor Dense::forward(const Tensor& input) {
   if (input.features() != static_cast<std::size_t>(in_))
     throw std::invalid_argument("Dense: feature-count mismatch");
   cached_input_ = input;
+  last_products_ = static_cast<std::uint64_t>(input.n()) * out_ * in_;
   Tensor y(input.n(), out_, 1, 1);
   // One item = one (sample, output-neuron) pair; every dot product is
   // independent, so the sharded pass is bit-identical to the serial one.

@@ -43,8 +43,15 @@ class Dense final : public Layer {
   [[nodiscard]] int in_features() const { return in_; }
   [[nodiscard]] int out_features() const { return out_; }
 
+  /// Float MAC products of the last forward pass (n * out * in), for the
+  /// per-layer forward traces.
+  [[nodiscard]] std::uint64_t last_forward_products() const override {
+    return last_products_;
+  }
+
  private:
   int in_, out_;
+  std::uint64_t last_products_ = 0;
   common::ThreadPool* pool_ = nullptr;
   Parameter weight_;  // (out, in, 1, 1)
   Parameter bias_;    // (out, 1, 1, 1)

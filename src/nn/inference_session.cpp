@@ -19,6 +19,7 @@ void InferenceSession::set_engine(const EngineConfig& cfg) {
   cfg_ = cfg;
   set_conv_engine(net_, engine_);
   set_threads(cfg.threads);
+  set_instrumentation(cfg.instrument);
 }
 
 void InferenceSession::clear_engine() {
@@ -42,6 +43,27 @@ void InferenceSession::set_im2col(bool on) {
 
 void InferenceSession::calibrate(const Tensor& calibration_batch) {
   calibrate_network(net_, calibration_batch);
+}
+
+void InferenceSession::set_instrumentation(bool on) {
+  instrumented_ = on;
+  if (on) {
+    net_.set_instrumentation(&tracer(), &metrics());
+    set_conv_cycle_accounting(net_, true);
+  } else {
+    net_.set_instrumentation(nullptr, nullptr);
+    set_conv_cycle_accounting(net_, false);
+  }
+}
+
+obs::Registry& InferenceSession::metrics() {
+  if (!metrics_) metrics_ = std::make_unique<obs::Registry>();
+  return *metrics_;
+}
+
+obs::Tracer& InferenceSession::tracer() {
+  if (!tracer_) tracer_ = std::make_unique<obs::Tracer>();
+  return *tracer_;
 }
 
 MacStats InferenceSession::last_forward_stats() const {

@@ -25,6 +25,8 @@
 #include "nn/mac_engine.hpp"
 #include "nn/network.hpp"
 #include "nn/quantize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scnn::nn {
 
@@ -78,6 +80,20 @@ class InferenceSession {
   /// (zeros in float mode).
   [[nodiscard]] MacStats last_forward_stats() const;
 
+  /// Toggle observability: per-layer trace spans, the forward.* / mac.* /
+  /// sc.* metrics, and conv SC-cycle accounting (MacStats::detail). Off by
+  /// default and applied from cfg.instrument on set_engine(); when off, the
+  /// forward path is exactly the uninstrumented one. The session's registry
+  /// and tracer survive toggling off, so their contents stay readable.
+  /// Logits are bit-identical either way.
+  void set_instrumentation(bool on);
+  [[nodiscard]] bool instrumented() const { return instrumented_; }
+
+  /// The session-owned metric registry / tracer (created on first use; held
+  /// behind unique_ptr so the session stays movable).
+  [[nodiscard]] obs::Registry& metrics();
+  [[nodiscard]] obs::Tracer& tracer();
+
  private:
   Network net_;
   EnginePool engines_;
@@ -85,6 +101,11 @@ class InferenceSession {
   std::optional<EngineConfig> cfg_;
   const MacEngine* engine_ = nullptr;
   bool im2col_ = true;
+  bool instrumented_ = false;
+  // Registry/Tracer contain mutexes (non-movable), so the session holds them
+  // behind unique_ptr; their addresses are stable across session moves.
+  std::unique_ptr<obs::Registry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 }  // namespace scnn::nn

@@ -43,6 +43,11 @@ class Layer {
   /// Learnable parameters (empty for pooling/activation layers).
   virtual std::vector<Parameter*> parameters() { return {}; }
 
+  /// Multiply-accumulate products of the last forward pass, float and
+  /// quantized modes alike (0 for layers that do no MACs). Feeds the
+  /// per-layer forward traces of the observability layer.
+  [[nodiscard]] virtual std::uint64_t last_forward_products() const { return 0; }
+
   /// Worker pool for the forward pass (nullptr = serial). The pool is not
   /// owned and must outlive the layer's forward calls. Layers that gain
   /// nothing from sharding ignore it. The threaded forward pass is

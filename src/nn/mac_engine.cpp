@@ -1,13 +1,28 @@
 #include "nn/mac_engine.hpp"
 
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
 #include "common/fixed_point.hpp"
 #include "core/scmac.hpp"
+#include "obs/report.hpp"
 
 namespace scnn::nn {
+
+namespace {
+
+/// Bin each weight code's enable count k = |qw| into the stats histogram,
+/// `times` products per code (one weight row drives `times` output lanes in
+/// mac_rows). O(d) per call — amortized over the tile it accounts for.
+void account_enable_cycles(std::span<const std::int32_t> w, std::uint64_t times,
+                           obs::Pow2Hist& k_hist) {
+  for (const std::int32_t q : w)
+    k_hist.record(static_cast<std::uint64_t>(std::abs(q)), times);
+}
+
+}  // namespace
 
 std::string to_string(EngineKind kind) {
   switch (kind) {
@@ -80,6 +95,7 @@ std::int64_t LutEngine::mac_impl_(std::span<const std::int32_t> w,
     ++stats->macs;
     stats->products += w.size();
     stats->saturations += sat;
+    if (stats->detail) account_enable_cycles(w, 1, stats->k_hist);
   }
   return acc;
 }
@@ -165,6 +181,7 @@ void LutEngine::mac_rows(std::span<const std::int32_t> w,
   stats.macs += tile;
   stats.products += tile * d;
   stats.saturations += sat;
+  if (stats.detail && tile > 0) account_enable_cycles(w, tile, stats.k_hist);
 }
 
 std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg) {
@@ -188,6 +205,14 @@ std::unique_ptr<MacEngine> make_engine(const std::string& kind, int n_bits,
   return make_engine(EngineConfig{.kind = engine_kind_from_string(kind),
                                   .n_bits = n_bits,
                                   .accum_bits = accum_bits});
+}
+
+void stamp_engine_meta(obs::JsonReport& report, const EngineConfig& cfg) {
+  report.set_meta("engine", to_string(cfg.kind));
+  report.set_meta("n_bits", static_cast<double>(cfg.n_bits));
+  report.set_meta("accum_bits", static_cast<double>(cfg.accum_bits));
+  report.set_meta("bit_parallel", static_cast<double>(cfg.bit_parallel));
+  report.set_meta("threads", static_cast<double>(cfg.resolved_threads()));
 }
 
 }  // namespace scnn::nn

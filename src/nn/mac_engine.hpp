@@ -20,7 +20,12 @@
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "sc/mult_lut.hpp"
+
+namespace scnn::obs {
+class JsonReport;
+}
 
 namespace scnn::nn {
 
@@ -44,6 +49,9 @@ struct EngineConfig {
   int bit_parallel = 1;  ///< bit-parallel column degree b (Sec. 2.5); the LUT
                          ///< engine is exact for any b, schedulers use it
   int threads = 1;       ///< inference worker threads; 0 = one per hw thread
+  bool instrument = false;  ///< per-layer traces + SC-cycle accounting; the
+                            ///< session applies this on set_engine() (and
+                            ///< set_instrumentation() toggles it afterwards)
 
   /// Supported precision window. The LUT is 2^(2N) int16 entries, so N = 12
   /// (32 MiB) is the practical ceiling; N = 2 is sign + one magnitude bit.
@@ -65,18 +73,49 @@ struct EngineConfig {
 
 /// Per-engine work counters for one forward pass. Per-thread instances are
 /// merged in shard order, so totals are independent of scheduling.
+///
+/// SC-cycle accounting (the paper's data-dependent latency, Sec. 3.2): each
+/// product of the proposed multiplier takes k = |2^(N-1) w| = |qw| enable
+/// cycles. When `detail` is set before handing the stats to an engine, the
+/// engine bins every product's k into `k_hist` — so k_hist.sum is the summed
+/// per-product cycle count, k_hist.max the worst single product, and the
+/// power-of-two buckets give the distribution Fig. 7 argues from. With
+/// `detail` false (the default) engines skip the extra per-row pass and the
+/// hot path stays exactly as fast as before.
 struct MacStats {
   std::uint64_t macs = 0;         ///< mac() calls (output elements)
   std::uint64_t products = 0;     ///< code pairs multiplied
   std::uint64_t saturations = 0;  ///< accumulator clamp events
 
+  bool detail = false;     ///< request k accounting below (set by the caller)
+  obs::Pow2Hist k_hist;    ///< per-product enable counts k (detail mode only)
+
   MacStats& operator+=(const MacStats& o) {
     macs += o.macs;
     products += o.products;
     saturations += o.saturations;
+    detail = detail || o.detail;
+    k_hist += o.k_hist;
     return *this;
   }
+
+  bool operator==(const MacStats&) const = default;
 };
+
+/// Estimated MAC-array cycles to stream `sum_k` total enable cycles at
+/// bit-parallel column degree b (Sec. 2.5): ceil(sum_k / b). Exact for
+/// b = 1; for b > 1 a lower bound that ignores per-product ceil rounding.
+[[nodiscard]] constexpr std::uint64_t estimated_sc_cycles(std::uint64_t sum_k,
+                                                          int bit_parallel) {
+  const auto b = static_cast<std::uint64_t>(bit_parallel < 1 ? 1 : bit_parallel);
+  return (sum_k + b - 1) / b;
+}
+
+/// Stamp the full engine configuration into a JSON report (engine, n_bits,
+/// accum_bits, bit_parallel, threads) — the provenance every BENCH_*.json
+/// and --metrics-out snapshot carries alongside obs::stamped_report()'s
+/// git SHA and hardware thread count.
+void stamp_engine_meta(obs::JsonReport& report, const EngineConfig& cfg);
 
 class MacEngine {
  public:
@@ -87,11 +126,17 @@ class MacEngine {
                                          std::span<const std::int32_t> x) const = 0;
 
   /// Same result as mac(w, x), additionally accumulating work counters into
-  /// `stats`. Base implementation counts calls/products only.
+  /// `stats` (and, in stats.detail mode, the per-product enable counts
+  /// k = |qw| — a property of the weight codes alone, so the base class can
+  /// account them for any engine).
   virtual std::int64_t mac(std::span<const std::int32_t> w,
                            std::span<const std::int32_t> x, MacStats& stats) const {
     ++stats.macs;
     stats.products += w.size();
+    if (stats.detail)
+      for (const std::int32_t q : w)
+        stats.k_hist.record(static_cast<std::uint64_t>(q < 0 ? -static_cast<std::int64_t>(q)
+                                                             : q));
     return mac(w, x);
   }
 

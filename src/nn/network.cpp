@@ -2,17 +2,82 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
+#include <string>
 
 #include "nn/activation.hpp"
 #include "nn/dense.hpp"
 #include "nn/pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scnn::nn {
 
 Tensor Network::forward(const Tensor& input) {
+  if (instrumented()) return forward_instrumented_(input);
   Tensor cur = input;
   for (auto& l : layers_) cur = l->forward(cur);
+  return cur;
+}
+
+void Network::set_instrumentation(obs::Tracer* tracer, obs::Registry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
+Tensor Network::forward_instrumented_(const Tensor& input) {
+  const auto pass_t0 = obs::Clock::now();
+  Tensor cur = input;
+  std::uint64_t pass_products = 0;
+  MacStats pass_stats;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Layer& l = *layers_[i];
+    const auto t0 = obs::Clock::now();
+    cur = l.forward(cur);
+    const auto t1 = obs::Clock::now();
+
+    const std::string label = l.name() + "#" + std::to_string(i);
+    const std::uint64_t products = l.last_forward_products();
+    pass_products += products;
+    std::vector<obs::TraceArg> args;
+    args.push_back({"products", static_cast<double>(products)});
+    if (const auto* conv = dynamic_cast<const Conv2D*>(&l)) {
+      const MacStats& s = conv->last_forward_stats();
+      pass_stats += s;
+      args.push_back({"macs", static_cast<double>(s.macs)});
+      args.push_back({"saturations", static_cast<double>(s.saturations)});
+      if (s.detail) {
+        args.push_back({"sc_cycles", static_cast<double>(s.k_hist.sum)});
+        args.push_back({"max_k", static_cast<double>(s.k_hist.max)});
+      }
+    }
+    if (tracer_) tracer_->record(label, t0, t1, std::move(args));
+    if (metrics_) {
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+      metrics_->counter("time." + label + ".ns").add(ns, metrics_->this_shard());
+    }
+  }
+  const auto pass_t1 = obs::Clock::now();
+  if (tracer_)
+    tracer_->record("forward", pass_t0, pass_t1,
+                    {{"images", static_cast<double>(input.n())},
+                     {"products", static_cast<double>(pass_products)}});
+  if (metrics_) {
+    const int shard = metrics_->this_shard();
+    metrics_->counter("forward.passes").inc(shard);
+    metrics_->counter("forward.images").add(static_cast<std::uint64_t>(input.n()), shard);
+    metrics_->counter("mac.products").add(pass_products, shard);
+    metrics_->counter("mac.macs").add(pass_stats.macs, shard);
+    metrics_->counter("mac.saturations").add(pass_stats.saturations, shard);
+    if (pass_stats.detail) {
+      metrics_->counter("sc.cycles").add(pass_stats.k_hist.sum, shard);
+      metrics_->histogram("sc.k").record_hist(pass_stats.k_hist, shard);
+    }
+    metrics_->gauge("forward.last_ms")
+        .set(std::chrono::duration<double, std::milli>(pass_t1 - pass_t0).count());
+  }
   return cur;
 }
 

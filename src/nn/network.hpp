@@ -12,6 +12,11 @@
 #include "nn/conv2d.hpp"
 #include "nn/layer.hpp"
 
+namespace scnn::obs {
+class Registry;
+class Tracer;
+}  // namespace scnn::obs
+
 namespace scnn::nn {
 
 class Network {
@@ -42,6 +47,17 @@ class Network {
   /// The pool is borrowed, not owned; it must outlive forward calls.
   void set_thread_pool(common::ThreadPool* pool);
 
+  /// Attach observability sinks (either may be nullptr; both nullptr turns
+  /// instrumentation off). With a sink attached, every forward pass records
+  /// one span per layer ("<name>#<index>", with products / MAC / SC-cycle
+  /// args) plus a whole-pass "forward" span into the tracer, and updates the
+  /// forward.* / mac.* / sc.* metrics in the registry. predict() and
+  /// accuracy() route through forward(), so they are traced too. Sinks are
+  /// borrowed, not owned. The instrumented pass calls the exact same layer
+  /// forwards, so logits are bit-identical to the uninstrumented ones.
+  void set_instrumentation(obs::Tracer* tracer, obs::Registry* metrics);
+  [[nodiscard]] bool instrumented() const { return tracer_ || metrics_; }
+
   /// Argmax class per sample.
   [[nodiscard]] std::vector<int> predict(const Tensor& input);
 
@@ -58,7 +74,11 @@ class Network {
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }
 
  private:
+  Tensor forward_instrumented_(const Tensor& input);
+
   std::vector<std::unique_ptr<Layer>> layers_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
 };
 
 /// LeNet-style MNIST-class topology (conv5x5 -> pool -> conv5x5 -> pool ->

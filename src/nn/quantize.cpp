@@ -30,6 +30,10 @@ void set_conv_im2col(Network& net, bool on) {
   for (Conv2D* c : net.conv_layers()) c->set_im2col(on);
 }
 
+void set_conv_cycle_accounting(Network& net, bool on) {
+  for (Conv2D* c : net.conv_layers()) c->set_cycle_accounting(on);
+}
+
 const MacEngine* EnginePool::get(const EngineConfig& cfg) {
   cfg.validate();
   const std::string key = cfg.label() + "/A=" + std::to_string(cfg.accum_bits);

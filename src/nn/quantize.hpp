@@ -26,6 +26,12 @@ void set_conv_engine(Network& net, const MacEngine* engine);
 /// produce bit-identical logits and MacStats.
 void set_conv_im2col(Network& net, bool on);
 
+/// Toggle SC-cycle accounting (MacStats::detail) on every convolution layer:
+/// quantized forwards then bin each product's enable count k = |qw| into
+/// last_forward_stats().k_hist (Sec. 3.2). Off keeps the hot path at its
+/// uninstrumented speed.
+void set_conv_cycle_accounting(Network& net, bool on);
+
 /// Owns the engines for a sweep so layers can borrow raw pointers safely.
 /// Engines are deduplicated on (kind, n_bits, accum_bits) — the runtime
 /// fields of EngineConfig (threads, bit_parallel) do not change the LUT.

@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace scnn::obs {
+
+Counter::Counter(int shards) : slots_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
+
+std::uint64_t Counter::total() const {
+  std::uint64_t t = 0;
+  for (const Slot& s : slots_) t += s.v.load(std::memory_order_relaxed);
+  return t;
+}
+
+void Counter::reset() {
+  for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(int shards) : slots_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
+
+void Histogram::bump_max_(std::atomic<std::uint64_t>& m, std::uint64_t v) {
+  std::uint64_t cur = m.load(std::memory_order_relaxed);
+  while (v > cur && !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::record(std::uint64_t v, int shard, std::uint64_t times) {
+  if (times == 0) return;
+  Slot& s = slots_[slot_(shard)];
+  s.buckets[static_cast<std::size_t>(pow2_bucket(v))].fetch_add(times,
+                                                               std::memory_order_relaxed);
+  s.count.fetch_add(times, std::memory_order_relaxed);
+  s.sum.fetch_add(v * times, std::memory_order_relaxed);
+  bump_max_(s.max, v);
+}
+
+void Histogram::record_hist(const Pow2Hist& h, int shard) {
+  if (h.count == 0) return;
+  Slot& s = slots_[slot_(shard)];
+  for (int i = 0; i < kHistBuckets; ++i) {
+    const std::uint64_t b = h.buckets[static_cast<std::size_t>(i)];
+    if (b) s.buckets[static_cast<std::size_t>(i)].fetch_add(b, std::memory_order_relaxed);
+  }
+  s.count.fetch_add(h.count, std::memory_order_relaxed);
+  s.sum.fetch_add(h.sum, std::memory_order_relaxed);
+  bump_max_(s.max, h.max);
+}
+
+Pow2Hist Histogram::snapshot() const {
+  Pow2Hist out;
+  for (const Slot& s : slots_) {  // fixed shard-index order
+    for (int i = 0; i < kHistBuckets; ++i)
+      out.buckets[static_cast<std::size_t>(i)] +=
+          s.buckets[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const std::uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (Slot& s : slots_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry::Registry(int shards) : shards_(shards < 1 ? 1 : shards) {}
+
+int Registry::this_shard() const {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % shards_;
+}
+
+Registry::Entry& Registry::find_or_create_(std::string_view name, MetricKind kind) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      if (e.kind != kind)
+        throw std::invalid_argument("Registry: metric '" + e.name +
+                                    "' already registered with a different kind");
+      return e;
+    }
+  }
+  Entry e{.name = std::string(name), .kind = kind, .counter = nullptr, .gauge = nullptr,
+          .histogram = nullptr};
+  switch (kind) {
+    case MetricKind::kCounter: e.counter = std::make_unique<Counter>(shards_); break;
+    case MetricKind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram: e.histogram = std::make_unique<Histogram>(shards_); break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *find_or_create_(name, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *find_or_create_(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return *find_or_create_(name, MetricKind::kHistogram).histogram;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSnapshot m{.name = e.name, .kind = e.kind, .value = 0.0, .hist = {}};
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        m.value = static_cast<double>(e.counter->total());
+        break;
+      case MetricKind::kGauge:
+        m.value = e.gauge->get();
+        break;
+      case MetricKind::kHistogram:
+        m.hist = e.histogram->snapshot();
+        m.value = static_cast<double>(m.hist.count);
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    switch (e.kind) {
+      case MetricKind::kCounter: e.counter->reset(); break;
+      case MetricKind::kGauge: e.gauge->reset(); break;
+      case MetricKind::kHistogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace scnn::obs

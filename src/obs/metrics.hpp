@@ -1,0 +1,214 @@
+// Low-overhead runtime metrics for the inference stack.
+//
+// Three metric shapes cover everything the serving runtime needs to report:
+// Counter (monotonic event counts), Gauge (last-written level), and Histogram
+// (power-of-two buckets — the natural binning for the proposed multiplier's
+// per-product enable counts k = |2^(N-1) w|, whose whole point is that the
+// distribution hugs zero, Sec. 2.2/Fig. 7).
+//
+// Concurrency model: Counter and Histogram are sharded. A writer picks a
+// shard (the deterministic shard index of common::parallel_for, or the
+// per-thread Registry::this_shard() fallback) and touches only cache-line-
+// padded relaxed atomics of that slot — no locks, no contended lines on the
+// hot path. Readers merge the shards in increasing shard-index order, so a
+// snapshot of an instrumented run is a deterministic function of what each
+// shard recorded, never of thread timing. All recorded values are integers
+// (times are nanosecond counts), which keeps merged totals bit-reproducible
+// at any thread count.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scnn::obs {
+
+/// Bucket count of every power-of-two histogram: bucket 0 holds exact zeros,
+/// bucket i in [1, 32] holds [2^(i-1), 2^i), and the last bucket catches
+/// everything >= 2^32.
+inline constexpr int kHistBuckets = 34;
+
+/// Bucket index of `v` (0 for 0; else 1 + floor(log2 v), clamped).
+[[nodiscard]] constexpr int pow2_bucket(std::uint64_t v) {
+  if (v == 0) return 0;
+  const int w = std::bit_width(v);
+  return w < kHistBuckets ? w : kHistBuckets - 1;
+}
+
+/// Inclusive lower edge of a bucket (0, 1, 2, 4, 8, ...).
+[[nodiscard]] constexpr std::uint64_t pow2_bucket_lo(int bucket) {
+  return bucket <= 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+}
+
+/// Exclusive upper edge of a bucket; UINT64_MAX for the overflow bucket.
+[[nodiscard]] constexpr std::uint64_t pow2_bucket_hi(int bucket) {
+  if (bucket <= 0) return 1;
+  if (bucket >= kHistBuckets - 1) return ~std::uint64_t{0};
+  return std::uint64_t{1} << bucket;
+}
+
+/// Plain (non-atomic) power-of-two histogram value: the snapshot type of the
+/// sharded Histogram below, and the k-histogram embedded in nn::MacStats.
+/// All fields are integers, so merges are exact and order-independent.
+struct Pow2Hist {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+  std::uint64_t count = 0;  ///< total recorded values
+  std::uint64_t sum = 0;    ///< exact sum of recorded values
+  std::uint64_t max = 0;    ///< largest recorded value
+
+  void record(std::uint64_t v, std::uint64_t times = 1) {
+    if (times == 0) return;
+    buckets[static_cast<std::size_t>(pow2_bucket(v))] += times;
+    count += times;
+    sum += v * times;
+    if (v > max) max = v;
+  }
+
+  Pow2Hist& operator+=(const Pow2Hist& o) {
+    for (int i = 0; i < kHistBuckets; ++i)
+      buckets[static_cast<std::size_t>(i)] += o.buckets[static_cast<std::size_t>(i)];
+    count += o.count;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+    return *this;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  bool operator==(const Pow2Hist&) const = default;
+};
+
+/// Monotonic sharded counter. add() touches one relaxed atomic in the
+/// caller's shard; total() sums shards in index order.
+class Counter {
+ public:
+  explicit Counter(int shards);
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t v, int shard) {
+    slots_[slot_(shard)].v.fetch_add(v, std::memory_order_relaxed);
+  }
+  void inc(int shard) { add(1, shard); }
+
+  [[nodiscard]] std::uint64_t total() const;
+  void reset();
+  [[nodiscard]] int shards() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  [[nodiscard]] std::size_t slot_(int shard) const {
+    return static_cast<std::size_t>(shard) % slots_.size();
+  }
+  std::vector<Slot> slots_;
+};
+
+/// Last-written level (e.g. wall ms of the most recent pass). Gauges are
+/// written from the forward entry thread, so a single atomic suffices.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double get() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Sharded power-of-two histogram; snapshot() merges shards in index order
+/// into a plain Pow2Hist.
+class Histogram {
+ public:
+  explicit Histogram(int shards);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v, int shard, std::uint64_t times = 1);
+  /// Bulk-merge an already-binned histogram (e.g. a MacStats k-histogram)
+  /// into one shard.
+  void record_hist(const Pow2Hist& h, int shard);
+
+  [[nodiscard]] Pow2Hist snapshot() const;
+  void reset();
+  [[nodiscard]] int shards() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  static void bump_max_(std::atomic<std::uint64_t>& m, std::uint64_t v);
+  [[nodiscard]] std::size_t slot_(int shard) const {
+    return static_cast<std::size_t>(shard) % slots_.size();
+  }
+  std::vector<Slot> slots_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One merged metric in a registry snapshot.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  ///< counter total or gauge level
+  Pow2Hist hist;       ///< histogram metrics only
+};
+
+/// Named metric registry. Metrics are created on first use, keep stable
+/// addresses for the registry's lifetime, and snapshot in registration order.
+/// Creation takes a lock; recording through the returned references is
+/// lock-free. One registry per InferenceSession by default; standalone tools
+/// can own their own.
+class Registry {
+ public:
+  /// `shards` bounds concurrent writer slots (indices are taken modulo it).
+  explicit Registry(int shards = kDefaultShards);
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Stable per-thread shard index in [0, shards()) for writers that are not
+  /// inside a parallel_for (which should pass its own shard index instead).
+  [[nodiscard]] int this_shard() const;
+  [[nodiscard]] int shards() const { return shards_; }
+
+  /// Merged view of every metric, in registration order; shard merges run in
+  /// increasing shard-index order (see the header comment).
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zero every metric, keeping registrations (and returned references).
+  void reset();
+
+  static constexpr int kDefaultShards = 64;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create_(std::string_view name, MetricKind kind);
+
+  int shards_;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace scnn::obs

@@ -1,0 +1,116 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace scnn::obs {
+
+namespace detail {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace detail
+
+std::string JsonReport::to_json() const {
+  std::string out =
+      "{\n  \"benchmark\": \"" + detail::json_escape(name_) + "\",\n  \"meta\": {";
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    out += (i ? ", " : "") +
+           ('"' + detail::json_escape(meta_[i].key) + "\": " + meta_[i].json_value);
+  }
+  out += "},\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    out += "    {\"name\": \"" + detail::json_escape(metrics_[i].name) +
+           "\", \"value\": " + detail::json_number(metrics_[i].value) +
+           ", \"unit\": \"" + detail::json_escape(metrics_[i].unit) + "\"}";
+    out += i + 1 < metrics_.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string JsonReport::write_file(const std::string& path_override) const {
+  const std::string path =
+      path_override.empty() ? "BENCH_" + name_ + ".json" : path_override;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "JsonReport: cannot open %s for writing\n", path.c_str());
+    return "";
+  }
+  const std::string body = to_json();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return path;
+}
+
+const char* git_sha() {
+#ifdef SCNN_GIT_SHA
+  return SCNN_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+JsonReport stamped_report(const std::string& name) {
+  JsonReport report(name);
+  report.set_meta("git_sha", std::string(git_sha()));
+  report.set_meta("hardware_threads",
+                  static_cast<double>(std::thread::hardware_concurrency()));
+  return report;
+}
+
+void append_registry(const Registry& registry, JsonReport& report) {
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        report.add_metric(m.name, m.value, "count");
+        break;
+      case MetricKind::kGauge:
+        report.add_metric(m.name, m.value, "value");
+        break;
+      case MetricKind::kHistogram:
+        report.add_metric(m.name + "/count", static_cast<double>(m.hist.count), "count");
+        report.add_metric(m.name + "/sum", static_cast<double>(m.hist.sum), "total");
+        report.add_metric(m.name + "/mean", m.hist.mean(), "mean");
+        report.add_metric(m.name + "/max", static_cast<double>(m.hist.max), "max");
+        for (int b = 0; b < kHistBuckets; ++b) {
+          const std::uint64_t n = m.hist.buckets[static_cast<std::size_t>(b)];
+          if (n)
+            report.add_metric(m.name + "/bucket/" + std::to_string(pow2_bucket_lo(b)),
+                              static_cast<double>(n), "count");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace scnn::obs

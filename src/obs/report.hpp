@@ -1,0 +1,77 @@
+// Machine-readable run reports.
+//
+// JsonReport is the one JSON writer of the project: every bench binary's
+// BENCH_<name>.json, the CLI's --metrics-out snapshots, and the registry
+// exporter all emit the same flat shape,
+//
+//   { "benchmark": "...", "meta": {k: v, ...},
+//     "metrics": [{"name": "...", "value": N, "unit": "..."}, ...] }
+//
+// so one script can track perf and telemetry across PRs regardless of which
+// binary produced the file. stamped_report() pre-fills the provenance meta
+// (git SHA, hardware thread count) every report should carry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace scnn::obs {
+
+namespace detail {
+[[nodiscard]] std::string json_escape(const std::string& s);
+[[nodiscard]] std::string json_number(double v);
+}  // namespace detail
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string benchmark_name) : name_(std::move(benchmark_name)) {}
+
+  void set_meta(const std::string& key, const std::string& value) {
+    meta_.push_back({key, '"' + detail::json_escape(value) + '"'});
+  }
+  void set_meta(const std::string& key, double value) {
+    meta_.push_back({key, detail::json_number(value)});
+  }
+  void add_metric(const std::string& name, double value, const std::string& unit) {
+    metrics_.push_back({name, value, unit});
+  }
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write BENCH_<name or override>.json into the working directory; returns
+  /// the path, or "" (with a warning on stderr) if the file can't be opened.
+  std::string write_file(const std::string& path_override = "") const;
+
+ private:
+  struct Meta {
+    std::string key;
+    std::string json_value;  // pre-rendered (quoted string or number)
+  };
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string name_;
+  std::vector<Meta> meta_;
+  std::vector<Metric> metrics_;
+};
+
+/// Git SHA the binary was configured from ("unknown" outside a git
+/// checkout). Captured at CMake configure time, so re-run cmake after
+/// committing if exact provenance matters.
+[[nodiscard]] const char* git_sha();
+
+/// A JsonReport with the common provenance meta already stamped: git_sha and
+/// hardware_threads. Benches add their engine config via
+/// nn::stamp_engine_meta() on top.
+[[nodiscard]] JsonReport stamped_report(const std::string& name);
+
+/// Append a merged view of every registry metric. Counters and gauges become
+/// one metric each; histograms expand into <name>/count|sum|mean|max plus a
+/// <name>/bucket/<lo> count per non-empty bucket.
+void append_registry(const Registry& registry, JsonReport& report);
+
+}  // namespace scnn::obs

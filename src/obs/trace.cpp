@@ -1,0 +1,97 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/report.hpp"
+
+namespace scnn::obs {
+
+namespace {
+
+double us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+void Tracer::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  epoch_ = Clock::now();
+}
+
+void Tracer::record(std::string name, Clock::time_point t0, Clock::time_point t1,
+                    std::vector<TraceArg> args, int tid) {
+  TraceSpan span{.name = std::move(name), .ts_us = 0.0, .dur_us = us_between(t0, t1),
+                 .tid = tid, .args = std::move(args)};
+  const std::lock_guard<std::mutex> lock(mu_);
+  span.ts_us = us_between(epoch_, t0);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t Tracer::span_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string Tracer::to_trace_event_json(std::string_view process_name) const {
+  const std::vector<TraceSpan> spans = this->spans();
+  std::string out = "{\n\"traceEvents\": [\n";
+  // Process-name metadata event, then one complete ("X") event per span.
+  out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+         "\"args\": {\"name\": \"" +
+         detail::json_escape(std::string(process_name)) + "\"}}";
+  for (const TraceSpan& s : spans) {
+    out += ",\n{\"name\": \"" + detail::json_escape(s.name) +
+           "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " + std::to_string(s.tid) +
+           ", \"ts\": " + detail::json_number(s.ts_us) +
+           ", \"dur\": " + detail::json_number(s.dur_us);
+    if (!s.args.empty()) {
+      out += ", \"args\": {";
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        out += (i ? ", " : "") + ("\"" + detail::json_escape(s.args[i].key) +
+                                  "\": " + detail::json_number(s.args[i].value));
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return out;
+}
+
+bool Tracer::write_trace_event_json(const std::string& path,
+                                    std::string_view process_name) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "Tracer: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = to_trace_event_json(process_name);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!tracer_) return;
+  tracer_->record(std::move(name_), t0_, Clock::now(), std::move(args_), tid_);
+}
+
+void ScopedTimer::arg(std::string key, double value) {
+  if (!tracer_) return;
+  args_.push_back({std::move(key), value});
+}
+
+double ScopedTimer::elapsed_us() const {
+  if (!tracer_) return 0.0;
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0_).count();
+}
+
+}  // namespace scnn::obs

@@ -1,0 +1,90 @@
+// Forward-pass timeline capture: named spans with wall time and numeric
+// args, exportable as a chrome://tracing / Perfetto "trace_event" JSON file
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+//
+// A Tracer is attached to a Network/InferenceSession; every layer forward
+// becomes one complete ("ph":"X") event whose args carry the layer's MAC
+// work and SC-cycle accounting. Span timestamps are microseconds relative to
+// the tracer's epoch (construction or the last reset()), so a trace of one
+// forward pass loads directly into chrome://tracing or ui.perfetto.dev.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scnn::obs {
+
+using Clock = std::chrono::steady_clock;
+
+/// One numeric span argument ("products": 123456, ...).
+struct TraceArg {
+  std::string key;
+  double value = 0.0;
+};
+
+/// One complete event on the timeline.
+struct TraceSpan {
+  std::string name;
+  double ts_us = 0.0;   ///< start, microseconds since the tracer epoch
+  double dur_us = 0.0;  ///< duration, microseconds
+  int tid = 0;          ///< timeline row (0 = the forward entry thread)
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  Tracer() : epoch_(Clock::now()) {}
+
+  /// Drop all spans and re-anchor the epoch at now().
+  void reset();
+
+  void record(std::string name, Clock::time_point t0, Clock::time_point t1,
+              std::vector<TraceArg> args = {}, int tid = 0);
+
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Render all spans as a trace_event JSON document.
+  [[nodiscard]] std::string to_trace_event_json(std::string_view process_name = "scnn") const;
+
+  /// Write the trace_event JSON to `path`; returns false (with a warning on
+  /// stderr) if the file cannot be opened.
+  bool write_trace_event_json(const std::string& path,
+                              std::string_view process_name = "scnn") const;
+
+ private:
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+/// RAII span: starts timing at construction, records into the tracer at
+/// destruction. A null tracer makes every operation a no-op, so call sites
+/// can stay unconditional.
+class ScopedTimer {
+ public:
+  ScopedTimer(Tracer* tracer, std::string name, int tid = 0)
+      : tracer_(tracer), name_(std::move(name)), tid_(tid),
+        t0_(tracer ? Clock::now() : Clock::time_point{}) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Attach a numeric arg to the span-to-be (no-op without a tracer).
+  void arg(std::string key, double value);
+
+  [[nodiscard]] double elapsed_us() const;
+
+ private:
+  Tracer* tracer_;
+  std::string name_;
+  int tid_;
+  Clock::time_point t0_;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace scnn::obs

@@ -41,12 +41,45 @@ TEST(RunningStats, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(a.max_abs(), all.max_abs());
 }
 
+// The empty-stats contract (see the class comment): every accessor — min()
+// and max() included, whose internal extrema start at +/-infinity — returns
+// exactly 0.0 until the first add(); empty()/count() are the only way to
+// distinguish "no data" from a recorded 0.0.
 TEST(RunningStats, EmptyIsZero) {
   RunningStats s;
+  EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.count(), 0u);
   EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
   EXPECT_EQ(s.stddev(), 0.0);
   EXPECT_EQ(s.max_abs(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, FirstSampleDefinesExtrema) {
+  RunningStats s;
+  s.add(-2.5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.min(), -2.5);
+  EXPECT_DOUBLE_EQ(s.max(), -2.5);
+  EXPECT_EQ(s.variance(), 0.0);  // one sample: no degrees of freedom
+}
+
+TEST(RunningStats, MergeWithEmptyKeepsContract) {
+  RunningStats a, b;
+  a.merge(b);  // empty + empty stays empty
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  b.add(3.0);
+  a.merge(b);  // empty + data adopts the data (not the 0.0 sentinel)
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  RunningStats c;
+  b.merge(c);  // data + empty is a no-op
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
 }
 
 TEST(SplitMix64, DeterministicAndSpread) {

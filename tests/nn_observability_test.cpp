@@ -1,0 +1,224 @@
+// Integration tests of the observability layer wired through the NN stack:
+// engine-level k accounting (detail mode), the invariant that instrumented
+// forwards change nothing about the numbers, agreement between the per-layer
+// trace and the engine's MacStats totals, the registry metrics a session
+// records, and the trace_event JSON export.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/network.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace scnn::nn {
+namespace {
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(MacEngineDetail, KHistogramMatchesBruteForce) {
+  const auto engine = make_engine({.kind = EngineKind::kProposed, .n_bits = 6});
+  const std::vector<std::int32_t> w{-31, -1, 0, 5, 17, 30};
+  const std::vector<std::int32_t> x{1, -2, 3, 4, -5, 6};
+  MacStats stats;
+  stats.detail = true;
+  (void)engine->mac(w, x, stats);
+  obs::Pow2Hist expect;
+  for (const std::int32_t q : w)
+    expect.record(static_cast<std::uint64_t>(std::abs(q)));
+  EXPECT_EQ(stats.k_hist, expect);
+  EXPECT_EQ(stats.k_hist.sum, 31u + 1 + 0 + 5 + 17 + 30);
+  EXPECT_EQ(stats.products, w.size());
+}
+
+TEST(MacEngineDetail, MacRowsAccountsLikePerElement) {
+  const auto engine = make_engine({.kind = EngineKind::kProposed, .n_bits = 8});
+  const std::vector<std::int32_t> w{-100, 3, 0, 77};
+  std::vector<std::int32_t> patches;
+  for (int t = 0; t < 3; ++t)
+    for (std::size_t i = 0; i < w.size(); ++i)
+      patches.push_back(static_cast<std::int32_t>(t * 7) - 10 + static_cast<std::int32_t>(i));
+  std::vector<std::int64_t> rows_out(3), elem_out(3);
+  MacStats rows_stats, elem_stats;
+  rows_stats.detail = elem_stats.detail = true;
+  engine->mac_rows(w, patches, rows_out, rows_stats);
+  for (int t = 0; t < 3; ++t)
+    elem_out[static_cast<std::size_t>(t)] = engine->mac(
+        w, std::span<const std::int32_t>(patches).subspan(
+               static_cast<std::size_t>(t) * w.size(), w.size()),
+        elem_stats);
+  EXPECT_EQ(rows_out, elem_out);
+  EXPECT_EQ(rows_stats, elem_stats);  // k_hist included
+}
+
+TEST(MacEngineDetail, DetailOffLeavesHistogramEmpty) {
+  const auto engine = make_engine({.kind = EngineKind::kProposed, .n_bits = 8});
+  const std::vector<std::int32_t> w{5, -9}, x{2, 3};
+  MacStats stats;
+  (void)engine->mac(w, x, stats);
+  EXPECT_EQ(stats.k_hist, obs::Pow2Hist{});
+  EXPECT_FALSE(stats.detail);
+}
+
+TEST(EstimatedScCycles, CeilingDivision) {
+  EXPECT_EQ(estimated_sc_cycles(0, 8), 0u);
+  EXPECT_EQ(estimated_sc_cycles(7, 8), 1u);
+  EXPECT_EQ(estimated_sc_cycles(8, 8), 1u);
+  EXPECT_EQ(estimated_sc_cycles(9, 8), 2u);
+  EXPECT_EQ(estimated_sc_cycles(100, 1), 100u);
+  EXPECT_EQ(estimated_sc_cycles(100, 0), 100u);  // degenerate b clamps to 1
+}
+
+TEST(ScopedTimer, NullTracerIsNoOp) {
+  obs::ScopedTimer t(nullptr, "x");
+  t.arg("k", 1.0);
+  EXPECT_GE(t.elapsed_us(), 0.0);
+}
+
+TEST(ScopedTimer, RecordsSpanWithArgs) {
+  obs::Tracer tracer;
+  {
+    obs::ScopedTimer t(&tracer, "work", /*tid=*/2);
+    t.arg("items", 42.0);
+  }
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].tid, 2);
+  EXPECT_GE(spans[0].dur_us, 0.0);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].key, "items");
+  EXPECT_EQ(spans[0].args[0].value, 42.0);
+}
+
+/// One small trained-ish (calibrated only) digit model shared by the
+/// session-level tests below.
+class ObservabilitySession : public ::testing::Test {
+ protected:
+  ObservabilitySession()
+      : data_(data::make_synthetic_digits({.count = 4, .seed = 11})),
+        session_(make_mnist_net(data_.images.h(), 1, 99), /*threads=*/1) {
+    session_.calibrate(data_.images);
+  }
+  data::Dataset data_;
+  InferenceSession session_;
+};
+
+TEST_F(ObservabilitySession, InstrumentationPreservesLogitsBitExactly) {
+  session_.set_engine({.kind = EngineKind::kProposed, .n_bits = 8});
+  const Tensor plain = session_.forward(data_.images);
+  const MacStats plain_stats = session_.last_forward_stats();
+  session_.set_instrumentation(true);
+  const Tensor traced = session_.forward(data_.images);
+  EXPECT_TRUE(bit_identical(plain, traced));
+  const MacStats traced_stats = session_.last_forward_stats();
+  EXPECT_EQ(plain_stats.macs, traced_stats.macs);
+  EXPECT_EQ(plain_stats.products, traced_stats.products);
+  EXPECT_EQ(plain_stats.saturations, traced_stats.saturations);
+  // ... and the instrumented pass additionally filled the k histogram.
+  EXPECT_TRUE(traced_stats.detail);
+  EXPECT_EQ(traced_stats.k_hist.count, traced_stats.products);
+  // Toggling back off restores the plain stats shape.
+  session_.set_instrumentation(false);
+  const Tensor off = session_.forward(data_.images);
+  EXPECT_TRUE(bit_identical(plain, off));
+  EXPECT_EQ(session_.last_forward_stats(), plain_stats);
+}
+
+TEST_F(ObservabilitySession, ImVcolAndDirectAgreeInDetailMode) {
+  session_.set_engine(
+      {.kind = EngineKind::kProposed, .n_bits = 8, .instrument = true});
+  session_.set_im2col(false);
+  const Tensor direct = session_.forward(data_.images);
+  const MacStats direct_stats = session_.last_forward_stats();
+  session_.set_im2col(true);
+  const Tensor im2col = session_.forward(data_.images);
+  EXPECT_TRUE(bit_identical(direct, im2col));
+  EXPECT_EQ(direct_stats, session_.last_forward_stats());  // k_hist included
+}
+
+TEST_F(ObservabilitySession, TraceCyclesEqualEngineTotalsExactly) {
+  session_.set_engine(
+      {.kind = EngineKind::kProposed, .n_bits = 8, .instrument = true});
+  session_.tracer().reset();
+  (void)session_.forward(data_.images);
+  const MacStats stats = session_.last_forward_stats();
+  EXPECT_GT(stats.k_hist.sum, 0u);
+
+  std::uint64_t span_cycles = 0, span_products = 0;
+  bool saw_forward = false;
+  for (const obs::TraceSpan& s : session_.tracer().spans()) {
+    if (s.name == "forward") {
+      saw_forward = true;
+      continue;
+    }
+    for (const obs::TraceArg& a : s.args) {
+      if (a.key == "sc_cycles") span_cycles += static_cast<std::uint64_t>(a.value);
+      if (a.key == "products") span_products += static_cast<std::uint64_t>(a.value);
+    }
+  }
+  EXPECT_TRUE(saw_forward);
+  EXPECT_EQ(span_cycles, stats.k_hist.sum);  // exact, not approximate
+  EXPECT_GE(span_products, stats.products);  // dense layers add float products
+}
+
+TEST_F(ObservabilitySession, RegistryCountsPassesAndCycles) {
+  session_.set_engine(
+      {.kind = EngineKind::kProposed, .n_bits = 8, .instrument = true});
+  session_.metrics().reset();
+  (void)session_.forward(data_.images);
+  (void)session_.forward(data_.images);
+  const MacStats stats = session_.last_forward_stats();
+
+  obs::Registry& reg = session_.metrics();
+  EXPECT_EQ(reg.counter("forward.passes").total(), 2u);
+  EXPECT_EQ(reg.counter("forward.images").total(),
+            2u * static_cast<std::uint64_t>(data_.images.n()));
+  EXPECT_EQ(reg.counter("mac.macs").total(), 2 * stats.macs);
+  EXPECT_EQ(reg.counter("sc.cycles").total(), 2 * stats.k_hist.sum);
+  const obs::Pow2Hist k = reg.histogram("sc.k").snapshot();
+  EXPECT_EQ(k.sum, 2 * stats.k_hist.sum);
+  EXPECT_EQ(k.count, 2 * stats.k_hist.count);
+  EXPECT_GT(reg.gauge("forward.last_ms").get(), 0.0);
+}
+
+TEST_F(ObservabilitySession, TraceEventJsonIsWellFormed) {
+  session_.set_engine(
+      {.kind = EngineKind::kProposed, .n_bits = 8, .instrument = true});
+  session_.tracer().reset();
+  (void)session_.forward(data_.images);
+  const std::string json = session_.tracer().to_trace_event_json("scnn-test");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("conv2d#0"), std::string::npos);
+  EXPECT_NE(json.find("\"forward\""), std::string::npos);
+  EXPECT_NE(json.find("scnn-test"), std::string::npos);
+}
+
+TEST_F(ObservabilitySession, MetricsSnapshotExportsBenchShape) {
+  session_.set_engine(
+      {.kind = EngineKind::kProposed, .n_bits = 8, .instrument = true});
+  session_.metrics().reset();
+  (void)session_.forward(data_.images);
+  obs::JsonReport report = obs::stamped_report("obs_test");
+  stamp_engine_meta(report, *session_.config());
+  obs::append_registry(session_.metrics(), report);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"benchmark\": \"obs_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine\""), std::string::npos);
+  EXPECT_NE(json.find("forward.passes"), std::string::npos);
+  EXPECT_NE(json.find("sc.k/count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scnn::nn

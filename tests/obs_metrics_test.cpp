@@ -1,0 +1,193 @@
+// Unit tests of the obs metrics layer: power-of-two bucket edges, the plain
+// Pow2Hist value type, the sharded Counter/Gauge/Histogram, and the Registry
+// — including the determinism contract: merged snapshots are identical for
+// every worker-thread count because shards merge in index order and every
+// recorded value is an integer.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace scnn::obs {
+namespace {
+
+TEST(Pow2Bucket, EdgesAndClamping) {
+  EXPECT_EQ(pow2_bucket(0), 0);
+  EXPECT_EQ(pow2_bucket(1), 1);
+  EXPECT_EQ(pow2_bucket(2), 2);
+  EXPECT_EQ(pow2_bucket(3), 2);
+  EXPECT_EQ(pow2_bucket(4), 3);
+  EXPECT_EQ(pow2_bucket(7), 3);
+  EXPECT_EQ(pow2_bucket(8), 4);
+  EXPECT_EQ(pow2_bucket((std::uint64_t{1} << 31)), 32);
+  EXPECT_EQ(pow2_bucket((std::uint64_t{1} << 32) - 1), 32);
+  EXPECT_EQ(pow2_bucket(std::uint64_t{1} << 32), kHistBuckets - 1);
+  EXPECT_EQ(pow2_bucket(~std::uint64_t{0}), kHistBuckets - 1);
+}
+
+TEST(Pow2Bucket, EveryValueFallsInsideItsBucketEdges) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3},
+        std::uint64_t{127}, std::uint64_t{128}, std::uint64_t{1} << 20,
+        (std::uint64_t{1} << 33) + 5}) {
+    const int b = pow2_bucket(v);
+    EXPECT_GE(v, pow2_bucket_lo(b)) << v;
+    EXPECT_LT(v, pow2_bucket_hi(b)) << v;
+  }
+}
+
+TEST(Pow2Hist, RecordsCountSumMax) {
+  Pow2Hist h;
+  h.record(0);
+  h.record(3);
+  h.record(5, /*times=*/4);
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.sum, 0u + 3u + 5u * 4u);
+  EXPECT_EQ(h.max, 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 23.0 / 6.0);
+  EXPECT_EQ(h.buckets[0], 1u);                                         // the zero
+  EXPECT_EQ(h.buckets[static_cast<std::size_t>(pow2_bucket(3))], 1u);  // [2, 4)
+  EXPECT_EQ(h.buckets[static_cast<std::size_t>(pow2_bucket(5))], 4u);  // [4, 8)
+}
+
+TEST(Pow2Hist, MergeIsExact) {
+  Pow2Hist a, b;
+  a.record(1);
+  a.record(100);
+  b.record(7, 3);
+  Pow2Hist both = a;
+  both += b;
+  Pow2Hist expect;
+  expect.record(1);
+  expect.record(100);
+  expect.record(7, 3);
+  EXPECT_EQ(both, expect);
+}
+
+TEST(Counter, ShardedTotalAndReset) {
+  Counter c(4);
+  c.add(5, 0);
+  c.add(7, 3);
+  c.inc(9);  // shard index taken modulo the shard count
+  EXPECT_EQ(c.total(), 13u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.get(), 0.0);
+  g.set(2.5);
+  g.set(-1.0);
+  EXPECT_EQ(g.get(), -1.0);
+  g.reset();
+  EXPECT_EQ(g.get(), 0.0);
+}
+
+TEST(Histogram, SnapshotMatchesPlainHist) {
+  Histogram h(4);
+  Pow2Hist plain;
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    h.record(v, static_cast<int>(v));  // spread over shards
+    plain.record(v);
+  }
+  h.record(1 << 20, 2, /*times=*/5);
+  plain.record(1 << 20, 5);
+  EXPECT_EQ(h.snapshot(), plain);
+  h.reset();
+  EXPECT_EQ(h.snapshot(), Pow2Hist{});
+}
+
+TEST(Histogram, RecordHistBulkMerge) {
+  Pow2Hist part;
+  part.record(3, 7);
+  part.record(90);
+  Histogram h(2);
+  h.record_hist(part, 0);
+  h.record_hist(part, 1);
+  Pow2Hist expect = part;
+  expect += part;
+  EXPECT_EQ(h.snapshot(), expect);
+}
+
+TEST(Registry, StableReferencesAndSnapshotOrder) {
+  Registry reg(8);
+  Counter& c = reg.counter("alpha");
+  Gauge& g = reg.gauge("beta");
+  Histogram& h = reg.histogram("gamma");
+  EXPECT_EQ(&c, &reg.counter("alpha"));  // same object on re-lookup
+  c.add(3, 0);
+  g.set(1.5);
+  h.record(4, 0);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[0].kind, MetricKind::kCounter);
+  EXPECT_EQ(snap[0].value, 3.0);
+  EXPECT_EQ(snap[1].name, "beta");
+  EXPECT_EQ(snap[1].value, 1.5);
+  EXPECT_EQ(snap[2].name, "gamma");
+  EXPECT_EQ(snap[2].hist.count, 1u);
+  reg.reset();
+  EXPECT_EQ(reg.counter("alpha").total(), 0u);  // registration survives reset
+  EXPECT_EQ(reg.snapshot().size(), 3u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::invalid_argument);
+  EXPECT_THROW((void)reg.histogram("x"), std::invalid_argument);
+}
+
+TEST(Registry, ThisShardInRange) {
+  Registry reg(4);
+  const int s = reg.this_shard();
+  EXPECT_GE(s, 0);
+  EXPECT_LT(s, reg.shards());
+  EXPECT_EQ(reg.this_shard(), s);  // stable per thread
+}
+
+/// Record a deterministic workload through a Registry sharded by
+/// parallel_for's shard indices and return the merged snapshot.
+struct MergedView {
+  std::uint64_t total = 0;
+  Pow2Hist hist;
+};
+
+MergedView run_sharded(int threads) {
+  Registry reg(8);
+  Counter& c = reg.counter("events");
+  Histogram& h = reg.histogram("k");
+  const auto pool =
+      threads > 1 ? std::make_unique<common::ThreadPool>(threads) : nullptr;
+  common::parallel_for(pool.get(), 20000,
+                       [&](std::int64_t lo, std::int64_t hi, int shard) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           c.add(static_cast<std::uint64_t>(i % 3), shard);
+                           h.record(static_cast<std::uint64_t>(i % 257), shard);
+                         }
+                       });
+  return {c.total(), h.snapshot()};
+}
+
+// The tentpole determinism contract: the merged snapshot is a function of
+// the recorded values only, not of the worker count or thread timing.
+TEST(Registry, MergedSnapshotIdenticalAcrossThreadCounts) {
+  const MergedView one = run_sharded(1);
+  const MergedView four = run_sharded(4);
+  const MergedView eight = run_sharded(8);
+  EXPECT_EQ(one.total, four.total);
+  EXPECT_EQ(one.total, eight.total);
+  EXPECT_EQ(one.hist, four.hist);
+  EXPECT_EQ(one.hist, eight.hist);
+  EXPECT_EQ(one.hist.count, 20000u);
+}
+
+}  // namespace
+}  // namespace scnn::obs

@@ -5,7 +5,15 @@
 //   scnn_cli eval   [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]
 //                   [--engine=fixed|sc-lfsr|proposed] [--threads=T] [--count=N]
 //   scnn_cli sweep  [digits|objects] [--ckpt=FILE] [--nmin=N] [--nmax=N] [--threads=T]
+//   scnn_cli stats  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]
+//                   [--engine=...] [--threads=T] [--count=N] [--bit-parallel=B]
+//                   [--trace-out=FILE]
 //   scnn_cli info
+//
+// `stats` runs one instrumented forward pass and emits the per-layer table,
+// a BENCH-shaped JSON metrics snapshot (--metrics-out, default
+// scnn_metrics.json), and a chrome://tracing timeline (--trace-out, default
+// scnn_trace.json). Every command accepts --metrics-out=FILE.
 //
 // Legacy positional forms (eval <task> <ckpt> <N> [kind], ...) still parse;
 // flags win over positionals. `eval` trains a quick model on the fly when
@@ -15,9 +23,12 @@
 // $SCNN_DATA_DIR (see README).
 #include <cstdio>
 #include <filesystem>
+#include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/table.hpp"
 #include "data/image_io.hpp"
 #include "data/idx_loader.hpp"
 #include "data/synthetic_digits.hpp"
@@ -26,6 +37,7 @@
 #include "nn/network.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
+#include "obs/report.hpp"
 #include "tools/cli_args.hpp"
 
 namespace {
@@ -47,9 +59,29 @@ int usage() {
       "  scnn_cli eval   [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
       "                  [--engine=fixed|sc-lfsr|proposed] [--threads=T] [--count=N]\n"
       "  scnn_cli sweep  [digits|objects] [--ckpt=FILE] [--nmin=N] [--nmax=N] [--threads=T]\n"
+      "  scnn_cli stats  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
+      "                  [--engine=fixed|sc-lfsr|proposed] [--threads=T] [--count=N]\n"
+      "                  [--bit-parallel=B] [--trace-out=FILE]\n"
       "  scnn_cli info\n"
-      "flags take the form --key=value; --threads=0 uses every hardware thread\n");
+      "flags take the form --key=value; --threads=0 uses every hardware thread\n"
+      "every command accepts --metrics-out=FILE to dump a JSON metrics snapshot\n");
   return 2;
+}
+
+/// Honor --metrics-out on any command: write a stamped BENCH-shaped JSON
+/// snapshot (provenance + engine meta + the session's merged registry, when
+/// a session exists). No-op when the flag is absent.
+void write_metrics_out(const Args& args, const std::string& command,
+                       InferenceSession* session) {
+  const std::string path = args.get("metrics-out", "");
+  if (path.empty()) return;
+  scnn::obs::JsonReport report = scnn::obs::stamped_report("scnn_cli_" + command);
+  report.set_meta("command", command);
+  if (session) {
+    if (session->config()) scnn::nn::stamp_engine_meta(report, *session->config());
+    scnn::obs::append_registry(session->metrics(), report);
+  }
+  report.write_file(path);
 }
 
 bool is_digits(const std::string& task) { return task == "digits"; }
@@ -95,7 +127,7 @@ void train_into(scnn::nn::Network& net, const std::string& task, int epochs,
 }
 
 int cmd_gen(const Args& args) {
-  args.require_known({"task", "count", "out"});
+  args.require_known({"task", "count", "out", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const int count = args.get_int("count", std::stoi(args.positional(1, "16")));
   const std::string out_dir = args.get("out", args.positional(2, "out"));
@@ -116,16 +148,18 @@ int cmd_gen(const Args& args) {
   }
   std::printf("wrote %d samples + contact sheet to %s\n", std::min(count, 16),
               out_dir.c_str());
+  write_metrics_out(args, "gen", nullptr);
   return 0;
 }
 
 int cmd_train(const Args& args) {
-  args.require_known({"task", "epochs", "ckpt", "threads"});
+  args.require_known({"task", "epochs", "ckpt", "threads", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const int epochs = args.get_int("epochs", std::stoi(args.positional(1, "6")));
   const std::string ckpt = args.get("ckpt", args.positional(2, kDefaultCkpt));
   scnn::nn::Network net = make_net(task);
   train_into(net, task, epochs, ckpt);
+  write_metrics_out(args, "train", nullptr);
   return 0;
 }
 
@@ -147,7 +181,8 @@ InferenceSession load_session(const std::string& task, const std::string& ckpt,
 }
 
 int cmd_eval(const Args& args) {
-  args.require_known({"task", "ckpt", "bits", "accum", "engine", "threads", "count"});
+  args.require_known(
+      {"task", "ckpt", "bits", "accum", "engine", "threads", "count", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const EngineConfig cfg{
@@ -155,7 +190,9 @@ int cmd_eval(const Args& args) {
           args.get("engine", args.positional(3, "proposed"))),
       .n_bits = args.get_int("bits", std::stoi(args.positional(2, "8"))),
       .accum_bits = args.get_int("accum", 2),
-      .threads = args.get_int("threads", 1)};
+      .threads = args.get_int("threads", 1),
+      // Only collect metrics when someone asked for the snapshot.
+      .instrument = !args.get("metrics-out", "").empty()};
   cfg.validate();
 
   Dataset test;
@@ -170,17 +207,19 @@ int cmd_eval(const Args& args) {
               static_cast<unsigned long long>(stats.macs),
               static_cast<unsigned long long>(stats.products),
               static_cast<unsigned long long>(stats.saturations));
+  write_metrics_out(args, "eval", &session);
   return 0;
 }
 
 int cmd_sweep(const Args& args) {
-  args.require_known({"task", "ckpt", "nmin", "nmax", "threads"});
+  args.require_known({"task", "ckpt", "nmin", "nmax", "threads", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const int n_min = args.get_int("nmin", std::stoi(args.positional(2, "5")));
   const int n_max = args.get_int("nmax", std::stoi(args.positional(3, "9")));
   if (n_min > n_max) throw scnn::cli::ArgError("--nmin must be <= --nmax");
   const int threads = args.get_int("threads", 1);
+  const bool instrument = !args.get("metrics-out", "").empty();
 
   Dataset test;
   InferenceSession session = load_session(task, ckpt, threads, test, 300);
@@ -189,11 +228,133 @@ int cmd_sweep(const Args& args) {
     std::printf("%-4d", n);
     for (const EngineKind kind :
          {EngineKind::kFixed, EngineKind::kScLfsr, EngineKind::kProposed}) {
-      session.set_engine({.kind = kind, .n_bits = n, .threads = threads});
+      session.set_engine(
+          {.kind = kind, .n_bits = n, .threads = threads, .instrument = instrument});
       std::printf(" %-10.3f", session.accuracy(test.images, test.labels));
     }
     std::printf("\n");
   }
+  write_metrics_out(args, "sweep", &session);
+  return 0;
+}
+
+/// One instrumented forward pass; prints the per-layer table and writes the
+/// metrics snapshot + chrome://tracing timeline. Exits nonzero if the summed
+/// per-layer SC cycles do not equal the engine's MacStats totals exactly.
+int cmd_stats(const Args& args) {
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "threads", "count",
+                      "bit-parallel", "metrics-out", "trace-out"});
+  const std::string task = parse_task(args, 0);
+  const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
+  const EngineConfig cfg{
+      .kind = scnn::nn::engine_kind_from_string(
+          args.get("engine", args.positional(3, "proposed"))),
+      .n_bits = args.get_int("bits", std::stoi(args.positional(2, "8"))),
+      .accum_bits = args.get_int("accum", 2),
+      .bit_parallel = args.get_int("bit-parallel", 8),
+      .threads = args.get_int("threads", 1),
+      .instrument = true};
+  cfg.validate();
+
+  Dataset test;
+  InferenceSession session =
+      load_session(task, ckpt, cfg.threads, test, args.get_int("count", 32));
+  session.set_engine(cfg);  // applies cfg.instrument
+  session.metrics().reset();
+  session.tracer().reset();
+
+  // One traced pass over the whole probe batch.
+  const std::vector<int> preds = session.predict(test.images);
+  int correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == test.labels[i]) ++correct;
+
+  const auto find_arg = [](const scnn::obs::TraceSpan& s,
+                           std::string_view key) -> const scnn::obs::TraceArg* {
+    for (const auto& a : s.args)
+      if (a.key == key) return &a;
+    return nullptr;
+  };
+
+  std::printf("%s N=%d A=%d b=%d threads=%d: %d images, accuracy %.3f\n",
+              to_string(cfg.kind).c_str(), cfg.n_bits, cfg.accum_bits,
+              cfg.bit_parallel, session.threads(), test.images.n(),
+              static_cast<double>(correct) / static_cast<double>(preds.size()));
+
+  using scnn::common::Table;
+  Table t({"layer", "ms", "products", "MACs", "saturations", "SC cycles", "avg k",
+           "est cyc@b=" + std::to_string(cfg.bit_parallel)});
+  std::uint64_t span_cycle_sum = 0;
+  double pass_ms = 0.0;
+  for (const scnn::obs::TraceSpan& s : session.tracer().spans()) {
+    if (s.name == "forward") {
+      pass_ms = s.dur_us / 1000.0;
+      continue;
+    }
+    const auto* products = find_arg(s, "products");
+    const auto* macs = find_arg(s, "macs");
+    const auto* sats = find_arg(s, "saturations");
+    const auto* cycles = find_arg(s, "sc_cycles");
+    std::vector<std::string> row{s.name, Table::fmt(s.dur_us / 1000.0, 2)};
+    row.push_back(products ? std::to_string(static_cast<std::uint64_t>(products->value))
+                           : "-");
+    row.push_back(macs ? std::to_string(static_cast<std::uint64_t>(macs->value)) : "-");
+    row.push_back(sats ? std::to_string(static_cast<std::uint64_t>(sats->value)) : "-");
+    if (cycles && macs) {
+      const auto c = static_cast<std::uint64_t>(cycles->value);
+      span_cycle_sum += c;
+      row.push_back(std::to_string(c));
+      row.push_back(products && products->value > 0
+                        ? Table::fmt(cycles->value / products->value, 2)
+                        : "-");
+      row.push_back(std::to_string(
+          scnn::nn::estimated_sc_cycles(c, cfg.bit_parallel)));
+    } else {
+      row.insert(row.end(), {"-", "-", "-"});
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::printf("forward pass: %.2f ms total\n", pass_ms);
+
+  // Exactness gate: the trace must account for every SC cycle the engine
+  // counted — the two views come from the same k-histograms, so any drift
+  // is a wiring bug.
+  const scnn::nn::MacStats stats = session.last_forward_stats();
+  if (span_cycle_sum != stats.k_hist.sum) {
+    std::fprintf(stderr,
+                 "FAIL: per-layer trace cycles (%llu) != engine MacStats cycles (%llu)\n",
+                 static_cast<unsigned long long>(span_cycle_sum),
+                 static_cast<unsigned long long>(stats.k_hist.sum));
+    return 1;
+  }
+  std::printf("SC cycle accounting: %llu cycles (trace == engine totals), "
+              "avg k %.2f, est %llu array cycles at b=%d\n",
+              static_cast<unsigned long long>(stats.k_hist.sum), stats.k_hist.mean(),
+              static_cast<unsigned long long>(
+                  scnn::nn::estimated_sc_cycles(stats.k_hist.sum, cfg.bit_parallel)),
+              cfg.bit_parallel);
+
+  // Snapshot + timeline. --metrics-out defaults on for this command.
+  scnn::obs::JsonReport report = scnn::obs::stamped_report("scnn_cli_stats");
+  report.set_meta("command", "stats");
+  report.set_meta("task", task);
+  report.set_meta("images", static_cast<double>(test.images.n()));
+  scnn::nn::stamp_engine_meta(report, cfg);
+  report.add_metric("accuracy",
+                    static_cast<double>(correct) / static_cast<double>(preds.size()),
+                    "fraction");
+  report.add_metric("sc.est_cycles_at_b",
+                    static_cast<double>(
+                        scnn::nn::estimated_sc_cycles(stats.k_hist.sum, cfg.bit_parallel)),
+                    "cycles");
+  scnn::obs::append_registry(session.metrics(), report);
+  report.write_file(args.get("metrics-out", "scnn_metrics.json"));
+
+  const std::string trace_path = args.get("trace-out", "scnn_trace.json");
+  if (!session.tracer().write_trace_event_json(trace_path)) return 1;
+  std::printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
+              trace_path.c_str());
   return 0;
 }
 
@@ -222,6 +383,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(args);
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "stats") return cmd_stats(args);
     std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
     return usage();
   } catch (const scnn::cli::ArgError& e) {

@@ -1,0 +1,241 @@
+// Serving throughput: micro-batched vs unbatched admission, same traffic.
+//
+//   build/bench/bench_serve [--requests=N] [--concurrency=C] [--max-batch=B]
+//                           [--quick] [--assert-speedup]
+//
+// A closed-loop load of C client threads drives serve::Server twice — once
+// with max_batch=1 (every request is its own forward) and once with
+// max_batch=B (adaptive micro-batching) — over the same synthetic-digit
+// inputs. The run FAILS (exit 1) if any served response is not kOk or its
+// logits are not bit-identical to a direct single-request
+// InferenceSession::forward of the same input: batching must never change
+// the arithmetic. Throughput, latency percentiles, and the batched/unbatched
+// ratio are reported and written to BENCH_serve.json.
+//
+// With --assert-speedup the run additionally fails unless batching is >= 2x
+// unbatched throughput at concurrency 8; like bench_parallel_inference, the
+// assertion needs real cores to be meaningful (the batched forward shards
+// over session threads), so it is skipped — loudly — below 4 hardware
+// threads. --quick shrinks the load for the ctest smoke label.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/network.hpp"
+#include "obs/report.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using scnn::nn::EngineConfig;
+using scnn::nn::EngineKind;
+using scnn::nn::Tensor;
+using scnn::serve::Response;
+using scnn::serve::Server;
+using scnn::serve::ServerOptions;
+using scnn::serve::Status;
+
+constexpr int kImages = 32;
+
+EngineConfig bench_engine() {
+  return {.kind = EngineKind::kProposed, .n_bits = 8, .threads = 1};
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  int ok = 0;
+  int not_ok = 0;
+  int mismatched = 0;
+  double p50_us = 0.0, p95_us = 0.0, max_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+RunResult run_config(const char* label, int max_batch, int requests, int concurrency,
+                     int session_threads, const scnn::data::Dataset& data,
+                     const Tensor& calib, const std::vector<Tensor>& reference,
+                     scnn::obs::JsonReport* registry_sink) {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.session_threads = session_threads;
+  opts.max_batch = max_batch;
+  opts.max_delay_us = 1000;
+  opts.queue_capacity = std::max(64, 4 * concurrency);
+  opts.engine = bench_engine();
+  Server server([&] { return scnn::nn::make_mnist_net(data.images.h()); }, opts,
+                /*params=*/{}, &calib);
+
+  std::atomic<int> next{0};
+  RunResult result;
+  std::mutex result_mu;
+  std::vector<double> latencies;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      std::vector<double> local_lat;
+      int local_ok = 0, local_not_ok = 0, local_mismatched = 0;
+      for (;;) {
+        const int id = next.fetch_add(1);
+        if (id >= requests) break;
+        const int img = id % kImages;
+        Response r = server.submit(scnn::nn::batch_slice(data.images, img, 1)).get();
+        if (r.status != Status::kOk) {
+          ++local_not_ok;
+          continue;
+        }
+        ++local_ok;
+        local_lat.push_back(r.total_us);
+        const Tensor& ref = reference[static_cast<std::size_t>(img)];
+        if (!ref.same_shape(r.logits) ||
+            std::memcmp(ref.data().data(), r.logits.data().data(),
+                        ref.size() * sizeof(float)) != 0)
+          ++local_mismatched;
+      }
+      std::lock_guard<std::mutex> lk(result_mu);
+      result.ok += local_ok;
+      result.not_ok += local_not_ok;
+      result.mismatched += local_mismatched;
+      latencies.insert(latencies.end(), local_lat.begin(), local_lat.end());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  result.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  result.throughput_rps =
+      result.wall_s > 0.0 ? static_cast<double>(result.ok) / result.wall_s : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_us = percentile(latencies, 0.50);
+  result.p95_us = percentile(latencies, 0.95);
+  result.max_us = latencies.empty() ? 0.0 : latencies.back();
+  result.mean_batch = server.metrics().histogram("serve.batch_size").snapshot().mean();
+  if (registry_sink) {
+    registry_sink->set_meta(std::string(label) + ".max_batch",
+                            static_cast<double>(max_batch));
+    scnn::obs::append_registry(server.metrics(), *registry_sink);
+  }
+  server.drain();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int requests = 400, concurrency = 8, max_batch = 8;
+  bool quick = false, assert_speedup = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--requests=", 0) == 0) requests = std::stoi(arg.substr(11));
+    if (arg.rfind("--concurrency=", 0) == 0) concurrency = std::stoi(arg.substr(14));
+    if (arg.rfind("--max-batch=", 0) == 0) max_batch = std::stoi(arg.substr(12));
+    if (arg == "--quick") quick = true;
+    if (arg == "--assert-speedup") assert_speedup = true;
+  }
+  if (quick) requests = std::min(requests, 64);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int session_threads = hw >= 4 ? 4 : 1;
+  std::printf("serve bench: %d requests, concurrency %d, batched max_batch %d, "
+              "%u hardware threads, %d session threads\n",
+              requests, concurrency, max_batch, hw, session_threads);
+
+  const auto data = scnn::data::make_synthetic_digits({.count = kImages, .seed = 7});
+  const Tensor calib = scnn::nn::batch_slice(data.images, 0, 16);
+
+  // Direct single-request reference: same factory weights, same calibration,
+  // same engine — what every served logit must equal bit-for-bit.
+  std::vector<Tensor> reference;
+  {
+    scnn::nn::InferenceSession session(scnn::nn::make_mnist_net(data.images.h()),
+                                       /*threads=*/1);
+    session.calibrate(calib);
+    session.set_engine(bench_engine());
+    for (int i = 0; i < kImages; ++i)
+      reference.push_back(session.forward(scnn::nn::batch_slice(data.images, i, 1)));
+  }
+
+  scnn::obs::JsonReport report = scnn::obs::stamped_report("serve");
+  scnn::nn::stamp_engine_meta(report, bench_engine());
+  report.set_meta("requests", static_cast<double>(requests));
+  report.set_meta("concurrency", static_cast<double>(concurrency));
+
+  const RunResult unbatched = run_config("unbatched", 1, requests, concurrency,
+                                         session_threads, data, calib, reference,
+                                         nullptr);
+  const RunResult batched = run_config("batched", max_batch, requests, concurrency,
+                                       session_threads, data, calib, reference,
+                                       &report);
+
+  scnn::common::Table t({"config", "ok", "req/s", "mean batch", "p50 us", "p95 us",
+                         "max us"});
+  const auto add = [&t](const char* name, const RunResult& r) {
+    t.add_row({name, std::to_string(r.ok), scnn::common::Table::fmt(r.throughput_rps, 1),
+               scnn::common::Table::fmt(r.mean_batch, 2),
+               scnn::common::Table::fmt(r.p50_us, 0),
+               scnn::common::Table::fmt(r.p95_us, 0),
+               scnn::common::Table::fmt(r.max_us, 0)});
+  };
+  add("max_batch=1", unbatched);
+  add(("max_batch=" + std::to_string(max_batch)).c_str(), batched);
+  t.print(std::cout);
+
+  const double speedup = unbatched.throughput_rps > 0.0
+                             ? batched.throughput_rps / unbatched.throughput_rps
+                             : 0.0;
+  std::printf("batched throughput = %.2fx unbatched\n", speedup);
+
+  report.add_metric("unbatched.throughput_rps", unbatched.throughput_rps, "req/s");
+  report.add_metric("batched.throughput_rps", batched.throughput_rps, "req/s");
+  report.add_metric("batched.mean_batch", batched.mean_batch, "requests");
+  report.add_metric("unbatched.p95_us", unbatched.p95_us, "us");
+  report.add_metric("batched.p95_us", batched.p95_us, "us");
+  report.add_metric("speedup", speedup, "x");
+  report.write_file("BENCH_serve.json");
+
+  bool failed = false;
+  const auto check = [&](const char* name, const RunResult& r) {
+    if (r.ok != requests || r.not_ok != 0) {
+      std::printf("FAIL: %s served %d/%d requests ok (%d not ok)\n", name, r.ok,
+                  requests, r.not_ok);
+      failed = true;
+    }
+    if (r.mismatched != 0) {
+      std::printf("FAIL: %s returned %d responses not bit-identical to the direct "
+                  "single-request forward\n", name, r.mismatched);
+      failed = true;
+    }
+  };
+  check("unbatched", unbatched);
+  check("batched", batched);
+  if (failed) return 1;
+  std::printf("all served logits bit-identical to direct InferenceSession::forward\n");
+
+  if (assert_speedup && !quick) {
+    if (hw < 4) {
+      std::printf("SKIP speedup assertion: only %u hardware threads (batching wins "
+                  "by sharding big batches over >= 4 session threads)\n", hw);
+    } else if (speedup < 2.0) {
+      std::printf("FAIL: batched throughput %.2fx < 2x unbatched at concurrency %d\n",
+                  speedup, concurrency);
+      return 1;
+    } else {
+      std::printf("PASS: batched throughput >= 2x unbatched\n");
+    }
+  }
+  return 0;
+}

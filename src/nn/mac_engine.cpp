@@ -45,7 +45,7 @@ void EngineConfig::validate() const {
   auto fail = [](const std::string& msg) { throw std::invalid_argument("EngineConfig: " + msg); };
   if (kind != EngineKind::kFixed && kind != EngineKind::kScLfsr &&
       kind != EngineKind::kProposed)
-    fail("invalid kind enum value");
+    fail("invalid kind enum value " + std::to_string(static_cast<int>(kind)));
   if (n_bits < kMinBits || n_bits > kMaxBits)
     fail("n_bits = " + std::to_string(n_bits) + " out of range [" +
          std::to_string(kMinBits) + ", " + std::to_string(kMaxBits) + "]");

@@ -166,17 +166,19 @@ std::vector<float> Network::save_parameters() {
 }
 
 void Network::load_parameters(std::span<const float> packed) {
+  std::size_t expected = 0;
+  for (Parameter* p : parameters()) expected += p->value.size();
+  if (packed.size() != expected)
+    throw std::invalid_argument(
+        "load_parameters: got " + std::to_string(packed.size()) +
+        " floats, network has " + std::to_string(expected));
   std::size_t off = 0;
   for (Parameter* p : parameters()) {
-    if (off + p->value.size() > packed.size())
-      throw std::invalid_argument("load_parameters: blob too small");
     std::copy_n(packed.begin() + static_cast<std::ptrdiff_t>(off), p->value.size(),
                 p->value.data().begin());
     p->mark_updated();
     off += p->value.size();
   }
-  if (off != packed.size())
-    throw std::invalid_argument("load_parameters: blob size mismatch");
 }
 
 Tensor batch_slice(const Tensor& images, int first, int count) {

@@ -1,0 +1,309 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace scnn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros(Clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+ServerOptions validated(ServerOptions opts) {
+  opts.validate();
+  return opts;
+}
+
+int argmax_of(std::span<const float> v) {
+  if (v.empty()) return -1;
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+std::string to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kQueueFull: return "queue-full";
+    case Status::kTimedOut: return "timed-out";
+    case Status::kShutdown: return "shutdown";
+    case Status::kError: return "error";
+  }
+  return "invalid";
+}
+
+bool Ticket::ready() const {
+  return fut_.valid() &&
+         fut_.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+void ServerOptions::validate() const {
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("ServerOptions: " + msg);
+  };
+  if (workers < 1 || workers > kMaxWorkers)
+    fail("workers = " + std::to_string(workers) + " out of range [1, " +
+         std::to_string(kMaxWorkers) + "]");
+  if (session_threads < 0 || session_threads > nn::EngineConfig::kMaxThreads)
+    fail("session_threads = " + std::to_string(session_threads) +
+         " out of range [0, " + std::to_string(nn::EngineConfig::kMaxThreads) +
+         "] (0 = auto)");
+  if (max_batch < 1 || max_batch > kMaxBatch)
+    fail("max_batch = " + std::to_string(max_batch) + " out of range [1, " +
+         std::to_string(kMaxBatch) + "]");
+  if (max_delay_us < 0 || max_delay_us > 10'000'000)
+    fail("max_delay_us = " + std::to_string(max_delay_us) +
+         " out of range [0, 10000000]");
+  if (queue_capacity < 1 || queue_capacity > kMaxQueueCapacity)
+    fail("queue_capacity = " + std::to_string(queue_capacity) +
+         " out of range [1, " + std::to_string(kMaxQueueCapacity) + "]");
+  if (default_deadline_us < 0)
+    fail("default_deadline_us = " + std::to_string(default_deadline_us) +
+         " must be >= 0 (0 = no deadline)");
+  if (engine) engine->validate();
+}
+
+Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
+               std::span<const float> params, const nn::Tensor* calibration)
+    : opts_(validated(opts)),
+      submitted_(registry_.counter("serve.submitted")),
+      completed_(registry_.counter("serve.completed")),
+      rejected_(registry_.counter("serve.rejected")),
+      timed_out_(registry_.counter("serve.timed_out")),
+      batches_(registry_.counter("serve.batches")),
+      queue_depth_gauge_(registry_.gauge("serve.queue_depth")),
+      batch_size_hist_(registry_.histogram("serve.batch_size")),
+      latency_us_hist_(registry_.histogram("serve.latency_us")),
+      queue_us_hist_(registry_.histogram("serve.queue_us")),
+      paused_(opts_.start_paused) {
+  sessions_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    nn::Network net = factory();
+    if (!params.empty()) net.load_parameters(params);
+    auto session =
+        std::make_unique<nn::InferenceSession>(std::move(net), opts_.session_threads);
+    if (calibration) session->calibrate(*calibration);
+    if (opts_.engine) {
+      nn::EngineConfig cfg = *opts_.engine;
+      cfg.threads = opts_.session_threads;
+      cfg.instrument = false;  // serving metrics live in the server registry
+      session->set_engine(cfg);
+    }
+    sessions_.push_back(std::move(session));
+  }
+  pool_ = std::make_unique<common::ThreadPool>(opts_.workers);
+  worker_done_.reserve(sessions_.size());
+  for (int i = 0; i < opts_.workers; ++i)
+    worker_done_.push_back(pool_->submit([this, i] { worker_loop_(i); }));
+}
+
+Server::~Server() {
+  try {
+    drain();
+  } catch (...) {
+    // Worker-loop failures were already surfaced to the affected tickets;
+    // the destructor must not throw.
+  }
+}
+
+Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us) {
+  if (input.n() != 1)
+    throw std::invalid_argument("serve::Server::submit: input.n() = " +
+                                std::to_string(input.n()) + " (one sample per request)");
+  if (deadline_us < 0) deadline_us = opts_.default_deadline_us;
+
+  std::promise<Response> promise;
+  std::future<Response> fut = promise.get_future();
+  const Clock::time_point now = Clock::now();
+
+  std::optional<Status> reject;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      reject = Status::kShutdown;
+    } else if (static_cast<int>(queue_.size()) >= opts_.queue_capacity) {
+      reject = Status::kQueueFull;
+    } else {
+      if (expect_c_ == 0) {
+        expect_c_ = input.c();
+        expect_h_ = input.h();
+        expect_w_ = input.w();
+      } else if (input.c() != expect_c_ || input.h() != expect_h_ ||
+                 input.w() != expect_w_) {
+        throw std::invalid_argument(
+            "serve::Server::submit: input shape " + std::to_string(input.c()) + "x" +
+            std::to_string(input.h()) + "x" + std::to_string(input.w()) +
+            " does not match the server's established shape " +
+            std::to_string(expect_c_) + "x" + std::to_string(expect_h_) + "x" +
+            std::to_string(expect_w_));
+      }
+      Request req;
+      req.input = input;
+      req.enqueued = now;
+      req.has_deadline = deadline_us > 0;
+      if (req.has_deadline) req.deadline = now + std::chrono::microseconds(deadline_us);
+      req.promise = std::move(promise);
+      queue_.push_back(std::move(req));
+      queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+      submitted_.inc(registry_.this_shard());
+    }
+  }
+
+  if (reject) {
+    rejected_.inc(registry_.this_shard());
+    Response r;
+    r.status = *reject;
+    promise.set_value(std::move(r));
+  } else {
+    work_cv_.notify_one();
+  }
+  return Ticket(std::move(fut));
+}
+
+void Server::resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+bool Server::accepting() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !stopping_;
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+void Server::drain() {
+  std::lock_guard<std::mutex> serialize(drain_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    paused_ = false;  // a paused server must still complete admitted requests
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+  }
+  pool_.reset();  // joins the workers (they exit once stopping_ and empty)
+  std::vector<std::future<void>> done = std::move(worker_done_);
+  worker_done_.clear();
+  for (auto& f : done) f.get();  // surfaces the first worker-loop exception
+}
+
+std::optional<Server::Request> Server::pop_live_locked_(int worker,
+                                                        Clock::time_point now) {
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+  if (req.has_deadline && now > req.deadline) {
+    timed_out_.inc(worker);
+    Response r;
+    r.status = Status::kTimedOut;
+    r.queue_us = micros(now - req.enqueued);
+    r.total_us = r.queue_us;
+    req.promise.set_value(std::move(r));
+    return std::nullopt;
+  }
+  return req;
+}
+
+void Server::worker_loop_(int worker) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;  // spurious wake-up
+    }
+
+    // Open a batch with the first live request, then keep filling it until
+    // it is full or max_delay_us has elapsed since it opened. While we
+    // wait, submit() wakes us; during drain the flush is immediate.
+    std::vector<Request> batch;
+    batch.reserve(static_cast<std::size_t>(opts_.max_batch));
+    const Clock::time_point opened = Clock::now();
+    const Clock::time_point flush_at =
+        opened + std::chrono::microseconds(opts_.max_delay_us);
+    while (static_cast<int>(batch.size()) < opts_.max_batch) {
+      if (!queue_.empty()) {
+        if (auto req = pop_live_locked_(worker, Clock::now()))
+          batch.push_back(std::move(*req));
+        continue;
+      }
+      if (batch.empty() || stopping_ || opts_.max_delay_us == 0) break;
+      const bool woke = work_cv_.wait_until(
+          lk, flush_at, [&] { return !queue_.empty() || stopping_; });
+      if (!woke) break;  // flush window elapsed
+    }
+    if (batch.empty()) continue;  // everything popped had expired
+
+    in_flight_ += static_cast<int>(batch.size());
+    lk.unlock();
+    run_batch_(worker, batch);
+    lk.lock();
+    in_flight_ -= static_cast<int>(batch.size());
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void Server::run_batch_(int worker, std::vector<Request>& batch) {
+  nn::InferenceSession& session = *sessions_[static_cast<std::size_t>(worker)];
+  const int b = static_cast<int>(batch.size());
+  const Clock::time_point t0 = Clock::now();
+  nn::Tensor logits;
+  std::string error;
+  try {
+    const nn::Tensor& first = batch.front().input;
+    nn::Tensor input(b, first.c(), first.h(), first.w());
+    for (int i = 0; i < b; ++i) {
+      const auto src = batch[static_cast<std::size_t>(i)].input.sample(0);
+      std::copy(src.begin(), src.end(), input.sample(i).begin());
+    }
+    logits = session.forward(input);
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown exception in batch forward";
+  }
+  const Clock::time_point t1 = Clock::now();
+  const double run_us = micros(t1 - t0);
+
+  batches_.inc(worker);
+  batch_size_hist_.record(static_cast<std::uint64_t>(b), worker);
+  for (int i = 0; i < b; ++i) {
+    Request& req = batch[static_cast<std::size_t>(i)];
+    Response r;
+    r.batch_size = b;
+    r.queue_us = micros(t0 - req.enqueued);
+    r.run_us = run_us;
+    if (!error.empty()) {
+      r.status = Status::kError;
+      r.error = error;
+    } else {
+      r.status = Status::kOk;
+      r.logits = nn::Tensor(1, logits.c(), logits.h(), logits.w());
+      const auto src = logits.sample(i);
+      std::copy(src.begin(), src.end(), r.logits.sample(0).begin());
+      r.predicted = argmax_of(src);
+      completed_.inc(worker);
+      queue_us_hist_.record(static_cast<std::uint64_t>(r.queue_us), worker);
+    }
+    r.total_us = micros(Clock::now() - req.enqueued);
+    if (r.status == Status::kOk)
+      latency_us_hist_.record(static_cast<std::uint64_t>(r.total_us), worker);
+    req.promise.set_value(std::move(r));
+  }
+}
+
+}  // namespace scnn::serve

@@ -1,0 +1,214 @@
+// Batched inference serving runtime — the admission path in front of the
+// inference stack.
+//
+// Today every caller owns a private nn::InferenceSession; serve::Server is
+// the shared front door: a bounded MPMC request queue feeding a shard pool
+// of per-worker sessions (one set of checkpoint parameters, one session per
+// worker on the existing common::ThreadPool), with adaptive micro-batching.
+// The shape mirrors the paper's BISC-MVM argument (Sec. 3): throughput comes
+// from batching work over shared machinery — there `p` SC-MACs share one
+// FSM/down-counter across an output tile; here requests share one forward
+// pass, one LUT row walk, and one worker wake-up.
+//
+// Semantics, all deterministic and tested:
+//  - Admission: submit() never blocks. A full queue rejects immediately with
+//    Status::kQueueFull (backpressure, never a silent drop); a drained
+//    server rejects with Status::kShutdown.
+//  - Batching: a worker pops the first waiting request, then keeps popping
+//    until it has max_batch requests or max_delay_us has elapsed since the
+//    batch opened, stacks them into one batch tensor, and runs a single
+//    session forward. Per-sample logits are bit-identical to a direct
+//    single-request InferenceSession::forward on the same input (every
+//    output element of every layer depends only on its own sample), which
+//    bench_serve asserts on every response.
+//  - Deadlines: a request whose deadline has passed by the time a worker
+//    pops it resolves with Status::kTimedOut instead of running.
+//  - drain(): stops admission, completes every admitted request (timed-out
+//    ones as kTimedOut), then joins the workers. The destructor drains.
+//
+// Observability: the server owns an obs::Registry — serve.queue_depth gauge,
+// serve.batch_size / serve.latency_us / serve.queue_us pow2 histograms, and
+// serve.{submitted,completed,rejected,timed_out,batches} counters — so
+// BENCH_serve.json and `scnn_cli serve --metrics-out` join the existing
+// report family.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/tensor.hpp"
+#include "obs/metrics.hpp"
+
+namespace scnn::serve {
+
+/// Terminal state of one request. kOk carries logits; the three rejection /
+/// expiry states are the server's explicit overload semantics.
+enum class Status {
+  kOk,        ///< ran in a batch; logits + latency populated
+  kQueueFull, ///< rejected at submit(): bounded queue at capacity
+  kTimedOut,  ///< admitted, but its deadline passed before a worker ran it
+  kShutdown,  ///< rejected at submit(): server is draining / drained
+  kError,     ///< the batch forward threw; `error` holds the message
+};
+
+[[nodiscard]] std::string to_string(Status s);
+
+/// What a Ticket resolves to.
+struct Response {
+  Status status = Status::kOk;
+  nn::Tensor logits;       ///< n() == 1; empty unless status == kOk
+  int predicted = -1;      ///< argmax over logits (kOk only)
+  int batch_size = 0;      ///< size of the micro-batch this request ran in
+  double queue_us = 0.0;   ///< admission -> popped by a worker
+  double run_us = 0.0;     ///< the batch's forward wall time
+  double total_us = 0.0;   ///< admission -> response resolved
+  std::string error;       ///< kError only
+};
+
+/// Future handle for one submitted request. get() blocks until the request
+/// resolves (it always does: rejections resolve immediately, admitted
+/// requests are completed by a worker or by drain()). One-shot.
+class Ticket {
+ public:
+  Ticket() = default;
+  [[nodiscard]] bool valid() const { return fut_.valid(); }
+  /// True once the response can be read without blocking.
+  [[nodiscard]] bool ready() const;
+  [[nodiscard]] Response get() { return fut_.get(); }
+
+ private:
+  friend class Server;
+  explicit Ticket(std::future<Response> fut) : fut_(std::move(fut)) {}
+  std::future<Response> fut_;
+};
+
+/// Server tuning knobs. validate() throws std::invalid_argument naming the
+/// offending field and value, mirroring nn::EngineConfig.
+struct ServerOptions {
+  int workers = 1;          ///< session shards; each runs whole batches
+  int session_threads = 1;  ///< worker threads *inside* each shard's session
+  int max_batch = 8;        ///< flush a batch at this many requests
+  int max_delay_us = 200;   ///< ... or this long after the batch opened
+  int queue_capacity = 64;  ///< bounded admission queue (backpressure)
+  std::int64_t default_deadline_us = 0;  ///< 0 = requests never expire
+  /// Engine for every shard (nullopt = float mode). `threads` and
+  /// `instrument` inside it are overridden by the server (session_threads /
+  /// its own registry policy).
+  std::optional<nn::EngineConfig> engine;
+  bool start_paused = false;  ///< admit but do not serve until resume();
+                              ///< tests use this to stage deterministic
+                              ///< overload / deadline-expiry states
+
+  static constexpr int kMaxWorkers = 256;
+  static constexpr int kMaxBatch = 4096;
+  static constexpr int kMaxQueueCapacity = 1 << 20;
+
+  void validate() const;
+};
+
+class Server {
+ public:
+  /// Builds a fresh Network per shard (must be deterministic topology).
+  using NetworkFactory = std::function<nn::Network()>;
+
+  /// Builds opts.workers sessions from `factory`. When `params` is
+  /// non-empty every shard loads it (the "one checkpoint" of the pool);
+  /// when `calibration` is non-null every shard calibrates on it (same
+  /// batch => identical scales => shards are interchangeable bit-exactly).
+  /// Workers start serving immediately unless opts.start_paused.
+  Server(const NetworkFactory& factory, const ServerOptions& opts,
+         std::span<const float> params = {},
+         const nn::Tensor* calibration = nullptr);
+
+  /// Drains (completes every admitted request) and joins the workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit one single-sample request (input.n() must be 1; its c/h/w must
+  /// match every other request — the first admitted request establishes the
+  /// shape, and a mismatch throws std::invalid_argument naming both shapes).
+  /// Never blocks: a full queue or a draining server resolves the returned
+  /// Ticket immediately with kQueueFull / kShutdown.
+  /// `deadline_us` < 0 uses options().default_deadline_us; 0 disables the
+  /// deadline for this request.
+  Ticket submit(const nn::Tensor& input, std::int64_t deadline_us = -1);
+
+  /// Start serving after construction with start_paused (no-op otherwise).
+  void resume();
+
+  /// Stop admission, complete every admitted request, join the workers.
+  /// Idempotent; safe to call from multiple threads. Rethrows the first
+  /// worker-loop exception, if any (batch-forward errors do NOT end a
+  /// worker — they resolve that batch's requests with kError).
+  void drain();
+
+  /// False once drain() has begun: subsequent submits resolve kShutdown.
+  [[nodiscard]] bool accepting() const;
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] const ServerOptions& options() const { return opts_; }
+  [[nodiscard]] int workers() const { return static_cast<int>(sessions_.size()); }
+
+  /// Serving metrics (see the header comment for the metric names).
+  [[nodiscard]] obs::Registry& metrics() { return registry_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    nn::Tensor input;  // n() == 1
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // only meaningful when has_deadline
+    bool has_deadline = false;
+    std::promise<Response> promise;
+  };
+
+  void worker_loop_(int worker);
+  /// Pop the front request; expired ones resolve kTimedOut and yield
+  /// nullopt. Caller holds mu_.
+  std::optional<Request> pop_live_locked_(int worker, Clock::time_point now);
+  void run_batch_(int worker, std::vector<Request>& batch);
+
+  ServerOptions opts_;
+  std::vector<std::unique_ptr<nn::InferenceSession>> sessions_;
+
+  obs::Registry registry_;
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_;
+  obs::Counter& timed_out_;
+  obs::Counter& batches_;
+  obs::Gauge& queue_depth_gauge_;
+  obs::Histogram& batch_size_hist_;
+  obs::Histogram& latency_us_hist_;
+  obs::Histogram& queue_us_hist_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: work available / state change
+  std::condition_variable idle_cv_;  // drain(): queue empty and nothing in flight
+  std::deque<Request> queue_;
+  int in_flight_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  int expect_c_ = 0, expect_h_ = 0, expect_w_ = 0;  // established input shape
+
+  std::mutex drain_mu_;  // serializes drain() callers
+  std::vector<std::future<void>> worker_done_;
+  std::unique_ptr<common::ThreadPool> pool_;
+};
+
+}  // namespace scnn::serve

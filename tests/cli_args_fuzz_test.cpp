@@ -1,0 +1,125 @@
+// Property/fuzz coverage for tools/cli_args: Args::parse must never crash on
+// arbitrary token streams (the only permitted failure is ArgError), and for
+// every well-formed input parse → to_tokens → parse is the identity. The
+// generator uses a fixed-seed mt19937_64 so failures reproduce exactly.
+#include "tools/cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace scnn::cli {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5c1717u;  // deterministic: reruns == CI
+
+std::string join(const std::vector<std::string>& tokens) {
+  std::string s;
+  for (const std::string& t : tokens) s += "[" + t + "] ";
+  return s;
+}
+
+/// Arbitrary token: any printable chars, biased toward flag-ish shapes so the
+/// parser's error paths actually fire.
+std::string random_token(std::mt19937_64& rng) {
+  static const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789-=_. @#/\\\"'";
+  std::uniform_int_distribution<int> len(0, 12);
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> shape(0, 5);
+  std::string body;
+  const int n = len(rng);
+  body.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) body += alphabet[pick(rng)];
+  switch (shape(rng)) {
+    case 0: return "--" + body;
+    case 1: return "-" + body;
+    case 2: return "--";
+    case 3: return "--=" + body;
+    default: return body;
+  }
+}
+
+// Never crashes, never throws anything but ArgError, and whatever parses
+// successfully survives the to_tokens round trip.
+TEST(CliArgsFuzz, ArbitraryTokenStreamsNeverCrash) {
+  std::mt19937_64 rng(kSeed);
+  std::uniform_int_distribution<int> count(0, 8);
+  int parsed_ok = 0, rejected = 0;
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<std::string> tokens;
+    const int n = count(rng);
+    tokens.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) tokens.push_back(random_token(rng));
+    try {
+      const Args args = Args::parse(tokens);
+      ++parsed_ok;
+      // Anything parse accepted must round-trip exactly.
+      ASSERT_EQ(Args::parse(args.to_tokens()), args) << join(tokens);
+      ASSERT_NO_THROW((void)args.get("bits", ""));
+      ASSERT_NO_THROW((void)args.positional(0, ""));
+      ASSERT_NO_THROW((void)args.has("quick"));
+    } catch (const ArgError&) {
+      ++rejected;  // the only failure mode the grammar permits
+    }
+  }
+  // The generator must exercise both outcomes or the fuzz is vacuous.
+  EXPECT_GT(parsed_ok, 1000) << "generator produced too few valid inputs";
+  EXPECT_GT(rejected, 1000) << "generator produced too few invalid inputs";
+}
+
+/// Well-formed input: command, unique --key / --key=value flags, positionals.
+TEST(CliArgsFuzz, WellFormedInputsRoundTripExactly) {
+  std::mt19937_64 rng(kSeed ^ 0xfeedu);
+  static const std::string ident = "abcdefghijklmnopqrstuvwxyz0123456789_";
+  std::uniform_int_distribution<std::size_t> pick(0, ident.size() - 1);
+  const auto word = [&](int min_len, int max_len) {
+    std::uniform_int_distribution<int> len(min_len, max_len);
+    std::string s;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) s += ident[pick(rng)];
+    return s;
+  };
+  std::uniform_int_distribution<int> nflags(0, 5), npos(0, 4), coin(0, 1);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::vector<std::string> tokens{word(1, 8)};  // command
+    std::vector<std::string> keys;
+    for (int f = nflags(rng); f > 0; --f) {
+      std::string key = word(1, 8);
+      bool dup = false;
+      for (const std::string& k : keys) dup = dup || k == key;
+      if (dup) continue;
+      keys.push_back(key);
+      tokens.push_back(coin(rng) != 0 ? "--" + key + "=" + word(0, 8) : "--" + key);
+    }
+    std::vector<std::string> positionals;
+    for (int p = npos(rng); p > 0; --p) positionals.push_back(word(1, 8));
+    if (!positionals.empty()) tokens.emplace_back("--");
+    tokens.insert(tokens.end(), positionals.begin(), positionals.end());
+
+    const Args args = Args::parse(tokens);
+    ASSERT_EQ(args.positionals(), positionals) << join(tokens);
+    const Args again = Args::parse(args.to_tokens());
+    ASSERT_EQ(again, args) << join(tokens) << " via " << join(args.to_tokens());
+    ASSERT_EQ(again.command(), args.command());
+    for (const std::string& k : keys) ASSERT_TRUE(again.has(k)) << k;
+  }
+}
+
+// to_tokens keeps flag-looking positionals positional by re-emitting the
+// "--" separator.
+TEST(CliArgsFuzz, FlagLikePositionalsSurviveRoundTrip) {
+  const Args args =
+      Args::parse({"run", "--bits=8", "--", "--not-a-flag", "--", "-x"});
+  ASSERT_EQ(args.positionals().size(), 3u);
+  const Args again = Args::parse(args.to_tokens());
+  EXPECT_EQ(again, args);
+  EXPECT_EQ(again.positionals()[0], "--not-a-flag");
+  EXPECT_EQ(again.positionals()[1], "--");
+  EXPECT_EQ(again.positionals()[2], "-x");
+}
+
+}  // namespace
+}  // namespace scnn::cli

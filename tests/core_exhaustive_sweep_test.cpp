@@ -1,0 +1,111 @@
+// Exhaustive bit-exactness sweep over the proposed multiplier (Sec. 2.2-2.5):
+// for every precision N in [4, 8] and EVERY operand pair, the implementations
+// must reproduce the paper's closed form Σ_i round(k/2^i)·x_(N-i), stay
+// within the guaranteed N/2-LSB error bound against the exact product, and
+// the bit-parallel datapath must equal the bit-serial one exactly.
+//
+// The closed form is recomputed here from first principles (round-half-up
+// division by 2^i) so this file is an independent cross-check, not a
+// restatement of src/core.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/bit_parallel.hpp"
+#include "core/scmac.hpp"
+
+namespace scnn::core {
+namespace {
+
+/// round(k / 2^i), ties away from zero (the paper's half-up rounding) —
+/// deliberately re-derived, not common::round_div_pow2.
+std::uint64_t round_half_up_div_pow2(std::uint64_t k, int i) {
+  return (k + (std::uint64_t{1} << (i - 1))) >> i;
+}
+
+/// The paper's partial sum P_k = Σ_{i=1..N} round(k/2^i) · x_(N-i) for an
+/// unsigned N-bit code x.
+std::uint64_t closed_form_partial_sum(int n, std::uint32_t x, std::uint64_t k) {
+  std::uint64_t p = 0;
+  for (int i = 1; i <= n; ++i)
+    if ((x >> (n - i)) & 1u) p += round_half_up_div_pow2(k, i);
+  return p;
+}
+
+class ExhaustiveSweep : public ::testing::TestWithParam<int> {};
+
+// Sec. 2.3: the unsigned multiplier IS the closed form, for every (x, k),
+// and the closed form is within N/2 counter LSBs of the exact x·k/2^N.
+TEST_P(ExhaustiveSweep, UnsignedEqualsClosedFormWithinPaperBound) {
+  const int n = GetParam();
+  const std::uint32_t span = 1u << n;
+  const double bound = theoretical_error_bound_lsb(n);
+  for (std::uint32_t x = 0; x < span; ++x) {
+    for (std::uint32_t k = 0; k < span; ++k) {
+      const std::uint64_t expected = closed_form_partial_sum(n, x, k);
+      ASSERT_EQ(multiply_unsigned(n, x, k), expected) << "x=" << x << " k=" << k;
+      const double exact = static_cast<double>(x) * k / static_cast<double>(span);
+      ASSERT_LE(std::abs(static_cast<double>(expected) - exact), bound)
+          << "x=" << x << " k=" << k;
+    }
+  }
+}
+
+// Sec. 2.4: for every signed pair, one ScMac accumulation produces exactly
+// the closed form sign(qw)·(2·P_k − k) over the sign-flipped operand, takes
+// exactly k = |qw| cycles, and stays within N/2 LSBs of the exact product.
+TEST_P(ExhaustiveSweep, ScMacEqualsSignedClosedFormForEveryPair) {
+  const int n = GetParam();
+  const std::int32_t half = 1 << (n - 1);
+  const double bound = theoretical_error_bound_lsb(n);
+  ScMac mac(n, /*accum_bits=*/2);
+  for (std::int32_t qx = -half; qx < half; ++qx) {
+    const auto u = static_cast<std::uint32_t>(qx + half);  // sign-bit flip
+    for (std::int32_t qw = -half; qw < half; ++qw) {
+      const std::uint32_t k = multiply_latency(qw);
+      const auto p = static_cast<std::int64_t>(closed_form_partial_sum(n, u, k));
+      const std::int64_t updown = 2 * p - static_cast<std::int64_t>(k);
+      const std::int64_t expected = qw < 0 ? -updown : updown;
+
+      ASSERT_EQ(multiply_signed(n, qx, qw), expected) << "qx=" << qx << " qw=" << qw;
+      mac.reset();
+      ASSERT_EQ(mac.accumulate(qx, qw), k) << "qx=" << qx << " qw=" << qw;
+      ASSERT_EQ(mac.value(), expected) << "qx=" << qx << " qw=" << qw;
+      ASSERT_EQ(mac.total_cycles(), k);
+
+      const double exact = static_cast<double>(qw) * static_cast<double>(qx) /
+                           static_cast<double>(half);
+      ASSERT_LE(std::abs(static_cast<double>(expected) - exact), bound)
+          << "qx=" << qx << " qw=" << qw;
+    }
+  }
+}
+
+// Sec. 2.5: bit-parallel processing is EXACTLY bit-serial, for every pair
+// and every column degree b, in ceil(k/b) cycles.
+TEST_P(ExhaustiveSweep, BitParallelEqualsBitSerialForEveryPair) {
+  const int n = GetParam();
+  const std::int32_t half = 1 << (n - 1);
+  for (const int b : {1, 2, 4, 8}) {
+    ASSERT_LE(b, half) << "column degree must fit the stream";
+    const BitParallelMultiplier bp(n, b);
+    for (std::int32_t qx = -half; qx < half; ++qx) {
+      for (std::int32_t qw = -half; qw < half; ++qw) {
+        const auto r = bp.multiply(qx, qw);
+        ASSERT_EQ(r.product, multiply_signed(n, qx, qw))
+            << "n=" << n << " b=" << b << " qx=" << qx << " qw=" << qw;
+        const std::uint32_t k = multiply_latency(qw);
+        ASSERT_EQ(r.cycles, (k + static_cast<std::uint32_t>(b) - 1) /
+                                static_cast<std::uint32_t>(b))
+            << "n=" << n << " b=" << b << " qw=" << qw;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(N4to8, ExhaustiveSweep, ::testing::Values(4, 5, 6, 7, 8),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace scnn::core

@@ -1,0 +1,125 @@
+// Golden-vector regression for the proposed multiplier: a checked-in fixture
+// (tests/golden/signed_multiply_golden.txt) pins the exact product and cycle
+// count for a spread of (N, qx, qw) cases — including the paper's Table 1
+// worked example — and every engine that claims to implement the multiplier
+// must reproduce them bit-for-bit:
+//
+//   core::multiply_signed          (closed form)
+//   core::ScMac                    (cycle-accurate accumulator)
+//   core::BitSerialMultiplier      (per-cycle stepper)
+//   core::make_proposed_lut        (the `sc` ProductLut the CNN path uses)
+//   nn::LutEngine::mac             (the inference engine on that LUT)
+//
+// If a change to the FSM/MUX sequence or rounding alters any product, this
+// test names the exact vector that moved.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/scmac.hpp"
+#include "nn/mac_engine.hpp"
+
+#ifndef SCNN_GOLDEN_DIR
+#error "SCNN_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
+#endif
+
+namespace scnn {
+namespace {
+
+struct Vector {
+  int n = 0;
+  std::int32_t qx = 0, qw = 0;
+  std::int32_t product = 0;  // accumulator LSBs, units of 2^-(N-1)
+  std::uint32_t cycles = 0;  // k = |qw|
+};
+
+std::vector<Vector> load_fixture() {
+  const std::string path = std::string(SCNN_GOLDEN_DIR) + "/signed_multiply_golden.txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "missing fixture " << path;
+  std::vector<Vector> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream row(line);
+    Vector v;
+    EXPECT_TRUE(row >> v.n >> v.qx >> v.qw >> v.product >> v.cycles)
+        << "malformed fixture line: " << line;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::string label(const Vector& v) {
+  return "N=" + std::to_string(v.n) + " qx=" + std::to_string(v.qx) +
+         " qw=" + std::to_string(v.qw);
+}
+
+TEST(GoldenVectors, FixtureCoversEveryPrecisionAndTable1) {
+  const std::vector<Vector> vectors = load_fixture();
+  ASSERT_GE(vectors.size(), 30u);
+  std::map<int, int> per_n;
+  for (const Vector& v : vectors) ++per_n[v.n];
+  for (const int n : {4, 5, 6, 7, 8}) EXPECT_GE(per_n[n], 4) << "N=" << n;
+
+  // The paper's Table 1 worked example (N=4) must be present verbatim.
+  const std::vector<Vector> table1 = {
+      {4, 0, -8, 0, 8}, {4, 7, -8, -8, 8}, {4, -8, -8, 8, 8},
+      {4, 0, 7, 1, 7},  {4, 7, 7, 7, 7},   {4, -8, 7, -7, 7},
+  };
+  for (const Vector& want : table1) {
+    bool found = false;
+    for (const Vector& v : vectors)
+      found = found || (v.n == want.n && v.qx == want.qx && v.qw == want.qw &&
+                        v.product == want.product && v.cycles == want.cycles);
+    EXPECT_TRUE(found) << "Table 1 row missing or wrong: " << label(want);
+  }
+}
+
+TEST(GoldenVectors, ClosedFormAndScMacMatchFixture) {
+  for (const Vector& v : load_fixture()) {
+    EXPECT_EQ(core::multiply_signed(v.n, v.qx, v.qw), v.product) << label(v);
+    EXPECT_EQ(core::multiply_latency(v.qw), v.cycles) << label(v);
+    core::ScMac mac(v.n, /*accum_bits=*/4);
+    EXPECT_EQ(mac.accumulate(v.qx, v.qw), v.cycles) << label(v);
+    EXPECT_EQ(mac.value(), v.product) << label(v);
+  }
+}
+
+TEST(GoldenVectors, BitSerialStepperMatchesFixtureCycleForCycle) {
+  for (const Vector& v : load_fixture()) {
+    core::BitSerialMultiplier m(v.n, v.qx, v.qw);
+    EXPECT_EQ(m.total_cycles(), v.cycles) << label(v);
+    while (m.step()) {
+    }
+    EXPECT_TRUE(m.done()) << label(v);
+    EXPECT_EQ(m.cycle(), v.cycles) << label(v);
+    EXPECT_EQ(m.counter(), v.product) << label(v);
+  }
+}
+
+TEST(GoldenVectors, ProposedLutAndLutEngineMatchFixture) {
+  // One LUT + engine per precision, shared across that precision's vectors.
+  std::map<int, std::unique_ptr<nn::LutEngine>> engines;
+  for (const Vector& v : load_fixture()) {
+    auto it = engines.find(v.n);
+    if (it == engines.end())
+      it = engines
+               .emplace(v.n, std::make_unique<nn::LutEngine>(
+                                 core::make_proposed_lut(v.n), /*accum_bits=*/8))
+               .first;
+    const nn::LutEngine& engine = *it->second;
+    EXPECT_EQ(engine.lut().at(v.qw, v.qx), v.product) << label(v);
+    const std::int32_t w[] = {v.qw};
+    const std::int32_t x[] = {v.qx};
+    EXPECT_EQ(engine.mac(w, x), v.product) << label(v);
+  }
+}
+
+}  // namespace
+}  // namespace scnn

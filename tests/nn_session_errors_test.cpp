@@ -1,0 +1,155 @@
+// Negative-path coverage for the inference runtime: constructing an
+// InferenceSession from a bad checkpoint or an invalid EngineConfig must fail
+// loudly, with error messages that name the offending value — an operator
+// reading the message alone should know what to fix.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/network.hpp"
+#include "nn/serialize.hpp"
+
+namespace scnn::nn {
+namespace {
+
+/// Run `fn`, require an exception of type E whose message contains every
+/// needle, and return the message.
+template <typename E, typename Fn>
+std::string expect_error(Fn&& fn, const std::vector<std::string>& needles) {
+  try {
+    fn();
+  } catch (const E& e) {
+    const std::string msg = e.what();
+    for (const std::string& needle : needles)
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "message '" << msg << "' should mention '" << needle << "'";
+    return msg;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "wrong exception type: " << e.what();
+    return e.what();
+  }
+  ADD_FAILURE() << "expected an exception";
+  return {};
+}
+
+/// Temp file that deletes itself; contents written at construction.
+struct ScratchFile {
+  std::string path;
+  explicit ScratchFile(const std::string& name, const std::string& bytes) {
+    path = std::string("scnn_errors_") + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ~ScratchFile() { std::remove(path.c_str()); }
+};
+
+TEST(SessionErrors, InvalidEngineConfigNamesTheOffendingValue) {
+  expect_error<std::invalid_argument>(
+      [] { EngineConfig{.n_bits = 13}.validate(); }, {"n_bits = 13", "[2, 12]"});
+  expect_error<std::invalid_argument>(
+      [] { EngineConfig{.n_bits = 1}.validate(); }, {"n_bits = 1"});
+  expect_error<std::invalid_argument>(
+      [] { EngineConfig{.accum_bits = 21}.validate(); }, {"accum_bits = 21"});
+  expect_error<std::invalid_argument>(
+      [] { EngineConfig{.bit_parallel = 0}.validate(); }, {"bit_parallel = 0"});
+  expect_error<std::invalid_argument>(
+      [] { EngineConfig{.threads = -1}.validate(); }, {"threads = -1"});
+  expect_error<std::invalid_argument>(
+      [] { EngineConfig{.kind = static_cast<EngineKind>(42)}.validate(); },
+      {"kind", "42"});
+}
+
+TEST(SessionErrors, UnknownEngineKindStringNamesTheString) {
+  expect_error<std::invalid_argument>(
+      [] { (void)engine_kind_from_string("bogus"); },
+      {"bogus", "fixed", "sc-lfsr", "proposed"});
+}
+
+TEST(SessionErrors, SessionConstructionRejectsInvalidConfig) {
+  EXPECT_THROW(InferenceSession(make_mnist_net(), EngineConfig{.n_bits = 99}),
+               std::invalid_argument);
+}
+
+TEST(SessionErrors, SetEngineFailureLeavesSessionUsable) {
+  const auto data = data::make_synthetic_digits({.count = 4, .seed = 7});
+  InferenceSession session(make_mnist_net(data.images.h()), /*threads=*/1);
+  session.calibrate(data.images);
+
+  expect_error<std::invalid_argument>(
+      [&] { session.set_engine(EngineConfig{.n_bits = 0}); }, {"n_bits = 0"});
+  EXPECT_FALSE(session.config().has_value()) << "failed set_engine must not stick";
+
+  // Still serves float-mode inference afterwards.
+  const Tensor logits = session.forward(batch_slice(data.images, 0, 1));
+  EXPECT_EQ(logits.size(), 10u);
+}
+
+TEST(SessionErrors, MissingCheckpointNamesThePath) {
+  Network net = make_mnist_net();
+  expect_error<std::runtime_error>(
+      [&] { load_checkpoint(net, "no/such/dir/missing.ckpt"); },
+      {"cannot open", "no/such/dir/missing.ckpt"});
+}
+
+TEST(SessionErrors, BadMagicNamesThePath) {
+  const ScratchFile f("bad_magic.ckpt", "NOTSCNN0-some-garbage-bytes");
+  Network net = make_mnist_net();
+  expect_error<std::runtime_error>([&] { load_checkpoint(net, f.path); },
+                                   {"bad magic", f.path});
+}
+
+TEST(SessionErrors, TruncatedCheckpointNamesThePath) {
+  // Valid header, then the blob cut short.
+  std::string bytes = "SCNN0001";
+  const std::uint64_t count = 1000;
+  bytes.append(reinterpret_cast<const char*>(&count), sizeof count);
+  bytes.append(16, '\0');  // far fewer than 1000 floats
+  const ScratchFile f("truncated.ckpt", bytes);
+  Network net = make_mnist_net();
+  expect_error<std::runtime_error>([&] { load_checkpoint(net, f.path); },
+                                   {"truncated", f.path});
+}
+
+TEST(SessionErrors, CorruptedPayloadFailsTheChecksum) {
+  Network net = make_mnist_net();
+  const ScratchFile f("corrupt.ckpt", "");
+  save_checkpoint(net, f.path);
+  {
+    // Flip one payload byte past the 16-byte header.
+    std::fstream io(f.path, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(20);
+    char b = 0;
+    io.seekg(20);
+    io.read(&b, 1);
+    b = static_cast<char>(b ^ 0x5a);
+    io.seekp(20);
+    io.write(&b, 1);
+  }
+  expect_error<std::runtime_error>([&] { load_checkpoint(net, f.path); },
+                                   {"checksum mismatch", f.path});
+}
+
+TEST(SessionErrors, ParameterCountMismatchReportsBothCounts) {
+  Network net = make_mnist_net();
+  const std::size_t expected = net.save_parameters().size();
+  const std::vector<float> wrong(expected + 3, 0.0f);
+  expect_error<std::invalid_argument>(
+      [&] { net.load_parameters(wrong); },
+      {"load_parameters", std::to_string(wrong.size()), std::to_string(expected)});
+
+  // A checkpoint for a DIFFERENT architecture fails the same way.
+  Network wide = make_mnist_net(28, /*width=*/2);
+  const std::vector<float> wide_params = wide.save_parameters();
+  ASSERT_NE(wide_params.size(), expected);
+  expect_error<std::invalid_argument>(
+      [&] { net.load_parameters(wide_params); },
+      {std::to_string(wide_params.size()), std::to_string(expected)});
+}
+
+}  // namespace
+}  // namespace scnn::nn

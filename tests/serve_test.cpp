@@ -1,0 +1,278 @@
+// serve::Server semantics: bit-exact serving, deterministic overload
+// behavior (QueueFull backpressure, deadline expiry), drain/shutdown, and
+// concurrent submitters. Lives in the parallel-labeled binary so the whole
+// suite runs under TSan.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/network.hpp"
+
+namespace scnn::serve {
+namespace {
+
+using scnn::nn::EngineConfig;
+using scnn::nn::EngineKind;
+using scnn::nn::Tensor;
+
+EngineConfig test_engine() {
+  return {.kind = EngineKind::kProposed, .n_bits = 8, .threads = 1};
+}
+
+const scnn::data::Dataset& test_data() {
+  static const scnn::data::Dataset d =
+      scnn::data::make_synthetic_digits({.count = 32, .seed = 7});
+  return d;
+}
+
+Tensor calibration_batch() { return nn::batch_slice(test_data().images, 0, 16); }
+
+Tensor sample(int i) { return nn::batch_slice(test_data().images, i, 1); }
+
+nn::Network make_net() { return nn::make_mnist_net(test_data().images.h()); }
+
+/// Direct single-request forwards — the reference the server must match
+/// bit-for-bit.
+const std::vector<Tensor>& reference_logits() {
+  static const std::vector<Tensor> logits = [] {
+    const Tensor calib = calibration_batch();
+    nn::InferenceSession session(make_net(), /*threads=*/1);
+    session.calibrate(calib);
+    session.set_engine(test_engine());
+    std::vector<Tensor> out;
+    for (int i = 0; i < test_data().images.n(); ++i)
+      out.push_back(session.forward(sample(i)));
+    return out;
+  }();
+  return logits;
+}
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(), a.size() * sizeof(float)) == 0;
+}
+
+ServerOptions base_options() {
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.session_threads = 1;
+  opts.max_batch = 4;
+  opts.max_delay_us = 500;
+  opts.queue_capacity = 64;
+  opts.engine = test_engine();
+  return opts;
+}
+
+Server make_server(const ServerOptions& opts) {
+  const Tensor calib = calibration_batch();
+  return Server([] { return make_net(); }, opts, /*params=*/{}, &calib);
+}
+
+std::uint64_t counter_total(obs::Registry& r, const char* name) {
+  return r.counter(name).total();
+}
+
+TEST(Serve, ServedLogitsBitIdenticalToDirectForward) {
+  ServerOptions opts = base_options();
+  opts.workers = 2;
+  Server server(make_server(opts));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 12; ++i) tickets.push_back(server.submit(sample(i)));
+  for (int i = 0; i < 12; ++i) {
+    Response r = tickets[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.status, Status::kOk) << "request " << i << ": " << r.error;
+    EXPECT_TRUE(bit_identical(r.logits, reference_logits()[static_cast<std::size_t>(i)]))
+        << "request " << i;
+    EXPECT_GE(r.batch_size, 1);
+    EXPECT_LE(r.batch_size, opts.max_batch);
+    EXPECT_GE(r.predicted, 0);
+    EXPECT_GE(r.total_us, r.run_us);
+  }
+  EXPECT_EQ(counter_total(server.metrics(), "serve.submitted"), 12u);
+  EXPECT_EQ(counter_total(server.metrics(), "serve.completed"), 12u);
+  EXPECT_EQ(counter_total(server.metrics(), "serve.rejected"), 0u);
+}
+
+TEST(Serve, FullQueueRejectsWithQueueFullAndNeverBlocks) {
+  ServerOptions opts = base_options();
+  opts.queue_capacity = 4;
+  opts.start_paused = true;  // stage a deterministically full queue
+  Server server(make_server(opts));
+
+  std::vector<Ticket> admitted;
+  for (int i = 0; i < 4; ++i) admitted.push_back(server.submit(sample(i)));
+  EXPECT_EQ(server.queue_depth(), 4u);
+  for (const Ticket& t : admitted) EXPECT_FALSE(t.ready());
+
+  // Over capacity: resolved immediately, no blocking, explicit status.
+  for (int i = 0; i < 2; ++i) {
+    Ticket t = server.submit(sample(0));
+    ASSERT_TRUE(t.ready());
+    EXPECT_EQ(t.get().status, Status::kQueueFull);
+  }
+  EXPECT_EQ(counter_total(server.metrics(), "serve.rejected"), 2u);
+  EXPECT_EQ(counter_total(server.metrics(), "serve.submitted"), 4u);
+
+  server.resume();
+  server.drain();
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    Response r = admitted[i].get();
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_TRUE(bit_identical(r.logits, reference_logits()[i]));
+  }
+}
+
+TEST(Serve, ExpiredDeadlinesResolveAsTimedOut) {
+  ServerOptions opts = base_options();
+  opts.start_paused = true;
+  Server server(make_server(opts));
+
+  std::vector<Ticket> doomed;
+  for (int i = 0; i < 3; ++i)
+    doomed.push_back(server.submit(sample(i), /*deadline_us=*/1000));
+  Ticket alive = server.submit(sample(3));  // no deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.resume();
+
+  for (Ticket& t : doomed) {
+    Response r = t.get();
+    EXPECT_EQ(r.status, Status::kTimedOut);
+    EXPECT_EQ(r.logits.size(), 0u);
+  }
+  EXPECT_EQ(alive.get().status, Status::kOk);
+  EXPECT_EQ(counter_total(server.metrics(), "serve.timed_out"), 3u);
+  EXPECT_EQ(counter_total(server.metrics(), "serve.completed"), 1u);
+}
+
+TEST(Serve, DrainCompletesAllAdmittedThenRejectsWithShutdown) {
+  ServerOptions opts = base_options();
+  opts.max_batch = 8;
+  Server server(make_server(opts));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 20; ++i) tickets.push_back(server.submit(sample(i % 8)));
+  server.drain();
+  for (Ticket& t : tickets) {
+    ASSERT_TRUE(t.ready());
+    EXPECT_EQ(t.get().status, Status::kOk);
+  }
+  EXPECT_FALSE(server.accepting());
+  Ticket late = server.submit(sample(0));
+  ASSERT_TRUE(late.ready());
+  EXPECT_EQ(late.get().status, Status::kShutdown);
+  server.drain();  // idempotent
+}
+
+TEST(Serve, DestructorDrainsAdmittedRequests) {
+  std::vector<Ticket> tickets;
+  {
+    Server server(make_server(base_options()));
+    for (int i = 0; i < 10; ++i) tickets.push_back(server.submit(sample(i)));
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    ASSERT_TRUE(tickets[i].ready());
+    Response r = tickets[i].get();
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_TRUE(bit_identical(r.logits, reference_logits()[i]));
+  }
+}
+
+TEST(Serve, MicroBatchesRespectMaxBatch) {
+  ServerOptions opts = base_options();
+  opts.max_batch = 4;
+  opts.start_paused = true;  // queue up everything, then serve in one burst
+  Server server(make_server(opts));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 10; ++i) tickets.push_back(server.submit(sample(i)));
+  server.resume();
+  server.drain();
+  for (Ticket& t : tickets) {
+    Response r = t.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    EXPECT_LE(r.batch_size, 4);
+  }
+  const obs::Pow2Hist sizes = server.metrics().histogram("serve.batch_size").snapshot();
+  EXPECT_EQ(sizes.sum, 10u);  // every request ran in exactly one batch
+  EXPECT_EQ(counter_total(server.metrics(), "serve.batches"), sizes.count);
+  EXPECT_LE(sizes.max, 4u);
+}
+
+TEST(Serve, ConcurrentSubmittersAllServedBitExactly) {
+  ServerOptions opts = base_options();
+  opts.workers = 2;
+  opts.max_batch = 8;
+  opts.queue_capacity = 256;
+  Server server(make_server(opts));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 16;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0}, mismatched{0};
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int idx = (c * kPerThread + i) % test_data().images.n();
+        Response r = server.submit(sample(idx)).get();
+        if (r.status != Status::kOk) continue;
+        ++ok;
+        if (!bit_identical(r.logits, reference_logits()[static_cast<std::size_t>(idx)]))
+          ++mismatched;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);  // capacity 256 => no rejects
+  EXPECT_EQ(mismatched.load(), 0);
+  EXPECT_EQ(counter_total(server.metrics(), "serve.completed"),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Serve, InvalidOptionsThrowNamingTheValue) {
+  const auto expect_throw = [](ServerOptions opts, const char* needle) {
+    try {
+      opts.validate();
+      FAIL() << "expected invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+    }
+  };
+  ServerOptions opts;
+  opts.workers = 0;
+  expect_throw(opts, "workers = 0");
+  opts = ServerOptions{};
+  opts.max_batch = 0;
+  expect_throw(opts, "max_batch = 0");
+  opts = ServerOptions{};
+  opts.queue_capacity = -3;
+  expect_throw(opts, "queue_capacity = -3");
+  opts = ServerOptions{};
+  opts.default_deadline_us = -1;
+  expect_throw(opts, "default_deadline_us = -1");
+  opts = ServerOptions{};
+  opts.engine = EngineConfig{.n_bits = 99};
+  expect_throw(opts, "n_bits = 99");
+}
+
+TEST(Serve, MismatchedRequestShapeThrows) {
+  Server server(make_server(base_options()));
+  (void)server.submit(sample(0));  // establishes 1x28x28
+  try {
+    (void)server.submit(Tensor(1, 3, 32, 32));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("3x32x32"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1x28x28"), std::string::npos) << msg;
+  }
+  EXPECT_THROW((void)server.submit(Tensor(2, 1, 28, 28)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scnn::serve

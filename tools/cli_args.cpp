@@ -66,6 +66,33 @@ int Args::get_int(const std::string& flag, int fallback) const {
   return static_cast<int>(n);
 }
 
+namespace {
+
+/// Would `parse` treat this token as flag syntax (or the "--" separator)?
+bool looks_like_flag(const std::string& tok) {
+  if (tok.rfind("--", 0) == 0) return true;  // includes the literal "--"
+  return tok.size() > 1 && tok[0] == '-' &&
+         std::isdigit(static_cast<unsigned char>(tok[1])) == 0;
+}
+
+}  // namespace
+
+std::vector<std::string> Args::to_tokens() const {
+  std::vector<std::string> out;
+  // A command can itself look like a flag when the original input started
+  // with the "--" separator; such a command must go after the separator too.
+  const bool command_needs_separator = looks_like_flag(command_);
+  if (!command_.empty() && !command_needs_separator) out.push_back(command_);
+  for (const auto& [key, value] : flags_)
+    out.push_back(value.empty() ? "--" + key : "--" + key + "=" + value);
+  if (command_needs_separator || !positionals_.empty()) {
+    out.emplace_back("--");
+    if (command_needs_separator) out.push_back(command_);
+    out.insert(out.end(), positionals_.begin(), positionals_.end());
+  }
+  return out;
+}
+
 void Args::require_known(const std::vector<std::string>& allowed) const {
   for (const auto& [key, value] : flags_) {
     if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {

@@ -48,6 +48,17 @@ class Args {
   /// Throw ArgError naming the offender unless every given flag is allowed.
   void require_known(const std::vector<std::string>& allowed) const;
 
+  /// Render back to a token stream `parse` accepts: command, flags in key
+  /// order ("--key" when the value is empty, else "--key=value"), then a
+  /// literal "--" followed by the positionals (emitted only when there are
+  /// any, so positionals survive re-parsing even if they look like flags).
+  /// A command that itself looks like a flag — possible when the original
+  /// input led with "--" — is moved after the separator as well.
+  /// parse(to_tokens()) == *this for every Args that `parse` can produce.
+  [[nodiscard]] std::vector<std::string> to_tokens() const;
+
+  [[nodiscard]] bool operator==(const Args& other) const = default;
+
  private:
   std::string command_;
   std::vector<std::string> positionals_;

@@ -8,7 +8,17 @@
 //   scnn_cli stats  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]
 //                   [--engine=...] [--threads=T] [--count=N] [--bit-parallel=B]
 //                   [--trace-out=FILE]
+//   scnn_cli serve  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]
+//                   [--engine=...] [--requests=N] [--concurrency=C]
+//                   [--max-batch=B] [--max-delay-us=U] [--queue-cap=Q]
+//                   [--workers=W] [--session-threads=T] [--deadline-us=D]
+//                   [--count=N]
 //   scnn_cli info
+//
+// `serve` stands up the batched serving runtime (serve::Server) over the
+// checkpoint and drives it with a closed-loop load of C client threads; it
+// prints a latency/throughput table plus the serving metrics, and exits
+// non-zero if any admitted request is lost (see docs/SERVING.md).
 //
 // `stats` runs one instrumented forward pass and emits the per-layer table,
 // a BENCH-shaped JSON metrics snapshot (--metrics-out, default
@@ -38,7 +48,14 @@
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
 #include "obs/report.hpp"
+#include "serve/server.hpp"
 #include "tools/cli_args.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
 
 namespace {
 
@@ -62,6 +79,11 @@ int usage() {
       "  scnn_cli stats  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
       "                  [--engine=fixed|sc-lfsr|proposed] [--threads=T] [--count=N]\n"
       "                  [--bit-parallel=B] [--trace-out=FILE]\n"
+      "  scnn_cli serve  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
+      "                  [--engine=fixed|sc-lfsr|proposed] [--requests=N]\n"
+      "                  [--concurrency=C] [--max-batch=B] [--max-delay-us=U]\n"
+      "                  [--queue-cap=Q] [--workers=W] [--session-threads=T]\n"
+      "                  [--deadline-us=D] [--count=N]\n"
       "  scnn_cli info\n"
       "flags take the form --key=value; --threads=0 uses every hardware thread\n"
       "every command accepts --metrics-out=FILE to dump a JSON metrics snapshot\n");
@@ -358,6 +380,144 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+/// Stand up the serving runtime over the checkpoint and drive it with a
+/// closed-loop load: C client threads submit single-image requests
+/// back-to-back until N total have resolved. Prints the outcome counts,
+/// throughput, latency percentiles, and served accuracy; exits non-zero if
+/// any admitted request fails to resolve ok/timed-out/rejected (kError means
+/// the batch forward threw — a bug, not overload).
+int cmd_serve(const Args& args) {
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "requests",
+                      "concurrency", "max-batch", "max-delay-us", "queue-cap",
+                      "workers", "session-threads", "deadline-us", "count",
+                      "metrics-out"});
+  const std::string task = parse_task(args, 0);
+  const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
+  const EngineConfig cfg{
+      .kind = scnn::nn::engine_kind_from_string(args.get("engine", "proposed")),
+      .n_bits = args.get_int("bits", 8),
+      .accum_bits = args.get_int("accum", 2)};
+  scnn::serve::ServerOptions opts;
+  opts.workers = args.get_int("workers", 1);
+  opts.session_threads = args.get_int("session-threads", 0);  // 0 = auto
+  opts.max_batch = args.get_int("max-batch", 8);
+  opts.max_delay_us = args.get_int("max-delay-us", 200);
+  opts.queue_capacity = args.get_int("queue-cap", 64);
+  opts.default_deadline_us = args.get_int("deadline-us", 0);
+  opts.engine = cfg;
+  opts.validate();
+  const int requests = args.get_int("requests", 200);
+  const int concurrency = args.get_int("concurrency", 8);
+  if (requests < 1 || concurrency < 1)
+    throw scnn::cli::ArgError("--requests and --concurrency must be >= 1");
+
+  // One checkpoint feeds every shard; quick-train it if missing.
+  scnn::nn::Network net = make_net(task);
+  if (scnn::nn::checkpoint_exists(ckpt)) {
+    scnn::nn::load_checkpoint(net, ckpt);
+  } else {
+    std::printf("no checkpoint at %s — training a quick model first\n", ckpt.c_str());
+    train_into(net, task, 4, ckpt);
+  }
+  const std::vector<float> params = net.save_parameters();
+  const Dataset calib = make_data(task, 64, 3);
+  const Dataset test = make_data(task, args.get_int("count", 300), 2);
+
+  scnn::serve::Server server([&task] { return make_net(task); }, opts, params,
+                             &calib.images);
+  std::printf("serving %s: %d workers x %s session threads, max_batch %d, "
+              "max_delay %d us, queue cap %d\n", to_string(cfg.kind).c_str(),
+              server.workers(),
+              opts.session_threads == 0
+                  ? "auto"
+                  : std::to_string(opts.session_threads).c_str(),
+              opts.max_batch, opts.max_delay_us, opts.queue_capacity);
+
+  std::atomic<int> next{0};
+  std::mutex mu;
+  std::vector<double> latencies;
+  int ok = 0, rejected = 0, timed_out = 0, errors = 0, correct = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      std::vector<double> lat;
+      int l_ok = 0, l_rej = 0, l_to = 0, l_err = 0, l_correct = 0;
+      for (;;) {
+        const int id = next.fetch_add(1);
+        if (id >= requests) break;
+        const int img = id % test.images.n();
+        scnn::serve::Response r =
+            server.submit(scnn::nn::batch_slice(test.images, img, 1)).get();
+        switch (r.status) {
+          case scnn::serve::Status::kOk:
+            ++l_ok;
+            lat.push_back(r.total_us);
+            if (r.predicted == test.labels[static_cast<std::size_t>(img)]) ++l_correct;
+            break;
+          case scnn::serve::Status::kQueueFull: ++l_rej; break;
+          case scnn::serve::Status::kTimedOut: ++l_to; break;
+          default: ++l_err; break;
+        }
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      ok += l_ok;
+      rejected += l_rej;
+      timed_out += l_to;
+      errors += l_err;
+      correct += l_correct;
+      latencies.insert(latencies.end(), lat.begin(), lat.end());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  server.drain();
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&latencies](double p) {
+    if (latencies.empty()) return 0.0;
+    return latencies[static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1))];
+  };
+  const auto batch_hist = server.metrics().histogram("serve.batch_size").snapshot();
+  using scnn::common::Table;
+  Table t({"requests", "ok", "rejected", "timed-out", "errors", "req/s", "mean batch",
+           "p50 us", "p95 us", "max us"});
+  t.add_row({std::to_string(requests), std::to_string(ok), std::to_string(rejected),
+             std::to_string(timed_out), std::to_string(errors),
+             Table::fmt(wall_s > 0 ? ok / wall_s : 0.0, 1),
+             Table::fmt(batch_hist.mean(), 2), Table::fmt(pct(0.50), 0),
+             Table::fmt(pct(0.95), 0),
+             Table::fmt(latencies.empty() ? 0.0 : latencies.back(), 0)});
+  t.print(std::cout);
+  if (ok > 0)
+    std::printf("served accuracy: %.3f (over ok responses)\n",
+                static_cast<double>(correct) / ok);
+
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    scnn::obs::JsonReport report = scnn::obs::stamped_report("scnn_cli_serve");
+    report.set_meta("command", "serve");
+    report.set_meta("task", task);
+    scnn::nn::stamp_engine_meta(report, cfg);
+    report.set_meta("workers", static_cast<double>(server.workers()));
+    report.set_meta("max_batch", static_cast<double>(opts.max_batch));
+    report.add_metric("throughput_rps", wall_s > 0 ? ok / wall_s : 0.0, "req/s");
+    report.add_metric("latency_p50_us", pct(0.50), "us");
+    report.add_metric("latency_p95_us", pct(0.95), "us");
+    scnn::obs::append_registry(server.metrics(), report);
+    report.write_file(metrics_path);
+  }
+  if (ok + rejected + timed_out != requests || errors != 0) {
+    std::fprintf(stderr, "FAIL: %d requests unaccounted for or errored "
+                 "(ok %d, rejected %d, timed-out %d, errors %d)\n",
+                 requests, ok, rejected, timed_out, errors);
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_info() {
   std::printf("scnn — BISC-MVM stochastic-computing CNN library (DAC'17 reproduction)\n");
   std::printf("engines: fixed, sc-lfsr, proposed; precisions N = %d..%d, A >= 0\n",
@@ -384,6 +544,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "serve") return cmd_serve(args);
     std::fprintf(stderr, "error: unknown command '%s'\n\n", cmd.c_str());
     return usage();
   } catch (const scnn::cli::ArgError& e) {

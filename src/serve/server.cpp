@@ -124,6 +124,18 @@ Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us) {
   std::optional<Status> reject;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    // Shape validation comes before the load-dependent checks so a
+    // mismatched request throws deterministically even when the server is
+    // full or draining.
+    if (expect_c_ != 0 && (input.c() != expect_c_ || input.h() != expect_h_ ||
+                           input.w() != expect_w_)) {
+      throw std::invalid_argument(
+          "serve::Server::submit: input shape " + std::to_string(input.c()) + "x" +
+          std::to_string(input.h()) + "x" + std::to_string(input.w()) +
+          " does not match the server's established shape " +
+          std::to_string(expect_c_) + "x" + std::to_string(expect_h_) + "x" +
+          std::to_string(expect_w_));
+    }
     if (stopping_) {
       reject = Status::kShutdown;
     } else if (static_cast<int>(queue_.size()) >= opts_.queue_capacity) {
@@ -133,14 +145,6 @@ Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us) {
         expect_c_ = input.c();
         expect_h_ = input.h();
         expect_w_ = input.w();
-      } else if (input.c() != expect_c_ || input.h() != expect_h_ ||
-                 input.w() != expect_w_) {
-        throw std::invalid_argument(
-            "serve::Server::submit: input shape " + std::to_string(input.c()) + "x" +
-            std::to_string(input.h()) + "x" + std::to_string(input.w()) +
-            " does not match the server's established shape " +
-            std::to_string(expect_c_) + "x" + std::to_string(expect_h_) + "x" +
-            std::to_string(expect_w_));
       }
       Request req;
       req.input = input;
@@ -246,7 +250,14 @@ void Server::worker_loop_(int worker) {
           lk, flush_at, [&] { return !queue_.empty() || stopping_; });
       if (!woke) break;  // flush window elapsed
     }
-    if (batch.empty()) continue;  // everything popped had expired
+    if (batch.empty()) {
+      // Everything popped had expired. That pop may have just emptied the
+      // queue with nothing in flight, and run_batch_'s post-batch notify
+      // below never runs on this path — wake a blocked drain() here or it
+      // waits forever.
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      continue;
+    }
 
     in_flight_ += static_cast<int>(batch.size());
     lk.unlock();

@@ -140,7 +140,8 @@ class Server {
 
   /// Admit one single-sample request (input.n() must be 1; its c/h/w must
   /// match every other request — the first admitted request establishes the
-  /// shape, and a mismatch throws std::invalid_argument naming both shapes).
+  /// shape, and a mismatch throws std::invalid_argument naming both shapes,
+  /// even when the queue is full or the server is draining).
   /// Never blocks: a full queue or a draining server resolves the returned
   /// Ticket immediately with kQueueFull / kShutdown.
   /// `deadline_us` < 0 uses options().default_deadline_us; 0 disables the

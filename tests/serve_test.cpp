@@ -152,6 +152,26 @@ TEST(Serve, ExpiredDeadlinesResolveAsTimedOut) {
   EXPECT_EQ(counter_total(server.metrics(), "serve.completed"), 1u);
 }
 
+// Regression: a batch whose every popped request had expired used to skip the
+// idle notification, leaving a drain() already blocked on idle_cv_ hung
+// forever (the destructor drains, so destruction hung too).
+TEST(Serve, DrainCompletesWhenEveryAdmittedRequestHasExpired) {
+  ServerOptions opts = base_options();
+  opts.start_paused = true;
+  Server server(make_server(opts));
+  std::vector<Ticket> doomed;
+  for (int i = 0; i < 5; ++i)
+    doomed.push_back(server.submit(sample(i), /*deadline_us=*/1000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.drain();  // unpauses; the worker pops only expired requests
+  for (Ticket& t : doomed) {
+    ASSERT_TRUE(t.ready());
+    EXPECT_EQ(t.get().status, Status::kTimedOut);
+  }
+  EXPECT_EQ(counter_total(server.metrics(), "serve.timed_out"), 5u);
+  EXPECT_EQ(counter_total(server.metrics(), "serve.completed"), 0u);
+}
+
 TEST(Serve, DrainCompletesAllAdmittedThenRejectsWithShutdown) {
   ServerOptions opts = base_options();
   opts.max_batch = 8;
@@ -272,6 +292,25 @@ TEST(Serve, MismatchedRequestShapeThrows) {
     EXPECT_NE(msg.find("1x28x28"), std::string::npos) << msg;
   }
   EXPECT_THROW((void)server.submit(Tensor(2, 1, 28, 28)), std::invalid_argument);
+}
+
+// The shape check must win over load-dependent rejection: a mismatched
+// request throws the documented invalid_argument even when the queue is
+// full or the server is draining, never kQueueFull/kShutdown.
+TEST(Serve, ShapeMismatchThrowsEvenWhenQueueFullOrDraining) {
+  ServerOptions opts = base_options();
+  opts.queue_capacity = 2;
+  opts.start_paused = true;
+  Server server(make_server(opts));
+  (void)server.submit(sample(0));
+  (void)server.submit(sample(1));
+  EXPECT_EQ(server.queue_depth(), 2u);  // full
+  EXPECT_THROW((void)server.submit(Tensor(1, 3, 32, 32)), std::invalid_argument);
+  EXPECT_EQ(server.submit(sample(2)).get().status, Status::kQueueFull);
+  server.resume();
+  server.drain();
+  EXPECT_THROW((void)server.submit(Tensor(1, 3, 32, 32)), std::invalid_argument);
+  EXPECT_EQ(server.submit(sample(3)).get().status, Status::kShutdown);
 }
 
 }  // namespace

@@ -36,11 +36,21 @@ using obs::JsonReport;
 }
 
 /// Same, plus the full engine configuration of the run (engine, n_bits,
-/// accum_bits, bit_parallel, threads).
+/// accum_bits, bit_parallel, threads, backend + its resolution on this
+/// machine, and the round-trippable engine_config JSON).
 [[nodiscard]] inline JsonReport stamped_report(const std::string& name,
                                                const nn::EngineConfig& cfg) {
   JsonReport report = obs::stamped_report(name);
   nn::stamp_engine_meta(report, cfg);
+  return report;
+}
+
+/// Same, with the resolved backend taken from the live engine's describe().
+[[nodiscard]] inline JsonReport stamped_report(const std::string& name,
+                                               const nn::EngineConfig& cfg,
+                                               const nn::MacEngine& engine) {
+  JsonReport report = obs::stamped_report(name);
+  nn::stamp_engine_meta(report, cfg, engine);
   return report;
 }
 

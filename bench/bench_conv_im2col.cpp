@@ -1,7 +1,8 @@
-// im2col-vs-direct quantized convolution throughput, and the correctness
-// assertions that let the speedup be trusted:
+// im2col-vs-direct and scalar-vs-SIMD quantized convolution throughput, and
+// the correctness assertions that let the speedups be trusted:
 //
 //   build/bench/bench_conv_im2col [--images=N] [--reps=R] [--quick]
+//                                 [--backend=auto|scalar|simd] [--assert-speedup]
 //
 // The CIFAR-style network (untrained but calibrated — throughput does not
 // depend on the weight values) forwards the same batch through both
@@ -12,18 +13,27 @@
 //             checks (one gather per output channel per element);
 //   im2col  — cached weight codes + per-output-row patch buffer + batched
 //             mac_rows LUT kernel (one gather per spatial position, shared
-//             by all output channels).
+//             by all output channels), dispatched to the --backend kernel
+//             (default auto: the widest SIMD kernel this machine supports).
 //
 // The run FAILS (exit 1) unless (a) im2col logits and MacStats are
-// bit-identical to the direct path's and (b) threaded im2col logits are
-// bit-identical to serial. Timings for serial and 4 threads are printed and
-// written to BENCH_conv.json (ns/MAC, imgs/s, im2col-vs-direct speedup).
+// bit-identical to the direct path's, (b) threaded im2col logits are
+// bit-identical to serial, and (c) every mac_rows backend (scalar and, where
+// available, SIMD) reproduces the serial reference bit-exactly — values and
+// MacStats — at 1 and 4 threads. Timings for serial and 4 threads are
+// printed and written to BENCH_conv.json (ns/MAC, imgs/s, im2col-vs-direct
+// and simd-vs-scalar speedups, plus the resolved backend via describe()).
+// --assert-speedup additionally fails the run when a SIMD kernel is
+// available but delivers < 1.5x the scalar kernel's serial imgs/s (a loud
+// SKIP, never a silent pass, where no SIMD kernel exists or under --quick).
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
@@ -35,6 +45,7 @@ namespace {
 
 using scnn::nn::EngineKind;
 using scnn::nn::InferenceSession;
+using scnn::nn::MacBackend;
 using scnn::nn::MacStats;
 using scnn::nn::Tensor;
 
@@ -58,11 +69,15 @@ bool bit_identical(const Tensor& a, const Tensor& b) {
 
 int main(int argc, char** argv) {
   int images = 8, reps = 2;
-  bool quick = false;
+  bool quick = false, assert_speedup = false;
+  MacBackend backend = MacBackend::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--images=", 0) == 0) images = std::stoi(arg.substr(9));
     if (arg.rfind("--reps=", 0) == 0) reps = std::stoi(arg.substr(7));
+    if (arg.rfind("--backend=", 0) == 0)
+      backend = scnn::nn::mac_backend_from_string(arg.substr(10));
+    if (arg == "--assert-speedup") assert_speedup = true;
     if (arg == "--quick") quick = true;
   }
   if (quick) {
@@ -71,8 +86,11 @@ int main(int argc, char** argv) {
   }
   constexpr int kBits = 8;
   const unsigned hw = std::thread::hardware_concurrency();
+  const scnn::nn::backends::Kernel* simd = scnn::nn::backends::best_simd_kernel();
   std::printf("im2col conv bench: %d images, best of %d reps, N = %d, "
-              "%u hardware threads\n", images, reps, kBits, hw);
+              "%u hardware threads, backend %s (simd kernel: %s)\n",
+              images, reps, kBits, hw, to_string(backend).c_str(),
+              simd ? simd->name : "none");
 
   const auto data = scnn::data::make_synthetic_objects({.count = images, .seed = 7});
   InferenceSession session(scnn::nn::make_cifar_net(data.images.h()), /*threads=*/1);
@@ -110,29 +128,77 @@ int main(int argc, char** argv) {
               k_hist.mean(), static_cast<unsigned long long>(k_hist.max),
               static_cast<unsigned long long>(k_hist.count));
 
-  // --- Throughput: proposed engine, serial and 4 threads, both paths.
-  session.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1});
-  scnn::common::Table t({"path", "threads", "ms/pass", "imgs/s", "ns/MAC"});
-  double ms[2][2];  // [path: 0=direct 1=im2col][threads: 0=serial 1=four]
+  // --- Correctness gate 3: every mac_rows backend ≡ the serial reference.
+  // The reference is the direct path on the scalar backend (per-element
+  // mac(), no batched kernel at all); each backend's im2col forward must
+  // reproduce it bit-exactly — logits AND MacStats — at 1 and 4 threads.
+  session.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1,
+                      .backend = MacBackend::kScalar});
+  session.set_im2col(false);
+  const Tensor serial_ref = session.forward(data.images);
+  const MacStats serial_stats = session.last_forward_stats();
+  session.set_im2col(true);
+  bool backends_identical = true;
+  std::vector<MacBackend> backend_reqs{MacBackend::kScalar};
+  if (simd)
+    backend_reqs.push_back(MacBackend::kSimd);
+  else
+    std::printf("  SKIP: no SIMD mac_rows kernel compiled+supported here — "
+                "only the scalar backend is gated\n");
+  for (const MacBackend b : backend_reqs) {
+    for (const int threads : {1, 4}) {
+      session.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits,
+                          .threads = threads, .backend = b});
+      const Tensor y = session.forward(data.images);
+      const bool ok =
+          bit_identical(serial_ref, y) && serial_stats == session.last_forward_stats();
+      backends_identical = backends_identical && ok;
+      std::printf("  backend %-6s (%s, %d threads) vs serial: logits+stats %s\n",
+                  to_string(b).c_str(), session.backend().backend.c_str(), threads,
+                  ok ? "bit-identical" : "DIFFER");
+    }
+  }
+
+  // --- Throughput: proposed engine, serial and 4 threads; the direct path,
+  // im2col on the scalar kernel, and im2col on the requested backend.
+  struct Lane {
+    const char* label;
+    bool im2col;
+    MacBackend backend;
+  };
+  std::vector<Lane> lanes{{"direct", false, MacBackend::kScalar},
+                          {"im2col/scalar", true, MacBackend::kScalar}};
+  session.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1,
+                      .backend = backend});
+  const std::string resolved = session.backend().backend;
+  const bool have_distinct_simd = resolved != "scalar";
+  if (have_distinct_simd) lanes.push_back({"im2col/simd", true, backend});
+  scnn::common::Table t({"path", "backend", "threads", "ms/pass", "imgs/s", "ns/MAC"});
+  std::vector<std::array<double, 2>> ms(lanes.size());  // [lane][serial, four]
+  session.set_im2col(true);
   const MacStats work = session.last_forward_stats();  // same for every pass
   bool threaded_identical = true;
-  for (const int path : {0, 1}) {
-    session.set_im2col(path == 1);
-    Tensor serial_ref;
+  for (std::size_t li = 0; li < lanes.size(); ++li) {
+    const Lane& lane = lanes[li];
+    session.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1,
+                        .backend = lane.backend});
+    session.set_im2col(lane.im2col);
+    const std::string kernel = lane.im2col ? session.backend().backend : "serial";
+    Tensor lane_serial;
     for (const int ti : {0, 1}) {
       session.set_threads(ti == 0 ? 1 : 4);
       const Tensor y = session.forward(data.images);
       if (ti == 0) {
-        serial_ref = y;
-      } else if (path == 1 && !bit_identical(serial_ref, y)) {
+        lane_serial = y;
+      } else if (lane.im2col && !bit_identical(lane_serial, y)) {
         threaded_identical = false;
       }
-      ms[path][ti] = time_forward_ms(session, data.images, reps);
-      t.add_row({path == 0 ? "direct" : "im2col", ti == 0 ? "1" : "4",
-                 scnn::common::Table::fmt(ms[path][ti], 1),
-                 scnn::common::Table::fmt(1000.0 * images / ms[path][ti], 1),
+      ms[li][ti] = time_forward_ms(session, data.images, reps);
+      t.add_row({lane.label, kernel, ti == 0 ? "1" : "4",
+                 scnn::common::Table::fmt(ms[li][ti], 1),
+                 scnn::common::Table::fmt(1000.0 * images / ms[li][ti], 1),
                  scnn::common::Table::fmt(
-                     1e6 * ms[path][ti] / static_cast<double>(work.macs), 1)});
+                     1e6 * ms[li][ti] / static_cast<double>(work.macs), 1)});
     }
     session.set_threads(1);
   }
@@ -140,31 +206,67 @@ int main(int argc, char** argv) {
   std::printf("threaded im2col logits: %s\n",
               threaded_identical ? "bit-identical to serial" : "DIFFER (FAIL)");
 
-  const double speedup_serial = ms[0][0] / ms[1][0];
-  const double speedup_t4 = ms[0][1] / ms[1][1];
+  // Lane 0 is direct, lane 1 im2col/scalar, lane 2 (when present) im2col on
+  // the requested (SIMD-resolving) backend — the fastest is the headline.
+  const std::size_t fast = lanes.size() - 1;
+  const double speedup_serial = ms[0][0] / ms[fast][0];
+  const double speedup_t4 = ms[0][1] / ms[fast][1];
   std::printf("im2col speedup vs direct: %.2fx serial, %.2fx at 4 threads\n",
               speedup_serial, speedup_t4);
+  double simd_speedup_serial = 0.0, simd_speedup_t4 = 0.0;
+  if (have_distinct_simd) {
+    simd_speedup_serial = ms[1][0] / ms[2][0];
+    simd_speedup_t4 = ms[1][1] / ms[2][1];
+    std::printf("%s speedup vs scalar mac_rows: %.2fx serial, %.2fx at 4 threads\n",
+                resolved.c_str(), simd_speedup_serial, simd_speedup_t4);
+  } else {
+    std::printf("SKIP: simd-vs-scalar speedup (no SIMD kernel on this machine)\n");
+  }
 
-  scnn::bench::JsonReport report = scnn::bench::stamped_report(
-      "conv", {.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1});
+  const scnn::nn::EngineConfig report_cfg{.kind = EngineKind::kProposed,
+                                          .n_bits = kBits,
+                                          .threads = 1,
+                                          .backend = backend};
+  session.set_engine(report_cfg);
+  session.set_im2col(true);
+  scnn::bench::JsonReport report =
+      scnn::bench::stamped_report("conv", report_cfg, *session.engine());
   report.set_meta("images", static_cast<double>(images));
   report.set_meta("macs_per_pass", static_cast<double>(work.macs));
   report.add_metric("direct_serial_imgs_per_s", 1000.0 * images / ms[0][0], "imgs/s");
   report.add_metric("direct_t4_imgs_per_s", 1000.0 * images / ms[0][1], "imgs/s");
-  report.add_metric("im2col_serial_imgs_per_s", 1000.0 * images / ms[1][0], "imgs/s");
-  report.add_metric("im2col_t4_imgs_per_s", 1000.0 * images / ms[1][1], "imgs/s");
+  // im2col_* = the requested backend's (fastest) lane, as before the backend
+  // split; the scalar lane is broken out so the simd speedup is trackable.
+  report.add_metric("im2col_serial_imgs_per_s", 1000.0 * images / ms[fast][0], "imgs/s");
+  report.add_metric("im2col_t4_imgs_per_s", 1000.0 * images / ms[fast][1], "imgs/s");
   report.add_metric("im2col_serial_ns_per_mac",
-                    1e6 * ms[1][0] / static_cast<double>(work.macs), "ns/MAC");
+                    1e6 * ms[fast][0] / static_cast<double>(work.macs), "ns/MAC");
   report.add_metric("direct_serial_ns_per_mac",
                     1e6 * ms[0][0] / static_cast<double>(work.macs), "ns/MAC");
+  report.add_metric("im2col_scalar_serial_imgs_per_s", 1000.0 * images / ms[1][0],
+                    "imgs/s");
+  report.add_metric("im2col_scalar_t4_imgs_per_s", 1000.0 * images / ms[1][1],
+                    "imgs/s");
   report.add_metric("speedup_im2col_vs_direct_serial", speedup_serial, "x");
   report.add_metric("speedup_im2col_vs_direct_t4", speedup_t4, "x");
+  if (have_distinct_simd) {
+    report.add_metric("im2col_simd_serial_imgs_per_s", 1000.0 * images / ms[2][0],
+                      "imgs/s");
+    report.add_metric("im2col_simd_t4_imgs_per_s", 1000.0 * images / ms[2][1],
+                      "imgs/s");
+    report.add_metric("speedup_simd_vs_scalar_serial", simd_speedup_serial, "x");
+    report.add_metric("speedup_simd_vs_scalar_t4", simd_speedup_t4, "x");
+  }
   report.add_metric("avg_enable_cycles", k_hist.mean(), "cycles");
   report.add_metric("max_enable_cycles", static_cast<double>(k_hist.max), "cycles");
   report.write_file();
 
   if (!paths_identical) {
     std::printf("FAIL: im2col logits/stats differ from the direct path\n");
+    return 1;
+  }
+  if (!backends_identical) {
+    std::printf("FAIL: a mac_rows backend differs from the serial reference\n");
     return 1;
   }
   if (!threaded_identical) {
@@ -174,6 +276,22 @@ int main(int argc, char** argv) {
   if (!instr_identical) {
     std::printf("FAIL: instrumented logits differ from uninstrumented\n");
     return 1;
+  }
+  if (assert_speedup) {
+    if (quick) {
+      std::printf("SKIP: --assert-speedup under --quick (timings too noisy)\n");
+    } else if (!have_distinct_simd) {
+      std::printf("SKIP: --assert-speedup — no SIMD mac_rows kernel on this "
+                  "machine, nothing to compare\n");
+    } else if (simd_speedup_serial < 1.5) {
+      std::printf("FAIL: %s mac_rows is only %.2fx the scalar kernel "
+                  "(--assert-speedup requires >= 1.5x serial)\n",
+                  resolved.c_str(), simd_speedup_serial);
+      return 1;
+    } else {
+      std::printf("speedup assertion: %s >= 1.5x scalar (%.2fx) — OK\n",
+                  resolved.c_str(), simd_speedup_serial);
+    }
   }
   std::printf("PASS: all equivalence assertions hold\n");
   return 0;

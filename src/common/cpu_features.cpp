@@ -1,0 +1,38 @@
+#include "common/cpu_features.hpp"
+
+namespace scnn::common {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.sse2 = __builtin_cpu_supports("sse2") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(__ARM_NEON) || defined(__aarch64__)
+  f.neon = true;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+std::string cpu_features_summary() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  if (f.sse2) s += "sse2 ";
+  if (f.avx2) s += "avx2 ";
+  if (f.neon) s += "neon ";
+  if (s.empty()) return "none";
+  s.pop_back();
+  return s;
+}
+
+}  // namespace scnn::common

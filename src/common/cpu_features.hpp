@@ -1,0 +1,30 @@
+// Runtime CPU capability probe for kernel dispatch.
+//
+// The SIMD MAC backends (src/nn/mac_backends/) are compiled whenever the
+// compiler can target them, but executing one on a machine without the ISA
+// is illegal-instruction territory — so selection is keyed on this probe,
+// taken once per process. Compile-time support (was the kernel built at
+// all?) is a separate question answered by the backend registry itself.
+#pragma once
+
+#include <string>
+
+namespace scnn::common {
+
+/// What the *current machine* can execute. All fields are false on
+/// architectures the corresponding ISA does not exist for.
+struct CpuFeatures {
+  bool sse2 = false;  ///< x86 SSE2 (baseline on x86-64)
+  bool avx2 = false;  ///< x86 AVX2 (the gather-capable tier the LUT-MAC wants)
+  bool neon = false;  ///< arm NEON / AdvSIMD (baseline on aarch64)
+};
+
+/// The probe result, taken once on first call and cached (thread-safe via
+/// static-init; the answer cannot change while the process runs).
+[[nodiscard]] const CpuFeatures& cpu_features();
+
+/// Human-readable summary, e.g. "sse2 avx2" or "none" — for `scnn_cli info`
+/// and bench banners.
+[[nodiscard]] std::string cpu_features_summary();
+
+}  // namespace scnn::common

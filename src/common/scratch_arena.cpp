@@ -24,6 +24,7 @@ void ScratchArena::reset_() {
 
 void* ScratchArena::take_bytes_(std::size_t bytes, std::size_t align) {
   if (bytes == 0) bytes = 1;  // keep spans from distinct takes non-aliasing
+  align = std::max(align, kAlignment);  // every span is at least 32B-aligned
   if (chunks_.empty()) {
     const std::size_t size = std::max<std::size_t>(bytes + align, 4096);
     chunks_.push_back({std::make_unique<std::byte[]>(size), size});

@@ -27,6 +27,12 @@ namespace scnn::common {
 
 class ScratchArena {
  public:
+  /// Minimum alignment of every span the arena hands out, regardless of the
+  /// element type's own alignof. 32 bytes covers one full AVX2 vector, so
+  /// SIMD mac_rows kernels can assume aligned loads/stores on arena-backed
+  /// patch and accumulator buffers.
+  static constexpr std::size_t kAlignment = 32;
+
   ScratchArena() = default;
   ScratchArena(const ScratchArena&) = delete;
   ScratchArena& operator=(const ScratchArena&) = delete;
@@ -40,10 +46,11 @@ class ScratchArena {
   };
   [[nodiscard]] Frame frame() { return Frame(*this); }
 
-  /// A span of `count` default-initialized Ts, alive until the next frame.
-  /// Allocations in one frame never alias; if the current chunk is too small
-  /// the arena grows (old chunks are kept alive until the next frame so
-  /// earlier spans stay valid).
+  /// A span of `count` default-initialized Ts, alive until the next frame,
+  /// its base aligned to max(alignof(T), kAlignment). Allocations in one
+  /// frame never alias; if the current chunk is too small the arena grows
+  /// (old chunks are kept alive until the next frame so earlier spans stay
+  /// valid).
   template <typename T>
   [[nodiscard]] std::span<T> take(std::size_t count) {
     void* p = take_bytes_(count * sizeof(T), alignof(T));

@@ -75,6 +75,12 @@ class InferenceSession {
   /// Active configuration; nullopt in float mode.
   [[nodiscard]] const std::optional<EngineConfig>& config() const { return cfg_; }
   [[nodiscard]] const MacEngine* engine() const { return engine_; }
+  /// The active engine's mac_rows kernel report ({"float", 1} in float mode)
+  /// — what serve's startup line and --metrics-out stamping print.
+  [[nodiscard]] MacEngine::Description backend() const {
+    return engine_ ? engine_->describe()
+                   : MacEngine::Description{.backend = "float", .lanes = 1};
+  }
 
   /// Sum of all conv layers' counters from the most recent forward pass
   /// (zeros in float mode).

@@ -1,0 +1,91 @@
+// SIMD-dispatched MAC backends for the batched mac_rows contract.
+//
+// The paper's multiplier is deterministic and bit-parallel-exact (Sec. 2.5),
+// so the software MAC can be vectorized without changing a single output
+// bit: every backend here implements the same contract — per output lane,
+// products arrive in increasing-j order with the saturating clamp applied
+// after every add — and differs only in how many lanes one kernel step
+// carries. The scalar kernel is the reference; SSE2/AVX2 (x86) and NEON
+// (arm) are compiled when the compiler can target them and selected at
+// runtime via the common::cpu_features probe, never by #ifdef alone.
+//
+// Selection is public API through EngineConfig::backend (kAuto | kScalar |
+// kSimd); this header is the registry the engine layer (and tests, which
+// exercise *every* compiled kernel, not just the auto pick) dispatches
+// through.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sc/mult_lut.hpp"
+
+namespace scnn::nn {
+
+/// mac_rows kernel selection, carried by EngineConfig::backend. kAuto picks
+/// the widest kernel this machine supports (overridable via the
+/// SCNN_BACKEND environment variable: auto | scalar | simd); kScalar forces
+/// the reference kernel; kSimd requires a SIMD kernel and makes engine
+/// construction throw where none is compiled or supported.
+enum class MacBackend { kAuto, kScalar, kSimd };
+
+/// Canonical spelling: "auto" | "scalar" | "simd".
+[[nodiscard]] std::string to_string(MacBackend backend);
+/// Parse the canonical spelling; throws std::invalid_argument listing the
+/// accepted names otherwise.
+[[nodiscard]] MacBackend mac_backend_from_string(std::string_view s);
+
+namespace backends {
+
+/// One mac_rows kernel: out[t] = saturating MAC of `w` against patch t of
+/// `patches` (layout [tile][d], d = w.size()), clamped to [lo, hi] after
+/// every product, products in increasing-j order per lane; returns the
+/// total number of clamp events. Exactly LutEngine's serial mac() semantics
+/// — the bit-exactness contract every backend is tested against.
+using MacRowsFn = std::uint64_t (*)(const sc::ProductLut& lut,
+                                    std::span<const std::int32_t> w,
+                                    std::span<const std::int32_t> patches,
+                                    std::span<std::int64_t> out,
+                                    std::int64_t lo, std::int64_t hi);
+
+struct Kernel {
+  const char* name;  ///< "scalar" | "sse2" | "avx2" | "neon"
+  int lanes;         ///< output elements per kernel step (32-bit accum lanes)
+  /// Fast path: 32-bit accumulators, exact while n_bits + accum_bits <= 30
+  /// (rails fit and one int16 product cannot overflow before the clamp).
+  MacRowsFn narrow;
+  /// Any accumulator width. Wider-than-30-bit configurations are outside
+  /// every SIMD kernel's int32 lanes, so all backends currently share the
+  /// scalar int64 implementation here (LutEngine::describe reports that).
+  MacRowsFn wide;
+};
+
+/// The reference kernel — always available, the equivalence baseline.
+[[nodiscard]] const Kernel& scalar_kernel();
+
+/// Compiled-and-supported SIMD kernels, nullptr otherwise. "Compiled" is a
+/// compiler/arch question, "supported" a cpu_features() one; both must hold.
+[[nodiscard]] const Kernel* sse2_kernel();
+[[nodiscard]] const Kernel* avx2_kernel();
+[[nodiscard]] const Kernel* neon_kernel();
+
+/// The widest supported SIMD kernel (avx2 > neon > sse2), or nullptr when
+/// this build/machine has none.
+[[nodiscard]] const Kernel* best_simd_kernel();
+
+/// Resolve a backend request to a kernel. kAuto consults the SCNN_BACKEND
+/// environment variable first (auto | scalar | simd, anything else throws),
+/// then falls back to best_simd_kernel() or scalar. kSimd throws
+/// std::invalid_argument naming the available kernels when no SIMD kernel
+/// is compiled+supported — a requested backend never degrades silently.
+[[nodiscard]] const Kernel& select_kernel(MacBackend backend);
+
+/// Every kernel runnable on this machine, scalar first. Tests iterate this
+/// to pin each compiled backend against the scalar reference.
+[[nodiscard]] std::vector<const Kernel*> available_kernels();
+
+}  // namespace backends
+}  // namespace scnn::nn

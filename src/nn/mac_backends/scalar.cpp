@@ -1,0 +1,37 @@
+#include "nn/mac_backends/mac_backends.hpp"
+#include "nn/mac_backends/scalar_impl.hpp"
+
+namespace scnn::nn::backends {
+
+namespace detail {
+
+std::uint64_t mac_rows_wide(const sc::ProductLut& lut,
+                            std::span<const std::int32_t> w,
+                            std::span<const std::int32_t> patches,
+                            std::span<std::int64_t> out, std::int64_t lo,
+                            std::int64_t hi) {
+  return mac_rows_blocked<std::int64_t>(lut, w, patches, out, lo, hi);
+}
+
+}  // namespace detail
+
+namespace {
+
+std::uint64_t scalar_narrow(const sc::ProductLut& lut,
+                            std::span<const std::int32_t> w,
+                            std::span<const std::int32_t> patches,
+                            std::span<std::int64_t> out, std::int64_t lo,
+                            std::int64_t hi) {
+  return detail::mac_rows_blocked<std::int32_t>(lut, w, patches, out,
+                                                static_cast<std::int32_t>(lo),
+                                                static_cast<std::int32_t>(hi));
+}
+
+}  // namespace
+
+const Kernel& scalar_kernel() {
+  static const Kernel k{"scalar", 8, &scalar_narrow, &detail::mac_rows_wide};
+  return k;
+}
+
+}  // namespace scnn::nn::backends

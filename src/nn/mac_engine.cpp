@@ -46,6 +46,9 @@ void EngineConfig::validate() const {
   if (kind != EngineKind::kFixed && kind != EngineKind::kScLfsr &&
       kind != EngineKind::kProposed)
     fail("invalid kind enum value " + std::to_string(static_cast<int>(kind)));
+  if (backend != MacBackend::kAuto && backend != MacBackend::kScalar &&
+      backend != MacBackend::kSimd)
+    fail("invalid backend enum value " + std::to_string(static_cast<int>(backend)));
   if (n_bits < kMinBits || n_bits > kMaxBits)
     fail("n_bits = " + std::to_string(n_bits) + " out of range [" +
          std::to_string(kMinBits) + ", " + std::to_string(kMaxBits) + "]");
@@ -61,7 +64,11 @@ void EngineConfig::validate() const {
 }
 
 std::string EngineConfig::label() const {
-  return to_string(kind) + "/N=" + std::to_string(n_bits);
+  std::string l = to_string(kind) + "/N=" + std::to_string(n_bits);
+  // Only a non-default backend changes which kernel runs, so only that is
+  // worth a label segment (sweep labels stay stable for existing configs).
+  if (backend != MacBackend::kAuto) l += "/" + to_string(backend);
+  return l;
 }
 
 int EngineConfig::resolved_threads() const {
@@ -70,8 +77,130 @@ int EngineConfig::resolved_threads() const {
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
-LutEngine::LutEngine(sc::ProductLut lut, int accum_bits)
-    : MacEngine(lut.bits(), accum_bits), lut_(std::move(lut)) {}
+std::string EngineConfig::to_json() const {
+  return "{\"kind\":\"" + to_string(kind) + "\",\"backend\":\"" + to_string(backend) +
+         "\",\"n_bits\":" + std::to_string(n_bits) +
+         ",\"accum_bits\":" + std::to_string(accum_bits) +
+         ",\"bit_parallel\":" + std::to_string(bit_parallel) +
+         ",\"threads\":" + std::to_string(threads) +
+         ",\"instrument\":" + (instrument ? "true" : "false") + "}";
+}
+
+namespace {
+
+/// Minimal scanner for the flat EngineConfig object — string, integer and
+/// boolean values only, no nesting, no escapes (no key or value here needs
+/// them). Errors always name the offending token.
+struct FlatJsonScanner {
+  std::string_view s;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("EngineConfig::from_json: " + what);
+  }
+  void skip_ws() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+  char peek() {
+    skip_ws();
+    if (i >= s.size()) fail("unexpected end of input");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "', got '" + s[i] + "' at offset " +
+           std::to_string(i));
+    ++i;
+  }
+  std::string parse_string() {
+    expect('"');
+    const std::size_t start = i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') fail("escape sequences are not supported");
+      ++i;
+    }
+    if (i >= s.size()) fail("unterminated string");
+    return std::string(s.substr(start, i++ - start));
+  }
+  int parse_int() {
+    skip_ws();
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    const std::string_view tok = s.substr(start, i - start);
+    if (tok.empty() || tok == "-")
+      fail("expected an integer at offset " + std::to_string(start));
+    try {
+      return std::stoi(std::string(tok));
+    } catch (const std::out_of_range&) {
+      fail("integer '" + std::string(tok) + "' out of int range");
+    }
+  }
+  bool parse_bool() {
+    skip_ws();
+    if (s.substr(i, 4) == "true") {
+      i += 4;
+      return true;
+    }
+    if (s.substr(i, 5) == "false") {
+      i += 5;
+      return false;
+    }
+    fail("expected true or false at offset " + std::to_string(i));
+  }
+};
+
+}  // namespace
+
+EngineConfig EngineConfig::from_json(std::string_view json) {
+  EngineConfig cfg;
+  FlatJsonScanner in{json};
+  in.expect('{');
+  if (in.peek() != '}') {
+    while (true) {
+      const std::string key = in.parse_string();
+      in.expect(':');
+      if (key == "kind") {
+        cfg.kind = engine_kind_from_string(in.parse_string());
+      } else if (key == "backend") {
+        cfg.backend = mac_backend_from_string(in.parse_string());
+      } else if (key == "n_bits") {
+        cfg.n_bits = in.parse_int();
+      } else if (key == "accum_bits") {
+        cfg.accum_bits = in.parse_int();
+      } else if (key == "bit_parallel") {
+        cfg.bit_parallel = in.parse_int();
+      } else if (key == "threads") {
+        cfg.threads = in.parse_int();
+      } else if (key == "instrument") {
+        cfg.instrument = in.parse_bool();
+      } else {
+        in.fail("unknown key \"" + key + "\"");
+      }
+      const char c = in.peek();
+      if (c == ',') {
+        ++in.i;
+        continue;
+      }
+      if (c == '}') break;
+      in.fail(std::string("expected ',' or '}', got '") + c + "' at offset " +
+              std::to_string(in.i));
+    }
+  }
+  in.expect('}');
+  in.skip_ws();
+  if (in.i != json.size())
+    in.fail("trailing characters after object: '" +
+            std::string(json.substr(in.i)) + "'");
+  return cfg;
+}
+
+LutEngine::LutEngine(sc::ProductLut lut, int accum_bits, MacBackend backend)
+    : MacEngine(lut.bits(), accum_bits),
+      lut_(std::move(lut)),
+      kernel_(&backends::select_kernel(backend)) {}
 
 std::int64_t LutEngine::mac_impl_(std::span<const std::int32_t> w,
                                   std::span<const std::int32_t> x,
@@ -110,59 +239,6 @@ std::int64_t LutEngine::mac(std::span<const std::int32_t> w,
   return mac_impl_(w, x, &stats);
 }
 
-namespace {
-
-// Tile-blocked saturating MAC over one weight row. The j-loop is outermost
-// so one LUT row (2^N int16s) stays hot across all lanes; each lane's
-// products still arrive in increasing-j order, so per-element saturation
-// behaviour is exactly the serial mac()'s. The lane loop has no branches
-// (clamp via min/max), a fixed trip count, and — in the common Acc=int32
-// case (accumulator width <= 31 bits, true for every paper configuration) —
-// narrow accumulators: the form the auto-vectorizer wants.
-template <typename Acc>
-std::uint64_t mac_rows_blocked(const sc::ProductLut& lut,
-                               std::span<const std::int32_t> w,
-                               std::span<const std::int32_t> patches,
-                               std::span<std::int64_t> out, Acc lo, Acc hi) {
-  const std::size_t d = w.size();
-  const std::size_t tile = out.size();
-  std::uint64_t sat = 0;
-  constexpr std::size_t kLanes = 8;
-  std::size_t t0 = 0;
-  for (; t0 + kLanes <= tile; t0 += kLanes) {
-    Acc acc[kLanes] = {};
-    std::uint32_t lane_sat[kLanes] = {};
-    const std::int32_t* px = &patches[t0 * d];
-    for (std::size_t j = 0; j < d; ++j) {
-      const std::int16_t* row = lut.row(w[j]);
-      for (std::size_t t = 0; t < kLanes; ++t) {
-        const Acc v = static_cast<Acc>(acc[t] + row[px[t * d + j]]);
-        lane_sat[t] += static_cast<std::uint32_t>(v < lo) +
-                       static_cast<std::uint32_t>(v > hi);
-        acc[t] = v < lo ? lo : (v > hi ? hi : v);
-      }
-    }
-    for (std::size_t t = 0; t < kLanes; ++t) {
-      out[t0 + t] = acc[t];
-      sat += lane_sat[t];
-    }
-  }
-  // Tail lanes: same math, one element at a time.
-  for (; t0 < tile; ++t0) {
-    const std::int32_t* px = &patches[t0 * d];
-    Acc acc = 0;
-    for (std::size_t j = 0; j < d; ++j) {
-      const Acc v = static_cast<Acc>(acc + lut.row(w[j])[px[j]]);
-      sat += static_cast<std::uint64_t>(v < lo) + static_cast<std::uint64_t>(v > hi);
-      acc = v < lo ? lo : (v > hi ? hi : v);
-    }
-    out[t0] = acc;
-  }
-  return sat;
-}
-
-}  // namespace
-
 void LutEngine::mac_rows(std::span<const std::int32_t> w,
                          std::span<const std::int32_t> patches,
                          std::span<std::int64_t> out, MacStats& stats) const {
@@ -171,17 +247,22 @@ void LutEngine::mac_rows(std::span<const std::int32_t> w,
   assert(patches.size() == d * tile);
   const int bits = n_ + a_;
   const std::int64_t lo = common::int_min_of(bits), hi = common::int_max_of(bits);
-  // int32 accumulators are exact while |rail| + |product| fits: rails need
-  // `bits` <= 31 and a product adds at most 2^15 before the clamp.
-  const std::uint64_t sat =
-      bits <= 30 ? mac_rows_blocked<std::int32_t>(lut_, w, patches, out,
-                                                  static_cast<std::int32_t>(lo),
-                                                  static_cast<std::int32_t>(hi))
-                 : mac_rows_blocked<std::int64_t>(lut_, w, patches, out, lo, hi);
+  // The narrow (int32-accumulator) kernels are exact while |rail| + |product|
+  // fits: rails need `bits` <= 31 and a product adds at most 2^15 before the
+  // clamp. Wider configurations fall back to the shared int64 path.
+  const std::uint64_t sat = bits <= 30 ? kernel_->narrow(lut_, w, patches, out, lo, hi)
+                                       : kernel_->wide(lut_, w, patches, out, lo, hi);
   stats.macs += tile;
   stats.products += tile * d;
   stats.saturations += sat;
   if (stats.detail && tile > 0) account_enable_cycles(w, tile, stats.k_hist);
+}
+
+MacEngine::Description LutEngine::describe() const {
+  // n + a > 30 routes mac_rows onto Kernel::wide, which every backend
+  // currently shares with the scalar kernel — report what actually runs.
+  if (n_ + a_ > 30) return {.backend = "scalar", .lanes = 8};
+  return {.backend = kernel_->name, .lanes = kernel_->lanes};
 }
 
 std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg) {
@@ -189,30 +270,53 @@ std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg) {
   switch (cfg.kind) {
     case EngineKind::kFixed:
       return std::make_unique<LutEngine>(sc::make_fixed_point_lut(cfg.n_bits),
-                                         cfg.accum_bits);
+                                         cfg.accum_bits, cfg.backend);
     case EngineKind::kScLfsr:
       return std::make_unique<LutEngine>(sc::make_lfsr_sc_lut(cfg.n_bits),
-                                         cfg.accum_bits);
+                                         cfg.accum_bits, cfg.backend);
     case EngineKind::kProposed:
       return std::make_unique<LutEngine>(core::make_proposed_lut(cfg.n_bits),
-                                         cfg.accum_bits);
+                                         cfg.accum_bits, cfg.backend);
   }
   throw std::invalid_argument("make_engine: invalid EngineKind");
 }
 
-std::unique_ptr<MacEngine> make_engine(const std::string& kind, int n_bits,
-                                       int accum_bits) {
-  return make_engine(EngineConfig{.kind = engine_kind_from_string(kind),
-                                  .n_bits = n_bits,
-                                  .accum_bits = accum_bits});
+MacEngine::Description resolved_backend(MacBackend backend) {
+  const backends::Kernel& k = backends::select_kernel(backend);
+  return {.backend = k.name, .lanes = k.lanes};
 }
 
-void stamp_engine_meta(obs::JsonReport& report, const EngineConfig& cfg) {
+namespace {
+
+void stamp_engine_meta_impl(obs::JsonReport& report, const EngineConfig& cfg,
+                            const MacEngine::Description& resolved) {
   report.set_meta("engine", to_string(cfg.kind));
   report.set_meta("n_bits", static_cast<double>(cfg.n_bits));
   report.set_meta("accum_bits", static_cast<double>(cfg.accum_bits));
   report.set_meta("bit_parallel", static_cast<double>(cfg.bit_parallel));
   report.set_meta("threads", static_cast<double>(cfg.resolved_threads()));
+  report.set_meta("backend", to_string(cfg.backend));
+  report.set_meta("backend_resolved", resolved.backend);
+  report.set_meta("backend_lanes", static_cast<double>(resolved.lanes));
+  report.set_meta_json("engine_config", cfg.to_json());
+}
+
+}  // namespace
+
+void stamp_engine_meta(obs::JsonReport& report, const EngineConfig& cfg) {
+  MacEngine::Description resolved{.backend = "unavailable", .lanes = 0};
+  try {
+    resolved = resolved_backend(cfg.backend);
+  } catch (const std::exception&) {
+    // kSimd on a machine with no SIMD kernel: stamp the fact, don't throw
+    // from a reporting path.
+  }
+  stamp_engine_meta_impl(report, cfg, resolved);
+}
+
+void stamp_engine_meta(obs::JsonReport& report, const EngineConfig& cfg,
+                       const MacEngine& engine) {
+  stamp_engine_meta_impl(report, cfg, engine.describe());
 }
 
 }  // namespace scnn::nn

@@ -9,9 +9,12 @@
 // saturating accumulator (bit-exact w.r.t. product-level saturation; see
 // DESIGN.md for the tick-level caveat).
 //
-// Engines are selected through the typed EngineConfig below; the stringly
-// make_engine(kind, ...) overload survives only as a deprecated shim for
-// out-of-tree callers.
+// Engines are selected through the typed EngineConfig below — one struct
+// carries the arithmetic (kind, n_bits, accum_bits), the runtime sizing
+// (threads, bit_parallel, instrument), and the mac_rows kernel backend
+// (auto | scalar | simd, dispatched at runtime on the CPU's actual
+// capabilities). The pre-1.1 stringly make_engine(kind, ...) shim has been
+// removed; build an EngineConfig instead.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "nn/mac_backends/mac_backends.hpp"
 #include "obs/metrics.hpp"
 #include "sc/mult_lut.hpp"
 
@@ -52,6 +56,15 @@ struct EngineConfig {
   bool instrument = false;  ///< per-layer traces + SC-cycle accounting; the
                             ///< session applies this on set_engine() (and
                             ///< set_instrumentation() toggles it afterwards)
+  MacBackend backend = MacBackend::kAuto;  ///< mac_rows kernel: kAuto picks
+                                           ///< the widest SIMD kernel this
+                                           ///< machine supports (SCNN_BACKEND
+                                           ///< env overrides), kScalar forces
+                                           ///< the reference kernel, kSimd
+                                           ///< fails loudly when no SIMD
+                                           ///< kernel is available. Logits
+                                           ///< and MacStats are bit-identical
+                                           ///< across all of them.
 
   /// Supported precision window. The LUT is 2^(2N) int16 entries, so N = 12
   /// (32 MiB) is the practical ceiling; N = 2 is sign + one magnitude bit.
@@ -65,10 +78,25 @@ struct EngineConfig {
   /// is out of range (instead of silently building an out-of-range LUT).
   void validate() const;
 
-  /// Sweep label, e.g. "proposed/N=8".
+  /// Sweep label, e.g. "proposed/N=8" — a non-default backend is appended
+  /// ("proposed/N=8/scalar") since it selects a different kernel.
   [[nodiscard]] std::string label() const;
   /// `threads` with 0 resolved to the machine's hardware concurrency.
   [[nodiscard]] int resolved_threads() const;
+
+  /// Flat JSON object carrying every field, e.g.
+  ///   {"kind":"proposed","backend":"auto","n_bits":8,"accum_bits":2,
+  ///    "bit_parallel":1,"threads":1,"instrument":false}
+  /// — the round-trippable form --metrics-out snapshots stamp and
+  /// `scnn_cli serve --engine-config=` accepts.
+  [[nodiscard]] std::string to_json() const;
+  /// Inverse of to_json(): accepts the same flat object with any key order
+  /// and whitespace; absent keys keep their defaults. Throws
+  /// std::invalid_argument naming the offending token on anything
+  /// malformed or unknown. Does not range-check — call validate().
+  [[nodiscard]] static EngineConfig from_json(std::string_view json);
+
+  bool operator==(const EngineConfig&) const = default;
 };
 
 /// Per-engine work counters for one forward pass. Per-thread instances are
@@ -112,13 +140,31 @@ struct MacStats {
 }
 
 /// Stamp the full engine configuration into a JSON report (engine, n_bits,
-/// accum_bits, bit_parallel, threads) — the provenance every BENCH_*.json
-/// and --metrics-out snapshot carries alongside obs::stamped_report()'s
-/// git SHA and hardware thread count.
+/// accum_bits, bit_parallel, threads, backend + its machine resolution, and
+/// the round-trippable engine_config JSON) — the provenance every
+/// BENCH_*.json and --metrics-out snapshot carries alongside
+/// obs::stamped_report()'s git SHA and hardware thread count.
 void stamp_engine_meta(obs::JsonReport& report, const EngineConfig& cfg);
+
+/// Same, but the resolved backend comes from the live engine's describe()
+/// (authoritative: it reflects e.g. the wide-accumulator scalar fallback).
+class MacEngine;
+void stamp_engine_meta(obs::JsonReport& report, const EngineConfig& cfg,
+                       const MacEngine& engine);
 
 class MacEngine {
  public:
+  /// Capability report: which mac_rows kernel this engine dispatches to and
+  /// how many output lanes one kernel step carries. Stamped into every
+  /// BENCH_*.json / --metrics-out snapshot so perf numbers always say what
+  /// code produced them.
+  struct Description {
+    std::string backend;  ///< "serial" | "scalar" | "sse2" | "avx2" | "neon"
+    int lanes = 1;        ///< output elements per kernel step
+
+    bool operator==(const Description&) const = default;
+  };
+
   virtual ~MacEngine() = default;
 
   /// Saturating MAC over d = w.size() == x.size() code pairs.
@@ -157,6 +203,10 @@ class MacEngine {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+  /// Base engines run mac_rows as a serial mac() loop.
+  [[nodiscard]] virtual Description describe() const {
+    return {.backend = "serial", .lanes = 1};
+  }
   [[nodiscard]] int bits() const { return n_; }
   [[nodiscard]] int accum_bits() const { return a_; }
 
@@ -170,20 +220,25 @@ class MacEngine {
 /// proposed SC multiplier (they differ only in the product table).
 class LutEngine final : public MacEngine {
  public:
-  LutEngine(sc::ProductLut lut, int accum_bits);
+  /// `backend` selects the mac_rows kernel through the dispatch rules of
+  /// MacBackend (resolved once here, at construction — never per call).
+  LutEngine(sc::ProductLut lut, int accum_bits,
+            MacBackend backend = MacBackend::kAuto);
 
   [[nodiscard]] std::int64_t mac(std::span<const std::int32_t> w,
                                  std::span<const std::int32_t> x) const override;
   std::int64_t mac(std::span<const std::int32_t> w, std::span<const std::int32_t> x,
                    MacStats& stats) const override;
-  /// Tile-blocked kernel: LUT row pointers are hoisted per product index and
-  /// shared across a block of output elements, and the per-lane saturating
-  /// add is branchless so the block loop can auto-vectorize (build with
-  /// -DSCNN_NATIVE=ON for gather-capable codegen). Bit-identical to the
-  /// per-element path, product-level saturation order included.
+  /// Batched kernel, dispatched to the selected backend (scalar blocked /
+  /// SSE2 / AVX2 / NEON — see src/nn/mac_backends/). Every backend hoists
+  /// the LUT row per product index, keeps per-lane products in increasing-j
+  /// order, and counts saturations branchlessly, so the result is
+  /// bit-identical to the per-element path — values, saturation order and
+  /// MacStats included.
   void mac_rows(std::span<const std::int32_t> w, std::span<const std::int32_t> patches,
                 std::span<std::int64_t> out, MacStats& stats) const override;
   [[nodiscard]] std::string name() const override { return lut_.name(); }
+  [[nodiscard]] Description describe() const override;
 
   [[nodiscard]] const sc::ProductLut& lut() const { return lut_; }
 
@@ -191,16 +246,17 @@ class LutEngine final : public MacEngine {
   std::int64_t mac_impl_(std::span<const std::int32_t> w,
                          std::span<const std::int32_t> x, MacStats* stats) const;
   sc::ProductLut lut_;
+  const backends::Kernel* kernel_;
 };
 
 /// Build the engine described by a validated configuration (validate() is
-/// called on entry; bad ranges throw std::invalid_argument).
+/// called on entry; bad ranges throw std::invalid_argument, as does
+/// backend = kSimd on a machine with no SIMD kernel).
 std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg);
 
-/// Deprecated stringly-typed shim: parses `kind` into an EngineConfig and
-/// forwards. New code should build an EngineConfig directly.
-[[deprecated("use make_engine(const EngineConfig&)")]]
-std::unique_ptr<MacEngine> make_engine(const std::string& kind, int n_bits,
-                                       int accum_bits = 2);
+/// Description of the mac_rows kernel an engine built with `backend` would
+/// dispatch to on this machine (same resolution rules as construction,
+/// including the SCNN_BACKEND override and the kSimd-unavailable throw).
+[[nodiscard]] MacEngine::Description resolved_backend(MacBackend backend);
 
 }  // namespace scnn::nn

@@ -36,7 +36,11 @@ void set_conv_cycle_accounting(Network& net, bool on) {
 
 const MacEngine* EnginePool::get(const EngineConfig& cfg) {
   cfg.validate();
-  const std::string key = cfg.label() + "/A=" + std::to_string(cfg.accum_bits);
+  // Everything that changes engine identity: kind + N (label), accumulator
+  // width, and the requested backend (label only carries non-default
+  // backends, so spell it out — kAuto and kScalar must not alias).
+  const std::string key = cfg.label() + "/A=" + std::to_string(cfg.accum_bits) +
+                          "/B=" + to_string(cfg.backend);
   for (std::size_t i = 0; i < keys_.size(); ++i)
     if (keys_[i] == key) return engines_[i].get();
   engines_.push_back(make_engine(cfg));

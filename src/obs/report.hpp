@@ -34,6 +34,11 @@ class JsonReport {
   void set_meta(const std::string& key, double value) {
     meta_.push_back({key, detail::json_number(value)});
   }
+  /// Embed an already-rendered JSON value (object/array) verbatim — used to
+  /// nest the round-trippable EngineConfig::to_json() object under one key.
+  void set_meta_json(const std::string& key, std::string raw_json) {
+    meta_.push_back({key, std::move(raw_json)});
+  }
   void add_metric(const std::string& name, double value, const std::string& unit) {
     metrics_.push_back({name, value, unit});
   }

@@ -13,7 +13,11 @@ ProductLut::ProductLut(int n_bits, std::string name,
   if (n_bits < 2 || n_bits > 12)
     throw std::invalid_argument("ProductLut: n_bits out of supported range [2,12]");
   const std::int32_t half = 1 << (n_ - 1);
-  table_.resize(std::size_t{1} << (2 * n_));
+  // Two zero pad entries beyond the 2^(2N) table: SIMD MAC backends fetch
+  // the int16 entries via 32-bit gathers, which read 2 bytes past the
+  // addressed entry — the pad keeps the top-corner load inside the
+  // allocation. at()/row() indexing is unchanged.
+  table_.resize((std::size_t{1} << (2 * n_)) + 2);
   for (std::int32_t qw = -half; qw < half; ++qw) {
     for (std::int32_t qx = -half; qx < half; ++qx) {
       const std::int32_t p = product(qw, qx);

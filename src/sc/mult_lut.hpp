@@ -52,6 +52,8 @@ class ProductLut {
  private:
   int n_;
   std::string name_;
+  // 2^(2N) entries plus two zero pads so 32-bit gathers of int16 entries
+  // (the SIMD mac_rows backends) never read past the allocation.
   std::vector<std::int16_t> table_;
 };
 

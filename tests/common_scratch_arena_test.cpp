@@ -1,0 +1,64 @@
+// ScratchArena's alignment guarantee: every span it hands out is at least
+// 32-byte aligned (ScratchArena::kAlignment), across element types, frames,
+// and overflow chunks — the property the SIMD mac_rows backends rely on for
+// aligned loads/stores on arena-backed patch and accumulator buffers.
+// (Frame-reuse and thread-locality behaviour is covered in
+// nn_conv_im2col_test.cpp next to the im2col consumer.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/scratch_arena.hpp"
+
+namespace scnn::common {
+namespace {
+
+bool aligned32(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % ScratchArena::kAlignment == 0;
+}
+
+TEST(ScratchArenaAlignment, EverySpanIs32ByteAlignedAcrossTypes) {
+  static_assert(ScratchArena::kAlignment == 32);
+  ScratchArena arena;
+  const auto frame = arena.frame();
+  (void)frame;
+  // Mixed sizes chosen so a naive bump (pad to alignof(T) only) would
+  // misalign every allocation after the first.
+  EXPECT_TRUE(aligned32(arena.take<std::int8_t>(3).data()));
+  EXPECT_TRUE(aligned32(arena.take<std::int16_t>(7).data()));
+  EXPECT_TRUE(aligned32(arena.take<std::int32_t>(5).data()));
+  EXPECT_TRUE(aligned32(arena.take<std::int64_t>(9).data()));
+  EXPECT_TRUE(aligned32(arena.take<float>(1).data()));
+  EXPECT_TRUE(aligned32(arena.take<std::int8_t>(0).data()));
+}
+
+TEST(ScratchArenaAlignment, HoldsAcrossFramesAndConsolidation) {
+  ScratchArena arena;
+  for (int f = 0; f < 3; ++f) {
+    const auto frame = arena.frame();
+    (void)frame;
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(aligned32(arena.take<std::int8_t>(static_cast<std::size_t>(i) + 1)
+                                .data()))
+          << "frame " << f << " take " << i;
+    }
+  }
+  EXPECT_EQ(arena.chunk_count(), 1u);
+}
+
+TEST(ScratchArenaAlignment, HoldsOnOverflowChunks) {
+  ScratchArena arena;
+  const auto frame = arena.frame();
+  (void)frame;
+  (void)arena.take<std::int8_t>(1);  // seed the small initial chunk
+  // Far larger than the initial chunk: served from a dedicated overflow
+  // chunk, which must honor the same guarantee.
+  auto big = arena.take<std::int32_t>(1 << 20);
+  EXPECT_TRUE(aligned32(big.data()));
+  EXPECT_GT(arena.chunk_count(), 1u);
+  big[big.size() - 1] = 7;  // the span is fully usable
+  EXPECT_EQ(big[big.size() - 1], 7);
+}
+
+}  // namespace
+}  // namespace scnn::common

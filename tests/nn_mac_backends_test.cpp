@@ -1,0 +1,213 @@
+// Cross-backend equivalence for the SIMD-dispatched mac_rows kernels: every
+// kernel compiled and supported on this machine must reproduce the scalar
+// reference bit-exactly — output values, saturation counts, MacStats and
+// k-histograms — at the kernel, engine, and whole-network levels. Lives in
+// the `parallel`-labeled binary so the TSan build exercises the kernels
+// under the threaded inference runtime, and the ASan/UBSan CI leg covers
+// their gathers and stores.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+#include "common/rng.hpp"
+#include "core/scmac.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/mac_backends/mac_backends.hpp"
+#include "nn/mac_engine.hpp"
+#include "nn/network.hpp"
+
+namespace scnn {
+namespace {
+
+using nn::EngineConfig;
+using nn::EngineKind;
+using nn::MacBackend;
+using nn::MacStats;
+using nn::backends::Kernel;
+
+std::vector<std::int32_t> random_codes(std::size_t count, int n_bits,
+                                       std::uint64_t seed) {
+  const std::int32_t half = 1 << (n_bits - 1);
+  std::vector<std::int32_t> codes(count);
+  common::SplitMix64 rng(seed);
+  for (auto& c : codes)
+    c = static_cast<std::int32_t>(rng.next_below(2u * static_cast<unsigned>(half))) -
+        half;
+  return codes;
+}
+
+TEST(MacBackends, EveryAvailableKernelMatchesScalarReference) {
+  const Kernel& scalar = nn::backends::scalar_kernel();
+  const auto kernels = nn::backends::available_kernels();
+  ASSERT_GE(kernels.size(), 1u);
+  ASSERT_STREQ(kernels.front()->name, "scalar");
+
+  for (const int n_bits : {4, 8}) {
+    const sc::ProductLut lut = core::make_proposed_lut(n_bits);
+    // A = 0 makes saturation common at N = 4; A = 2 is the paper default.
+    for (const int accum_bits : {0, 2}) {
+      const int bits = n_bits + accum_bits;
+      const std::int64_t lo = common::int_min_of(bits);
+      const std::int64_t hi = common::int_max_of(bits);
+      for (const std::size_t d : {std::size_t{1}, std::size_t{5}, std::size_t{27}}) {
+        // Tiles straddling every vector width and its tails, including 0.
+        for (const std::size_t tile :
+             {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{7},
+              std::size_t{8}, std::size_t{9}, std::size_t{16}, std::size_t{33}}) {
+          const std::uint64_t seed = 1000 * d + tile + static_cast<std::uint64_t>(
+                                                           n_bits * 31 + accum_bits);
+          const auto w = random_codes(d, n_bits, seed);
+          const auto patches = random_codes(d * tile, n_bits, seed + 1);
+
+          std::vector<std::int64_t> ref(tile, -1);
+          const std::uint64_t ref_sat = scalar.narrow(lut, w, patches, ref, lo, hi);
+
+          for (const Kernel* k : kernels) {
+            std::vector<std::int64_t> out(tile, -2);
+            const std::uint64_t sat = k->narrow(lut, w, patches, out, lo, hi);
+            const std::string label = std::string(k->name) + " N=" +
+                                      std::to_string(n_bits) + " A=" +
+                                      std::to_string(accum_bits) + " d=" +
+                                      std::to_string(d) + " tile=" +
+                                      std::to_string(tile);
+            EXPECT_EQ(out, ref) << label;
+            EXPECT_EQ(sat, ref_sat) << label;
+
+            // The shared wide (int64) path must agree wherever narrow is
+            // exact — it is the fallback for accumulators beyond 30 bits.
+            std::vector<std::int64_t> wide(tile, -3);
+            EXPECT_EQ(k->wide(lut, w, patches, wide, lo, hi), ref_sat) << label;
+            EXPECT_EQ(wide, ref) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MacBackends, EngineMacRowsIdenticalAcrossBackendsIncludingKHist) {
+  std::vector<MacBackend> reqs{MacBackend::kAuto, MacBackend::kScalar};
+  if (nn::backends::best_simd_kernel()) reqs.push_back(MacBackend::kSimd);
+
+  for (const int n_bits : {4, 8}) {
+    const std::size_t d = 25, tile = 19;
+    const auto w = random_codes(d, n_bits, 77);
+    const auto patches = random_codes(d * tile, n_bits, 78);
+
+    const auto ref_engine = nn::make_engine({.kind = EngineKind::kProposed,
+                                             .n_bits = n_bits,
+                                             .backend = MacBackend::kScalar});
+    // Serial per-element reference through mac(): the ground truth the
+    // batched contract is defined against.
+    std::vector<std::int64_t> ref(tile);
+    MacStats ref_stats;
+    ref_stats.detail = true;
+    for (std::size_t t = 0; t < tile; ++t)
+      ref[t] = ref_engine->mac(w, std::span(patches).subspan(t * d, d), ref_stats);
+
+    for (const MacBackend b : reqs) {
+      const auto engine = nn::make_engine(
+          {.kind = EngineKind::kProposed, .n_bits = n_bits, .backend = b});
+      std::vector<std::int64_t> out(tile);
+      MacStats stats;
+      stats.detail = true;
+      engine->mac_rows(w, patches, out, stats);
+      EXPECT_EQ(out, ref) << to_string(b);
+      EXPECT_EQ(stats, ref_stats) << to_string(b);  // macs/products/sat/k_hist
+      EXPECT_GT(engine->describe().lanes, 0) << to_string(b);
+    }
+  }
+}
+
+TEST(MacBackends, SessionForwardBitIdenticalScalarVsSimdAt1And4Threads) {
+  if (!nn::backends::best_simd_kernel())
+    GTEST_SKIP() << "no SIMD mac_rows kernel compiled+supported on this machine";
+
+  const auto data = data::make_synthetic_digits({.count = 4, .seed = 5});
+  nn::InferenceSession session(nn::make_mnist_net(data.images.h()), /*threads=*/1);
+  session.calibrate(data.images);
+
+  session.set_engine({.kind = EngineKind::kProposed, .n_bits = 8, .threads = 1,
+                      .backend = MacBackend::kScalar});
+  const nn::Tensor ref = session.forward(data.images);
+  const MacStats ref_stats = session.last_forward_stats();
+  ASSERT_GT(ref_stats.macs, 0u);
+
+  for (const int threads : {1, 4}) {
+    session.set_engine({.kind = EngineKind::kProposed, .n_bits = 8,
+                        .threads = threads, .backend = MacBackend::kSimd});
+    EXPECT_NE(session.backend().backend, "scalar");
+    const nn::Tensor got = session.forward(data.images);
+    ASSERT_TRUE(ref.same_shape(got));
+    EXPECT_EQ(std::memcmp(ref.data().data(), got.data().data(),
+                          ref.size() * sizeof(float)),
+              0)
+        << "logits differ at " << threads << " threads";
+    EXPECT_EQ(session.last_forward_stats(), ref_stats) << threads << " threads";
+  }
+}
+
+TEST(MacBackends, EnvOverrideForcesAutoButNeverExplicitRequests) {
+  ASSERT_EQ(setenv("SCNN_BACKEND", "scalar", /*overwrite=*/1), 0);
+  EXPECT_EQ(nn::resolved_backend(MacBackend::kAuto).backend, "scalar");
+  // An explicit request wins over the environment.
+  EXPECT_EQ(nn::resolved_backend(MacBackend::kScalar).backend, "scalar");
+  if (const Kernel* simd = nn::backends::best_simd_kernel())
+    EXPECT_EQ(nn::resolved_backend(MacBackend::kSimd).backend, simd->name);
+
+  ASSERT_EQ(setenv("SCNN_BACKEND", "bogus", 1), 0);
+  EXPECT_THROW((void)nn::resolved_backend(MacBackend::kAuto), std::invalid_argument);
+  EXPECT_NO_THROW((void)nn::resolved_backend(MacBackend::kScalar));
+
+  ASSERT_EQ(unsetenv("SCNN_BACKEND"), 0);
+  const Kernel* simd = nn::backends::best_simd_kernel();
+  EXPECT_EQ(nn::resolved_backend(MacBackend::kAuto).backend,
+            simd ? simd->name : "scalar");
+}
+
+TEST(MacBackends, SimdRequestThrowsWhereUnavailable) {
+  if (nn::backends::best_simd_kernel()) {
+    // With a SIMD kernel present the request must build and self-describe.
+    const auto engine = nn::make_engine(
+        {.kind = EngineKind::kProposed, .n_bits = 8, .backend = MacBackend::kSimd});
+    EXPECT_NE(engine->describe().backend, "scalar");
+  } else {
+    EXPECT_THROW(nn::make_engine({.kind = EngineKind::kProposed, .n_bits = 8,
+                                  .backend = MacBackend::kSimd}),
+                 std::invalid_argument);
+  }
+}
+
+TEST(MacBackends, WideAccumulatorConfigFallsBackToScalarAndSaysSo) {
+  // N = 12, A = 20 -> 32-bit accumulator: outside every SIMD kernel's int32
+  // lanes, so describe() must report the shared scalar wide path.
+  const auto engine = nn::make_engine({.kind = EngineKind::kFixed, .n_bits = 12,
+                                       .accum_bits = 20,
+                                       .backend = MacBackend::kAuto});
+  EXPECT_EQ(engine->describe().backend, "scalar");
+
+  // And the wide path is still bit-exact against the serial mac() loop.
+  const std::size_t d = 9, tile = 11;
+  const auto w = random_codes(d, 12, 91);
+  const auto patches = random_codes(d * tile, 12, 92);
+  std::vector<std::int64_t> out(tile);
+  MacStats stats;
+  engine->mac_rows(w, patches, out, stats);
+  for (std::size_t t = 0; t < tile; ++t)
+    EXPECT_EQ(out[t], engine->mac(w, std::span(patches).subspan(t * d, d))) << t;
+}
+
+TEST(MacBackends, BackendStringsRoundTrip) {
+  for (const MacBackend b :
+       {MacBackend::kAuto, MacBackend::kScalar, MacBackend::kSimd})
+    EXPECT_EQ(nn::mac_backend_from_string(to_string(b)), b);
+  EXPECT_THROW(nn::mac_backend_from_string("avx512"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scnn

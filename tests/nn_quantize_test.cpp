@@ -69,14 +69,15 @@ TEST(MacEngineTest, ConfigValidationRejectsOutOfRangeFields) {
   EXPECT_THROW(pool.get({.n_bits = 1}), std::invalid_argument);
 }
 
-TEST(MacEngineTest, DeprecatedStringShimStillParses) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto e = make_engine("proposed", 8, 2);
-  EXPECT_THROW(make_engine("nope", 8, 2), std::invalid_argument);
-#pragma GCC diagnostic pop
+TEST(MacEngineTest, ConfigBuildsWhatTheShimUsedTo) {
+  // The pre-1.1 stringly make_engine(kind, n_bits, accum_bits) shim is gone;
+  // the typed config covers the same ground, string parsing included.
+  const auto e = make_engine({.kind = engine_kind_from_string("proposed"),
+                              .n_bits = 8,
+                              .accum_bits = 2});
   EXPECT_EQ(e->name(), "proposed");
   EXPECT_EQ(e->bits(), 8);
+  EXPECT_EQ(e->accum_bits(), 2);
 }
 
 TEST(MacEngineTest, MacStatsCountSaturations) {

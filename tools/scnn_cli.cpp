@@ -38,6 +38,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cpu_features.hpp"
 #include "common/table.hpp"
 #include "data/image_io.hpp"
 #include "data/idx_loader.hpp"
@@ -74,19 +75,25 @@ int usage() {
       "  scnn_cli gen    <digits|objects> [--count=N] [--out=DIR]\n"
       "  scnn_cli train  <digits|objects> [--epochs=E] [--ckpt=FILE] [--threads=T]\n"
       "  scnn_cli eval   [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
-      "                  [--engine=fixed|sc-lfsr|proposed] [--threads=T] [--count=N]\n"
-      "  scnn_cli sweep  [digits|objects] [--ckpt=FILE] [--nmin=N] [--nmax=N] [--threads=T]\n"
+      "                  [--engine=fixed|sc-lfsr|proposed] [--backend=auto|scalar|simd]\n"
+      "                  [--threads=T] [--count=N]\n"
+      "  scnn_cli sweep  [digits|objects] [--ckpt=FILE] [--nmin=N] [--nmax=N]\n"
+      "                  [--backend=auto|scalar|simd] [--threads=T]\n"
       "  scnn_cli stats  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
-      "                  [--engine=fixed|sc-lfsr|proposed] [--threads=T] [--count=N]\n"
-      "                  [--bit-parallel=B] [--trace-out=FILE]\n"
+      "                  [--engine=fixed|sc-lfsr|proposed] [--backend=auto|scalar|simd]\n"
+      "                  [--threads=T] [--count=N] [--bit-parallel=B] [--trace-out=FILE]\n"
       "  scnn_cli serve  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
-      "                  [--engine=fixed|sc-lfsr|proposed] [--requests=N]\n"
+      "                  [--engine=fixed|sc-lfsr|proposed] [--backend=auto|scalar|simd]\n"
+      "                  [--engine-config=JSON] [--requests=N]\n"
       "                  [--concurrency=C] [--max-batch=B] [--max-delay-us=U]\n"
       "                  [--queue-cap=Q] [--workers=W] [--session-threads=T]\n"
       "                  [--deadline-us=D] [--count=N]\n"
       "  scnn_cli info\n"
       "flags take the form --key=value; --threads=0 uses every hardware thread\n"
-      "every command accepts --metrics-out=FILE to dump a JSON metrics snapshot\n");
+      "every command accepts --metrics-out=FILE to dump a JSON metrics snapshot\n"
+      "--backend selects the mac_rows kernel (bit-identical results either way);\n"
+      "serve's --engine-config takes EngineConfig::to_json() output and excludes\n"
+      "the individual --engine/--bits/--accum/--backend flags\n");
   return 2;
 }
 
@@ -100,7 +107,14 @@ void write_metrics_out(const Args& args, const std::string& command,
   scnn::obs::JsonReport report = scnn::obs::stamped_report("scnn_cli_" + command);
   report.set_meta("command", command);
   if (session) {
-    if (session->config()) scnn::nn::stamp_engine_meta(report, *session->config());
+    if (session->config()) {
+      // The engine overload stamps the backend the live engine actually
+      // dispatches to, not just what the config requested.
+      if (session->engine())
+        scnn::nn::stamp_engine_meta(report, *session->config(), *session->engine());
+      else
+        scnn::nn::stamp_engine_meta(report, *session->config());
+    }
     scnn::obs::append_registry(session->metrics(), report);
   }
   report.write_file(path);
@@ -203,8 +217,8 @@ InferenceSession load_session(const std::string& task, const std::string& ckpt,
 }
 
 int cmd_eval(const Args& args) {
-  args.require_known(
-      {"task", "ckpt", "bits", "accum", "engine", "threads", "count", "metrics-out"});
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "threads",
+                      "count", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const EngineConfig cfg{
@@ -214,7 +228,8 @@ int cmd_eval(const Args& args) {
       .accum_bits = args.get_int("accum", 2),
       .threads = args.get_int("threads", 1),
       // Only collect metrics when someone asked for the snapshot.
-      .instrument = !args.get("metrics-out", "").empty()};
+      .instrument = !args.get("metrics-out", "").empty(),
+      .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto"))};
   cfg.validate();
 
   Dataset test;
@@ -223,8 +238,9 @@ int cmd_eval(const Args& args) {
   session.set_engine(cfg);
   const double acc = session.accuracy(test.images, test.labels);
   const auto stats = session.last_forward_stats();
-  std::printf("%s N=%d A=%d threads=%d accuracy: %.3f\n", to_string(cfg.kind).c_str(),
-              cfg.n_bits, cfg.accum_bits, session.threads(), acc);
+  std::printf("%s N=%d A=%d threads=%d backend=%s accuracy: %.3f\n",
+              to_string(cfg.kind).c_str(), cfg.n_bits, cfg.accum_bits,
+              session.threads(), session.backend().backend.c_str(), acc);
   std::printf("last batch: %llu MACs, %llu products, %llu saturations\n",
               static_cast<unsigned long long>(stats.macs),
               static_cast<unsigned long long>(stats.products),
@@ -234,13 +250,16 @@ int cmd_eval(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-  args.require_known({"task", "ckpt", "nmin", "nmax", "threads", "metrics-out"});
+  args.require_known(
+      {"task", "ckpt", "nmin", "nmax", "backend", "threads", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const int n_min = args.get_int("nmin", std::stoi(args.positional(2, "5")));
   const int n_max = args.get_int("nmax", std::stoi(args.positional(3, "9")));
   if (n_min > n_max) throw scnn::cli::ArgError("--nmin must be <= --nmax");
   const int threads = args.get_int("threads", 1);
+  const scnn::nn::MacBackend backend =
+      scnn::nn::mac_backend_from_string(args.get("backend", "auto"));
   const bool instrument = !args.get("metrics-out", "").empty();
 
   Dataset test;
@@ -250,8 +269,8 @@ int cmd_sweep(const Args& args) {
     std::printf("%-4d", n);
     for (const EngineKind kind :
          {EngineKind::kFixed, EngineKind::kScLfsr, EngineKind::kProposed}) {
-      session.set_engine(
-          {.kind = kind, .n_bits = n, .threads = threads, .instrument = instrument});
+      session.set_engine({.kind = kind, .n_bits = n, .threads = threads,
+                          .instrument = instrument, .backend = backend});
       std::printf(" %-10.3f", session.accuracy(test.images, test.labels));
     }
     std::printf("\n");
@@ -264,8 +283,8 @@ int cmd_sweep(const Args& args) {
 /// metrics snapshot + chrome://tracing timeline. Exits nonzero if the summed
 /// per-layer SC cycles do not equal the engine's MacStats totals exactly.
 int cmd_stats(const Args& args) {
-  args.require_known({"task", "ckpt", "bits", "accum", "engine", "threads", "count",
-                      "bit-parallel", "metrics-out", "trace-out"});
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "threads",
+                      "count", "bit-parallel", "metrics-out", "trace-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const EngineConfig cfg{
@@ -275,7 +294,8 @@ int cmd_stats(const Args& args) {
       .accum_bits = args.get_int("accum", 2),
       .bit_parallel = args.get_int("bit-parallel", 8),
       .threads = args.get_int("threads", 1),
-      .instrument = true};
+      .instrument = true,
+      .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto"))};
   cfg.validate();
 
   Dataset test;
@@ -362,7 +382,7 @@ int cmd_stats(const Args& args) {
   report.set_meta("command", "stats");
   report.set_meta("task", task);
   report.set_meta("images", static_cast<double>(test.images.n()));
-  scnn::nn::stamp_engine_meta(report, cfg);
+  scnn::nn::stamp_engine_meta(report, cfg, *session.engine());
   report.add_metric("accuracy",
                     static_cast<double>(correct) / static_cast<double>(preds.size()),
                     "fraction");
@@ -387,16 +407,27 @@ int cmd_stats(const Args& args) {
 /// any admitted request fails to resolve ok/timed-out/rejected (kError means
 /// the batch forward threw — a bug, not overload).
 int cmd_serve(const Args& args) {
-  args.require_known({"task", "ckpt", "bits", "accum", "engine", "requests",
-                      "concurrency", "max-batch", "max-delay-us", "queue-cap",
-                      "workers", "session-threads", "deadline-us", "count",
-                      "metrics-out"});
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend",
+                      "engine-config", "requests", "concurrency", "max-batch",
+                      "max-delay-us", "queue-cap", "workers", "session-threads",
+                      "deadline-us", "count", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
-  const EngineConfig cfg{
-      .kind = scnn::nn::engine_kind_from_string(args.get("engine", "proposed")),
-      .n_bits = args.get_int("bits", 8),
-      .accum_bits = args.get_int("accum", 2)};
+  const std::string cfg_json = args.get("engine-config", "");
+  if (!cfg_json.empty() && (args.has("engine") || args.has("bits") ||
+                            args.has("accum") || args.has("backend")))
+    throw scnn::cli::ArgError(
+        "--engine-config carries the whole engine configuration; it excludes "
+        "--engine/--bits/--accum/--backend");
+  const EngineConfig cfg =
+      !cfg_json.empty()
+          ? EngineConfig::from_json(cfg_json)
+          : EngineConfig{
+                .kind = scnn::nn::engine_kind_from_string(args.get("engine", "proposed")),
+                .n_bits = args.get_int("bits", 8),
+                .accum_bits = args.get_int("accum", 2),
+                .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto"))};
+  cfg.validate();
   scnn::serve::ServerOptions opts;
   opts.workers = args.get_int("workers", 1);
   opts.session_threads = args.get_int("session-threads", 0);  // 0 = auto
@@ -425,8 +456,10 @@ int cmd_serve(const Args& args) {
 
   scnn::serve::Server server([&task] { return make_net(task); }, opts, params,
                              &calib.images);
-  std::printf("serving %s: %d workers x %s session threads, max_batch %d, "
-              "max_delay %d us, queue cap %d\n", to_string(cfg.kind).c_str(),
+  std::printf("serving %s (backend %s): %d workers x %s session threads, "
+              "max_batch %d, max_delay %d us, queue cap %d\n",
+              to_string(cfg.kind).c_str(),
+              scnn::nn::resolved_backend(cfg.backend).backend.c_str(),
               server.workers(),
               opts.session_threads == 0
                   ? "auto"
@@ -525,6 +558,14 @@ int cmd_info() {
   std::printf("runtime: --threads=T shards inference over T workers "
               "(0 = all %d hardware threads); logits are bit-identical at any T\n",
               EngineConfig{.threads = 0}.resolved_threads());
+  std::printf("cpu features: %s\n", scnn::common::cpu_features_summary().c_str());
+  std::string kernels;
+  for (const auto* k : scnn::nn::backends::available_kernels())
+    kernels += std::string(kernels.empty() ? "" : ", ") + k->name + " (" +
+               std::to_string(k->lanes) + " lanes)";
+  std::printf("mac_rows kernels: %s; auto resolves to %s "
+              "(--backend or SCNN_BACKEND overrides)\n", kernels.c_str(),
+              scnn::nn::resolved_backend(scnn::nn::MacBackend::kAuto).backend.c_str());
   const char* env = std::getenv("SCNN_DATA_DIR");
   std::printf("data dir: %s (real MNIST/CIFAR-10 picked up when present)\n",
               env ? env : "data");

@@ -23,9 +23,19 @@
 // MacStats — at 1 and 4 threads. Timings for serial and 4 threads are
 // printed and written to BENCH_conv.json (ns/MAC, imgs/s, im2col-vs-direct
 // and simd-vs-scalar speedups, plus the resolved backend via describe()).
+//
+// A second section sparsifies the model to a <= 50%-dense synthetic
+// checkpoint (75% of conv weights zeroed; small survivors quantize to zero
+// on top of that), gates zero-skip scheduling bit-identical to dense on
+// every backend at 1 and 4 threads, then times dense vs zero-skip lanes and
+// stamps the skipped-product/schedule-cycle counts and speedups into
+// BENCH_conv.json (zskip_* metrics).
+//
 // --assert-speedup additionally fails the run when a SIMD kernel is
-// available but delivers < 1.5x the scalar kernel's serial imgs/s (a loud
-// SKIP, never a silent pass, where no SIMD kernel exists or under --quick).
+// available but delivers < 1.5x the scalar kernel's serial imgs/s, or when
+// zero-skip delivers < 1.2x the dense scalar schedule on the sparse model
+// (a loud SKIP, never a silent pass, where no SIMD kernel exists or under
+// --quick).
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/rng.hpp"
 #include "common/table.hpp"
 #include "data/synthetic_objects.hpp"
 #include "nn/inference_session.hpp"
@@ -47,6 +58,7 @@ using scnn::nn::EngineKind;
 using scnn::nn::InferenceSession;
 using scnn::nn::MacBackend;
 using scnn::nn::MacStats;
+using scnn::nn::Sparsity;
 using scnn::nn::Tensor;
 
 double time_forward_ms(InferenceSession& session, const Tensor& batch, int reps) {
@@ -206,6 +218,86 @@ int main(int argc, char** argv) {
   std::printf("threaded im2col logits: %s\n",
               threaded_identical ? "bit-identical to serial" : "DIFFER (FAIL)");
 
+  // --- Zero-skip section: a <= 50%-dense synthetic checkpoint. Zero 75% of
+  // every conv layer's float weights deterministically (quantization zeroes
+  // more on top), re-calibrate, then gate and time zero-skip scheduling.
+  scnn::nn::Network sparse_net = scnn::nn::make_cifar_net(data.images.h());
+  {
+    scnn::common::SplitMix64 rng(2026);
+    for (scnn::nn::Conv2D* conv : sparse_net.conv_layers())
+      for (float& v : conv->mutable_weight().data())
+        if (rng.next_double() < 0.75) v = 0.0f;
+  }
+  InferenceSession sparse(std::move(sparse_net), /*threads=*/1);
+  sparse.calibrate(data.images);
+
+  // Gate: zero-skip ≡ dense (logits and MacStats) on every backend, 1 and 4
+  // threads. The reference is the dense scalar serial forward.
+  sparse.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1,
+                     .backend = MacBackend::kScalar, .sparsity = Sparsity::kDense});
+  const Tensor sparse_ref = sparse.forward(data.images);
+  const MacStats sparse_ref_stats = sparse.last_forward_stats();
+  bool zskip_identical = true;
+  for (const MacBackend b : backend_reqs) {
+    for (const int threads : {1, 4}) {
+      sparse.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits,
+                         .threads = threads, .backend = b,
+                         .sparsity = Sparsity::kZeroSkip});
+      const Tensor y = sparse.forward(data.images);
+      const bool ok = bit_identical(sparse_ref, y) &&
+                      sparse_ref_stats == sparse.last_forward_stats();
+      zskip_identical = zskip_identical && ok;
+      std::printf("  zero-skip %-6s (%s, %d threads) vs dense: logits+stats %s\n",
+                  to_string(b).c_str(), sparse.backend().backend.c_str(), threads,
+                  ok ? "bit-identical" : "DIFFER");
+    }
+  }
+  const MacStats zskip_work = sparse.last_forward_stats();  // any zero-skip pass
+  const double dense_fraction =
+      zskip_work.products
+          ? 1.0 - static_cast<double>(zskip_work.skipped_products) /
+                      static_cast<double>(zskip_work.products)
+          : 1.0;
+  std::printf("sparse checkpoint: %.1f%% of weight-code products nonzero "
+              "(%llu of %llu skipped per pass)\n",
+              100.0 * dense_fraction,
+              static_cast<unsigned long long>(zskip_work.skipped_products),
+              static_cast<unsigned long long>(zskip_work.products));
+
+  // Throughput: dense vs zero-skip per backend, serial and 4 threads.
+  struct ZLane {
+    const char* label;
+    MacBackend backend;
+    Sparsity sparsity;
+  };
+  std::vector<ZLane> zlanes{{"scalar/dense", MacBackend::kScalar, Sparsity::kDense},
+                            {"scalar/zskip", MacBackend::kScalar, Sparsity::kZeroSkip}};
+  if (have_distinct_simd) {
+    zlanes.push_back({"simd/dense", backend, Sparsity::kDense});
+    zlanes.push_back({"simd/zskip", backend, Sparsity::kZeroSkip});
+  }
+  scnn::common::Table zt({"lane", "threads", "ms/pass", "imgs/s"});
+  std::vector<std::array<double, 2>> zms(zlanes.size());
+  for (std::size_t li = 0; li < zlanes.size(); ++li) {
+    sparse.set_engine({.kind = EngineKind::kProposed, .n_bits = kBits, .threads = 1,
+                       .backend = zlanes[li].backend,
+                       .sparsity = zlanes[li].sparsity});
+    for (const int ti : {0, 1}) {
+      sparse.set_threads(ti == 0 ? 1 : 4);
+      zms[li][ti] = time_forward_ms(sparse, data.images, reps);
+      zt.add_row({zlanes[li].label, ti == 0 ? "1" : "4",
+                  scnn::common::Table::fmt(zms[li][ti], 1),
+                  scnn::common::Table::fmt(1000.0 * images / zms[li][ti], 1)});
+    }
+    sparse.set_threads(1);
+  }
+  zt.print(std::cout);
+  const double zskip_speedup_serial = zms[0][0] / zms[1][0];
+  const double zskip_speedup_t4 = zms[0][1] / zms[1][1];
+  std::printf("zero-skip speedup vs dense (scalar, %.0f%%-dense ckpt): "
+              "%.2fx serial, %.2fx at 4 threads\n",
+              100.0 * dense_fraction, zskip_speedup_serial, zskip_speedup_t4);
+
   // Lane 0 is direct, lane 1 im2col/scalar, lane 2 (when present) im2col on
   // the requested (SIMD-resolving) backend — the fastest is the headline.
   const std::size_t fast = lanes.size() - 1;
@@ -259,6 +351,28 @@ int main(int argc, char** argv) {
   }
   report.add_metric("avg_enable_cycles", k_hist.mean(), "cycles");
   report.add_metric("max_enable_cycles", static_cast<double>(k_hist.max), "cycles");
+  // Zero-skip lanes on the sparse checkpoint. Each skipped product is one
+  // reclaimed schedule slot, so skipped products == skipped SC cycles under
+  // the one-issue-slot-per-product budget convention.
+  report.set_meta("zskip_dense_fraction", dense_fraction);
+  report.add_metric("zskip_skipped_products_per_pass",
+                    static_cast<double>(zskip_work.skipped_products), "products");
+  report.add_metric("zskip_skipped_sched_cycles_per_pass",
+                    static_cast<double>(zskip_work.skipped_products), "cycles");
+  report.add_metric("zskip_dense_scalar_serial_imgs_per_s",
+                    1000.0 * images / zms[0][0], "imgs/s");
+  report.add_metric("zskip_scalar_serial_imgs_per_s", 1000.0 * images / zms[1][0],
+                    "imgs/s");
+  report.add_metric("zskip_scalar_t4_imgs_per_s", 1000.0 * images / zms[1][1],
+                    "imgs/s");
+  report.add_metric("speedup_zskip_vs_dense_scalar_serial", zskip_speedup_serial, "x");
+  report.add_metric("speedup_zskip_vs_dense_scalar_t4", zskip_speedup_t4, "x");
+  if (have_distinct_simd) {
+    report.add_metric("zskip_simd_serial_imgs_per_s", 1000.0 * images / zms[3][0],
+                      "imgs/s");
+    report.add_metric("speedup_zskip_vs_dense_simd_serial", zms[2][0] / zms[3][0],
+                      "x");
+  }
   report.write_file();
 
   if (!paths_identical) {
@@ -277,6 +391,11 @@ int main(int argc, char** argv) {
     std::printf("FAIL: instrumented logits differ from uninstrumented\n");
     return 1;
   }
+  if (!zskip_identical) {
+    std::printf("FAIL: zero-skip logits/stats differ from dense on the sparse "
+                "checkpoint\n");
+    return 1;
+  }
   if (assert_speedup) {
     if (quick) {
       std::printf("SKIP: --assert-speedup under --quick (timings too noisy)\n");
@@ -291,6 +410,17 @@ int main(int argc, char** argv) {
     } else {
       std::printf("speedup assertion: %s >= 1.5x scalar (%.2fx) — OK\n",
                   resolved.c_str(), simd_speedup_serial);
+    }
+    if (!quick) {
+      if (zskip_speedup_serial < 1.2) {
+        std::printf("FAIL: zero-skip is only %.2fx the dense scalar schedule on "
+                    "the %.0f%%-dense checkpoint (--assert-speedup requires "
+                    ">= 1.2x serial)\n",
+                    zskip_speedup_serial, 100.0 * dense_fraction);
+        return 1;
+      }
+      std::printf("speedup assertion: zero-skip >= 1.2x dense scalar (%.2fx) — OK\n",
+                  zskip_speedup_serial);
     }
   }
   std::printf("PASS: all equivalence assertions hold\n");

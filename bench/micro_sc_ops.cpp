@@ -5,6 +5,7 @@
 // cross-PR perf tracking.
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -88,13 +89,38 @@ void BM_LutEngineMacRows(benchmark::State& state) {
   const auto patches = random_codes(kTile * kD, 8, 8);
   std::vector<std::int64_t> out(kTile);
   scnn::nn::MacStats stats;
+  const scnn::nn::WeightCodeView view{std::span<const std::int32_t>(w)};
   for (auto _ : state) {
-    engine->mac_rows(w, patches, out, stats);
+    engine->mac_rows(view, patches, out, stats);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTile * kD);
 }
 BENCHMARK(BM_LutEngineMacRows);
+
+void BM_LutEngineMacRowsZeroSkip(benchmark::State& state) {
+  // Same tile, but the weight row is state.range(0)% zeros and the engine
+  // runs the sparse kernel over a packed view — the zero-skip inner loop.
+  constexpr std::size_t kTile = 28, kD = 200;
+  const auto engine = scnn::nn::make_engine({.kind = scnn::nn::EngineKind::kProposed,
+                                             .n_bits = 8,
+                                             .sparsity = scnn::nn::Sparsity::kZeroSkip});
+  auto w = random_codes(kD, 8, 7);
+  scnn::common::SplitMix64 rng(17);
+  for (auto& q : w)
+    if (rng.next_double() < static_cast<double>(state.range(0)) / 100.0) q = 0;
+  const auto packed = scnn::nn::PackedRowCodes::build(w, 1, kD);
+  const auto patches = random_codes(kTile * kD, 8, 8);
+  std::vector<std::int64_t> out(kTile);
+  scnn::nn::MacStats stats;
+  const auto view = scnn::nn::WeightCodeView::packed_row(w, packed, 0);
+  for (auto _ : state) {
+    engine->mac_rows(view, patches, out, stats);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kTile * kD);
+}
+BENCHMARK(BM_LutEngineMacRowsZeroSkip)->Arg(50)->Arg(90);
 
 void BM_BiscMvmMacTickLevel(benchmark::State& state) {
   scnn::core::BiscMvm mvm(8, 2, 16);

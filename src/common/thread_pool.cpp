@@ -93,4 +93,73 @@ void parallel_for(ThreadPool* pool, std::int64_t count,
   pool->run_batch(std::move(tasks));
 }
 
+ShardPlan plan_weighted_shards(std::span<const std::uint64_t> weights,
+                               int max_shards) {
+  ShardPlan plan;
+  const std::int64_t n = static_cast<std::int64_t>(weights.size());
+  if (n == 0) return plan;
+  const int shards = static_cast<int>(
+      std::max<std::int64_t>(1, std::min<std::int64_t>(max_shards, n)));
+  for (const std::uint64_t w : weights) plan.total_weight += std::max<std::uint64_t>(w, 1);
+
+  plan.bounds.reserve(static_cast<std::size_t>(shards) + 1);
+  plan.bounds.push_back(0);
+  // Shard s ends at the first item whose inclusive prefix weight reaches
+  // total * (s+1) / shards — integer arithmetic in 128 bits, so the bounds
+  // are exact and deterministic for any weight magnitudes.
+  std::uint64_t prefix = 0;
+  std::uint64_t shard_weight = 0;
+  std::int64_t i = 0;
+  for (int s = 0; s < shards; ++s) {
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(plan.total_weight) *
+         static_cast<unsigned>(s + 1)) /
+        static_cast<unsigned>(shards));
+    shard_weight = 0;
+    while (i < n && prefix < target) {
+      const std::uint64_t w = std::max<std::uint64_t>(weights[static_cast<std::size_t>(i)], 1);
+      prefix += w;
+      shard_weight += w;
+      ++i;
+    }
+    if (s == shards - 1) {
+      // Guard against prefix rounding leaving a tail: the last shard always
+      // closes at n.
+      while (i < n) {
+        const std::uint64_t w = std::max<std::uint64_t>(weights[static_cast<std::size_t>(i)], 1);
+        prefix += w;
+        shard_weight += w;
+        ++i;
+      }
+    }
+    plan.bounds.push_back(i);
+    if (shard_weight > plan.max_weight) plan.max_weight = shard_weight;
+  }
+  return plan;
+}
+
+void parallel_for_planned(ThreadPool* pool, const ShardPlan& plan,
+                          const std::function<void(std::int64_t, std::int64_t, int)>& body) {
+  const int shards = plan.shards();
+  if (shards == 0) return;
+  if (shards == 1 || !pool || pool->size() <= 1) {
+    // Serial execution in shard order — bit-identical to the pooled run for
+    // the independent-item bodies this is meant for.
+    for (int s = 0; s < shards; ++s)
+      if (plan.bounds[static_cast<std::size_t>(s)] <
+          plan.bounds[static_cast<std::size_t>(s) + 1])
+        body(plan.bounds[static_cast<std::size_t>(s)],
+             plan.bounds[static_cast<std::size_t>(s) + 1], s);
+    return;
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    const std::int64_t begin = plan.bounds[static_cast<std::size_t>(s)];
+    const std::int64_t end = plan.bounds[static_cast<std::size_t>(s) + 1];
+    if (begin < end) tasks.push_back([&body, begin, end, s] { body(begin, end, s); });
+  }
+  pool->run_batch(std::move(tasks));
+}
+
 }  // namespace scnn::common

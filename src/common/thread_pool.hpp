@@ -15,6 +15,7 @@
 #include <mutex>
 #include <condition_variable>
 #include <deque>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -62,5 +63,42 @@ void parallel_for(ThreadPool* pool, std::int64_t count,
 /// Number of shards parallel_for() will use for `count` items on `pool`
 /// (callers size per-shard scratch/counter arrays with this).
 [[nodiscard]] int parallel_shard_count(const ThreadPool* pool, std::int64_t count);
+
+/// A deterministic weighted shard plan: [0, n) split into shards() contiguous
+/// ranges whose cumulative item weights are as equal as integer prefix-sum
+/// splitting allows. Shard s covers [bounds[s], bounds[s+1]) — possibly empty
+/// under extreme skew. Only the weights and the shard count determine the
+/// bounds, never timing, so planned runs shard identically every time (the
+/// same property parallel_for()'s even split has).
+struct ShardPlan {
+  std::vector<std::int64_t> bounds;  ///< shards() + 1 monotone fenceposts
+  std::uint64_t total_weight = 0;    ///< summed (clamped) item weights
+  std::uint64_t max_weight = 0;      ///< heaviest shard's weight — the
+                                     ///< imbalance numerator; a perfect split
+                                     ///< has max == total / shards
+  [[nodiscard]] int shards() const {
+    return bounds.empty() ? 0 : static_cast<int>(bounds.size()) - 1;
+  }
+};
+
+/// Split weights.size() items into at most `max_shards` contiguous shards
+/// balanced by cumulative weight: shard s ends at the first item whose
+/// inclusive prefix weight reaches total * (s+1) / shards. Weights are
+/// clamped to >= 1 so zero-weight items still spread across shards. The
+/// convolution layers weight items by per-row SC-cycle budgets (k-sums from
+/// the packed weight-code cache), which balances the data-dependent latency
+/// of the proposed multiplier instead of the row count; any partition of
+/// independent items is bit-exact, so this is purely a load-balance choice.
+[[nodiscard]] ShardPlan plan_weighted_shards(std::span<const std::uint64_t> weights,
+                                             int max_shards);
+
+/// Run `body(begin, end, shard)` for every non-empty shard of `plan` on the
+/// pool, waiting for completion (inline when the plan has at most one shard
+/// or the pool is null/single-worker). Shard indices are plan shard numbers,
+/// so per-shard arrays sized plan.shards() line up even when some shards are
+/// empty.
+void parallel_for_planned(ThreadPool* pool, const ShardPlan& plan,
+                          const std::function<void(std::int64_t begin,
+                                                   std::int64_t end, int shard)>& body);
 
 }  // namespace scnn::common

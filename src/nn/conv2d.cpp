@@ -120,8 +120,21 @@ std::span<const std::int32_t> Conv2D::cached_weight_codes_(int n_bits) const {
     wq_cache_bits_ = n_bits;
     wq_cache_version_ = weight_.version;
     wq_cache_scale_ = weight_scale_;
+    packed_cache_valid_ = false;  // the CSR cache shadows these exact codes
   }
   return wq_cache_;
+}
+
+const PackedRowCodes& Conv2D::packed_weight_codes(int n_bits) const {
+  // cached_weight_codes_ refreshes the dense codes (and drops the packed
+  // flag) whenever the (n_bits, version, scale) key changed.
+  const std::span<const std::int32_t> wq = cached_weight_codes_(n_bits);
+  if (!packed_cache_valid_) {
+    const std::size_t dd = static_cast<std::size_t>(in_ch_) * k_ * k_;
+    packed_cache_ = PackedRowCodes::build(wq, out_ch_, static_cast<int>(dd));
+    packed_cache_valid_ = true;
+  }
+  return packed_cache_;
 }
 
 Tensor Conv2D::forward_quantized_im2col(const Tensor& x) {
@@ -139,16 +152,32 @@ Tensor Conv2D::forward_quantized_im2col(const Tensor& x) {
                           static_cast<float>(std::int64_t{1} << (nbits - 1));
   Tensor y(x.n(), out_ch_, R, C);
 
+  // Zero-skip scheduling: when the engine skips k = 0 products, hand it
+  // packed views over the CSR weight-code cache. The dense codes stay the
+  // fallback inside each view, so this cannot change results — only skip
+  // work (see LutEngine::mac_rows).
+  const PackedRowCodes* packed = engine_->zero_skip() ? &packed_weight_codes(nbits) : nullptr;
+
   // One item = one spatial output row (n, r): its C patches are materialized
   // once into a contiguous [c][z][i][j] code buffer and reused by all out_ch_
   // filter rows through the batched mac_rows kernel — the gather (and its
   // padding handling) is paid once instead of out_ch_ times. Items write
   // disjoint output rows; per-shard MacStats are merged in shard order, so
   // logits and counters are independent of the worker count.
+  //
+  // Sharding goes through the k-aware weighted planner. Every spatial row
+  // MACs all filter rows, so per-item budgets are uniform here and the plan
+  // reduces to the even split — but the plan's budgets (real SC-cycle sums
+  // when packed) surface shard balance in the scheduling telemetry.
   const std::int64_t rows = static_cast<std::int64_t>(x.n()) * R;
-  std::vector<MacStats> shard_stats(
-      static_cast<std::size_t>(std::max(1, common::parallel_shard_count(pool_, rows))));
-  common::parallel_for(pool_, rows, [&](std::int64_t lo, std::int64_t hi, int shard) {
+  const std::uint64_t row_budget =
+      packed ? packed->total_budget()
+             : static_cast<std::uint64_t>(out_ch_) * (dd + 1);
+  const std::vector<std::uint64_t> budgets(static_cast<std::size_t>(rows), row_budget);
+  const common::ShardPlan plan = common::plan_weighted_shards(
+      budgets, common::parallel_shard_count(pool_, rows));
+  std::vector<MacStats> shard_stats(static_cast<std::size_t>(std::max(1, plan.shards())));
+  common::parallel_for_planned(pool_, plan, [&](std::int64_t lo, std::int64_t hi, int shard) {
     auto& arena = common::ScratchArena::thread_local_arena();
     const auto frame = arena.frame();
     (void)frame;
@@ -188,7 +217,10 @@ Tensor Conv2D::forward_quantized_im2col(const Tensor& x) {
       for (int m = 0; m < out_ch_; ++m) {
         const std::span<const std::int32_t> wrow =
             wq.subspan(static_cast<std::size_t>(m) * dd, dd);
-        engine_->mac_rows(wrow, patches, accs, local);
+        const WeightCodeView view =
+            packed ? WeightCodeView::packed_row(wrow, *packed, m)
+                   : WeightCodeView(wrow);
+        engine_->mac_rows(view, patches, accs, local);
         const float bias = bias_.value.at(m, 0, 0, 0);
         float* yrow = &y.at(n, m, r, 0);
         for (int c = 0; c < C; ++c)
@@ -200,6 +232,9 @@ Tensor Conv2D::forward_quantized_im2col(const Tensor& x) {
   });
   stats_ = MacStats{};
   for (const MacStats& s : shard_stats) stats_ += s;
+  stats_.sched_shards = static_cast<std::uint32_t>(plan.shards());
+  stats_.sched_budget_total = plan.total_weight;
+  stats_.sched_budget_max_shard = plan.max_weight;
   return y;
 }
 
@@ -233,10 +268,32 @@ Tensor Conv2D::forward_quantized_direct(const Tensor& x) {
   // scratch and MacStats; shards write disjoint output rows. Per-shard stats
   // are merged in shard order below, so counters (and of course the logits)
   // are independent of how many workers ran.
+  //
+  // Items here carry a filter index, so their SC-cycle cost is genuinely
+  // heterogeneous: weight each (n, m, r) by filter m's latency-model budget
+  // (sum of k = |q| enable counts plus the per-product baseline cycles) and
+  // let the weighted planner split by cumulative budget instead of row
+  // count. Any contiguous partition of independent rows is bit-exact, so
+  // this only moves shard boundaries.
+  std::vector<std::uint64_t> filter_budget(static_cast<std::size_t>(out_ch_), 0);
+  for (int m = 0; m < out_ch_; ++m) {
+    std::uint64_t b = 0;
+    for (std::size_t j = 0; j < dd; ++j) {
+      const std::int32_t q = wq[static_cast<std::size_t>(m) * dd + j];
+      b += static_cast<std::uint64_t>(q < 0 ? -static_cast<std::int64_t>(q) : q);
+      if (q != 0) ++b;
+    }
+    filter_budget[static_cast<std::size_t>(m)] = b + 1;
+  }
   const std::int64_t rows = static_cast<std::int64_t>(x.n()) * out_ch_ * R;
-  std::vector<MacStats> shard_stats(
-      static_cast<std::size_t>(std::max(1, common::parallel_shard_count(pool_, rows))));
-  common::parallel_for(pool_, rows, [&](std::int64_t lo, std::int64_t hi, int shard) {
+  std::vector<std::uint64_t> budgets(static_cast<std::size_t>(rows));
+  for (std::int64_t row = 0; row < rows; ++row)
+    budgets[static_cast<std::size_t>(row)] =
+        filter_budget[static_cast<std::size_t>(row / R % out_ch_)];
+  const common::ShardPlan plan = common::plan_weighted_shards(
+      budgets, common::parallel_shard_count(pool_, rows));
+  std::vector<MacStats> shard_stats(static_cast<std::size_t>(std::max(1, plan.shards())));
+  common::parallel_for_planned(pool_, plan, [&](std::int64_t lo, std::int64_t hi, int shard) {
     std::vector<std::int32_t> gather(dd);
     MacStats local;
     local.detail = cycle_detail_;
@@ -271,6 +328,9 @@ Tensor Conv2D::forward_quantized_direct(const Tensor& x) {
   });
   stats_ = MacStats{};
   for (const MacStats& s : shard_stats) stats_ += s;
+  stats_.sched_shards = static_cast<std::uint32_t>(plan.shards());
+  stats_.sched_budget_total = plan.total_weight;
+  stats_.sched_budget_max_shard = plan.max_weight;
   return y;
 }
 

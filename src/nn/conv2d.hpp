@@ -100,6 +100,13 @@ class Conv2D final : public Layer {
   /// training update, re-calibration, or precision change.
   [[nodiscard]] std::vector<std::int32_t> quantized_weights(int n_bits) const;
 
+  /// CSR-compressed weight codes (one row per filter), cached alongside the
+  /// dense code cache under the same (n_bits, weight version, weight scale)
+  /// key. The im2col forward builds packed WeightCodeViews from this when
+  /// the engine zero-skips; the per-row k-sums also drive the k-aware shard
+  /// partitioner and the sparsity columns of `scnn_cli stats`.
+  [[nodiscard]] const PackedRowCodes& packed_weight_codes(int n_bits) const;
+
   /// Geometry of this layer on a given input, for the conv scheduler.
   [[nodiscard]] core::ConvDims dims_for(const Tensor& input) const;
 
@@ -140,6 +147,11 @@ class Conv2D final : public Layer {
   mutable int wq_cache_bits_ = 0;
   mutable std::uint64_t wq_cache_version_ = 0;
   mutable float wq_cache_scale_ = 0.0f;
+
+  // The CSR cache rides on the dense cache's key; rebuilding the dense codes
+  // invalidates it (see cached_weight_codes_).
+  mutable PackedRowCodes packed_cache_;
+  mutable bool packed_cache_valid_ = false;
 };
 
 }  // namespace scnn::nn

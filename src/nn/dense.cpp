@@ -42,8 +42,20 @@ std::vector<std::int32_t> Dense::quantized_weights(int n_bits) const {
     wq_cache_bits_ = n_bits;
     wq_cache_version_ = weight_.version;
     wq_cache_scale_ = weight_scale_;
+    packed_cache_valid_ = false;  // the CSR cache shadows these exact codes
   }
   return wq_cache_;
+}
+
+const PackedRowCodes& Dense::packed_weight_codes(int n_bits) const {
+  // quantized_weights refreshes wq_cache_ (and drops the packed flag) when
+  // the (n_bits, version, scale) key changed.
+  (void)quantized_weights(n_bits);
+  if (!packed_cache_valid_) {
+    packed_cache_ = PackedRowCodes::build(wq_cache_, out_, in_);
+    packed_cache_valid_ = true;
+  }
+  return packed_cache_;
 }
 
 Tensor Dense::forward(const Tensor& input) {

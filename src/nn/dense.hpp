@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "nn/weight_codes.hpp"
 
 namespace scnn::nn {
 
@@ -40,6 +41,13 @@ class Dense final : public Layer {
   /// recomputed only after a training update or re-calibration.
   [[nodiscard]] std::vector<std::int32_t> quantized_weights(int n_bits) const;
 
+  /// CSR-compressed weight codes (one row per output neuron), cached under
+  /// the same key as quantized_weights(). The dense forward never consumes
+  /// these — the paper keeps non-conv layers in float — but accelerator
+  /// modeling and `scnn_cli stats` report per-layer sparsity from them with
+  /// the same accessor shape Conv2D exposes.
+  [[nodiscard]] const PackedRowCodes& packed_weight_codes(int n_bits) const;
+
   [[nodiscard]] int in_features() const { return in_; }
   [[nodiscard]] int out_features() const { return out_; }
 
@@ -64,6 +72,10 @@ class Dense final : public Layer {
   mutable int wq_cache_bits_ = 0;
   mutable std::uint64_t wq_cache_version_ = 0;
   mutable float wq_cache_scale_ = 0.0f;
+
+  // CSR cache over wq_cache_; invalidated whenever the dense codes rebuild.
+  mutable PackedRowCodes packed_cache_;
+  mutable bool packed_cache_valid_ = false;
 };
 
 }  // namespace scnn::nn

@@ -80,6 +80,59 @@ __attribute__((target("avx2"))) std::uint64_t avx2_narrow(
   return sat;
 }
 
+// Zero-skip variant: identical per-step body, but the product loop walks the
+// row's nonzeros (j = cols[i], row = lut.row(codes[i])) instead of every
+// column — the cols load is a sequential int32 read, so the step cost
+// matches the dense kernel's and the win is exactly the skipped products.
+// Saturations count as nnz - |non-clamped| per lane, same identity as above.
+__attribute__((target("avx2"))) std::uint64_t avx2_sparse_narrow(
+    const sc::ProductLut& lut, std::span<const std::int32_t> cols,
+    std::span<const std::int32_t> codes, std::size_t d,
+    std::span<const std::int32_t> patches, std::span<std::int64_t> out,
+    std::int64_t lo64, std::int64_t hi64) {
+  const std::size_t nnz = codes.size();
+  const std::size_t tile = out.size();
+  const std::int32_t lo = static_cast<std::int32_t>(lo64);
+  const std::int32_t hi = static_cast<std::int32_t>(hi64);
+  const __m256i lov = _mm256_set1_epi32(lo);
+  const __m256i hiv = _mm256_set1_epi32(hi);
+  std::uint64_t sat = 0;
+  std::size_t t0 = 0;
+  for (; t0 + 8 <= tile; t0 += 8) {
+    const std::int32_t* px = &patches[t0 * d];
+    __m256i acc = _mm256_setzero_si256();
+    __m256i eqv = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < nnz; ++i) {
+      const std::int16_t* row = lut.row(codes[i]);
+      const std::size_t j = static_cast<std::size_t>(cols[i]);
+      const __m256i xi = _mm256_setr_epi32(px[j], px[d + j], px[2 * d + j],
+                                           px[3 * d + j], px[4 * d + j],
+                                           px[5 * d + j], px[6 * d + j],
+                                           px[7 * d + j]);
+      __m256i pr =
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(row), xi, 2);
+      pr = _mm256_srai_epi32(_mm256_slli_epi32(pr, 16), 16);
+      const __m256i v = _mm256_add_epi32(acc, pr);
+      acc = _mm256_min_epi32(_mm256_max_epi32(v, lov), hiv);
+      eqv = _mm256_sub_epi32(eqv, _mm256_cmpeq_epi32(v, acc));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[t0]),
+                        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(acc)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[t0 + 4]),
+                        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(acc, 1)));
+    const __m128i s = _mm_add_epi32(_mm256_castsi256_si128(eqv),
+                                    _mm256_extracti128_si256(eqv, 1));
+    const __m128i s2 = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    const __m128i s3 =
+        _mm_add_epi32(s2, _mm_shuffle_epi32(s2, _MM_SHUFFLE(2, 3, 0, 1)));
+    sat += 8 * nnz - static_cast<std::uint32_t>(_mm_cvtsi128_si32(s3));
+  }
+  if (t0 < tile)
+    sat += detail::mac_rows_sparse_blocked<std::int32_t>(
+        lut, cols, codes, d, patches.subspan(t0 * d), out.subspan(t0), lo, hi);
+  return sat;
+}
+
 }  // namespace
 }  // namespace scnn::nn::backends
 
@@ -90,7 +143,8 @@ namespace scnn::nn::backends {
 const Kernel* avx2_kernel() {
 #ifdef SCNN_HAVE_AVX2_KERNEL
   if (!common::cpu_features().avx2) return nullptr;
-  static const Kernel k{"avx2", 8, &avx2_narrow, &detail::mac_rows_wide};
+  static const Kernel k{"avx2", 8, &avx2_narrow, &detail::mac_rows_wide,
+                        &avx2_sparse_narrow, &detail::mac_rows_sparse_wide};
   return &k;
 #else
   return nullptr;

@@ -51,6 +51,23 @@ using MacRowsFn = std::uint64_t (*)(const sc::ProductLut& lut,
                                     std::span<std::int64_t> out,
                                     std::int64_t lo, std::int64_t hi);
 
+/// Zero-skip variant of MacRowsFn: only the nonzero codes of the weight row
+/// are issued. `cols[i]` / `codes[i]` give the column and code of nonzero i
+/// (increasing-column order, the same order the dense kernels walk j in);
+/// `d` is the dense row length, i.e. the patch stride. A skipped product is
+/// one whose code is zero — for product tables that annihilate zero (see
+/// nn::lut_annihilates_zero) it would add an exact 0 to an in-range
+/// accumulator, changing neither the value nor the saturation count, so the
+/// sparse kernel's outputs, clamp events and clamp order are bit-identical
+/// to the dense kernel's.
+using MacRowsSparseFn = std::uint64_t (*)(const sc::ProductLut& lut,
+                                          std::span<const std::int32_t> cols,
+                                          std::span<const std::int32_t> codes,
+                                          std::size_t d,
+                                          std::span<const std::int32_t> patches,
+                                          std::span<std::int64_t> out,
+                                          std::int64_t lo, std::int64_t hi);
+
 struct Kernel {
   const char* name;  ///< "scalar" | "sse2" | "avx2" | "neon"
   int lanes;         ///< output elements per kernel step (32-bit accum lanes)
@@ -61,6 +78,12 @@ struct Kernel {
   /// every SIMD kernel's int32 lanes, so all backends currently share the
   /// scalar int64 implementation here (LutEngine::describe reports that).
   MacRowsFn wide;
+  /// Zero-skip counterparts, never null. AVX2 carries its own sparse kernel;
+  /// SSE2/NEON currently fall back to the shared scalar sparse
+  /// implementation (the zero-skip win is dropped work, not lane width, so
+  /// the fallback still beats their dense kernels on sparse rows).
+  MacRowsSparseFn sparse_narrow;
+  MacRowsSparseFn sparse_wide;
 };
 
 /// The reference kernel — always available, the equivalence baseline.

@@ -66,7 +66,11 @@ namespace scnn::nn::backends {
 const Kernel* neon_kernel() {
 #ifdef SCNN_HAVE_NEON_KERNEL
   if (!common::cpu_features().neon) return nullptr;
-  static const Kernel k{"neon", 4, &neon_narrow, &detail::mac_rows_wide};
+  // Zero-skip runs the shared scalar sparse kernel (NEON has no gather; the
+  // sparse win is the skipped products, not lane width).
+  static const Kernel k{"neon", 4, &neon_narrow, &detail::mac_rows_wide,
+                        &detail::mac_rows_sparse_narrow,
+                        &detail::mac_rows_sparse_wide};
   return &k;
 #else
   return nullptr;

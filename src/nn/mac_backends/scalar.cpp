@@ -13,6 +13,29 @@ std::uint64_t mac_rows_wide(const sc::ProductLut& lut,
   return mac_rows_blocked<std::int64_t>(lut, w, patches, out, lo, hi);
 }
 
+std::uint64_t mac_rows_sparse_narrow(const sc::ProductLut& lut,
+                                     std::span<const std::int32_t> cols,
+                                     std::span<const std::int32_t> codes,
+                                     std::size_t d,
+                                     std::span<const std::int32_t> patches,
+                                     std::span<std::int64_t> out,
+                                     std::int64_t lo, std::int64_t hi) {
+  return mac_rows_sparse_blocked<std::int32_t>(lut, cols, codes, d, patches, out,
+                                               static_cast<std::int32_t>(lo),
+                                               static_cast<std::int32_t>(hi));
+}
+
+std::uint64_t mac_rows_sparse_wide(const sc::ProductLut& lut,
+                                   std::span<const std::int32_t> cols,
+                                   std::span<const std::int32_t> codes,
+                                   std::size_t d,
+                                   std::span<const std::int32_t> patches,
+                                   std::span<std::int64_t> out, std::int64_t lo,
+                                   std::int64_t hi) {
+  return mac_rows_sparse_blocked<std::int64_t>(lut, cols, codes, d, patches, out,
+                                               lo, hi);
+}
+
 }  // namespace detail
 
 namespace {
@@ -30,7 +53,9 @@ std::uint64_t scalar_narrow(const sc::ProductLut& lut,
 }  // namespace
 
 const Kernel& scalar_kernel() {
-  static const Kernel k{"scalar", 8, &scalar_narrow, &detail::mac_rows_wide};
+  static const Kernel k{"scalar", 8, &scalar_narrow, &detail::mac_rows_wide,
+                        &detail::mac_rows_sparse_narrow,
+                        &detail::mac_rows_sparse_wide};
   return k;
 }
 

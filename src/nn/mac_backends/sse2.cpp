@@ -77,7 +77,12 @@ namespace scnn::nn::backends {
 const Kernel* sse2_kernel() {
 #ifdef SCNN_HAVE_SSE2_KERNEL
   if (!common::cpu_features().sse2) return nullptr;
-  static const Kernel k{"sse2", 4, &sse2_narrow, &detail::mac_rows_wide};
+  // Zero-skip runs the shared scalar sparse kernel: SSE2's scalar LUT loads
+  // give its dense kernel only a modest edge, and the sparse win (skipped
+  // products) is lane-width independent.
+  static const Kernel k{"sse2", 4, &sse2_narrow, &detail::mac_rows_wide,
+                        &detail::mac_rows_sparse_narrow,
+                        &detail::mac_rows_sparse_wide};
   return &k;
 #else
   return nullptr;

@@ -49,6 +49,9 @@ void EngineConfig::validate() const {
   if (backend != MacBackend::kAuto && backend != MacBackend::kScalar &&
       backend != MacBackend::kSimd)
     fail("invalid backend enum value " + std::to_string(static_cast<int>(backend)));
+  if (sparsity != Sparsity::kDense && sparsity != Sparsity::kZeroSkip &&
+      sparsity != Sparsity::kAuto)
+    fail("invalid sparsity enum value " + std::to_string(static_cast<int>(sparsity)));
   if (n_bits < kMinBits || n_bits > kMaxBits)
     fail("n_bits = " + std::to_string(n_bits) + " out of range [" +
          std::to_string(kMinBits) + ", " + std::to_string(kMaxBits) + "]");
@@ -65,9 +68,11 @@ void EngineConfig::validate() const {
 
 std::string EngineConfig::label() const {
   std::string l = to_string(kind) + "/N=" + std::to_string(n_bits);
-  // Only a non-default backend changes which kernel runs, so only that is
-  // worth a label segment (sweep labels stay stable for existing configs).
+  // Only a non-default backend/sparsity changes which kernel path runs, so
+  // only those earn a label segment (sweep labels stay stable for existing
+  // configs).
   if (backend != MacBackend::kAuto) l += "/" + to_string(backend);
+  if (sparsity != Sparsity::kAuto) l += "/" + to_string(sparsity);
   return l;
 }
 
@@ -79,6 +84,7 @@ int EngineConfig::resolved_threads() const {
 
 std::string EngineConfig::to_json() const {
   return "{\"kind\":\"" + to_string(kind) + "\",\"backend\":\"" + to_string(backend) +
+         "\",\"sparsity\":\"" + to_string(sparsity) +
          "\",\"n_bits\":" + std::to_string(n_bits) +
          ",\"accum_bits\":" + std::to_string(accum_bits) +
          ",\"bit_parallel\":" + std::to_string(bit_parallel) +
@@ -166,6 +172,8 @@ EngineConfig EngineConfig::from_json(std::string_view json) {
         cfg.kind = engine_kind_from_string(in.parse_string());
       } else if (key == "backend") {
         cfg.backend = mac_backend_from_string(in.parse_string());
+      } else if (key == "sparsity") {
+        cfg.sparsity = sparsity_from_string(in.parse_string());
       } else if (key == "n_bits") {
         cfg.n_bits = in.parse_int();
       } else if (key == "accum_bits") {
@@ -197,10 +205,52 @@ EngineConfig EngineConfig::from_json(std::string_view json) {
   return cfg;
 }
 
-LutEngine::LutEngine(sc::ProductLut lut, int accum_bits, MacBackend backend)
+bool lut_annihilates_zero(const sc::ProductLut& lut) {
+  const std::int32_t half = 1 << (lut.bits() - 1);
+  for (std::int32_t qx = -half; qx < half; ++qx)
+    if (lut.at(0, qx) != 0) return false;
+  return true;
+}
+
+bool resolve_zero_skip(Sparsity sparsity, const sc::ProductLut& lut) {
+  if (sparsity == Sparsity::kAuto) {
+    // Global override hook for CI and A/B runs, mirroring SCNN_BACKEND:
+    // steers every kAuto engine in the process, never an explicit request.
+    // The env value only steers which way auto leans — unlike an explicit
+    // kZeroSkip request it cannot make an illegal schedule legal, so
+    // SCNN_SPARSITY=zero_skip on a non-annihilating table (sc-lfsr) stays
+    // dense instead of throwing. That is what lets a CI leg pin the whole
+    // suite to zero-skip without breaking conventional-SC tests.
+    if (const char* env = std::getenv("SCNN_SPARSITY"); env && *env) {
+      const Sparsity leaning = sparsity_from_string(env);  // throws on typos
+      if (leaning == Sparsity::kDense) return false;
+      return lut_annihilates_zero(lut);
+    }
+    return lut_annihilates_zero(lut);
+  }
+  switch (sparsity) {
+    case Sparsity::kDense:
+      return false;
+    case Sparsity::kZeroSkip:
+      if (!lut_annihilates_zero(lut))
+        throw std::invalid_argument(
+            "sparsity = zero-skip, but the " + lut.name() +
+            " product table does not annihilate zero weight codes "
+            "(product(0, qx) != 0 for some qx), so skipping k = 0 products "
+            "would change results — use sparsity = dense or auto");
+      return true;
+    case Sparsity::kAuto:
+      return lut_annihilates_zero(lut);
+  }
+  throw std::invalid_argument("resolve_zero_skip: invalid Sparsity");
+}
+
+LutEngine::LutEngine(sc::ProductLut lut, int accum_bits, MacBackend backend,
+                     Sparsity sparsity)
     : MacEngine(lut.bits(), accum_bits),
       lut_(std::move(lut)),
-      kernel_(&backends::select_kernel(backend)) {}
+      kernel_(&backends::select_kernel(backend)),
+      zero_skip_(resolve_zero_skip(sparsity, lut_)) {}
 
 std::int64_t LutEngine::mac_impl_(std::span<const std::int32_t> w,
                                   std::span<const std::int32_t> x,
@@ -239,7 +289,7 @@ std::int64_t LutEngine::mac(std::span<const std::int32_t> w,
   return mac_impl_(w, x, &stats);
 }
 
-void LutEngine::mac_rows(std::span<const std::int32_t> w,
+void LutEngine::mac_rows(const WeightCodeView& w,
                          std::span<const std::int32_t> patches,
                          std::span<std::int64_t> out, MacStats& stats) const {
   const std::size_t d = w.size();
@@ -250,35 +300,54 @@ void LutEngine::mac_rows(std::span<const std::int32_t> w,
   // The narrow (int32-accumulator) kernels are exact while |rail| + |product|
   // fits: rails need `bits` <= 31 and a product adds at most 2^15 before the
   // clamp. Wider configurations fall back to the shared int64 path.
-  const std::uint64_t sat = bits <= 30 ? kernel_->narrow(lut_, w, patches, out, lo, hi)
-                                       : kernel_->wide(lut_, w, patches, out, lo, hi);
+  std::uint64_t sat;
+  if (zero_skip_ && w.packed() && w.nnz() < d) {
+    // The sparse kernel issues only the nonzeros (in the same increasing-j
+    // order), which is bit-exact because this engine's table annihilates
+    // zero — enforced at construction. Rows with no zeros take the dense
+    // kernel: same results, no indirection.
+    sat = bits <= 30 ? kernel_->sparse_narrow(lut_, w.cols(), w.codes(), d,
+                                              patches, out, lo, hi)
+                     : kernel_->sparse_wide(lut_, w.cols(), w.codes(), d,
+                                            patches, out, lo, hi);
+    stats.skipped_products += (d - w.nnz()) * tile;
+  } else {
+    sat = bits <= 30 ? kernel_->narrow(lut_, w.dense(), patches, out, lo, hi)
+                     : kernel_->wide(lut_, w.dense(), patches, out, lo, hi);
+  }
   stats.macs += tile;
   stats.products += tile * d;
   stats.saturations += sat;
-  if (stats.detail && tile > 0) account_enable_cycles(w, tile, stats.k_hist);
+  // k accounting always walks the dense row (zeros land in bucket 0), so
+  // detail-mode histograms are identical across scheduling modes.
+  if (stats.detail && tile > 0) account_enable_cycles(w.dense(), tile, stats.k_hist);
 }
 
 MacEngine::Description LutEngine::describe() const {
+  const std::string sparsity = zero_skip_ ? "zero-skip" : "dense";
   // n + a > 30 routes mac_rows onto Kernel::wide, which every backend
   // currently shares with the scalar kernel — report what actually runs.
-  if (n_ + a_ > 30) return {.backend = "scalar", .lanes = 8};
-  return {.backend = kernel_->name, .lanes = kernel_->lanes};
+  if (n_ + a_ > 30) return {.backend = "scalar", .lanes = 8, .sparsity = sparsity};
+  return {.backend = kernel_->name, .lanes = kernel_->lanes, .sparsity = sparsity};
 }
+
+namespace {
+
+sc::ProductLut make_lut_for(EngineKind kind, int n_bits) {
+  switch (kind) {
+    case EngineKind::kFixed: return sc::make_fixed_point_lut(n_bits);
+    case EngineKind::kScLfsr: return sc::make_lfsr_sc_lut(n_bits);
+    case EngineKind::kProposed: return core::make_proposed_lut(n_bits);
+  }
+  throw std::invalid_argument("make_lut_for: invalid EngineKind");
+}
+
+}  // namespace
 
 std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg) {
   cfg.validate();
-  switch (cfg.kind) {
-    case EngineKind::kFixed:
-      return std::make_unique<LutEngine>(sc::make_fixed_point_lut(cfg.n_bits),
-                                         cfg.accum_bits, cfg.backend);
-    case EngineKind::kScLfsr:
-      return std::make_unique<LutEngine>(sc::make_lfsr_sc_lut(cfg.n_bits),
-                                         cfg.accum_bits, cfg.backend);
-    case EngineKind::kProposed:
-      return std::make_unique<LutEngine>(core::make_proposed_lut(cfg.n_bits),
-                                         cfg.accum_bits, cfg.backend);
-  }
-  throw std::invalid_argument("make_engine: invalid EngineKind");
+  return std::make_unique<LutEngine>(make_lut_for(cfg.kind, cfg.n_bits),
+                                     cfg.accum_bits, cfg.backend, cfg.sparsity);
 }
 
 MacEngine::Description resolved_backend(MacBackend backend) {
@@ -298,18 +367,33 @@ void stamp_engine_meta_impl(obs::JsonReport& report, const EngineConfig& cfg,
   report.set_meta("backend", to_string(cfg.backend));
   report.set_meta("backend_resolved", resolved.backend);
   report.set_meta("backend_lanes", static_cast<double>(resolved.lanes));
+  report.set_meta("sparsity", to_string(cfg.sparsity));
+  report.set_meta("sparsity_resolved", resolved.sparsity);
   report.set_meta_json("engine_config", cfg.to_json());
 }
 
 }  // namespace
 
 void stamp_engine_meta(obs::JsonReport& report, const EngineConfig& cfg) {
-  MacEngine::Description resolved{.backend = "unavailable", .lanes = 0};
+  MacEngine::Description resolved{.backend = "unavailable", .lanes = 0,
+                                  .sparsity = "unavailable"};
   try {
+    const std::string sparsity = resolved.sparsity;
     resolved = resolved_backend(cfg.backend);
+    resolved.sparsity = sparsity;
   } catch (const std::exception&) {
     // kSimd on a machine with no SIMD kernel: stamp the fact, don't throw
     // from a reporting path.
+  }
+  try {
+    if (cfg.n_bits >= EngineConfig::kMinBits && cfg.n_bits <= EngineConfig::kMaxBits)
+      resolved.sparsity = resolve_zero_skip(cfg.sparsity,
+                                            make_lut_for(cfg.kind, cfg.n_bits))
+                              ? "zero-skip"
+                              : "dense";
+  } catch (const std::exception&) {
+    // kZeroSkip on a non-annihilating table (or a bad SCNN_SPARSITY value):
+    // stamp the fact, don't throw from a reporting path.
   }
   stamp_engine_meta_impl(report, cfg, resolved);
 }

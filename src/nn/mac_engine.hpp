@@ -11,10 +11,14 @@
 //
 // Engines are selected through the typed EngineConfig below — one struct
 // carries the arithmetic (kind, n_bits, accum_bits), the runtime sizing
-// (threads, bit_parallel, instrument), and the mac_rows kernel backend
+// (threads, bit_parallel, instrument), the mac_rows kernel backend
 // (auto | scalar | simd, dispatched at runtime on the CPU's actual
-// capabilities). The pre-1.1 stringly make_engine(kind, ...) shim has been
-// removed; build an EngineConfig instead.
+// capabilities), and the zero-skip scheduling mode (dense | zero-skip |
+// auto; see nn/weight_codes.hpp). The pre-1.1 stringly make_engine(kind,
+// ...) shim has been removed; build an EngineConfig instead. The pre-1.2
+// raw-span mac_rows overload is gone too: batched calls hand the engine a
+// typed WeightCodeView (dense or packed), the one contract both the dense
+// and the zero-skip kernels implement.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +28,7 @@
 #include <string_view>
 
 #include "nn/mac_backends/mac_backends.hpp"
+#include "nn/weight_codes.hpp"
 #include "obs/metrics.hpp"
 #include "sc/mult_lut.hpp"
 
@@ -65,6 +70,15 @@ struct EngineConfig {
                                            ///< kernel is available. Logits
                                            ///< and MacStats are bit-identical
                                            ///< across all of them.
+  Sparsity sparsity = Sparsity::kAuto;  ///< zero-skip scheduling: kAuto skips
+                                        ///< k = 0 products exactly when the
+                                        ///< engine's product table annihilates
+                                        ///< zero (SCNN_SPARSITY env overrides),
+                                        ///< kDense always issues every product,
+                                        ///< kZeroSkip fails loudly where
+                                        ///< skipping would change results.
+                                        ///< Logits and MacStats arithmetic are
+                                        ///< bit-identical either way.
 
   /// Supported precision window. The LUT is 2^(2N) int16 entries, so N = 12
   /// (32 MiB) is the practical ceiling; N = 2 is sign + one magnitude bit.
@@ -78,15 +92,17 @@ struct EngineConfig {
   /// is out of range (instead of silently building an out-of-range LUT).
   void validate() const;
 
-  /// Sweep label, e.g. "proposed/N=8" — a non-default backend is appended
-  /// ("proposed/N=8/scalar") since it selects a different kernel.
+  /// Sweep label, e.g. "proposed/N=8" — a non-default backend
+  /// ("proposed/N=8/scalar") and a non-default sparsity
+  /// ("proposed/N=8/zero-skip") are appended since each selects a
+  /// different kernel path.
   [[nodiscard]] std::string label() const;
   /// `threads` with 0 resolved to the machine's hardware concurrency.
   [[nodiscard]] int resolved_threads() const;
 
   /// Flat JSON object carrying every field, e.g.
-  ///   {"kind":"proposed","backend":"auto","n_bits":8,"accum_bits":2,
-  ///    "bit_parallel":1,"threads":1,"instrument":false}
+  ///   {"kind":"proposed","backend":"auto","sparsity":"auto","n_bits":8,
+  ///    "accum_bits":2,"bit_parallel":1,"threads":1,"instrument":false}
   /// — the round-trippable form --metrics-out snapshots stamp and
   /// `scnn_cli serve --engine-config=` accepts.
   [[nodiscard]] std::string to_json() const;
@@ -112,11 +128,26 @@ struct EngineConfig {
 /// hot path stays exactly as fast as before.
 struct MacStats {
   std::uint64_t macs = 0;         ///< mac() calls (output elements)
-  std::uint64_t products = 0;     ///< code pairs multiplied
+  std::uint64_t products = 0;     ///< code pairs multiplied (dense count —
+                                  ///< zero-skip does not change this, see
+                                  ///< skipped_products)
   std::uint64_t saturations = 0;  ///< accumulator clamp events
 
   bool detail = false;     ///< request k accounting below (set by the caller)
   obs::Pow2Hist k_hist;    ///< per-product enable counts k (detail mode only)
+
+  // Scheduling telemetry — what the zero-skip path and the k-aware
+  // partitioner actually did, as opposed to what was computed. Deliberately
+  // excluded from operator== : the bit-exactness contract compares the
+  // arithmetic above, while a dense and a zero-skip run of the same model
+  // legitimately differ here (that difference IS the savings report).
+  std::uint64_t skipped_products = 0;  ///< k = 0 products never issued (each
+                                       ///< would have cost one SC issue slot)
+  std::uint64_t sched_budget_total = 0;      ///< summed shard-plan budget
+  std::uint64_t sched_budget_max_shard = 0;  ///< heaviest shard's budget (the
+                                             ///< imbalance numerator; perfect
+                                             ///< balance = total / shards)
+  std::uint32_t sched_shards = 0;            ///< shards the partitioner planned
 
   MacStats& operator+=(const MacStats& o) {
     macs += o.macs;
@@ -124,10 +155,21 @@ struct MacStats {
     saturations += o.saturations;
     detail = detail || o.detail;
     k_hist += o.k_hist;
+    skipped_products += o.skipped_products;
+    sched_budget_total += o.sched_budget_total;
+    if (o.sched_budget_max_shard > sched_budget_max_shard)
+      sched_budget_max_shard = o.sched_budget_max_shard;
+    if (o.sched_shards > sched_shards) sched_shards = o.sched_shards;
     return *this;
   }
 
-  bool operator==(const MacStats&) const = default;
+  /// Arithmetic-only equality (macs, products, saturations, detail, k_hist);
+  /// the scheduling telemetry above is intentionally not compared.
+  bool operator==(const MacStats& o) const {
+    return macs == o.macs && products == o.products &&
+           saturations == o.saturations && detail == o.detail &&
+           k_hist == o.k_hist;
+  }
 };
 
 /// Estimated MAC-array cycles to stream `sum_k` total enable cycles at
@@ -161,6 +203,8 @@ class MacEngine {
   struct Description {
     std::string backend;  ///< "serial" | "scalar" | "sse2" | "avx2" | "neon"
     int lanes = 1;        ///< output elements per kernel step
+    std::string sparsity = "dense";  ///< resolved scheduling: "dense" |
+                                     ///< "zero-skip"
 
     bool operator==(const Description&) const = default;
   };
@@ -187,19 +231,24 @@ class MacEngine {
   }
 
   /// Batched MAC: a tile of out.size() output elements against ONE weight
-  /// row. `patches` holds out.size() contiguous d-code patches back to back
-  /// (layout [tile][d], d = w.size()); out[t] receives exactly
-  /// mac(w, patches[t*d .. t*d+d)). Semantics — including the per-product
-  /// saturation order and the MacStats totals — are identical to calling
-  /// mac() per element; engines override only to restructure the loops for
-  /// throughput (the im2col convolution path feeds every output row through
-  /// this entry point).
-  virtual void mac_rows(std::span<const std::int32_t> w,
+  /// row, handed over as a typed WeightCodeView. `patches` holds out.size()
+  /// contiguous d-code patches back to back (layout [tile][d], d = w.size());
+  /// out[t] receives exactly mac(w.dense(), patches[t*d .. t*d+d)).
+  /// Semantics — including the per-product saturation order and the MacStats
+  /// arithmetic totals — are identical to calling mac() per element for BOTH
+  /// view variants: a packed view only entitles a zero-skip engine to not
+  /// issue the k = 0 products, which is invisible to the accumulator (see
+  /// nn/weight_codes.hpp). Engines override to restructure the loops for
+  /// throughput; the im2col convolution path feeds every output row through
+  /// this entry point. (The raw-span overload was removed with this
+  /// redesign — wrap the row: WeightCodeView(row) or
+  /// WeightCodeView::packed_row(row, packed, m).)
+  virtual void mac_rows(const WeightCodeView& w,
                         std::span<const std::int32_t> patches,
                         std::span<std::int64_t> out, MacStats& stats) const {
     const std::size_t d = w.size();
     for (std::size_t t = 0; t < out.size(); ++t)
-      out[t] = mac(w, patches.subspan(t * d, d), stats);
+      out[t] = mac(w.dense(), patches.subspan(t * d, d), stats);
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
@@ -207,6 +256,10 @@ class MacEngine {
   [[nodiscard]] virtual Description describe() const {
     return {.backend = "serial", .lanes = 1};
   }
+  /// True when this engine's mac_rows skips k = 0 products given a packed
+  /// view. Layers use this to decide whether building the PackedRowCodes
+  /// cache is worth anything.
+  [[nodiscard]] virtual bool zero_skip() const { return false; }
   [[nodiscard]] int bits() const { return n_; }
   [[nodiscard]] int accum_bits() const { return a_; }
 
@@ -221,9 +274,11 @@ class MacEngine {
 class LutEngine final : public MacEngine {
  public:
   /// `backend` selects the mac_rows kernel through the dispatch rules of
-  /// MacBackend (resolved once here, at construction — never per call).
+  /// MacBackend; `sparsity` the zero-skip mode through resolve_zero_skip()
+  /// (both resolved once here, at construction — never per call).
   LutEngine(sc::ProductLut lut, int accum_bits,
-            MacBackend backend = MacBackend::kAuto);
+            MacBackend backend = MacBackend::kAuto,
+            Sparsity sparsity = Sparsity::kAuto);
 
   [[nodiscard]] std::int64_t mac(std::span<const std::int32_t> w,
                                  std::span<const std::int32_t> x) const override;
@@ -234,11 +289,15 @@ class LutEngine final : public MacEngine {
   /// the LUT row per product index, keeps per-lane products in increasing-j
   /// order, and counts saturations branchlessly, so the result is
   /// bit-identical to the per-element path — values, saturation order and
-  /// MacStats included.
-  void mac_rows(std::span<const std::int32_t> w, std::span<const std::int32_t> patches,
+  /// MacStats included. A zero-skip engine handed a packed view with at
+  /// least one zero routes to the backend's sparse kernel and books the
+  /// skipped products; k_hist is always accounted from the dense row, so
+  /// detail-mode histograms are identical across scheduling modes too.
+  void mac_rows(const WeightCodeView& w, std::span<const std::int32_t> patches,
                 std::span<std::int64_t> out, MacStats& stats) const override;
   [[nodiscard]] std::string name() const override { return lut_.name(); }
   [[nodiscard]] Description describe() const override;
+  [[nodiscard]] bool zero_skip() const override { return zero_skip_; }
 
   [[nodiscard]] const sc::ProductLut& lut() const { return lut_; }
 
@@ -247,6 +306,7 @@ class LutEngine final : public MacEngine {
                          std::span<const std::int32_t> x, MacStats* stats) const;
   sc::ProductLut lut_;
   const backends::Kernel* kernel_;
+  bool zero_skip_;
 };
 
 /// Build the engine described by a validated configuration (validate() is
@@ -258,5 +318,21 @@ std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg);
 /// dispatch to on this machine (same resolution rules as construction,
 /// including the SCNN_BACKEND override and the kSimd-unavailable throw).
 [[nodiscard]] MacEngine::Description resolved_backend(MacBackend backend);
+
+/// True when `lut` maps a zero weight code to a zero product for every
+/// activation code — the property that makes skipping k = 0 products
+/// bit-exact. Holds by construction for the fixed-point and proposed tables
+/// (their product functions annihilate zero); conventional SC correlates
+/// two bipolar streams, so its zero row is generally NOT all zero.
+[[nodiscard]] bool lut_annihilates_zero(const sc::ProductLut& lut);
+
+/// Resolve a sparsity request against a product table (the engine
+/// constructor's rule, exposed for tests and reporting): kDense never
+/// skips; kZeroSkip skips, throwing std::invalid_argument when the table
+/// does not annihilate zero — an explicitly requested mode never degrades
+/// silently; kAuto consults the SCNN_SPARSITY environment variable first
+/// (auto | dense | zero-skip, anything else throws; explicit requests are
+/// never overridden), then skips exactly when the table annihilates zero.
+[[nodiscard]] bool resolve_zero_skip(Sparsity sparsity, const sc::ProductLut& lut);
 
 }  // namespace scnn::nn

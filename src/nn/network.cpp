@@ -47,9 +47,14 @@ Tensor Network::forward_instrumented_(const Tensor& input) {
       pass_stats += s;
       args.push_back({"macs", static_cast<double>(s.macs)});
       args.push_back({"saturations", static_cast<double>(s.saturations)});
+      args.push_back({"skipped_products", static_cast<double>(s.skipped_products)});
       if (s.detail) {
         args.push_back({"sc_cycles", static_cast<double>(s.k_hist.sum)});
         args.push_back({"max_k", static_cast<double>(s.k_hist.max)});
+        // Bucket 0 of the k histogram is exactly k == 0: products that issue
+        // no SC enable cycles but still occupy a dense schedule slot — the
+        // population zero-skip removes.
+        args.push_back({"zero_products", static_cast<double>(s.k_hist.buckets[0])});
       }
     }
     if (tracer_) tracer_->record(label, t0, t1, std::move(args));
@@ -71,6 +76,7 @@ Tensor Network::forward_instrumented_(const Tensor& input) {
     metrics_->counter("mac.products").add(pass_products, shard);
     metrics_->counter("mac.macs").add(pass_stats.macs, shard);
     metrics_->counter("mac.saturations").add(pass_stats.saturations, shard);
+    metrics_->counter("sc.skipped_products").add(pass_stats.skipped_products, shard);
     if (pass_stats.detail) {
       metrics_->counter("sc.cycles").add(pass_stats.k_hist.sum, shard);
       metrics_->histogram("sc.k").record_hist(pass_stats.k_hist, shard);

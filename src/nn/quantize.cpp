@@ -37,10 +37,12 @@ void set_conv_cycle_accounting(Network& net, bool on) {
 const MacEngine* EnginePool::get(const EngineConfig& cfg) {
   cfg.validate();
   // Everything that changes engine identity: kind + N (label), accumulator
-  // width, and the requested backend (label only carries non-default
-  // backends, so spell it out — kAuto and kScalar must not alias).
+  // width, the requested backend, and the requested sparsity mode (label
+  // only carries non-default values, so spell both out — kAuto must not
+  // alias kScalar/kDense).
   const std::string key = cfg.label() + "/A=" + std::to_string(cfg.accum_bits) +
-                          "/B=" + to_string(cfg.backend);
+                          "/B=" + to_string(cfg.backend) +
+                          "/S=" + to_string(cfg.sparsity);
   for (std::size_t i = 0; i < keys_.size(); ++i)
     if (keys_[i] == key) return engines_[i].get();
   engines_.push_back(make_engine(cfg));

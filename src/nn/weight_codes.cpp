@@ -1,0 +1,56 @@
+#include "nn/weight_codes.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace scnn::nn {
+
+std::string to_string(Sparsity sparsity) {
+  switch (sparsity) {
+    case Sparsity::kDense: return "dense";
+    case Sparsity::kZeroSkip: return "zero-skip";
+    case Sparsity::kAuto: return "auto";
+  }
+  throw std::invalid_argument("to_string: invalid Sparsity");
+}
+
+Sparsity sparsity_from_string(std::string_view s) {
+  if (s == "dense") return Sparsity::kDense;
+  if (s == "zero-skip" || s == "zero_skip") return Sparsity::kZeroSkip;
+  if (s == "auto") return Sparsity::kAuto;
+  throw std::invalid_argument("unknown sparsity '" + std::string(s) +
+                              "' (expected dense, zero-skip, or auto)");
+}
+
+PackedRowCodes PackedRowCodes::build(std::span<const std::int32_t> dense,
+                                     int rows, int row_len) {
+  assert(rows >= 0 && row_len >= 0);
+  assert(dense.size() ==
+         static_cast<std::size_t>(rows) * static_cast<std::size_t>(row_len));
+  PackedRowCodes p;
+  p.rows = rows;
+  p.row_len = row_len;
+  p.row_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+  p.row_ptr.push_back(0);
+  p.row_k_sum.reserve(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    const std::int32_t* row = dense.data() + static_cast<std::size_t>(r) * row_len;
+    std::uint64_t k_sum = 0;
+    for (int j = 0; j < row_len; ++j) {
+      const std::int32_t q = row[j];
+      if (q == 0) {
+        ++p.zeros;
+        continue;
+      }
+      p.codes.push_back(q);
+      p.cols.push_back(j);
+      k_sum += static_cast<std::uint64_t>(q < 0 ? -static_cast<std::int64_t>(q) : q);
+    }
+    p.row_ptr.push_back(p.codes.size());
+    p.row_k_sum.push_back(k_sum);
+    p.total_k_sum += k_sum;
+  }
+  return p;
+}
+
+}  // namespace scnn::nn

@@ -22,15 +22,19 @@ TEST(EngineConfigJson, RoundTripsEveryFieldAcrossAConfigSweep) {
           for (const int bit_parallel : {1, 8}) {
             for (const int threads : {0, 1, 4}) {
               for (const bool instrument : {false, true}) {
-                const EngineConfig cfg{.kind = kind,
-                                       .n_bits = n_bits,
-                                       .accum_bits = accum_bits,
-                                       .bit_parallel = bit_parallel,
-                                       .threads = threads,
-                                       .instrument = instrument,
-                                       .backend = backend};
-                EXPECT_EQ(EngineConfig::from_json(cfg.to_json()), cfg)
-                    << cfg.to_json();
+                for (const Sparsity sparsity :
+                     {Sparsity::kDense, Sparsity::kZeroSkip, Sparsity::kAuto}) {
+                  const EngineConfig cfg{.kind = kind,
+                                         .n_bits = n_bits,
+                                         .accum_bits = accum_bits,
+                                         .bit_parallel = bit_parallel,
+                                         .threads = threads,
+                                         .instrument = instrument,
+                                         .backend = backend,
+                                         .sparsity = sparsity};
+                  EXPECT_EQ(EngineConfig::from_json(cfg.to_json()), cfg)
+                      << cfg.to_json();
+                }
               }
             }
           }
@@ -79,6 +83,7 @@ TEST(EngineConfigJson, RejectsMalformedInputNamingTheOffender) {
   expect_rejects("{\"instrument\":yes}", "true or false");
   expect_rejects("{\"kind\":\"mystery\"}", "mystery");
   expect_rejects("{\"backend\":\"avx512\"}", "avx512");
+  expect_rejects("{\"sparsity\":\"zig\"}", "zig");
   expect_rejects("{\"flux_capacitance\":3}", "flux_capacitance");
   expect_rejects("{\"n_bits\":8", "end of input");
   expect_rejects("{\"n_bits\":8}trailing", "trailing");
@@ -94,18 +99,38 @@ TEST(EngineConfigJson, FromJsonDoesNotRangeCheckValidateDoes) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
-TEST(EngineConfigLabel, AppendsOnlyNonDefaultBackends) {
+TEST(EngineConfigLabel, AppendsOnlyNonDefaultBackendsAndSparsity) {
   EXPECT_EQ((EngineConfig{.kind = EngineKind::kScLfsr, .n_bits = 9}.label()),
             "sc-lfsr/N=9");
   EXPECT_EQ((EngineConfig{.n_bits = 8, .backend = MacBackend::kScalar}.label()),
             "proposed/N=8/scalar");
   EXPECT_EQ((EngineConfig{.n_bits = 8, .backend = MacBackend::kSimd}.label()),
             "proposed/N=8/simd");
+  EXPECT_EQ((EngineConfig{.n_bits = 8, .sparsity = Sparsity::kZeroSkip}.label()),
+            "proposed/N=8/zero-skip");
+  EXPECT_EQ((EngineConfig{.n_bits = 8, .backend = MacBackend::kScalar,
+                          .sparsity = Sparsity::kDense}.label()),
+            "proposed/N=8/scalar/dense");
+}
+
+TEST(EngineConfigJson, SparsityStringsRoundTripAndAliasParses) {
+  for (const Sparsity s : {Sparsity::kDense, Sparsity::kZeroSkip, Sparsity::kAuto})
+    EXPECT_EQ(sparsity_from_string(to_string(s)), s);
+  // The underscore spelling is accepted on input (env vars and flags both
+  // read naturally); the canonical output spelling stays "zero-skip".
+  EXPECT_EQ(sparsity_from_string("zero_skip"), Sparsity::kZeroSkip);
+  EXPECT_THROW(sparsity_from_string("sparse"), std::invalid_argument);
 }
 
 TEST(EngineConfigValidate, RejectsBadBackendEnum) {
   EngineConfig cfg;
   cfg.backend = static_cast<MacBackend>(42);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EngineConfigValidate, RejectsBadSparsityEnum) {
+  EngineConfig cfg;
+  cfg.sparsity = static_cast<Sparsity>(42);
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 

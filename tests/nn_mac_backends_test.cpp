@@ -116,7 +116,7 @@ TEST(MacBackends, EngineMacRowsIdenticalAcrossBackendsIncludingKHist) {
       std::vector<std::int64_t> out(tile);
       MacStats stats;
       stats.detail = true;
-      engine->mac_rows(w, patches, out, stats);
+      engine->mac_rows(nn::WeightCodeView(w), patches, out, stats);
       EXPECT_EQ(out, ref) << to_string(b);
       EXPECT_EQ(stats, ref_stats) << to_string(b);  // macs/products/sat/k_hist
       EXPECT_GT(engine->describe().lanes, 0) << to_string(b);
@@ -197,7 +197,7 @@ TEST(MacBackends, WideAccumulatorConfigFallsBackToScalarAndSaysSo) {
   const auto patches = random_codes(d * tile, 12, 92);
   std::vector<std::int64_t> out(tile);
   MacStats stats;
-  engine->mac_rows(w, patches, out, stats);
+  engine->mac_rows(nn::WeightCodeView(w), patches, out, stats);
   for (std::size_t t = 0; t < tile; ++t)
     EXPECT_EQ(out[t], engine->mac(w, std::span(patches).subspan(t * d, d))) << t;
 }

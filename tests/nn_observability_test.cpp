@@ -50,7 +50,7 @@ TEST(MacEngineDetail, MacRowsAccountsLikePerElement) {
   std::vector<std::int64_t> rows_out(3), elem_out(3);
   MacStats rows_stats, elem_stats;
   rows_stats.detail = elem_stats.detail = true;
-  engine->mac_rows(w, patches, rows_out, rows_stats);
+  engine->mac_rows(WeightCodeView(w), patches, rows_out, rows_stats);
   for (int t = 0; t < 3; ++t)
     elem_out[static_cast<std::size_t>(t)] = engine->mac(
         w, std::span<const std::int32_t>(patches).subspan(

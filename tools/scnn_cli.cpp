@@ -76,24 +76,26 @@ int usage() {
       "  scnn_cli train  <digits|objects> [--epochs=E] [--ckpt=FILE] [--threads=T]\n"
       "  scnn_cli eval   [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
       "                  [--engine=fixed|sc-lfsr|proposed] [--backend=auto|scalar|simd]\n"
-      "                  [--threads=T] [--count=N]\n"
+      "                  [--sparsity=auto|dense|zero-skip] [--threads=T] [--count=N]\n"
       "  scnn_cli sweep  [digits|objects] [--ckpt=FILE] [--nmin=N] [--nmax=N]\n"
-      "                  [--backend=auto|scalar|simd] [--threads=T]\n"
+      "                  [--backend=auto|scalar|simd] [--sparsity=...] [--threads=T]\n"
       "  scnn_cli stats  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
       "                  [--engine=fixed|sc-lfsr|proposed] [--backend=auto|scalar|simd]\n"
-      "                  [--threads=T] [--count=N] [--bit-parallel=B] [--trace-out=FILE]\n"
+      "                  [--sparsity=auto|dense|zero-skip] [--threads=T] [--count=N]\n"
+      "                  [--bit-parallel=B] [--trace-out=FILE]\n"
       "  scnn_cli serve  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
       "                  [--engine=fixed|sc-lfsr|proposed] [--backend=auto|scalar|simd]\n"
-      "                  [--engine-config=JSON] [--requests=N]\n"
-      "                  [--concurrency=C] [--max-batch=B] [--max-delay-us=U]\n"
-      "                  [--queue-cap=Q] [--workers=W] [--session-threads=T]\n"
-      "                  [--deadline-us=D] [--count=N]\n"
+      "                  [--sparsity=auto|dense|zero-skip] [--engine-config=JSON]\n"
+      "                  [--requests=N] [--concurrency=C] [--max-batch=B]\n"
+      "                  [--max-delay-us=U] [--queue-cap=Q] [--workers=W]\n"
+      "                  [--session-threads=T] [--deadline-us=D] [--count=N]\n"
       "  scnn_cli info\n"
       "flags take the form --key=value; --threads=0 uses every hardware thread\n"
       "every command accepts --metrics-out=FILE to dump a JSON metrics snapshot\n"
-      "--backend selects the mac_rows kernel (bit-identical results either way);\n"
+      "--backend selects the mac_rows kernel and --sparsity the weight-code\n"
+      "schedule (zero-skip skips k=0 products; bit-identical results either way);\n"
       "serve's --engine-config takes EngineConfig::to_json() output and excludes\n"
-      "the individual --engine/--bits/--accum/--backend flags\n");
+      "the individual --engine/--bits/--accum/--backend/--sparsity flags\n");
   return 2;
 }
 
@@ -217,8 +219,8 @@ InferenceSession load_session(const std::string& task, const std::string& ckpt,
 }
 
 int cmd_eval(const Args& args) {
-  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "threads",
-                      "count", "metrics-out"});
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "sparsity",
+                      "threads", "count", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const EngineConfig cfg{
@@ -229,7 +231,8 @@ int cmd_eval(const Args& args) {
       .threads = args.get_int("threads", 1),
       // Only collect metrics when someone asked for the snapshot.
       .instrument = !args.get("metrics-out", "").empty(),
-      .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto"))};
+      .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto")),
+      .sparsity = scnn::nn::sparsity_from_string(args.get("sparsity", "auto"))};
   cfg.validate();
 
   Dataset test;
@@ -238,9 +241,10 @@ int cmd_eval(const Args& args) {
   session.set_engine(cfg);
   const double acc = session.accuracy(test.images, test.labels);
   const auto stats = session.last_forward_stats();
-  std::printf("%s N=%d A=%d threads=%d backend=%s accuracy: %.3f\n",
+  std::printf("%s N=%d A=%d threads=%d backend=%s sparsity=%s accuracy: %.3f\n",
               to_string(cfg.kind).c_str(), cfg.n_bits, cfg.accum_bits,
-              session.threads(), session.backend().backend.c_str(), acc);
+              session.threads(), session.backend().backend.c_str(),
+              session.backend().sparsity.c_str(), acc);
   std::printf("last batch: %llu MACs, %llu products, %llu saturations\n",
               static_cast<unsigned long long>(stats.macs),
               static_cast<unsigned long long>(stats.products),
@@ -251,7 +255,7 @@ int cmd_eval(const Args& args) {
 
 int cmd_sweep(const Args& args) {
   args.require_known(
-      {"task", "ckpt", "nmin", "nmax", "backend", "threads", "metrics-out"});
+      {"task", "ckpt", "nmin", "nmax", "backend", "sparsity", "threads", "metrics-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const int n_min = args.get_int("nmin", std::stoi(args.positional(2, "5")));
@@ -260,6 +264,8 @@ int cmd_sweep(const Args& args) {
   const int threads = args.get_int("threads", 1);
   const scnn::nn::MacBackend backend =
       scnn::nn::mac_backend_from_string(args.get("backend", "auto"));
+  const scnn::nn::Sparsity sparsity =
+      scnn::nn::sparsity_from_string(args.get("sparsity", "auto"));
   const bool instrument = !args.get("metrics-out", "").empty();
 
   Dataset test;
@@ -270,7 +276,8 @@ int cmd_sweep(const Args& args) {
     for (const EngineKind kind :
          {EngineKind::kFixed, EngineKind::kScLfsr, EngineKind::kProposed}) {
       session.set_engine({.kind = kind, .n_bits = n, .threads = threads,
-                          .instrument = instrument, .backend = backend});
+                          .instrument = instrument, .backend = backend,
+                          .sparsity = sparsity});
       std::printf(" %-10.3f", session.accuracy(test.images, test.labels));
     }
     std::printf("\n");
@@ -283,8 +290,8 @@ int cmd_sweep(const Args& args) {
 /// metrics snapshot + chrome://tracing timeline. Exits nonzero if the summed
 /// per-layer SC cycles do not equal the engine's MacStats totals exactly.
 int cmd_stats(const Args& args) {
-  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "threads",
-                      "count", "bit-parallel", "metrics-out", "trace-out"});
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "sparsity",
+                      "threads", "count", "bit-parallel", "metrics-out", "trace-out"});
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const EngineConfig cfg{
@@ -295,7 +302,8 @@ int cmd_stats(const Args& args) {
       .bit_parallel = args.get_int("bit-parallel", 8),
       .threads = args.get_int("threads", 1),
       .instrument = true,
-      .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto"))};
+      .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto")),
+      .sparsity = scnn::nn::sparsity_from_string(args.get("sparsity", "auto"))};
   cfg.validate();
 
   Dataset test;
@@ -325,7 +333,8 @@ int cmd_stats(const Args& args) {
 
   using scnn::common::Table;
   Table t({"layer", "ms", "products", "MACs", "saturations", "SC cycles", "avg k",
-           "est cyc@b=" + std::to_string(cfg.bit_parallel)});
+           "est cyc@b=" + std::to_string(cfg.bit_parallel), "skipped", "sched cyc",
+           "saved %"});
   std::uint64_t span_cycle_sum = 0;
   double pass_ms = 0.0;
   for (const scnn::obs::TraceSpan& s : session.tracer().spans()) {
@@ -337,6 +346,7 @@ int cmd_stats(const Args& args) {
     const auto* macs = find_arg(s, "macs");
     const auto* sats = find_arg(s, "saturations");
     const auto* cycles = find_arg(s, "sc_cycles");
+    const auto* skipped = find_arg(s, "skipped_products");
     std::vector<std::string> row{s.name, Table::fmt(s.dur_us / 1000.0, 2)};
     row.push_back(products ? std::to_string(static_cast<std::uint64_t>(products->value))
                            : "-");
@@ -351,6 +361,22 @@ int cmd_stats(const Args& args) {
                         : "-");
       row.push_back(std::to_string(
           scnn::nn::estimated_sc_cycles(c, cfg.bit_parallel)));
+    } else {
+      row.insert(row.end(), {"-", "-", "-"});
+    }
+    // Zero-skip savings. The dense schedule spends one issue slot per product
+    // plus its k enable cycles (the per-row budget convention of the packed
+    // cache); zero-skip reclaims exactly the slots of skipped k = 0 products,
+    // so the k-cycle sum above is untouched — that is the bit-exactness
+    // story — and the saving is pure schedule occupancy.
+    if (skipped && products && cycles) {
+      const auto sk = static_cast<std::uint64_t>(skipped->value);
+      const double dense_sched = products->value + cycles->value;
+      row.push_back(std::to_string(sk));
+      row.push_back(Table::fmt(dense_sched - static_cast<double>(sk), 0));
+      row.push_back(dense_sched > 0
+                        ? Table::fmt(100.0 * static_cast<double>(sk) / dense_sched, 1)
+                        : "-");
     } else {
       row.insert(row.end(), {"-", "-", "-"});
     }
@@ -376,6 +402,19 @@ int cmd_stats(const Args& args) {
               static_cast<unsigned long long>(
                   scnn::nn::estimated_sc_cycles(stats.k_hist.sum, cfg.bit_parallel)),
               cfg.bit_parallel);
+  {
+    const double dense_sched =
+        static_cast<double>(stats.products) + static_cast<double>(stats.k_hist.sum);
+    std::printf("zero-skip: %s; %llu of %llu products skipped "
+                "(schedule %.0f -> %.0f cycles, %.1f%% saved)\n",
+                session.engine()->zero_skip() ? "on" : "off",
+                static_cast<unsigned long long>(stats.skipped_products),
+                static_cast<unsigned long long>(stats.products), dense_sched,
+                dense_sched - static_cast<double>(stats.skipped_products),
+                dense_sched > 0
+                    ? 100.0 * static_cast<double>(stats.skipped_products) / dense_sched
+                    : 0.0);
+  }
 
   // Snapshot + timeline. --metrics-out defaults on for this command.
   scnn::obs::JsonReport report = scnn::obs::stamped_report("scnn_cli_stats");
@@ -390,6 +429,8 @@ int cmd_stats(const Args& args) {
                     static_cast<double>(
                         scnn::nn::estimated_sc_cycles(stats.k_hist.sum, cfg.bit_parallel)),
                     "cycles");
+  report.add_metric("sc.skipped_products_last_pass",
+                    static_cast<double>(stats.skipped_products), "products");
   scnn::obs::append_registry(session.metrics(), report);
   report.write_file(args.get("metrics-out", "scnn_metrics.json"));
 
@@ -407,7 +448,7 @@ int cmd_stats(const Args& args) {
 /// any admitted request fails to resolve ok/timed-out/rejected (kError means
 /// the batch forward threw — a bug, not overload).
 int cmd_serve(const Args& args) {
-  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend",
+  args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "sparsity",
                       "engine-config", "requests", "concurrency", "max-batch",
                       "max-delay-us", "queue-cap", "workers", "session-threads",
                       "deadline-us", "count", "metrics-out"});
@@ -415,10 +456,11 @@ int cmd_serve(const Args& args) {
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
   const std::string cfg_json = args.get("engine-config", "");
   if (!cfg_json.empty() && (args.has("engine") || args.has("bits") ||
-                            args.has("accum") || args.has("backend")))
+                            args.has("accum") || args.has("backend") ||
+                            args.has("sparsity")))
     throw scnn::cli::ArgError(
         "--engine-config carries the whole engine configuration; it excludes "
-        "--engine/--bits/--accum/--backend");
+        "--engine/--bits/--accum/--backend/--sparsity");
   const EngineConfig cfg =
       !cfg_json.empty()
           ? EngineConfig::from_json(cfg_json)
@@ -426,7 +468,8 @@ int cmd_serve(const Args& args) {
                 .kind = scnn::nn::engine_kind_from_string(args.get("engine", "proposed")),
                 .n_bits = args.get_int("bits", 8),
                 .accum_bits = args.get_int("accum", 2),
-                .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto"))};
+                .backend = scnn::nn::mac_backend_from_string(args.get("backend", "auto")),
+                .sparsity = scnn::nn::sparsity_from_string(args.get("sparsity", "auto"))};
   cfg.validate();
   scnn::serve::ServerOptions opts;
   opts.workers = args.get_int("workers", 1);
@@ -566,6 +609,9 @@ int cmd_info() {
   std::printf("mac_rows kernels: %s; auto resolves to %s "
               "(--backend or SCNN_BACKEND overrides)\n", kernels.c_str(),
               scnn::nn::resolved_backend(scnn::nn::MacBackend::kAuto).backend.c_str());
+  std::printf("sparsity modes: dense, zero-skip, auto — zero-skip drops k=0 weight\n"
+              "  codes from the schedule, bit-identical to dense (--sparsity or\n"
+              "  SCNN_SPARSITY overrides auto; needs a zero-annihilating table)\n");
   const char* env = std::getenv("SCNN_DATA_DIR");
   std::printf("data dir: %s (real MNIST/CIFAR-10 picked up when present)\n",
               env ? env : "data");

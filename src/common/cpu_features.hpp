@@ -17,6 +17,17 @@ struct CpuFeatures {
   bool sse2 = false;  ///< x86 SSE2 (baseline on x86-64)
   bool avx2 = false;  ///< x86 AVX2 (the gather-capable tier the LUT-MAC wants)
   bool neon = false;  ///< arm NEON / AdvSIMD (baseline on aarch64)
+  bool avx512f = false;   ///< x86 AVX-512 Foundation (512-bit gathers, masks)
+  bool avx512bw = false;  ///< x86 AVX-512 BW (16-bit lane ops, vpermw)
+  bool avx512vl = false;  ///< x86 AVX-512 VL (masked 128/256-bit forms)
+  bool avx512vbmi = false;       ///< x86 AVX-512 VBMI (vpermb byte shuffles)
+  bool avx512vpopcntdq = false;  ///< x86 AVX-512 VPOPCNTDQ (vpopcntq)
+
+  /// The tier the AVX-512 LUT kernels need (F for gathers + BW for 16-bit
+  /// lanes + VL for the 256-bit masked forms the wide variant uses).
+  [[nodiscard]] bool avx512_mac_tier() const {
+    return avx512f && avx512bw && avx512vl;
+  }
 };
 
 /// The probe result, taken once on first call and cached (thread-safe via

@@ -1,0 +1,74 @@
+// Offline autotuning for kAuto dispatch (`scnn_cli tune`).
+//
+// Which mac_rows kernel and which im2col tile width win is a property of the
+// machine — gather latency, SIMD port count, cache sizes — not of the model,
+// so guessing at dispatch time (widest kernel, full-row tiles) leaves
+// throughput on the table. `scnn_cli tune` measures the (backend × im2col
+// tile × threads) grid once, offline, and writes the winner to tune.json;
+// installing that file (SCNN_TUNE_FILE env or --tune-file=) makes every
+// *kAuto* resolution consume it. Three rules keep this safe:
+//   1. Explicit requests always win: a non-kAuto EngineConfig::backend or a
+//      nonzero im2col_tile is never overridden, and the SCNN_BACKEND env
+//      (a forced A/B hook) outranks the tune file too.
+//   2. A tune file recorded on a different CPU is rejected loudly — the
+//      file stamps cpu_features_summary() and install checks it, because a
+//      tile tuned for one cache hierarchy is misinformation on another.
+//   3. Tuning never changes results: backend and tile are pure scheduling,
+//      so logits and MacStats are bit-identical before/after (tests pin it).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scnn::nn {
+
+/// One measured grid point of the tune sweep.
+struct TuneEntry {
+  std::string backend;  ///< concrete kernel name ("scalar", "avx2", ...)
+  int tile = 0;         ///< im2col tile width (0 = full output row)
+  int threads = 1;
+  double imgs_per_s = 0.0;
+
+  bool operator==(const TuneEntry&) const = default;
+};
+
+/// The tune.json contents: provenance stamps, the winning point, and the
+/// full grid for humans/benches to inspect.
+struct TuneFile {
+  std::string cpu_signature;  ///< common::cpu_features_summary() at tune time
+  std::string git_sha;        ///< build that produced the measurements
+  std::string best_backend;   ///< winning kernel name ("" = leave kAuto alone)
+  int best_tile = 0;          ///< winning im2col tile (0 = full row)
+  int best_threads = 0;       ///< winning thread count (informational)
+  std::vector<TuneEntry> entries;
+
+  [[nodiscard]] std::string to_json() const;
+  /// Inverse of to_json(); throws std::invalid_argument naming the offending
+  /// token on anything malformed. Does not check the CPU signature — that
+  /// happens at install time (set_active_tune).
+  [[nodiscard]] static TuneFile from_json(std::string_view json);
+
+  bool operator==(const TuneFile&) const = default;
+};
+
+/// Read and parse `path`; throws std::runtime_error when unreadable,
+/// std::invalid_argument when malformed.
+[[nodiscard]] TuneFile load_tune_file(const std::string& path);
+/// Serialize to `path`; throws std::runtime_error when unwritable.
+void save_tune_file(const TuneFile& tune, const std::string& path);
+
+/// The process-wide installed tune file consulted by kAuto resolution
+/// (backends::select_kernel for the kernel axis, the session's tile
+/// resolution for the im2col axis), or nullptr when none is installed. The
+/// first call checks the SCNN_TUNE_FILE environment variable and installs
+/// that file if set. Install/clear before spawning worker threads.
+[[nodiscard]] const TuneFile* active_tune();
+
+/// Install (or, with nullopt, clear) the tune file consulted by kAuto
+/// resolution. Throws std::invalid_argument when the file's cpu_signature
+/// does not match this machine — a tune file never crosses CPUs silently.
+void set_active_tune(std::optional<TuneFile> tune);
+
+}  // namespace scnn::nn

@@ -31,6 +31,14 @@
 namespace scnn::nn::backends {
 namespace {
 
+// The 32-bit gather at byte offset 2*i reads entry i and entry i+1, so the
+// top-corner lookup needs one whole spare entry plus the second half of the
+// 4-byte read — exactly ProductLut's two back-pad entries. If the pad ever
+// shrinks, this kernel overreads the allocation.
+static_assert(sc::ProductLut::kBackPadEntries >= 2,
+              "avx2 low-half LUT gathers need 2 int16 pad entries (one "
+              "32-bit gather unit) behind the table");
+
 __attribute__((target("avx2"))) std::uint64_t avx2_narrow(
     const sc::ProductLut& lut, std::span<const std::int32_t> w,
     std::span<const std::int32_t> patches, std::span<std::int64_t> out,
@@ -144,10 +152,19 @@ const Kernel* avx2_kernel() {
 #ifdef SCNN_HAVE_AVX2_KERNEL
   if (!common::cpu_features().avx2) return nullptr;
   static const Kernel k{"avx2", 8, &avx2_narrow, &detail::mac_rows_wide,
-                        &avx2_sparse_narrow, &detail::mac_rows_sparse_wide};
+                        /*wide_lanes=*/8, &avx2_sparse_narrow,
+                        &detail::mac_rows_sparse_wide};
   return &k;
 #else
   return nullptr;
+#endif
+}
+
+bool avx2_kernel_compiled() {
+#ifdef SCNN_HAVE_AVX2_KERNEL
+  return true;
+#else
+  return false;
 #endif
 }
 

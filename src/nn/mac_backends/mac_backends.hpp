@@ -27,15 +27,22 @@ namespace scnn::nn {
 
 /// mac_rows kernel selection, carried by EngineConfig::backend. kAuto picks
 /// the widest kernel this machine supports (overridable via the
-/// SCNN_BACKEND environment variable: auto | scalar | simd); kScalar forces
-/// the reference kernel; kSimd requires a SIMD kernel and makes engine
-/// construction throw where none is compiled or supported.
-enum class MacBackend { kAuto, kScalar, kSimd };
+/// SCNN_BACKEND environment variable, which also accepts a concrete kernel
+/// name like "avx2", and steerable by an installed autotune file — explicit
+/// requests are never overridden); kScalar forces the reference kernel;
+/// kSimd requires a SIMD kernel and makes engine construction throw where
+/// none is compiled or supported. kPopcount selects the bit-parallel
+/// popcount datapath (src/nn/popcount_engine) instead of a LUT kernel — it
+/// exists only for the proposed multiplier and engine construction throws
+/// for any other product table.
+enum class MacBackend { kAuto, kScalar, kSimd, kPopcount };
 
-/// Canonical spelling: "auto" | "scalar" | "simd".
+/// Canonical spelling: "auto" | "scalar" | "simd" | "popcount".
 [[nodiscard]] std::string to_string(MacBackend backend);
 /// Parse the canonical spelling; throws std::invalid_argument listing the
-/// accepted names otherwise.
+/// accepted names otherwise. Concrete kernel names ("avx2", "avx512", ...)
+/// are *not* MacBackend values — they are accepted only by the SCNN_BACKEND
+/// environment variable and tune files, which steer kAuto resolution.
 [[nodiscard]] MacBackend mac_backend_from_string(std::string_view s);
 
 namespace backends {
@@ -69,17 +76,19 @@ using MacRowsSparseFn = std::uint64_t (*)(const sc::ProductLut& lut,
                                           std::int64_t lo, std::int64_t hi);
 
 struct Kernel {
-  const char* name;  ///< "scalar" | "sse2" | "avx2" | "neon"
+  const char* name;  ///< "scalar" | "sse2" | "avx2" | "avx512" | "neon"
   int lanes;         ///< output elements per kernel step (32-bit accum lanes)
   /// Fast path: 32-bit accumulators, exact while n_bits + accum_bits <= 30
   /// (rails fit and one int16 product cannot overflow before the clamp).
   MacRowsFn narrow;
   /// Any accumulator width. Wider-than-30-bit configurations are outside
-  /// every SIMD kernel's int32 lanes, so all backends currently share the
-  /// scalar int64 implementation here (LutEngine::describe reports that).
+  /// the SIMD kernels' int32 lanes; most backends share the scalar int64
+  /// implementation here (LutEngine::describe reports that), while AVX-512
+  /// carries a native 8x int64 wide kernel.
   MacRowsFn wide;
-  /// Zero-skip counterparts, never null. AVX2 carries its own sparse kernel;
-  /// SSE2/NEON currently fall back to the shared scalar sparse
+  int wide_lanes;  ///< int64 lanes of `wide` (8 for the shared scalar block)
+  /// Zero-skip counterparts, never null. AVX2/AVX-512 carry their own sparse
+  /// kernels; SSE2/NEON currently fall back to the shared scalar sparse
   /// implementation (the zero-skip win is dropped work, not lane width, so
   /// the fallback still beats their dense kernels on sparse rows).
   MacRowsSparseFn sparse_narrow;
@@ -93,22 +102,57 @@ struct Kernel {
 /// compiler/arch question, "supported" a cpu_features() one; both must hold.
 [[nodiscard]] const Kernel* sse2_kernel();
 [[nodiscard]] const Kernel* avx2_kernel();
+[[nodiscard]] const Kernel* avx512_kernel();
 [[nodiscard]] const Kernel* neon_kernel();
 
-/// The widest supported SIMD kernel (avx2 > neon > sse2), or nullptr when
-/// this build/machine has none.
+/// True when `k.wide` is the kernel's own SIMD implementation rather than
+/// the shared scalar int64 block — LutEngine::describe() uses this to report
+/// "scalar" honestly for wide-accumulator configs on kernels without one.
+[[nodiscard]] bool kernel_has_native_wide(const Kernel& k);
+
+/// The widest supported SIMD kernel (avx512 > avx2 > neon > sse2), or
+/// nullptr when this build/machine has none.
 [[nodiscard]] const Kernel* best_simd_kernel();
 
+/// Case-sensitive lookup of a *runnable* kernel by name ("scalar", "sse2",
+/// "avx2", "avx512", "neon"); nullptr when that kernel is not compiled or
+/// not supported on this machine. This is how the SCNN_BACKEND environment
+/// variable and tune files name concrete kernels.
+[[nodiscard]] const Kernel* kernel_by_name(std::string_view name);
+
 /// Resolve a backend request to a kernel. kAuto consults the SCNN_BACKEND
-/// environment variable first (auto | scalar | simd, anything else throws),
-/// then falls back to best_simd_kernel() or scalar. kSimd throws
-/// std::invalid_argument naming the available kernels when no SIMD kernel
-/// is compiled+supported — a requested backend never degrades silently.
+/// environment variable first (auto | scalar | simd | a concrete kernel
+/// name; anything else throws), then an installed autotune file
+/// (nn::active_tune), then falls back to best_simd_kernel() or scalar.
+/// kSimd throws std::invalid_argument naming the available kernels when no
+/// SIMD kernel is compiled+supported — a requested backend never degrades
+/// silently. kPopcount throws here: it is an engine-level datapath, not a
+/// mac_rows kernel (make_engine intercepts it before kernel selection).
 [[nodiscard]] const Kernel& select_kernel(MacBackend backend);
 
 /// Every kernel runnable on this machine, scalar first. Tests iterate this
 /// to pin each compiled backend against the scalar reference.
 [[nodiscard]] std::vector<const Kernel*> available_kernels();
+
+/// Compiled-vs-supported inventory of every kernel family this build knows
+/// about, plus the popcount datapath's SIMD tier — `scnn_cli info` prints
+/// this so tune/bench logs explain why a kernel was skipped (e.g. CPU has
+/// avx512 but the compiler was too old to build the kernel, or vice versa).
+struct KernelSupport {
+  const char* name;     ///< kernel family ("avx512", ...) or "popcount-simd"
+  bool compiled;        ///< the build carries the kernel
+  bool supported;       ///< cpu_features() says this machine can run it
+};
+[[nodiscard]] std::vector<KernelSupport> kernel_support();
+
+/// Compile-time answers per TU (independent of the running CPU).
+[[nodiscard]] bool sse2_kernel_compiled();
+[[nodiscard]] bool avx2_kernel_compiled();
+[[nodiscard]] bool avx512_kernel_compiled();
+[[nodiscard]] bool neon_kernel_compiled();
+/// Whether the popcount engine's vpopcntdq SIMD path was built (the engine
+/// itself always exists — it falls back to scalar __builtin_popcountll).
+[[nodiscard]] bool popcount_simd_compiled();
 
 }  // namespace backends
 }  // namespace scnn::nn

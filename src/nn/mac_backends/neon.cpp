@@ -69,11 +69,19 @@ const Kernel* neon_kernel() {
   // Zero-skip runs the shared scalar sparse kernel (NEON has no gather; the
   // sparse win is the skipped products, not lane width).
   static const Kernel k{"neon", 4, &neon_narrow, &detail::mac_rows_wide,
-                        &detail::mac_rows_sparse_narrow,
+                        /*wide_lanes=*/8, &detail::mac_rows_sparse_narrow,
                         &detail::mac_rows_sparse_wide};
   return &k;
 #else
   return nullptr;
+#endif
+}
+
+bool neon_kernel_compiled() {
+#ifdef SCNN_HAVE_NEON_KERNEL
+  return true;
+#else
+  return false;
 #endif
 }
 

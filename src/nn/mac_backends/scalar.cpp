@@ -54,9 +54,13 @@ std::uint64_t scalar_narrow(const sc::ProductLut& lut,
 
 const Kernel& scalar_kernel() {
   static const Kernel k{"scalar", 8, &scalar_narrow, &detail::mac_rows_wide,
-                        &detail::mac_rows_sparse_narrow,
+                        /*wide_lanes=*/8, &detail::mac_rows_sparse_narrow,
                         &detail::mac_rows_sparse_wide};
   return k;
+}
+
+bool kernel_has_native_wide(const Kernel& k) {
+  return k.wide != &detail::mac_rows_wide;
 }
 
 }  // namespace scnn::nn::backends

@@ -81,11 +81,19 @@ const Kernel* sse2_kernel() {
   // give its dense kernel only a modest edge, and the sparse win (skipped
   // products) is lane-width independent.
   static const Kernel k{"sse2", 4, &sse2_narrow, &detail::mac_rows_wide,
-                        &detail::mac_rows_sparse_narrow,
+                        /*wide_lanes=*/8, &detail::mac_rows_sparse_narrow,
                         &detail::mac_rows_sparse_wide};
   return &k;
 #else
   return nullptr;
+#endif
+}
+
+bool sse2_kernel_compiled() {
+#ifdef SCNN_HAVE_SSE2_KERNEL
+  return true;
+#else
+  return false;
 #endif
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/fixed_point.hpp"
 #include "core/scmac.hpp"
+#include "nn/popcount_engine.hpp"
 #include "obs/report.hpp"
 
 namespace scnn::nn {
@@ -47,8 +48,12 @@ void EngineConfig::validate() const {
       kind != EngineKind::kProposed)
     fail("invalid kind enum value " + std::to_string(static_cast<int>(kind)));
   if (backend != MacBackend::kAuto && backend != MacBackend::kScalar &&
-      backend != MacBackend::kSimd)
+      backend != MacBackend::kSimd && backend != MacBackend::kPopcount)
     fail("invalid backend enum value " + std::to_string(static_cast<int>(backend)));
+  if (backend == MacBackend::kPopcount && kind != EngineKind::kProposed)
+    fail("backend = popcount simulates the proposed multiplier's bit-parallel "
+         "ones-counter datapath, which only exists for kind = proposed (got "
+         "kind = " + to_string(kind) + ")");
   if (sparsity != Sparsity::kDense && sparsity != Sparsity::kZeroSkip &&
       sparsity != Sparsity::kAuto)
     fail("invalid sparsity enum value " + std::to_string(static_cast<int>(sparsity)));
@@ -64,6 +69,14 @@ void EngineConfig::validate() const {
   if (threads < 0 || threads > kMaxThreads)
     fail("threads = " + std::to_string(threads) + " out of range [0, " +
          std::to_string(kMaxThreads) + "] (0 = auto)");
+  if (im2col_tile < 0 || im2col_tile > kMaxIm2colTile)
+    fail("im2col_tile = " + std::to_string(im2col_tile) + " out of range [0, " +
+         std::to_string(kMaxIm2colTile) + "] (0 = auto)");
+  if (backend == MacBackend::kPopcount &&
+      !popcount_bit_parallel_ok(n_bits, bit_parallel))
+    fail("backend = popcount needs bit_parallel to be a power of two in "
+         "[1, min(64, 2^(n_bits-1))], got bit_parallel = " +
+         std::to_string(bit_parallel) + " at n_bits = " + std::to_string(n_bits));
 }
 
 std::string EngineConfig::label() const {
@@ -89,6 +102,7 @@ std::string EngineConfig::to_json() const {
          ",\"accum_bits\":" + std::to_string(accum_bits) +
          ",\"bit_parallel\":" + std::to_string(bit_parallel) +
          ",\"threads\":" + std::to_string(threads) +
+         ",\"im2col_tile\":" + std::to_string(im2col_tile) +
          ",\"instrument\":" + (instrument ? "true" : "false") + "}";
 }
 
@@ -182,6 +196,8 @@ EngineConfig EngineConfig::from_json(std::string_view json) {
         cfg.bit_parallel = in.parse_int();
       } else if (key == "threads") {
         cfg.threads = in.parse_int();
+      } else if (key == "im2col_tile") {
+        cfg.im2col_tile = in.parse_int();
       } else if (key == "instrument") {
         cfg.instrument = in.parse_bool();
       } else {
@@ -212,7 +228,8 @@ bool lut_annihilates_zero(const sc::ProductLut& lut) {
   return true;
 }
 
-bool resolve_zero_skip(Sparsity sparsity, const sc::ProductLut& lut) {
+bool resolve_zero_skip(Sparsity sparsity, bool annihilates,
+                       const std::string& table_name) {
   if (sparsity == Sparsity::kAuto) {
     // Global override hook for CI and A/B runs, mirroring SCNN_BACKEND:
     // steers every kAuto engine in the process, never an explicit request.
@@ -224,25 +241,29 @@ bool resolve_zero_skip(Sparsity sparsity, const sc::ProductLut& lut) {
     if (const char* env = std::getenv("SCNN_SPARSITY"); env && *env) {
       const Sparsity leaning = sparsity_from_string(env);  // throws on typos
       if (leaning == Sparsity::kDense) return false;
-      return lut_annihilates_zero(lut);
+      return annihilates;
     }
-    return lut_annihilates_zero(lut);
+    return annihilates;
   }
   switch (sparsity) {
     case Sparsity::kDense:
       return false;
     case Sparsity::kZeroSkip:
-      if (!lut_annihilates_zero(lut))
+      if (!annihilates)
         throw std::invalid_argument(
-            "sparsity = zero-skip, but the " + lut.name() +
+            "sparsity = zero-skip, but the " + table_name +
             " product table does not annihilate zero weight codes "
             "(product(0, qx) != 0 for some qx), so skipping k = 0 products "
             "would change results — use sparsity = dense or auto");
       return true;
     case Sparsity::kAuto:
-      return lut_annihilates_zero(lut);
+      return annihilates;
   }
   throw std::invalid_argument("resolve_zero_skip: invalid Sparsity");
+}
+
+bool resolve_zero_skip(Sparsity sparsity, const sc::ProductLut& lut) {
+  return resolve_zero_skip(sparsity, lut_annihilates_zero(lut), lut.name());
 }
 
 LutEngine::LutEngine(sc::ProductLut lut, int accum_bits, MacBackend backend,
@@ -325,9 +346,15 @@ void LutEngine::mac_rows(const WeightCodeView& w,
 
 MacEngine::Description LutEngine::describe() const {
   const std::string sparsity = zero_skip_ ? "zero-skip" : "dense";
-  // n + a > 30 routes mac_rows onto Kernel::wide, which every backend
-  // currently shares with the scalar kernel — report what actually runs.
-  if (n_ + a_ > 30) return {.backend = "scalar", .lanes = 8, .sparsity = sparsity};
+  // n + a > 30 routes mac_rows onto Kernel::wide — report what actually
+  // runs: the kernel's own int64 lanes where it has a native wide variant
+  // (avx512), the shared scalar block otherwise.
+  if (n_ + a_ > 30) {
+    if (!backends::kernel_has_native_wide(*kernel_))
+      return {.backend = "scalar", .lanes = 8, .sparsity = sparsity};
+    return {.backend = kernel_->name, .lanes = kernel_->wide_lanes,
+            .sparsity = sparsity};
+  }
   return {.backend = kernel_->name, .lanes = kernel_->lanes, .sparsity = sparsity};
 }
 
@@ -346,13 +373,45 @@ sc::ProductLut make_lut_for(EngineKind kind, int n_bits) {
 
 std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg) {
   cfg.validate();
+  if (cfg.backend == MacBackend::kPopcount)
+    return std::make_unique<PopcountEngine>(cfg.n_bits, cfg.accum_bits,
+                                            cfg.bit_parallel, cfg.sparsity);
+  if (cfg.backend == MacBackend::kAuto && cfg.kind == EngineKind::kProposed &&
+      popcount_bit_parallel_ok(cfg.n_bits, cfg.bit_parallel)) {
+    // SCNN_BACKEND=popcount leans kAuto engines onto the popcount datapath
+    // where that is legal (proposed arithmetic, compatible b). Like
+    // SCNN_SPARSITY, the env only leans — other kinds keep auto kernel
+    // dispatch instead of throwing, so a CI leg can pin the whole suite.
+    if (const char* env = std::getenv("SCNN_BACKEND");
+        env && std::string_view{env} == "popcount")
+      return std::make_unique<PopcountEngine>(cfg.n_bits, cfg.accum_bits,
+                                              cfg.bit_parallel, cfg.sparsity);
+  }
   return std::make_unique<LutEngine>(make_lut_for(cfg.kind, cfg.n_bits),
                                      cfg.accum_bits, cfg.backend, cfg.sparsity);
 }
 
 MacEngine::Description resolved_backend(MacBackend backend) {
+  if (backend == MacBackend::kPopcount)
+    return {.backend = popcount_backend_name(),
+            .lanes = popcount_backend_lanes()};
   const backends::Kernel& k = backends::select_kernel(backend);
   return {.backend = k.name, .lanes = k.lanes};
+}
+
+MacEngine::Description resolved_backend(const EngineConfig& cfg) {
+  // Mirror make_engine's popcount lean: a kAuto proposed engine under
+  // SCNN_BACKEND=popcount resolves to the popcount datapath, not a LUT
+  // kernel — pool keys and reports must see the same answer construction
+  // would give.
+  if (cfg.backend == MacBackend::kAuto && cfg.kind == EngineKind::kProposed &&
+      popcount_bit_parallel_ok(cfg.n_bits, cfg.bit_parallel)) {
+    if (const char* env = std::getenv("SCNN_BACKEND");
+        env && std::string_view{env} == "popcount")
+      return {.backend = popcount_backend_name(),
+              .lanes = popcount_backend_lanes()};
+  }
+  return resolved_backend(cfg.backend);
 }
 
 namespace {

@@ -64,11 +64,15 @@ struct EngineConfig {
   MacBackend backend = MacBackend::kAuto;  ///< mac_rows kernel: kAuto picks
                                            ///< the widest SIMD kernel this
                                            ///< machine supports (SCNN_BACKEND
-                                           ///< env overrides), kScalar forces
-                                           ///< the reference kernel, kSimd
-                                           ///< fails loudly when no SIMD
-                                           ///< kernel is available. Logits
-                                           ///< and MacStats are bit-identical
+                                           ///< env and an installed tune file
+                                           ///< steer it), kScalar forces the
+                                           ///< reference kernel, kSimd fails
+                                           ///< loudly when no SIMD kernel is
+                                           ///< available, kPopcount runs the
+                                           ///< bit-parallel popcount datapath
+                                           ///< (proposed arithmetic only; b =
+                                           ///< bit_parallel). Logits and
+                                           ///< MacStats are bit-identical
                                            ///< across all of them.
   Sparsity sparsity = Sparsity::kAuto;  ///< zero-skip scheduling: kAuto skips
                                         ///< k = 0 products exactly when the
@@ -79,6 +83,11 @@ struct EngineConfig {
                                         ///< skipping would change results.
                                         ///< Logits and MacStats arithmetic are
                                         ///< bit-identical either way.
+  int im2col_tile = 0;  ///< im2col column-chunk width handed to mac_rows per
+                        ///< call (the j-block of the batched kernels). 0 =
+                        ///< auto: an installed tune file's best tile, else the
+                        ///< full output row. Pure scheduling — logits and
+                        ///< MacStats are bit-identical for every tile.
 
   /// Supported precision window. The LUT is 2^(2N) int16 entries, so N = 12
   /// (32 MiB) is the practical ceiling; N = 2 is sign + one magnitude bit.
@@ -87,6 +96,7 @@ struct EngineConfig {
   static constexpr int kMaxAccumBits = 20;
   static constexpr int kMaxBitParallel = 256;
   static constexpr int kMaxThreads = 256;
+  static constexpr int kMaxIm2colTile = 1 << 16;
 
   /// Throws std::invalid_argument with a field-naming message if any value
   /// is out of range (instead of silently building an out-of-range LUT).
@@ -102,7 +112,8 @@ struct EngineConfig {
 
   /// Flat JSON object carrying every field, e.g.
   ///   {"kind":"proposed","backend":"auto","sparsity":"auto","n_bits":8,
-  ///    "accum_bits":2,"bit_parallel":1,"threads":1,"instrument":false}
+  ///    "accum_bits":2,"bit_parallel":1,"threads":1,"im2col_tile":0,
+  ///    "instrument":false}
   /// — the round-trippable form --metrics-out snapshots stamp and
   /// `scnn_cli serve --engine-config=` accepts.
   [[nodiscard]] std::string to_json() const;
@@ -201,7 +212,8 @@ class MacEngine {
   /// BENCH_*.json / --metrics-out snapshot so perf numbers always say what
   /// code produced them.
   struct Description {
-    std::string backend;  ///< "serial" | "scalar" | "sse2" | "avx2" | "neon"
+    std::string backend;  ///< "serial" | "scalar" | "sse2" | "avx2" |
+                          ///< "avx512" | "neon" | "popcount[-avx512]"
     int lanes = 1;        ///< output elements per kernel step
     std::string sparsity = "dense";  ///< resolved scheduling: "dense" |
                                      ///< "zero-skip"
@@ -319,6 +331,11 @@ std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg);
 /// including the SCNN_BACKEND override and the kSimd-unavailable throw).
 [[nodiscard]] MacEngine::Description resolved_backend(MacBackend backend);
 
+/// Config-aware overload: additionally applies make_engine's popcount lean
+/// (SCNN_BACKEND=popcount on a kAuto proposed-kind config), so the answer
+/// always matches what construction would actually build.
+[[nodiscard]] MacEngine::Description resolved_backend(const EngineConfig& cfg);
+
 /// True when `lut` maps a zero weight code to a zero product for every
 /// activation code — the property that makes skipping k = 0 products
 /// bit-exact. Holds by construction for the fixed-point and proposed tables
@@ -334,5 +351,12 @@ std::unique_ptr<MacEngine> make_engine(const EngineConfig& cfg);
 /// (auto | dense | zero-skip, anything else throws; explicit requests are
 /// never overridden), then skips exactly when the table annihilates zero.
 [[nodiscard]] bool resolve_zero_skip(Sparsity sparsity, const sc::ProductLut& lut);
+
+/// Table-free form of the rule above for engines that know their
+/// annihilation property without materializing a ProductLut (the popcount
+/// engine: the proposed multiplier annihilates zero by construction).
+/// `table_name` only flavours the kZeroSkip error message.
+[[nodiscard]] bool resolve_zero_skip(Sparsity sparsity, bool annihilates,
+                                     const std::string& table_name);
 
 }  // namespace scnn::nn

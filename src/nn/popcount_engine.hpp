@@ -1,0 +1,90 @@
+// Bit-parallel popcount engine for the proposed SC multiplier (Sec. 2.5).
+//
+// The paper's bit-parallel extension splits a product's k = |qw| enable
+// cycles into ceil(k/b) columns of b stream bits and counts each column's
+// ones in one step. Because the up/down counter result is 2*P_k - k with
+// P_k the plain count of ones among the first k stream bits, the column
+// decomposition is *exact* for every b — summing per-column ones counts
+// reproduces P_k bit-for-bit (the Sec. 2.5 theorem this repo pins in
+// core/bit_parallel).
+//
+// This engine simulates that datapath natively instead of walking the
+// ProductLut: at construction it packs, for every offset-binary activation
+// image u, the FSM-MUX stream bits s_u(1..2^(N-1)) into 64-bit words (bit
+// t-1 of the row = stream bit at cycle t). A product is then ceil(k/b)
+// masked popcounts — __builtin_popcountll on the scalar path, vpopcntdq on
+// 8 int64 lanes where AVX-512 VPOPCNTDQ is available — instead of a
+// per-product LUT row walk. Results, MacStats, saturation order and k_hist
+// are bit-identical to LutEngine over core::make_proposed_lut by the
+// theorem above; tests pin that across every b.
+//
+// Selected via EngineConfig::backend = MacBackend::kPopcount, which is only
+// legal for EngineKind::kProposed (the other product tables are not
+// counter-of-ones machines); b comes from EngineConfig::bit_parallel and
+// must be a power of two in [1, min(64, 2^(N-1))].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/mac_engine.hpp"
+
+namespace scnn::nn {
+
+class PopcountEngine final : public MacEngine {
+ public:
+  /// Throws std::invalid_argument for a bit_parallel degree outside
+  /// {1, 2, 4, ..., 64} ∩ [1, 2^(n_bits-1)]. `sparsity` resolves through the
+  /// same rules as LutEngine; the proposed multiplier annihilates zero by
+  /// construction (k = 0 products never tick the counter), so kZeroSkip is
+  /// always legal here.
+  PopcountEngine(int n_bits, int accum_bits, int bit_parallel,
+                 Sparsity sparsity = Sparsity::kAuto);
+
+  [[nodiscard]] std::int64_t mac(std::span<const std::int32_t> w,
+                                 std::span<const std::int32_t> x) const override;
+  std::int64_t mac(std::span<const std::int32_t> w,
+                   std::span<const std::int32_t> x,
+                   MacStats& stats) const override;
+  void mac_rows(const WeightCodeView& w, std::span<const std::int32_t> patches,
+                std::span<std::int64_t> out, MacStats& stats) const override;
+  [[nodiscard]] std::string name() const override { return "proposed"; }
+  [[nodiscard]] Description describe() const override;
+  [[nodiscard]] bool zero_skip() const override { return zero_skip_; }
+
+  [[nodiscard]] int bit_parallel() const { return b_; }
+
+  /// One signed product via the packed streams — 2*P_k - k in ceil(k/b)
+  /// popcount steps. Exposed for the equivalence tests and benches.
+  [[nodiscard]] std::int64_t product(std::int32_t qx, std::int32_t qw) const;
+
+ private:
+  std::int64_t mac_impl_(std::span<const std::int32_t> w,
+                         std::span<const std::int32_t> x, MacStats* stats) const;
+  template <typename Issue>
+  std::uint64_t mac_rows_loop_(std::span<const std::int32_t> patches,
+                               std::span<std::int64_t> out, std::size_t d,
+                               const Issue& issue) const;
+
+  int b_;                ///< bit-parallel column degree (stream bits per step)
+  std::uint32_t half_;   ///< 2^(n-1): code offset and max enable count
+  std::size_t words_;    ///< 64-bit words per packed stream row
+  bool simd_;            ///< vpopcntdq path compiled + supported
+  bool zero_skip_;
+  /// 2^N rows of `words_` words; bit t-1 of row u = FSM-MUX stream bit of
+  /// code u at cycle t.
+  std::vector<std::uint64_t> streams_;
+};
+
+/// Machine-level resolution of MacBackend::kPopcount, mirroring what a
+/// constructed engine's describe() would report ("popcount-avx512" x8 when
+/// the vpopcntdq path runs, "popcount" x1 otherwise).
+[[nodiscard]] const char* popcount_backend_name();
+[[nodiscard]] int popcount_backend_lanes();
+
+/// True when `b` is a legal popcount bit-parallel degree for `n_bits`
+/// (power of two in [1, min(64, 2^(n_bits-1))]).
+[[nodiscard]] bool popcount_bit_parallel_ok(int n_bits, int b);
+
+}  // namespace scnn::nn

@@ -13,17 +13,23 @@ ProductLut::ProductLut(int n_bits, std::string name,
   if (n_bits < 2 || n_bits > 12)
     throw std::invalid_argument("ProductLut: n_bits out of supported range [2,12]");
   const std::int32_t half = 1 << (n_ - 1);
-  // Two zero pad entries beyond the 2^(2N) table: SIMD MAC backends fetch
-  // the int16 entries via 32-bit gathers, which read 2 bytes past the
-  // addressed entry — the pad keeps the top-corner load inside the
-  // allocation. at()/row() indexing is unchanged.
-  table_.resize((std::size_t{1} << (2 * n_)) + 2);
+  // Guard band for the SIMD backends' 32-bit gathers of int16 entries: one
+  // zero entry in front (AVX-512 high-half gathers read 2 bytes before the
+  // bottom-corner entry) and two behind (AVX2-style low-half gathers read 2
+  // bytes past the top-corner entry). at()/row() bias by the front pad, so
+  // indexing semantics are unchanged. The corresponding static_asserts sit
+  // next to the gather code in the kernels themselves.
+  const std::size_t entries = std::size_t{1} << (2 * n_);
+  table_.resize(kFrontPadEntries + entries + kBackPadEntries);
+  if (table_.size() != kFrontPadEntries + entries + kBackPadEntries ||
+      table_.front() != 0 || table_.back() != 0)
+    throw std::logic_error("ProductLut: gather guard-band allocation broken");
   for (std::int32_t qw = -half; qw < half; ++qw) {
     for (std::int32_t qx = -half; qx < half; ++qx) {
       const std::int32_t p = product(qw, qx);
       assert(p >= INT16_MIN && p <= INT16_MAX);
-      table_[(static_cast<std::size_t>(qw + half) << n_) + static_cast<std::size_t>(qx + half)] =
-          static_cast<std::int16_t>(p);
+      table_[kFrontPadEntries + (static_cast<std::size_t>(qw + half) << n_) +
+             static_cast<std::size_t>(qx + half)] = static_cast<std::int16_t>(p);
     }
   }
 }

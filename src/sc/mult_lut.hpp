@@ -21,6 +21,22 @@ namespace scnn::sc {
 
 class ProductLut {
  public:
+  /// Overread/underread guard band around the 2^(2N) entries. The SIMD MAC
+  /// backends fetch int16 entries with 32-bit gathers, so a gather aimed at
+  /// the addressed entry touches one adjacent entry too:
+  ///  - kBackPadEntries (2 int16 = one 32-bit gather unit): an AVX2-style
+  ///    gather at byte offset 2*i reads entry i and i+1, so the top-corner
+  ///    entry needs table_[size] and the 4-byte read needs table_[size+1].
+  ///  - kFrontPadEntries: an AVX-512-style "high half" gather at byte offset
+  ///    2*i - 2 reads entry i-1 and i (the target lands in the high 16 bits,
+  ///    one arithmetic shift extracts it, and the read never extends past
+  ///    the target entry — no back pad needed). The bottom-corner entry
+  ///    (qw = qx = -2^(N-1)) reads entry -1, which this front pad absorbs.
+  /// The kernels static_assert against these constants next to their gather
+  /// code, and the constructor runtime-checks the allocation against them.
+  static constexpr std::size_t kFrontPadEntries = 1;
+  static constexpr std::size_t kBackPadEntries = 2;
+
   /// Build from an arbitrary product function of signed codes
   /// (qw, qx) -> product in units of 2^-(N-1).
   ProductLut(int n_bits, std::string name,
@@ -29,7 +45,8 @@ class ProductLut {
   /// Product for signed codes qw, qx in [-2^(N-1), 2^(N-1)-1].
   [[nodiscard]] std::int32_t at(std::int32_t qw, std::int32_t qx) const {
     const std::int32_t half = 1 << (n_ - 1);
-    return table_[(static_cast<std::size_t>(qw + half) << n_) +
+    return table_[kFrontPadEntries +
+                  (static_cast<std::size_t>(qw + half) << n_) +
                   static_cast<std::size_t>(qx + half)];
   }
 
@@ -39,7 +56,8 @@ class ProductLut {
   /// output tile (the mac_rows() kernel).
   [[nodiscard]] const std::int16_t* row(std::int32_t qw) const {
     const std::int32_t half = 1 << (n_ - 1);
-    return table_.data() + (static_cast<std::size_t>(qw + half) << n_) + half;
+    return table_.data() + kFrontPadEntries +
+           (static_cast<std::size_t>(qw + half) << n_) + half;
   }
 
   [[nodiscard]] int bits() const { return n_; }
@@ -52,8 +70,9 @@ class ProductLut {
  private:
   int n_;
   std::string name_;
-  // 2^(2N) entries plus two zero pads so 32-bit gathers of int16 entries
-  // (the SIMD mac_rows backends) never read past the allocation.
+  // Layout: [kFrontPadEntries zeros][2^(2N) entries][kBackPadEntries zeros]
+  // so the SIMD backends' 32-bit gathers of int16 entries never read outside
+  // the allocation (see the pad-constant comment above).
   std::vector<std::int16_t> table_;
 };
 

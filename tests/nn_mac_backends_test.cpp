@@ -9,6 +9,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,26 @@ std::vector<std::int32_t> random_codes(std::size_t count, int n_bits,
   return codes;
 }
 
+/// Parks an ambient SCNN_BACKEND (the forced-backend CI legs) for the test's
+/// duration and restores it afterwards. Tests asserting where kAuto *resolves*
+/// need this, because the env legitimately outranks the default preference
+/// order — under SCNN_BACKEND=scalar, kAuto honestly resolves to scalar.
+struct BackendEnvGuard {
+  BackendEnvGuard() {
+    if (const char* env = std::getenv("SCNN_BACKEND")) {
+      saved = env;
+      unsetenv("SCNN_BACKEND");
+    }
+  }
+  ~BackendEnvGuard() {
+    if (saved)
+      setenv("SCNN_BACKEND", saved->c_str(), 1);
+    else
+      unsetenv("SCNN_BACKEND");
+  }
+  std::optional<std::string> saved;
+};
+
 TEST(MacBackends, EveryAvailableKernelMatchesScalarReference) {
   const Kernel& scalar = nn::backends::scalar_kernel();
   const auto kernels = nn::backends::available_kernels();
@@ -54,11 +75,15 @@ TEST(MacBackends, EveryAvailableKernelMatchesScalarReference) {
       const int bits = n_bits + accum_bits;
       const std::int64_t lo = common::int_min_of(bits);
       const std::int64_t hi = common::int_max_of(bits);
-      for (const std::size_t d : {std::size_t{1}, std::size_t{5}, std::size_t{27}}) {
-        // Tiles straddling every vector width and its tails, including 0.
+      for (const std::size_t d :
+           {std::size_t{0}, std::size_t{1}, std::size_t{5}, std::size_t{27}}) {
+        // Tiles straddling every vector width and its tails, including 0:
+        // one below/above each of the 8- and 16-lane widths plus 2w-1/2w+1.
         for (const std::size_t tile :
              {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{7},
-              std::size_t{8}, std::size_t{9}, std::size_t{16}, std::size_t{33}}) {
+              std::size_t{8}, std::size_t{9}, std::size_t{15}, std::size_t{16},
+              std::size_t{17}, std::size_t{31}, std::size_t{32},
+              std::size_t{33}}) {
           const std::uint64_t seed = 1000 * d + tile + static_cast<std::uint64_t>(
                                                            n_bits * 31 + accum_bits);
           const auto w = random_codes(d, n_bits, seed);
@@ -84,6 +109,61 @@ TEST(MacBackends, EveryAvailableKernelMatchesScalarReference) {
             EXPECT_EQ(k->wide(lut, w, patches, wide, lo, hi), ref_sat) << label;
             EXPECT_EQ(wide, ref) << label;
           }
+        }
+      }
+    }
+  }
+}
+
+TEST(MacBackends, SparseKernelsMatchDenseScalarAcrossDensities) {
+  const Kernel& scalar = nn::backends::scalar_kernel();
+  const auto kernels = nn::backends::available_kernels();
+
+  for (const int n_bits : {4, 6, 8}) {
+    const sc::ProductLut lut = core::make_proposed_lut(n_bits);
+    const int bits = n_bits + 2;
+    const std::int64_t lo = common::int_min_of(bits);
+    const std::int64_t hi = common::int_max_of(bits);
+    const std::size_t d = 27;
+    // Nominal nonzero densities; 0% gives the all-skipped row, 100% the
+    // fully dense one (modulo codes that randomly land on 0 anyway).
+    for (const int density : {0, 10, 50, 100}) {
+      for (const std::size_t tile :
+           {std::size_t{1}, std::size_t{17}, std::size_t{33}}) {
+        const std::uint64_t seed =
+            9000 + 100 * static_cast<std::uint64_t>(n_bits) + density + tile;
+        auto w = random_codes(d, n_bits, seed);
+        common::SplitMix64 zrng(seed + 2);
+        for (auto& c : w)
+          if (static_cast<int>(zrng.next_below(100)) >= density) c = 0;
+        const auto patches = random_codes(d * tile, n_bits, seed + 1);
+
+        std::vector<std::int64_t> ref(tile, -1);
+        const std::uint64_t ref_sat = scalar.narrow(lut, w, patches, ref, lo, hi);
+
+        std::vector<std::int32_t> cols, codes;
+        for (std::size_t j = 0; j < d; ++j)
+          if (w[j] != 0) {
+            cols.push_back(static_cast<std::int32_t>(j));
+            codes.push_back(w[j]);
+          }
+
+        for (const Kernel* k : kernels) {
+          const std::string label = std::string(k->name) + " N=" +
+                                    std::to_string(n_bits) + " density=" +
+                                    std::to_string(density) + "% tile=" +
+                                    std::to_string(tile);
+          std::vector<std::int64_t> out(tile, -2);
+          EXPECT_EQ(k->sparse_narrow(lut, cols, codes, d, patches, out, lo, hi),
+                    ref_sat)
+              << label;
+          EXPECT_EQ(out, ref) << label;
+
+          std::vector<std::int64_t> wide(tile, -3);
+          EXPECT_EQ(k->sparse_wide(lut, cols, codes, d, patches, wide, lo, hi),
+                    ref_sat)
+              << label;
+          EXPECT_EQ(wide, ref) << label;
         }
       }
     }
@@ -153,12 +233,19 @@ TEST(MacBackends, SessionForwardBitIdenticalScalarVsSimdAt1And4Threads) {
 }
 
 TEST(MacBackends, EnvOverrideForcesAutoButNeverExplicitRequests) {
+  BackendEnvGuard guard;  // restores any ambient value for later tests
   ASSERT_EQ(setenv("SCNN_BACKEND", "scalar", /*overwrite=*/1), 0);
   EXPECT_EQ(nn::resolved_backend(MacBackend::kAuto).backend, "scalar");
   // An explicit request wins over the environment.
   EXPECT_EQ(nn::resolved_backend(MacBackend::kScalar).backend, "scalar");
   if (const Kernel* simd = nn::backends::best_simd_kernel())
     EXPECT_EQ(nn::resolved_backend(MacBackend::kSimd).backend, simd->name);
+
+  // The env channel also accepts concrete kernel names (tune-file idiom).
+  for (const Kernel* k : nn::backends::available_kernels()) {
+    ASSERT_EQ(setenv("SCNN_BACKEND", k->name, 1), 0);
+    EXPECT_EQ(nn::resolved_backend(MacBackend::kAuto).backend, k->name);
+  }
 
   ASSERT_EQ(setenv("SCNN_BACKEND", "bogus", 1), 0);
   EXPECT_THROW((void)nn::resolved_backend(MacBackend::kAuto), std::invalid_argument);
@@ -183,13 +270,22 @@ TEST(MacBackends, SimdRequestThrowsWhereUnavailable) {
   }
 }
 
-TEST(MacBackends, WideAccumulatorConfigFallsBackToScalarAndSaysSo) {
+TEST(MacBackends, WideAccumulatorConfigReportsTheRealWidePath) {
   // N = 12, A = 20 -> 32-bit accumulator: outside every SIMD kernel's int32
-  // lanes, so describe() must report the shared scalar wide path.
+  // narrow lanes. Kernels without a native wide path (sse2/avx2/neon) share
+  // the scalar int64 block, and describe() must say "scalar" honestly;
+  // AVX-512 carries its own 8x int64 wide kernel and keeps its name.
+  BackendEnvGuard guard;  // this asserts kAuto resolution; park any ambient env
   const auto engine = nn::make_engine({.kind = EngineKind::kFixed, .n_bits = 12,
                                        .accum_bits = 20,
                                        .backend = MacBackend::kAuto});
-  EXPECT_EQ(engine->describe().backend, "scalar");
+  const Kernel* best = nn::backends::best_simd_kernel();
+  if (best && nn::backends::kernel_has_native_wide(*best)) {
+    EXPECT_EQ(engine->describe().backend, best->name);
+    EXPECT_EQ(engine->describe().lanes, best->wide_lanes);
+  } else {
+    EXPECT_EQ(engine->describe().backend, "scalar");
+  }
 
   // And the wide path is still bit-exact against the serial mac() loop.
   const std::size_t d = 9, tile = 11;
@@ -203,10 +299,45 @@ TEST(MacBackends, WideAccumulatorConfigFallsBackToScalarAndSaysSo) {
 }
 
 TEST(MacBackends, BackendStringsRoundTrip) {
-  for (const MacBackend b :
-       {MacBackend::kAuto, MacBackend::kScalar, MacBackend::kSimd})
+  for (const MacBackend b : {MacBackend::kAuto, MacBackend::kScalar,
+                             MacBackend::kSimd, MacBackend::kPopcount})
     EXPECT_EQ(nn::mac_backend_from_string(to_string(b)), b);
+  // Concrete kernel names are not MacBackend values — they belong to the
+  // SCNN_BACKEND env / tune-file channel (kernel_by_name), not the config.
   EXPECT_THROW(nn::mac_backend_from_string("avx512"), std::invalid_argument);
+}
+
+TEST(MacBackends, KernelByNameFindsExactlyTheRunnableKernels) {
+  EXPECT_EQ(nn::backends::kernel_by_name("scalar"),
+            &nn::backends::scalar_kernel());
+  EXPECT_EQ(nn::backends::kernel_by_name("avx2"), nn::backends::avx2_kernel());
+  EXPECT_EQ(nn::backends::kernel_by_name("avx512"),
+            nn::backends::avx512_kernel());
+  EXPECT_EQ(nn::backends::kernel_by_name("bogus"), nullptr);
+  for (const Kernel* k : nn::backends::available_kernels())
+    EXPECT_EQ(nn::backends::kernel_by_name(k->name), k) << k->name;
+}
+
+TEST(MacBackends, KernelSupportInventoryIsConsistent) {
+  // The `scnn_cli info` inventory: every known kernel appears once, a
+  // supported kernel is always compiled, and supported == runnable.
+  const auto support = nn::backends::kernel_support();
+  ASSERT_GE(support.size(), 5u);  // scalar, sse2, neon, avx2, avx512, ...
+  bool saw_scalar = false;
+  for (const auto& s : support) {
+    const std::string_view name = s.name;
+    if (s.supported) EXPECT_TRUE(s.compiled) << name;
+    if (name == "scalar") {
+      saw_scalar = true;
+      EXPECT_TRUE(s.compiled);
+      EXPECT_TRUE(s.supported);
+    }
+    if (name == "popcount-simd") continue;  // engine datapath, not a kernel
+    EXPECT_EQ(s.compiled && s.supported,
+              nn::backends::kernel_by_name(name) != nullptr)
+        << name;
+  }
+  EXPECT_TRUE(saw_scalar);
 }
 
 }  // namespace

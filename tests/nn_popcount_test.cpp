@@ -1,0 +1,262 @@
+// Bit-identity of the popcount engine against the LUT engine for the
+// proposed multiplier. The Sec. 2.5 theorem says splitting a product's k
+// enable cycles into b-bit columns of popcounts is exact for every b — so
+// the packed-stream datapath must reproduce LutEngine's products, MacStats,
+// saturation order and k-histograms bit-for-bit at every bit-parallel
+// degree, dense or zero-skip, serial or threaded. Lives in the `parallel`
+// binary so TSan covers the threaded path and ASan/UBSan the SIMD gathers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/scmac.hpp"
+#include "data/synthetic_digits.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/mac_engine.hpp"
+#include "nn/network.hpp"
+#include "nn/popcount_engine.hpp"
+
+namespace scnn {
+namespace {
+
+using nn::EngineConfig;
+using nn::EngineKind;
+using nn::MacBackend;
+using nn::MacStats;
+using nn::PopcountEngine;
+using nn::Sparsity;
+
+std::vector<std::int32_t> random_codes(std::size_t count, int n_bits,
+                                       std::uint64_t seed, int density = 100) {
+  const std::int32_t half = 1 << (n_bits - 1);
+  std::vector<std::int32_t> codes(count);
+  common::SplitMix64 rng(seed);
+  for (auto& c : codes) {
+    c = static_cast<std::int32_t>(rng.next_below(2u * static_cast<unsigned>(half))) -
+        half;
+    if (static_cast<int>(rng.next_below(100)) >= density) c = 0;
+  }
+  return codes;
+}
+
+TEST(Popcount, BitParallelDegreeValidation) {
+  for (const int n : {2, 4, 8}) {
+    const int half = 1 << (n - 1);
+    for (int b = 1; b <= 128; ++b) {
+      const bool pow2 = (b & (b - 1)) == 0;
+      EXPECT_EQ(nn::popcount_bit_parallel_ok(n, b),
+                pow2 && b <= std::min(64, half))
+          << "n=" << n << " b=" << b;
+    }
+  }
+  EXPECT_NO_THROW(PopcountEngine(8, 2, 16));
+  EXPECT_THROW(PopcountEngine(8, 2, 3), std::invalid_argument);
+  EXPECT_THROW(PopcountEngine(4, 2, 16), std::invalid_argument);  // > half
+  EXPECT_THROW(PopcountEngine(8, 2, 0), std::invalid_argument);
+}
+
+TEST(Popcount, ProductMatchesProposedMultiplierExhaustivelyForEveryB) {
+  for (const int n : {4, 6, 8}) {
+    const std::int32_t half = 1 << (n - 1);
+    for (int b = 1; b <= std::min(64, static_cast<int>(half)); b *= 2) {
+      const PopcountEngine eng(n, 2, b);
+      for (std::int32_t qw = -half; qw < half; ++qw)
+        for (std::int32_t qx = -half; qx < half; ++qx)
+          ASSERT_EQ(eng.product(qx, qw), core::multiply_signed(n, qx, qw))
+              << "n=" << n << " b=" << b << " qw=" << qw << " qx=" << qx;
+    }
+  }
+}
+
+TEST(Popcount, EngineIdenticalToLutEngineAcrossBAndDensity) {
+  for (const int n : {4, 8}) {
+    // A = 0 makes saturation common at N = 4 — the clamp-order contract is
+    // only visible when clamps actually fire.
+    for (const int a : {0, 2}) {
+      const auto ref_engine = nn::make_engine({.kind = EngineKind::kProposed,
+                                               .n_bits = n,
+                                               .accum_bits = a,
+                                               .backend = MacBackend::kScalar});
+      const std::size_t d = 27, tile = 19;
+      for (const int density : {0, 50, 100}) {
+        const auto w = random_codes(d, n, 300 + static_cast<std::uint64_t>(n) +
+                                              density + a, density);
+        const auto patches = random_codes(d * tile, n, 301 + density);
+
+        std::vector<std::int64_t> ref(tile);
+        MacStats ref_stats;
+        ref_stats.detail = true;
+        ref_engine->mac_rows(nn::WeightCodeView(w), patches, ref, ref_stats);
+
+        for (const int b : {1, 2, 8, (1 << (n - 1)) < 16 ? 4 : 16}) {
+          const PopcountEngine eng(n, a, b, Sparsity::kDense);
+          const std::string label = "n=" + std::to_string(n) + " a=" +
+                                    std::to_string(a) + " b=" + std::to_string(b) +
+                                    " density=" + std::to_string(density) + "%";
+          std::vector<std::int64_t> out(tile, -1);
+          MacStats stats;
+          stats.detail = true;
+          eng.mac_rows(nn::WeightCodeView(w), patches, out, stats);
+          EXPECT_EQ(out, ref) << label;
+          EXPECT_EQ(stats, ref_stats) << label;
+
+          // Serial mac() agrees too (and with its own per-element stats).
+          for (std::size_t t = 0; t < tile; ++t)
+            ASSERT_EQ(eng.mac(w, std::span(patches).subspan(t * d, d)), ref[t])
+                << label << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(Popcount, ZeroSkipPackedRowsBitIdenticalToDense) {
+  const int n = 8;
+  const std::size_t d = 27, tile = 33;
+  const auto w = random_codes(d, n, 55, /*density=*/30);
+  const auto patches = random_codes(d * tile, n, 56);
+  const nn::PackedRowCodes packed =
+      nn::PackedRowCodes::build(w, /*rows=*/1, static_cast<int>(d));
+
+  const PopcountEngine dense(n, 2, 16, Sparsity::kDense);
+  const PopcountEngine skip(n, 2, 16, Sparsity::kZeroSkip);
+  EXPECT_FALSE(dense.zero_skip());
+  EXPECT_TRUE(skip.zero_skip());
+
+  std::vector<std::int64_t> ref(tile), out(tile);
+  MacStats ref_stats, stats;
+  ref_stats.detail = stats.detail = true;
+  dense.mac_rows(nn::WeightCodeView(w), patches, ref, ref_stats);
+  skip.mac_rows(nn::WeightCodeView::packed_row(w, packed, 0), patches, out, stats);
+
+  EXPECT_EQ(out, ref);
+  // Everything but the skip telemetry matches; the skipped products are
+  // exactly the zero codes of the row.
+  EXPECT_GT(stats.skipped_products, 0u);
+  MacStats cmp = stats;
+  cmp.skipped_products = ref_stats.skipped_products;
+  EXPECT_EQ(cmp, ref_stats);
+}
+
+TEST(Popcount, MakeEngineRoutesAndValidatesKPopcount) {
+  const auto eng = nn::make_engine({.kind = EngineKind::kProposed,
+                                    .n_bits = 8,
+                                    .bit_parallel = 16,
+                                    .backend = MacBackend::kPopcount});
+  EXPECT_EQ(eng->name(), "proposed");
+  EXPECT_EQ(eng->describe().backend, nn::popcount_backend_name());
+  EXPECT_EQ(eng->describe().lanes, nn::popcount_backend_lanes());
+
+  // Only the proposed multiplier is a counter-of-ones machine.
+  EXPECT_THROW(nn::make_engine({.kind = EngineKind::kFixed, .n_bits = 8,
+                                .backend = MacBackend::kPopcount}),
+               std::invalid_argument);
+  // And the degree must be a legal power of two for N.
+  EXPECT_THROW(nn::make_engine({.kind = EngineKind::kProposed, .n_bits = 4,
+                                .bit_parallel = 16,
+                                .backend = MacBackend::kPopcount}),
+               std::invalid_argument);
+}
+
+TEST(Popcount, EnvLeanAppliesOnlyToEligibleAutoConfigs) {
+  ASSERT_EQ(setenv("SCNN_BACKEND", "popcount", 1), 0);
+  const auto leaned = nn::make_engine(
+      {.kind = EngineKind::kProposed, .n_bits = 8, .bit_parallel = 8,
+       .backend = MacBackend::kAuto});
+  EXPECT_EQ(leaned->describe().backend, nn::popcount_backend_name());
+  // The config-aware resolution reports the same answer the build gave.
+  EXPECT_EQ(nn::resolved_backend(EngineConfig{.kind = EngineKind::kProposed,
+                                              .n_bits = 8,
+                                              .bit_parallel = 8,
+                                              .backend = MacBackend::kAuto})
+                .backend,
+            nn::popcount_backend_name());
+
+  // Other kinds lean back to auto kernel dispatch instead of throwing.
+  const auto fixed = nn::make_engine(
+      {.kind = EngineKind::kFixed, .n_bits = 8, .backend = MacBackend::kAuto});
+  EXPECT_NE(fixed->describe().backend, nn::popcount_backend_name());
+
+  // Explicit requests are never overridden by the env.
+  const auto scalar = nn::make_engine({.kind = EngineKind::kProposed,
+                                       .n_bits = 8,
+                                       .backend = MacBackend::kScalar});
+  EXPECT_EQ(scalar->describe().backend, "scalar");
+  ASSERT_EQ(unsetenv("SCNN_BACKEND"), 0);
+}
+
+TEST(Popcount, ScalarEnvPinsTheScalarDatapathBitIdentically) {
+  // SCNN_POPCOUNT_SCALAR pins the per-step popcounts to
+  // __builtin_popcountll — the honest baseline for the bench's
+  // "b = 16 vs scalar simulation" ratio, and the only way to cover the
+  // scalar datapath under test on a vpopcntdq machine. Pinning must change
+  // the reported backend, never the numbers.
+  const EngineConfig cfg{.kind = EngineKind::kProposed,
+                         .n_bits = 8,
+                         .bit_parallel = 16,
+                         .backend = MacBackend::kPopcount};
+  const auto free_eng = nn::make_engine(cfg);
+
+  ASSERT_EQ(setenv("SCNN_POPCOUNT_SCALAR", "1", 1), 0);
+  EXPECT_STREQ(nn::popcount_backend_name(), "popcount");
+  EXPECT_EQ(nn::popcount_backend_lanes(), 1);
+  const auto pinned_eng = nn::make_engine(cfg);
+  EXPECT_EQ(pinned_eng->describe().backend, "popcount");
+  EXPECT_EQ(pinned_eng->describe().lanes, 1);
+  ASSERT_EQ(unsetenv("SCNN_POPCOUNT_SCALAR"), 0);
+
+  // "0" (and unset) mean no pin: the widest compiled datapath reports.
+  ASSERT_EQ(setenv("SCNN_POPCOUNT_SCALAR", "0", 1), 0);
+  EXPECT_STREQ(nn::popcount_backend_name(), free_eng->describe().backend.c_str());
+  ASSERT_EQ(unsetenv("SCNN_POPCOUNT_SCALAR"), 0);
+
+  const auto w = random_codes(96, 8, 31);
+  const auto patches = random_codes(17 * 96, 8, 32);
+  std::vector<std::int64_t> out_free(17), out_pinned(17);
+  MacStats stats_free, stats_pinned;
+  const nn::WeightCodeView view{std::span<const std::int32_t>(w)};
+  free_eng->mac_rows(view, patches, out_free, stats_free);
+  pinned_eng->mac_rows(view, patches, out_pinned, stats_pinned);
+  EXPECT_EQ(out_free, out_pinned);
+  EXPECT_EQ(stats_free, stats_pinned);
+  for (std::size_t t = 0; t < 17; ++t) {
+    const auto x = std::span<const std::int32_t>(patches).subspan(t * 96, 96);
+    EXPECT_EQ(free_eng->mac(w, x), pinned_eng->mac(w, x)) << "t=" << t;
+  }
+}
+
+TEST(Popcount, SessionForwardBitIdenticalToLutAt1And4Threads) {
+  const auto data = data::make_synthetic_digits({.count = 4, .seed = 9});
+  nn::InferenceSession session(nn::make_mnist_net(data.images.h()), /*threads=*/1);
+  session.calibrate(data.images);
+
+  session.set_engine({.kind = EngineKind::kProposed, .n_bits = 8, .threads = 1,
+                      .backend = MacBackend::kScalar});
+  const nn::Tensor ref = session.forward(data.images);
+  const MacStats ref_stats = session.last_forward_stats();
+  ASSERT_GT(ref_stats.macs, 0u);
+
+  for (const int threads : {1, 4}) {
+    for (const int b : {1, 16}) {
+      session.set_engine({.kind = EngineKind::kProposed, .n_bits = 8,
+                          .bit_parallel = b, .threads = threads,
+                          .backend = MacBackend::kPopcount});
+      EXPECT_EQ(session.backend().backend, nn::popcount_backend_name());
+      const nn::Tensor got = session.forward(data.images);
+      ASSERT_TRUE(ref.same_shape(got));
+      EXPECT_EQ(std::memcmp(ref.data().data(), got.data().data(),
+                            ref.size() * sizeof(float)),
+                0)
+          << "logits differ: threads=" << threads << " b=" << b;
+      EXPECT_EQ(session.last_forward_stats(), ref_stats)
+          << "threads=" << threads << " b=" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scnn

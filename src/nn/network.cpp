@@ -27,6 +27,11 @@ void Network::set_instrumentation(obs::Tracer* tracer, obs::Registry* metrics) {
 }
 
 Tensor Network::forward_instrumented_(const Tensor& input) {
+  // A serving worker activates a TraceContext before calling forward; layer
+  // spans then land on the worker's timeline row carrying the batch id, so
+  // one chrome://tracing load correlates serving spans with layer spans.
+  const obs::TraceContext& ctx = obs::trace_context();
+  const int tid = ctx.active ? ctx.tid : 0;
   const auto pass_t0 = obs::Clock::now();
   Tensor cur = input;
   std::uint64_t pass_products = 0;
@@ -41,6 +46,7 @@ Tensor Network::forward_instrumented_(const Tensor& input) {
     const std::uint64_t products = l.last_forward_products();
     pass_products += products;
     std::vector<obs::TraceArg> args;
+    if (ctx.active) args.push_back({"batch_id", static_cast<double>(ctx.batch_id)});
     args.push_back({"products", static_cast<double>(products)});
     if (const auto* conv = dynamic_cast<const Conv2D*>(&l)) {
       const MacStats& s = conv->last_forward_stats();
@@ -57,7 +63,7 @@ Tensor Network::forward_instrumented_(const Tensor& input) {
         args.push_back({"zero_products", static_cast<double>(s.k_hist.buckets[0])});
       }
     }
-    if (tracer_) tracer_->record(label, t0, t1, std::move(args));
+    if (tracer_) tracer_->record(label, t0, t1, std::move(args), tid);
     if (metrics_) {
       const auto ns = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
@@ -65,10 +71,14 @@ Tensor Network::forward_instrumented_(const Tensor& input) {
     }
   }
   const auto pass_t1 = obs::Clock::now();
-  if (tracer_)
-    tracer_->record("forward", pass_t0, pass_t1,
-                    {{"images", static_cast<double>(input.n())},
-                     {"products", static_cast<double>(pass_products)}});
+  if (tracer_) {
+    std::vector<obs::TraceArg> pass_args;
+    if (ctx.active)
+      pass_args.push_back({"batch_id", static_cast<double>(ctx.batch_id)});
+    pass_args.push_back({"images", static_cast<double>(input.n())});
+    pass_args.push_back({"products", static_cast<double>(pass_products)});
+    tracer_->record("forward", pass_t0, pass_t1, std::move(pass_args), tid);
+  }
   if (metrics_) {
     const int shard = metrics_->this_shard();
     metrics_->counter("forward.passes").inc(shard);
@@ -83,6 +93,12 @@ Tensor Network::forward_instrumented_(const Tensor& input) {
     }
     metrics_->gauge("forward.last_ms")
         .set(std::chrono::duration<double, std::milli>(pass_t1 - pass_t0).count());
+    metrics_->latency_histogram("forward.pass_us")
+        .record(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(pass_t1 -
+                                                                          pass_t0)
+                        .count()),
+                shard);
   }
   return cur;
 }

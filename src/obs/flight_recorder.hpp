@@ -1,0 +1,124 @@
+// Lock-free flight recorder: the last N structured events per shard, always
+// on, dumped only when something goes wrong.
+//
+// Metrics answer "how much"; traces answer "how long" for runs you planned to
+// capture. Neither answers "what exactly happened in the milliseconds before
+// this worker threw" — that needs a recorder that is cheap enough to leave on
+// in production and bounded so it can never grow. This is the classic
+// aircraft-style flight recorder: fixed-size per-shard rings of small fixed
+// layout events, overwritten circularly, serialized to a stamped JSON file on
+// demand (worker exception, overload burst, or an explicit --dump-flight).
+//
+// Concurrency model: every slot is a seqlock — a version word (odd while a
+// write is in flight) plus a fixed number of relaxed-atomic payload words.
+// Writers claim a slot with one fetch_add on the shard cursor and never
+// block; the reader retries any slot whose version is odd or changes under
+// it. Because the payload words are atomics, a torn read is impossible at
+// the language level (no UB, TSan-clean); the version check additionally
+// rejects mixed-generation events. The one residual caveat: if two writers
+// lap each other onto the same slot simultaneously (ring far too small for
+// the event rate), both bump the version twice and the reader may accept a
+// slot whose words interleave two events — harmless for forensics, and
+// avoided in practice by sizing shards >= writer threads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scnn::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kAdmit = 0,          ///< request accepted into the queue; arg0 = depth after
+  kReject = 1,         ///< request refused at submit; arg0 = status code
+  kDeadlineExpired = 2,///< request timed out waiting in queue
+  kPop = 3,            ///< worker pulled the request into a forming batch
+  kFlush = 4,          ///< batch closed; arg0 = flush reason, arg1 = size
+  kBatchStart = 5,     ///< forward pass begins; arg0 = size
+  kBatchDone = 6,      ///< forward pass done; arg0 = size, arg1 = run µs
+  kResolveError = 7,   ///< request resolved with kError
+  kWorkerException = 8,///< worker caught an exception; detail = what()
+  kConfig = 9,         ///< startup configuration note (backend, sparsity, ...)
+};
+
+[[nodiscard]] const char* flight_event_kind_name(FlightEventKind kind);
+
+/// Why a forming batch was closed (kFlush arg0).
+enum class FlushReason : std::uint8_t {
+  kFull = 0,      ///< reached max_batch
+  kDelay = 1,     ///< max_delay_us elapsed
+  kImmediate = 2, ///< max_delay_us == 0: take whatever is queued
+  kStopping = 3,  ///< server shutdown drain
+};
+
+/// One decoded event. `detail` is a short NUL-terminated annotation (error
+/// text, config summary); longer strings are truncated at capture time.
+struct FlightEvent {
+  FlightEventKind kind = FlightEventKind::kAdmit;
+  std::uint64_t seq = 0;        ///< global order of capture (1-based)
+  std::uint64_t ts_ns = 0;      ///< nanoseconds since recorder construction
+  int worker = -1;              ///< worker index, -1 = a submitter thread
+  std::uint64_t request_id = 0; ///< 0 = not request-scoped
+  std::uint64_t batch_id = 0;   ///< 0 = not batch-scoped
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  char detail[40] = {};
+};
+
+class FlightRecorder {
+ public:
+  /// `shards` independent rings of `capacity` slots each. Writers pick a
+  /// shard (serve uses worker index; submitters a hashed thread id) so
+  /// concurrent recording never contends on one cursor.
+  explicit FlightRecorder(int shards, int capacity);
+
+  void record(int shard, FlightEventKind kind, int worker,
+              std::uint64_t request_id = 0, std::uint64_t batch_id = 0,
+              std::uint64_t arg0 = 0, std::uint64_t arg1 = 0,
+              std::string_view detail = {});
+
+  /// All currently readable events, ordered by capture sequence. Slots being
+  /// written at snapshot time are skipped, not blocked on.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// The snapshot rendered as a stamped JSON document: reason, git SHA,
+  /// capture geometry, and the event list.
+  [[nodiscard]] std::string to_json(std::string_view reason) const;
+
+  /// Write to_json(reason) to `path`; returns `path`, or "" (with a warning
+  /// on stderr) if the file cannot be opened.
+  std::string dump(const std::string& path, std::string_view reason) const;
+
+  [[nodiscard]] int shards() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] int capacity() const { return capacity_; }
+  /// Events recorded since construction (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return next_seq_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  // 13 payload words: kind, seq, ts, worker, request, batch, arg0, arg1, and
+  // five words (40 bytes) of detail text.
+  static constexpr int kWords = 13;
+  static constexpr int kDetailWords = 5;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> ver{0};  ///< 0 = never written; odd = writing
+    std::array<std::atomic<std::uint64_t>, kWords> w{};
+  };
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> next{0};
+    std::vector<Slot> slots;
+  };
+
+  int capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::vector<Shard> shards_;
+};
+
+}  // namespace scnn::obs

@@ -1,0 +1,200 @@
+#include "obs/json.hpp"
+
+#include <cstdlib>
+
+namespace scnn::obs::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+// Nesting bound: the project's own files are at most ~4 levels deep, and a
+// hard cap keeps a hostile/corrupt input from exhausting the stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<Value> run() {
+    std::optional<Value> v = value_(0);
+    if (!v) return std::nullopt;
+    skip_ws_();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws_() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat_(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal_(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  static void append_utf8_(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::optional<std::string> string_() {
+    if (!eat_('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;  // raw control
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return std::nullopt;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return std::nullopt;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          append_utf8_(out, cp);  // surrogate pairs untreated: the project never emits them
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> value_(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws_();
+    if (pos_ >= s_.size()) return std::nullopt;
+    Value v;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      v.kind = Kind::kObject;
+      skip_ws_();
+      if (eat_('}')) return v;
+      while (true) {
+        skip_ws_();
+        std::optional<std::string> key = string_();
+        if (!key) return std::nullopt;
+        skip_ws_();
+        if (!eat_(':')) return std::nullopt;
+        std::optional<Value> member = value_(depth + 1);
+        if (!member) return std::nullopt;
+        v.object.emplace_back(std::move(*key), std::move(*member));
+        skip_ws_();
+        if (eat_(',')) continue;
+        if (eat_('}')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = Kind::kArray;
+      skip_ws_();
+      if (eat_(']')) return v;
+      while (true) {
+        std::optional<Value> item = value_(depth + 1);
+        if (!item) return std::nullopt;
+        v.array.push_back(std::move(*item));
+        skip_ws_();
+        if (eat_(',')) continue;
+        if (eat_(']')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> s = string_();
+      if (!s) return std::nullopt;
+      v.kind = Kind::kString;
+      v.string = std::move(*s);
+      return v;
+    }
+    if (literal_("true")) {
+      v.kind = Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (literal_("false")) {
+      v.kind = Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (literal_("null")) return v;
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      // Copy the number into a NUL-terminated buffer: the view need not be
+      // NUL-terminated, and strtod requires a C string.
+      char buf[48];
+      std::size_t n = 0;
+      while (pos_ < s_.size() && n + 1 < sizeof buf) {
+        const char d = s_[pos_];
+        const bool number_char = (d >= '0' && d <= '9') || d == '-' || d == '+' ||
+                                 d == '.' || d == 'e' || d == 'E';
+        if (!number_char) break;
+        buf[n++] = d;
+        ++pos_;
+      }
+      buf[n] = '\0';
+      char* end = nullptr;
+      v.number = std::strtod(buf, &end);
+      if (end != buf + n) return std::nullopt;
+      v.kind = Kind::kNumber;
+      return v;
+    }
+    return std::nullopt;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace scnn::obs::json

@@ -1,0 +1,43 @@
+// Minimal JSON reader for the observability plane's own artifacts.
+//
+// The project writes JSON in three places (JsonReport, Tracer, the flight
+// recorder) and needs to read it back in two: `tools/bench_compare` diffs two
+// BENCH_*.json reports, and tests parse exported traces / flight dumps to
+// assert on their structure. This is a small recursive-descent parser into a
+// plain DOM — it handles exactly the JSON the project emits (objects, arrays,
+// strings with escapes, finite numbers, booleans, null) and rejects anything
+// malformed rather than guessing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scnn::obs::json {
+
+enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+struct Value {
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, Value>> object;  ///< insertion order kept
+  std::vector<Value> array;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). std::nullopt on any syntax error.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+}  // namespace scnn::obs::json

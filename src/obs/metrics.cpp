@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace scnn::obs {
@@ -69,6 +70,68 @@ void Histogram::reset() {
   }
 }
 
+double LatencyHist::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) return static_cast<double>(max);
+  // Rank of the target sample, 1-based: the smallest r with r >= q * count.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      if (b < kLatencySubBuckets) return static_cast<double>(b);  // exact bucket
+      const std::uint64_t lo = latency_bucket_lo(b);
+      const std::uint64_t hi = latency_bucket_hi(b);
+      // Midpoint, clamped to the recorded max so a sparse top bucket can
+      // never report a value larger than anything actually recorded.
+      const double mid = hi == ~std::uint64_t{0}
+                             ? static_cast<double>(max)
+                             : (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+      return std::min(mid, static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);  // unreachable when count matches buckets
+}
+
+LatencyHistogram::LatencyHistogram(int shards)
+    : slots_(static_cast<std::size_t>(shards < 1 ? 1 : shards)) {}
+
+void LatencyHistogram::record(std::uint64_t v, int shard, std::uint64_t times) {
+  if (times == 0) return;
+  Slot& s = slots_[slot_(shard)];
+  s.buckets[static_cast<std::size_t>(latency_bucket(v))].fetch_add(
+      times, std::memory_order_relaxed);
+  s.count.fetch_add(times, std::memory_order_relaxed);
+  s.sum.fetch_add(v * times, std::memory_order_relaxed);
+  std::uint64_t cur = s.max.load(std::memory_order_relaxed);
+  while (v > cur && !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHist LatencyHistogram::snapshot() const {
+  LatencyHist out;
+  for (const Slot& s : slots_) {  // fixed shard-index order
+    for (int i = 0; i < kLatencyBuckets; ++i)
+      out.buckets[static_cast<std::size_t>(i)] +=
+          s.buckets[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const std::uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+  }
+  return out;
+}
+
+void LatencyHistogram::reset() {
+  for (Slot& s : slots_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+  }
+}
+
 Registry::Registry(int shards) : shards_(shards < 1 ? 1 : shards) {}
 
 int Registry::this_shard() const {
@@ -88,11 +151,14 @@ Registry::Entry& Registry::find_or_create_(std::string_view name, MetricKind kin
     }
   }
   Entry e{.name = std::string(name), .kind = kind, .counter = nullptr, .gauge = nullptr,
-          .histogram = nullptr};
+          .histogram = nullptr, .latency = nullptr};
   switch (kind) {
     case MetricKind::kCounter: e.counter = std::make_unique<Counter>(shards_); break;
     case MetricKind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
     case MetricKind::kHistogram: e.histogram = std::make_unique<Histogram>(shards_); break;
+    case MetricKind::kLatency:
+      e.latency = std::make_unique<LatencyHistogram>(shards_);
+      break;
   }
   entries_.push_back(std::move(e));
   return entries_.back();
@@ -110,12 +176,17 @@ Histogram& Registry::histogram(std::string_view name) {
   return *find_or_create_(name, MetricKind::kHistogram).histogram;
 }
 
+LatencyHistogram& Registry::latency_histogram(std::string_view name) {
+  return *find_or_create_(name, MetricKind::kLatency).latency;
+}
+
 std::vector<MetricSnapshot> Registry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSnapshot> out;
   out.reserve(entries_.size());
   for (const Entry& e : entries_) {
-    MetricSnapshot m{.name = e.name, .kind = e.kind, .value = 0.0, .hist = {}};
+    MetricSnapshot m{.name = e.name, .kind = e.kind, .value = 0.0, .hist = {},
+                     .latency = {}};
     switch (e.kind) {
       case MetricKind::kCounter:
         m.value = static_cast<double>(e.counter->total());
@@ -126,6 +197,10 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
       case MetricKind::kHistogram:
         m.hist = e.histogram->snapshot();
         m.value = static_cast<double>(m.hist.count);
+        break;
+      case MetricKind::kLatency:
+        m.latency = e.latency->snapshot();
+        m.value = static_cast<double>(m.latency.count);
         break;
     }
     out.push_back(std::move(m));
@@ -140,6 +215,7 @@ void Registry::reset() {
       case MetricKind::kCounter: e.counter->reset(); break;
       case MetricKind::kGauge: e.gauge->reset(); break;
       case MetricKind::kHistogram: e.histogram->reset(); break;
+      case MetricKind::kLatency: e.latency->reset(); break;
     }
   }
 }

@@ -86,6 +86,121 @@ struct Pow2Hist {
   bool operator==(const Pow2Hist&) const = default;
 };
 
+// ---------------------------------------------------------------------------
+// Log-linear latency histogram
+// ---------------------------------------------------------------------------
+//
+// Pow2Hist's octave buckets are the right shape for enable-count
+// distributions, but a p99 read from them can be off by 2x. LatencyHist
+// subdivides every octave into kLatencySubBuckets linear sub-buckets, which
+// bounds the relative error of any reported quantile to
+// 1 / (2 * kLatencySubBuckets) (3.125% at the default 16) while staying a
+// plain integer-bucket structure: merges are exact, order-independent, and
+// shard-merge-deterministic like everything else in this header.
+
+/// log2 of the linear sub-buckets per octave.
+inline constexpr int kLatencySubBucketBits = 4;
+inline constexpr int kLatencySubBuckets = 1 << kLatencySubBucketBits;
+/// Octaves [2^4, 2^32) are subdivided; values below 16 are exact, values
+/// >= 2^32 share one overflow bucket (71 minutes when recording microseconds).
+inline constexpr int kLatencyMaxOctave = 31;
+inline constexpr int kLatencyBuckets =
+    (kLatencyMaxOctave - kLatencySubBucketBits + 2) * kLatencySubBuckets + 1;
+
+/// Bucket index of `v`: exact below kLatencySubBuckets, log-linear up to
+/// 2^32, overflow bucket beyond.
+[[nodiscard]] constexpr int latency_bucket(std::uint64_t v) {
+  if (v < kLatencySubBuckets) return static_cast<int>(v);
+  if (v >> 32) return kLatencyBuckets - 1;
+  const int w = std::bit_width(v) - 1;  // v in [2^w, 2^(w+1))
+  const int sub = static_cast<int>(v >> (w - kLatencySubBucketBits)) - kLatencySubBuckets;
+  return (w - kLatencySubBucketBits + 1) * kLatencySubBuckets + sub;
+}
+
+/// Inclusive lower edge of a latency bucket.
+[[nodiscard]] constexpr std::uint64_t latency_bucket_lo(int bucket) {
+  if (bucket < kLatencySubBuckets) return static_cast<std::uint64_t>(bucket);
+  if (bucket >= kLatencyBuckets - 1) return std::uint64_t{1} << 32;
+  const int w = bucket / kLatencySubBuckets + kLatencySubBucketBits - 1;
+  const int sub = bucket % kLatencySubBuckets;
+  return static_cast<std::uint64_t>(kLatencySubBuckets + sub) << (w - kLatencySubBucketBits);
+}
+
+/// Exclusive upper edge of a latency bucket; UINT64_MAX for overflow.
+[[nodiscard]] constexpr std::uint64_t latency_bucket_hi(int bucket) {
+  if (bucket < kLatencySubBuckets) return static_cast<std::uint64_t>(bucket) + 1;
+  if (bucket >= kLatencyBuckets - 1) return ~std::uint64_t{0};
+  const int w = bucket / kLatencySubBuckets + kLatencySubBucketBits - 1;
+  return latency_bucket_lo(bucket) + (std::uint64_t{1} << (w - kLatencySubBucketBits));
+}
+
+/// Plain (non-atomic) log-linear histogram: the snapshot type of the sharded
+/// LatencyHistogram below. All fields are integers, so merges are exact and
+/// order-independent; quantile() reads have bounded relative error.
+struct LatencyHist {
+  std::array<std::uint64_t, static_cast<std::size_t>(kLatencyBuckets)> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void record(std::uint64_t v, std::uint64_t times = 1) {
+    if (times == 0) return;
+    buckets[static_cast<std::size_t>(latency_bucket(v))] += times;
+    count += times;
+    sum += v * times;
+    if (v > max) max = v;
+  }
+
+  LatencyHist& operator+=(const LatencyHist& o) {
+    for (int i = 0; i < kLatencyBuckets; ++i)
+      buckets[static_cast<std::size_t>(i)] += o.buckets[static_cast<std::size_t>(i)];
+    count += o.count;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+    return *this;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the midpoint of the first bucket whose
+  /// cumulative count reaches ceil(q * count) (exact-bucket values are
+  /// returned exactly; q = 1 reports the recorded max exactly). Relative
+  /// error is bounded by 1 / (2 * kLatencySubBuckets).
+  [[nodiscard]] double quantile(double q) const;
+
+  bool operator==(const LatencyHist&) const = default;
+};
+
+/// Sharded log-linear histogram for quantile-accurate latency metrics;
+/// snapshot() merges shards in index order into a plain LatencyHist.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(int shards);
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record(std::uint64_t v, int shard, std::uint64_t times = 1);
+
+  [[nodiscard]] LatencyHist snapshot() const;
+  void reset();
+  [[nodiscard]] int shards() const { return static_cast<int>(slots_.size()); }
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(kLatencyBuckets)>
+        buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+  };
+  [[nodiscard]] std::size_t slot_(int shard) const {
+    return static_cast<std::size_t>(shard) % slots_.size();
+  }
+  std::vector<Slot> slots_;
+};
+
 /// Monotonic sharded counter. add() touches one relaxed atomic in the
 /// caller's shard; total() sums shards in index order.
 class Counter {
@@ -113,11 +228,36 @@ class Counter {
   std::vector<Slot> slots_;
 };
 
-/// Last-written level (e.g. wall ms of the most recent pass). Gauges are
-/// written from the forward entry thread, so a single atomic suffices.
+/// Level metric (e.g. wall ms of the most recent pass, queue depth).
+///
+/// Unlike Counter/Histogram, a Gauge is a single atomic cell, NOT sharded:
+/// there is no per-shard slot, so snapshot() reports the one value of the
+/// most recent set() in the cell's modification order — "last write wins"
+/// globally, regardless of which shard index the writer would have used
+/// elsewhere. That is the right contract for a single-writer level (the
+/// forward entry thread's wall ms), but under concurrent writers a set()
+/// race can under-report a level that only ever grows or sums. For those,
+/// use the order-independent variants:
+///  - add(v): contributes v exactly (CAS loop) — concurrent adders always
+///    total correctly, e.g. an in-flight population split across threads;
+///  - max(v): keeps the largest value ever written — a high-water mark
+///    (e.g. serve.queue_depth_peak) can never under-report.
 class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Order-independent accumulate: the snapshot is the exact sum of every
+  /// add() since the last reset(), whatever the thread interleaving.
+  void add(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  /// Order-independent high-water mark: keeps max(current, v).
+  void max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   [[nodiscard]] double get() const { return v_.load(std::memory_order_relaxed); }
   void reset() { set(0.0); }
 
@@ -156,14 +296,15 @@ class Histogram {
   std::vector<Slot> slots_;
 };
 
-enum class MetricKind { kCounter, kGauge, kHistogram };
+enum class MetricKind { kCounter, kGauge, kHistogram, kLatency };
 
 /// One merged metric in a registry snapshot.
 struct MetricSnapshot {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
   double value = 0.0;  ///< counter total or gauge level
-  Pow2Hist hist;       ///< histogram metrics only
+  Pow2Hist hist;       ///< kHistogram only
+  LatencyHist latency; ///< kLatency only
 };
 
 /// Named metric registry. Metrics are created on first use, keep stable
@@ -181,6 +322,7 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  LatencyHistogram& latency_histogram(std::string_view name);
 
   /// Stable per-thread shard index in [0, shards()) for writers that are not
   /// inside a parallel_for (which should pass its own shard index instead).
@@ -203,6 +345,7 @@ class Registry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<LatencyHistogram> latency;
   };
   Entry& find_or_create_(std::string_view name, MetricKind kind);
 

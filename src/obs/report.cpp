@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/cpu_features.hpp"
+
 namespace scnn::obs {
 
 namespace detail {
@@ -85,32 +87,52 @@ JsonReport stamped_report(const std::string& name) {
   report.set_meta("git_sha", std::string(git_sha()));
   report.set_meta("hardware_threads",
                   static_cast<double>(std::thread::hardware_concurrency()));
+  // Hardware fingerprint: bench_compare refuses to band deltas across
+  // machines, keying on this meta being byte-identical.
+  report.set_meta("cpu", common::cpu_features_summary());
   return report;
 }
 
-void append_registry(const Registry& registry, JsonReport& report) {
+std::vector<FlatMetric> flatten_registry(const Registry& registry) {
+  std::vector<FlatMetric> out;
   for (const MetricSnapshot& m : registry.snapshot()) {
     switch (m.kind) {
       case MetricKind::kCounter:
-        report.add_metric(m.name, m.value, "count");
+        out.push_back({m.name, m.value, "count"});
         break;
       case MetricKind::kGauge:
-        report.add_metric(m.name, m.value, "value");
+        out.push_back({m.name, m.value, "value"});
         break;
       case MetricKind::kHistogram:
-        report.add_metric(m.name + "/count", static_cast<double>(m.hist.count), "count");
-        report.add_metric(m.name + "/sum", static_cast<double>(m.hist.sum), "total");
-        report.add_metric(m.name + "/mean", m.hist.mean(), "mean");
-        report.add_metric(m.name + "/max", static_cast<double>(m.hist.max), "max");
+        out.push_back({m.name + "/count", static_cast<double>(m.hist.count), "count"});
+        out.push_back({m.name + "/sum", static_cast<double>(m.hist.sum), "total"});
+        out.push_back({m.name + "/mean", m.hist.mean(), "mean"});
+        out.push_back({m.name + "/max", static_cast<double>(m.hist.max), "max"});
         for (int b = 0; b < kHistBuckets; ++b) {
           const std::uint64_t n = m.hist.buckets[static_cast<std::size_t>(b)];
           if (n)
-            report.add_metric(m.name + "/bucket/" + std::to_string(pow2_bucket_lo(b)),
-                              static_cast<double>(n), "count");
+            out.push_back({m.name + "/bucket/" + std::to_string(pow2_bucket_lo(b)),
+                           static_cast<double>(n), "count"});
         }
+        break;
+      case MetricKind::kLatency:
+        out.push_back({m.name + "/count", static_cast<double>(m.latency.count), "count"});
+        out.push_back({m.name + "/sum", static_cast<double>(m.latency.sum), "total"});
+        out.push_back({m.name + "/mean", m.latency.mean(), "mean"});
+        out.push_back({m.name + "/max", static_cast<double>(m.latency.max), "max"});
+        out.push_back({m.name + "/p50", m.latency.quantile(0.50), "value"});
+        out.push_back({m.name + "/p90", m.latency.quantile(0.90), "value"});
+        out.push_back({m.name + "/p99", m.latency.quantile(0.99), "value"});
+        out.push_back({m.name + "/p999", m.latency.quantile(0.999), "value"});
         break;
     }
   }
+  return out;
+}
+
+void append_registry(const Registry& registry, JsonReport& report) {
+  for (const FlatMetric& m : flatten_registry(registry))
+    report.add_metric(m.name, m.value, m.unit);
 }
 
 }  // namespace scnn::obs

@@ -74,9 +74,22 @@ class JsonReport {
 /// nn::stamp_engine_meta() on top.
 [[nodiscard]] JsonReport stamped_report(const std::string& name);
 
-/// Append a merged view of every registry metric. Counters and gauges become
-/// one metric each; histograms expand into <name>/count|sum|mean|max plus a
-/// <name>/bucket/<lo> count per non-empty bucket.
+/// One flattened registry metric: a scalar with a name and a unit tag.
+struct FlatMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Flatten every registry metric to scalars. Counters and gauges become one
+/// metric each; power-of-two histograms expand into <name>/count|sum|mean|max
+/// plus a <name>/bucket/<lo> count per non-empty bucket; latency histograms
+/// expand into <name>/count|sum|mean|max|p50|p90|p99|p999. This is the one
+/// flattening used by both the JSON report exporter and the periodic
+/// snapshot logger, so time-series and end-of-run views line up by name.
+[[nodiscard]] std::vector<FlatMetric> flatten_registry(const Registry& registry);
+
+/// Append flatten_registry(registry) to the report.
 void append_registry(const Registry& registry, JsonReport& report);
 
 }  // namespace scnn::obs

@@ -1,0 +1,183 @@
+#include "obs/report_diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace scnn::obs {
+
+const std::string* ParsedReport::meta_value(std::string_view key) const {
+  for (const auto& [k, v] : meta)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const ReportMetric* ParsedReport::find(std::string_view name) const {
+  for (const ReportMetric& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::optional<ParsedReport> parse_report_json(std::string_view text) {
+  const std::optional<json::Value> doc = json::parse(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+
+  ParsedReport out;
+  const json::Value* bench = doc->find("benchmark");
+  if (!bench || !bench->is_string()) return std::nullopt;
+  out.benchmark = bench->string;
+
+  if (const json::Value* meta = doc->find("meta"); meta && meta->is_object()) {
+    for (const auto& [key, v] : meta->object) {
+      switch (v.kind) {
+        case json::Kind::kString: out.meta.emplace_back(key, v.string); break;
+        case json::Kind::kNumber:
+          out.meta.emplace_back(key, detail::json_number(v.number));
+          break;
+        case json::Kind::kBool: out.meta.emplace_back(key, v.boolean ? "true" : "false"); break;
+        default: break;  // nested config objects don't take part in comparison
+      }
+    }
+  }
+
+  const json::Value* metrics = doc->find("metrics");
+  if (!metrics || !metrics->is_array()) return std::nullopt;
+  for (const json::Value& m : metrics->array) {
+    const json::Value* name = m.find("name");
+    const json::Value* value = m.find("value");
+    if (!name || !name->is_string() || !value || !value->is_number()) return std::nullopt;
+    const json::Value* unit = m.find("unit");
+    out.metrics.push_back({name->string, value->number,
+                           unit && unit->is_string() ? unit->string : ""});
+  }
+  return out;
+}
+
+std::optional<ParsedReport> load_report(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) text.append(buf, n);
+  std::fclose(f);
+  return parse_report_json(text);
+}
+
+MetricDirection metric_direction(const std::string& name, const std::string& unit) {
+  // Population sizes are workload echoes, not performance — a latency
+  // histogram's /count row must not gate however latency-ish its name is.
+  if (unit == "count" || unit == "total") return MetricDirection::kInformational;
+  if (unit == "x" || unit.find("/s") != std::string::npos)
+    return MetricDirection::kHigherBetter;  // speedups and rates
+  if (unit == "us" || unit == "ms" || unit == "ns" || unit == "s" || unit == "cycles")
+    return MetricDirection::kLowerBetter;
+  // Latency-style names whose unit got genericized (e.g. registry quantiles
+  // serve.latency_us/p99 carry unit "value").
+  const auto suffixed = [&](std::string_view sfx) {
+    const std::size_t pos = name.find(sfx);
+    if (pos == std::string::npos) return false;
+    const std::size_t end = pos + sfx.size();
+    return end == name.size() || name[end] == '/';  // "…_us" or "…_us/p99"
+  };
+  if (suffixed("_us") || suffixed("_ms") || suffixed("_ns"))
+    return MetricDirection::kLowerBetter;
+  return MetricDirection::kInformational;
+}
+
+int CompareResult::regressions() const {
+  int n = 0;
+  for (const MetricDelta& d : deltas) n += d.regressed ? 1 : 0;
+  return n;
+}
+
+CompareResult compare_reports(const ParsedReport& base, const ParsedReport& head,
+                              double threshold) {
+  CompareResult out;
+  out.threshold = threshold;
+
+  if (base.benchmark != head.benchmark) {
+    out.band = CompareBand::kSkip;
+    out.skip_reason = "benchmark mismatch: base='" + base.benchmark + "' head='" +
+                      head.benchmark + "'";
+    return out;
+  }
+  const std::string* base_cpu = base.meta_value("cpu");
+  const std::string* head_cpu = head.meta_value("cpu");
+  if (!base_cpu || !head_cpu) {
+    out.band = CompareBand::kSkip;
+    out.skip_reason = "missing cpu fingerprint in ";
+    out.skip_reason += !base_cpu ? "base" : "head";
+    out.skip_reason += " report (regenerate with a current build)";
+    return out;
+  }
+  if (*base_cpu != *head_cpu) {
+    out.band = CompareBand::kSkip;
+    out.skip_reason =
+        "cpu fingerprint mismatch (base='" + *base_cpu + "' head='" + *head_cpu +
+        "'): cross-machine deltas are noise, not regressions";
+    return out;
+  }
+
+  for (const ReportMetric& b : base.metrics) {
+    const ReportMetric* h = head.find(b.name);
+    MetricDelta d;
+    d.name = b.name;
+    d.unit = b.unit;
+    d.base = b.value;
+    d.direction = metric_direction(b.name, b.unit);
+    if (!h) {
+      d.missing_in_head = true;
+      out.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.head = h->value;
+    d.ratio = b.value != 0.0 ? h->value / b.value : 1.0;
+    if (b.value > 0.0 && std::isfinite(d.ratio)) {
+      if (d.direction == MetricDirection::kHigherBetter)
+        d.regressed = d.ratio < 1.0 - threshold;
+      else if (d.direction == MetricDirection::kLowerBetter)
+        d.regressed = d.ratio > 1.0 + threshold;
+    }
+    out.deltas.push_back(std::move(d));
+  }
+  out.band = out.regressions() > 0 ? CompareBand::kRegression : CompareBand::kOk;
+  return out;
+}
+
+std::string compare_result_to_json(const CompareResult& result,
+                                   std::string_view base_path,
+                                   std::string_view head_path) {
+  const char* band = result.band == CompareBand::kOk         ? "ok"
+                     : result.band == CompareBand::kSkip     ? "skip"
+                                                             : "regression";
+  std::string out = "{\n";
+  out += "  \"band\": \"" + std::string(band) + "\",\n";
+  out += "  \"threshold\": " + detail::json_number(result.threshold) + ",\n";
+  out += "  \"base\": \"" + detail::json_escape(std::string(base_path)) + "\",\n";
+  out += "  \"head\": \"" + detail::json_escape(std::string(head_path)) + "\",\n";
+  if (!result.skip_reason.empty())
+    out += "  \"skip_reason\": \"" + detail::json_escape(result.skip_reason) + "\",\n";
+  out += "  \"regressions\": " + std::to_string(result.regressions()) + ",\n";
+  out += "  \"deltas\": [\n";
+  for (std::size_t i = 0; i < result.deltas.size(); ++i) {
+    const MetricDelta& d = result.deltas[i];
+    const char* dir = d.direction == MetricDirection::kHigherBetter ? "higher_better"
+                      : d.direction == MetricDirection::kLowerBetter ? "lower_better"
+                                                                     : "info";
+    out += "    {\"name\": \"" + detail::json_escape(d.name) +
+           "\", \"unit\": \"" + detail::json_escape(d.unit) +
+           "\", \"base\": " + detail::json_number(d.base) +
+           ", \"head\": " + detail::json_number(d.head) +
+           ", \"ratio\": " + detail::json_number(d.ratio) +
+           ", \"direction\": \"" + dir + "\"" +
+           (d.regressed ? ", \"regressed\": true" : "") +
+           (d.missing_in_head ? ", \"missing_in_head\": true" : "") + "}";
+    out += i + 1 < result.deltas.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace scnn::obs

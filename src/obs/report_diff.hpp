@@ -1,0 +1,84 @@
+// Perf-trajectory comparison of two JsonReport files.
+//
+// Every bench binary writes the same flat BENCH_<name>.json schema
+// (obs::JsonReport), so a regression gate is a pure data problem: parse two
+// reports, align metrics by name, classify each delta by the metric's
+// direction, and band the result the same three-way style as the in-binary
+// bench gates — OK / SKIP (results not comparable, loudly) / REGRESSION.
+// `tools/bench_compare` is a thin CLI over this header; tests drive the
+// functions directly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scnn::obs {
+
+struct ReportMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// A BENCH_*.json read back into memory. Meta values are kept as display
+/// strings (numbers re-rendered) since comparison only needs equality.
+struct ParsedReport {
+  std::string benchmark;
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<ReportMetric> metrics;
+
+  [[nodiscard]] const std::string* meta_value(std::string_view key) const;
+  [[nodiscard]] const ReportMetric* find(std::string_view name) const;
+};
+
+[[nodiscard]] std::optional<ParsedReport> parse_report_json(std::string_view text);
+[[nodiscard]] std::optional<ParsedReport> load_report(const std::string& path);
+
+/// Which way "better" points for a metric. Inferred from the unit first
+/// (rates are higher-better; time units are lower-better) and the name as a
+/// fallback (`*_us`/`*_ms`/`*_ns` suffixed names, e.g. latency quantiles,
+/// are lower-better). Everything else — counts, config echoes, bucket
+/// tallies — is informational and never gates.
+enum class MetricDirection { kHigherBetter, kLowerBetter, kInformational };
+
+[[nodiscard]] MetricDirection metric_direction(const std::string& name,
+                                               const std::string& unit);
+
+enum class CompareBand { kOk, kSkip, kRegression };
+
+struct MetricDelta {
+  std::string name;
+  std::string unit;
+  double base = 0.0;
+  double head = 0.0;
+  double ratio = 1.0;  ///< head / base (1.0 when base == 0)
+  MetricDirection direction = MetricDirection::kInformational;
+  bool regressed = false;
+  bool missing_in_head = false;  ///< metric disappeared (informational)
+};
+
+struct CompareResult {
+  CompareBand band = CompareBand::kOk;
+  std::string skip_reason;  ///< set iff band == kSkip
+  double threshold = 0.0;
+  std::vector<MetricDelta> deltas;
+
+  [[nodiscard]] int regressions() const;
+};
+
+/// Compare head against base with a relative regression threshold (0.10 =
+/// 10%). SKIP (never FAIL) when the reports are not comparable: different
+/// benchmark names, or a missing/differing "cpu" hardware fingerprint —
+/// cross-machine numbers are noise, not regressions.
+[[nodiscard]] CompareResult compare_reports(const ParsedReport& base,
+                                            const ParsedReport& head,
+                                            double threshold);
+
+/// Render a CompareResult as a JSON artifact (for CI upload).
+[[nodiscard]] std::string compare_result_to_json(const CompareResult& result,
+                                                 std::string_view base_path,
+                                                 std::string_view head_path);
+
+}  // namespace scnn::obs

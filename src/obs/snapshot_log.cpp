@@ -1,0 +1,75 @@
+#include "obs/snapshot_log.hpp"
+
+#include "obs/report.hpp"
+
+namespace scnn::obs {
+
+SnapshotLogger::SnapshotLogger(const Registry& registry, const std::string& path,
+                               int interval_ms)
+    : registry_(registry),
+      file_(std::fopen(path.c_str(), "a")),
+      interval_ms_(interval_ms < 1 ? 1 : interval_ms),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (!file_) {
+    std::fprintf(stderr, "SnapshotLogger: cannot open %s for appending\n", path.c_str());
+    stopped_ = true;
+    return;
+  }
+  thread_ = std::thread([this] { run_(); });
+}
+
+SnapshotLogger::~SnapshotLogger() { stop(); }
+
+std::string SnapshotLogger::snapshot_line(const Registry& registry, std::uint64_t seq,
+                                          double ts_ms) {
+  std::string out = "{\"ts_ms\": " + detail::json_number(ts_ms) +
+                    ", \"seq\": " + std::to_string(seq) + ", \"metrics\": {";
+  bool first = true;
+  for (const FlatMetric& m : flatten_registry(registry)) {
+    out += first ? "" : ", ";
+    out += "\"" + detail::json_escape(m.name) + "\": " + detail::json_number(m.value);
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void SnapshotLogger::append_line_() {
+  const double ts_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - epoch_)
+                           .count();
+  const std::string line = snapshot_line(registry_, ++seq_, ts_ms);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);  // soak runs read the file while the server lives
+}
+
+void SnapshotLogger::run_() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stopping_; }))
+      break;
+    lock.unlock();
+    append_line_();
+    lock.lock();
+  }
+}
+
+void SnapshotLogger::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (file_) {
+    append_line_();  // final state, after the thread is gone
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace scnn::obs

@@ -1,0 +1,65 @@
+// Periodic metrics time series: one JSON line per tick.
+//
+// `scnn_cli serve --metrics-out=` snapshots the registry once, at exit —
+// useless for a soak run where the interesting question is how queue depth,
+// latency quantiles, and flush reasons evolve over hours. SnapshotLogger
+// appends a flattened registry snapshot to a JSON-lines file every
+// `interval_ms` from a background thread:
+//
+//   {"ts_ms": 1042.7, "seq": 3, "metrics": {"serve.completed": 812, ...}}
+//
+// Counters are cumulative (monotonic line over line); gauges and histogram
+// aggregates are instantaneous. stop() (or destruction) takes one final
+// snapshot so the last line always reflects the end state.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace scnn::obs {
+
+class SnapshotLogger {
+ public:
+  /// Starts the appender thread. The registry must outlive the logger.
+  SnapshotLogger(const Registry& registry, const std::string& path, int interval_ms);
+  ~SnapshotLogger();
+
+  SnapshotLogger(const SnapshotLogger&) = delete;
+  SnapshotLogger& operator=(const SnapshotLogger&) = delete;
+
+  /// False when the output file could not be opened (logger is inert).
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  /// Join the thread, write the final line, close the file. Idempotent.
+  void stop();
+
+  /// Render one snapshot line (no trailing newline) — the exact format the
+  /// logger appends, exposed so tests can pin it down.
+  [[nodiscard]] static std::string snapshot_line(const Registry& registry,
+                                                 std::uint64_t seq, double ts_ms);
+
+ private:
+  void run_();
+  void append_line_();
+
+  const Registry& registry_;
+  std::FILE* file_ = nullptr;
+  int interval_ms_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t seq_ = 0;  // writer-thread only (plus stop() after join)
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace scnn::obs

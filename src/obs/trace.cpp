@@ -79,6 +79,19 @@ bool Tracer::write_trace_event_json(const std::string& path,
   return true;
 }
 
+namespace {
+thread_local TraceContext g_trace_context;
+}  // namespace
+
+const TraceContext& trace_context() { return g_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t batch_id, int tid)
+    : prev_(g_trace_context) {
+  g_trace_context = TraceContext{.batch_id = batch_id, .tid = tid, .active = true};
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_trace_context = prev_; }
+
 ScopedTimer::~ScopedTimer() {
   if (!tracer_) return;
   tracer_->record(std::move(name_), t0_, Clock::now(), std::move(args_), tid_);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -59,6 +60,40 @@ class Tracer {
   Clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<TraceSpan> spans_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace-context propagation
+// ---------------------------------------------------------------------------
+//
+// A serving request crosses layers that do not know about each other: the
+// admission queue, the batch-forming worker, and Network::forward. The
+// TraceContext is the thread-local bridge — the worker activates it with the
+// batch id and its timeline row before running the forward, and
+// Network::forward_instrumented_ picks it up so per-layer spans land on the
+// worker's row carrying the batch id, correlating them with the serving
+// spans without any API change through the inference stack.
+
+struct TraceContext {
+  std::uint64_t batch_id = 0;  ///< correlates with serve batch/request spans
+  int tid = 0;                 ///< timeline row for spans recorded under this context
+  bool active = false;
+};
+
+/// The calling thread's current context (inactive by default).
+[[nodiscard]] const TraceContext& trace_context();
+
+/// RAII activation: installs {batch_id, tid} for the current thread and
+/// restores the previous context on destruction (contexts nest).
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(std::uint64_t batch_id, int tid);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
 };
 
 /// RAII span: starts timing at construction, records into the tracer at

@@ -65,21 +65,35 @@ void ServerOptions::validate() const {
   if (default_deadline_us < 0)
     fail("default_deadline_us = " + std::to_string(default_deadline_us) +
          " must be >= 0 (0 = no deadline)");
+  if (flight_capacity < 1 || flight_capacity > kMaxFlightCapacity)
+    fail("flight_capacity = " + std::to_string(flight_capacity) +
+         " out of range [1, " + std::to_string(kMaxFlightCapacity) + "]");
+  if (reject_burst < 0)
+    fail("reject_burst = " + std::to_string(reject_burst) +
+         " must be >= 0 (0 = no burst dump)");
   if (engine) engine->validate();
 }
 
 Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
                std::span<const float> params, const nn::Tensor* calibration)
     : opts_(validated(opts)),
+      // Workers own flight shards [0, workers); submitter threads hash onto
+      // four extra tail shards so admission events never contend with batch
+      // events for a ring cursor.
+      flight_(opts_.flight_recorder
+                  ? std::make_unique<obs::FlightRecorder>(opts_.workers + 4,
+                                                          opts_.flight_capacity)
+                  : nullptr),
       submitted_(registry_.counter("serve.submitted")),
       completed_(registry_.counter("serve.completed")),
       rejected_(registry_.counter("serve.rejected")),
       timed_out_(registry_.counter("serve.timed_out")),
       batches_(registry_.counter("serve.batches")),
       queue_depth_gauge_(registry_.gauge("serve.queue_depth")),
-      batch_size_hist_(registry_.histogram("serve.batch_size")),
-      latency_us_hist_(registry_.histogram("serve.latency_us")),
-      queue_us_hist_(registry_.histogram("serve.queue_us")),
+      queue_depth_peak_(registry_.gauge("serve.queue_depth_peak")),
+      batch_size_hist_(registry_.latency_histogram("serve.batch_size")),
+      latency_us_hist_(registry_.latency_histogram("serve.latency_us")),
+      queue_us_hist_(registry_.latency_histogram("serve.queue_us")),
       paused_(opts_.start_paused) {
   sessions_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i) {
@@ -93,6 +107,17 @@ Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
       cfg.threads = opts_.session_threads;
       cfg.instrument = false;  // serving metrics live in the server registry
       session->set_engine(cfg);
+    }
+    if (opts_.trace) {
+      // After set_engine: set_engine re-applies cfg.instrument (= false),
+      // which clears any network-level instrumentation. Tracer only — the
+      // per-layer metrics sink stays off so MacStats/metrics are untouched.
+      session->network().set_instrumentation(&tracer_, nullptr);
+    }
+    if (flight_) {
+      const nn::MacEngine::Description desc = session->backend();
+      flight_->record(i, obs::FlightEventKind::kConfig, i, 0, 0,
+                      static_cast<std::uint64_t>(desc.lanes), 0, desc.backend);
     }
     sessions_.push_back(std::move(session));
   }
@@ -111,6 +136,10 @@ Server::~Server() {
   }
 }
 
+int Server::submit_flight_shard_() const {
+  return opts_.workers + (registry_.this_shard() & 3);
+}
+
 Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us) {
   if (input.n() != 1)
     throw std::invalid_argument("serve::Server::submit: input.n() = " +
@@ -120,8 +149,10 @@ Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us) {
   std::promise<Response> promise;
   std::future<Response> fut = promise.get_future();
   const Clock::time_point now = Clock::now();
+  const std::uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
 
   std::optional<Status> reject;
+  std::size_t depth_after = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
     // Shape validation comes before the load-dependent checks so a
@@ -148,22 +179,43 @@ Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us) {
       }
       Request req;
       req.input = input;
+      req.id = id;
       req.enqueued = now;
       req.has_deadline = deadline_us > 0;
       if (req.has_deadline) req.deadline = now + std::chrono::microseconds(deadline_us);
       req.promise = std::move(promise);
       queue_.push_back(std::move(req));
-      queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+      depth_after = queue_.size();
+      queue_depth_gauge_.set(static_cast<double>(depth_after));
+      queue_depth_peak_.max(static_cast<double>(depth_after));
       submitted_.inc(registry_.this_shard());
     }
   }
 
   if (reject) {
     rejected_.inc(registry_.this_shard());
+    if (flight_) {
+      flight_->record(submit_flight_shard_(), obs::FlightEventKind::kReject, -1, id, 0,
+                      static_cast<std::uint64_t>(*reject), 0, to_string(*reject));
+      // Overload forensics: a sustained run of rejections dumps the ring
+      // once, capturing the admission pattern that led into the burst.
+      const int streak = reject_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opts_.reject_burst > 0 && streak >= opts_.reject_burst &&
+          !burst_dumped_.exchange(true, std::memory_order_relaxed)) {
+        flight_->dump(opts_.flight_dump_prefix + "_overload.json",
+                      "reject burst: " + std::to_string(streak) +
+                          " consecutive rejections");
+      }
+    }
     Response r;
     r.status = *reject;
+    r.request_id = id;
     promise.set_value(std::move(r));
   } else {
+    reject_streak_.store(0, std::memory_order_relaxed);
+    if (flight_)
+      flight_->record(submit_flight_shard_(), obs::FlightEventKind::kAdmit, -1, id, 0,
+                      static_cast<std::uint64_t>(depth_after));
     work_cv_.notify_one();
   }
   return Ticket(std::move(fut));
@@ -205,20 +257,39 @@ void Server::drain() {
   for (auto& f : done) f.get();  // surfaces the first worker-loop exception
 }
 
+std::string Server::dump_flight(const std::string& path,
+                                std::string_view reason) const {
+  if (!flight_) return "";
+  return flight_->dump(path, reason);
+}
+
 std::optional<Server::Request> Server::pop_live_locked_(int worker,
+                                                        std::uint64_t batch_id,
                                                         Clock::time_point now) {
   Request req = std::move(queue_.front());
   queue_.pop_front();
   queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+  req.popped = now;
   if (req.has_deadline && now > req.deadline) {
     timed_out_.inc(worker);
     Response r;
     r.status = Status::kTimedOut;
+    r.request_id = req.id;
     r.queue_us = micros(now - req.enqueued);
     r.total_us = r.queue_us;
+    if (flight_)
+      flight_->record(worker, obs::FlightEventKind::kDeadlineExpired, worker, req.id,
+                      batch_id, static_cast<std::uint64_t>(r.queue_us));
+    if (opts_.trace)
+      tracer_.record("queue", req.enqueued, now,
+                     {{"request_id", static_cast<double>(req.id)},
+                      {"timed_out", 1.0}},
+                     0);
     req.promise.set_value(std::move(r));
     return std::nullopt;
   }
+  if (flight_)
+    flight_->record(worker, obs::FlightEventKind::kPop, worker, req.id, batch_id);
   return req;
 }
 
@@ -234,21 +305,35 @@ void Server::worker_loop_(int worker) {
     // Open a batch with the first live request, then keep filling it until
     // it is full or max_delay_us has elapsed since it opened. While we
     // wait, submit() wakes us; during drain the flush is immediate.
+    const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
     std::vector<Request> batch;
     batch.reserve(static_cast<std::size_t>(opts_.max_batch));
     const Clock::time_point opened = Clock::now();
     const Clock::time_point flush_at =
         opened + std::chrono::microseconds(opts_.max_delay_us);
+    bool window_elapsed = false;
     while (static_cast<int>(batch.size()) < opts_.max_batch) {
       if (!queue_.empty()) {
-        if (auto req = pop_live_locked_(worker, Clock::now()))
+        if (auto req = pop_live_locked_(worker, batch_id, Clock::now()))
           batch.push_back(std::move(*req));
         continue;
       }
       if (batch.empty() || stopping_ || opts_.max_delay_us == 0) break;
       const bool woke = work_cv_.wait_until(
           lk, flush_at, [&] { return !queue_.empty() || stopping_; });
-      if (!woke) break;  // flush window elapsed
+      if (!woke) {
+        window_elapsed = true;
+        break;  // flush window elapsed
+      }
+    }
+    if (flight_ && !batch.empty()) {
+      const auto reason = static_cast<int>(batch.size()) >= opts_.max_batch
+                              ? obs::FlushReason::kFull
+                          : stopping_         ? obs::FlushReason::kStopping
+                          : window_elapsed    ? obs::FlushReason::kDelay
+                                              : obs::FlushReason::kImmediate;
+      flight_->record(worker, obs::FlightEventKind::kFlush, worker, 0, batch_id,
+                      static_cast<std::uint64_t>(reason), batch.size());
     }
     if (batch.empty()) {
       // Everything popped had expired. That pop may have just emptied the
@@ -261,16 +346,21 @@ void Server::worker_loop_(int worker) {
 
     in_flight_ += static_cast<int>(batch.size());
     lk.unlock();
-    run_batch_(worker, batch);
+    run_batch_(worker, batch_id, batch);
     lk.lock();
     in_flight_ -= static_cast<int>(batch.size());
     if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
   }
 }
 
-void Server::run_batch_(int worker, std::vector<Request>& batch) {
+void Server::run_batch_(int worker, std::uint64_t batch_id,
+                        std::vector<Request>& batch) {
   nn::InferenceSession& session = *sessions_[static_cast<std::size_t>(worker)];
   const int b = static_cast<int>(batch.size());
+  const int trace_tid = worker + 1;  // row 0 is the admission timeline
+  if (flight_)
+    flight_->record(worker, obs::FlightEventKind::kBatchStart, worker, 0, batch_id,
+                    static_cast<std::uint64_t>(b));
   const Clock::time_point t0 = Clock::now();
   nn::Tensor logits;
   std::string error;
@@ -281,7 +371,14 @@ void Server::run_batch_(int worker, std::vector<Request>& batch) {
       const auto src = batch[static_cast<std::size_t>(i)].input.sample(0);
       std::copy(src.begin(), src.end(), input.sample(i).begin());
     }
-    logits = session.forward(input);
+    if (opts_.trace) {
+      // Per-layer spans recorded inside this forward inherit the worker's
+      // timeline row and the batch id through the thread-local context.
+      const obs::ScopedTraceContext ctx(batch_id, trace_tid);
+      logits = session.forward(input);
+    } else {
+      logits = session.forward(input);
+    }
   } catch (const std::exception& e) {
     error = e.what();
   } catch (...) {
@@ -290,17 +387,31 @@ void Server::run_batch_(int worker, std::vector<Request>& batch) {
   const Clock::time_point t1 = Clock::now();
   const double run_us = micros(t1 - t0);
 
+  if (flight_) {
+    if (!error.empty())
+      flight_->record(worker, obs::FlightEventKind::kWorkerException, worker, 0,
+                      batch_id, static_cast<std::uint64_t>(b), 0, error);
+    else
+      flight_->record(worker, obs::FlightEventKind::kBatchDone, worker, 0, batch_id,
+                      static_cast<std::uint64_t>(b),
+                      static_cast<std::uint64_t>(run_us));
+  }
+
   batches_.inc(worker);
   batch_size_hist_.record(static_cast<std::uint64_t>(b), worker);
   for (int i = 0; i < b; ++i) {
     Request& req = batch[static_cast<std::size_t>(i)];
     Response r;
     r.batch_size = b;
+    r.request_id = req.id;
     r.queue_us = micros(t0 - req.enqueued);
     r.run_us = run_us;
     if (!error.empty()) {
       r.status = Status::kError;
       r.error = error;
+      if (flight_)
+        flight_->record(worker, obs::FlightEventKind::kResolveError, worker, req.id,
+                        batch_id);
     } else {
       r.status = Status::kOk;
       r.logits = nn::Tensor(1, logits.c(), logits.h(), logits.w());
@@ -310,11 +421,41 @@ void Server::run_batch_(int worker, std::vector<Request>& batch) {
       completed_.inc(worker);
       queue_us_hist_.record(static_cast<std::uint64_t>(r.queue_us), worker);
     }
-    r.total_us = micros(Clock::now() - req.enqueued);
+    const Clock::time_point resolved = Clock::now();
+    r.total_us = micros(resolved - req.enqueued);
     if (r.status == Status::kOk)
       latency_us_hist_.record(static_cast<std::uint64_t>(r.total_us), worker);
+    if (opts_.trace) {
+      // The request's span tree: queue (admission row) -> batch_wait ->
+      // request envelope on the worker row, all carrying request_id +
+      // batch_id so a trace viewer (or the serve_test parser) can stitch
+      // them to the batch/run/per-layer spans below.
+      const std::vector<obs::TraceArg> ids{
+          {"request_id", static_cast<double>(req.id)},
+          {"batch_id", static_cast<double>(batch_id)}};
+      tracer_.record("queue", req.enqueued, req.popped, ids, 0);
+      tracer_.record("batch_wait", req.popped, t0, ids, trace_tid);
+      tracer_.record("request", req.enqueued, resolved, ids, trace_tid);
+    }
     req.promise.set_value(std::move(r));
   }
+  if (opts_.trace) {
+    tracer_.record("run", t0, t1,
+                   {{"batch_id", static_cast<double>(batch_id)},
+                    {"size", static_cast<double>(b)}},
+                   trace_tid);
+    tracer_.record("batch", batch.front().popped, t1,
+                   {{"batch_id", static_cast<double>(batch_id)},
+                    {"size", static_cast<double>(b)}},
+                   trace_tid);
+  }
+
+  // Forensics: a batch-forward exception dumps the ring immediately, naming
+  // the failing batch's requests via the kResolveError events above.
+  if (flight_ && !error.empty())
+    flight_->dump(opts_.flight_dump_prefix + "_error_w" + std::to_string(worker) +
+                      ".json",
+                  "worker exception: " + error);
 }
 
 }  // namespace scnn::serve

@@ -26,13 +26,31 @@
 //  - drain(): stops admission, completes every admitted request (timed-out
 //    ones as kTimedOut), then joins the workers. The destructor drains.
 //
-// Observability: the server owns an obs::Registry — serve.queue_depth gauge,
-// serve.batch_size / serve.latency_us / serve.queue_us pow2 histograms, and
-// serve.{submitted,completed,rejected,timed_out,batches} counters — so
-// BENCH_serve.json and `scnn_cli serve --metrics-out` join the existing
-// report family.
+// Observability (request-scoped, four layers):
+//  - Metrics: the server owns an obs::Registry — serve.queue_depth /
+//    serve.queue_depth_peak gauges, serve.batch_size / serve.latency_us /
+//    serve.queue_us quantile histograms (p50/p90/p99/p999), and
+//    serve.{submitted,completed,rejected,timed_out,batches} counters — so
+//    BENCH_serve.json and `scnn_cli serve --metrics-out` join the existing
+//    report family.
+//  - Traces (opt-in, options().trace): submit() mints a monotonic request
+//    id; the server's obs::Tracer records an id-correlated span tree per
+//    request — request / queue / batch_wait on top of per-batch batch / run
+//    spans — and attaches itself to every shard's Network so per-layer spans
+//    land on the same worker timeline row carrying the batch id (see
+//    obs::TraceContext). Tracing off is the default and leaves the forward
+//    path exactly as uninstrumented: logits and MacStats are bit-identical.
+//  - Flight recorder (on by default, options().flight_recorder): every
+//    admission, rejection, deadline expiry, pop, flush, batch start/end, and
+//    worker exception lands in a lock-free obs::FlightRecorder ring. The
+//    server dumps it to a stamped JSON file automatically on a batch-forward
+//    exception or a sustained reject burst, and on demand via dump_flight()
+//    (`scnn_cli serve --dump-flight=`).
+//  - Trajectory: BENCH_serve.json carries the quantiles + hardware
+//    fingerprint that tools/bench_compare diffs PR-over-PR.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -44,12 +62,15 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "nn/inference_session.hpp"
 #include "nn/tensor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scnn::serve {
 
@@ -68,6 +89,8 @@ enum class Status {
 /// What a Ticket resolves to.
 struct Response {
   Status status = Status::kOk;
+  std::uint64_t request_id = 0;  ///< minted at submit(); correlates traces,
+                                 ///< flight events, and this response
   nn::Tensor logits;       ///< n() == 1; empty unless status == kOk
   int predicted = -1;      ///< argmax over logits (kOk only)
   int batch_size = 0;      ///< size of the micro-batch this request ran in
@@ -111,9 +134,26 @@ struct ServerOptions {
                               ///< tests use this to stage deterministic
                               ///< overload / deadline-expiry states
 
+  /// Record the per-request span tree (and per-layer spans) into tracer().
+  /// Off by default: the traced and untraced forward paths produce
+  /// bit-identical logits, but span capture itself costs allocations.
+  bool trace = false;
+  /// Keep the lock-free forensic event ring (see obs::FlightRecorder). On by
+  /// default — it is the layer that must already be running when something
+  /// goes wrong, and bench_serve pins its cost below 2% throughput.
+  bool flight_recorder = true;
+  int flight_capacity = 256;  ///< ring slots per recorder shard
+  /// Auto-dump the flight ring after this many consecutive rejected
+  /// submissions (overload forensics); 0 disables the burst trigger.
+  int reject_burst = 0;
+  /// Filename prefix for automatic dumps: <prefix>_error_w<worker>.json on a
+  /// batch-forward exception, <prefix>_overload.json on a reject burst.
+  std::string flight_dump_prefix = "flight";
+
   static constexpr int kMaxWorkers = 256;
   static constexpr int kMaxBatch = 4096;
   static constexpr int kMaxQueueCapacity = 1 << 20;
+  static constexpr int kMaxFlightCapacity = 1 << 16;
 
   void validate() const;
 };
@@ -167,12 +207,27 @@ class Server {
   /// Serving metrics (see the header comment for the metric names).
   [[nodiscard]] obs::Registry& metrics() { return registry_; }
 
+  /// Per-request / per-layer span capture; empty unless options().trace.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+
+  /// The forensic event ring; nullptr when options().flight_recorder is off.
+  [[nodiscard]] const obs::FlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
+
+  /// Dump the flight ring to `path` (stamped JSON). Returns the written
+  /// path, or "" when the recorder is disabled or the file can't be opened.
+  std::string dump_flight(const std::string& path,
+                          std::string_view reason = "manual dump") const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
   struct Request {
     nn::Tensor input;  // n() == 1
+    std::uint64_t id = 0;
     Clock::time_point enqueued;
+    Clock::time_point popped;    // set when a worker takes it into a batch
     Clock::time_point deadline;  // only meaningful when has_deadline
     bool has_deadline = false;
     std::promise<Response> promise;
@@ -181,22 +236,34 @@ class Server {
   void worker_loop_(int worker);
   /// Pop the front request; expired ones resolve kTimedOut and yield
   /// nullopt. Caller holds mu_.
-  std::optional<Request> pop_live_locked_(int worker, Clock::time_point now);
-  void run_batch_(int worker, std::vector<Request>& batch);
+  std::optional<Request> pop_live_locked_(int worker, std::uint64_t batch_id,
+                                          Clock::time_point now);
+  void run_batch_(int worker, std::uint64_t batch_id, std::vector<Request>& batch);
+  /// Shard index for submit-path flight events (workers own shards
+  /// [0, workers); submitters hash onto the tail shards).
+  [[nodiscard]] int submit_flight_shard_() const;
 
   ServerOptions opts_;
   std::vector<std::unique_ptr<nn::InferenceSession>> sessions_;
 
   obs::Registry registry_;
+  obs::Tracer tracer_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
   obs::Counter& submitted_;
   obs::Counter& completed_;
   obs::Counter& rejected_;
   obs::Counter& timed_out_;
   obs::Counter& batches_;
   obs::Gauge& queue_depth_gauge_;
-  obs::Histogram& batch_size_hist_;
-  obs::Histogram& latency_us_hist_;
-  obs::Histogram& queue_us_hist_;
+  obs::Gauge& queue_depth_peak_;
+  obs::LatencyHistogram& batch_size_hist_;
+  obs::LatencyHistogram& latency_us_hist_;
+  obs::LatencyHistogram& queue_us_hist_;
+
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::uint64_t> next_batch_id_{1};
+  std::atomic<int> reject_streak_{0};
+  std::atomic<bool> burst_dumped_{false};
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: work available / state change

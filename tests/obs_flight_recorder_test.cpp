@@ -1,0 +1,119 @@
+// Unit tests of the lock-free flight recorder: slot round-trip, detail
+// truncation, ring wrap-around, cross-shard sequence ordering, and the
+// stamped JSON dump (validated through the obs JSON parser — the same path
+// serve_test uses on real crash dumps).
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace scnn::obs {
+namespace {
+
+TEST(FlightRecorder, KindNamesCoverEveryKind) {
+  for (int k = 0; k <= 9; ++k) {
+    const auto kind = static_cast<FlightEventKind>(k);
+    EXPECT_STRNE(flight_event_kind_name(kind), "unknown") << k;
+  }
+  EXPECT_STREQ(flight_event_kind_name(FlightEventKind::kWorkerException),
+               "worker_exception");
+  EXPECT_STREQ(flight_event_kind_name(FlightEventKind::kFlush), "flush");
+}
+
+TEST(FlightRecorder, EventRoundTripsThroughASlot) {
+  FlightRecorder rec(/*shards=*/1, /*capacity=*/8);
+  rec.record(0, FlightEventKind::kBatchDone, /*worker=*/2, /*request_id=*/41,
+             /*batch_id=*/7, /*arg0=*/4, /*arg1=*/1234, "all good");
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const FlightEvent& e = events[0];
+  EXPECT_EQ(e.kind, FlightEventKind::kBatchDone);
+  EXPECT_EQ(e.seq, 1u);
+  EXPECT_EQ(e.worker, 2);
+  EXPECT_EQ(e.request_id, 41u);
+  EXPECT_EQ(e.batch_id, 7u);
+  EXPECT_EQ(e.arg0, 4u);
+  EXPECT_EQ(e.arg1, 1234u);
+  EXPECT_STREQ(e.detail, "all good");
+  EXPECT_EQ(rec.recorded(), 1u);
+}
+
+TEST(FlightRecorder, DetailIsTruncatedNotOverrun) {
+  FlightRecorder rec(1, 4);
+  const std::string longish(100, 'x');
+  rec.record(0, FlightEventKind::kWorkerException, 0, 0, 0, 0, 0, longish);
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  // 40-byte field keeps 39 chars + NUL.
+  EXPECT_EQ(std::string(events[0].detail), std::string(39, 'x'));
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheNewestEvents) {
+  FlightRecorder rec(1, /*capacity=*/4);
+  for (std::uint64_t i = 1; i <= 10; ++i)
+    rec.record(0, FlightEventKind::kAdmit, -1, /*request_id=*/i);
+  EXPECT_EQ(rec.recorded(), 10u);
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);  // ring holds only the last lap
+  // Newest 4 events, in capture order.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 7u + i);
+    EXPECT_EQ(events[i].request_id, 7u + i);
+  }
+}
+
+TEST(FlightRecorder, SnapshotMergesShardsInSequenceOrder) {
+  FlightRecorder rec(/*shards=*/3, /*capacity=*/8);
+  // Interleave shards; the global seq must still come back sorted.
+  rec.record(2, FlightEventKind::kAdmit, -1, 1);
+  rec.record(0, FlightEventKind::kPop, 0, 1);
+  rec.record(1, FlightEventKind::kFlush, 0, 0, 1);
+  rec.record(0, FlightEventKind::kBatchStart, 0, 0, 1);
+  const std::vector<FlightEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) EXPECT_EQ(events[i].seq, i + 1);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kAdmit);
+  EXPECT_EQ(events[3].kind, FlightEventKind::kBatchStart);
+}
+
+TEST(FlightRecorder, ToJsonIsParsableAndStamped) {
+  FlightRecorder rec(2, 8);
+  rec.record(0, FlightEventKind::kConfig, 0, 0, 0, 16, 0, "backend=avx2");
+  rec.record(1, FlightEventKind::kReject, -1, 9, 0, 1, 0, "queue full");
+  const std::optional<json::Value> doc = json::parse(rec.to_json("unit test"));
+  ASSERT_TRUE(doc && doc->is_object());
+  EXPECT_EQ(doc->find("reason")->string, "unit test");
+  EXPECT_EQ(doc->find("shards")->number, 2.0);
+  EXPECT_EQ(doc->find("capacity")->number, 8.0);
+  EXPECT_EQ(doc->find("recorded")->number, 2.0);
+  ASSERT_NE(doc->find("git_sha"), nullptr);
+  ASSERT_NE(doc->find("dumped_at"), nullptr);
+  const json::Value* events = doc->find("events");
+  ASSERT_TRUE(events && events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  EXPECT_EQ(events->array[0].find("kind")->string, "config");
+  EXPECT_EQ(events->array[0].find("detail")->string, "backend=avx2");
+  EXPECT_EQ(events->array[1].find("kind")->string, "reject");
+  EXPECT_EQ(events->array[1].find("request_id")->number, 9.0);
+}
+
+TEST(FlightRecorder, DumpWritesFileAndFailsLoudlyOnBadPath) {
+  FlightRecorder rec(1, 4);
+  rec.record(0, FlightEventKind::kAdmit, -1, 1);
+  const std::string path = "flight_recorder_test_dump.json";
+  EXPECT_EQ(rec.dump(path, "test"), path);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(rec.dump("no/such/dir/flight.json", "test"), "");
+}
+
+}  // namespace
+}  // namespace scnn::obs

@@ -1,0 +1,99 @@
+// Unit tests of the minimal JSON parser the observability tooling reads its
+// own artifacts back with (trace exports, flight dumps, BENCH reports,
+// snapshot lines). Strictness matters more than features here: anything the
+// parser accepts, bench_compare and the test suite will trust.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+namespace scnn::obs::json {
+namespace {
+
+TEST(ObsJson, ParsesScalars) {
+  EXPECT_EQ(parse("true")->kind, Kind::kBool);
+  EXPECT_TRUE(parse("true")->boolean);
+  EXPECT_FALSE(parse("false")->boolean);
+  EXPECT_EQ(parse("null")->kind, Kind::kNull);
+  EXPECT_DOUBLE_EQ(parse("42")->number, 42.0);
+  EXPECT_DOUBLE_EQ(parse("-1.5e3")->number, -1500.0);
+  EXPECT_DOUBLE_EQ(parse("0.125")->number, 0.125);
+  EXPECT_EQ(parse("\"hi\"")->string, "hi");
+}
+
+TEST(ObsJson, ParsesNestedStructures) {
+  const std::optional<Value> doc =
+      parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": -0.5})");
+  ASSERT_TRUE(doc && doc->is_object());
+  const Value* a = doc->find("a");
+  ASSERT_TRUE(a && a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+  EXPECT_EQ(a->array[2].find("b")->string, "c");
+  EXPECT_EQ(doc->find("d")->find("e")->kind, Kind::kNull);
+  EXPECT_DOUBLE_EQ(doc->find("f")->number, -0.5);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(ObsJson, ObjectKeysKeepInsertionOrder) {
+  const std::optional<Value> doc = parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->object.size(), 3u);
+  EXPECT_EQ(doc->object[0].first, "z");
+  EXPECT_EQ(doc->object[1].first, "a");
+  EXPECT_EQ(doc->object[2].first, "m");
+}
+
+TEST(ObsJson, DecodesStringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d")")->string, "a\"b\\c/d");
+  EXPECT_EQ(parse(R"("line\nbreak\ttab")")->string, "line\nbreak\ttab");
+  // \u00e9 decodes to the two-byte UTF-8 sequence for e-acute.
+  EXPECT_EQ(parse("\"A\\u00e9A\"")->string, "A\xc3\xa9"
+                                            "A");
+  EXPECT_EQ(parse("\"\\u0041\"")->string, "A");
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  EXPECT_FALSE(parse("").has_value());
+  EXPECT_FALSE(parse("{").has_value());
+  EXPECT_FALSE(parse("[1, 2").has_value());
+  EXPECT_FALSE(parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(parse("{'a': 1}").has_value());  // single quotes
+  EXPECT_FALSE(parse("\"unterminated").has_value());
+  EXPECT_FALSE(parse("truth").has_value());
+  EXPECT_FALSE(parse("1 2").has_value());        // trailing garbage
+  EXPECT_FALSE(parse("{\"a\": 1} x").has_value());
+}
+
+TEST(ObsJson, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(parse(deep).has_value());  // over kMaxDepth
+  std::string ok;
+  for (int i = 0; i < 20; ++i) ok += "[";
+  ok += "1";
+  for (int i = 0; i < 20; ++i) ok += "]";
+  EXPECT_TRUE(parse(ok).has_value());
+}
+
+TEST(ObsJson, ParsesARealisticTraceDocument) {
+  const std::optional<Value> doc = parse(R"({
+    "traceEvents": [
+      {"name": "conv1 #0", "ph": "X", "ts": 12.5, "dur": 830.1, "pid": 1,
+       "tid": 2, "args": {"products": 1204224, "batch_id": 7}}
+    ],
+    "displayTimeUnit": "ms"
+  })");
+  ASSERT_TRUE(doc.has_value());
+  const Value* events = doc->find("traceEvents");
+  ASSERT_TRUE(events && events->is_array());
+  const Value& e = events->array[0];
+  EXPECT_EQ(e.find("name")->string, "conv1 #0");
+  EXPECT_DOUBLE_EQ(e.find("args")->find("batch_id")->number, 7.0);
+}
+
+}  // namespace
+}  // namespace scnn::obs::json

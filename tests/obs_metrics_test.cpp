@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 
@@ -89,6 +91,42 @@ TEST(Gauge, LastWriteWins) {
   EXPECT_EQ(g.get(), 0.0);
 }
 
+TEST(Gauge, AddAccumulatesAndMaxKeepsHighWaterMark) {
+  Gauge g;
+  g.add(2.0);
+  g.add(3.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.get(), 4.5);
+
+  Gauge peak;
+  peak.max(3.0);
+  peak.max(1.0);  // lower value must not regress the mark
+  EXPECT_EQ(peak.get(), 3.0);
+  peak.max(7.0);
+  EXPECT_EQ(peak.get(), 7.0);
+}
+
+// The set-vs-merge contract under contention: add() totals exactly however
+// the adders interleave; max() can never under-report; a plain set() race
+// keeps only one writer's value (which is why high-water marks must not be
+// built from set()).
+TEST(Gauge, AddAndMaxAreOrderIndependentUnderConcurrency) {
+  Gauge sum, peak;
+  constexpr int kThreads = 8, kPerThread = 1000;
+  {
+    common::ThreadPool pool(kThreads);
+    common::parallel_for(&pool, kThreads * kPerThread,
+                         [&](std::int64_t lo, std::int64_t hi, int) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             sum.add(1.0);
+                             peak.max(static_cast<double>(i));
+                           }
+                         });
+  }
+  EXPECT_EQ(sum.get(), static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(peak.get(), static_cast<double>(kThreads * kPerThread - 1));
+}
+
 TEST(Histogram, SnapshotMatchesPlainHist) {
   Histogram h(4);
   Pow2Hist plain;
@@ -113,6 +151,127 @@ TEST(Histogram, RecordHistBulkMerge) {
   Pow2Hist expect = part;
   expect += part;
   EXPECT_EQ(h.snapshot(), expect);
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear latency histogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyBucket, ExactBelowSubBucketCountAndEdgesConsistent) {
+  // Values below kLatencySubBuckets get their own bucket — quantiles over
+  // small values (batch sizes!) are exact.
+  for (std::uint64_t v = 0; v < kLatencySubBuckets; ++v) {
+    EXPECT_EQ(latency_bucket(v), static_cast<int>(v));
+    EXPECT_EQ(latency_bucket_lo(static_cast<int>(v)), v);
+    EXPECT_EQ(latency_bucket_hi(static_cast<int>(v)), v + 1);
+  }
+  for (const std::uint64_t v :
+       {std::uint64_t{16}, std::uint64_t{17}, std::uint64_t{31}, std::uint64_t{32},
+        std::uint64_t{1000}, std::uint64_t{123456}, (std::uint64_t{1} << 31) + 17,
+        (std::uint64_t{1} << 32) - 1}) {
+    const int b = latency_bucket(v);
+    ASSERT_GE(b, 0) << v;
+    ASSERT_LT(b, kLatencyBuckets - 1) << v;
+    EXPECT_GE(v, latency_bucket_lo(b)) << v;
+    EXPECT_LT(v, latency_bucket_hi(b)) << v;
+    // Log-linear width bound: bucket width / lower edge <= 1/16.
+    const double width =
+        static_cast<double>(latency_bucket_hi(b) - latency_bucket_lo(b));
+    EXPECT_LE(width / static_cast<double>(latency_bucket_lo(b)),
+              1.0 / kLatencySubBuckets + 1e-12)
+        << v;
+  }
+  EXPECT_EQ(latency_bucket(std::uint64_t{1} << 32), kLatencyBuckets - 1);
+  EXPECT_EQ(latency_bucket(~std::uint64_t{0}), kLatencyBuckets - 1);
+}
+
+TEST(LatencyHist, QuantilesAreExactForSmallValues) {
+  LatencyHist h;
+  for (std::uint64_t v = 1; v <= 8; ++v) h.record(v);  // batch sizes 1..8
+  // Rank convention: value whose cumulative count reaches floor(q*count)+1.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);  // q=1 reports the recorded max
+  EXPECT_EQ(h.max, 8u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.5);
+}
+
+// The accuracy contract LatencyHist exists for: every quantile of an
+// arbitrary spread-out distribution is within 1/(2*16) = 3.125% of the true
+// order statistic (Pow2Hist's octave buckets can be off by ~50%).
+TEST(LatencyHist, QuantileRelativeErrorIsBounded) {
+  LatencyHist h;
+  std::vector<std::uint64_t> values;
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;  // LCG
+    const std::uint64_t v = (x >> 33) % 5'000'000;  // 0 .. 5s in us
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(q * 10000.0);
+    const double truth =
+        static_cast<double>(values[std::min<std::size_t>(rank, values.size() - 1)]);
+    const double est = h.quantile(q);
+    EXPECT_NEAR(est, truth, truth / (2.0 * kLatencySubBuckets) + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHist, MergeIsExact) {
+  LatencyHist a, b;
+  a.record(100);
+  a.record(5'000'000);
+  b.record(42, 3);
+  LatencyHist both = a;
+  both += b;
+  LatencyHist expect;
+  expect.record(100);
+  expect.record(5'000'000);
+  expect.record(42, 3);
+  EXPECT_EQ(both, expect);
+  EXPECT_EQ(both.count, 5u);
+  EXPECT_EQ(both.max, 5'000'000u);
+}
+
+// Same determinism contract as Counter/Histogram: the merged snapshot
+// depends only on the recorded values, not on shard count or interleaving.
+TEST(LatencyHistogram, SnapshotIdenticalAcrossShardCounts) {
+  const auto run = [](int shards) {
+    LatencyHistogram h(shards);
+    for (std::uint64_t i = 0; i < 5000; ++i)
+      h.record(i * 37 % 100000, static_cast<int>(i));
+    return h.snapshot();
+  };
+  const LatencyHist one = run(1);
+  EXPECT_EQ(one, run(4));
+  EXPECT_EQ(one, run(8));
+  EXPECT_EQ(one.count, 5000u);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h(2);
+  h.record(99, 0);
+  h.reset();
+  EXPECT_EQ(h.snapshot(), LatencyHist{});
+}
+
+TEST(Registry, LatencyHistogramRegistersAndSnapshotCarriesQuantiles) {
+  Registry reg(4);
+  LatencyHistogram& h = reg.latency_histogram("lat");
+  EXPECT_EQ(&h, &reg.latency_histogram("lat"));
+  EXPECT_THROW((void)reg.histogram("lat"), std::invalid_argument);
+  EXPECT_THROW((void)reg.counter("lat"), std::invalid_argument);
+  h.record(10, 0);
+  h.record(20, 1);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].kind, MetricKind::kLatency);
+  EXPECT_EQ(snap[0].latency.count, 2u);
+  EXPECT_DOUBLE_EQ(snap[0].latency.quantile(1.0), 20.0);
 }
 
 TEST(Registry, StableReferencesAndSnapshotOrder) {

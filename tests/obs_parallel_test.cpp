@@ -1,15 +1,24 @@
-// Thread-safety tests of the sharded metrics (run under `ctest -L parallel`,
-// and under TSan in the sanitizer build): many raw threads hammer the same
-// Counter/Histogram through Registry::this_shard() while a reader snapshots
-// concurrently. Relaxed atomics on cache-line-padded slots must make this
-// data-race-free, and the final totals exact.
+// Thread-safety tests of the observability layer (run under `ctest -L
+// parallel`, and under TSan in the sanitizer build): many raw threads hammer
+// the same Counter/Histogram/LatencyHistogram through
+// Registry::this_shard(), span writers race the trace exporter, and flight
+// recorder writers race its snapshotting reader. Relaxed atomics on
+// cache-line-padded slots (and the seqlock slots of the flight ring) must
+// make all of this data-race-free, and the final totals exact.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace scnn::obs {
 namespace {
@@ -53,6 +62,118 @@ TEST(ObsParallel, ConcurrentIncrementsAreExactAndRaceFree) {
   EXPECT_EQ(hist, expect);
   EXPECT_GE(g.get(), 0.0);
   EXPECT_LT(g.get(), static_cast<double>(kThreads));
+}
+
+TEST(ObsParallel, LatencyHistogramConcurrentRecordsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  Registry reg(4);
+  LatencyHistogram& h = reg.latency_histogram("lat");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const int shard = reg.this_shard();
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i * 7 % 100000, shard);
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 50; ++i) (void)h.snapshot();  // concurrent reader
+  });
+  for (auto& t : threads) t.join();
+
+  LatencyHist expect;
+  for (std::uint64_t i = 0; i < kPerThread; ++i)
+    expect.record(i * 7 % 100000, kThreads);
+  EXPECT_EQ(h.snapshot(), expect);
+}
+
+// 8 span writers race a reader that keeps exporting the chrome://tracing
+// JSON mid-flight. Every export must be a well-formed document, and the
+// final export must carry every span every writer recorded.
+TEST(ObsParallel, ConcurrentSpanWritersAndTraceExporter) {
+  constexpr int kWriters = 8;
+  constexpr int kSpansPerWriter = 500;
+  Tracer tracer;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&tracer, w] {
+      for (int i = 0; i < kSpansPerWriter; ++i) {
+        const Clock::time_point t0 = Clock::now();
+        tracer.record("op", t0, t0 + std::chrono::microseconds(1),
+                      {{"writer", static_cast<double>(w)},
+                       {"i", static_cast<double>(i)}},
+                      /*tid=*/w);
+      }
+    });
+  }
+  threads.emplace_back([&tracer, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::optional<json::Value> doc =
+          json::parse(tracer.to_trace_event_json("mid-flight"));
+      ASSERT_TRUE(doc && doc->is_object());
+      ASSERT_TRUE(doc->find("traceEvents")->is_array());
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  done.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  EXPECT_EQ(tracer.span_count(),
+            static_cast<std::size_t>(kWriters) * kSpansPerWriter);
+  const std::optional<json::Value> doc =
+      json::parse(tracer.to_trace_event_json("final"));
+  ASSERT_TRUE(doc && doc->is_object());
+  std::set<std::pair<int, int>> seen;  // (writer, i) pairs
+  for (const json::Value& e : doc->find("traceEvents")->array) {
+    const json::Value* ph = e.find("ph");
+    if (!ph || ph->string != "X") continue;
+    const json::Value* args = e.find("args");
+    ASSERT_TRUE(args && args->is_object());
+    seen.emplace(static_cast<int>(args->find("writer")->number),
+                 static_cast<int>(args->find("i")->number));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kWriters) * kSpansPerWriter);
+}
+
+// Writers hammer the flight ring (one per shard, per the recorder's sizing
+// guidance, with slots recycling many laps over) while a reader snapshots
+// concurrently. The seqlock contract: no data race (TSan), every snapshot
+// well-formed and seq-ordered, and recorded() exact at the end.
+TEST(ObsParallel, FlightRecorderConcurrentWritersAndSnapshots) {
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kPerWriter = 10000;
+  FlightRecorder rec(/*shards=*/kWriters, /*capacity=*/64);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&rec, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i)
+        rec.record(w, FlightEventKind::kAdmit, -1, /*request_id=*/i,
+                   /*batch_id=*/static_cast<std::uint64_t>(w), i, i + 1, "hot");
+    });
+  }
+  threads.emplace_back([&rec, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::vector<FlightEvent> events = rec.snapshot();
+      std::uint64_t prev = 0;
+      for (const FlightEvent& e : events) {
+        EXPECT_GT(e.seq, prev);  // strictly ordered, no duplicates
+        prev = e.seq;
+        EXPECT_EQ(e.kind, FlightEventKind::kAdmit);
+        EXPECT_EQ(e.arg1, e.arg0 + 1);  // payload words belong together
+      }
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  done.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  EXPECT_EQ(rec.recorded(), static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  const std::vector<FlightEvent> final_events = rec.snapshot();
+  EXPECT_EQ(final_events.size(), static_cast<std::size_t>(kWriters) * 64);
 }
 
 }  // namespace

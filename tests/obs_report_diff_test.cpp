@@ -1,0 +1,161 @@
+// Unit tests of the perf-trajectory gate's data layer: report parsing,
+// metric direction classification, and the three-band compare contract
+// (OK / loud SKIP / REGRESSION) that tools/bench_compare and CI rely on.
+#include "obs/report_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace scnn::obs {
+namespace {
+
+ParsedReport make_report(std::string cpu = "avx2 fma") {
+  ParsedReport r;
+  r.benchmark = "serve";
+  r.meta = {{"git_sha", "abc1234"}, {"cpu", std::move(cpu)}};
+  r.metrics = {
+      {"batched.throughput_rps", 1000.0, "req/s"},
+      {"serve.latency_us/p99", 850.0, "value"},
+      {"speedup", 2.5, "x"},
+      {"serve.completed", 400.0, "count"},
+  };
+  return r;
+}
+
+TEST(ReportDiff, DirectionClassification) {
+  // Rates and ratios gate upward.
+  EXPECT_EQ(metric_direction("batched.throughput_rps", "req/s"),
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(metric_direction("speedup", "x"), MetricDirection::kHigherBetter);
+  // Time units gate downward.
+  EXPECT_EQ(metric_direction("forward.wall", "us"), MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("pass", "ms"), MetricDirection::kLowerBetter);
+  // Latency quantiles carry unit "value" — the name suffix classifies them.
+  EXPECT_EQ(metric_direction("serve.latency_us/p99", "value"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(metric_direction("serve.queue_us/p50", "value"),
+            MetricDirection::kLowerBetter);
+  // Counts and config echoes never gate — even under a latency-ish name.
+  EXPECT_EQ(metric_direction("serve.completed", "count"),
+            MetricDirection::kInformational);
+  EXPECT_EQ(metric_direction("serve.latency_us/count", "count"),
+            MetricDirection::kInformational);
+  EXPECT_EQ(metric_direction("serve.latency_us/sum", "total"),
+            MetricDirection::kInformational);
+  EXPECT_EQ(metric_direction("serve.batch_size/p99", "value"),
+            MetricDirection::kInformational);
+}
+
+TEST(ReportDiff, ParsesTheFlatReportSchema) {
+  const std::optional<ParsedReport> r = parse_report_json(R"({
+    "benchmark": "conv",
+    "meta": {"git_sha": "deadbee", "cpu": "avx512f", "threads": 8, "simd": true},
+    "metrics": [
+      {"name": "imgs_per_s", "value": 123.5, "unit": "imgs/s"},
+      {"name": "wall_ms", "value": 41.0, "unit": "ms"}
+    ]
+  })");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->benchmark, "conv");
+  ASSERT_NE(r->meta_value("cpu"), nullptr);
+  EXPECT_EQ(*r->meta_value("cpu"), "avx512f");
+  EXPECT_EQ(*r->meta_value("simd"), "true");
+  ASSERT_EQ(r->metrics.size(), 2u);
+  const ReportMetric* m = r->find("imgs_per_s");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 123.5);
+  EXPECT_EQ(m->unit, "imgs/s");
+}
+
+TEST(ReportDiff, MalformedInputYieldsNullopt) {
+  EXPECT_FALSE(parse_report_json("").has_value());
+  EXPECT_FALSE(parse_report_json("not json").has_value());
+  EXPECT_FALSE(parse_report_json(R"({"benchmark": 7})").has_value());
+  EXPECT_FALSE(parse_report_json(R"([1, 2, 3])").has_value());
+  EXPECT_FALSE(load_report("no/such/report.json").has_value());
+}
+
+TEST(ReportDiff, IdenticalReportsAreOk) {
+  const CompareResult r = compare_reports(make_report(), make_report(), 0.10);
+  EXPECT_EQ(r.band, CompareBand::kOk);
+  EXPECT_EQ(r.regressions(), 0);
+  ASSERT_EQ(r.deltas.size(), 4u);
+  for (const MetricDelta& d : r.deltas) {
+    EXPECT_FALSE(d.regressed) << d.name;
+    EXPECT_DOUBLE_EQ(d.ratio, 1.0) << d.name;
+  }
+}
+
+TEST(ReportDiff, RegressionsInBothDirectionsAreCaught) {
+  ParsedReport head = make_report();
+  head.metrics[0].value = 800.0;   // throughput -20%: regressed
+  head.metrics[1].value = 1200.0;  // p99 +41%: regressed
+  const CompareResult r = compare_reports(make_report(), head, 0.10);
+  EXPECT_EQ(r.band, CompareBand::kRegression);
+  EXPECT_EQ(r.regressions(), 2);
+  EXPECT_TRUE(r.deltas[0].regressed);
+  EXPECT_TRUE(r.deltas[1].regressed);
+  EXPECT_FALSE(r.deltas[2].regressed);
+}
+
+TEST(ReportDiff, ImprovementsAndInThresholdDriftPass) {
+  ParsedReport head = make_report();
+  head.metrics[0].value = 1500.0;  // throughput up: improvement
+  head.metrics[1].value = 400.0;   // p99 down: improvement
+  head.metrics[2].value = 2.4;     // -4% within the 10% threshold
+  head.metrics[3].value = 9999.0;  // informational: may move freely
+  const CompareResult r = compare_reports(make_report(), head, 0.10);
+  EXPECT_EQ(r.band, CompareBand::kOk);
+  EXPECT_EQ(r.regressions(), 0);
+}
+
+TEST(ReportDiff, SkipsOnBenchmarkOrFingerprintMismatch) {
+  ParsedReport other = make_report();
+  other.benchmark = "conv";
+  EXPECT_EQ(compare_reports(make_report(), other, 0.10).band, CompareBand::kSkip);
+
+  const CompareResult cpu_mismatch =
+      compare_reports(make_report("avx2 fma"), make_report("avx512f"), 0.10);
+  EXPECT_EQ(cpu_mismatch.band, CompareBand::kSkip);
+  EXPECT_NE(cpu_mismatch.skip_reason.find("cpu"), std::string::npos);
+
+  ParsedReport no_cpu = make_report();
+  no_cpu.meta = {{"git_sha", "abc1234"}};
+  const CompareResult missing = compare_reports(no_cpu, make_report(), 0.10);
+  EXPECT_EQ(missing.band, CompareBand::kSkip);
+}
+
+TEST(ReportDiff, MissingMetricIsReportedNotFatal) {
+  ParsedReport head = make_report();
+  head.metrics.erase(head.metrics.begin());  // drop the throughput metric
+  const CompareResult r = compare_reports(make_report(), head, 0.10);
+  EXPECT_EQ(r.band, CompareBand::kOk);
+  const MetricDelta& d = r.deltas[0];
+  EXPECT_EQ(d.name, "batched.throughput_rps");
+  EXPECT_TRUE(d.missing_in_head);
+  EXPECT_FALSE(d.regressed);
+}
+
+TEST(ReportDiff, CompareResultJsonArtifactParses) {
+  ParsedReport head = make_report();
+  head.metrics[0].value = 500.0;
+  const CompareResult r = compare_reports(make_report(), head, 0.10);
+  const std::optional<json::Value> doc =
+      json::parse(compare_result_to_json(r, "base.json", "head.json"));
+  ASSERT_TRUE(doc && doc->is_object());
+  EXPECT_EQ(doc->find("band")->string, "regression");
+  EXPECT_EQ(doc->find("base")->string, "base.json");
+  EXPECT_EQ(doc->find("threshold")->number, 0.10);
+  const json::Value* deltas = doc->find("deltas");
+  ASSERT_TRUE(deltas && deltas->is_array());
+  ASSERT_FALSE(deltas->array.empty());
+  EXPECT_EQ(deltas->array[0].find("name")->string, "batched.throughput_rps");
+  ASSERT_NE(deltas->array[0].find("regressed"), nullptr);
+}
+
+}  // namespace
+}  // namespace scnn::obs

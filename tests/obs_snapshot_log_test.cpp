@@ -1,0 +1,105 @@
+// Unit tests of the periodic metrics appender: the pinned line format, the
+// counter-monotonicity contract across lines, and the inert-on-bad-path
+// behavior.
+#include "obs/snapshot_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace scnn::obs {
+namespace {
+
+std::map<std::string, double> parse_metrics_line(const std::string& line,
+                                                 std::uint64_t* seq = nullptr) {
+  const std::optional<json::Value> doc = json::parse(line);
+  EXPECT_TRUE(doc && doc->is_object()) << line;
+  std::map<std::string, double> out;
+  if (!doc) return out;
+  EXPECT_NE(doc->find("ts_ms"), nullptr);
+  if (seq) *seq = static_cast<std::uint64_t>(doc->find("seq")->number);
+  const json::Value* metrics = doc->find("metrics");
+  EXPECT_TRUE(metrics && metrics->is_object());
+  if (metrics)
+    for (const auto& [k, v] : metrics->object) out[k] = v.number;
+  return out;
+}
+
+TEST(SnapshotLog, LineFormatFlattensTheRegistry) {
+  Registry reg(2);
+  reg.counter("serve.completed").add(7, 0);
+  reg.gauge("serve.queue_depth").set(3.0);
+  reg.latency_histogram("serve.latency_us").record(100, 0);
+  reg.latency_histogram("serve.latency_us").record(200, 1);
+
+  std::uint64_t seq = 0;
+  const std::map<std::string, double> metrics =
+      parse_metrics_line(SnapshotLogger::snapshot_line(reg, 5, 123.5), &seq);
+  EXPECT_EQ(seq, 5u);
+  EXPECT_EQ(metrics.at("serve.completed"), 7.0);
+  EXPECT_EQ(metrics.at("serve.queue_depth"), 3.0);
+  EXPECT_EQ(metrics.at("serve.latency_us/count"), 2.0);
+  EXPECT_EQ(metrics.at("serve.latency_us/max"), 200.0);
+  ASSERT_TRUE(metrics.count("serve.latency_us/p99"));
+}
+
+// The soak-run contract: lines appended over time carry strictly increasing
+// seq, and cumulative counters never go backwards line over line.
+TEST(SnapshotLog, AppendsMonotonicCounterLines) {
+  const std::string path = "snapshot_log_test.jsonl";
+  std::remove(path.c_str());
+  Registry reg(2);
+  Counter& work = reg.counter("work.done");
+  {
+    SnapshotLogger logger(reg, path, /*interval_ms=*/5);
+    ASSERT_TRUE(logger.ok());
+    for (int i = 0; i < 5; ++i) {
+      work.add(10, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(6));
+    }
+    logger.stop();  // writes the final line
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) lines.push_back(line);
+  ASSERT_GE(lines.size(), 2u) << "expected several ticks plus the final line";
+
+  std::uint64_t prev_seq = 0;
+  double prev_count = -1.0;
+  for (const std::string& line : lines) {
+    std::uint64_t seq = 0;
+    const std::map<std::string, double> metrics = parse_metrics_line(line, &seq);
+    EXPECT_GT(seq, prev_seq) << line;
+    prev_seq = seq;
+    ASSERT_TRUE(metrics.count("work.done")) << line;
+    EXPECT_GE(metrics.at("work.done"), prev_count) << line;
+    prev_count = metrics.at("work.done");
+  }
+  // stop() snapshots once more, so the last line is the end state.
+  EXPECT_EQ(prev_count, 50.0);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotLog, BadPathIsInertNotFatal) {
+  Registry reg(1);
+  SnapshotLogger logger(reg, "no/such/dir/metrics.jsonl", 10);
+  EXPECT_FALSE(logger.ok());
+  logger.stop();
+  logger.stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace scnn::obs

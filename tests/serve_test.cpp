@@ -12,9 +12,18 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
 #include "data/synthetic_digits.hpp"
 #include "nn/inference_session.hpp"
+#include "nn/layer.hpp"
 #include "nn/network.hpp"
+#include "obs/json.hpp"
 
 namespace scnn::serve {
 namespace {
@@ -218,7 +227,8 @@ TEST(Serve, MicroBatchesRespectMaxBatch) {
     ASSERT_EQ(r.status, Status::kOk);
     EXPECT_LE(r.batch_size, 4);
   }
-  const obs::Pow2Hist sizes = server.metrics().histogram("serve.batch_size").snapshot();
+  const obs::LatencyHist sizes =
+      server.metrics().latency_histogram("serve.batch_size").snapshot();
   EXPECT_EQ(sizes.sum, 10u);  // every request ran in exactly one batch
   EXPECT_EQ(counter_total(server.metrics(), "serve.batches"), sizes.count);
   EXPECT_LE(sizes.max, 4u);
@@ -311,6 +321,267 @@ TEST(Serve, ShapeMismatchThrowsEvenWhenQueueFullOrDraining) {
   server.drain();
   EXPECT_THROW((void)server.submit(Tensor(1, 3, 32, 32)), std::invalid_argument);
   EXPECT_EQ(server.submit(sample(3)).get().status, Status::kShutdown);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped observability
+// ---------------------------------------------------------------------------
+
+/// One span decoded from the exported chrome://tracing JSON.
+struct ParsedSpan {
+  std::string name;
+  int tid = 0;
+  double ts = 0.0, dur = 0.0;
+  std::map<std::string, double> args;
+};
+
+std::vector<ParsedSpan> parse_trace(const std::string& trace_json) {
+  const std::optional<obs::json::Value> doc = obs::json::parse(trace_json);
+  EXPECT_TRUE(doc && doc->is_object()) << "trace JSON must parse";
+  std::vector<ParsedSpan> out;
+  if (!doc) return out;
+  const obs::json::Value* events = doc->find("traceEvents");
+  EXPECT_TRUE(events && events->is_array());
+  if (!events) return out;
+  for (const obs::json::Value& e : events->array) {
+    const obs::json::Value* ph = e.find("ph");
+    if (!ph || ph->string != "X") continue;  // skip metadata events
+    ParsedSpan s;
+    s.name = e.find("name")->string;
+    s.tid = static_cast<int>(e.find("tid")->number);
+    s.ts = e.find("ts")->number;
+    s.dur = e.find("dur")->number;
+    if (const obs::json::Value* args = e.find("args"); args && args->is_object())
+      for (const auto& [k, v] : args->object) s.args[k] = v.number;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+const ParsedSpan* find_span(const std::vector<ParsedSpan>& spans,
+                            const std::string& name, const char* key,
+                            double value) {
+  for (const ParsedSpan& s : spans) {
+    const auto it = s.args.find(key);
+    if (s.name == name && it != s.args.end() && it->second == value) return &s;
+  }
+  return nullptr;
+}
+
+// The tentpole guarantee: every served request shows up in the exported trace
+// as one id-correlated tree — queue (admission row) -> batch_wait / request
+// (worker row) -> the batch's run span -> the per-layer spans, all stitched
+// by request_id / batch_id args. And tracing must not change the arithmetic.
+TEST(ServeObservability, TracedRequestFormsIdCorrelatedSpanTree) {
+  ServerOptions opts = base_options();
+  opts.trace = true;
+  Server server(make_server(opts));
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 6; ++i) tickets.push_back(server.submit(sample(i)));
+  std::vector<Response> responses;
+  for (Ticket& t : tickets) responses.push_back(t.get());
+  server.drain();
+
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_EQ(responses[i].status, Status::kOk);
+    EXPECT_GT(responses[i].request_id, 0u);
+    EXPECT_TRUE(bit_identical(responses[i].logits, reference_logits()[i]))
+        << "tracing changed request " << i;
+  }
+
+  const std::vector<ParsedSpan> spans =
+      parse_trace(server.tracer().to_trace_event_json("serve_test"));
+  ASSERT_FALSE(spans.empty());
+  for (const Response& r : responses) {
+    const auto id = static_cast<double>(r.request_id);
+    // queue span on the admission row (tid 0), carrying both ids.
+    const ParsedSpan* queue = find_span(spans, "queue", "request_id", id);
+    ASSERT_NE(queue, nullptr) << "no queue span for request " << r.request_id;
+    EXPECT_EQ(queue->tid, 0);
+    ASSERT_TRUE(queue->args.count("batch_id"));
+    const double batch_id = queue->args.at("batch_id");
+
+    // request envelope + batch_wait on the worker row, same ids.
+    const ParsedSpan* request = find_span(spans, "request", "request_id", id);
+    ASSERT_NE(request, nullptr);
+    EXPECT_EQ(request->args.at("batch_id"), batch_id);
+    EXPECT_GT(request->tid, 0);
+    ASSERT_NE(find_span(spans, "batch_wait", "request_id", id), nullptr);
+
+    // the batch's own spans.
+    const ParsedSpan* batch = find_span(spans, "batch", "batch_id", batch_id);
+    ASSERT_NE(batch, nullptr);
+    EXPECT_GE(batch->args.at("size"), 1.0);
+    const ParsedSpan* run = find_span(spans, "run", "batch_id", batch_id);
+    ASSERT_NE(run, nullptr);
+    EXPECT_EQ(run->tid, request->tid);
+
+    // per-layer spans recorded inside the forward under the same batch id,
+    // on the worker's row (the thread-local TraceContext bridge).
+    const ParsedSpan* forward = find_span(spans, "forward", "batch_id", batch_id);
+    ASSERT_NE(forward, nullptr);
+    EXPECT_EQ(forward->tid, request->tid);
+    bool layer_span = false;
+    for (const ParsedSpan& s : spans)
+      if (s.name.find('#') != std::string::npos && s.args.count("batch_id") &&
+          s.args.at("batch_id") == batch_id && s.tid == request->tid)
+        layer_span = true;
+    EXPECT_TRUE(layer_span) << "no per-layer span for batch " << batch_id;
+  }
+}
+
+TEST(ServeObservability, UntracedServingRecordsNoSpans) {
+  Server server(make_server(base_options()));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(server.submit(sample(i)).get().status, Status::kOk);
+  server.drain();
+  EXPECT_EQ(server.tracer().span_count(), 0u);
+}
+
+TEST(ServeObservability, RequestIdsAreMintedMonotonically) {
+  ServerOptions opts = base_options();
+  opts.queue_capacity = 1;
+  opts.start_paused = true;
+  Server server(make_server(opts));
+  Ticket admitted = server.submit(sample(0));  // fills the 1-deep queue
+  // Rejected requests get ids too — the flight recorder names them.
+  Ticket r1 = server.submit(sample(1));
+  Ticket r2 = server.submit(sample(2));
+  ASSERT_TRUE(r1.ready() && r2.ready());
+  const Response rej1 = r1.get();
+  const Response rej2 = r2.get();
+  EXPECT_EQ(rej1.status, Status::kQueueFull);
+  EXPECT_EQ(rej2.status, Status::kQueueFull);
+  EXPECT_EQ(rej2.request_id, rej1.request_id + 1);
+  server.resume();
+  server.drain();
+  EXPECT_EQ(admitted.get().request_id, rej1.request_id - 1);
+}
+
+/// A layer that throws on every forward — the injected worker fault.
+class BombLayer final : public nn::Layer {
+ public:
+  Tensor forward(const Tensor&) override {
+    throw std::runtime_error("bomb layer detonated");
+  }
+  Tensor backward(const Tensor& g) override { return g; }
+  [[nodiscard]] std::string name() const override { return "bomb"; }
+};
+
+TEST(ServeObservability, WorkerExceptionDumpsFlightNamingTheBatchRequestIds) {
+  const std::string dump_path = "serve_test_flight_error_w0.json";
+  std::remove(dump_path.c_str());
+
+  ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.max_delay_us = 0;
+  opts.start_paused = true;  // stage one deterministic batch of 3
+  opts.flight_dump_prefix = "serve_test_flight";
+  Server server([] {
+    nn::Network net;
+    net.add<BombLayer>();
+    return net;
+  }, opts);
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 3; ++i) tickets.push_back(server.submit(sample(i)));
+  server.resume();
+  std::vector<std::uint64_t> failed_ids;
+  for (Ticket& t : tickets) {
+    Response r = t.get();
+    EXPECT_EQ(r.status, Status::kError);
+    EXPECT_NE(r.error.find("bomb layer detonated"), std::string::npos) << r.error;
+    failed_ids.push_back(r.request_id);
+  }
+  server.drain();
+
+  // The dump must exist, parse, and name exactly the failing batch's ids.
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "expected flight dump at " << dump_path;
+  std::stringstream body;
+  body << in.rdbuf();
+  const std::optional<obs::json::Value> doc = obs::json::parse(body.str());
+  ASSERT_TRUE(doc && doc->is_object());
+  EXPECT_NE(doc->find("reason")->string.find("worker exception"), std::string::npos);
+  const obs::json::Value* events = doc->find("events");
+  ASSERT_TRUE(events && events->is_array());
+  std::vector<std::uint64_t> dumped_ids;
+  bool exception_event = false;
+  for (const obs::json::Value& e : events->array) {
+    const std::string& kind = e.find("kind")->string;
+    if (kind == "resolve_error")
+      dumped_ids.push_back(static_cast<std::uint64_t>(e.find("request_id")->number));
+    if (kind == "worker_exception") {
+      exception_event = true;
+      const obs::json::Value* detail = e.find("detail");
+      ASSERT_NE(detail, nullptr);
+      EXPECT_NE(detail->string.find("bomb layer"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(exception_event);
+  EXPECT_EQ(dumped_ids, failed_ids);
+  std::remove(dump_path.c_str());
+}
+
+TEST(ServeObservability, RejectBurstDumpsOverloadFile) {
+  const std::string dump_path = "serve_test_burst_overload.json";
+  std::remove(dump_path.c_str());
+
+  ServerOptions opts = base_options();
+  opts.queue_capacity = 1;
+  opts.start_paused = true;
+  opts.reject_burst = 3;
+  opts.flight_dump_prefix = "serve_test_burst";
+  Server server(make_server(opts));
+  (void)server.submit(sample(0));
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(server.submit(sample(0)).get().status, Status::kQueueFull);
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "expected overload dump at " << dump_path;
+  std::stringstream body;
+  body << in.rdbuf();
+  const std::optional<obs::json::Value> doc = obs::json::parse(body.str());
+  ASSERT_TRUE(doc && doc->is_object());
+  EXPECT_NE(doc->find("reason")->string.find("reject burst"), std::string::npos);
+  int rejects = 0;
+  for (const obs::json::Value& e : doc->find("events")->array)
+    if (e.find("kind")->string == "reject") ++rejects;
+  EXPECT_EQ(rejects, 3);
+  server.resume();
+  server.drain();
+  std::remove(dump_path.c_str());
+}
+
+TEST(ServeObservability, FlightRecorderCanBeDisabled) {
+  ServerOptions opts = base_options();
+  opts.flight_recorder = false;
+  Server server(make_server(opts));
+  EXPECT_EQ(server.flight_recorder(), nullptr);
+  EXPECT_EQ(server.dump_flight("unused.json"), "");
+  EXPECT_EQ(server.submit(sample(0)).get().status, Status::kOk);
+  server.drain();
+}
+
+TEST(ServeObservability, QueueDepthPeakIsAHighWaterMark) {
+  ServerOptions opts = base_options();
+  opts.start_paused = true;
+  Server server(make_server(opts));
+  for (int i = 0; i < 5; ++i) (void)server.submit(sample(i));
+  server.resume();
+  server.drain();
+  // After draining the live depth is 0, but the peak must remember the burst.
+  EXPECT_EQ(server.metrics().gauge("serve.queue_depth").get(), 0.0);
+  EXPECT_EQ(server.metrics().gauge("serve.queue_depth_peak").get(), 5.0);
+}
+
+TEST(ServeObservability, InvalidFlightOptionsThrow) {
+  ServerOptions opts;
+  opts.flight_capacity = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  opts = ServerOptions{};
+  opts.reject_burst = -1;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// bench_compare — the perf-trajectory gate.
+//
+//   bench_compare BASE.json HEAD.json [--threshold=0.10] [--out=DELTA.json]
+//
+// Diffs two BENCH_*.json reports (the flat obs::JsonReport schema every
+// bench binary and `scnn_cli --metrics-out` emit), prints a per-metric delta
+// table, and exits by the same three-band contract the in-binary bench gates
+// use:
+//
+//   OK          every gated metric within threshold          -> exit 0
+//   SKIP        reports not comparable (different benchmark,  -> exit 0, loud
+//               missing/mismatched cpu fingerprint)
+//   REGRESSION  a higher-better metric fell, or a lower-      -> exit 1
+//               better metric rose, by more than threshold
+//
+// Only direction-classified metrics gate (rates/speedups higher-better, time
+// units lower-better — see obs::metric_direction); counts and config echoes
+// are printed as context but never fail the build. --out writes the delta as
+// a JSON artifact for CI upload.
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/table.hpp"
+#include "obs/report_diff.hpp"
+
+namespace {
+
+using scnn::common::Table;
+using namespace scnn::obs;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare BASE.json HEAD.json [--threshold=FRAC] "
+               "[--out=DELTA.json]\n"
+               "  FRAC is the allowed relative regression (default 0.10 = 10%%)\n");
+  return 2;
+}
+
+const char* direction_label(MetricDirection d) {
+  switch (d) {
+    case MetricDirection::kHigherBetter: return "higher";
+    case MetricDirection::kLowerBetter: return "lower";
+    case MetricDirection::kInformational: return "info";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path, head_path, out_path;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      try {
+        threshold = std::stod(arg.substr(12));
+      } catch (...) {
+        return usage();
+      }
+      if (threshold < 0.0 || threshold >= 1.0) {
+        std::fprintf(stderr, "bench_compare: threshold %.3f out of range [0, 1)\n",
+                     threshold);
+        return 2;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_compare: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (head_path.empty()) {
+      head_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (base_path.empty() || head_path.empty()) return usage();
+
+  const std::optional<ParsedReport> base = load_report(base_path);
+  if (!base) {
+    std::fprintf(stderr, "bench_compare: cannot read/parse %s\n", base_path.c_str());
+    return 2;
+  }
+  const std::optional<ParsedReport> head = load_report(head_path);
+  if (!head) {
+    std::fprintf(stderr, "bench_compare: cannot read/parse %s\n", head_path.c_str());
+    return 2;
+  }
+
+  const CompareResult result = compare_reports(*base, *head, threshold);
+
+  std::printf("bench_compare: %s (base %s", base->benchmark.c_str(), base_path.c_str());
+  if (const std::string* sha = base->meta_value("git_sha"))
+    std::printf(" @ %s", sha->c_str());
+  std::printf(") vs head %s", head_path.c_str());
+  if (const std::string* sha = head->meta_value("git_sha"))
+    std::printf(" @ %s", sha->c_str());
+  std::printf(", threshold %.1f%%\n", threshold * 100.0);
+
+  if (result.band == CompareBand::kSkip) {
+    // Loud, not fatal: cross-machine numbers must never fail a build, but a
+    // silently green gate would be worse than none.
+    std::printf("=============================================================\n");
+    std::printf("SKIP: %s\n", result.skip_reason.c_str());
+    std::printf("=============================================================\n");
+  } else {
+    Table t({"metric", "unit", "dir", "base", "head", "delta %", "verdict"});
+    for (const MetricDelta& d : result.deltas) {
+      if (d.missing_in_head) {
+        t.add_row({d.name, d.unit, direction_label(d.direction), Table::fmt(d.base, 4),
+                   "-", "-", "missing"});
+        continue;
+      }
+      const double delta_pct = (d.ratio - 1.0) * 100.0;
+      t.add_row({d.name, d.unit, direction_label(d.direction), Table::fmt(d.base, 4),
+                 Table::fmt(d.head, 4), Table::fmt(delta_pct, 2),
+                 d.regressed                                        ? "REGRESSED"
+                 : d.direction == MetricDirection::kInformational   ? ""
+                                                                    : "ok"});
+    }
+    t.print(std::cout);
+    if (result.band == CompareBand::kRegression)
+      std::printf("REGRESSION: %d metric(s) beyond the %.1f%% threshold\n",
+                  result.regressions(), threshold * 100.0);
+    else
+      std::printf("OK: no gated metric regressed beyond %.1f%%\n", threshold * 100.0);
+  }
+
+  if (!out_path.empty()) {
+    const std::string body = compare_result_to_json(result, base_path, head_path);
+    if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", out_path.c_str());
+    } else {
+      std::fprintf(stderr, "bench_compare: cannot open %s for writing\n",
+                   out_path.c_str());
+      return 2;
+    }
+  }
+  return result.band == CompareBand::kRegression ? 1 : 0;
+}

@@ -12,13 +12,17 @@
 //                   [--engine=...] [--requests=N] [--concurrency=C]
 //                   [--max-batch=B] [--max-delay-us=U] [--queue-cap=Q]
 //                   [--workers=W] [--session-threads=T] [--deadline-us=D]
-//                   [--count=N]
+//                   [--count=N] [--trace-out=FILE] [--dump-flight=FILE]
+//                   [--metrics-interval-ms=M]
 //   scnn_cli info
 //
 // `serve` stands up the batched serving runtime (serve::Server) over the
 // checkpoint and drives it with a closed-loop load of C client threads; it
-// prints a latency/throughput table plus the serving metrics, and exits
-// non-zero if any admitted request is lost (see docs/SERVING.md).
+// prints a latency/throughput table (client-side and server-side quantiles)
+// plus the serving metrics, and exits non-zero if any admitted request is
+// lost (see docs/SERVING.md). --trace-out exports the per-request span tree,
+// --dump-flight the forensic event ring, and --metrics-interval-ms appends a
+// JSON-lines metrics time series (see docs/OBSERVABILITY.md).
 //
 // `stats` runs one instrumented forward pass and emits the per-layer table,
 // a BENCH-shaped JSON metrics snapshot (--metrics-out, default
@@ -52,8 +56,11 @@
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
 #include "obs/report.hpp"
+#include "obs/snapshot_log.hpp"
 #include "serve/server.hpp"
 #include "tools/cli_args.hpp"
+
+#include <memory>
 
 #include <algorithm>
 #include <atomic>
@@ -92,6 +99,8 @@ int usage() {
       "                  [--requests=N] [--concurrency=C] [--max-batch=B]\n"
       "                  [--max-delay-us=U] [--queue-cap=Q] [--workers=W]\n"
       "                  [--session-threads=T] [--deadline-us=D] [--count=N]\n"
+      "                  [--trace-out=FILE] [--dump-flight=FILE]\n"
+      "                  [--metrics-interval-ms=M]\n"
       "  scnn_cli tune   [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]\n"
       "                  [--out=FILE] [--count=N] [--reps=R] [--quick]\n"
       "  scnn_cli info\n"
@@ -104,7 +113,11 @@ int usage() {
       "`tune` measures the (kernel x im2col-tile x threads) grid on this machine\n"
       "and writes tune.json; install it with --tune-file=FILE (eval/sweep/stats/\n"
       "serve) or the SCNN_TUNE_FILE env to steer --backend=auto dispatch — pure\n"
-      "scheduling, logits stay bit-identical (a wrong-CPU file is rejected)\n");
+      "scheduling, logits stay bit-identical (a wrong-CPU file is rejected)\n"
+      "serve observability: --trace-out exports the per-request span tree\n"
+      "(chrome://tracing JSON), --dump-flight writes the forensic event ring,\n"
+      "and --metrics-interval-ms appends a JSON-lines metrics time series to\n"
+      "<metrics-out>.jsonl (scnn_serve_metrics.jsonl without --metrics-out)\n");
   return 2;
 }
 
@@ -443,6 +456,18 @@ int cmd_stats(const Args& args) {
                     : 0.0);
   }
 
+  // Forward-pass wall-time quantiles from the session's log-linear latency
+  // histogram (the same numbers append_registry exports as /p50../p999).
+  const auto pass_hist =
+      session.metrics().latency_histogram("forward.pass_us").snapshot();
+  if (pass_hist.count > 0)
+    std::printf("forward pass us over %llu passes: p50 %.0f, p90 %.0f, p99 %.0f, "
+                "max %llu\n",
+                static_cast<unsigned long long>(pass_hist.count),
+                pass_hist.quantile(0.50), pass_hist.quantile(0.90),
+                pass_hist.quantile(0.99),
+                static_cast<unsigned long long>(pass_hist.max));
+
   // Snapshot + timeline. --metrics-out defaults on for this command.
   scnn::obs::JsonReport report = scnn::obs::stamped_report("scnn_cli_stats");
   report.set_meta("command", "stats");
@@ -478,7 +503,8 @@ int cmd_serve(const Args& args) {
   args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "sparsity",
                       "engine-config", "requests", "concurrency", "max-batch",
                       "max-delay-us", "queue-cap", "workers", "session-threads",
-                      "deadline-us", "count", "metrics-out", "tune-file"});
+                      "deadline-us", "count", "metrics-out", "tune-file", "trace-out",
+                      "dump-flight", "metrics-interval-ms"});
   install_tune_file(args);
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
@@ -507,6 +533,8 @@ int cmd_serve(const Args& args) {
   opts.queue_capacity = args.get_int("queue-cap", 64);
   opts.default_deadline_us = args.get_int("deadline-us", 0);
   opts.engine = cfg;
+  const std::string trace_path = args.get("trace-out", "");
+  opts.trace = !trace_path.empty();
   opts.validate();
   const int requests = args.get_int("requests", 200);
   const int concurrency = args.get_int("concurrency", 8);
@@ -536,6 +564,24 @@ int cmd_serve(const Args& args) {
                   ? "auto"
                   : std::to_string(opts.session_threads).c_str(),
               opts.max_batch, opts.max_delay_us, opts.queue_capacity);
+
+  // Soak-run time series: one flattened registry snapshot per interval,
+  // appended as JSON lines while the load runs.
+  std::unique_ptr<scnn::obs::SnapshotLogger> snapshot_log;
+  const int interval_ms = args.get_int("metrics-interval-ms", 0);
+  if (interval_ms < 0)
+    throw std::invalid_argument("--metrics-interval-ms must be >= 0, got " +
+                                std::to_string(interval_ms));
+  if (interval_ms > 0) {
+    const std::string metrics_out = args.get("metrics-out", "");
+    const std::string series_path =
+        metrics_out.empty() ? "scnn_serve_metrics.jsonl" : metrics_out + ".jsonl";
+    snapshot_log = std::make_unique<scnn::obs::SnapshotLogger>(server.metrics(),
+                                                               series_path, interval_ms);
+    if (snapshot_log->ok())
+      std::printf("appending metrics snapshots to %s every %d ms\n",
+                  series_path.c_str(), interval_ms);
+  }
 
   std::atomic<int> next{0};
   std::mutex mu;
@@ -577,6 +623,7 @@ int cmd_serve(const Args& args) {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   server.drain();
+  if (snapshot_log) snapshot_log->stop();  // final line reflects the drained state
 
   std::sort(latencies.begin(), latencies.end());
   const auto pct = [&latencies](double p) {
@@ -584,7 +631,8 @@ int cmd_serve(const Args& args) {
     return latencies[static_cast<std::size_t>(
         p * static_cast<double>(latencies.size() - 1))];
   };
-  const auto batch_hist = server.metrics().histogram("serve.batch_size").snapshot();
+  const auto batch_hist =
+      server.metrics().latency_histogram("serve.batch_size").snapshot();
   using scnn::common::Table;
   Table t({"requests", "ok", "rejected", "timed-out", "errors", "req/s", "mean batch",
            "p50 us", "p95 us", "max us"});
@@ -595,9 +643,35 @@ int cmd_serve(const Args& args) {
              Table::fmt(pct(0.95), 0),
              Table::fmt(latencies.empty() ? 0.0 : latencies.back(), 0)});
   t.print(std::cout);
+
+  // Server-side quantiles (the registry's log-linear histograms, <= 3.125%
+  // relative error) — these are what BENCH_serve.json and bench_compare see.
+  const auto lat_hist = server.metrics().latency_histogram("serve.latency_us").snapshot();
+  const auto q_hist = server.metrics().latency_histogram("serve.queue_us").snapshot();
+  Table qt({"metric", "count", "mean", "p50", "p90", "p99", "p999", "max"});
+  const auto quantile_row = [&qt](const char* name, const scnn::obs::LatencyHist& h) {
+    qt.add_row({name, std::to_string(h.count), Table::fmt(h.mean(), 1),
+                Table::fmt(h.quantile(0.50), 0), Table::fmt(h.quantile(0.90), 0),
+                Table::fmt(h.quantile(0.99), 0), Table::fmt(h.quantile(0.999), 0),
+                std::to_string(h.max)});
+  };
+  quantile_row("serve.latency_us", lat_hist);
+  quantile_row("serve.queue_us", q_hist);
+  quantile_row("serve.batch_size", batch_hist);
+  qt.print(std::cout);
   if (ok > 0)
     std::printf("served accuracy: %.3f (over ok responses)\n",
                 static_cast<double>(correct) / ok);
+
+  if (!trace_path.empty()) {
+    if (!server.tracer().write_trace_event_json(trace_path, "scnn_serve")) return 1;
+    std::printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  if (const std::string flight_path = args.get("dump-flight", ""); !flight_path.empty()) {
+    if (server.dump_flight(flight_path, "scnn_cli serve --dump-flight").empty())
+      return 1;
+  }
 
   const std::string metrics_path = args.get("metrics-out", "");
   if (!metrics_path.empty()) {

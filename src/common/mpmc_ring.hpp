@@ -1,0 +1,146 @@
+// Bounded lock-free MPMC ring (Vyukov sequence-numbered slots).
+//
+// The serving admission path (serve::Server::submit) is the one place in the
+// repo where many uncoordinated threads contend on one data structure at
+// request rate. A mutex there serializes every submitter against every
+// worker; this ring replaces it with one fetch_add + one CAS per operation
+// and no blocking anywhere: a full ring fails the push (backpressure — the
+// caller turns that into an explicit reject), an empty ring fails the pop.
+//
+// Algorithm (Dmitry Vyukov's bounded MPMC queue): every slot carries a
+// sequence number. A slot is pushable when seq == enqueue_pos and poppable
+// when seq == dequeue_pos + 1; producers/consumers claim a position with a
+// CAS on the shared cursor, move the payload in or out, then publish by
+// advancing the slot's seq (release). The seq check makes a lapped cursor
+// fail fast instead of overwriting live data, so the ring is linearizable
+// FIFO: values pop in exactly the order their pushes claimed positions —
+// which also gives the stronger per-producer FIFO the serving tests pin.
+//
+// Capacity must be a power of two (the cursor wraps by mask, and the
+// seq arithmetic relies on it) and at least 2; the constructor throws
+// std::invalid_argument naming the offending value otherwise. Callers with
+// arbitrary capacities round up via mpmc_capacity_for().
+//
+// T must be default-constructible and move-assignable (slots hold T by
+// value; push moves in, pop moves out). approx_size() is a racy snapshot —
+// exact when quiescent, advisory under concurrency — which is all a depth
+// gauge or an idle check needs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace scnn::common {
+
+/// Smallest power of two >= max(2, n): the capacity MpmcRing will accept for
+/// a requested bound of n.
+[[nodiscard]] constexpr std::size_t mpmc_capacity_for(std::size_t n) {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t capacity)
+      : mask_(checked_capacity_(capacity) - 1),
+        slots_(std::make_unique<Slot[]>(capacity)) {
+    for (std::size_t i = 0; i < capacity; ++i)
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Move `v` into the ring. Returns false (and leaves `v` unmoved) when the
+  /// ring is full. Never blocks, never spuriously fails on a non-full ring.
+  bool try_push(T&& v) {
+    Slot* slot;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;  // claimed slot `pos`
+      } else if (dif < 0) {
+        return false;  // the slot still holds an unpopped value: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);  // lost the race
+      }
+    }
+    slot->value = std::move(v);
+    slot->seq.store(pos + 1, std::memory_order_release);  // publish to poppers
+    return true;
+  }
+
+  /// Move the oldest value into `out`. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    Slot* slot;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const std::size_t seq = slot->seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // nothing published at this position yet: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(slot->value);
+    // Free the slot for the producer one lap ahead.
+    slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy size estimate (exact when no push/pop is in flight), clamped to
+  /// [0, capacity].
+  [[nodiscard]] std::size_t approx_size() const {
+    const std::size_t e = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t d = dequeue_pos_.load(std::memory_order_relaxed);
+    if (e <= d) return 0;
+    const std::size_t n = e - d;
+    return n > capacity() ? capacity() : n;
+  }
+
+  [[nodiscard]] bool empty() const { return approx_size() == 0; }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  static std::size_t checked_capacity_(std::size_t capacity) {
+    if (capacity < 2 || (capacity & (capacity - 1)) != 0)
+      throw std::invalid_argument(
+          "MpmcRing: capacity = " + std::to_string(capacity) +
+          " must be a power of two >= 2 (see mpmc_capacity_for)");
+    return capacity;
+  }
+
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  // Producers and consumers hammer different cursors; keep them on separate
+  // cache lines from each other and from the (read-mostly) slot array.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace scnn::common

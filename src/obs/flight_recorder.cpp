@@ -21,6 +21,7 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kResolveError: return "resolve_error";
     case FlightEventKind::kWorkerException: return "worker_exception";
     case FlightEventKind::kConfig: return "config";
+    case FlightEventKind::kShed: return "shed";
   }
   return "unknown";
 }
@@ -89,7 +90,7 @@ std::vector<FlightEvent> FlightRecorder::snapshot() const {
 
       FlightEvent e;
       const std::uint64_t kind = std::min<std::uint64_t>(
-          w[0], static_cast<std::uint64_t>(FlightEventKind::kConfig));
+          w[0], static_cast<std::uint64_t>(FlightEventKind::kShed));
       e.kind = static_cast<FlightEventKind>(kind);
       e.seq = w[1];
       e.ts_ns = w[2];

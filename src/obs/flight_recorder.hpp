@@ -43,6 +43,9 @@ enum class FlightEventKind : std::uint8_t {
   kResolveError = 7,   ///< request resolved with kError
   kWorkerException = 8,///< worker caught an exception; detail = what()
   kConfig = 9,         ///< startup configuration note (backend, sparsity, ...)
+  kShed = 10,          ///< queued request evicted by a higher-priority
+                       ///< arrival; arg0 = victim class, arg1 = the
+                       ///< arriving request's id, detail = class name
 };
 
 [[nodiscard]] const char* flight_event_kind_name(FlightEventKind kind);

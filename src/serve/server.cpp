@@ -1,8 +1,12 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <array>
+#include <deque>
 #include <stdexcept>
 #include <utility>
+
+#include "common/mpmc_ring.hpp"
 
 namespace scnn::serve {
 
@@ -24,6 +28,19 @@ int argmax_of(std::span<const float> v) {
   return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
 }
 
+// Packed c/h/w shape key for the lock-free first-submit shape handshake:
+// 21-bit fields, 0 = not yet established (a real input always has c >= 1).
+std::uint64_t pack_shape(int c, int h, int w) {
+  return (static_cast<std::uint64_t>(c) << 42) |
+         (static_cast<std::uint64_t>(h) << 21) | static_cast<std::uint64_t>(w);
+}
+
+std::string shape_str(std::uint64_t key) {
+  constexpr std::uint64_t mask = (1u << 21) - 1;
+  return std::to_string((key >> 42) & mask) + "x" +
+         std::to_string((key >> 21) & mask) + "x" + std::to_string(key & mask);
+}
+
 }  // namespace
 
 std::string to_string(Status s) {
@@ -33,8 +50,41 @@ std::string to_string(Status s) {
     case Status::kTimedOut: return "timed-out";
     case Status::kShutdown: return "shutdown";
     case Status::kError: return "error";
+    case Status::kShed: return "shed";
   }
   return "invalid";
+}
+
+std::string to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kBatch: return "batch";
+  }
+  return "invalid";
+}
+
+Priority priority_from_string(std::string_view s) {
+  if (s == "high") return Priority::kHigh;
+  if (s == "normal") return Priority::kNormal;
+  if (s == "batch") return Priority::kBatch;
+  throw std::invalid_argument("priority = \"" + std::string(s) +
+                              "\" (expected high|normal|batch)");
+}
+
+std::string to_string(QueueKind k) {
+  switch (k) {
+    case QueueKind::kMutex: return "mutex";
+    case QueueKind::kLockFree: return "lockfree";
+  }
+  return "invalid";
+}
+
+QueueKind queue_kind_from_string(std::string_view s) {
+  if (s == "mutex") return QueueKind::kMutex;
+  if (s == "lockfree") return QueueKind::kLockFree;
+  throw std::invalid_argument("queue = \"" + std::string(s) +
+                              "\" (expected mutex|lockfree)");
 }
 
 bool Ticket::ready() const {
@@ -74,6 +124,165 @@ void ServerOptions::validate() const {
   if (engine) engine->validate();
 }
 
+// ---------------------------------------------------------------------------
+// Admission queues. Both implement the same contract so the shed/reject set
+// for a fixed submission order is identical under either queue_kind:
+//  - capacity bounds the TOTAL queued count across the three classes;
+//  - push under overload evicts the OLDEST request of the STRICTLY LOWEST
+//    class below the newcomer's (or fails with kFull when no such class has
+//    a queued request);
+//  - pop serves the highest class first, FIFO within a class.
+
+struct Server::AdmissionQueue {
+  enum class PushResult {
+    kAdmitted,  ///< req queued, nothing evicted
+    kShed,      ///< req queued; `victim` holds the evicted lower-class request
+    kFull,      ///< req NOT consumed: at capacity with no lower-class victim
+  };
+
+  virtual ~AdmissionQueue() = default;
+  /// Never blocks. On kFull `req` is left intact in the caller (its promise
+  /// is still pending there). `victim` is set only for kShed — except in the
+  /// never-observed defensive branch of the lock-free path, where a victim
+  /// can be popped and the push still refused; callers must resolve a set
+  /// victim regardless of the result.
+  virtual PushResult push(Request&& req, std::optional<Request>& victim) = 0;
+  virtual bool pop(Request& out) = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  static std::unique_ptr<AdmissionQueue> make(QueueKind kind, int capacity);
+
+  struct Mutexed;
+  struct LockFree;
+
+ protected:
+  static int idx(Priority p) { return static_cast<int>(p); }
+};
+
+/// The fallback: one mutex over three deques. Trivially correct; every
+/// submitter and worker serializes on mu_.
+struct Server::AdmissionQueue::Mutexed final : Server::AdmissionQueue {
+  explicit Mutexed(int capacity) : capacity_(static_cast<std::size_t>(capacity)) {}
+
+  PushResult push(Request&& req, std::optional<Request>& victim) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    const int cls = idx(req.priority);
+    if (count_ < capacity_) {
+      classes_[static_cast<std::size_t>(cls)].push_back(std::move(req));
+      ++count_;
+      return PushResult::kAdmitted;
+    }
+    for (int c = kPriorityCount - 1; c > cls; --c) {
+      auto& q = classes_[static_cast<std::size_t>(c)];
+      if (q.empty()) continue;
+      victim = std::move(q.front());
+      q.pop_front();
+      classes_[static_cast<std::size_t>(cls)].push_back(std::move(req));
+      return PushResult::kShed;  // one out, one in: count unchanged
+    }
+    return PushResult::kFull;
+  }
+
+  bool pop(Request& out) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& q : classes_) {
+      if (q.empty()) continue;
+      out = std::move(q.front());
+      q.pop_front();
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+  std::array<std::deque<Request>, kPriorityCount> classes_;
+};
+
+/// The default: one Vyukov MPMC ring per class plus an atomic total count.
+/// Admission is a CAS on count_ + a ring push; pop walks the class rings in
+/// priority order. Invariant (why ring pushes cannot fail): a ring push only
+/// happens after either count_ was raised under capacity (fast path) or a
+/// victim was popped without lowering count_ (shed path), so the total ring
+/// occupancy never exceeds count_ <= capacity, and every ring is sized
+/// mpmc_capacity_for(capacity + 1) > capacity.
+struct Server::AdmissionQueue::LockFree final : Server::AdmissionQueue {
+  explicit LockFree(int capacity)
+      : capacity_(static_cast<std::size_t>(capacity)),
+        rings_{make_ring_(capacity), make_ring_(capacity), make_ring_(capacity)} {}
+
+  PushResult push(Request&& req, std::optional<Request>& victim) override {
+    const int cls = idx(req.priority);
+    std::size_t cur = count_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (cur < capacity_) {
+        if (!count_.compare_exchange_weak(cur, cur + 1)) continue;
+        if (rings_[static_cast<std::size_t>(cls)]->try_push(std::move(req)))
+          return PushResult::kAdmitted;
+        count_.fetch_sub(1);  // defensive: see the class invariant above
+        return PushResult::kFull;
+      }
+      // At capacity: shed the oldest queued request of the strictly lowest
+      // class below ours. A concurrent worker pop can race this choice; the
+      // determinism guarantee is for a fixed submission order (sequential
+      // submitters / a paused server), which is what the tests pin.
+      for (int c = kPriorityCount - 1; c > cls; --c) {
+        Request v;
+        if (!rings_[static_cast<std::size_t>(c)]->try_pop(v)) continue;
+        victim = std::move(v);
+        if (rings_[static_cast<std::size_t>(cls)]->try_push(std::move(req)))
+          return PushResult::kShed;  // one out, one in: count unchanged
+        count_.fetch_sub(1);  // defensive: victim left, our push refused
+        return PushResult::kFull;
+      }
+      return PushResult::kFull;
+    }
+  }
+
+  bool pop(Request& out) override {
+    for (auto& ring : rings_) {
+      if (!ring->try_pop(out)) continue;
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const override {
+    // count_ is raised before the matching ring push lands, so this can
+    // transiently over-report by in-flight pushes — fine for a depth gauge.
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Ring = common::MpmcRing<Request>;
+  static std::unique_ptr<Ring> make_ring_(int capacity) {
+    return std::make_unique<Ring>(
+        common::mpmc_capacity_for(static_cast<std::size_t>(capacity) + 1));
+  }
+
+  std::size_t capacity_;
+  std::atomic<std::size_t> count_{0};
+  std::array<std::unique_ptr<Ring>, kPriorityCount> rings_;
+};
+
+std::unique_ptr<Server::AdmissionQueue> Server::AdmissionQueue::make(
+    QueueKind kind, int capacity) {
+  if (kind == QueueKind::kMutex)
+    return std::make_unique<Mutexed>(capacity);
+  return std::make_unique<LockFree>(capacity);
+}
+
+// ---------------------------------------------------------------------------
+
 Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
                std::span<const float> params, const nn::Tensor* calibration)
     : opts_(validated(opts)),
@@ -88,13 +297,25 @@ Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
       completed_(registry_.counter("serve.completed")),
       rejected_(registry_.counter("serve.rejected")),
       timed_out_(registry_.counter("serve.timed_out")),
+      shed_(registry_.counter("serve.shed")),
       batches_(registry_.counter("serve.batches")),
       queue_depth_gauge_(registry_.gauge("serve.queue_depth")),
       queue_depth_peak_(registry_.gauge("serve.queue_depth_peak")),
       batch_size_hist_(registry_.latency_histogram("serve.batch_size")),
       latency_us_hist_(registry_.latency_histogram("serve.latency_us")),
       queue_us_hist_(registry_.latency_histogram("serve.queue_us")),
-      paused_(opts_.start_paused) {
+      paused_(opts_.start_paused),
+      queue_(AdmissionQueue::make(opts_.queue_kind, opts_.queue_capacity)) {
+  for (int c = 0; c < kPriorityCount; ++c) {
+    const std::string prefix =
+        "serve." + to_string(static_cast<Priority>(c)) + ".";
+    ClassMetrics& m = class_metrics_[c];
+    m.submitted = &registry_.counter(prefix + "submitted");
+    m.completed = &registry_.counter(prefix + "completed");
+    m.shed = &registry_.counter(prefix + "shed");
+    m.timed_out = &registry_.counter(prefix + "timed_out");
+    m.latency_us = &registry_.latency_histogram(prefix + "latency_us");
+  }
   sessions_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i) {
     nn::Network net = factory();
@@ -124,7 +345,20 @@ Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
   pool_ = std::make_unique<common::ThreadPool>(opts_.workers);
   worker_done_.reserve(sessions_.size());
   for (int i = 0; i < opts_.workers; ++i)
-    worker_done_.push_back(pool_->submit([this, i] { worker_loop_(i); }));
+    worker_done_.push_back(pool_->submit([this, i] {
+      try {
+        worker_loop_(i);
+      } catch (...) {
+        // A worker-loop failure must still count as an exit or drain()
+        // would wait forever; the exception reaches drain() via the future.
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++exited_workers_;
+        }
+        idle_cv_.notify_all();
+        throw;
+      }
+    }));
 }
 
 Server::~Server() {
@@ -140,120 +374,176 @@ int Server::submit_flight_shard_() const {
   return opts_.workers + (registry_.this_shard() & 3);
 }
 
-Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us) {
+void Server::check_shape_(const nn::Tensor& input) {
+  const std::uint64_t key = pack_shape(input.c(), input.h(), input.w());
+  std::uint64_t established = 0;
+  // The winning first submit establishes the shape — before any
+  // load-dependent check, so a mismatched request throws deterministically
+  // even when the server is full or draining, and so two concurrent first
+  // submits with different shapes can never both enter the queue.
+  if (shape_key_.compare_exchange_strong(established, key)) return;
+  if (established == key) return;
+  throw std::invalid_argument(
+      "serve::Server::submit: input shape " + shape_str(key) +
+      " does not match the server's established shape " +
+      shape_str(established));
+}
+
+void Server::note_overload_event_() {
+  // Overload forensics: a sustained run of rejections/sheds dumps the ring
+  // once, capturing the admission pattern that led into the burst.
+  const int streak = reject_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (flight_ && opts_.reject_burst > 0 && streak >= opts_.reject_burst &&
+      !burst_dumped_.exchange(true, std::memory_order_relaxed)) {
+    flight_->dump(opts_.flight_dump_prefix + "_overload.json",
+                  "reject burst: " + std::to_string(streak) +
+                      " consecutive rejections");
+  }
+}
+
+void Server::resolve_shed_(Request&& victim, std::uint64_t by_request_id) {
+  const int cls = static_cast<int>(victim.priority);
+  shed_.inc(registry_.this_shard());
+  class_metrics_[cls].shed->inc(registry_.this_shard());
+  note_overload_event_();
+  if (flight_)
+    flight_->record(submit_flight_shard_(), obs::FlightEventKind::kShed, -1,
+                    victim.id, 0, static_cast<std::uint64_t>(cls),
+                    by_request_id, to_string(victim.priority));
+  Response r;
+  r.status = Status::kShed;
+  r.request_id = victim.id;
+  r.priority = victim.priority;
+  r.queue_us = micros(Clock::now() - victim.enqueued);
+  r.total_us = r.queue_us;
+  victim.promise.set_value(std::move(r));
+}
+
+Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us,
+                      Priority priority) {
   if (input.n() != 1)
     throw std::invalid_argument("serve::Server::submit: input.n() = " +
                                 std::to_string(input.n()) + " (one sample per request)");
+  check_shape_(input);
   if (deadline_us < 0) deadline_us = opts_.default_deadline_us;
 
-  std::promise<Response> promise;
-  std::future<Response> fut = promise.get_future();
   const Clock::time_point now = Clock::now();
   const std::uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const int cls = static_cast<int>(priority);
 
-  std::optional<Status> reject;
-  std::size_t depth_after = 0;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    // Shape validation comes before the load-dependent checks so a
-    // mismatched request throws deterministically even when the server is
-    // full or draining.
-    if (expect_c_ != 0 && (input.c() != expect_c_ || input.h() != expect_h_ ||
-                           input.w() != expect_w_)) {
-      throw std::invalid_argument(
-          "serve::Server::submit: input shape " + std::to_string(input.c()) + "x" +
-          std::to_string(input.h()) + "x" + std::to_string(input.w()) +
-          " does not match the server's established shape " +
-          std::to_string(expect_c_) + "x" + std::to_string(expect_h_) + "x" +
-          std::to_string(expect_w_));
-    }
-    if (stopping_) {
-      reject = Status::kShutdown;
-    } else if (static_cast<int>(queue_.size()) >= opts_.queue_capacity) {
-      reject = Status::kQueueFull;
-    } else {
-      if (expect_c_ == 0) {
-        expect_c_ = input.c();
-        expect_h_ = input.h();
-        expect_w_ = input.w();
-      }
-      Request req;
-      req.input = input;
-      req.id = id;
-      req.enqueued = now;
-      req.has_deadline = deadline_us > 0;
-      if (req.has_deadline) req.deadline = now + std::chrono::microseconds(deadline_us);
-      req.promise = std::move(promise);
-      queue_.push_back(std::move(req));
-      depth_after = queue_.size();
-      queue_depth_gauge_.set(static_cast<double>(depth_after));
-      queue_depth_peak_.max(static_cast<double>(depth_after));
-      submitted_.inc(registry_.this_shard());
-    }
+  auto reject = [&](std::promise<Response>&& promise, Status status) {
+    rejected_.inc(registry_.this_shard());
+    if (flight_)
+      flight_->record(submit_flight_shard_(), obs::FlightEventKind::kReject, -1,
+                      id, 0, static_cast<std::uint64_t>(status),
+                      static_cast<std::uint64_t>(cls), to_string(status));
+    if (status == Status::kQueueFull) note_overload_event_();
+    Response r;
+    r.status = status;
+    r.request_id = id;
+    r.priority = priority;
+    promise.set_value(std::move(r));
+  };
+
+  Request req;
+  req.input = input;
+  req.id = id;
+  req.priority = priority;
+  req.enqueued = now;
+  req.has_deadline = deadline_us > 0;
+  if (req.has_deadline) req.deadline = now + std::chrono::microseconds(deadline_us);
+  std::future<Response> fut = req.promise.get_future();
+
+  if (stopping_.load()) {
+    reject(std::move(req.promise), Status::kShutdown);
+    return Ticket(std::move(fut));
   }
 
-  if (reject) {
-    rejected_.inc(registry_.this_shard());
-    if (flight_) {
-      flight_->record(submit_flight_shard_(), obs::FlightEventKind::kReject, -1, id, 0,
-                      static_cast<std::uint64_t>(*reject), 0, to_string(*reject));
-      // Overload forensics: a sustained run of rejections dumps the ring
-      // once, capturing the admission pattern that led into the burst.
-      const int streak = reject_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (opts_.reject_burst > 0 && streak >= opts_.reject_burst &&
-          !burst_dumped_.exchange(true, std::memory_order_relaxed)) {
-        flight_->dump(opts_.flight_dump_prefix + "_overload.json",
-                      "reject burst: " + std::to_string(streak) +
-                          " consecutive rejections");
-      }
-    }
-    Response r;
-    r.status = *reject;
-    r.request_id = id;
-    promise.set_value(std::move(r));
-  } else {
-    reject_streak_.store(0, std::memory_order_relaxed);
-    if (flight_)
-      flight_->record(submit_flight_shard_(), obs::FlightEventKind::kAdmit, -1, id, 0,
-                      static_cast<std::uint64_t>(depth_after));
-    work_cv_.notify_one();
+  std::optional<Request> victim;
+  const auto result = queue_->push(std::move(req), victim);
+  // A popped victim resolves kShed whatever happened to our own push (the
+  // defensive lock-free branch can evict one and still refuse us).
+  if (victim) resolve_shed_(std::move(*victim), id);
+
+  if (result == AdmissionQueue::PushResult::kFull) {
+    reject(std::move(req.promise), Status::kQueueFull);
+    return Ticket(std::move(fut));
+  }
+
+  const std::size_t depth = queue_->size();
+  queue_depth_gauge_.set(static_cast<double>(depth));
+  queue_depth_peak_.max(static_cast<double>(depth));
+  submitted_.inc(registry_.this_shard());
+  class_metrics_[cls].submitted->inc(registry_.this_shard());
+  if (result == AdmissionQueue::PushResult::kAdmitted)
+    reject_streak_.store(0, std::memory_order_relaxed);  // clean, shed-free admit
+  if (flight_)
+    flight_->record(submit_flight_shard_(), obs::FlightEventKind::kAdmit, -1, id,
+                    0, static_cast<std::uint64_t>(depth),
+                    static_cast<std::uint64_t>(cls));
+  // Deliberately not under mu_: with a lock-free queue the mutex guards only
+  // waits. A wake-up lost in the window between a worker's failed pop and
+  // its wait is recovered by the workers' 1 ms poll backstop.
+  work_cv_.notify_one();
+
+  if (stopping_.load()) {
+    // Rare race: drain() began between our stopping_ check and the push. If
+    // the workers are already gone nobody will pop this request — sweep it
+    // (and any other stragglers) under mu_, serialized with drain()'s own
+    // final sweep. Otherwise a still-running worker or that sweep takes it.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (exited_workers_ == static_cast<int>(sessions_.size()))
+      sweep_shutdown_locked_();
   }
   return Ticket(std::move(fut));
 }
 
+void Server::pause() { paused_.store(true); }
+
 void Server::resume() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    paused_ = false;
-  }
+  paused_.store(false);
   work_cv_.notify_all();
 }
 
-bool Server::accepting() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return !stopping_;
-}
+bool Server::accepting() const { return !stopping_.load(); }
 
-std::size_t Server::queue_depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return queue_.size();
+std::size_t Server::queue_depth() const { return queue_->size(); }
+
+void Server::sweep_shutdown_locked_() {
+  Request req;
+  while (queue_->pop(req)) {
+    Response r;
+    r.status = Status::kShutdown;
+    r.request_id = req.id;
+    r.priority = req.priority;
+    r.queue_us = micros(Clock::now() - req.enqueued);
+    r.total_us = r.queue_us;
+    req.promise.set_value(std::move(r));
+  }
+  queue_depth_gauge_.set(0.0);
 }
 
 void Server::drain() {
   std::lock_guard<std::mutex> serialize(drain_mu_);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stopping_ = true;
-    paused_ = false;  // a paused server must still complete admitted requests
-  }
+  stopping_.store(true);
+  paused_.store(false);  // a paused server must still complete admitted work
   work_cv_.notify_all();
   {
     std::unique_lock<std::mutex> lk(mu_);
-    idle_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+    idle_cv_.wait(lk, [&] {
+      return exited_workers_ == static_cast<int>(sessions_.size());
+    });
   }
-  pool_.reset();  // joins the workers (they exit once stopping_ and empty)
+  pool_.reset();  // joins the workers
   std::vector<std::future<void>> done = std::move(worker_done_);
   worker_done_.clear();
+  {
+    // Catch requests pushed by submitters that raced the shutdown (their
+    // own rare-path sweep and this one serialize on mu_; whoever pops a
+    // straggler resolves it exactly once).
+    std::lock_guard<std::mutex> lk(mu_);
+    sweep_shutdown_locked_();
+  }
   for (auto& f : done) f.get();  // surfaces the first worker-loop exception
 }
 
@@ -263,94 +553,117 @@ std::string Server::dump_flight(const std::string& path,
   return flight_->dump(path, reason);
 }
 
-std::optional<Server::Request> Server::pop_live_locked_(int worker,
-                                                        std::uint64_t batch_id,
-                                                        Clock::time_point now) {
-  Request req = std::move(queue_.front());
-  queue_.pop_front();
-  queue_depth_gauge_.set(static_cast<double>(queue_.size()));
+bool Server::resolve_if_expired_(Request& req, int worker, std::uint64_t batch_id,
+                                 Clock::time_point now) {
   req.popped = now;
-  if (req.has_deadline && now > req.deadline) {
-    timed_out_.inc(worker);
-    Response r;
-    r.status = Status::kTimedOut;
-    r.request_id = req.id;
-    r.queue_us = micros(now - req.enqueued);
-    r.total_us = r.queue_us;
-    if (flight_)
-      flight_->record(worker, obs::FlightEventKind::kDeadlineExpired, worker, req.id,
-                      batch_id, static_cast<std::uint64_t>(r.queue_us));
-    if (opts_.trace)
-      tracer_.record("queue", req.enqueued, now,
-                     {{"request_id", static_cast<double>(req.id)},
-                      {"timed_out", 1.0}},
-                     0);
-    req.promise.set_value(std::move(r));
-    return std::nullopt;
-  }
+  if (!req.has_deadline || now <= req.deadline) return false;
+  const int cls = static_cast<int>(req.priority);
+  timed_out_.inc(worker);
+  class_metrics_[cls].timed_out->inc(worker);
+  Response r;
+  r.status = Status::kTimedOut;
+  r.request_id = req.id;
+  r.priority = req.priority;
+  r.queue_us = micros(now - req.enqueued);
+  r.total_us = r.queue_us;
   if (flight_)
-    flight_->record(worker, obs::FlightEventKind::kPop, worker, req.id, batch_id);
-  return req;
+    flight_->record(worker, obs::FlightEventKind::kDeadlineExpired, worker, req.id,
+                    batch_id, static_cast<std::uint64_t>(r.queue_us));
+  if (opts_.trace)
+    tracer_.record("queue", req.enqueued, now,
+                   {{"request_id", static_cast<double>(req.id)},
+                    {"timed_out", 1.0}},
+                   0);
+  req.promise.set_value(std::move(r));
+  return true;
 }
 
 void Server::worker_loop_(int worker) {
-  std::unique_lock<std::mutex> lk(mu_);
+  using namespace std::chrono_literals;
   for (;;) {
-    work_cv_.wait(lk, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
-    if (queue_.empty()) {
-      if (stopping_) return;
-      continue;  // spurious wake-up
-    }
-
-    // Open a batch with the first live request, then keep filling it until
-    // it is full or max_delay_us has elapsed since it opened. While we
-    // wait, submit() wakes us; during drain the flush is immediate.
-    const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
-    std::vector<Request> batch;
-    batch.reserve(static_cast<std::size_t>(opts_.max_batch));
-    const Clock::time_point opened = Clock::now();
-    const Clock::time_point flush_at =
-        opened + std::chrono::microseconds(opts_.max_delay_us);
-    bool window_elapsed = false;
-    while (static_cast<int>(batch.size()) < opts_.max_batch) {
-      if (!queue_.empty()) {
-        if (auto req = pop_live_locked_(worker, batch_id, Clock::now()))
-          batch.push_back(std::move(*req));
-        continue;
-      }
-      if (batch.empty() || stopping_ || opts_.max_delay_us == 0) break;
-      const bool woke = work_cv_.wait_until(
-          lk, flush_at, [&] { return !queue_.empty() || stopping_; });
-      if (!woke) {
-        window_elapsed = true;
-        break;  // flush window elapsed
-      }
-    }
-    if (flight_ && !batch.empty()) {
-      const auto reason = static_cast<int>(batch.size()) >= opts_.max_batch
-                              ? obs::FlushReason::kFull
-                          : stopping_         ? obs::FlushReason::kStopping
-                          : window_elapsed    ? obs::FlushReason::kDelay
-                                              : obs::FlushReason::kImmediate;
-      flight_->record(worker, obs::FlightEventKind::kFlush, worker, 0, batch_id,
-                      static_cast<std::uint64_t>(reason), batch.size());
-    }
-    if (batch.empty()) {
-      // Everything popped had expired. That pop may have just emptied the
-      // queue with nothing in flight, and run_batch_'s post-batch notify
-      // below never runs on this path — wake a blocked drain() here or it
-      // waits forever.
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    const bool stop = stopping_.load();
+    if (!stop && paused_.load()) {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait_for(lk, 1ms,
+                        [&] { return stopping_.load() || !paused_.load(); });
       continue;
     }
-
-    in_flight_ += static_cast<int>(batch.size());
-    lk.unlock();
-    run_batch_(worker, batch_id, batch);
-    lk.lock();
-    in_flight_ -= static_cast<int>(batch.size());
-    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    Request first;
+    if (!queue_->pop(first)) {
+      if (stop) break;  // draining and the queue is dry: exit
+      // submit() notifies without holding mu_, so a notify landing between
+      // this failed pop and the wait below is lost — the 1 ms timeout is
+      // the backstop that bounds that race instead of a lock on every
+      // submit.
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait_for(lk, 1ms, [&] {
+        return stopping_.load() || (!paused_.load() && queue_->size() > 0);
+      });
+      continue;
+    }
+    queue_depth_gauge_.set(static_cast<double>(queue_->size()));
+    form_and_run_(worker, std::move(first));
   }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++exited_workers_;
+  }
+  idle_cv_.notify_all();
+}
+
+void Server::form_and_run_(int worker, Request&& first) {
+  using namespace std::chrono_literals;
+  // Open a batch with the first live request, then keep filling it until it
+  // is full or max_delay_us has elapsed since it opened. While we wait,
+  // submit() wakes us; during drain (or pause) the flush is immediate.
+  const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(opts_.max_batch));
+  const Clock::time_point opened = Clock::now();
+  const Clock::time_point flush_at =
+      opened + std::chrono::microseconds(opts_.max_delay_us);
+  bool window_elapsed = false;
+
+  if (!resolve_if_expired_(first, worker, batch_id, opened)) {
+    if (flight_)
+      flight_->record(worker, obs::FlightEventKind::kPop, worker, first.id, batch_id);
+    batch.push_back(std::move(first));
+  }
+  while (static_cast<int>(batch.size()) < opts_.max_batch) {
+    Request req;
+    if (queue_->pop(req)) {
+      queue_depth_gauge_.set(static_cast<double>(queue_->size()));
+      if (!resolve_if_expired_(req, worker, batch_id, Clock::now())) {
+        if (flight_)
+          flight_->record(worker, obs::FlightEventKind::kPop, worker, req.id, batch_id);
+        batch.push_back(std::move(req));
+      }
+      continue;
+    }
+    if (batch.empty()) break;  // everything popped so far had expired
+    if (stopping_.load() || paused_.load() || opts_.max_delay_us == 0) break;
+    const Clock::time_point now = Clock::now();
+    if (now >= flush_at) {
+      window_elapsed = true;
+      break;
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    // Wait in <= 1 ms slices (same lost-notify backstop as the idle loop).
+    work_cv_.wait_until(lk, std::min(flush_at, now + 1ms),
+                        [&] { return stopping_.load() || queue_->size() > 0; });
+  }
+
+  if (flight_ && !batch.empty()) {
+    const auto reason = static_cast<int>(batch.size()) >= opts_.max_batch
+                            ? obs::FlushReason::kFull
+                        : stopping_.load()  ? obs::FlushReason::kStopping
+                        : window_elapsed    ? obs::FlushReason::kDelay
+                                            : obs::FlushReason::kImmediate;
+    flight_->record(worker, obs::FlightEventKind::kFlush, worker, 0, batch_id,
+                    static_cast<std::uint64_t>(reason), batch.size());
+  }
+  if (batch.empty()) return;
+  run_batch_(worker, batch_id, batch);
 }
 
 void Server::run_batch_(int worker, std::uint64_t batch_id,
@@ -401,9 +714,11 @@ void Server::run_batch_(int worker, std::uint64_t batch_id,
   batch_size_hist_.record(static_cast<std::uint64_t>(b), worker);
   for (int i = 0; i < b; ++i) {
     Request& req = batch[static_cast<std::size_t>(i)];
+    const int cls = static_cast<int>(req.priority);
     Response r;
     r.batch_size = b;
     r.request_id = req.id;
+    r.priority = req.priority;
     r.queue_us = micros(t0 - req.enqueued);
     r.run_us = run_us;
     if (!error.empty()) {
@@ -419,12 +734,16 @@ void Server::run_batch_(int worker, std::uint64_t batch_id,
       std::copy(src.begin(), src.end(), r.logits.sample(0).begin());
       r.predicted = argmax_of(src);
       completed_.inc(worker);
+      class_metrics_[cls].completed->inc(worker);
       queue_us_hist_.record(static_cast<std::uint64_t>(r.queue_us), worker);
     }
     const Clock::time_point resolved = Clock::now();
     r.total_us = micros(resolved - req.enqueued);
-    if (r.status == Status::kOk)
+    if (r.status == Status::kOk) {
       latency_us_hist_.record(static_cast<std::uint64_t>(r.total_us), worker);
+      class_metrics_[cls].latency_us->record(
+          static_cast<std::uint64_t>(r.total_us), worker);
+    }
     if (opts_.trace) {
       // The request's span tree: queue (admission row) -> batch_wait ->
       // request envelope on the worker row, all carrying request_id +

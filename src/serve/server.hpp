@@ -11,9 +11,25 @@
 // pass, one LUT row walk, and one worker wake-up.
 //
 // Semantics, all deterministic and tested:
-//  - Admission: submit() never blocks. A full queue rejects immediately with
+//  - Admission: submit() never blocks. The queue is bounded by
+//    queue_capacity across ALL priority classes; a full queue either sheds
+//    a queued lower-class request (see below) or rejects the newcomer with
 //    Status::kQueueFull (backpressure, never a silent drop); a drained
 //    server rejects with Status::kShutdown.
+//  - Queue kind (options().queue_kind): the admission queue is either the
+//    classic mutex-guarded deque set (kMutex) or a set of lock-free Vyukov
+//    MPMC rings (kLockFree, the default — see common/mpmc_ring.hpp). The
+//    two are bit-interchangeable: same admission semantics, same logits,
+//    A/B'd in bench_serve under a bit-exactness gate.
+//  - Priority classes: every request carries a Priority {kHigh, kNormal,
+//    kBatch}. Workers serve strictly highest-class-first, FIFO within a
+//    class. Under overload an arriving request evicts the OLDEST queued
+//    request of the STRICTLY LOWEST class below its own (kHigh sheds from
+//    kBatch first, then kNormal; kNormal sheds only from kBatch; kBatch
+//    never sheds anyone and takes the kQueueFull itself). The victim
+//    resolves with Status::kShed. Given one submission order, the
+//    shed/reject set is a pure function of that order — independent of
+//    worker count and queue kind — which serve_test pins across runs.
 //  - Batching: a worker pops the first waiting request, then keeps popping
 //    until it has max_batch requests or max_delay_us has elapsed since the
 //    batch opened, stacks them into one batch tensor, and runs a single
@@ -23,6 +39,10 @@
 //    bench_serve asserts on every response.
 //  - Deadlines: a request whose deadline has passed by the time a worker
 //    pops it resolves with Status::kTimedOut instead of running.
+//  - pause()/resume(): a paused server admits (and sheds) normally but
+//    workers stop opening new batches; a batch already forming flushes
+//    with what it has. Tests and the soak harness use this to stage
+//    deterministic overload states mid-run.
 //  - drain(): stops admission, completes every admitted request (timed-out
 //    ones as kTimedOut), then joins the workers. The destructor drains.
 //
@@ -30,7 +50,9 @@
 //  - Metrics: the server owns an obs::Registry — serve.queue_depth /
 //    serve.queue_depth_peak gauges, serve.batch_size / serve.latency_us /
 //    serve.queue_us quantile histograms (p50/p90/p99/p999), and
-//    serve.{submitted,completed,rejected,timed_out,batches} counters — so
+//    serve.{submitted,completed,rejected,timed_out,shed,batches} counters —
+//    plus the same counters and a latency histogram per priority class
+//    under serve.<class>.* (class ∈ high|normal|batch) — so
 //    BENCH_serve.json and `scnn_cli serve --metrics-out` join the existing
 //    report family.
 //  - Traces (opt-in, options().trace): submit() mints a monotonic request
@@ -41,11 +63,12 @@
 //    obs::TraceContext). Tracing off is the default and leaves the forward
 //    path exactly as uninstrumented: logits and MacStats are bit-identical.
 //  - Flight recorder (on by default, options().flight_recorder): every
-//    admission, rejection, deadline expiry, pop, flush, batch start/end, and
-//    worker exception lands in a lock-free obs::FlightRecorder ring. The
-//    server dumps it to a stamped JSON file automatically on a batch-forward
-//    exception or a sustained reject burst, and on demand via dump_flight()
-//    (`scnn_cli serve --dump-flight=`).
+//    admission, rejection, shed, deadline expiry, pop, flush, batch
+//    start/end, and worker exception lands in a lock-free
+//    obs::FlightRecorder ring. The server dumps it to a stamped JSON file
+//    automatically on a batch-forward exception or a sustained reject/shed
+//    burst, and on demand via dump_flight() (`scnn_cli serve
+//    --dump-flight=`).
 //  - Trajectory: BENCH_serve.json carries the quantiles + hardware
 //    fingerprint that tools/bench_compare diffs PR-over-PR.
 #pragma once
@@ -54,7 +77,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -74,23 +96,57 @@
 
 namespace scnn::serve {
 
-/// Terminal state of one request. kOk carries logits; the three rejection /
-/// expiry states are the server's explicit overload semantics.
+/// Terminal state of one request. kOk carries logits; the rejection /
+/// expiry / eviction states are the server's explicit overload semantics.
 enum class Status {
   kOk,        ///< ran in a batch; logits + latency populated
-  kQueueFull, ///< rejected at submit(): bounded queue at capacity
+  kQueueFull, ///< rejected at submit(): bounded queue at capacity and no
+              ///< lower-priority victim to shed
   kTimedOut,  ///< admitted, but its deadline passed before a worker ran it
   kShutdown,  ///< rejected at submit(): server is draining / drained
   kError,     ///< the batch forward threw; `error` holds the message
+  kShed,      ///< admitted, then evicted by a higher-priority arrival
+              ///< under overload (strictly lowest-class-first, FIFO within
+              ///< the class)
 };
 
 [[nodiscard]] std::string to_string(Status s);
+
+/// Request priority class. Order matters: lower enumerator = more
+/// important. Under overload the queue sheds strictly lowest-class-first;
+/// workers serve strictly highest-class-first, FIFO within a class.
+enum class Priority : std::uint8_t {
+  kHigh = 0,    ///< latency-sensitive; never shed while any kNormal/kBatch
+                ///< request is queued
+  kNormal = 1,  ///< the default
+  kBatch = 2,   ///< best-effort / offline; first to be shed
+};
+inline constexpr int kPriorityCount = 3;
+
+[[nodiscard]] std::string to_string(Priority p);
+/// Parses "high" | "normal" | "batch"; throws std::invalid_argument naming
+/// the value otherwise.
+[[nodiscard]] Priority priority_from_string(std::string_view s);
+
+/// Which admission-queue implementation the server runs (see the header
+/// comment; semantics are identical, bench_serve A/Bs throughput).
+enum class QueueKind : std::uint8_t {
+  kMutex = 0,     ///< one mutex over per-class deques (the fallback)
+  kLockFree = 1,  ///< per-class lock-free Vyukov MPMC rings (the default)
+};
+
+[[nodiscard]] std::string to_string(QueueKind k);
+/// Parses "mutex" | "lockfree"; throws std::invalid_argument naming the
+/// value otherwise.
+[[nodiscard]] QueueKind queue_kind_from_string(std::string_view s);
 
 /// What a Ticket resolves to.
 struct Response {
   Status status = Status::kOk;
   std::uint64_t request_id = 0;  ///< minted at submit(); correlates traces,
                                  ///< flight events, and this response
+  Priority priority = Priority::kNormal;  ///< class the request ran (or was
+                                          ///< rejected/shed) as
   nn::Tensor logits;       ///< n() == 1; empty unless status == kOk
   int predicted = -1;      ///< argmax over logits (kOk only)
   int batch_size = 0;      ///< size of the micro-batch this request ran in
@@ -102,7 +158,8 @@ struct Response {
 
 /// Future handle for one submitted request. get() blocks until the request
 /// resolves (it always does: rejections resolve immediately, admitted
-/// requests are completed by a worker or by drain()). One-shot.
+/// requests are completed by a worker, shed by an arrival, or swept by
+/// drain()). One-shot.
 class Ticket {
  public:
   Ticket() = default;
@@ -124,7 +181,9 @@ struct ServerOptions {
   int session_threads = 1;  ///< worker threads *inside* each shard's session
   int max_batch = 8;        ///< flush a batch at this many requests
   int max_delay_us = 200;   ///< ... or this long after the batch opened
-  int queue_capacity = 64;  ///< bounded admission queue (backpressure)
+  int queue_capacity = 64;  ///< bounded admission queue, summed over all
+                            ///< priority classes (backpressure)
+  QueueKind queue_kind = QueueKind::kLockFree;  ///< admission queue impl
   std::int64_t default_deadline_us = 0;  ///< 0 = requests never expire
   /// Engine for every shard (nullopt = float mode). `threads` and
   /// `instrument` inside it are overridden by the server (session_threads /
@@ -143,8 +202,9 @@ struct ServerOptions {
   /// goes wrong, and bench_serve pins its cost below 2% throughput.
   bool flight_recorder = true;
   int flight_capacity = 256;  ///< ring slots per recorder shard
-  /// Auto-dump the flight ring after this many consecutive rejected
-  /// submissions (overload forensics); 0 disables the burst trigger.
+  /// Auto-dump the flight ring after this many consecutive overload events
+  /// (kQueueFull rejections and kShed evictions both count; a clean,
+  /// shed-free admit resets the streak); 0 disables the burst trigger.
   int reject_burst = 0;
   /// Filename prefix for automatic dumps: <prefix>_error_w<worker>.json on a
   /// batch-forward exception, <prefix>_overload.json on a reject burst.
@@ -179,16 +239,23 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Admit one single-sample request (input.n() must be 1; its c/h/w must
-  /// match every other request — the first admitted request establishes the
+  /// match every other request — the first submitted request establishes the
   /// shape, and a mismatch throws std::invalid_argument naming both shapes,
   /// even when the queue is full or the server is draining).
-  /// Never blocks: a full queue or a draining server resolves the returned
-  /// Ticket immediately with kQueueFull / kShutdown.
+  /// Never blocks: a full queue resolves the returned Ticket immediately
+  /// with kQueueFull (after trying to shed a strictly-lower-priority queued
+  /// request, whose own ticket then resolves kShed); a draining server
+  /// resolves it with kShutdown.
   /// `deadline_us` < 0 uses options().default_deadline_us; 0 disables the
   /// deadline for this request.
-  Ticket submit(const nn::Tensor& input, std::int64_t deadline_us = -1);
+  Ticket submit(const nn::Tensor& input, std::int64_t deadline_us = -1,
+                Priority priority = Priority::kNormal);
 
-  /// Start serving after construction with start_paused (no-op otherwise).
+  /// Stop opening new batches (requests keep being admitted and shed; a
+  /// forming batch flushes with what it has). Idempotent.
+  void pause();
+
+  /// Start (or restart, after pause()) serving. No-op when already serving.
   void resume();
 
   /// Stop admission, complete every admitted request, join the workers.
@@ -226,6 +293,7 @@ class Server {
   struct Request {
     nn::Tensor input;  // n() == 1
     std::uint64_t id = 0;
+    Priority priority = Priority::kNormal;
     Clock::time_point enqueued;
     Clock::time_point popped;    // set when a worker takes it into a batch
     Clock::time_point deadline;  // only meaningful when has_deadline
@@ -233,12 +301,39 @@ class Server {
     std::promise<Response> promise;
   };
 
+  /// Admission-queue strategy: per-class FIFO with a shared capacity and
+  /// lowest-class-first shedding. Two implementations in server.cpp —
+  /// MutexAdmissionQueue and LockFreeAdmissionQueue — selected by
+  /// ServerOptions::queue_kind.
+  struct AdmissionQueue;
+
+  /// Per-priority-class counter/histogram bundle (serve.<class>.*).
+  struct ClassMetrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* timed_out = nullptr;
+    obs::LatencyHistogram* latency_us = nullptr;
+  };
+
   void worker_loop_(int worker);
-  /// Pop the front request; expired ones resolve kTimedOut and yield
-  /// nullopt. Caller holds mu_.
-  std::optional<Request> pop_live_locked_(int worker, std::uint64_t batch_id,
-                                          Clock::time_point now);
+  /// Fill a batch starting from `first`, then run it. Expired requests
+  /// resolve kTimedOut as they are popped.
+  void form_and_run_(int worker, Request&& first);
+  /// Resolve `req` kTimedOut if its deadline passed; true when it did.
+  bool resolve_if_expired_(Request& req, int worker, std::uint64_t batch_id,
+                           Clock::time_point now);
   void run_batch_(int worker, std::uint64_t batch_id, std::vector<Request>& batch);
+  /// Resolve a shed victim kShed and record the eviction (metrics + flight).
+  void resolve_shed_(Request&& victim, std::uint64_t by_request_id);
+  /// Count one overload event (kQueueFull reject or kShed eviction) toward
+  /// the reject-burst forensic dump.
+  void note_overload_event_();
+  /// Pop every queued request and resolve it kShutdown. Caller holds mu_.
+  void sweep_shutdown_locked_();
+  /// CAS-establish / validate the single admitted input shape. Throws
+  /// std::invalid_argument naming both shapes on a mismatch.
+  void check_shape_(const nn::Tensor& input);
   /// Shard index for submit-path flight events (workers own shards
   /// [0, workers); submitters hash onto the tail shards).
   [[nodiscard]] int submit_flight_shard_() const;
@@ -253,26 +348,34 @@ class Server {
   obs::Counter& completed_;
   obs::Counter& rejected_;
   obs::Counter& timed_out_;
+  obs::Counter& shed_;
   obs::Counter& batches_;
   obs::Gauge& queue_depth_gauge_;
   obs::Gauge& queue_depth_peak_;
   obs::LatencyHistogram& batch_size_hist_;
   obs::LatencyHistogram& latency_us_hist_;
   obs::LatencyHistogram& queue_us_hist_;
+  ClassMetrics class_metrics_[kPriorityCount];
 
   std::atomic<std::uint64_t> next_request_id_{1};
   std::atomic<std::uint64_t> next_batch_id_{1};
   std::atomic<int> reject_streak_{0};
   std::atomic<bool> burst_dumped_{false};
+  /// Packed established input shape: (c << 42) | (h << 21) | w, 21-bit
+  /// fields; 0 = not yet established. CAS'd by the first submit so
+  /// concurrent first submits agree without a lock.
+  std::atomic<std::uint64_t> shape_key_{0};
 
-  mutable std::mutex mu_;
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::unique_ptr<AdmissionQueue> queue_;
+
+  mutable std::mutex mu_;            // condvar waits + shutdown sweep only;
+                                     // queue ops themselves are queue_'s
   std::condition_variable work_cv_;  // workers: work available / state change
-  std::condition_variable idle_cv_;  // drain(): queue empty and nothing in flight
-  std::deque<Request> queue_;
-  int in_flight_ = 0;
-  bool paused_ = false;
-  bool stopping_ = false;
-  int expect_c_ = 0, expect_h_ = 0, expect_w_ = 0;  // established input shape
+  std::condition_variable idle_cv_;  // drain(): all workers exited
+  int exited_workers_ = 0;           // guarded by mu_
 
   std::mutex drain_mu_;  // serializes drain() callers
   std::vector<std::future<void>> worker_done_;

@@ -324,6 +324,179 @@ TEST(Serve, ShapeMismatchThrowsEvenWhenQueueFullOrDraining) {
 }
 
 // ---------------------------------------------------------------------------
+// Admission queue kinds and priority classes
+// ---------------------------------------------------------------------------
+
+TEST(Serve, BothQueueKindsBitIdenticalToDirectForward) {
+  for (const QueueKind kind : {QueueKind::kMutex, QueueKind::kLockFree}) {
+    ServerOptions opts = base_options();
+    opts.queue_kind = kind;
+    opts.workers = 2;
+    Server server(make_server(opts));
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 12; ++i) tickets.push_back(server.submit(sample(i)));
+    for (int i = 0; i < 12; ++i) {
+      Response r = tickets[static_cast<std::size_t>(i)].get();
+      ASSERT_EQ(r.status, Status::kOk)
+          << to_string(kind) << " request " << i << ": " << r.error;
+      EXPECT_TRUE(bit_identical(r.logits,
+                                reference_logits()[static_cast<std::size_t>(i)]))
+          << to_string(kind) << " request " << i;
+    }
+    server.drain();
+    EXPECT_EQ(counter_total(server.metrics(), "serve.completed"), 12u)
+        << to_string(kind);
+  }
+}
+
+// The shedding contract, pinned: under overload an arriving request evicts
+// the OLDEST queued request of the STRICTLY LOWEST class below its own
+// (batch before normal, FIFO within class); with no lower class queued it is
+// rejected kQueueFull. The reject/shed set is a pure function of arrival
+// order — identical across repeated runs, both queue kinds, and worker
+// counts (workers are paused during admission, so they cannot race it).
+TEST(Serve, SheddingIsDeterministicAndStrictlyLowestClassFirst) {
+  struct Sub {
+    Priority priority;
+    Status expected;
+  };
+  // Queue capacity 3. Arrival order and the shedding it must produce:
+  //   n1 b1 b2 admitted -> [n1 b1 b2]
+  //   n2 sheds b1 (oldest batch)          -> [n1 b2 n2]
+  //   h1 sheds b2 (batch before normal)   -> [n1 n2 h1]
+  //   h2 sheds n1 (batch empty, oldest normal) -> [n2 h1 h2]
+  //   h3 sheds n2                          -> [h1 h2 h3]
+  //   h4 kQueueFull (nothing below high queued)
+  //   b3 kQueueFull (batch never sheds anyone)
+  const std::vector<Sub> script = {
+      {Priority::kNormal, Status::kShed},      // n1: shed by h2
+      {Priority::kBatch, Status::kShed},       // b1: shed by n2
+      {Priority::kBatch, Status::kShed},       // b2: shed by h1
+      {Priority::kNormal, Status::kShed},      // n2: shed by h3
+      {Priority::kHigh, Status::kOk},          // h1
+      {Priority::kHigh, Status::kOk},          // h2
+      {Priority::kHigh, Status::kOk},          // h3
+      {Priority::kHigh, Status::kQueueFull},   // h4
+      {Priority::kBatch, Status::kQueueFull},  // b3
+  };
+  for (const QueueKind kind : {QueueKind::kMutex, QueueKind::kLockFree}) {
+    for (const int workers : {1, 4}) {
+      for (int run = 0; run < 10; ++run) {
+        ServerOptions opts = base_options();
+        opts.queue_kind = kind;
+        opts.workers = workers;
+        opts.queue_capacity = 3;
+        opts.start_paused = true;
+        Server server(make_server(opts));
+
+        std::vector<Ticket> tickets;
+        for (std::size_t i = 0; i < script.size(); ++i)
+          tickets.push_back(
+              server.submit(sample(static_cast<int>(i)), /*deadline_us=*/-1,
+                            script[i].priority));
+        // Shed and rejected requests resolve before any worker runs.
+        for (std::size_t i = 0; i < script.size(); ++i) {
+          if (script[i].expected != Status::kOk) {
+            ASSERT_TRUE(tickets[i].ready())
+                << to_string(kind) << " workers=" << workers << " run=" << run
+                << " submission " << i;
+          }
+        }
+        server.resume();
+        server.drain();
+
+        for (std::size_t i = 0; i < script.size(); ++i) {
+          const Response r = tickets[i].get();
+          ASSERT_EQ(r.status, script[i].expected)
+              << to_string(kind) << " workers=" << workers << " run=" << run
+              << " submission " << i;
+          EXPECT_EQ(r.priority, script[i].priority) << "submission " << i;
+          if (script[i].expected == Status::kOk) {
+            EXPECT_TRUE(bit_identical(r.logits, reference_logits()[i]))
+                << "submission " << i;
+          }
+          // kHigh is never shed: there is no higher class to shed it.
+          if (script[i].priority == Priority::kHigh) {
+            ASSERT_NE(r.status, Status::kShed) << "submission " << i;
+          }
+        }
+        EXPECT_EQ(counter_total(server.metrics(), "serve.shed"), 4u);
+        EXPECT_EQ(counter_total(server.metrics(), "serve.batch.shed"), 2u);
+        EXPECT_EQ(counter_total(server.metrics(), "serve.normal.shed"), 2u);
+        EXPECT_EQ(counter_total(server.metrics(), "serve.high.shed"), 0u);
+        EXPECT_EQ(counter_total(server.metrics(), "serve.rejected"), 2u);
+        EXPECT_EQ(counter_total(server.metrics(), "serve.high.completed"), 3u);
+      }
+    }
+  }
+}
+
+// Workers pop strictly high -> normal -> batch, FIFO within a class,
+// regardless of arrival order. Pinned through the flight recorder's pop
+// events on a server that admits everything while paused.
+TEST(Serve, WorkersPopHighBeforeNormalBeforeBatch) {
+  const std::string dump_path = "serve_test_pop_order.json";
+  std::remove(dump_path.c_str());
+
+  ServerOptions opts = base_options();
+  opts.workers = 1;
+  opts.max_batch = 1;  // one pop per batch => pop order == serving order
+  opts.max_delay_us = 0;
+  opts.start_paused = true;
+  Server server(make_server(opts));
+
+  // Submit in worst-case order: lowest class first.
+  Ticket b = server.submit(sample(0), -1, Priority::kBatch);
+  Ticket b2 = server.submit(sample(1), -1, Priority::kBatch);
+  Ticket n = server.submit(sample(2), -1, Priority::kNormal);
+  Ticket h = server.submit(sample(3), -1, Priority::kHigh);
+  server.resume();
+  server.drain();
+  std::vector<std::uint64_t> want_order;
+  for (Ticket* t : {&h, &n, &b, &b2}) {
+    const Response r = t->get();
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    want_order.push_back(r.request_id);
+  }
+
+  ASSERT_EQ(server.dump_flight(dump_path), dump_path);
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream body;
+  body << in.rdbuf();
+  const std::optional<obs::json::Value> doc = obs::json::parse(body.str());
+  ASSERT_TRUE(doc && doc->is_object());
+  std::vector<std::uint64_t> pop_order;
+  for (const obs::json::Value& e : doc->find("events")->array)
+    if (e.find("kind")->string == "pop")
+      pop_order.push_back(static_cast<std::uint64_t>(e.find("request_id")->number));
+  EXPECT_EQ(pop_order, want_order)
+      << "pops must drain high, then normal, then batch FIFO";
+  std::remove(dump_path.c_str());
+}
+
+TEST(Serve, PauseParksWorkersAndResumeRestarts) {
+  Server server(make_server(base_options()));
+  EXPECT_EQ(server.submit(sample(0)).get().status, Status::kOk);
+
+  server.pause();
+  server.pause();  // idempotent
+  // Give the worker time to observe the pause before staging new work.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Ticket parked = server.submit(sample(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(parked.ready()) << "paused server must not serve";
+  EXPECT_EQ(server.queue_depth(), 1u);
+  EXPECT_TRUE(server.accepting()) << "pause is not drain: admission stays open";
+
+  server.resume();
+  const Response r = parked.get();
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_TRUE(bit_identical(r.logits, reference_logits()[1]));
+  server.drain();
+}
+
+// ---------------------------------------------------------------------------
 // Request-scoped observability
 // ---------------------------------------------------------------------------
 
@@ -573,6 +746,71 @@ TEST(ServeObservability, QueueDepthPeakIsAHighWaterMark) {
   // After draining the live depth is 0, but the peak must remember the burst.
   EXPECT_EQ(server.metrics().gauge("serve.queue_depth").get(), 0.0);
   EXPECT_EQ(server.metrics().gauge("serve.queue_depth_peak").get(), 5.0);
+}
+
+// Regression for the overload-forensics contract: a reject burst fed by
+// shedding must dump a flight file in which every shed event names the
+// victim's priority class (detail), the victim's id (request_id), and the
+// arriving request that displaced it (arg1) — otherwise the dump can't
+// answer "who got sacrificed for whom".
+TEST(ServeObservability, RejectBurstDumpRecordsShedVictimClasses) {
+  const std::string dump_path = "serve_test_shedburst_overload.json";
+  std::remove(dump_path.c_str());
+
+  ServerOptions opts = base_options();
+  opts.queue_capacity = 2;
+  opts.start_paused = true;
+  opts.reject_burst = 3;
+  opts.flight_dump_prefix = "serve_test_shedburst";
+  Server server(make_server(opts));
+
+  Ticket b1 = server.submit(sample(0), -1, Priority::kBatch);
+  Ticket b2 = server.submit(sample(1), -1, Priority::kBatch);
+  Ticket h1 = server.submit(sample(2), -1, Priority::kHigh);  // sheds b1
+  Ticket h2 = server.submit(sample(3), -1, Priority::kHigh);  // sheds b2
+  // Queue now holds only high => the third overload event is a hard reject,
+  // tripping the burst threshold of 3 (sheds count toward the streak).
+  Ticket h3 = server.submit(sample(4), -1, Priority::kHigh);
+  const Response rb1 = b1.get();
+  const Response rb2 = b2.get();
+  ASSERT_EQ(rb1.status, Status::kShed);
+  ASSERT_EQ(rb2.status, Status::kShed);
+  ASSERT_EQ(h3.get().status, Status::kQueueFull);
+  server.resume();
+  server.drain();
+  const Response rh1 = h1.get();
+  const Response rh2 = h2.get();
+  EXPECT_EQ(rh1.status, Status::kOk);
+  EXPECT_EQ(rh2.status, Status::kOk);
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "expected overload dump at " << dump_path;
+  std::stringstream body;
+  body << in.rdbuf();
+  const std::optional<obs::json::Value> doc = obs::json::parse(body.str());
+  ASSERT_TRUE(doc && doc->is_object());
+  EXPECT_NE(doc->find("reason")->string.find("reject burst"), std::string::npos);
+
+  const std::uint64_t victim_ids[2] = {rb1.request_id, rb2.request_id};
+  const std::uint64_t shedder_ids[2] = {rh1.request_id, rh2.request_id};
+  int sheds = 0, rejects = 0;
+  for (const obs::json::Value& e : doc->find("events")->array) {
+    const std::string& kind = e.find("kind")->string;
+    if (kind == "reject") ++rejects;
+    if (kind != "shed") continue;
+    const int i = sheds++;
+    ASSERT_LT(i, 2);
+    const obs::json::Value* detail = e.find("detail");
+    ASSERT_NE(detail, nullptr) << "shed event must name the victim's class";
+    EXPECT_EQ(detail->string, "batch");
+    EXPECT_EQ(static_cast<std::uint64_t>(e.find("request_id")->number),
+              victim_ids[i]);
+    EXPECT_EQ(static_cast<std::uint64_t>(e.find("arg1")->number),
+              shedder_ids[i]);
+  }
+  EXPECT_EQ(sheds, 2);
+  EXPECT_EQ(rejects, 1);
+  std::remove(dump_path.c_str());
 }
 
 TEST(ServeObservability, InvalidFlightOptionsThrow) {

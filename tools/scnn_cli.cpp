@@ -11,6 +11,7 @@
 //   scnn_cli serve  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]
 //                   [--engine=...] [--requests=N] [--concurrency=C]
 //                   [--max-batch=B] [--max-delay-us=U] [--queue-cap=Q]
+//                   [--queue=lockfree|mutex] [--priority=high|normal|batch|mixed]
 //                   [--workers=W] [--session-threads=T] [--deadline-us=D]
 //                   [--count=N] [--trace-out=FILE] [--dump-flight=FILE]
 //                   [--metrics-interval-ms=M]
@@ -37,7 +38,9 @@
 // $SCNN_DATA_DIR (see README).
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +58,7 @@
 #include "nn/network.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
+#include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/snapshot_log.hpp"
 #include "serve/server.hpp"
@@ -502,9 +506,9 @@ int cmd_stats(const Args& args) {
 int cmd_serve(const Args& args) {
   args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "sparsity",
                       "engine-config", "requests", "concurrency", "max-batch",
-                      "max-delay-us", "queue-cap", "workers", "session-threads",
-                      "deadline-us", "count", "metrics-out", "tune-file", "trace-out",
-                      "dump-flight", "metrics-interval-ms"});
+                      "max-delay-us", "queue-cap", "queue", "priority", "workers",
+                      "session-threads", "deadline-us", "count", "metrics-out",
+                      "tune-file", "trace-out", "dump-flight", "metrics-interval-ms"});
   install_tune_file(args);
   const std::string task = parse_task(args, 0);
   const std::string ckpt = args.get("ckpt", args.positional(1, kDefaultCkpt));
@@ -531,11 +535,29 @@ int cmd_serve(const Args& args) {
   opts.max_batch = args.get_int("max-batch", 8);
   opts.max_delay_us = args.get_int("max-delay-us", 200);
   opts.queue_capacity = args.get_int("queue-cap", 64);
+  try {
+    opts.queue_kind = scnn::serve::queue_kind_from_string(args.get("queue", "lockfree"));
+  } catch (const std::invalid_argument& e) {
+    throw scnn::cli::ArgError(std::string("--") + e.what());
+  }
   opts.default_deadline_us = args.get_int("deadline-us", 0);
   opts.engine = cfg;
   const std::string trace_path = args.get("trace-out", "");
   opts.trace = !trace_path.empty();
   opts.validate();
+  // --priority: one fixed class for every request, or "mixed" — a
+  // deterministic rotation by request index (0 -> high, 1,2 -> normal,
+  // 3 -> batch) that exercises shedding under overload.
+  const std::string priority_arg = args.get("priority", "normal");
+  const bool mixed_priority = priority_arg == "mixed";
+  scnn::serve::Priority fixed_priority = scnn::serve::Priority::kNormal;
+  if (!mixed_priority) {
+    try {
+      fixed_priority = scnn::serve::priority_from_string(priority_arg);
+    } catch (const std::invalid_argument& e) {
+      throw scnn::cli::ArgError(std::string("--") + e.what() + " or mixed");
+    }
+  }
   const int requests = args.get_int("requests", 200);
   const int concurrency = args.get_int("concurrency", 8);
   if (requests < 1 || concurrency < 1)
@@ -556,14 +578,15 @@ int cmd_serve(const Args& args) {
   scnn::serve::Server server([&task] { return make_net(task); }, opts, params,
                              &calib.images);
   std::printf("serving %s (backend %s): %d workers x %s session threads, "
-              "max_batch %d, max_delay %d us, queue cap %d\n",
+              "max_batch %d, max_delay %d us, queue cap %d (%s), priority %s\n",
               to_string(cfg.kind).c_str(),
               scnn::nn::resolved_backend(cfg.backend).backend.c_str(),
               server.workers(),
               opts.session_threads == 0
                   ? "auto"
                   : std::to_string(opts.session_threads).c_str(),
-              opts.max_batch, opts.max_delay_us, opts.queue_capacity);
+              opts.max_batch, opts.max_delay_us, opts.queue_capacity,
+              to_string(opts.queue_kind).c_str(), priority_arg.c_str());
 
   // Soak-run time series: one flattened registry snapshot per interval,
   // appended as JSON lines while the load runs.
@@ -586,19 +609,29 @@ int cmd_serve(const Args& args) {
   std::atomic<int> next{0};
   std::mutex mu;
   std::vector<double> latencies;
-  int ok = 0, rejected = 0, timed_out = 0, errors = 0, correct = 0;
+  int ok = 0, rejected = 0, timed_out = 0, shed = 0, errors = 0, correct = 0;
+  const auto priority_of = [&](int id) {
+    if (!mixed_priority) return fixed_priority;
+    switch (id % 4) {
+      case 0: return scnn::serve::Priority::kHigh;
+      case 3: return scnn::serve::Priority::kBatch;
+      default: return scnn::serve::Priority::kNormal;
+    }
+  };
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
   for (int c = 0; c < concurrency; ++c) {
     clients.emplace_back([&] {
       std::vector<double> lat;
-      int l_ok = 0, l_rej = 0, l_to = 0, l_err = 0, l_correct = 0;
+      int l_ok = 0, l_rej = 0, l_to = 0, l_shed = 0, l_err = 0, l_correct = 0;
       for (;;) {
         const int id = next.fetch_add(1);
         if (id >= requests) break;
         const int img = id % test.images.n();
         scnn::serve::Response r =
-            server.submit(scnn::nn::batch_slice(test.images, img, 1)).get();
+            server.submit(scnn::nn::batch_slice(test.images, img, 1), -1,
+                          priority_of(id))
+                .get();
         switch (r.status) {
           case scnn::serve::Status::kOk:
             ++l_ok;
@@ -607,6 +640,7 @@ int cmd_serve(const Args& args) {
             break;
           case scnn::serve::Status::kQueueFull: ++l_rej; break;
           case scnn::serve::Status::kTimedOut: ++l_to; break;
+          case scnn::serve::Status::kShed: ++l_shed; break;
           default: ++l_err; break;
         }
       }
@@ -614,6 +648,7 @@ int cmd_serve(const Args& args) {
       ok += l_ok;
       rejected += l_rej;
       timed_out += l_to;
+      shed += l_shed;
       errors += l_err;
       correct += l_correct;
       latencies.insert(latencies.end(), lat.begin(), lat.end());
@@ -634,10 +669,10 @@ int cmd_serve(const Args& args) {
   const auto batch_hist =
       server.metrics().latency_histogram("serve.batch_size").snapshot();
   using scnn::common::Table;
-  Table t({"requests", "ok", "rejected", "timed-out", "errors", "req/s", "mean batch",
-           "p50 us", "p95 us", "max us"});
+  Table t({"requests", "ok", "rejected", "timed-out", "shed", "errors", "req/s",
+           "mean batch", "p50 us", "p95 us", "max us"});
   t.add_row({std::to_string(requests), std::to_string(ok), std::to_string(rejected),
-             std::to_string(timed_out), std::to_string(errors),
+             std::to_string(timed_out), std::to_string(shed), std::to_string(errors),
              Table::fmt(wall_s > 0 ? ok / wall_s : 0.0, 1),
              Table::fmt(batch_hist.mean(), 2), Table::fmt(pct(0.50), 0),
              Table::fmt(pct(0.95), 0),
@@ -671,6 +706,20 @@ int cmd_serve(const Args& args) {
   if (const std::string flight_path = args.get("dump-flight", ""); !flight_path.empty()) {
     if (server.dump_flight(flight_path, "scnn_cli serve --dump-flight").empty())
       return 1;
+    // The dump must round-trip through the project's own JSON parser — a
+    // dump nobody can read back is not forensics.
+    std::ifstream in(flight_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto doc = scnn::obs::json::parse(buf.str());
+    const scnn::obs::json::Value* events = doc ? doc->find("events") : nullptr;
+    if (!doc || !doc->is_object() || !events || !events->is_array()) {
+      std::fprintf(stderr, "FAIL: flight dump %s does not parse as a stamped "
+                   "event document\n", flight_path.c_str());
+      return 1;
+    }
+    std::printf("flight dump %s: %zu events, parsed ok\n", flight_path.c_str(),
+                events->array.size());
   }
 
   const std::string metrics_path = args.get("metrics-out", "");
@@ -681,16 +730,18 @@ int cmd_serve(const Args& args) {
     scnn::nn::stamp_engine_meta(report, cfg);
     report.set_meta("workers", static_cast<double>(server.workers()));
     report.set_meta("max_batch", static_cast<double>(opts.max_batch));
+    report.set_meta("queue_kind", to_string(opts.queue_kind));
+    report.set_meta("priority", priority_arg);
     report.add_metric("throughput_rps", wall_s > 0 ? ok / wall_s : 0.0, "req/s");
     report.add_metric("latency_p50_us", pct(0.50), "us");
     report.add_metric("latency_p95_us", pct(0.95), "us");
     scnn::obs::append_registry(server.metrics(), report);
     report.write_file(metrics_path);
   }
-  if (ok + rejected + timed_out != requests || errors != 0) {
+  if (ok + rejected + timed_out + shed != requests || errors != 0) {
     std::fprintf(stderr, "FAIL: %d requests unaccounted for or errored "
-                 "(ok %d, rejected %d, timed-out %d, errors %d)\n",
-                 requests, ok, rejected, timed_out, errors);
+                 "(ok %d, rejected %d, timed-out %d, shed %d, errors %d)\n",
+                 requests, ok, rejected, timed_out, shed, errors);
     return 1;
   }
   return 0;

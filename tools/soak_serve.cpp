@@ -1,0 +1,436 @@
+// soak_serve — closed+open-loop chaos driver for the serving plane.
+//
+// Hammers one serve::Server with a mix of steady traffic, deadline storms,
+// reject bursts, pause/resume flaps, and injected worker exceptions (a
+// ChaosLayer appended to every shard's network that throws when armed),
+// while verifying every kOk response bit-for-bit against direct
+// InferenceSession::forward on the same sample. The run ends with a clean
+// quiesce: 20 probe requests that must all serve kOk bit-exactly (proof the
+// injected exceptions resolved kError without killing a worker), an
+// on-demand flight dump that must round-trip through obs::json, and a
+// drain() that must not rethrow.
+//
+// Telemetry: a SnapshotLogger appends <prefix>_snapshots.jsonl time series
+// during the run, and the final registry + driver counters land in
+// BENCH_soak.json for tools/bench_compare.
+//
+// Usage:
+//   soak_serve [--duration-s=20] [--queue=lockfree|mutex] [--workers=2]
+//              [--closed=3] [--open-rps=200] [--capacity=32] [--max-batch=4]
+//              [--out-prefix=soak]
+//
+// Exit status: nonzero on any logits mismatch, an error response that was
+// not chaos-injected, a failed clean probe, or an unparseable flight dump.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic_digits.hpp"
+#include "nn/inference_session.hpp"
+#include "nn/layer.hpp"
+#include "nn/network.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/snapshot_log.hpp"
+#include "serve/server.hpp"
+#include "tools/cli_args.hpp"
+
+namespace {
+
+using scnn::nn::Tensor;
+using scnn::serve::Priority;
+using scnn::serve::Response;
+using scnn::serve::Server;
+using scnn::serve::ServerOptions;
+using scnn::serve::Status;
+using scnn::serve::Ticket;
+using Clock = std::chrono::steady_clock;
+
+/// Armed fault budget: each arm makes exactly one ChaosLayer::forward throw.
+std::atomic<int> g_poison_armed{0};
+std::atomic<int> g_poison_fired{0};
+
+/// Identity pass-through appended to every shard's network. Bit-neutral when
+/// idle; when armed, one forward (so one whole batch) throws — the server
+/// must resolve that batch kError and keep the worker alive.
+class ChaosLayer final : public scnn::nn::Layer {
+ public:
+  Tensor forward(const Tensor& x) override {
+    int armed = g_poison_armed.load(std::memory_order_relaxed);
+    while (armed > 0) {
+      if (g_poison_armed.compare_exchange_weak(armed, armed - 1)) {
+        g_poison_fired.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error("chaos: injected worker fault");
+      }
+    }
+    return x;
+  }
+  Tensor backward(const Tensor& g) override { return g; }
+  [[nodiscard]] std::string name() const override { return "chaos"; }
+};
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+Priority priority_of(std::uint64_t i) {
+  if (i % 4 == 0) return Priority::kHigh;
+  if (i % 4 == 3) return Priority::kBatch;
+  return Priority::kNormal;
+}
+
+/// Outcome tallies shared by every client thread and the ticket reaper.
+struct Tally {
+  std::atomic<std::uint64_t> submitted{0}, ok{0}, mismatched{0}, shed{0},
+      rejected{0}, timed_out{0}, chaos_errors{0}, foreign_errors{0};
+
+  void account(const Response& r, const Tensor& want) {
+    switch (r.status) {
+      case Status::kOk:
+        if (bit_identical(r.logits, want))
+          ok.fetch_add(1, std::memory_order_relaxed);
+        else
+          mismatched.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::kShed: shed.fetch_add(1, std::memory_order_relaxed); break;
+      case Status::kQueueFull:
+      case Status::kShutdown:
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::kTimedOut:
+        timed_out.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::kError:
+        if (r.error.find("chaos") != std::string::npos)
+          chaos_errors.fetch_add(1, std::memory_order_relaxed);
+        else
+          foreign_errors.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+};
+
+/// Tickets submitted fire-and-forget (open loop, storms) waiting to be
+/// resolved and verified off the submission path.
+struct ReapQueue {
+  std::mutex mu;
+  std::deque<std::pair<Ticket, int>> pending;  // ticket + sample index
+  std::atomic<bool> closed{false};
+
+  void push(Ticket t, int idx) {
+    std::lock_guard<std::mutex> lk(mu);
+    pending.emplace_back(std::move(t), idx);
+  }
+  bool pop(std::pair<Ticket, int>& out) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (pending.empty()) return false;
+    out = std::move(pending.front());
+    pending.pop_front();
+    return true;
+  }
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--duration-s=20] [--queue=lockfree|mutex] "
+               "[--workers=2] [--closed=3] [--open-rps=200] [--capacity=32] "
+               "[--max-batch=4] [--out-prefix=soak]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using scnn::cli::ArgError;
+  using scnn::cli::Args;
+
+  int duration_s = 20, workers = 2, closed_clients = 3, open_rps = 200;
+  int capacity = 32, max_batch = 4;
+  std::string out_prefix = "soak";
+  scnn::serve::QueueKind queue_kind = scnn::serve::QueueKind::kLockFree;
+  try {
+    const Args args = Args::parse(argc, argv);
+    args.require_known({"duration-s", "queue", "workers", "closed", "open-rps",
+                        "capacity", "max-batch", "out-prefix"});
+    duration_s = args.get_int("duration-s", duration_s);
+    workers = args.get_int("workers", workers);
+    closed_clients = args.get_int("closed", closed_clients);
+    open_rps = args.get_int("open-rps", open_rps);
+    capacity = args.get_int("capacity", capacity);
+    max_batch = args.get_int("max-batch", max_batch);
+    out_prefix = args.get("out-prefix", out_prefix);
+    queue_kind = scnn::serve::queue_kind_from_string(args.get("queue", "lockfree"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak_serve: %s\n", e.what());
+    return usage(argv[0]);
+  }
+  if (duration_s < 1 || workers < 1 || closed_clients < 1 || open_rps < 0 ||
+      capacity < 2 || max_batch < 1) {
+    std::fprintf(stderr, "soak_serve: out-of-range flag value\n");
+    return usage(argv[0]);
+  }
+
+  // --- fixed workload + bit-exact reference -------------------------------
+  const scnn::data::Dataset data =
+      scnn::data::make_synthetic_digits({.count = 64, .seed = 7});
+  const int n_samples = data.images.n();
+  const Tensor calib = scnn::nn::batch_slice(data.images, 0, 16);
+  const int img_h = data.images.h();
+  const auto factory = [img_h] {
+    scnn::nn::Network net = scnn::nn::make_mnist_net(img_h);
+    net.add<ChaosLayer>();
+    return net;
+  };
+  const scnn::nn::EngineConfig engine{
+      .kind = scnn::nn::EngineKind::kProposed, .n_bits = 8, .threads = 1};
+
+  std::vector<Tensor> samples;
+  std::vector<Tensor> reference;
+  {
+    scnn::nn::InferenceSession session(factory(), /*threads=*/1);
+    session.calibrate(calib);
+    session.set_engine(engine);
+    for (int i = 0; i < n_samples; ++i) {
+      samples.push_back(scnn::nn::batch_slice(data.images, i, 1));
+      reference.push_back(session.forward(samples.back()));
+    }
+  }
+
+  ServerOptions opts;
+  opts.workers = workers;
+  opts.session_threads = 1;
+  opts.max_batch = max_batch;
+  opts.max_delay_us = 200;
+  opts.queue_capacity = capacity;
+  opts.queue_kind = queue_kind;
+  opts.engine = engine;
+  opts.flight_dump_prefix = out_prefix + "_flight";
+  Server server(factory, opts, /*params=*/{}, &calib);
+  scnn::obs::SnapshotLogger snapshots(server.metrics(),
+                                      out_prefix + "_snapshots.jsonl",
+                                      /*interval_ms=*/250);
+
+  std::printf("soak_serve: %ds, queue %s, %d workers, %d closed clients, "
+              "%d rps open loop, capacity %d, max_batch %d\n",
+              duration_s, to_string(queue_kind).c_str(), workers,
+              closed_clients, open_rps, capacity, max_batch);
+
+  Tally tally;
+  ReapQueue reap;
+  std::atomic<bool> stop{false};
+  std::atomic<int> pause_flaps{0};
+  const auto deadline = Clock::now() + std::chrono::seconds(duration_s);
+
+  // --- clients ------------------------------------------------------------
+  std::vector<std::thread> threads;
+
+  // Closed loop: submit, wait, verify, repeat. These threads ride through
+  // every chaos phase, so they see sheds, rejects, timeouts, and kError.
+  for (int c = 0; c < closed_clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::mt19937_64 rng(0x50a7u + static_cast<std::uint64_t>(c));
+      std::uniform_int_distribution<int> pick(0, n_samples - 1);
+      for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const int idx = pick(rng);
+        tally.submitted.fetch_add(1, std::memory_order_relaxed);
+        const Response r =
+            server.submit(samples[static_cast<std::size_t>(idx)], -1,
+                          priority_of(i)).get();
+        tally.account(r, reference[static_cast<std::size_t>(idx)]);
+      }
+    });
+  }
+
+  // Open loop: fixed-rate fire-and-forget; the reaper thread verifies.
+  if (open_rps > 0) {
+    threads.emplace_back([&] {
+      const auto period = std::chrono::microseconds(1000000 / open_rps);
+      std::mt19937_64 rng(0x0be7u);
+      std::uniform_int_distribution<int> pick(0, n_samples - 1);
+      auto next = Clock::now();
+      for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const int idx = pick(rng);
+        tally.submitted.fetch_add(1, std::memory_order_relaxed);
+        reap.push(server.submit(samples[static_cast<std::size_t>(idx)], -1,
+                                priority_of(i + 1)),
+                  idx);
+        next += period;
+        std::this_thread::sleep_until(next);
+      }
+    });
+  }
+
+  // Reaper: resolves fire-and-forget tickets off the submission path.
+  std::thread reaper([&] {
+    std::pair<Ticket, int> item;
+    for (;;) {
+      if (!reap.pop(item)) {
+        if (reap.closed.load(std::memory_order_relaxed)) return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      const Response r = item.first.get();
+      tally.account(r, reference[static_cast<std::size_t>(item.second)]);
+    }
+  });
+
+  // --- chaos controller ---------------------------------------------------
+  // Rotates ~500ms phases. Poison sits early in the cycle so even short
+  // runs exercise the worker-exception path at least once.
+  enum class Phase { kSteady, kPoison, kDeadlineStorm, kRejectBurst, kPauseResume };
+  const Phase cycle[] = {Phase::kSteady, Phase::kPoison, Phase::kDeadlineStorm,
+                         Phase::kRejectBurst, Phase::kPauseResume};
+  std::size_t slot = 0;
+  while (Clock::now() < deadline) {
+    switch (cycle[slot++ % std::size(cycle)]) {
+      case Phase::kSteady:
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        break;
+      case Phase::kPoison:
+        g_poison_armed.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        break;
+      case Phase::kDeadlineStorm:
+        // Deadlines far shorter than a batch window: most resolve kTimedOut.
+        for (int i = 0; i < 2 * capacity && Clock::now() < deadline; ++i) {
+          tally.submitted.fetch_add(1, std::memory_order_relaxed);
+          reap.push(server.submit(samples[static_cast<std::size_t>(i % n_samples)],
+                                  /*deadline_us=*/50,
+                                  priority_of(static_cast<std::uint64_t>(i))),
+                    i % n_samples);
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        break;
+      case Phase::kRejectBurst:
+        // Flood far past capacity without pacing: forces sheds + kQueueFull.
+        for (int i = 0; i < 4 * capacity; ++i) {
+          tally.submitted.fetch_add(1, std::memory_order_relaxed);
+          reap.push(server.submit(samples[static_cast<std::size_t>(i % n_samples)],
+                                  -1, priority_of(static_cast<std::uint64_t>(i))),
+                    i % n_samples);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        break;
+      case Phase::kPauseResume:
+        server.pause();
+        pause_flaps.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        server.resume();
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        break;
+    }
+  }
+
+  // --- quiesce ------------------------------------------------------------
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  reap.closed.store(true);
+  reaper.join();                   // every outstanding ticket verified
+  g_poison_armed.store(0);         // disarm anything a batch never consumed
+
+  // Clean probes: the server must still serve bit-exactly after the storm —
+  // injected exceptions resolved kError without taking a worker down.
+  int probes_ok = 0;
+  constexpr int kProbes = 20;
+  for (int i = 0; i < kProbes; ++i) {
+    const int idx = i % n_samples;
+    const Response r =
+        server.submit(samples[static_cast<std::size_t>(idx)], -1, Priority::kHigh).get();
+    if (r.status == Status::kOk &&
+        bit_identical(r.logits, reference[static_cast<std::size_t>(idx)]))
+      ++probes_ok;
+    else
+      std::fprintf(stderr, "soak_serve: probe %d failed: status %s %s\n", i,
+                   to_string(r.status).c_str(), r.error.c_str());
+  }
+
+  // Flight dump must exist and round-trip through the repo's JSON parser.
+  const std::string dump_path = out_prefix + "_flight_final.json";
+  bool dump_ok = false;
+  std::size_t dump_events = 0;
+  if (server.dump_flight(dump_path, "soak end-of-run") == dump_path) {
+    std::ifstream in(dump_path);
+    std::stringstream body;
+    body << in.rdbuf();
+    const std::optional<scnn::obs::json::Value> doc =
+        scnn::obs::json::parse(body.str());
+    if (doc && doc->is_object()) {
+      const scnn::obs::json::Value* events = doc->find("events");
+      if (events && events->is_array() && !events->array.empty()) {
+        dump_ok = true;
+        dump_events = events->array.size();
+      }
+    }
+  }
+  if (!dump_ok)
+    std::fprintf(stderr, "soak_serve: flight dump %s missing or unparseable\n",
+                 dump_path.c_str());
+
+  snapshots.stop();
+  bool drained_clean = true;
+  try {
+    server.drain();
+  } catch (const std::exception& e) {
+    drained_clean = false;
+    std::fprintf(stderr, "soak_serve: drain rethrew: %s\n", e.what());
+  }
+
+  // --- verdict + report ---------------------------------------------------
+  const int fired = g_poison_fired.load();
+  const std::uint64_t mismatched = tally.mismatched.load();
+  const std::uint64_t foreign = tally.foreign_errors.load();
+  const std::uint64_t chaos_errors = tally.chaos_errors.load();
+  const bool poison_resolved = fired == 0 || chaos_errors > 0;
+
+  std::printf("  %-18s %llu\n", "submitted", static_cast<unsigned long long>(tally.submitted.load()));
+  std::printf("  %-18s %llu\n", "ok (bit-exact)", static_cast<unsigned long long>(tally.ok.load()));
+  std::printf("  %-18s %llu\n", "mismatched", static_cast<unsigned long long>(mismatched));
+  std::printf("  %-18s %llu\n", "shed", static_cast<unsigned long long>(tally.shed.load()));
+  std::printf("  %-18s %llu\n", "rejected", static_cast<unsigned long long>(tally.rejected.load()));
+  std::printf("  %-18s %llu\n", "timed_out", static_cast<unsigned long long>(tally.timed_out.load()));
+  std::printf("  %-18s %llu (%d injected)\n", "chaos errors",
+              static_cast<unsigned long long>(chaos_errors), fired);
+  std::printf("  %-18s %llu\n", "foreign errors", static_cast<unsigned long long>(foreign));
+  std::printf("  %-18s %d\n", "pause flaps", pause_flaps.load());
+  std::printf("  %-18s %d/%d\n", "clean probes", probes_ok, kProbes);
+  std::printf("  %-18s %s (%zu events)\n", "flight dump",
+              dump_ok ? dump_path.c_str() : "FAILED", dump_events);
+
+  scnn::obs::JsonReport report = scnn::obs::stamped_report("soak");
+  report.set_meta("queue", to_string(queue_kind));
+  report.set_meta("duration_s", static_cast<double>(duration_s));
+  report.set_meta("workers", static_cast<double>(workers));
+  report.set_meta("closed_clients", static_cast<double>(closed_clients));
+  report.set_meta("open_rps", static_cast<double>(open_rps));
+  report.set_meta("queue_capacity", static_cast<double>(capacity));
+  report.add_metric("soak.submitted", static_cast<double>(tally.submitted.load()), "requests");
+  report.add_metric("soak.ok", static_cast<double>(tally.ok.load()), "requests");
+  report.add_metric("soak.mismatched", static_cast<double>(mismatched), "requests");
+  report.add_metric("soak.shed", static_cast<double>(tally.shed.load()), "requests");
+  report.add_metric("soak.rejected", static_cast<double>(tally.rejected.load()), "requests");
+  report.add_metric("soak.timed_out", static_cast<double>(tally.timed_out.load()), "requests");
+  report.add_metric("soak.chaos_errors", static_cast<double>(chaos_errors), "requests");
+  report.add_metric("soak.poison_fired", static_cast<double>(fired), "faults");
+  report.add_metric("soak.pause_flaps", static_cast<double>(pause_flaps.load()), "count");
+  report.add_metric("soak.probes_ok", static_cast<double>(probes_ok), "probes");
+  scnn::obs::append_registry(server.metrics(), report);
+  (void)report.write_file();  // prints the written path itself
+
+  const bool pass = mismatched == 0 && foreign == 0 && poison_resolved &&
+                    probes_ok == kProbes && dump_ok && drained_clean;
+  std::printf("soak_serve: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

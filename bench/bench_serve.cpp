@@ -106,7 +106,9 @@ RunResult run_config(const char* label, int max_batch, int requests, int concurr
         const int id = next.fetch_add(1);
         if (id >= requests) break;
         const int img = id % kImages;
-        Response r = server.submit(scnn::nn::batch_slice(data.images, img, 1)).get();
+        Response r =
+            server.submit({.input = scnn::nn::batch_slice(data.images, img, 1)})
+                .get();
         if (r.status != Status::kOk) {
           ++local_not_ok;
           continue;
@@ -144,6 +146,123 @@ RunResult run_config(const char* label, int max_batch, int requests, int concurr
   }
   server.drain();
   return result;
+}
+
+EngineConfig tenant_beta_engine() {
+  return {.kind = EngineKind::kFixed, .n_bits = 10, .threads = 1};
+}
+
+/// Two tenants with different arithmetic (proposed 8-bit vs fixed 10-bit)
+/// multiplexed over one worker pool and admission ring — the multi-tenant
+/// trajectory rows. Each tenant's responses are gated bit-exact against its
+/// OWN direct single-session forward; a cross-tenant leak would show up as a
+/// mismatch immediately.
+void run_multi_tenant(int requests, int concurrency, int session_threads,
+                      int max_batch, const scnn::data::Dataset& data,
+                      const Tensor& calib,
+                      const std::vector<Tensor>& alpha_ref,
+                      const std::vector<Tensor>& beta_ref,
+                      scnn::obs::JsonReport& report, scnn::common::Table& table,
+                      bool& failed) {
+  using scnn::serve::TenantInit;
+  ServerOptions opts;
+  opts.workers = 2;
+  opts.session_threads = session_threads;
+  opts.max_batch = max_batch;
+  opts.max_delay_us = 1000;
+  opts.queue_capacity = std::max(64, 4 * concurrency);
+  std::vector<TenantInit> tenants(2);
+  tenants[0].options.name = "alpha";
+  tenants[0].options.engine = bench_engine();
+  tenants[1].options.name = "beta";
+  tenants[1].options.engine = tenant_beta_engine();
+  for (TenantInit& t : tenants) {
+    t.factory = [&data] { return scnn::nn::make_mnist_net(data.images.h()); };
+    t.calibration = calib;
+  }
+  Server server(std::move(tenants), opts);
+
+  std::atomic<int> next{0};
+  RunResult per_tenant[2];
+  std::mutex result_mu;
+  std::vector<double> latencies[2];
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      std::vector<double> local_lat[2];
+      int local_ok[2] = {0, 0}, local_not_ok[2] = {0, 0},
+          local_mismatched[2] = {0, 0};
+      for (;;) {
+        const int id = next.fetch_add(1);
+        if (id >= requests) break;
+        const int which = id % 2;
+        const int img = id % kImages;
+        Response r = server
+                         .submit({.tenant = which ? "beta" : "alpha",
+                                  .input = scnn::nn::batch_slice(data.images, img, 1)})
+                         .get();
+        if (r.status != Status::kOk) {
+          ++local_not_ok[which];
+          continue;
+        }
+        ++local_ok[which];
+        local_lat[which].push_back(r.total_us);
+        const Tensor& ref = (which ? beta_ref : alpha_ref)[static_cast<std::size_t>(img)];
+        if (!ref.same_shape(r.logits) ||
+            std::memcmp(ref.data().data(), r.logits.data().data(),
+                        ref.size() * sizeof(float)) != 0)
+          ++local_mismatched[which];
+      }
+      std::lock_guard<std::mutex> lk(result_mu);
+      for (int w = 0; w < 2; ++w) {
+        per_tenant[w].ok += local_ok[w];
+        per_tenant[w].not_ok += local_not_ok[w];
+        per_tenant[w].mismatched += local_mismatched[w];
+        latencies[w].insert(latencies[w].end(), local_lat[w].begin(),
+                            local_lat[w].end());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  const char* names[2] = {"alpha (proposed-8)", "beta (fixed-10)"};
+  const char* keys[2] = {"alpha", "beta"};
+  double total_rps = 0.0;
+  for (int w = 0; w < 2; ++w) {
+    RunResult& r = per_tenant[w];
+    r.wall_s = wall_s;
+    r.throughput_rps = wall_s > 0.0 ? static_cast<double>(r.ok) / wall_s : 0.0;
+    total_rps += r.throughput_rps;
+    std::sort(latencies[w].begin(), latencies[w].end());
+    r.p50_us = percentile(latencies[w], 0.50);
+    r.p95_us = percentile(latencies[w], 0.95);
+    r.max_us = latencies[w].empty() ? 0.0 : latencies[w].back();
+    table.add_row({(std::string("tenant ") + names[w]).c_str(),
+                   std::to_string(r.ok),
+                   scnn::common::Table::fmt(r.throughput_rps, 1), "-",
+                   scnn::common::Table::fmt(r.p50_us, 0),
+                   scnn::common::Table::fmt(r.p95_us, 0),
+                   scnn::common::Table::fmt(r.max_us, 0)});
+    report.add_metric(std::string("multi_tenant.") + keys[w] + ".throughput_rps",
+                      r.throughput_rps, "req/s");
+    report.add_metric(std::string("multi_tenant.") + keys[w] + ".p95_us",
+                      r.p95_us, "us");
+    const int expected = (requests + 1 - w) / 2;  // alpha takes the odd one out
+    if (r.ok != expected || r.not_ok != 0) {
+      std::printf("FAIL: tenant %s served %d/%d requests ok (%d not ok)\n",
+                  keys[w], r.ok, expected, r.not_ok);
+      failed = true;
+    }
+    if (r.mismatched != 0) {
+      std::printf("FAIL: tenant %s returned %d responses not bit-identical to "
+                  "its own direct forward\n", keys[w], r.mismatched);
+      failed = true;
+    }
+  }
+  report.add_metric("multi_tenant.total_rps", total_rps, "req/s");
 }
 
 }  // namespace
@@ -226,6 +345,22 @@ int main(int argc, char** argv) {
   add(("max_batch=" + std::to_string(max_batch) + " (ring)").c_str(), batched);
   add("batched, flight off", no_flight);
   add("batched, mutex queue", mutexed);
+
+  // The multi-tenant rows: the same closed loop split across two tenants
+  // with different arithmetic, bit-exactness gated per tenant.
+  std::vector<Tensor> beta_reference;
+  {
+    scnn::nn::InferenceSession session(scnn::nn::make_mnist_net(data.images.h()),
+                                       /*threads=*/1);
+    session.calibrate(calib);
+    session.set_engine(tenant_beta_engine());
+    for (int i = 0; i < kImages; ++i)
+      beta_reference.push_back(
+          session.forward(scnn::nn::batch_slice(data.images, i, 1)));
+  }
+  bool mt_failed = false;
+  run_multi_tenant(requests, concurrency, session_threads, max_batch, data,
+                   calib, reference, beta_reference, report, t, mt_failed);
   t.print(std::cout);
 
   if (assert_speedup && !quick && hw >= 4 &&
@@ -278,7 +413,7 @@ int main(int argc, char** argv) {
   report.add_metric("ring_vs_mutex", ring_vs_mutex, "x");
   report.write_file("BENCH_serve.json");
 
-  bool failed = false;
+  bool failed = mt_failed;
   const auto check = [&](const char* name, const RunResult& r) {
     if (r.ok != requests || r.not_ok != 0) {
       std::printf("FAIL: %s served %d/%d requests ok (%d not ok)\n", name, r.ok,

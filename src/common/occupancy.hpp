@@ -1,0 +1,64 @@
+// Per-key occupancy accounting for shared bounded queues.
+//
+// The serving admission plane bounds ONE capacity across every priority
+// class and every tenant, so "how deep is the queue" stops being one number
+// the moment several tenants share the ring: operators need the per-tenant
+// breakdown to see who is filling the shared budget. OccupancyTable is the
+// smallest structure that answers that without touching admission-path
+// scalability: a fixed array of cacheline-padded relaxed atomic counters,
+// one per key (tenant), incremented on push and decremented on pop by
+// whichever thread performs the queue transition. Counters are advisory
+// gauges, not the capacity bound itself (the queue keeps its own total), so
+// relaxed ordering and transient skew between the total and the per-key sum
+// are acceptable by design.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace scnn::common {
+
+class OccupancyTable {
+ public:
+  explicit OccupancyTable(int keys)
+      : keys_(keys > 0 ? keys : 1),
+        slots_(std::make_unique<Slot[]>(static_cast<std::size_t>(keys_))) {}
+
+  OccupancyTable(const OccupancyTable&) = delete;
+  OccupancyTable& operator=(const OccupancyTable&) = delete;
+
+  [[nodiscard]] int keys() const { return keys_; }
+
+  void inc(int key) {
+    slot_(key).count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void dec(int key) {
+    slot_(key).count.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Current occupancy of `key`. Clamped at 0: a reader can observe the
+  /// decrement of an in-flight transfer before its increment lands.
+  [[nodiscard]] std::int64_t get(int key) const {
+    const std::int64_t v = slot_(key).count.load(std::memory_order_relaxed);
+    return v < 0 ? 0 : v;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::int64_t> count{0};
+  };
+
+  Slot& slot_(int key) {
+    return slots_[static_cast<std::size_t>(key % keys_)];
+  }
+  const Slot& slot_(int key) const {
+    return slots_[static_cast<std::size_t>(key % keys_)];
+  }
+
+  int keys_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace scnn::common

@@ -22,6 +22,7 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kWorkerException: return "worker_exception";
     case FlightEventKind::kConfig: return "config";
     case FlightEventKind::kShed: return "shed";
+    case FlightEventKind::kSwap: return "swap";
   }
   return "unknown";
 }
@@ -36,7 +37,7 @@ FlightRecorder::FlightRecorder(int shards, int capacity)
 void FlightRecorder::record(int shard, FlightEventKind kind, int worker,
                             std::uint64_t request_id, std::uint64_t batch_id,
                             std::uint64_t arg0, std::uint64_t arg1,
-                            std::string_view detail) {
+                            std::string_view detail, int tenant) {
   Shard& sh = shards_[static_cast<std::size_t>(shard) % shards_.size()];
   const std::uint64_t idx = sh.next.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = sh.slots[static_cast<std::size_t>(idx % static_cast<std::uint64_t>(capacity_))];
@@ -67,6 +68,8 @@ void FlightRecorder::record(int shard, FlightEventKind kind, int worker,
     std::memcpy(&word, buf + i * 8, 8);
     slot.w[static_cast<std::size_t>(8 + i)].store(word, std::memory_order_relaxed);
   }
+  slot.w[13].store(static_cast<std::uint64_t>(static_cast<std::int64_t>(tenant)),
+                   std::memory_order_relaxed);
   slot.ver.fetch_add(1, std::memory_order_release);
 }
 
@@ -90,7 +93,7 @@ std::vector<FlightEvent> FlightRecorder::snapshot() const {
 
       FlightEvent e;
       const std::uint64_t kind = std::min<std::uint64_t>(
-          w[0], static_cast<std::uint64_t>(FlightEventKind::kShed));
+          w[0], static_cast<std::uint64_t>(FlightEventKind::kSwap));
       e.kind = static_cast<FlightEventKind>(kind);
       e.seq = w[1];
       e.ts_ns = w[2];
@@ -99,6 +102,7 @@ std::vector<FlightEvent> FlightRecorder::snapshot() const {
       e.batch_id = w[5];
       e.arg0 = w[6];
       e.arg1 = w[7];
+      e.tenant = static_cast<int>(static_cast<std::int64_t>(w[13]));
       char buf[kDetailWords * 8];
       for (int i = 0; i < kDetailWords; ++i)
         std::memcpy(buf + i * 8, &w[static_cast<std::size_t>(8 + i)], 8);
@@ -138,6 +142,7 @@ std::string FlightRecorder::to_json(std::string_view reason) const {
            ", \"batch_id\": " + std::to_string(e.batch_id) +
            ", \"arg0\": " + std::to_string(e.arg0) +
            ", \"arg1\": " + std::to_string(e.arg1);
+    if (e.tenant >= 0) out += ", \"tenant\": " + std::to_string(e.tenant);
     if (e.detail[0] != '\0')
       out += ", \"detail\": \"" + detail::json_escape(e.detail) + "\"";
     out += "}";

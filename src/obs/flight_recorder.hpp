@@ -46,6 +46,9 @@ enum class FlightEventKind : std::uint8_t {
   kShed = 10,          ///< queued request evicted by a higher-priority
                        ///< arrival; arg0 = victim class, arg1 = the
                        ///< arriving request's id, detail = class name
+  kSwap = 11,          ///< model hot-swap: a new checkpoint generation was
+                       ///< published; arg0 = new epoch, arg1 = generation
+                       ///< count, detail = tenant name
 };
 
 [[nodiscard]] const char* flight_event_kind_name(FlightEventKind kind);
@@ -56,6 +59,8 @@ enum class FlushReason : std::uint8_t {
   kDelay = 1,     ///< max_delay_us elapsed
   kImmediate = 2, ///< max_delay_us == 0: take whatever is queued
   kStopping = 3,  ///< server shutdown drain
+  kTenantSwitch = 4,  ///< next popped request belongs to another
+                      ///< (tenant, epoch); it seeds the worker's next batch
 };
 
 /// One decoded event. `detail` is a short NUL-terminated annotation (error
@@ -69,6 +74,7 @@ struct FlightEvent {
   std::uint64_t batch_id = 0;   ///< 0 = not batch-scoped
   std::uint64_t arg0 = 0;
   std::uint64_t arg1 = 0;
+  int tenant = -1;              ///< tenant index, -1 = not tenant-scoped
   char detail[40] = {};
 };
 
@@ -82,7 +88,7 @@ class FlightRecorder {
   void record(int shard, FlightEventKind kind, int worker,
               std::uint64_t request_id = 0, std::uint64_t batch_id = 0,
               std::uint64_t arg0 = 0, std::uint64_t arg1 = 0,
-              std::string_view detail = {});
+              std::string_view detail = {}, int tenant = -1);
 
   /// All currently readable events, ordered by capture sequence. Slots being
   /// written at snapshot time are skipped, not blocked on.
@@ -104,9 +110,9 @@ class FlightRecorder {
   }
 
  private:
-  // 13 payload words: kind, seq, ts, worker, request, batch, arg0, arg1, and
-  // five words (40 bytes) of detail text.
-  static constexpr int kWords = 13;
+  // 14 payload words: kind, seq, ts, worker, request, batch, arg0, arg1,
+  // five words (40 bytes) of detail text, and the tenant index.
+  static constexpr int kWords = 14;
   static constexpr int kDetailWords = 5;
 
   struct alignas(64) Slot {

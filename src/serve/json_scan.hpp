@@ -1,0 +1,105 @@
+// Internal hand-rolled JSON scanner for the serve-side option structs
+// (TenantOptions / ServerOptions), extending the flat EngineConfig scanner
+// idiom with two extras the deployment config needs: balanced-object capture
+// (so a nested "engine" object can be handed verbatim to
+// nn::EngineConfig::from_json, which owns its own token-naming errors) and
+// array element iteration (for the "tenants" list). Like the EngineConfig
+// scanner, every failure throws std::invalid_argument naming the offending
+// token and offset — never a silent default.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace scnn::serve::detail {
+
+struct JsonScanner {
+  std::string_view s;
+  std::size_t i = 0;
+  const char* context = "from_json";  ///< error prefix, e.g. "TenantOptions"
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(std::string(context) + "::from_json: " + what);
+  }
+  void skip_ws() {
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return i >= s.size();
+  }
+  char peek() {
+    skip_ws();
+    if (i >= s.size()) fail("unexpected end of input");
+    return s[i];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "', got '" + s[i] + "' at offset " +
+           std::to_string(i));
+    ++i;
+  }
+  std::string parse_string() {
+    expect('"');
+    const std::size_t start = i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') fail("escape sequences are not supported");
+      ++i;
+    }
+    if (i >= s.size()) fail("unterminated string");
+    return std::string(s.substr(start, i++ - start));
+  }
+  long long parse_int() {
+    skip_ws();
+    const std::size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    const std::string_view tok = s.substr(start, i - start);
+    if (tok.empty() || tok == "-")
+      fail("expected an integer at offset " + std::to_string(start));
+    try {
+      return std::stoll(std::string(tok));
+    } catch (const std::out_of_range&) {
+      fail("integer '" + std::string(tok) + "' out of range");
+    }
+  }
+  bool parse_bool() {
+    skip_ws();
+    if (s.substr(i, 4) == "true") {
+      i += 4;
+      return true;
+    }
+    if (s.substr(i, 5) == "false") {
+      i += 5;
+      return false;
+    }
+    fail("expected true or false at offset " + std::to_string(i));
+  }
+  /// Consume one balanced {...} object (strings skipped opaquely) and return
+  /// it verbatim, braces included — the unit a nested from_json expects.
+  std::string_view capture_object() {
+    if (peek() != '{')
+      fail(std::string("expected '{', got '") + s[i] + "' at offset " +
+           std::to_string(i));
+    const std::size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < s.size(); ++i) {
+      const char c = s[i];
+      if (in_string) {
+        if (c == '\\') fail("escape sequences are not supported");
+        if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      else if (c == '{') ++depth;
+      else if (c == '}' && --depth == 0) return s.substr(start, ++i - start);
+    }
+    fail("unterminated object starting at offset " + std::to_string(start));
+  }
+};
+
+}  // namespace scnn::serve::detail

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/mpmc_ring.hpp"
+#include "serve/json_scan.hpp"
 
 namespace scnn::serve {
 
@@ -39,6 +40,18 @@ std::string shape_str(std::uint64_t key) {
   constexpr std::uint64_t mask = (1u << 21) - 1;
   return std::to_string((key >> 42) & mask) + "x" +
          std::to_string((key >> 21) & mask) + "x" + std::to_string(key & mask);
+}
+
+std::vector<TenantInit> single_tenant(const Server::NetworkFactory& factory,
+                                      std::span<const float> params,
+                                      const nn::Tensor* calibration) {
+  TenantInit init;
+  init.factory = factory;
+  init.params.assign(params.begin(), params.end());
+  if (calibration) init.calibration = *calibration;
+  std::vector<TenantInit> tenants;
+  tenants.push_back(std::move(init));
+  return tenants;
 }
 
 }  // namespace
@@ -122,16 +135,122 @@ void ServerOptions::validate() const {
     fail("reject_burst = " + std::to_string(reject_burst) +
          " must be >= 0 (0 = no burst dump)");
   if (engine) engine->validate();
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    tenants[i].validate();
+    for (std::size_t j = 0; j < i; ++j)
+      if (tenants[j].name == tenants[i].name)
+        fail("tenants: duplicate name \"" + tenants[i].name + "\"");
+  }
+}
+
+std::string ServerOptions::to_json() const {
+  std::string out =
+      "{\"workers\":" + std::to_string(workers) +
+      ",\"session_threads\":" + std::to_string(session_threads) +
+      ",\"max_batch\":" + std::to_string(max_batch) +
+      ",\"max_delay_us\":" + std::to_string(max_delay_us) +
+      ",\"queue_capacity\":" + std::to_string(queue_capacity) +
+      ",\"queue_kind\":\"" + serve::to_string(queue_kind) +
+      "\",\"default_deadline_us\":" + std::to_string(default_deadline_us) +
+      ",\"start_paused\":" + (start_paused ? "true" : "false") +
+      ",\"trace\":" + (trace ? "true" : "false") +
+      ",\"flight_recorder\":" + (flight_recorder ? "true" : "false") +
+      ",\"flight_capacity\":" + std::to_string(flight_capacity) +
+      ",\"reject_burst\":" + std::to_string(reject_burst) +
+      ",\"flight_dump_prefix\":\"" + flight_dump_prefix + "\"";
+  if (engine) out += ",\"engine\":" + engine->to_json();
+  out += ",\"tenants\":[";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (i) out += ",";
+    out += tenants[i].to_json();
+  }
+  return out + "]}";
+}
+
+ServerOptions ServerOptions::from_json(std::string_view json) {
+  ServerOptions opts;
+  detail::JsonScanner in{json, 0, "ServerOptions"};
+  in.expect('{');
+  if (in.peek() != '}') {
+    while (true) {
+      const std::string key = in.parse_string();
+      in.expect(':');
+      if (key == "workers") {
+        opts.workers = static_cast<int>(in.parse_int());
+      } else if (key == "session_threads") {
+        opts.session_threads = static_cast<int>(in.parse_int());
+      } else if (key == "max_batch") {
+        opts.max_batch = static_cast<int>(in.parse_int());
+      } else if (key == "max_delay_us") {
+        opts.max_delay_us = static_cast<int>(in.parse_int());
+      } else if (key == "queue_capacity") {
+        opts.queue_capacity = static_cast<int>(in.parse_int());
+      } else if (key == "queue_kind") {
+        opts.queue_kind = queue_kind_from_string(in.parse_string());
+      } else if (key == "default_deadline_us") {
+        opts.default_deadline_us = in.parse_int();
+      } else if (key == "start_paused") {
+        opts.start_paused = in.parse_bool();
+      } else if (key == "trace") {
+        opts.trace = in.parse_bool();
+      } else if (key == "flight_recorder") {
+        opts.flight_recorder = in.parse_bool();
+      } else if (key == "flight_capacity") {
+        opts.flight_capacity = static_cast<int>(in.parse_int());
+      } else if (key == "reject_burst") {
+        opts.reject_burst = static_cast<int>(in.parse_int());
+      } else if (key == "flight_dump_prefix") {
+        opts.flight_dump_prefix = in.parse_string();
+      } else if (key == "engine") {
+        opts.engine = nn::EngineConfig::from_json(in.capture_object());
+      } else if (key == "tenants") {
+        in.expect('[');
+        opts.tenants.clear();
+        if (in.peek() != ']') {
+          while (true) {
+            opts.tenants.push_back(TenantOptions::from_json(in.capture_object()));
+            const char c = in.peek();
+            if (c == ',') {
+              ++in.i;
+              continue;
+            }
+            if (c == ']') break;
+            in.fail(std::string("expected ',' or ']', got '") + c +
+                    "' at offset " + std::to_string(in.i));
+          }
+        }
+        in.expect(']');
+      } else {
+        in.fail("unknown key \"" + key + "\"");
+      }
+      const char c = in.peek();
+      if (c == ',') {
+        ++in.i;
+        continue;
+      }
+      if (c == '}') break;
+      in.fail(std::string("expected ',' or '}', got '") + c + "' at offset " +
+              std::to_string(in.i));
+    }
+  }
+  in.expect('}');
+  if (!in.at_end())
+    in.fail("trailing characters after object: '" +
+            std::string(json.substr(in.i)) + "'");
+  return opts;
 }
 
 // ---------------------------------------------------------------------------
 // Admission queues. Both implement the same contract so the shed/reject set
 // for a fixed submission order is identical under either queue_kind:
-//  - capacity bounds the TOTAL queued count across the three classes;
+//  - capacity bounds the TOTAL queued count across the three classes (and
+//    every tenant);
 //  - push under overload evicts the OLDEST request of the STRICTLY LOWEST
 //    class below the newcomer's (or fails with kFull when no such class has
 //    a queued request);
-//  - pop serves the highest class first, FIFO within a class.
+//  - pop serves the highest class first, FIFO within a class;
+//  - every transition keeps the per-tenant OccupancyTable current (advisory
+//    gauges: see common/occupancy.hpp for the ordering caveats).
 
 struct Server::AdmissionQueue {
   enum class PushResult {
@@ -146,11 +265,12 @@ struct Server::AdmissionQueue {
   /// never-observed defensive branch of the lock-free path, where a victim
   /// can be popped and the push still refused; callers must resolve a set
   /// victim regardless of the result.
-  virtual PushResult push(Request&& req, std::optional<Request>& victim) = 0;
-  virtual bool pop(Request& out) = 0;
+  virtual PushResult push(Pending&& req, std::optional<Pending>& victim) = 0;
+  virtual bool pop(Pending& out) = 0;
   [[nodiscard]] virtual std::size_t size() const = 0;
 
-  static std::unique_ptr<AdmissionQueue> make(QueueKind kind, int capacity);
+  static std::unique_ptr<AdmissionQueue> make(QueueKind kind, int capacity,
+                                              common::OccupancyTable* occupancy);
 
   struct Mutexed;
   struct LockFree;
@@ -162,14 +282,17 @@ struct Server::AdmissionQueue {
 /// The fallback: one mutex over three deques. Trivially correct; every
 /// submitter and worker serializes on mu_.
 struct Server::AdmissionQueue::Mutexed final : Server::AdmissionQueue {
-  explicit Mutexed(int capacity) : capacity_(static_cast<std::size_t>(capacity)) {}
+  Mutexed(int capacity, common::OccupancyTable* occupancy)
+      : capacity_(static_cast<std::size_t>(capacity)), occ_(occupancy) {}
 
-  PushResult push(Request&& req, std::optional<Request>& victim) override {
+  PushResult push(Pending&& req, std::optional<Pending>& victim) override {
     std::lock_guard<std::mutex> lk(mu_);
     const int cls = idx(req.priority);
+    const int tenant = req.tenant;
     if (count_ < capacity_) {
       classes_[static_cast<std::size_t>(cls)].push_back(std::move(req));
       ++count_;
+      occ_->inc(tenant);
       return PushResult::kAdmitted;
     }
     for (int c = kPriorityCount - 1; c > cls; --c) {
@@ -177,19 +300,22 @@ struct Server::AdmissionQueue::Mutexed final : Server::AdmissionQueue {
       if (q.empty()) continue;
       victim = std::move(q.front());
       q.pop_front();
+      occ_->dec(victim->tenant);
       classes_[static_cast<std::size_t>(cls)].push_back(std::move(req));
+      occ_->inc(tenant);
       return PushResult::kShed;  // one out, one in: count unchanged
     }
     return PushResult::kFull;
   }
 
-  bool pop(Request& out) override {
+  bool pop(Pending& out) override {
     std::lock_guard<std::mutex> lk(mu_);
     for (auto& q : classes_) {
       if (q.empty()) continue;
       out = std::move(q.front());
       q.pop_front();
       --count_;
+      occ_->dec(out.tenant);
       return true;
     }
     return false;
@@ -203,8 +329,9 @@ struct Server::AdmissionQueue::Mutexed final : Server::AdmissionQueue {
  private:
   mutable std::mutex mu_;
   std::size_t capacity_;
+  common::OccupancyTable* occ_;
   std::size_t count_ = 0;
-  std::array<std::deque<Request>, kPriorityCount> classes_;
+  std::array<std::deque<Pending>, kPriorityCount> classes_;
 };
 
 /// The default: one Vyukov MPMC ring per class plus an atomic total count.
@@ -215,18 +342,21 @@ struct Server::AdmissionQueue::Mutexed final : Server::AdmissionQueue {
 /// occupancy never exceeds count_ <= capacity, and every ring is sized
 /// mpmc_capacity_for(capacity + 1) > capacity.
 struct Server::AdmissionQueue::LockFree final : Server::AdmissionQueue {
-  explicit LockFree(int capacity)
-      : capacity_(static_cast<std::size_t>(capacity)),
+  LockFree(int capacity, common::OccupancyTable* occupancy)
+      : capacity_(static_cast<std::size_t>(capacity)), occ_(occupancy),
         rings_{make_ring_(capacity), make_ring_(capacity), make_ring_(capacity)} {}
 
-  PushResult push(Request&& req, std::optional<Request>& victim) override {
+  PushResult push(Pending&& req, std::optional<Pending>& victim) override {
     const int cls = idx(req.priority);
+    const int tenant = req.tenant;
     std::size_t cur = count_.load(std::memory_order_relaxed);
     for (;;) {
       if (cur < capacity_) {
         if (!count_.compare_exchange_weak(cur, cur + 1)) continue;
-        if (rings_[static_cast<std::size_t>(cls)]->try_push(std::move(req)))
+        if (rings_[static_cast<std::size_t>(cls)]->try_push(std::move(req))) {
+          occ_->inc(tenant);
           return PushResult::kAdmitted;
+        }
         count_.fetch_sub(1);  // defensive: see the class invariant above
         return PushResult::kFull;
       }
@@ -235,11 +365,14 @@ struct Server::AdmissionQueue::LockFree final : Server::AdmissionQueue {
       // determinism guarantee is for a fixed submission order (sequential
       // submitters / a paused server), which is what the tests pin.
       for (int c = kPriorityCount - 1; c > cls; --c) {
-        Request v;
+        Pending v;
         if (!rings_[static_cast<std::size_t>(c)]->try_pop(v)) continue;
+        occ_->dec(v.tenant);
         victim = std::move(v);
-        if (rings_[static_cast<std::size_t>(cls)]->try_push(std::move(req)))
+        if (rings_[static_cast<std::size_t>(cls)]->try_push(std::move(req))) {
+          occ_->inc(tenant);
           return PushResult::kShed;  // one out, one in: count unchanged
+        }
         count_.fetch_sub(1);  // defensive: victim left, our push refused
         return PushResult::kFull;
       }
@@ -247,10 +380,11 @@ struct Server::AdmissionQueue::LockFree final : Server::AdmissionQueue {
     }
   }
 
-  bool pop(Request& out) override {
+  bool pop(Pending& out) override {
     for (auto& ring : rings_) {
       if (!ring->try_pop(out)) continue;
       count_.fetch_sub(1, std::memory_order_relaxed);
+      occ_->dec(out.tenant);
       return true;
     }
     return false;
@@ -263,28 +397,28 @@ struct Server::AdmissionQueue::LockFree final : Server::AdmissionQueue {
   }
 
  private:
-  using Ring = common::MpmcRing<Request>;
+  using Ring = common::MpmcRing<Pending>;
   static std::unique_ptr<Ring> make_ring_(int capacity) {
     return std::make_unique<Ring>(
         common::mpmc_capacity_for(static_cast<std::size_t>(capacity) + 1));
   }
 
   std::size_t capacity_;
+  common::OccupancyTable* occ_;
   std::atomic<std::size_t> count_{0};
   std::array<std::unique_ptr<Ring>, kPriorityCount> rings_;
 };
 
 std::unique_ptr<Server::AdmissionQueue> Server::AdmissionQueue::make(
-    QueueKind kind, int capacity) {
+    QueueKind kind, int capacity, common::OccupancyTable* occupancy) {
   if (kind == QueueKind::kMutex)
-    return std::make_unique<Mutexed>(capacity);
-  return std::make_unique<LockFree>(capacity);
+    return std::make_unique<Mutexed>(capacity, occupancy);
+  return std::make_unique<LockFree>(capacity, occupancy);
 }
 
 // ---------------------------------------------------------------------------
 
-Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
-               std::span<const float> params, const nn::Tensor* calibration)
+Server::Server(std::vector<TenantInit> tenants, const ServerOptions& opts)
     : opts_(validated(opts)),
       // Workers own flight shards [0, workers); submitter threads hash onto
       // four extra tail shards so admission events never contend with batch
@@ -293,57 +427,91 @@ Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
                   ? std::make_unique<obs::FlightRecorder>(opts_.workers + 4,
                                                           opts_.flight_capacity)
                   : nullptr),
-      submitted_(registry_.counter("serve.submitted")),
-      completed_(registry_.counter("serve.completed")),
-      rejected_(registry_.counter("serve.rejected")),
-      timed_out_(registry_.counter("serve.timed_out")),
-      shed_(registry_.counter("serve.shed")),
-      batches_(registry_.counter("serve.batches")),
-      queue_depth_gauge_(registry_.gauge("serve.queue_depth")),
-      queue_depth_peak_(registry_.gauge("serve.queue_depth_peak")),
-      batch_size_hist_(registry_.latency_histogram("serve.batch_size")),
-      latency_us_hist_(registry_.latency_histogram("serve.latency_us")),
-      queue_us_hist_(registry_.latency_histogram("serve.queue_us")),
+      submitted_(registry_metrics_.counter("serve.submitted")),
+      completed_(registry_metrics_.counter("serve.completed")),
+      rejected_(registry_metrics_.counter("serve.rejected")),
+      timed_out_(registry_metrics_.counter("serve.timed_out")),
+      shed_(registry_metrics_.counter("serve.shed")),
+      batches_(registry_metrics_.counter("serve.batches")),
+      queue_depth_gauge_(registry_metrics_.gauge("serve.queue_depth")),
+      queue_depth_peak_(registry_metrics_.gauge("serve.queue_depth_peak")),
+      batch_size_hist_(registry_metrics_.latency_histogram("serve.batch_size")),
+      latency_us_hist_(registry_metrics_.latency_histogram("serve.latency_us")),
+      queue_us_hist_(registry_metrics_.latency_histogram("serve.queue_us")),
       paused_(opts_.start_paused),
-      queue_(AdmissionQueue::make(opts_.queue_kind, opts_.queue_capacity)) {
+      occupancy_(std::make_unique<common::OccupancyTable>(
+          static_cast<int>(tenants.empty() ? 1 : tenants.size()))),
+      queue_(AdmissionQueue::make(opts_.queue_kind, opts_.queue_capacity,
+                                  occupancy_.get())) {
+  // A tenant without its own engine inherits the server-wide one.
+  for (TenantInit& t : tenants)
+    if (!t.options.engine) t.options.engine = opts_.engine;
+  registry_ = std::make_unique<ModelRegistry>(std::move(tenants), opts_.workers,
+                                              opts_.session_threads,
+                                              opts_.trace ? &tracer_ : nullptr);
+  // options().tenants (and to_json()) reflect what was actually deployed.
+  opts_.tenants.clear();
+  for (int t = 0; t < registry_->count(); ++t)
+    opts_.tenants.push_back(registry_->options(t));
+  init_metrics_and_workers_();
+}
+
+Server::Server(const NetworkFactory& factory, const ServerOptions& opts,
+               std::span<const float> params, const nn::Tensor* calibration)
+    : Server(single_tenant(factory, params, calibration), opts) {}
+
+void Server::init_metrics_and_workers_() {
   for (int c = 0; c < kPriorityCount; ++c) {
     const std::string prefix =
         "serve." + to_string(static_cast<Priority>(c)) + ".";
     ClassMetrics& m = class_metrics_[c];
-    m.submitted = &registry_.counter(prefix + "submitted");
-    m.completed = &registry_.counter(prefix + "completed");
-    m.shed = &registry_.counter(prefix + "shed");
-    m.timed_out = &registry_.counter(prefix + "timed_out");
-    m.latency_us = &registry_.latency_histogram(prefix + "latency_us");
+    m.submitted = &registry_metrics_.counter(prefix + "submitted");
+    m.completed = &registry_metrics_.counter(prefix + "completed");
+    m.shed = &registry_metrics_.counter(prefix + "shed");
+    m.timed_out = &registry_metrics_.counter(prefix + "timed_out");
+    m.latency_us = &registry_metrics_.latency_histogram(prefix + "latency_us");
   }
-  sessions_.reserve(static_cast<std::size_t>(opts_.workers));
-  for (int i = 0; i < opts_.workers; ++i) {
-    nn::Network net = factory();
-    if (!params.empty()) net.load_parameters(params);
-    auto session =
-        std::make_unique<nn::InferenceSession>(std::move(net), opts_.session_threads);
-    if (calibration) session->calibrate(*calibration);
-    if (opts_.engine) {
-      nn::EngineConfig cfg = *opts_.engine;
-      cfg.threads = opts_.session_threads;
-      cfg.instrument = false;  // serving metrics live in the server registry
-      session->set_engine(cfg);
-    }
-    if (opts_.trace) {
-      // After set_engine: set_engine re-applies cfg.instrument (= false),
-      // which clears any network-level instrumentation. Tracer only — the
-      // per-layer metrics sink stays off so MacStats/metrics are untouched.
-      session->network().set_instrumentation(&tracer_, nullptr);
+  const int tenants = registry_->count();
+  tenant_metrics_.resize(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t) {
+    const std::string prefix = "serve." + registry_->options(t).name + ".";
+    TenantMetrics& m = tenant_metrics_[static_cast<std::size_t>(t)];
+    m.submitted = &registry_metrics_.counter(prefix + "submitted");
+    m.completed = &registry_metrics_.counter(prefix + "completed");
+    m.rejected = &registry_metrics_.counter(prefix + "rejected");
+    m.shed = &registry_metrics_.counter(prefix + "shed");
+    m.timed_out = &registry_metrics_.counter(prefix + "timed_out");
+    m.swaps = &registry_metrics_.counter(prefix + "swaps");
+    m.queue_depth = &registry_metrics_.gauge(prefix + "queue_depth");
+    m.epoch = &registry_metrics_.gauge(prefix + "epoch");
+    m.latency_us = &registry_metrics_.latency_histogram(prefix + "latency_us");
+    for (int c = 0; c < kPriorityCount; ++c) {
+      const std::string cprefix =
+          prefix + to_string(static_cast<Priority>(c)) + ".";
+      ClassMetrics& cm = m.classes[c];
+      cm.submitted = &registry_metrics_.counter(cprefix + "submitted");
+      cm.completed = &registry_metrics_.counter(cprefix + "completed");
+      cm.shed = &registry_metrics_.counter(cprefix + "shed");
+      cm.timed_out = &registry_metrics_.counter(cprefix + "timed_out");
+      cm.latency_us = &registry_metrics_.latency_histogram(cprefix + "latency_us");
     }
     if (flight_) {
-      const nn::MacEngine::Description desc = session->backend();
-      flight_->record(i, obs::FlightEventKind::kConfig, i, 0, 0,
-                      static_cast<std::uint64_t>(desc.lanes), 0, desc.backend);
+      const nn::MacEngine::Description desc = registry_->backend(t);
+      flight_->record(t % opts_.workers, obs::FlightEventKind::kConfig,
+                      t % opts_.workers, 0, 0,
+                      static_cast<std::uint64_t>(desc.lanes),
+                      static_cast<std::uint64_t>(registry_->shard_count(t)),
+                      registry_->options(t).name + ":" + desc.backend, t);
     }
-    sessions_.push_back(std::move(session));
   }
+  shape_keys_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(static_cast<std::size_t>(tenants));
+  for (int t = 0; t < tenants; ++t)
+    shape_keys_[static_cast<std::size_t>(t)].store(0, std::memory_order_relaxed);
+  stash_.resize(static_cast<std::size_t>(opts_.workers));
+
   pool_ = std::make_unique<common::ThreadPool>(opts_.workers);
-  worker_done_.reserve(sessions_.size());
+  worker_done_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int i = 0; i < opts_.workers; ++i)
     worker_done_.push_back(pool_->submit([this, i] {
       try {
@@ -371,22 +539,28 @@ Server::~Server() {
 }
 
 int Server::submit_flight_shard_() const {
-  return opts_.workers + (registry_.this_shard() & 3);
+  return opts_.workers + (registry_metrics_.this_shard() & 3);
 }
 
-void Server::check_shape_(const nn::Tensor& input) {
+void Server::check_shape_(int tenant, const nn::Tensor& input) {
   const std::uint64_t key = pack_shape(input.c(), input.h(), input.w());
+  std::atomic<std::uint64_t>& slot = shape_keys_[static_cast<std::size_t>(tenant)];
   std::uint64_t established = 0;
-  // The winning first submit establishes the shape — before any
+  // The winning first submit establishes the tenant's shape — before any
   // load-dependent check, so a mismatched request throws deterministically
   // even when the server is full or draining, and so two concurrent first
   // submits with different shapes can never both enter the queue.
-  if (shape_key_.compare_exchange_strong(established, key)) return;
+  if (slot.compare_exchange_strong(established, key)) return;
   if (established == key) return;
   throw std::invalid_argument(
-      "serve::Server::submit: input shape " + shape_str(key) +
-      " does not match the server's established shape " +
-      shape_str(established));
+      "serve::Request.input: shape " + shape_str(key) +
+      " does not match tenant \"" + registry_->options(tenant).name +
+      "\"'s established shape " + shape_str(established));
+}
+
+void Server::publish_tenant_depth_(int tenant) {
+  tenant_metrics_[static_cast<std::size_t>(tenant)].queue_depth->set(
+      static_cast<double>(occupancy_->get(tenant)));
 }
 
 void Server::note_overload_event_() {
@@ -401,86 +575,126 @@ void Server::note_overload_event_() {
   }
 }
 
-void Server::resolve_shed_(Request&& victim, std::uint64_t by_request_id) {
+void Server::resolve_shed_(Pending&& victim, std::uint64_t by_request_id) {
   const int cls = static_cast<int>(victim.priority);
-  shed_.inc(registry_.this_shard());
-  class_metrics_[cls].shed->inc(registry_.this_shard());
+  const int shard = registry_metrics_.this_shard();
+  shed_.inc(shard);
+  class_metrics_[cls].shed->inc(shard);
+  TenantMetrics& tm = tenant_metrics_[static_cast<std::size_t>(victim.tenant)];
+  tm.shed->inc(shard);
+  tm.classes[cls].shed->inc(shard);
+  publish_tenant_depth_(victim.tenant);
   note_overload_event_();
   if (flight_)
     flight_->record(submit_flight_shard_(), obs::FlightEventKind::kShed, -1,
                     victim.id, 0, static_cast<std::uint64_t>(cls),
-                    by_request_id, to_string(victim.priority));
+                    by_request_id, to_string(victim.priority), victim.tenant);
   Response r;
   r.status = Status::kShed;
   r.request_id = victim.id;
   r.priority = victim.priority;
+  r.tenant = registry_->options(victim.tenant).name;
+  r.epoch = victim.epoch;
   r.queue_us = micros(Clock::now() - victim.enqueued);
   r.total_us = r.queue_us;
   victim.promise.set_value(std::move(r));
 }
 
-Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us,
-                      Priority priority) {
-  if (input.n() != 1)
-    throw std::invalid_argument("serve::Server::submit: input.n() = " +
-                                std::to_string(input.n()) + " (one sample per request)");
-  check_shape_(input);
-  if (deadline_us < 0) deadline_us = opts_.default_deadline_us;
+Ticket Server::submit(Request request) {
+  const int tenant = registry_->index_of(request.tenant);
+  if (tenant < 0)
+    throw std::invalid_argument("serve::Request.tenant = \"" + request.tenant +
+                                "\" (known tenants: " +
+                                registry_->known_names() + ")");
+  if (request.input.n() != 1)
+    throw std::invalid_argument("serve::Request.input: n() = " +
+                                std::to_string(request.input.n()) +
+                                " (one sample per request)");
+  if (request.deadline_us < -1)
+    throw std::invalid_argument(
+        "serve::Request.deadline_us = " + std::to_string(request.deadline_us) +
+        " (-1 = server default, 0 = no deadline)");
+  check_shape_(tenant, request.input);
+  const std::int64_t deadline_us = request.deadline_us < 0
+                                       ? opts_.default_deadline_us
+                                       : request.deadline_us;
 
   const Clock::time_point now = Clock::now();
-  const std::uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
-  const int cls = static_cast<int>(priority);
+  const std::uint64_t id =
+      request.request_id != 0
+          ? request.request_id
+          : next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const int cls = static_cast<int>(request.priority);
+  const std::string tenant_name = registry_->options(tenant).name;
 
-  auto reject = [&](std::promise<Response>&& promise, Status status) {
-    rejected_.inc(registry_.this_shard());
+  auto reject = [&](std::promise<Response>&& promise, Status status,
+                    std::uint64_t epoch) {
+    const int shard = registry_metrics_.this_shard();
+    rejected_.inc(shard);
+    tenant_metrics_[static_cast<std::size_t>(tenant)].rejected->inc(shard);
     if (flight_)
       flight_->record(submit_flight_shard_(), obs::FlightEventKind::kReject, -1,
                       id, 0, static_cast<std::uint64_t>(status),
-                      static_cast<std::uint64_t>(cls), to_string(status));
+                      static_cast<std::uint64_t>(cls), to_string(status),
+                      tenant);
     if (status == Status::kQueueFull) note_overload_event_();
     Response r;
     r.status = status;
     r.request_id = id;
-    r.priority = priority;
+    r.priority = request.priority;
+    r.tenant = tenant_name;
+    r.epoch = epoch;
     promise.set_value(std::move(r));
   };
 
-  Request req;
-  req.input = input;
+  Pending req;
+  req.input = std::move(request.input);
   req.id = id;
-  req.priority = priority;
+  req.tenant = tenant;
+  req.priority = request.priority;
   req.enqueued = now;
   req.has_deadline = deadline_us > 0;
   if (req.has_deadline) req.deadline = now + std::chrono::microseconds(deadline_us);
   std::future<Response> fut = req.promise.get_future();
 
   if (stopping_.load()) {
-    reject(std::move(req.promise), Status::kShutdown);
+    reject(std::move(req.promise), Status::kShutdown, registry_->epoch(tenant));
     return Ticket(std::move(fut));
   }
 
-  std::optional<Request> victim;
+  // The epoch stamp IS the hot-swap barrier: everything admitted after a
+  // swap's release-store resolves on the new generation, everything stamped
+  // before it finishes on the old one. For a fixed submission order the
+  // old/new partition is therefore a pure function of that order.
+  req.epoch = registry_->epoch(tenant);
+
+  std::optional<Pending> victim;
   const auto result = queue_->push(std::move(req), victim);
   // A popped victim resolves kShed whatever happened to our own push (the
   // defensive lock-free branch can evict one and still refuse us).
   if (victim) resolve_shed_(std::move(*victim), id);
 
   if (result == AdmissionQueue::PushResult::kFull) {
-    reject(std::move(req.promise), Status::kQueueFull);
+    reject(std::move(req.promise), Status::kQueueFull, req.epoch);
     return Ticket(std::move(fut));
   }
 
   const std::size_t depth = queue_->size();
   queue_depth_gauge_.set(static_cast<double>(depth));
   queue_depth_peak_.max(static_cast<double>(depth));
-  submitted_.inc(registry_.this_shard());
-  class_metrics_[cls].submitted->inc(registry_.this_shard());
+  publish_tenant_depth_(tenant);
+  const int shard = registry_metrics_.this_shard();
+  submitted_.inc(shard);
+  class_metrics_[cls].submitted->inc(shard);
+  TenantMetrics& tm = tenant_metrics_[static_cast<std::size_t>(tenant)];
+  tm.submitted->inc(shard);
+  tm.classes[cls].submitted->inc(shard);
   if (result == AdmissionQueue::PushResult::kAdmitted)
     reject_streak_.store(0, std::memory_order_relaxed);  // clean, shed-free admit
   if (flight_)
     flight_->record(submit_flight_shard_(), obs::FlightEventKind::kAdmit, -1, id,
                     0, static_cast<std::uint64_t>(depth),
-                    static_cast<std::uint64_t>(cls));
+                    static_cast<std::uint64_t>(cls), {}, tenant);
   // Deliberately not under mu_: with a lock-free queue the mutex guards only
   // waits. A wake-up lost in the window between a worker's failed pop and
   // its wait is recovered by the workers' 1 ms poll backstop.
@@ -492,10 +706,27 @@ Ticket Server::submit(const nn::Tensor& input, std::int64_t deadline_us,
     // (and any other stragglers) under mu_, serialized with drain()'s own
     // final sweep. Otherwise a still-running worker or that sweep takes it.
     std::lock_guard<std::mutex> lk(mu_);
-    if (exited_workers_ == static_cast<int>(sessions_.size()))
-      sweep_shutdown_locked_();
+    if (exited_workers_ == opts_.workers) sweep_shutdown_locked_();
   }
   return Ticket(std::move(fut));
+}
+
+std::uint64_t Server::swap(std::string_view tenant, std::vector<float> params) {
+  const int t = registry_->index_of(tenant);
+  if (t < 0)
+    throw std::invalid_argument("serve::Server::swap: tenant = \"" +
+                                std::string(tenant) + "\" (known tenants: " +
+                                registry_->known_names() + ")");
+  const std::uint64_t epoch = registry_->swap(t, std::move(params));
+  const int shard = registry_metrics_.this_shard();
+  TenantMetrics& tm = tenant_metrics_[static_cast<std::size_t>(t)];
+  tm.swaps->inc(shard);
+  tm.epoch->set(static_cast<double>(epoch));
+  if (flight_)
+    flight_->record(submit_flight_shard_(), obs::FlightEventKind::kSwap, -1, 0,
+                    0, epoch, registry_->generation_count(t),
+                    registry_->options(t).name, t);
+  return epoch;
 }
 
 void Server::pause() { paused_.store(true); }
@@ -509,18 +740,30 @@ bool Server::accepting() const { return !stopping_.load(); }
 
 std::size_t Server::queue_depth() const { return queue_->size(); }
 
+std::size_t Server::queue_depth(std::string_view tenant) const {
+  const int t = registry_->index_of(tenant);
+  if (t < 0)
+    throw std::invalid_argument("serve::Server::queue_depth: tenant = \"" +
+                                std::string(tenant) + "\" (known tenants: " +
+                                registry_->known_names() + ")");
+  return static_cast<std::size_t>(occupancy_->get(t));
+}
+
 void Server::sweep_shutdown_locked_() {
-  Request req;
+  Pending req;
   while (queue_->pop(req)) {
     Response r;
     r.status = Status::kShutdown;
     r.request_id = req.id;
     r.priority = req.priority;
+    r.tenant = registry_->options(req.tenant).name;
+    r.epoch = req.epoch;
     r.queue_us = micros(Clock::now() - req.enqueued);
     r.total_us = r.queue_us;
     req.promise.set_value(std::move(r));
   }
   queue_depth_gauge_.set(0.0);
+  for (int t = 0; t < registry_->count(); ++t) publish_tenant_depth_(t);
 }
 
 void Server::drain() {
@@ -530,9 +773,7 @@ void Server::drain() {
   work_cv_.notify_all();
   {
     std::unique_lock<std::mutex> lk(mu_);
-    idle_cv_.wait(lk, [&] {
-      return exited_workers_ == static_cast<int>(sessions_.size());
-    });
+    idle_cv_.wait(lk, [&] { return exited_workers_ == opts_.workers; });
   }
   pool_.reset();  // joins the workers
   std::vector<std::future<void>> done = std::move(worker_done_);
@@ -553,22 +794,28 @@ std::string Server::dump_flight(const std::string& path,
   return flight_->dump(path, reason);
 }
 
-bool Server::resolve_if_expired_(Request& req, int worker, std::uint64_t batch_id,
+bool Server::resolve_if_expired_(Pending& req, int worker, std::uint64_t batch_id,
                                  Clock::time_point now) {
   req.popped = now;
   if (!req.has_deadline || now <= req.deadline) return false;
   const int cls = static_cast<int>(req.priority);
   timed_out_.inc(worker);
   class_metrics_[cls].timed_out->inc(worker);
+  TenantMetrics& tm = tenant_metrics_[static_cast<std::size_t>(req.tenant)];
+  tm.timed_out->inc(worker);
+  tm.classes[cls].timed_out->inc(worker);
   Response r;
   r.status = Status::kTimedOut;
   r.request_id = req.id;
   r.priority = req.priority;
+  r.tenant = registry_->options(req.tenant).name;
+  r.epoch = req.epoch;
   r.queue_us = micros(now - req.enqueued);
   r.total_us = r.queue_us;
   if (flight_)
     flight_->record(worker, obs::FlightEventKind::kDeadlineExpired, worker, req.id,
-                    batch_id, static_cast<std::uint64_t>(r.queue_us));
+                    batch_id, static_cast<std::uint64_t>(r.queue_us), 0, {},
+                    req.tenant);
   if (opts_.trace)
     tracer_.record("queue", req.enqueued, now,
                    {{"request_id", static_cast<double>(req.id)},
@@ -580,6 +827,7 @@ bool Server::resolve_if_expired_(Request& req, int worker, std::uint64_t batch_i
 
 void Server::worker_loop_(int worker) {
   using namespace std::chrono_literals;
+  std::optional<Pending>& stash = stash_[static_cast<std::size_t>(worker)];
   for (;;) {
     const bool stop = stopping_.load();
     if (!stop && paused_.load()) {
@@ -588,8 +836,20 @@ void Server::worker_loop_(int worker) {
                         [&] { return stopping_.load() || !paused_.load(); });
       continue;
     }
-    Request first;
-    if (!queue_->pop(first)) {
+    Pending first;
+    bool have = false;
+    if (stash) {
+      // The request that closed the previous batch (other tenant/epoch)
+      // seeds this one. Consumed before the stop-break below, so a worker
+      // never exits with a stashed request pending.
+      first = std::move(*stash);
+      stash.reset();
+      have = true;
+    } else if (queue_->pop(first)) {
+      publish_tenant_depth_(first.tenant);
+      have = true;
+    }
+    if (!have) {
       if (stop) break;  // draining and the queue is dry: exit
       // submit() notifies without holding mu_, so a notify landing between
       // this failed pop and the wait below is lost — the 1 ms timeout is
@@ -611,33 +871,45 @@ void Server::worker_loop_(int worker) {
   idle_cv_.notify_all();
 }
 
-void Server::form_and_run_(int worker, Request&& first) {
+void Server::form_and_run_(int worker, Pending&& first) {
   using namespace std::chrono_literals;
   // Open a batch with the first live request, then keep filling it until it
   // is full or max_delay_us has elapsed since it opened. While we wait,
-  // submit() wakes us; during drain (or pause) the flush is immediate.
+  // submit() wakes us; during drain (or pause) the flush is immediate. A
+  // popped request of another (tenant, epoch) closes the batch — batches
+  // are tenant- and generation-pure — and parks in this worker's stash as
+  // the seed of its next batch.
   const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<Request> batch;
+  std::vector<Pending> batch;
   batch.reserve(static_cast<std::size_t>(opts_.max_batch));
   const Clock::time_point opened = Clock::now();
   const Clock::time_point flush_at =
       opened + std::chrono::microseconds(opts_.max_delay_us);
   bool window_elapsed = false;
+  bool tenant_switch = false;
 
   if (!resolve_if_expired_(first, worker, batch_id, opened)) {
     if (flight_)
-      flight_->record(worker, obs::FlightEventKind::kPop, worker, first.id, batch_id);
+      flight_->record(worker, obs::FlightEventKind::kPop, worker, first.id,
+                      batch_id, 0, 0, {}, first.tenant);
     batch.push_back(std::move(first));
   }
   while (static_cast<int>(batch.size()) < opts_.max_batch) {
-    Request req;
+    Pending req;
     if (queue_->pop(req)) {
+      publish_tenant_depth_(req.tenant);
       queue_depth_gauge_.set(static_cast<double>(queue_->size()));
-      if (!resolve_if_expired_(req, worker, batch_id, Clock::now())) {
-        if (flight_)
-          flight_->record(worker, obs::FlightEventKind::kPop, worker, req.id, batch_id);
-        batch.push_back(std::move(req));
+      if (resolve_if_expired_(req, worker, batch_id, Clock::now())) continue;
+      if (!batch.empty() && (req.tenant != batch.front().tenant ||
+                             req.epoch != batch.front().epoch)) {
+        stash_[static_cast<std::size_t>(worker)] = std::move(req);
+        tenant_switch = true;
+        break;
       }
+      if (flight_)
+        flight_->record(worker, obs::FlightEventKind::kPop, worker, req.id,
+                        batch_id, 0, 0, {}, req.tenant);
+      batch.push_back(std::move(req));
       continue;
     }
     if (batch.empty()) break;  // everything popped so far had expired
@@ -656,28 +928,35 @@ void Server::form_and_run_(int worker, Request&& first) {
   if (flight_ && !batch.empty()) {
     const auto reason = static_cast<int>(batch.size()) >= opts_.max_batch
                             ? obs::FlushReason::kFull
+                        : tenant_switch     ? obs::FlushReason::kTenantSwitch
                         : stopping_.load()  ? obs::FlushReason::kStopping
                         : window_elapsed    ? obs::FlushReason::kDelay
                                             : obs::FlushReason::kImmediate;
     flight_->record(worker, obs::FlightEventKind::kFlush, worker, 0, batch_id,
-                    static_cast<std::uint64_t>(reason), batch.size());
+                    static_cast<std::uint64_t>(reason), batch.size(), {},
+                    batch.front().tenant);
   }
   if (batch.empty()) return;
   run_batch_(worker, batch_id, batch);
 }
 
 void Server::run_batch_(int worker, std::uint64_t batch_id,
-                        std::vector<Request>& batch) {
-  nn::InferenceSession& session = *sessions_[static_cast<std::size_t>(worker)];
+                        std::vector<Pending>& batch) {
+  const int tenant = batch.front().tenant;
+  const std::uint64_t epoch = batch.front().epoch;
+  const std::string& tenant_name = registry_->options(tenant).name;
   const int b = static_cast<int>(batch.size());
   const int trace_tid = worker + 1;  // row 0 is the admission timeline
   if (flight_)
     flight_->record(worker, obs::FlightEventKind::kBatchStart, worker, 0, batch_id,
-                    static_cast<std::uint64_t>(b));
+                    static_cast<std::uint64_t>(b), epoch, {}, tenant);
   const Clock::time_point t0 = Clock::now();
   nn::Tensor logits;
   std::string error;
   try {
+    // Lease one of the tenant's shards loaded with exactly the generation
+    // this batch was admitted under (the other half of the swap barrier).
+    ModelRegistry::Lease lease = registry_->acquire(tenant, epoch);
     const nn::Tensor& first = batch.front().input;
     nn::Tensor input(b, first.c(), first.h(), first.w());
     for (int i = 0; i < b; ++i) {
@@ -688,9 +967,9 @@ void Server::run_batch_(int worker, std::uint64_t batch_id,
       // Per-layer spans recorded inside this forward inherit the worker's
       // timeline row and the batch id through the thread-local context.
       const obs::ScopedTraceContext ctx(batch_id, trace_tid);
-      logits = session.forward(input);
+      logits = lease.session().forward(input);
     } else {
-      logits = session.forward(input);
+      logits = lease.session().forward(input);
     }
   } catch (const std::exception& e) {
     error = e.what();
@@ -703,22 +982,25 @@ void Server::run_batch_(int worker, std::uint64_t batch_id,
   if (flight_) {
     if (!error.empty())
       flight_->record(worker, obs::FlightEventKind::kWorkerException, worker, 0,
-                      batch_id, static_cast<std::uint64_t>(b), 0, error);
+                      batch_id, static_cast<std::uint64_t>(b), 0, error, tenant);
     else
       flight_->record(worker, obs::FlightEventKind::kBatchDone, worker, 0, batch_id,
                       static_cast<std::uint64_t>(b),
-                      static_cast<std::uint64_t>(run_us));
+                      static_cast<std::uint64_t>(run_us), {}, tenant);
   }
 
   batches_.inc(worker);
   batch_size_hist_.record(static_cast<std::uint64_t>(b), worker);
+  TenantMetrics& tm = tenant_metrics_[static_cast<std::size_t>(tenant)];
   for (int i = 0; i < b; ++i) {
-    Request& req = batch[static_cast<std::size_t>(i)];
+    Pending& req = batch[static_cast<std::size_t>(i)];
     const int cls = static_cast<int>(req.priority);
     Response r;
     r.batch_size = b;
     r.request_id = req.id;
     r.priority = req.priority;
+    r.tenant = tenant_name;
+    r.epoch = epoch;
     r.queue_us = micros(t0 - req.enqueued);
     r.run_us = run_us;
     if (!error.empty()) {
@@ -726,7 +1008,7 @@ void Server::run_batch_(int worker, std::uint64_t batch_id,
       r.error = error;
       if (flight_)
         flight_->record(worker, obs::FlightEventKind::kResolveError, worker, req.id,
-                        batch_id);
+                        batch_id, 0, 0, {}, tenant);
     } else {
       r.status = Status::kOk;
       r.logits = nn::Tensor(1, logits.c(), logits.h(), logits.w());
@@ -735,6 +1017,8 @@ void Server::run_batch_(int worker, std::uint64_t batch_id,
       r.predicted = argmax_of(src);
       completed_.inc(worker);
       class_metrics_[cls].completed->inc(worker);
+      tm.completed->inc(worker);
+      tm.classes[cls].completed->inc(worker);
       queue_us_hist_.record(static_cast<std::uint64_t>(r.queue_us), worker);
     }
     const Clock::time_point resolved = Clock::now();
@@ -743,6 +1027,9 @@ void Server::run_batch_(int worker, std::uint64_t batch_id,
       latency_us_hist_.record(static_cast<std::uint64_t>(r.total_us), worker);
       class_metrics_[cls].latency_us->record(
           static_cast<std::uint64_t>(r.total_us), worker);
+      tm.latency_us->record(static_cast<std::uint64_t>(r.total_us), worker);
+      tm.classes[cls].latency_us->record(static_cast<std::uint64_t>(r.total_us),
+                                         worker);
     }
     if (opts_.trace) {
       // The request's span tree: queue (admission row) -> batch_wait ->

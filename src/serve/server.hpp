@@ -1,21 +1,25 @@
 // Batched inference serving runtime — the admission path in front of the
 // inference stack.
 //
-// Today every caller owns a private nn::InferenceSession; serve::Server is
-// the shared front door: a bounded MPMC request queue feeding a shard pool
-// of per-worker sessions (one set of checkpoint parameters, one session per
-// worker on the existing common::ThreadPool), with adaptive micro-batching.
-// The shape mirrors the paper's BISC-MVM argument (Sec. 3): throughput comes
+// serve::Server is the shared front door for one OR SEVERAL models: a
+// bounded MPMC request queue feeding a ModelRegistry of named tenants, each
+// a (checkpoint × EngineConfig × shard count) entry with its own pool of
+// bit-interchangeable sessions, all multiplexed over one worker pool. The
+// shape mirrors the paper's BISC-MVM argument (Sec. 3): throughput comes
 // from batching work over shared machinery — there `p` SC-MACs share one
 // FSM/down-counter across an output tile; here requests share one forward
-// pass, one LUT row walk, and one worker wake-up.
+// pass, one LUT row walk, and one worker wake-up, and tenants share the
+// admission plane and the ThreadPool.
 //
 // Semantics, all deterministic and tested:
+//  - Requests: one typed struct — serve::Request{tenant, input, priority,
+//    deadline_us, request_id} — replaces the old positional submit()
+//    overloads. Validation errors name the offending field.
 //  - Admission: submit() never blocks. The queue is bounded by
-//    queue_capacity across ALL priority classes; a full queue either sheds
-//    a queued lower-class request (see below) or rejects the newcomer with
-//    Status::kQueueFull (backpressure, never a silent drop); a drained
-//    server rejects with Status::kShutdown.
+//    queue_capacity across ALL priority classes and tenants; a full queue
+//    either sheds a queued lower-class request (see below) or rejects the
+//    newcomer with Status::kQueueFull (backpressure, never a silent drop);
+//    a drained server rejects with Status::kShutdown.
 //  - Queue kind (options().queue_kind): the admission queue is either the
 //    classic mutex-guarded deque set (kMutex) or a set of lock-free Vyukov
 //    MPMC rings (kLockFree, the default — see common/mpmc_ring.hpp). The
@@ -23,20 +27,32 @@
 //    A/B'd in bench_serve under a bit-exactness gate.
 //  - Priority classes: every request carries a Priority {kHigh, kNormal,
 //    kBatch}. Workers serve strictly highest-class-first, FIFO within a
-//    class. Under overload an arriving request evicts the OLDEST queued
-//    request of the STRICTLY LOWEST class below its own (kHigh sheds from
-//    kBatch first, then kNormal; kNormal sheds only from kBatch; kBatch
-//    never sheds anyone and takes the kQueueFull itself). The victim
-//    resolves with Status::kShed. Given one submission order, the
-//    shed/reject set is a pure function of that order — independent of
-//    worker count and queue kind — which serve_test pins across runs.
+//    class, regardless of tenant. Under overload an arriving request evicts
+//    the OLDEST queued request of the STRICTLY LOWEST class below its own
+//    (kHigh sheds from kBatch first, then kNormal; kNormal sheds only from
+//    kBatch; kBatch never sheds anyone and takes the kQueueFull itself).
+//    The victim resolves with Status::kShed. Given one submission order,
+//    the shed/reject set is a pure function of that order — independent of
+//    worker count, queue kind, and tenant mix — which serve_test pins
+//    across runs.
 //  - Batching: a worker pops the first waiting request, then keeps popping
 //    until it has max_batch requests or max_delay_us has elapsed since the
-//    batch opened, stacks them into one batch tensor, and runs a single
-//    session forward. Per-sample logits are bit-identical to a direct
-//    single-request InferenceSession::forward on the same input (every
-//    output element of every layer depends only on its own sample), which
-//    bench_serve asserts on every response.
+//    batch opened. A popped request belonging to a different (tenant,
+//    epoch) than the batch closes the batch and is stashed per-worker as
+//    the seed of that worker's next batch, so every batch is tenant- and
+//    generation-pure while the admission order stays globally FIFO within
+//    a class. The batch stacks into one tensor and runs a single session
+//    forward; per-sample logits are bit-identical to a direct
+//    single-request InferenceSession::forward on the same input against
+//    the same checkpoint, which bench_serve asserts on every response.
+//  - Hot swap: swap(tenant, params) publishes a new checkpoint generation
+//    behind a deterministic epoch barrier: submit() stamps every request
+//    with its tenant's current epoch at admission, and a batch runs on
+//    exactly the generation its requests were admitted under. In-flight
+//    and already-queued requests finish on the old model; every request
+//    admitted after swap() returns resolves on the new one. For a fixed
+//    submission order the old/new partition is a pure function of that
+//    order (pinned across 10 runs by serve_test).
 //  - Deadlines: a request whose deadline has passed by the time a worker
 //    pops it resolves with Status::kTimedOut instead of running.
 //  - pause()/resume(): a paused server admits (and sheds) normally but
@@ -52,9 +68,11 @@
 //    serve.queue_us quantile histograms (p50/p90/p99/p999), and
 //    serve.{submitted,completed,rejected,timed_out,shed,batches} counters —
 //    plus the same counters and a latency histogram per priority class
-//    under serve.<class>.* (class ∈ high|normal|batch) — so
-//    BENCH_serve.json and `scnn_cli serve --metrics-out` join the existing
-//    report family.
+//    under serve.<class>.* (class ∈ high|normal|batch), and per tenant
+//    under serve.<tenant>.* (with nested serve.<tenant>.<class>.* and a
+//    serve.<tenant>.queue_depth gauge fed by per-tenant ring occupancy
+//    accounting, plus serve.<tenant>.epoch / serve.<tenant>.swaps for the
+//    hot-swap trajectory).
 //  - Traces (opt-in, options().trace): submit() mints a monotonic request
 //    id; the server's obs::Tracer records an id-correlated span tree per
 //    request — request / queue / batch_wait on top of per-batch batch / run
@@ -64,11 +82,11 @@
 //    path exactly as uninstrumented: logits and MacStats are bit-identical.
 //  - Flight recorder (on by default, options().flight_recorder): every
 //    admission, rejection, shed, deadline expiry, pop, flush, batch
-//    start/end, and worker exception lands in a lock-free
-//    obs::FlightRecorder ring. The server dumps it to a stamped JSON file
-//    automatically on a batch-forward exception or a sustained reject/shed
-//    burst, and on demand via dump_flight() (`scnn_cli serve
-//    --dump-flight=`).
+//    start/end, swap, and worker exception lands in a lock-free
+//    obs::FlightRecorder ring, tenant-tagged. The server dumps it to a
+//    stamped JSON file automatically on a batch-forward exception or a
+//    sustained reject/shed burst, and on demand via dump_flight()
+//    (`scnn_cli serve --dump-flight=`).
 //  - Trajectory: BENCH_serve.json carries the quantiles + hardware
 //    fingerprint that tools/bench_compare diffs PR-over-PR.
 #pragma once
@@ -87,12 +105,14 @@
 #include <string_view>
 #include <vector>
 
+#include "common/occupancy.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/inference_session.hpp"
 #include "nn/tensor.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/model_registry.hpp"
 
 namespace scnn::serve {
 
@@ -140,6 +160,22 @@ enum class QueueKind : std::uint8_t {
 /// value otherwise.
 [[nodiscard]] QueueKind queue_kind_from_string(std::string_view s);
 
+/// One admission request — THE submit() argument (designated-initializer
+/// friendly; the old positional submit(tensor, deadline, priority)
+/// overloads are gone, see the README migration note). submit() validates
+/// every field and throws std::invalid_argument naming the offending one.
+struct Request {
+  std::string tenant;  ///< routing key into the model registry; "" routes
+                       ///< to the first (single-model: only) tenant
+  nn::Tensor input;    ///< exactly one sample: input.n() == 1
+  Priority priority = Priority::kNormal;
+  std::int64_t deadline_us = -1;  ///< -1 = ServerOptions::default_deadline_us;
+                                  ///< 0 = this request never expires
+  std::uint64_t request_id = 0;   ///< 0 = the server mints a monotonic id;
+                                  ///< nonzero = caller-chosen correlation id
+                                  ///< (uniqueness is the caller's problem)
+};
+
 /// What a Ticket resolves to.
 struct Response {
   Status status = Status::kOk;
@@ -147,6 +183,9 @@ struct Response {
                                  ///< flight events, and this response
   Priority priority = Priority::kNormal;  ///< class the request ran (or was
                                           ///< rejected/shed) as
+  std::string tenant;      ///< resolved tenant name the request routed to
+  std::uint64_t epoch = 0; ///< checkpoint generation the request was
+                           ///< admitted under (and, for kOk, ran against)
   nn::Tensor logits;       ///< n() == 1; empty unless status == kOk
   int predicted = -1;      ///< argmax over logits (kOk only)
   int batch_size = 0;      ///< size of the micro-batch this request ran in
@@ -177,17 +216,18 @@ class Ticket {
 /// Server tuning knobs. validate() throws std::invalid_argument naming the
 /// offending field and value, mirroring nn::EngineConfig.
 struct ServerOptions {
-  int workers = 1;          ///< session shards; each runs whole batches
+  int workers = 1;          ///< batch workers; also the default per-tenant
+                            ///< shard count (TenantOptions::shards == 0)
   int session_threads = 1;  ///< worker threads *inside* each shard's session
   int max_batch = 8;        ///< flush a batch at this many requests
   int max_delay_us = 200;   ///< ... or this long after the batch opened
   int queue_capacity = 64;  ///< bounded admission queue, summed over all
-                            ///< priority classes (backpressure)
+                            ///< priority classes and tenants (backpressure)
   QueueKind queue_kind = QueueKind::kLockFree;  ///< admission queue impl
   std::int64_t default_deadline_us = 0;  ///< 0 = requests never expire
-  /// Engine for every shard (nullopt = float mode). `threads` and
-  /// `instrument` inside it are overridden by the server (session_threads /
-  /// its own registry policy).
+  /// Default engine for tenants that don't set TenantOptions::engine
+  /// (nullopt = float mode). `threads` and `instrument` inside it are
+  /// overridden by the server (session_threads / its own registry policy).
   std::optional<nn::EngineConfig> engine;
   bool start_paused = false;  ///< admit but do not serve until resume();
                               ///< tests use this to stage deterministic
@@ -209,6 +249,11 @@ struct ServerOptions {
   /// Filename prefix for automatic dumps: <prefix>_error_w<worker>.json on a
   /// batch-forward exception, <prefix>_overload.json on a reject burst.
   std::string flight_dump_prefix = "flight";
+  /// Declarative tenant table — the config-file face of the deployment
+  /// (`scnn_cli serve --tenants=FILE`). The Server constructor taking
+  /// TenantInit overwrites this with the options actually deployed, so
+  /// options().tenants and to_json() always reflect reality.
+  std::vector<TenantOptions> tenants;
 
   static constexpr int kMaxWorkers = 256;
   static constexpr int kMaxBatch = 4096;
@@ -216,6 +261,11 @@ struct ServerOptions {
   static constexpr int kMaxFlightCapacity = 1 << 16;
 
   void validate() const;
+  /// JSON round-trip consistent with nn::EngineConfig — one flat object
+  /// plus the nested "engine" object and "tenants" array. from_json errors
+  /// name the offending token.
+  [[nodiscard]] std::string to_json() const;
+  static ServerOptions from_json(std::string_view json);
 };
 
 class Server {
@@ -223,11 +273,17 @@ class Server {
   /// Builds a fresh Network per shard (must be deterministic topology).
   using NetworkFactory = std::function<nn::Network()>;
 
-  /// Builds opts.workers sessions from `factory`. When `params` is
-  /// non-empty every shard loads it (the "one checkpoint" of the pool);
-  /// when `calibration` is non-null every shard calibrates on it (same
-  /// batch => identical scales => shards are interchangeable bit-exactly).
-  /// Workers start serving immediately unless opts.start_paused.
+  /// Multi-tenant server: stands up every tenant's shard pool (see
+  /// ModelRegistry) over opts.workers batch workers. Tenants without their
+  /// own TenantOptions::engine inherit opts.engine. Workers start serving
+  /// immediately unless opts.start_paused.
+  Server(std::vector<TenantInit> tenants, const ServerOptions& opts);
+
+  /// Single-model convenience: one tenant named "default" built from
+  /// `factory`. When `params` is non-empty every shard loads it (the "one
+  /// checkpoint" of the pool); when `calibration` is non-null every shard
+  /// calibrates on it (same batch => identical scales => shards are
+  /// interchangeable bit-exactly).
   Server(const NetworkFactory& factory, const ServerOptions& opts,
          std::span<const float> params = {},
          const nn::Tensor* calibration = nullptr);
@@ -238,18 +294,22 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Admit one single-sample request (input.n() must be 1; its c/h/w must
-  /// match every other request — the first submitted request establishes the
-  /// shape, and a mismatch throws std::invalid_argument naming both shapes,
-  /// even when the queue is full or the server is draining).
+  /// Admit one request (see serve::Request for the field contract; input
+  /// c/h/w must match every other request OF THE SAME TENANT — the tenant's
+  /// first submitted request establishes its shape, and a mismatch throws
+  /// std::invalid_argument naming both shapes, even when the queue is full
+  /// or the server is draining).
   /// Never blocks: a full queue resolves the returned Ticket immediately
   /// with kQueueFull (after trying to shed a strictly-lower-priority queued
   /// request, whose own ticket then resolves kShed); a draining server
   /// resolves it with kShutdown.
-  /// `deadline_us` < 0 uses options().default_deadline_us; 0 disables the
-  /// deadline for this request.
-  Ticket submit(const nn::Tensor& input, std::int64_t deadline_us = -1,
-                Priority priority = Priority::kNormal);
+  Ticket submit(Request req);
+
+  /// Publish `params` as `tenant`'s next checkpoint generation (mid-flight
+  /// hot swap; see the header comment for the epoch barrier) and return the
+  /// new epoch. Throws std::invalid_argument on an unknown tenant or a
+  /// parameter-count mismatch. Thread-safe; callable while serving.
+  std::uint64_t swap(std::string_view tenant, std::vector<float> params);
 
   /// Stop opening new batches (requests keep being admitted and shed; a
   /// forming batch flushes with what it has). Idempotent.
@@ -268,11 +328,16 @@ class Server {
   [[nodiscard]] bool accepting() const;
 
   [[nodiscard]] std::size_t queue_depth() const;
+  /// Queued requests of one tenant (advisory per-tenant occupancy).
+  [[nodiscard]] std::size_t queue_depth(std::string_view tenant) const;
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
-  [[nodiscard]] int workers() const { return static_cast<int>(sessions_.size()); }
+  [[nodiscard]] int workers() const { return opts_.workers; }
+
+  /// The tenant table (names, epochs, shard pools).
+  [[nodiscard]] const ModelRegistry& registry() const { return *registry_; }
 
   /// Serving metrics (see the header comment for the metric names).
-  [[nodiscard]] obs::Registry& metrics() { return registry_; }
+  [[nodiscard]] obs::Registry& metrics() { return registry_metrics_; }
 
   /// Per-request / per-layer span capture; empty unless options().trace.
   [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
@@ -290,9 +355,13 @@ class Server {
  private:
   using Clock = std::chrono::steady_clock;
 
-  struct Request {
+  /// The queued form of a Request: resolved tenant index, stamped epoch,
+  /// admission timestamps, and the promise feeding the Ticket.
+  struct Pending {
     nn::Tensor input;  // n() == 1
     std::uint64_t id = 0;
+    int tenant = 0;
+    std::uint64_t epoch = 0;
     Priority priority = Priority::kNormal;
     Clock::time_point enqueued;
     Clock::time_point popped;    // set when a worker takes it into a batch
@@ -301,13 +370,14 @@ class Server {
     std::promise<Response> promise;
   };
 
-  /// Admission-queue strategy: per-class FIFO with a shared capacity and
-  /// lowest-class-first shedding. Two implementations in server.cpp —
-  /// MutexAdmissionQueue and LockFreeAdmissionQueue — selected by
-  /// ServerOptions::queue_kind.
+  /// Admission-queue strategy: per-class FIFO with a shared capacity,
+  /// lowest-class-first shedding, and per-tenant occupancy accounting.
+  /// Two implementations in server.cpp — MutexAdmissionQueue and
+  /// LockFreeAdmissionQueue — selected by ServerOptions::queue_kind.
   struct AdmissionQueue;
 
-  /// Per-priority-class counter/histogram bundle (serve.<class>.*).
+  /// Per-priority-class counter/histogram bundle (serve.<class>.* and
+  /// serve.<tenant>.<class>.*).
   struct ClassMetrics {
     obs::Counter* submitted = nullptr;
     obs::Counter* completed = nullptr;
@@ -316,32 +386,49 @@ class Server {
     obs::LatencyHistogram* latency_us = nullptr;
   };
 
+  /// Per-tenant bundle (serve.<tenant>.*).
+  struct TenantMetrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* timed_out = nullptr;
+    obs::Counter* swaps = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* epoch = nullptr;
+    obs::LatencyHistogram* latency_us = nullptr;
+    ClassMetrics classes[kPriorityCount];
+  };
+
+  void init_metrics_and_workers_();
   void worker_loop_(int worker);
   /// Fill a batch starting from `first`, then run it. Expired requests
-  /// resolve kTimedOut as they are popped.
-  void form_and_run_(int worker, Request&& first);
+  /// resolve kTimedOut as they are popped; a request of another (tenant,
+  /// epoch) closes the batch and parks in stash_[worker].
+  void form_and_run_(int worker, Pending&& first);
   /// Resolve `req` kTimedOut if its deadline passed; true when it did.
-  bool resolve_if_expired_(Request& req, int worker, std::uint64_t batch_id,
+  bool resolve_if_expired_(Pending& req, int worker, std::uint64_t batch_id,
                            Clock::time_point now);
-  void run_batch_(int worker, std::uint64_t batch_id, std::vector<Request>& batch);
+  void run_batch_(int worker, std::uint64_t batch_id, std::vector<Pending>& batch);
   /// Resolve a shed victim kShed and record the eviction (metrics + flight).
-  void resolve_shed_(Request&& victim, std::uint64_t by_request_id);
+  void resolve_shed_(Pending&& victim, std::uint64_t by_request_id);
   /// Count one overload event (kQueueFull reject or kShed eviction) toward
   /// the reject-burst forensic dump.
   void note_overload_event_();
   /// Pop every queued request and resolve it kShutdown. Caller holds mu_.
   void sweep_shutdown_locked_();
-  /// CAS-establish / validate the single admitted input shape. Throws
+  /// CAS-establish / validate the tenant's admitted input shape. Throws
   /// std::invalid_argument naming both shapes on a mismatch.
-  void check_shape_(const nn::Tensor& input);
+  void check_shape_(int tenant, const nn::Tensor& input);
+  void publish_tenant_depth_(int tenant);
   /// Shard index for submit-path flight events (workers own shards
   /// [0, workers); submitters hash onto the tail shards).
   [[nodiscard]] int submit_flight_shard_() const;
 
   ServerOptions opts_;
-  std::vector<std::unique_ptr<nn::InferenceSession>> sessions_;
+  std::unique_ptr<ModelRegistry> registry_;
 
-  obs::Registry registry_;
+  obs::Registry registry_metrics_;
   obs::Tracer tracer_;
   std::unique_ptr<obs::FlightRecorder> flight_;
   obs::Counter& submitted_;
@@ -356,20 +443,29 @@ class Server {
   obs::LatencyHistogram& latency_us_hist_;
   obs::LatencyHistogram& queue_us_hist_;
   ClassMetrics class_metrics_[kPriorityCount];
+  std::vector<TenantMetrics> tenant_metrics_;
 
   std::atomic<std::uint64_t> next_request_id_{1};
   std::atomic<std::uint64_t> next_batch_id_{1};
   std::atomic<int> reject_streak_{0};
   std::atomic<bool> burst_dumped_{false};
-  /// Packed established input shape: (c << 42) | (h << 21) | w, 21-bit
-  /// fields; 0 = not yet established. CAS'd by the first submit so
-  /// concurrent first submits agree without a lock.
-  std::atomic<std::uint64_t> shape_key_{0};
+  /// Packed established input shape per tenant: (c << 42) | (h << 21) | w,
+  /// 21-bit fields; 0 = not yet established. CAS'd by the tenant's first
+  /// submit so concurrent first submits agree without a lock.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shape_keys_;
 
   std::atomic<bool> paused_{false};
   std::atomic<bool> stopping_{false};
 
+  /// Queued-request count per tenant, maintained by the admission queue on
+  /// every push/pop/shed (see common/occupancy.hpp).
+  std::unique_ptr<common::OccupancyTable> occupancy_;
   std::unique_ptr<AdmissionQueue> queue_;
+  /// One slot per worker: the request that closed the previous batch
+  /// because its (tenant, epoch) differed — it seeds the next batch. Only
+  /// its owning worker touches a slot, and workers consume their stash
+  /// before exiting, so drain() still completes every admitted request.
+  std::vector<std::optional<Pending>> stash_;
 
   mutable std::mutex mu_;            // condvar waits + shutdown sweep only;
                                      // queue ops themselves are queue_'s

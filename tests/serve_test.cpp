@@ -94,7 +94,7 @@ TEST(Serve, ServedLogitsBitIdenticalToDirectForward) {
   opts.workers = 2;
   Server server(make_server(opts));
   std::vector<Ticket> tickets;
-  for (int i = 0; i < 12; ++i) tickets.push_back(server.submit(sample(i)));
+  for (int i = 0; i < 12; ++i) tickets.push_back(server.submit({.input = sample(i)}));
   for (int i = 0; i < 12; ++i) {
     Response r = tickets[static_cast<std::size_t>(i)].get();
     ASSERT_EQ(r.status, Status::kOk) << "request " << i << ": " << r.error;
@@ -117,13 +117,13 @@ TEST(Serve, FullQueueRejectsWithQueueFullAndNeverBlocks) {
   Server server(make_server(opts));
 
   std::vector<Ticket> admitted;
-  for (int i = 0; i < 4; ++i) admitted.push_back(server.submit(sample(i)));
+  for (int i = 0; i < 4; ++i) admitted.push_back(server.submit({.input = sample(i)}));
   EXPECT_EQ(server.queue_depth(), 4u);
   for (const Ticket& t : admitted) EXPECT_FALSE(t.ready());
 
   // Over capacity: resolved immediately, no blocking, explicit status.
   for (int i = 0; i < 2; ++i) {
-    Ticket t = server.submit(sample(0));
+    Ticket t = server.submit({.input = sample(0)});
     ASSERT_TRUE(t.ready());
     EXPECT_EQ(t.get().status, Status::kQueueFull);
   }
@@ -146,8 +146,8 @@ TEST(Serve, ExpiredDeadlinesResolveAsTimedOut) {
 
   std::vector<Ticket> doomed;
   for (int i = 0; i < 3; ++i)
-    doomed.push_back(server.submit(sample(i), /*deadline_us=*/1000));
-  Ticket alive = server.submit(sample(3));  // no deadline
+    doomed.push_back(server.submit({.input = sample(i), .deadline_us = 1000}));
+  Ticket alive = server.submit({.input = sample(3)});  // no deadline
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   server.resume();
 
@@ -170,7 +170,7 @@ TEST(Serve, DrainCompletesWhenEveryAdmittedRequestHasExpired) {
   Server server(make_server(opts));
   std::vector<Ticket> doomed;
   for (int i = 0; i < 5; ++i)
-    doomed.push_back(server.submit(sample(i), /*deadline_us=*/1000));
+    doomed.push_back(server.submit({.input = sample(i), .deadline_us = 1000}));
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   server.drain();  // unpauses; the worker pops only expired requests
   for (Ticket& t : doomed) {
@@ -186,14 +186,14 @@ TEST(Serve, DrainCompletesAllAdmittedThenRejectsWithShutdown) {
   opts.max_batch = 8;
   Server server(make_server(opts));
   std::vector<Ticket> tickets;
-  for (int i = 0; i < 20; ++i) tickets.push_back(server.submit(sample(i % 8)));
+  for (int i = 0; i < 20; ++i) tickets.push_back(server.submit({.input = sample(i % 8)}));
   server.drain();
   for (Ticket& t : tickets) {
     ASSERT_TRUE(t.ready());
     EXPECT_EQ(t.get().status, Status::kOk);
   }
   EXPECT_FALSE(server.accepting());
-  Ticket late = server.submit(sample(0));
+  Ticket late = server.submit({.input = sample(0)});
   ASSERT_TRUE(late.ready());
   EXPECT_EQ(late.get().status, Status::kShutdown);
   server.drain();  // idempotent
@@ -203,7 +203,7 @@ TEST(Serve, DestructorDrainsAdmittedRequests) {
   std::vector<Ticket> tickets;
   {
     Server server(make_server(base_options()));
-    for (int i = 0; i < 10; ++i) tickets.push_back(server.submit(sample(i)));
+    for (int i = 0; i < 10; ++i) tickets.push_back(server.submit({.input = sample(i)}));
   }
   for (std::size_t i = 0; i < tickets.size(); ++i) {
     ASSERT_TRUE(tickets[i].ready());
@@ -219,7 +219,7 @@ TEST(Serve, MicroBatchesRespectMaxBatch) {
   opts.start_paused = true;  // queue up everything, then serve in one burst
   Server server(make_server(opts));
   std::vector<Ticket> tickets;
-  for (int i = 0; i < 10; ++i) tickets.push_back(server.submit(sample(i)));
+  for (int i = 0; i < 10; ++i) tickets.push_back(server.submit({.input = sample(i)}));
   server.resume();
   server.drain();
   for (Ticket& t : tickets) {
@@ -249,7 +249,7 @@ TEST(Serve, ConcurrentSubmittersAllServedBitExactly) {
     clients.emplace_back([&, c] {
       for (int i = 0; i < kPerThread; ++i) {
         const int idx = (c * kPerThread + i) % test_data().images.n();
-        Response r = server.submit(sample(idx)).get();
+        Response r = server.submit({.input = sample(idx)}).get();
         if (r.status != Status::kOk) continue;
         ++ok;
         if (!bit_identical(r.logits, reference_logits()[static_cast<std::size_t>(idx)]))
@@ -292,16 +292,16 @@ TEST(Serve, InvalidOptionsThrowNamingTheValue) {
 
 TEST(Serve, MismatchedRequestShapeThrows) {
   Server server(make_server(base_options()));
-  (void)server.submit(sample(0));  // establishes 1x28x28
+  (void)server.submit({.input = sample(0)});  // establishes 1x28x28
   try {
-    (void)server.submit(Tensor(1, 3, 32, 32));
+    (void)server.submit({.input = Tensor(1, 3, 32, 32)});
     FAIL() << "expected invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("3x32x32"), std::string::npos) << msg;
     EXPECT_NE(msg.find("1x28x28"), std::string::npos) << msg;
   }
-  EXPECT_THROW((void)server.submit(Tensor(2, 1, 28, 28)), std::invalid_argument);
+  EXPECT_THROW((void)server.submit({.input = Tensor(2, 1, 28, 28)}), std::invalid_argument);
 }
 
 // The shape check must win over load-dependent rejection: a mismatched
@@ -312,15 +312,15 @@ TEST(Serve, ShapeMismatchThrowsEvenWhenQueueFullOrDraining) {
   opts.queue_capacity = 2;
   opts.start_paused = true;
   Server server(make_server(opts));
-  (void)server.submit(sample(0));
-  (void)server.submit(sample(1));
+  (void)server.submit({.input = sample(0)});
+  (void)server.submit({.input = sample(1)});
   EXPECT_EQ(server.queue_depth(), 2u);  // full
-  EXPECT_THROW((void)server.submit(Tensor(1, 3, 32, 32)), std::invalid_argument);
-  EXPECT_EQ(server.submit(sample(2)).get().status, Status::kQueueFull);
+  EXPECT_THROW((void)server.submit({.input = Tensor(1, 3, 32, 32)}), std::invalid_argument);
+  EXPECT_EQ(server.submit({.input = sample(2)}).get().status, Status::kQueueFull);
   server.resume();
   server.drain();
-  EXPECT_THROW((void)server.submit(Tensor(1, 3, 32, 32)), std::invalid_argument);
-  EXPECT_EQ(server.submit(sample(3)).get().status, Status::kShutdown);
+  EXPECT_THROW((void)server.submit({.input = Tensor(1, 3, 32, 32)}), std::invalid_argument);
+  EXPECT_EQ(server.submit({.input = sample(3)}).get().status, Status::kShutdown);
 }
 
 // ---------------------------------------------------------------------------
@@ -334,7 +334,7 @@ TEST(Serve, BothQueueKindsBitIdenticalToDirectForward) {
     opts.workers = 2;
     Server server(make_server(opts));
     std::vector<Ticket> tickets;
-    for (int i = 0; i < 12; ++i) tickets.push_back(server.submit(sample(i)));
+    for (int i = 0; i < 12; ++i) tickets.push_back(server.submit({.input = sample(i)}));
     for (int i = 0; i < 12; ++i) {
       Response r = tickets[static_cast<std::size_t>(i)].get();
       ASSERT_EQ(r.status, Status::kOk)
@@ -391,9 +391,8 @@ TEST(Serve, SheddingIsDeterministicAndStrictlyLowestClassFirst) {
 
         std::vector<Ticket> tickets;
         for (std::size_t i = 0; i < script.size(); ++i)
-          tickets.push_back(
-              server.submit(sample(static_cast<int>(i)), /*deadline_us=*/-1,
-                            script[i].priority));
+          tickets.push_back(server.submit({.input = sample(static_cast<int>(i)),
+                                           .priority = script[i].priority}));
         // Shed and rejected requests resolve before any worker runs.
         for (std::size_t i = 0; i < script.size(); ++i) {
           if (script[i].expected != Status::kOk) {
@@ -446,10 +445,10 @@ TEST(Serve, WorkersPopHighBeforeNormalBeforeBatch) {
   Server server(make_server(opts));
 
   // Submit in worst-case order: lowest class first.
-  Ticket b = server.submit(sample(0), -1, Priority::kBatch);
-  Ticket b2 = server.submit(sample(1), -1, Priority::kBatch);
-  Ticket n = server.submit(sample(2), -1, Priority::kNormal);
-  Ticket h = server.submit(sample(3), -1, Priority::kHigh);
+  Ticket b = server.submit({.input = sample(0), .priority = Priority::kBatch});
+  Ticket b2 = server.submit({.input = sample(1), .priority = Priority::kBatch});
+  Ticket n = server.submit({.input = sample(2), .priority = Priority::kNormal});
+  Ticket h = server.submit({.input = sample(3), .priority = Priority::kHigh});
   server.resume();
   server.drain();
   std::vector<std::uint64_t> want_order;
@@ -477,13 +476,13 @@ TEST(Serve, WorkersPopHighBeforeNormalBeforeBatch) {
 
 TEST(Serve, PauseParksWorkersAndResumeRestarts) {
   Server server(make_server(base_options()));
-  EXPECT_EQ(server.submit(sample(0)).get().status, Status::kOk);
+  EXPECT_EQ(server.submit({.input = sample(0)}).get().status, Status::kOk);
 
   server.pause();
   server.pause();  // idempotent
   // Give the worker time to observe the pause before staging new work.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  Ticket parked = server.submit(sample(1));
+  Ticket parked = server.submit({.input = sample(1)});
   std::this_thread::sleep_for(std::chrono::milliseconds(30));
   EXPECT_FALSE(parked.ready()) << "paused server must not serve";
   EXPECT_EQ(server.queue_depth(), 1u);
@@ -550,7 +549,7 @@ TEST(ServeObservability, TracedRequestFormsIdCorrelatedSpanTree) {
   opts.trace = true;
   Server server(make_server(opts));
   std::vector<Ticket> tickets;
-  for (int i = 0; i < 6; ++i) tickets.push_back(server.submit(sample(i)));
+  for (int i = 0; i < 6; ++i) tickets.push_back(server.submit({.input = sample(i)}));
   std::vector<Response> responses;
   for (Ticket& t : tickets) responses.push_back(t.get());
   server.drain();
@@ -605,7 +604,7 @@ TEST(ServeObservability, TracedRequestFormsIdCorrelatedSpanTree) {
 
 TEST(ServeObservability, UntracedServingRecordsNoSpans) {
   Server server(make_server(base_options()));
-  for (int i = 0; i < 4; ++i) EXPECT_EQ(server.submit(sample(i)).get().status, Status::kOk);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(server.submit({.input = sample(i)}).get().status, Status::kOk);
   server.drain();
   EXPECT_EQ(server.tracer().span_count(), 0u);
 }
@@ -615,10 +614,10 @@ TEST(ServeObservability, RequestIdsAreMintedMonotonically) {
   opts.queue_capacity = 1;
   opts.start_paused = true;
   Server server(make_server(opts));
-  Ticket admitted = server.submit(sample(0));  // fills the 1-deep queue
+  Ticket admitted = server.submit({.input = sample(0)});  // fills the 1-deep queue
   // Rejected requests get ids too — the flight recorder names them.
-  Ticket r1 = server.submit(sample(1));
-  Ticket r2 = server.submit(sample(2));
+  Ticket r1 = server.submit({.input = sample(1)});
+  Ticket r2 = server.submit({.input = sample(2)});
   ASSERT_TRUE(r1.ready() && r2.ready());
   const Response rej1 = r1.get();
   const Response rej2 = r2.get();
@@ -657,7 +656,7 @@ TEST(ServeObservability, WorkerExceptionDumpsFlightNamingTheBatchRequestIds) {
   }, opts);
 
   std::vector<Ticket> tickets;
-  for (int i = 0; i < 3; ++i) tickets.push_back(server.submit(sample(i)));
+  for (int i = 0; i < 3; ++i) tickets.push_back(server.submit({.input = sample(i)}));
   server.resume();
   std::vector<std::uint64_t> failed_ids;
   for (Ticket& t : tickets) {
@@ -706,9 +705,9 @@ TEST(ServeObservability, RejectBurstDumpsOverloadFile) {
   opts.reject_burst = 3;
   opts.flight_dump_prefix = "serve_test_burst";
   Server server(make_server(opts));
-  (void)server.submit(sample(0));
+  (void)server.submit({.input = sample(0)});
   for (int i = 0; i < 3; ++i)
-    EXPECT_EQ(server.submit(sample(0)).get().status, Status::kQueueFull);
+    EXPECT_EQ(server.submit({.input = sample(0)}).get().status, Status::kQueueFull);
 
   std::ifstream in(dump_path);
   ASSERT_TRUE(in.good()) << "expected overload dump at " << dump_path;
@@ -732,7 +731,7 @@ TEST(ServeObservability, FlightRecorderCanBeDisabled) {
   Server server(make_server(opts));
   EXPECT_EQ(server.flight_recorder(), nullptr);
   EXPECT_EQ(server.dump_flight("unused.json"), "");
-  EXPECT_EQ(server.submit(sample(0)).get().status, Status::kOk);
+  EXPECT_EQ(server.submit({.input = sample(0)}).get().status, Status::kOk);
   server.drain();
 }
 
@@ -740,7 +739,7 @@ TEST(ServeObservability, QueueDepthPeakIsAHighWaterMark) {
   ServerOptions opts = base_options();
   opts.start_paused = true;
   Server server(make_server(opts));
-  for (int i = 0; i < 5; ++i) (void)server.submit(sample(i));
+  for (int i = 0; i < 5; ++i) (void)server.submit({.input = sample(i)});
   server.resume();
   server.drain();
   // After draining the live depth is 0, but the peak must remember the burst.
@@ -764,13 +763,13 @@ TEST(ServeObservability, RejectBurstDumpRecordsShedVictimClasses) {
   opts.flight_dump_prefix = "serve_test_shedburst";
   Server server(make_server(opts));
 
-  Ticket b1 = server.submit(sample(0), -1, Priority::kBatch);
-  Ticket b2 = server.submit(sample(1), -1, Priority::kBatch);
-  Ticket h1 = server.submit(sample(2), -1, Priority::kHigh);  // sheds b1
-  Ticket h2 = server.submit(sample(3), -1, Priority::kHigh);  // sheds b2
+  Ticket b1 = server.submit({.input = sample(0), .priority = Priority::kBatch});
+  Ticket b2 = server.submit({.input = sample(1), .priority = Priority::kBatch});
+  Ticket h1 = server.submit({.input = sample(2), .priority = Priority::kHigh});  // sheds b1
+  Ticket h2 = server.submit({.input = sample(3), .priority = Priority::kHigh});  // sheds b2
   // Queue now holds only high => the third overload event is a hard reject,
   // tripping the burst threshold of 3 (sheds count toward the streak).
-  Ticket h3 = server.submit(sample(4), -1, Priority::kHigh);
+  Ticket h3 = server.submit({.input = sample(4), .priority = Priority::kHigh});
   const Response rb1 = b1.get();
   const Response rb2 = b2.get();
   ASSERT_EQ(rb1.status, Status::kShed);
@@ -811,6 +810,236 @@ TEST(ServeObservability, RejectBurstDumpRecordsShedVictimClasses) {
   EXPECT_EQ(sheds, 2);
   EXPECT_EQ(rejects, 1);
   std::remove(dump_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant registry and mid-flight hot swap
+// ---------------------------------------------------------------------------
+
+EngineConfig beta_engine() {
+  return {.kind = EngineKind::kFixed, .n_bits = 10, .threads = 1};
+}
+
+/// Direct single-session forwards over the whole dataset for one
+/// (engine, checkpoint) pair — the per-tenant / per-generation reference.
+std::vector<Tensor> direct_logits(const std::optional<EngineConfig>& engine,
+                                  const std::vector<float>* params = nullptr) {
+  const Tensor calib = calibration_batch();
+  nn::Network net = make_net();
+  if (params) net.load_parameters(*params);
+  nn::InferenceSession session(std::move(net), /*threads=*/1);
+  session.calibrate(calib);
+  if (engine) session.set_engine(*engine);
+  std::vector<Tensor> out;
+  for (int i = 0; i < test_data().images.n(); ++i)
+    out.push_back(session.forward(sample(i)));
+  return out;
+}
+
+TenantInit make_tenant(const std::string& name, const EngineConfig& engine) {
+  TenantInit init;
+  init.options.name = name;
+  init.options.engine = engine;
+  init.factory = [] { return make_net(); };
+  init.calibration = calibration_batch();
+  return init;
+}
+
+/// A genuinely different checkpoint: every parameter halved.
+std::vector<float> perturbed_params(float scale = 0.5f) {
+  nn::Network net = make_net();
+  std::vector<float> p = net.save_parameters();
+  for (float& v : p) v *= scale;
+  return p;
+}
+
+// Two tenants with different arithmetic (proposed 8-bit vs fixed 10-bit)
+// served concurrently over one worker pool: every response must be
+// bit-identical to ITS tenant's direct single-session forward, across both
+// queue kinds and 1/4 workers.
+TEST(ServeMultiTenant, TenantsWithDifferentEnginesServeBitIsolated) {
+  const std::vector<Tensor> alpha_ref = direct_logits(test_engine());
+  const std::vector<Tensor> beta_ref = direct_logits(beta_engine());
+  ASSERT_FALSE(bit_identical(alpha_ref[0], beta_ref[0]))
+      << "engines must actually differ for isolation to be observable";
+  for (const QueueKind kind : {QueueKind::kMutex, QueueKind::kLockFree}) {
+    for (const int workers : {1, 4}) {
+      ServerOptions opts = base_options();
+      opts.queue_kind = kind;
+      opts.workers = workers;
+      opts.queue_capacity = 256;
+      std::vector<TenantInit> tenants;
+      tenants.push_back(make_tenant("alpha", test_engine()));
+      tenants.push_back(make_tenant("beta", beta_engine()));
+      Server server(std::move(tenants), opts);
+      ASSERT_EQ(server.registry().count(), 2);
+      std::vector<Ticket> a, b;
+      for (int i = 0; i < 12; ++i) {  // interleaved admission order
+        a.push_back(server.submit({.tenant = "alpha", .input = sample(i)}));
+        b.push_back(server.submit({.tenant = "beta", .input = sample(i)}));
+      }
+      for (std::size_t i = 0; i < 12; ++i) {
+        Response ra = a[i].get();
+        Response rb = b[i].get();
+        ASSERT_EQ(ra.status, Status::kOk)
+            << to_string(kind) << " workers=" << workers << " alpha " << i
+            << ": " << ra.error;
+        ASSERT_EQ(rb.status, Status::kOk)
+            << to_string(kind) << " workers=" << workers << " beta " << i
+            << ": " << rb.error;
+        EXPECT_EQ(ra.tenant, "alpha");
+        EXPECT_EQ(rb.tenant, "beta");
+        EXPECT_EQ(ra.epoch, 0u);
+        EXPECT_EQ(rb.epoch, 0u);
+        EXPECT_TRUE(bit_identical(ra.logits, alpha_ref[i]))
+            << to_string(kind) << " workers=" << workers << " alpha " << i;
+        EXPECT_TRUE(bit_identical(rb.logits, beta_ref[i]))
+            << to_string(kind) << " workers=" << workers << " beta " << i;
+      }
+      server.drain();
+      EXPECT_EQ(counter_total(server.metrics(), "serve.alpha.completed"), 12u);
+      EXPECT_EQ(counter_total(server.metrics(), "serve.beta.completed"), 12u);
+      EXPECT_EQ(counter_total(server.metrics(), "serve.completed"), 24u);
+    }
+  }
+}
+
+// The epoch barrier, pinned: for a fixed submission order the old/new
+// partition is a pure function of that order — identical across 10 runs,
+// with every response bit-identical to a direct forward against the
+// generation it was admitted under.
+TEST(ServeMultiTenant, HotSwapPartitionIsDeterministicAcrossRuns) {
+  const std::vector<float> new_params = perturbed_params();
+  const std::vector<Tensor> old_ref = direct_logits(test_engine());
+  const std::vector<Tensor> new_ref = direct_logits(test_engine(), &new_params);
+  ASSERT_FALSE(bit_identical(old_ref[0], new_ref[0]))
+      << "the swapped checkpoint must be observably different";
+  std::vector<std::uint64_t> first_partition;
+  for (int run = 0; run < 10; ++run) {
+    ServerOptions opts = base_options();
+    opts.workers = 2;
+    Server server(make_server(opts));
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 8; ++i)
+      tickets.push_back(server.submit({.input = sample(i)}));
+    EXPECT_EQ(server.swap("default", new_params), 1u);
+    for (int i = 8; i < 16; ++i)
+      tickets.push_back(server.submit({.input = sample(i)}));
+    server.drain();
+
+    std::vector<std::uint64_t> partition;
+    for (int i = 0; i < 16; ++i) {
+      Response r = tickets[static_cast<std::size_t>(i)].get();
+      ASSERT_EQ(r.status, Status::kOk) << "run " << run << " request " << i;
+      partition.push_back(r.epoch);
+      const std::vector<Tensor>& ref = r.epoch == 0 ? old_ref : new_ref;
+      EXPECT_TRUE(bit_identical(r.logits, ref[static_cast<std::size_t>(i)]))
+          << "run " << run << " request " << i << " epoch " << r.epoch;
+    }
+    // Admitted before the swap -> old model; after -> new model. Always.
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(partition[static_cast<std::size_t>(i)], 0u);
+    for (int i = 8; i < 16; ++i) EXPECT_EQ(partition[static_cast<std::size_t>(i)], 1u);
+    if (run == 0)
+      first_partition = partition;
+    else
+      EXPECT_EQ(partition, first_partition) << "run " << run;
+    EXPECT_EQ(server.metrics().gauge("serve.default.epoch").get(), 1.0);
+    EXPECT_EQ(counter_total(server.metrics(), "serve.default.swaps"), 1u);
+  }
+}
+
+// Swapping while concurrent submitters hammer the server must never produce
+// kError, and every kOk response must match the direct forward of exactly
+// the generation it was admitted under.
+TEST(ServeMultiTenant, SwapUnderConcurrentLoadIsErrorFreeAndEpochConsistent) {
+  const std::vector<float> p1 = perturbed_params(0.5f);
+  const std::vector<float> p2 = perturbed_params(0.25f);
+  std::vector<std::vector<Tensor>> refs;
+  refs.push_back(direct_logits(test_engine()));
+  refs.push_back(direct_logits(test_engine(), &p1));
+  refs.push_back(direct_logits(test_engine(), &p2));
+
+  ServerOptions opts = base_options();
+  opts.workers = 2;
+  opts.queue_capacity = 256;
+  Server server(make_server(opts));
+
+  constexpr int kThreads = 2;
+  constexpr int kPerThread = 24;
+  std::atomic<int> ok{0}, errors{0}, mismatched{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int idx = (c * kPerThread + i) % test_data().images.n();
+        Response r = server.submit({.input = sample(idx)}).get();
+        if (r.status == Status::kError) {
+          ++errors;
+          continue;
+        }
+        if (r.status != Status::kOk) continue;
+        ++ok;
+        if (r.epoch > 2 ||
+            !bit_identical(r.logits,
+                           refs[static_cast<std::size_t>(r.epoch)]
+                               [static_cast<std::size_t>(idx)]))
+          ++mismatched;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(server.swap("default", p1), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(server.swap("default", p2), 2u);
+  for (std::thread& t : clients) t.join();
+  server.drain();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatched.load(), 0);
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);  // capacity 256 => no rejects
+  EXPECT_EQ(server.registry().generation_count(0), 3u);
+  EXPECT_EQ(counter_total(server.metrics(), "serve.default.swaps"), 2u);
+}
+
+TEST(ServeMultiTenant, InvalidRequestFieldsThrowNamingTheField) {
+  Server server(make_server(base_options()));
+  const auto expect_throw = [&](Request req, const char* needle) {
+    try {
+      (void)server.submit(std::move(req));
+      FAIL() << "expected invalid_argument mentioning " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_throw({.tenant = "ghost", .input = sample(0)},
+               "serve::Request.tenant = \"ghost\"");
+  expect_throw({.tenant = "ghost", .input = sample(0)}, "known tenants: default");
+  expect_throw({.input = Tensor(2, 1, 28, 28)}, "serve::Request.input");
+  expect_throw({.input = sample(0), .deadline_us = -2},
+               "serve::Request.deadline_us = -2");
+  // A caller-chosen correlation id is honored verbatim.
+  Response r = server.submit({.input = sample(0), .request_id = 777}).get();
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.request_id, 777u);
+  EXPECT_EQ(r.tenant, "default");
+}
+
+TEST(ServeMultiTenant, SwapValidatesTenantAndParameterCount) {
+  Server server(make_server(base_options()));
+  EXPECT_THROW(server.swap("ghost", {}), std::invalid_argument);
+  try {
+    server.swap("default", std::vector<float>(3, 0.0f));
+    FAIL() << "expected invalid_argument naming the parameter count";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("3 parameters"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected"), std::string::npos) << msg;
+  }
+  // Failed swaps leave the registry untouched and the server serving.
+  EXPECT_EQ(server.registry().epoch(0), 0u);
+  EXPECT_EQ(server.registry().generation_count(0), 1u);
+  EXPECT_EQ(server.submit({.input = sample(0)}).get().status, Status::kOk);
 }
 
 TEST(ServeObservability, InvalidFlightOptionsThrow) {

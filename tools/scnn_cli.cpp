@@ -9,16 +9,22 @@
 //                   [--engine=...] [--threads=T] [--count=N] [--bit-parallel=B]
 //                   [--trace-out=FILE]
 //   scnn_cli serve  [digits|objects] [--ckpt=FILE] [--bits=N] [--accum=A]
-//                   [--engine=...] [--requests=N] [--concurrency=C]
-//                   [--max-batch=B] [--max-delay-us=U] [--queue-cap=Q]
-//                   [--queue=lockfree|mutex] [--priority=high|normal|batch|mixed]
-//                   [--workers=W] [--session-threads=T] [--deadline-us=D]
-//                   [--count=N] [--trace-out=FILE] [--dump-flight=FILE]
+//                   [--engine=...] [--tenants=FILE] [--requests=N]
+//                   [--concurrency=C] [--max-batch=B] [--max-delay-us=U]
+//                   [--queue-cap=Q] [--queue=lockfree|mutex]
+//                   [--priority=high|normal|batch|mixed] [--workers=W]
+//                   [--session-threads=T] [--deadline-us=D] [--count=N]
+//                   [--trace-out=FILE] [--dump-flight=FILE]
 //                   [--metrics-interval-ms=M]
 //   scnn_cli info
 //
 // `serve` stands up the batched serving runtime (serve::Server) over the
-// checkpoint and drives it with a closed-loop load of C client threads; it
+// checkpoint and drives it with a closed-loop load of C client threads.
+// --tenants=FILE loads a multi-model deployment instead: the file is one
+// ServerOptions JSON document (server knobs + default engine + a `tenants`
+// array of {name, checkpoint, shards, engine}), requests rotate round-robin
+// over the tenant table, and the metrics registry gains serve.<tenant>.*
+// rows. The runtime
 // prints a latency/throughput table (client-side and server-side quantiles)
 // plus the serving metrics, and exits non-zero if any admitted request is
 // lost (see docs/SERVING.md). --trace-out exports the per-request span tree,
@@ -505,7 +511,7 @@ int cmd_stats(const Args& args) {
 /// the batch forward threw — a bug, not overload).
 int cmd_serve(const Args& args) {
   args.require_known({"task", "ckpt", "bits", "accum", "engine", "backend", "sparsity",
-                      "engine-config", "requests", "concurrency", "max-batch",
+                      "engine-config", "tenants", "requests", "concurrency", "max-batch",
                       "max-delay-us", "queue-cap", "queue", "priority", "workers",
                       "session-threads", "deadline-us", "count", "metrics-out",
                       "tune-file", "trace-out", "dump-flight", "metrics-interval-ms"});
@@ -519,6 +525,19 @@ int cmd_serve(const Args& args) {
     throw scnn::cli::ArgError(
         "--engine-config carries the whole engine configuration; it excludes "
         "--engine/--bits/--accum/--backend/--sparsity");
+  // --tenants=FILE: the whole deployment — server knobs, default engine, and
+  // the tenant table — comes from one ServerOptions JSON document.
+  const std::string tenants_file = args.get("tenants", "");
+  if (!tenants_file.empty() &&
+      (args.has("engine") || args.has("bits") || args.has("accum") ||
+       args.has("backend") || args.has("sparsity") || args.has("engine-config") ||
+       args.has("workers") || args.has("session-threads") ||
+       args.has("max-batch") || args.has("max-delay-us") ||
+       args.has("queue-cap") || args.has("queue") || args.has("deadline-us")))
+    throw scnn::cli::ArgError(
+        "--tenants carries the whole deployment (a ServerOptions JSON file, "
+        "engine and tenant table included); it excludes the per-flag server "
+        "and engine options");
   const EngineConfig cfg =
       !cfg_json.empty()
           ? EngineConfig::from_json(cfg_json)
@@ -530,20 +549,36 @@ int cmd_serve(const Args& args) {
                 .sparsity = scnn::nn::sparsity_from_string(args.get("sparsity", "auto"))};
   cfg.validate();
   scnn::serve::ServerOptions opts;
-  opts.workers = args.get_int("workers", 1);
-  opts.session_threads = args.get_int("session-threads", 0);  // 0 = auto
-  opts.max_batch = args.get_int("max-batch", 8);
-  opts.max_delay_us = args.get_int("max-delay-us", 200);
-  opts.queue_capacity = args.get_int("queue-cap", 64);
-  try {
-    opts.queue_kind = scnn::serve::queue_kind_from_string(args.get("queue", "lockfree"));
-  } catch (const std::invalid_argument& e) {
-    throw scnn::cli::ArgError(std::string("--") + e.what());
-  }
-  opts.default_deadline_us = args.get_int("deadline-us", 0);
-  opts.engine = cfg;
   const std::string trace_path = args.get("trace-out", "");
-  opts.trace = !trace_path.empty();
+  if (tenants_file.empty()) {
+    opts.workers = args.get_int("workers", 1);
+    opts.session_threads = args.get_int("session-threads", 0);  // 0 = auto
+    opts.max_batch = args.get_int("max-batch", 8);
+    opts.max_delay_us = args.get_int("max-delay-us", 200);
+    opts.queue_capacity = args.get_int("queue-cap", 64);
+    try {
+      opts.queue_kind = scnn::serve::queue_kind_from_string(args.get("queue", "lockfree"));
+    } catch (const std::invalid_argument& e) {
+      throw scnn::cli::ArgError(std::string("--") + e.what());
+    }
+    opts.default_deadline_us = args.get_int("deadline-us", 0);
+    opts.engine = cfg;
+  } else {
+    std::ifstream in(tenants_file);
+    if (!in)
+      throw scnn::cli::ArgError("--tenants=" + tenants_file + ": cannot open");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+      opts = scnn::serve::ServerOptions::from_json(buf.str());
+    } catch (const std::invalid_argument& e) {
+      throw scnn::cli::ArgError("--tenants=" + tenants_file + ": " + e.what());
+    }
+    if (opts.tenants.empty())
+      throw scnn::cli::ArgError("--tenants=" + tenants_file +
+                                ": deployment config names no tenants");
+  }
+  opts.trace = opts.trace || !trace_path.empty();
   opts.validate();
   // --priority: one fixed class for every request, or "mixed" — a
   // deterministic rotation by request index (0 -> high, 1,2 -> normal,
@@ -563,30 +598,88 @@ int cmd_serve(const Args& args) {
   if (requests < 1 || concurrency < 1)
     throw scnn::cli::ArgError("--requests and --concurrency must be >= 1");
 
-  // One checkpoint feeds every shard; quick-train it if missing.
+  // One checkpoint feeds every shard; quick-train it if missing. Under
+  // --tenants, a tenant may name its own checkpoint — tenants that leave
+  // `checkpoint` empty share the base one.
+  const bool need_base_ckpt =
+      tenants_file.empty() ||
+      std::any_of(opts.tenants.begin(), opts.tenants.end(),
+                  [](const scnn::serve::TenantOptions& t) {
+                    return t.checkpoint.empty();
+                  });
   scnn::nn::Network net = make_net(task);
-  if (scnn::nn::checkpoint_exists(ckpt)) {
-    scnn::nn::load_checkpoint(net, ckpt);
-  } else {
-    std::printf("no checkpoint at %s — training a quick model first\n", ckpt.c_str());
-    train_into(net, task, 4, ckpt);
+  std::vector<float> params;
+  if (need_base_ckpt) {
+    if (scnn::nn::checkpoint_exists(ckpt)) {
+      scnn::nn::load_checkpoint(net, ckpt);
+    } else {
+      std::printf("no checkpoint at %s — training a quick model first\n", ckpt.c_str());
+      train_into(net, task, 4, ckpt);
+    }
+    params = net.save_parameters();
   }
-  const std::vector<float> params = net.save_parameters();
   const Dataset calib = make_data(task, 64, 3);
   const Dataset test = make_data(task, args.get_int("count", 300), 2);
 
-  scnn::serve::Server server([&task] { return make_net(task); }, opts, params,
-                             &calib.images);
-  std::printf("serving %s (backend %s): %d workers x %s session threads, "
-              "max_batch %d, max_delay %d us, queue cap %d (%s), priority %s\n",
-              to_string(cfg.kind).c_str(),
-              scnn::nn::resolved_backend(cfg.backend).backend.c_str(),
-              server.workers(),
-              opts.session_threads == 0
-                  ? "auto"
-                  : std::to_string(opts.session_threads).c_str(),
-              opts.max_batch, opts.max_delay_us, opts.queue_capacity,
-              to_string(opts.queue_kind).c_str(), priority_arg.c_str());
+  std::unique_ptr<scnn::serve::Server> srv;
+  if (tenants_file.empty()) {
+    srv = std::make_unique<scnn::serve::Server>(
+        [&task] { return make_net(task); }, opts, params, &calib.images);
+  } else {
+    std::vector<scnn::serve::TenantInit> inits;
+    inits.reserve(opts.tenants.size());
+    for (const scnn::serve::TenantOptions& topt : opts.tenants) {
+      scnn::serve::TenantInit init;
+      init.options = topt;
+      init.factory = [&task] { return make_net(task); };
+      init.calibration = calib.images;
+      if (topt.checkpoint.empty()) {
+        init.params = params;
+      } else {
+        if (!scnn::nn::checkpoint_exists(topt.checkpoint))
+          throw scnn::cli::ArgError("--tenants: tenant \"" + topt.name +
+                                    "\": no checkpoint at " + topt.checkpoint);
+        scnn::nn::Network tenant_net = make_net(task);
+        scnn::nn::load_checkpoint(tenant_net, topt.checkpoint);
+        init.params = tenant_net.save_parameters();
+      }
+      inits.push_back(std::move(init));
+    }
+    srv = std::make_unique<scnn::serve::Server>(std::move(inits), opts);
+  }
+  scnn::serve::Server& server = *srv;
+  if (tenants_file.empty()) {
+    std::printf("serving %s (backend %s): %d workers x %s session threads, "
+                "max_batch %d, max_delay %d us, queue cap %d (%s), priority %s\n",
+                to_string(cfg.kind).c_str(),
+                scnn::nn::resolved_backend(cfg.backend).backend.c_str(),
+                server.workers(),
+                opts.session_threads == 0
+                    ? "auto"
+                    : std::to_string(opts.session_threads).c_str(),
+                opts.max_batch, opts.max_delay_us, opts.queue_capacity,
+                to_string(opts.queue_kind).c_str(), priority_arg.c_str());
+  } else {
+    std::printf("serving %d tenants from %s: %d workers, max_batch %d, "
+                "queue cap %d (%s), priority %s\n",
+                server.registry().count(), tenants_file.c_str(),
+                server.workers(), opts.max_batch, opts.queue_capacity,
+                to_string(opts.queue_kind).c_str(), priority_arg.c_str());
+    for (int i = 0; i < server.registry().count(); ++i) {
+      const scnn::serve::TenantOptions& topt = server.registry().options(i);
+      std::printf("  tenant %-12s engine %-8s shards %d%s%s\n",
+                  topt.name.c_str(),
+                  topt.engine ? to_string(topt.engine->kind).c_str() : "default",
+                  server.registry().shard_count(i),
+                  topt.checkpoint.empty() ? "" : " ckpt ",
+                  topt.checkpoint.c_str());
+    }
+  }
+  // Requests rotate round-robin over the tenant table (a single-model server
+  // has exactly one entry), so every tenant sees load in a fixed pattern.
+  std::vector<std::string> tenant_names;
+  for (int i = 0; i < server.registry().count(); ++i)
+    tenant_names.push_back(server.registry().options(i).name);
 
   // Soak-run time series: one flattened registry snapshot per interval,
   // appended as JSON lines while the load runs.
@@ -629,8 +722,10 @@ int cmd_serve(const Args& args) {
         if (id >= requests) break;
         const int img = id % test.images.n();
         scnn::serve::Response r =
-            server.submit(scnn::nn::batch_slice(test.images, img, 1), -1,
-                          priority_of(id))
+            server.submit({.tenant = tenant_names[static_cast<std::size_t>(id) %
+                                                  tenant_names.size()],
+                           .input = scnn::nn::batch_slice(test.images, img, 1),
+                           .priority = priority_of(id)})
                 .get();
         switch (r.status) {
           case scnn::serve::Status::kOk:

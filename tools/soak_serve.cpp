@@ -1,14 +1,16 @@
 // soak_serve — closed+open-loop chaos driver for the serving plane.
 //
-// Hammers one serve::Server with a mix of steady traffic, deadline storms,
-// reject bursts, pause/resume flaps, and injected worker exceptions (a
-// ChaosLayer appended to every shard's network that throws when armed),
-// while verifying every kOk response bit-for-bit against direct
-// InferenceSession::forward on the same sample. The run ends with a clean
-// quiesce: 20 probe requests that must all serve kOk bit-exactly (proof the
-// injected exceptions resolved kError without killing a worker), an
-// on-demand flight dump that must round-trip through obs::json, and a
-// drain() that must not rethrow.
+// Hammers one two-tenant serve::Server ("default" + "canary") with a mix of
+// steady traffic, mixed-tenant bursts (including the run's one mid-flight
+// hot swap of the canary checkpoint), deadline storms, reject bursts,
+// pause/resume flaps, and injected worker exceptions (a ChaosLayer appended
+// to every shard's network that throws when armed), while verifying every
+// kOk response bit-for-bit against direct InferenceSession::forward on the
+// same sample — canary responses against the checkpoint generation their
+// epoch names. The run ends with a clean quiesce: 20 default + 10 canary
+// probe requests that must all serve kOk bit-exactly (the canary ones on
+// the post-swap generation), an on-demand flight dump that must round-trip
+// through obs::json, and a drain() that must not rethrow.
 //
 // Telemetry: a SnapshotLogger appends <prefix>_snapshots.jsonl time series
 // during the run, and the final registry + driver counters land in
@@ -20,7 +22,8 @@
 //              [--out-prefix=soak]
 //
 // Exit status: nonzero on any logits mismatch, an error response that was
-// not chaos-injected, a failed clean probe, or an unparseable flight dump.
+// not chaos-injected, a failed clean probe, an unparseable flight dump, or
+// a hot swap with no verified post-swap canary response.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -122,18 +125,23 @@ struct Tally {
   }
 };
 
-/// Tickets submitted fire-and-forget (open loop, storms) waiting to be
-/// resolved and verified off the submission path.
+/// Tickets submitted fire-and-forget (open loop, storms, mixed-tenant
+/// bursts) waiting to be resolved and verified off the submission path.
 struct ReapQueue {
+  struct Item {
+    Ticket ticket;
+    int idx = 0;        ///< sample index (names the reference logits)
+    bool canary = false;  ///< routed to the "canary" tenant (epoch-aware ref)
+  };
   std::mutex mu;
-  std::deque<std::pair<Ticket, int>> pending;  // ticket + sample index
+  std::deque<Item> pending;
   std::atomic<bool> closed{false};
 
-  void push(Ticket t, int idx) {
+  void push(Ticket t, int idx, bool canary = false) {
     std::lock_guard<std::mutex> lk(mu);
-    pending.emplace_back(std::move(t), idx);
+    pending.push_back(Item{std::move(t), idx, canary});
   }
-  bool pop(std::pair<Ticket, int>& out) {
+  bool pop(Item& out) {
     std::lock_guard<std::mutex> lk(mu);
     if (pending.empty()) return false;
     out = std::move(pending.front());
@@ -209,6 +217,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The second tenant ("canary") shares the factory + engine, so its
+  // generation-0 reference IS `reference`; generation 1 is a perturbed
+  // checkpoint hot-swapped in mid-run, with its own direct-forward reference.
+  std::vector<float> canary_v1_params;
+  std::vector<Tensor> canary_ref_v1;
+  {
+    canary_v1_params = factory().save_parameters();
+    for (float& v : canary_v1_params) v *= 0.5f;
+    scnn::nn::Network net = factory();
+    net.load_parameters(canary_v1_params);
+    scnn::nn::InferenceSession session(std::move(net), /*threads=*/1);
+    session.calibrate(calib);
+    session.set_engine(engine);
+    for (int i = 0; i < n_samples; ++i)
+      canary_ref_v1.push_back(
+          session.forward(samples[static_cast<std::size_t>(i)]));
+  }
+
   ServerOptions opts;
   opts.workers = workers;
   opts.session_threads = 1;
@@ -216,9 +242,16 @@ int main(int argc, char** argv) {
   opts.max_delay_us = 200;
   opts.queue_capacity = capacity;
   opts.queue_kind = queue_kind;
-  opts.engine = engine;
+  opts.engine = engine;  // tenants without their own engine inherit this
   opts.flight_dump_prefix = out_prefix + "_flight";
-  Server server(factory, opts, /*params=*/{}, &calib);
+  std::vector<scnn::serve::TenantInit> tenants(2);
+  tenants[0].options.name = "default";
+  tenants[1].options.name = "canary";
+  for (scnn::serve::TenantInit& t : tenants) {
+    t.factory = factory;
+    t.calibration = calib;
+  }
+  Server server(std::move(tenants), opts);
   scnn::obs::SnapshotLogger snapshots(server.metrics(),
                                       out_prefix + "_snapshots.jsonl",
                                       /*interval_ms=*/250);
@@ -247,8 +280,9 @@ int main(int argc, char** argv) {
         const int idx = pick(rng);
         tally.submitted.fetch_add(1, std::memory_order_relaxed);
         const Response r =
-            server.submit(samples[static_cast<std::size_t>(idx)], -1,
-                          priority_of(i)).get();
+            server.submit({.input = samples[static_cast<std::size_t>(idx)],
+                           .priority = priority_of(i)})
+                .get();
         tally.account(r, reference[static_cast<std::size_t>(idx)]);
       }
     });
@@ -264,8 +298,8 @@ int main(int argc, char** argv) {
       for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
         const int idx = pick(rng);
         tally.submitted.fetch_add(1, std::memory_order_relaxed);
-        reap.push(server.submit(samples[static_cast<std::size_t>(idx)], -1,
-                                priority_of(i + 1)),
+        reap.push(server.submit({.input = samples[static_cast<std::size_t>(idx)],
+                                 .priority = priority_of(i + 1)}),
                   idx);
         next += period;
         std::this_thread::sleep_until(next);
@@ -273,27 +307,47 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Reaper: resolves fire-and-forget tickets off the submission path.
+  // Canary outcomes by generation: post-swap kOk responses (epoch 1) are the
+  // proof the hot swap actually took effect mid-run.
+  std::atomic<std::uint64_t> canary_ok_old{0}, canary_ok_new{0};
+
+  // Reaper: resolves fire-and-forget tickets off the submission path. A
+  // canary ticket verifies against the generation it was ADMITTED under —
+  // the response's epoch names the reference.
   std::thread reaper([&] {
-    std::pair<Ticket, int> item;
+    ReapQueue::Item item;
     for (;;) {
       if (!reap.pop(item)) {
         if (reap.closed.load(std::memory_order_relaxed)) return;
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         continue;
       }
-      const Response r = item.first.get();
-      tally.account(r, reference[static_cast<std::size_t>(item.second)]);
+      const Response r = item.ticket.get();
+      const std::vector<Tensor>& want_set =
+          item.canary && r.epoch > 0 ? canary_ref_v1 : reference;
+      tally.account(r, want_set[static_cast<std::size_t>(item.idx)]);
+      if (item.canary && r.status == Status::kOk)
+        (r.epoch > 0 ? canary_ok_new : canary_ok_old)
+            .fetch_add(1, std::memory_order_relaxed);
     }
   });
 
   // --- chaos controller ---------------------------------------------------
   // Rotates ~500ms phases. Poison sits early in the cycle so even short
-  // runs exercise the worker-exception path at least once.
-  enum class Phase { kSteady, kPoison, kDeadlineStorm, kRejectBurst, kPauseResume };
-  const Phase cycle[] = {Phase::kSteady, Phase::kPoison, Phase::kDeadlineStorm,
+  // runs exercise the worker-exception path at least once; the mixed-tenant
+  // phase interleaves canary traffic with the steady default load and
+  // performs the run's ONE mid-flight hot swap halfway through its first
+  // burst (requests admitted before the swap must resolve on generation 0,
+  // after it on generation 1 — the reaper verifies against the epoch each
+  // response reports).
+  enum class Phase {
+    kSteady, kPoison, kMixedTenant, kDeadlineStorm, kRejectBurst, kPauseResume
+  };
+  const Phase cycle[] = {Phase::kSteady,      Phase::kPoison,
+                         Phase::kMixedTenant, Phase::kDeadlineStorm,
                          Phase::kRejectBurst, Phase::kPauseResume};
   std::size_t slot = 0;
+  bool swapped = false;
   while (Clock::now() < deadline) {
     switch (cycle[slot++ % std::size(cycle)]) {
       case Phase::kSteady:
@@ -303,14 +357,34 @@ int main(int argc, char** argv) {
         g_poison_armed.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::sleep_for(std::chrono::milliseconds(500));
         break;
+      case Phase::kMixedTenant:
+        // Paced canary burst riding on the steady default traffic; both
+        // tenants' batches multiplex over the same workers and rings.
+        for (int i = 0; i < capacity && Clock::now() < deadline; ++i) {
+          if (i == capacity / 2 && !swapped) {
+            swapped = true;  // the one mid-flight swap, canary traffic live
+            server.swap("canary", canary_v1_params);
+          }
+          const int idx = i % n_samples;
+          tally.submitted.fetch_add(1, std::memory_order_relaxed);
+          reap.push(
+              server.submit({.tenant = "canary",
+                             .input = samples[static_cast<std::size_t>(idx)],
+                             .priority = priority_of(static_cast<std::uint64_t>(i))}),
+              idx, /*canary=*/true);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        break;
       case Phase::kDeadlineStorm:
         // Deadlines far shorter than a batch window: most resolve kTimedOut.
         for (int i = 0; i < 2 * capacity && Clock::now() < deadline; ++i) {
           tally.submitted.fetch_add(1, std::memory_order_relaxed);
-          reap.push(server.submit(samples[static_cast<std::size_t>(i % n_samples)],
-                                  /*deadline_us=*/50,
-                                  priority_of(static_cast<std::uint64_t>(i))),
-                    i % n_samples);
+          reap.push(
+              server.submit(
+                  {.input = samples[static_cast<std::size_t>(i % n_samples)],
+                   .priority = priority_of(static_cast<std::uint64_t>(i)),
+                   .deadline_us = 50}),
+              i % n_samples);
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
         break;
@@ -318,9 +392,11 @@ int main(int argc, char** argv) {
         // Flood far past capacity without pacing: forces sheds + kQueueFull.
         for (int i = 0; i < 4 * capacity; ++i) {
           tally.submitted.fetch_add(1, std::memory_order_relaxed);
-          reap.push(server.submit(samples[static_cast<std::size_t>(i % n_samples)],
-                                  -1, priority_of(static_cast<std::uint64_t>(i))),
-                    i % n_samples);
+          reap.push(
+              server.submit(
+                  {.input = samples[static_cast<std::size_t>(i % n_samples)],
+                   .priority = priority_of(static_cast<std::uint64_t>(i))}),
+              i % n_samples);
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(250));
         break;
@@ -342,19 +418,49 @@ int main(int argc, char** argv) {
   g_poison_armed.store(0);         // disarm anything a batch never consumed
 
   // Clean probes: the server must still serve bit-exactly after the storm —
-  // injected exceptions resolved kError without taking a worker down.
+  // injected exceptions resolved kError without taking a worker down. The
+  // canary probes additionally pin the post-swap contract: every one must
+  // resolve on generation 1, bit-identical to the NEW checkpoint's direct
+  // forward. (A too-short run may end before the mixed-tenant phase; swap
+  // now so the post-swap probes always have something to verify.)
+  if (!swapped) {
+    swapped = true;
+    server.swap("canary", canary_v1_params);
+  }
   int probes_ok = 0;
-  constexpr int kProbes = 20;
-  for (int i = 0; i < kProbes; ++i) {
+  constexpr int kDefaultProbes = 20;
+  constexpr int kCanaryProbes = 10;
+  constexpr int kProbes = kDefaultProbes + kCanaryProbes;
+  for (int i = 0; i < kDefaultProbes; ++i) {
     const int idx = i % n_samples;
     const Response r =
-        server.submit(samples[static_cast<std::size_t>(idx)], -1, Priority::kHigh).get();
+        server.submit({.input = samples[static_cast<std::size_t>(idx)],
+                       .priority = Priority::kHigh})
+            .get();
     if (r.status == Status::kOk &&
         bit_identical(r.logits, reference[static_cast<std::size_t>(idx)]))
       ++probes_ok;
     else
       std::fprintf(stderr, "soak_serve: probe %d failed: status %s %s\n", i,
                    to_string(r.status).c_str(), r.error.c_str());
+  }
+  for (int i = 0; i < kCanaryProbes; ++i) {
+    const int idx = i % n_samples;
+    const Response r =
+        server.submit({.tenant = "canary",
+                       .input = samples[static_cast<std::size_t>(idx)],
+                       .priority = Priority::kHigh})
+            .get();
+    if (r.status == Status::kOk && r.epoch == 1 &&
+        bit_identical(r.logits, canary_ref_v1[static_cast<std::size_t>(idx)])) {
+      ++probes_ok;
+      canary_ok_new.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::fprintf(stderr,
+                   "soak_serve: canary probe %d failed: status %s epoch %llu %s\n",
+                   i, to_string(r.status).c_str(),
+                   static_cast<unsigned long long>(r.epoch), r.error.c_str());
+    }
   }
 
   // Flight dump must exist and round-trip through the repo's JSON parser.
@@ -394,6 +500,9 @@ int main(int argc, char** argv) {
   const std::uint64_t foreign = tally.foreign_errors.load();
   const std::uint64_t chaos_errors = tally.chaos_errors.load();
   const bool poison_resolved = fired == 0 || chaos_errors > 0;
+  // The swap happened (mid-burst or at quiesce) and at least one post-swap
+  // canary response verified kOk against the NEW checkpoint.
+  const bool swap_verified = swapped && canary_ok_new.load() > 0;
 
   std::printf("  %-18s %llu\n", "submitted", static_cast<unsigned long long>(tally.submitted.load()));
   std::printf("  %-18s %llu\n", "ok (bit-exact)", static_cast<unsigned long long>(tally.ok.load()));
@@ -405,6 +514,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(chaos_errors), fired);
   std::printf("  %-18s %llu\n", "foreign errors", static_cast<unsigned long long>(foreign));
   std::printf("  %-18s %d\n", "pause flaps", pause_flaps.load());
+  std::printf("  %-18s %llu old gen, %llu new gen (swap %s)\n", "canary ok",
+              static_cast<unsigned long long>(canary_ok_old.load()),
+              static_cast<unsigned long long>(canary_ok_new.load()),
+              swap_verified ? "verified" : "NOT VERIFIED");
   std::printf("  %-18s %d/%d\n", "clean probes", probes_ok, kProbes);
   std::printf("  %-18s %s (%zu events)\n", "flight dump",
               dump_ok ? dump_path.c_str() : "FAILED", dump_events);
@@ -426,11 +539,15 @@ int main(int argc, char** argv) {
   report.add_metric("soak.poison_fired", static_cast<double>(fired), "faults");
   report.add_metric("soak.pause_flaps", static_cast<double>(pause_flaps.load()), "count");
   report.add_metric("soak.probes_ok", static_cast<double>(probes_ok), "probes");
+  report.add_metric("soak.canary_ok_old", static_cast<double>(canary_ok_old.load()), "requests");
+  report.add_metric("soak.canary_ok_new", static_cast<double>(canary_ok_new.load()), "requests");
+  report.add_metric("soak.swaps", swapped ? 1.0 : 0.0, "swaps");
   scnn::obs::append_registry(server.metrics(), report);
   (void)report.write_file();  // prints the written path itself
 
   const bool pass = mismatched == 0 && foreign == 0 && poison_resolved &&
-                    probes_ok == kProbes && dump_ok && drained_clean;
+                    probes_ok == kProbes && dump_ok && drained_clean &&
+                    swap_verified;
   std::printf("soak_serve: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }
